@@ -1,0 +1,41 @@
+//! EXP-ABL bench: the cost of the substituted components (DESIGN.md §4) —
+//! UXS generation and coverage verification, and the two label schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anonrv_core::label::{ExactViewLabel, LabelScheme, TrailSignature};
+use anonrv_graph::generators::{lollipop, oriented_torus};
+use anonrv_uxs::{covers_from_all, LengthRule, PseudorandomUxs, UxsProvider};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    for (name, rule) in [
+        ("cubic", LengthRule::Cubic { c: 1, min_len: 32 }),
+        ("quadratic", LengthRule::Quadratic { c: 1, min_len: 16 }),
+        ("fixed-64", LengthRule::Fixed(64)),
+    ] {
+        let provider = PseudorandomUxs::with_rule(rule);
+        group.bench_with_input(BenchmarkId::new("uxs generation, n=16", name), &provider, |b, p| {
+            b.iter(|| p.sequence(black_box(16)))
+        });
+        let torus = oriented_torus(4, 4).unwrap();
+        let y = provider.sequence(16);
+        group.bench_with_input(BenchmarkId::new("coverage check, torus-4x4", name), &y, |b, y| {
+            b.iter(|| covers_from_all(black_box(&torus), y))
+        });
+    }
+    let lp = lollipop(4, 3).unwrap();
+    let trail = TrailSignature::default();
+    group.bench_function("trail-signature label, lollipop-4-3", |b| {
+        b.iter(|| trail.label_of(black_box(&lp), 0, 7))
+    });
+    let exact = ExactViewLabel;
+    group.bench_function("exact-view label, lollipop-4-3", |b| {
+        b.iter(|| exact.label_of(black_box(&lp), 0, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

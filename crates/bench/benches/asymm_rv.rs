@@ -1,0 +1,43 @@
+//! EXP-P31 bench: the `AsymmRV` substitute on nonsymmetric STICs
+//! (Proposition 3.1), plus the label-computation stage on its own.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anonrv_bench::{bench_uxs, expect_met};
+use anonrv_core::asymm_rv::AsymmRv;
+use anonrv_core::label::{LabelScheme, TrailSignature};
+use anonrv_graph::generators::{caterpillar, lollipop, random_connected};
+use anonrv_graph::PortGraph;
+use anonrv_sim::{simulate, Round, Stic};
+
+fn run(g: &PortGraph, u: usize, v: usize, delta: Round) -> Round {
+    let uxs = bench_uxs();
+    let scheme = TrailSignature::new(uxs);
+    let program = AsymmRv::new(g.num_nodes(), delta.max(1), &scheme, &uxs);
+    let horizon = program.full_duration() + delta + 1;
+    let outcome = simulate(g, &program, &Stic::new(u, v, delta), horizon);
+    expect_met(&outcome)
+}
+
+fn bench_asymm_rv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asymm_rv");
+    group.sample_size(20);
+    let lp = lollipop(4, 3).unwrap();
+    group.bench_function("lollipop-4-3 delta=1", |b| b.iter(|| run(black_box(&lp), 0, 6, 1)));
+    let cat = caterpillar(5, 2).unwrap();
+    group.bench_function("caterpillar-5-2 delta=3", |b| {
+        b.iter(|| run(black_box(&cat), 0, cat.num_nodes() - 1, 3))
+    });
+    let rnd = random_connected(12, 6, 7).unwrap();
+    group.bench_function("random-12 delta=0", |b| b.iter(|| run(black_box(&rnd), 0, 11, 0)));
+
+    let scheme = TrailSignature::new(bench_uxs());
+    group.bench_function("trail-signature label (analysis side, n=12)", |b| {
+        b.iter(|| scheme.label_of(black_box(&rnd), 0, 12))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_asymm_rv);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! EXP-FIG1 bench: construction and verification cost of the Section 4
+//! graphs `Q_h` / `Q̂_h` (Figure 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anonrv_graph::generators::{qh_hat, qh_tree};
+use anonrv_graph::symmetry::OrbitPartition;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_construction");
+    for h in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("qh_tree", h), &h, |b, &h| {
+            b.iter(|| qh_tree(black_box(h)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("qh_hat", h), &h, |b, &h| {
+            b.iter(|| qh_hat(black_box(h)).unwrap())
+        });
+    }
+    let q3 = qh_hat(3).unwrap();
+    group.bench_function("orbit partition of Q̂_3", |b| {
+        b.iter(|| OrbitPartition::compute(black_box(&q3.graph)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! EXP-L31 bench: the Corollary 3.1 classification (orbit partition + Shrink)
+//! and the Lemma 3.1 trajectory checker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anonrv_core::feasibility::{classify, symmetric_trajectories_never_meet};
+use anonrv_graph::generators::{oriented_torus, random_connected, symmetric_double_tree};
+
+fn bench_infeasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infeasibility_guard");
+    let torus = oriented_torus(5, 5).unwrap();
+    group.bench_function("classify torus-5x5 symmetric pair", |b| {
+        b.iter(|| classify(black_box(&torus), 0, 12, 1))
+    });
+    let rnd = random_connected(16, 10, 3).unwrap();
+    group.bench_function("classify random-16 nonsymmetric pair", |b| {
+        b.iter(|| classify(black_box(&rnd), 0, 15, 0))
+    });
+    let (tree, mirror) = symmetric_double_tree(2, 4).unwrap();
+    let leaf = (0..tree.num_nodes() / 2).find(|&v| tree.degree(v) == 1).unwrap();
+    let ports: Vec<usize> = (0..200).map(|i| i % 3).collect();
+    group.bench_function("Lemma 3.1 trajectory check, double-tree depth 4", |b| {
+        b.iter(|| symmetric_trajectories_never_meet(black_box(&tree), leaf, mirror[leaf], 0, &ports))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_infeasibility);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! EXP-T41 bench: the Theorem 4.1 machinery — symbolic family checks for
+//! growing `k` and the explicit `Q̂_h` check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anonrv_core::lower_bound::{check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule};
+use anonrv_graph::generators::qh_hat;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+    for k in [3usize, 5, 7] {
+        let schedule = ObliviousSchedule::meeting_sweep(k);
+        group.bench_with_input(BenchmarkId::new("symbolic meeting sweep", k), &k, |b, &k| {
+            b.iter(|| check_schedule_symbolic(k, black_box(&schedule)))
+        });
+    }
+    let q = qh_hat(4).unwrap();
+    let schedule = ObliviousSchedule::meeting_sweep(1);
+    group.bench_function("explicit check on Q̂_4 (k=1)", |b| {
+        b.iter(|| check_schedule_explicit(black_box(&q), 1, black_box(&schedule)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

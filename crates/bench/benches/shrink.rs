@@ -1,0 +1,37 @@
+//! EXP-SHRINK bench: the cost of computing `Shrink(u, v)` (pair-graph BFS) on
+//! the Section 3 example families.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use anonrv_graph::generators::{oriented_ring, oriented_torus, symmetric_double_tree};
+use anonrv_graph::shrink::{shrink, shrink_all_symmetric_pairs};
+
+fn bench_shrink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shrink");
+    let torus = oriented_torus(6, 6).unwrap();
+    group.bench_function("torus-6x6 antipodal pair", |b| {
+        b.iter(|| shrink(black_box(&torus), 0, 21))
+    });
+    let ring = oriented_ring(64).unwrap();
+    group.bench_function("ring-64 antipodal pair", |b| {
+        b.iter(|| shrink(black_box(&ring), 0, 32))
+    });
+    let (tree, mirror) = symmetric_double_tree(2, 6).unwrap();
+    let leaf = (0..tree.num_nodes() / 2).find(|&v| tree.degree(v) == 1).unwrap();
+    group.bench_function("double-tree depth-6 mirror leaves", |b| {
+        b.iter(|| shrink(black_box(&tree), leaf, mirror[leaf]))
+    });
+    let small_torus = oriented_torus(4, 4).unwrap();
+    group.bench_function("torus-4x4 all symmetric pairs", |b| {
+        b.iter_batched(
+            || small_torus.clone(),
+            |g| shrink_all_symmetric_pairs(black_box(&g)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shrink);
+criterion_main!(benches);

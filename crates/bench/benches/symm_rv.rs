@@ -1,0 +1,43 @@
+//! EXP-L32 bench: Procedure `SymmRV(n, d, δ)` run to rendezvous on symmetric
+//! STICs with `δ = Shrink` (Lemmas 3.2 / 3.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anonrv_bench::{bench_uxs, expect_met};
+use anonrv_core::bounds::symm_rv_bound;
+use anonrv_core::symm_rv::SymmRv;
+use anonrv_graph::generators::{oriented_ring, oriented_torus, symmetric_double_tree};
+use anonrv_graph::PortGraph;
+use anonrv_sim::{simulate, Round, Stic};
+use anonrv_uxs::UxsProvider;
+
+fn run(g: &PortGraph, u: usize, v: usize, d: usize, delta: Round) -> Round {
+    let uxs = bench_uxs();
+    let program = SymmRv::new(g.num_nodes(), d, delta, &uxs);
+    let bound = symm_rv_bound(g.num_nodes(), d, delta, uxs.length(g.num_nodes()));
+    let outcome = simulate(g, &program, &Stic::new(u, v, delta), bound + delta + 1);
+    expect_met(&outcome)
+}
+
+fn bench_symm_rv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symm_rv");
+    group.sample_size(20);
+    let ring = oriented_ring(8).unwrap();
+    group.bench_function("ring-8 d=2 delta=2", |b| {
+        b.iter(|| run(black_box(&ring), 0, 2, 2, 2))
+    });
+    let torus = oriented_torus(3, 3).unwrap();
+    group.bench_function("torus-3x3 d=2 delta=2", |b| {
+        b.iter(|| run(black_box(&torus), 0, 4, 2, 2))
+    });
+    let (tree, mirror) = symmetric_double_tree(2, 2).unwrap();
+    let leaf = (0..tree.num_nodes() / 2).find(|&v| tree.degree(v) == 1).unwrap();
+    group.bench_function("double-tree-2-2 d=1 delta=1", |b| {
+        b.iter(|| run(black_box(&tree), leaf, mirror[leaf], 1, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symm_rv);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! EXP-T31 bench: Algorithm `UniversalRV` run to rendezvous with zero
+//! a-priori knowledge, on the three STIC kinds of Corollary 3.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anonrv_bench::{expect_met, run_universal};
+use anonrv_graph::generators::{lollipop, oriented_ring, two_node_graph};
+use anonrv_sim::Stic;
+
+fn bench_universal_rv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal_rv");
+    group.sample_size(10);
+    let two = two_node_graph();
+    group.bench_function("two-node graph, symmetric, delta=1", |b| {
+        b.iter(|| expect_met(&run_universal(black_box(&two), Stic::new(0, 1, 1), 1, 1)))
+    });
+    let ring = oriented_ring(4).unwrap();
+    group.bench_function("ring-4, symmetric, delta=Shrink=1", |b| {
+        b.iter(|| expect_met(&run_universal(black_box(&ring), Stic::new(0, 1, 1), 1, 1)))
+    });
+    let lp = lollipop(3, 1).unwrap();
+    group.bench_function("lollipop-3-1, nonsymmetric, delta=0", |b| {
+        b.iter(|| expect_met(&run_universal(black_box(&lp), Stic::new(0, 3, 0), 1, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_universal_rv);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! EXP-P41 bench: full `UniversalRV` runs at increasing (n, delta) — the
+//! Proposition 4.1 growth curve, timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anonrv_bench::{expect_met, run_universal};
+use anonrv_graph::generators::oriented_ring;
+use anonrv_sim::Stic;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal_scaling");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        let ring = oriented_ring(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("ring adjacent pair, delta=1", n), &n, |b, _| {
+            b.iter(|| expect_met(&run_universal(black_box(&ring), Stic::new(0, 1, 1), 1, 1)))
+        });
+    }
+    let ring4 = oriented_ring(4).unwrap();
+    for delta in [1u128, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("ring-4 adjacent pair, growing delta", delta as u64),
+            &delta,
+            |b, &delta| {
+                b.iter(|| expect_met(&run_universal(black_box(&ring4), Stic::new(0, 1, delta), 1, delta)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

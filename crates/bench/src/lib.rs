@@ -1,0 +1,58 @@
+//! # anonrv-bench
+//!
+//! Shared fixtures for the criterion benchmarks that time the kernels behind
+//! every reproduced table/figure (see DESIGN.md §3 for the experiment index
+//! and EXPERIMENTS.md for the recorded outcomes).  The benches themselves
+//! live in `benches/`, one per experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use anonrv_core::label::TrailSignature;
+use anonrv_core::universal_rv::UniversalRv;
+use anonrv_graph::PortGraph;
+use anonrv_sim::{simulate, Round, SimOutcome, Stic};
+use anonrv_uxs::{LengthRule, PseudorandomUxs};
+
+/// The short UXS rule shared by all benchmarks (coverage on the benchmark
+/// instances is asserted by the integration suite).
+pub fn bench_uxs() -> PseudorandomUxs {
+    PseudorandomUxs::with_rule(LengthRule::Quadratic { c: 1, min_len: 16 })
+}
+
+/// Run `UniversalRV` on a STIC until rendezvous (or the completion horizon of
+/// the phase with the given parameter hints) and return the outcome.
+pub fn run_universal(
+    g: &PortGraph,
+    stic: Stic,
+    d_hint: usize,
+    delta_hint: Round,
+) -> SimOutcome {
+    let uxs = bench_uxs();
+    let scheme = TrailSignature::new(uxs);
+    let algo = UniversalRv::new(&uxs, &scheme);
+    let horizon = algo.completion_horizon(g.num_nodes(), d_hint.max(1), delta_hint.max(1));
+    simulate(g, &algo, &stic, horizon)
+}
+
+/// Assert that an outcome represents a rendezvous (used by benches so a
+/// regression in the algorithm fails the bench loudly instead of silently
+/// timing a non-meeting run).
+pub fn expect_met(outcome: &SimOutcome) -> Round {
+    outcome.rendezvous_time().expect("benchmark STIC must be solved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::oriented_ring;
+
+    #[test]
+    fn the_benchmark_fixture_solves_its_reference_stic() {
+        let g = oriented_ring(4).unwrap();
+        let outcome = run_universal(&g, Stic::new(0, 1, 1), 1, 1);
+        // the meeting may happen as early as the later agent's start round
+        let _time = expect_met(&outcome);
+        assert!(outcome.met());
+    }
+}

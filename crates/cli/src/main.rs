@@ -1,0 +1,361 @@
+//! `anonrv` — command-line front-end for the anonymous-rendezvous library.
+//!
+//! ```text
+//! anonrv shrink   <graph> <u> <v>              Shrink(u, v), witness and distance
+//! anonrv feasible <graph> <u> <v> <delta>      Corollary 3.1 classification of a STIC
+//! anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm]
+//!                                              run a rendezvous algorithm on the STIC
+//! anonrv orbits   <graph>                      view-equivalence classes of the graph
+//! anonrv figure1  [h]                          ASCII rendering of Q̂_h (default h = 2)
+//! ```
+//!
+//! Graph specifications: `ring:8`, `path:5`, `star:4`, `complete:5`,
+//! `hypercube:3`, `torus:3x4`, `grid:2x3`, `lollipop:4x2`,
+//! `caterpillar:4x2`, `double-tree:2x3`, `random:10x4x7` (n, extra edges,
+//! seed), `qhat:4`.
+
+use std::process::ExitCode;
+
+use anonrv_core::asymm_rv::AsymmRv;
+use anonrv_core::feasibility::{classify, SticClass};
+use anonrv_core::label::TrailSignature;
+use anonrv_core::symm_rv::SymmRv;
+use anonrv_core::universal_rv::UniversalRv;
+use anonrv_graph::generators::{
+    caterpillar, complete, grid, hypercube, lollipop, oriented_ring, oriented_torus, path,
+    qh_hat, random_connected, star, symmetric_double_tree,
+};
+use anonrv_graph::render::figure1_text;
+use anonrv_graph::shrink::shrink_detailed;
+use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_graph::PortGraph;
+use anonrv_sim::{simulate, Round, Stic};
+use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  anonrv shrink   <graph> <u> <v>\n  anonrv feasible <graph> <u> <v> <delta>\n  \
+     anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm] [--horizon H]\n  \
+     anonrv orbits   <graph>\n  anonrv figure1  [h]\n\ngraphs: ring:8 path:5 star:4 complete:5 \
+     hypercube:3 torus:3x4 grid:2x3 lollipop:4x2 caterpillar:4x2 double-tree:2x3 random:10x4x7 qhat:4"
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "shrink" => cmd_shrink(&args[1..]),
+        "feasible" => cmd_feasible(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "orbits" => cmd_orbits(&args[1..]),
+        "figure1" => cmd_figure1(&args[1..]),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Parse a graph specification like `ring:8` or `torus:3x4`.
+fn parse_graph(spec: &str) -> Result<PortGraph, String> {
+    let (kind, params) = spec.split_once(':').ok_or_else(|| format!("bad graph spec '{spec}'"))?;
+    let dims: Vec<usize> = params
+        .split('x')
+        .map(|p| p.parse::<usize>().map_err(|_| format!("bad parameter '{p}' in '{spec}'")))
+        .collect::<Result<_, _>>()?;
+    let need = |count: usize| -> Result<(), String> {
+        if dims.len() == count {
+            Ok(())
+        } else {
+            Err(format!("'{kind}' expects {count} parameter(s), got {}", dims.len()))
+        }
+    };
+    let build = |r: anonrv_graph::Result<PortGraph>| r.map_err(|e| e.to_string());
+    match kind {
+        "ring" => {
+            need(1)?;
+            build(oriented_ring(dims[0]))
+        }
+        "path" => {
+            need(1)?;
+            build(path(dims[0]))
+        }
+        "star" => {
+            need(1)?;
+            build(star(dims[0]))
+        }
+        "complete" => {
+            need(1)?;
+            build(complete(dims[0]))
+        }
+        "hypercube" => {
+            need(1)?;
+            build(hypercube(dims[0]))
+        }
+        "torus" => {
+            need(2)?;
+            build(oriented_torus(dims[0], dims[1]))
+        }
+        "grid" => {
+            need(2)?;
+            build(grid(dims[0], dims[1]))
+        }
+        "lollipop" => {
+            need(2)?;
+            build(lollipop(dims[0], dims[1]))
+        }
+        "caterpillar" => {
+            need(2)?;
+            build(caterpillar(dims[0], dims[1]))
+        }
+        "double-tree" => {
+            need(2)?;
+            symmetric_double_tree(dims[0], dims[1]).map(|(g, _)| g).map_err(|e| e.to_string())
+        }
+        "random" => {
+            need(3)?;
+            build(random_connected(dims[0], dims[1], dims[2] as u64))
+        }
+        "qhat" => {
+            need(1)?;
+            qh_hat(dims[0]).map(|q| q.graph).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown graph family '{other}'")),
+    }
+}
+
+fn parse_node(g: &PortGraph, arg: Option<&String>, name: &str) -> Result<usize, String> {
+    let v: usize = arg
+        .ok_or_else(|| format!("missing node argument <{name}>"))?
+        .parse()
+        .map_err(|_| format!("<{name}> must be a node index"))?;
+    if v >= g.num_nodes() {
+        return Err(format!("node {v} out of range (graph has {} nodes)", g.num_nodes()));
+    }
+    Ok(v)
+}
+
+fn cmd_shrink(args: &[String]) -> Result<String, String> {
+    let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
+    let u = parse_node(&g, args.get(1), "u")?;
+    let v = parse_node(&g, args.get(2), "v")?;
+    let partition = OrbitPartition::compute(&g);
+    let result = shrink_detailed(&g, u, v, usize::MAX).expect("unbounded search completes");
+    let distance = anonrv_graph::distance::distance(&g, u, v);
+    Ok(format!(
+        "graph: {} nodes, {} edges\nnodes {} and {} are {}\ndistance(u, v)   = {}\nShrink(u, v)     = {}\nwitness sequence = {:?}\nclosest pair     = {:?}",
+        g.num_nodes(),
+        g.num_edges(),
+        u,
+        v,
+        if partition.are_symmetric(u, v) { "symmetric" } else { "nonsymmetric" },
+        distance,
+        result.shrink,
+        result.witness,
+        result.closest_pair,
+    ))
+}
+
+fn cmd_feasible(args: &[String]) -> Result<String, String> {
+    let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
+    let u = parse_node(&g, args.get(1), "u")?;
+    let v = parse_node(&g, args.get(2), "v")?;
+    let delta: Round = args
+        .get(3)
+        .ok_or("missing <delta>")?
+        .parse()
+        .map_err(|_| "<delta> must be a non-negative integer")?;
+    let class = classify(&g, u, v, delta);
+    let verdict = match class {
+        SticClass::Nonsymmetric => {
+            "FEASIBLE — the initial positions are nonsymmetric, any delay works".to_string()
+        }
+        SticClass::SymmetricFeasible { shrink } => format!(
+            "FEASIBLE — symmetric positions with delta = {delta} >= Shrink(u, v) = {shrink}"
+        ),
+        SticClass::SymmetricInfeasible { shrink } => format!(
+            "INFEASIBLE — symmetric positions with delta = {delta} < Shrink(u, v) = {shrink} (Lemma 3.1)"
+        ),
+        SticClass::SameNode => "FEASIBLE (degenerate) — both agents start on the same node".to_string(),
+    };
+    Ok(format!("STIC [({u}, {v}), {delta}]: {verdict}"))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<String, String> {
+    let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
+    let u = parse_node(&g, args.get(1), "u")?;
+    let v = parse_node(&g, args.get(2), "v")?;
+    let delta: Round = args
+        .get(3)
+        .ok_or("missing <delta>")?
+        .parse()
+        .map_err(|_| "<delta> must be a non-negative integer")?;
+    let algo_name = flag_value(args, "--algo").unwrap_or("universal");
+    let horizon_override: Option<Round> = match flag_value(args, "--horizon") {
+        Some(h) => Some(h.parse().map_err(|_| "bad --horizon value")?),
+        None => None,
+    };
+
+    let n = g.num_nodes();
+    let stic = Stic::new(u, v, delta);
+    let class = classify(&g, u, v, delta);
+    let uxs = PseudorandomUxs::with_rule(LengthRule::Quadratic { c: 1, min_len: 16 });
+    let scheme = TrailSignature::new(uxs);
+
+    let (outcome, algo_label) = match algo_name {
+        "universal" => {
+            let algo = UniversalRv::new(&uxs, &scheme);
+            let d_hint = match class {
+                SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => shrink.max(1),
+                _ => 1,
+            };
+            let horizon = horizon_override.unwrap_or_else(|| algo.completion_horizon(n, d_hint, delta.max(1)));
+            (simulate(&g, &algo, &stic, horizon), "UniversalRV")
+        }
+        "symm" => {
+            let d = match class {
+                SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => shrink.max(1),
+                _ => return Err("--algo symm requires symmetric starting positions".to_string()),
+            };
+            let program = SymmRv::new(n, d, delta.max(d as Round), &uxs);
+            let bound = anonrv_core::bounds::symm_rv_bound(n, d, delta.max(d as Round), uxs.length(n));
+            let horizon = horizon_override.unwrap_or(bound.saturating_add(delta).saturating_add(1));
+            (simulate(&g, &program, &stic, horizon), "SymmRV")
+        }
+        "asymm" => {
+            let program = AsymmRv::new(n, delta.max(1), &scheme, &uxs);
+            let horizon = horizon_override
+                .unwrap_or_else(|| program.full_duration().saturating_add(delta).saturating_add(1));
+            (simulate(&g, &program, &stic, horizon), "AsymmRV")
+        }
+        other => return Err(format!("unknown algorithm '{other}' (universal|symm|asymm)")),
+    };
+
+    let class_text = match class {
+        SticClass::Nonsymmetric => "nonsymmetric (feasible)".to_string(),
+        SticClass::SymmetricFeasible { shrink } => format!("symmetric, Shrink = {shrink} (feasible)"),
+        SticClass::SymmetricInfeasible { shrink } => format!("symmetric, Shrink = {shrink} (INFEASIBLE)"),
+        SticClass::SameNode => "same node".to_string(),
+    };
+    let result = match outcome.meeting {
+        Some(m) => format!(
+            "RENDEZVOUS at node {} after {} round(s) from the later agent's start (global round {})",
+            m.node, m.later_round, m.global_round
+        ),
+        None => format!("no rendezvous within the horizon ({} rounds)", outcome.horizon),
+    };
+    Ok(format!(
+        "graph: {} nodes, {} edges\nSTIC [({u}, {v}), {delta}]: {class_text}\nalgorithm: {algo_label}\n{result}",
+        g.num_nodes(),
+        g.num_edges(),
+    ))
+}
+
+fn cmd_orbits(args: &[String]) -> Result<String, String> {
+    let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
+    let partition = OrbitPartition::compute(&g);
+    let classes = partition.classes();
+    let mut out = format!(
+        "graph: {} nodes, {} edges\nview-equivalence classes: {}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        classes.len()
+    );
+    for (i, class) in classes.iter().enumerate() {
+        out.push_str(&format!("  class {i}: {class:?}\n"));
+    }
+    out.push_str(if classes.len() == 1 {
+        "all nodes are pairwise symmetric"
+    } else if classes.len() == g.num_nodes() {
+        "no two nodes are symmetric"
+    } else {
+        "the graph has both symmetric and nonsymmetric pairs"
+    });
+    Ok(out)
+}
+
+fn cmd_figure1(args: &[String]) -> Result<String, String> {
+    let h: usize = match args.first() {
+        Some(arg) => arg.parse().map_err(|_| "h must be an integer >= 2")?,
+        None => 2,
+    };
+    let q = qh_hat(h).map_err(|e| e.to_string())?;
+    Ok(figure1_text(&q))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn graph_specs_parse() {
+        assert_eq!(parse_graph("ring:6").unwrap().num_nodes(), 6);
+        assert_eq!(parse_graph("torus:3x4").unwrap().num_nodes(), 12);
+        assert_eq!(parse_graph("lollipop:4x2").unwrap().num_nodes(), 6);
+        assert_eq!(parse_graph("double-tree:2x2").unwrap().num_nodes(), 14);
+        assert_eq!(parse_graph("qhat:2").unwrap().num_nodes(), 17);
+        assert!(parse_graph("ring").is_err());
+        assert!(parse_graph("ring:abc").is_err());
+        assert!(parse_graph("torus:3").is_err());
+        assert!(parse_graph("mystery:3").is_err());
+    }
+
+    #[test]
+    fn shrink_command_reports_the_double_tree_example() {
+        let out = run(&argv(&["shrink", "double-tree:2x2", "0", "7"])).unwrap();
+        assert!(out.contains("Shrink(u, v)"), "{out}");
+    }
+
+    #[test]
+    fn feasible_command_matches_corollary_3_1() {
+        let feasible = run(&argv(&["feasible", "ring:6", "0", "2", "2"])).unwrap();
+        assert!(feasible.contains("FEASIBLE"), "{feasible}");
+        let infeasible = run(&argv(&["feasible", "ring:6", "0", "3", "1"])).unwrap();
+        assert!(infeasible.contains("INFEASIBLE"), "{infeasible}");
+    }
+
+    #[test]
+    fn simulate_command_achieves_rendezvous_on_a_feasible_stic() {
+        let out = run(&argv(&["simulate", "ring:4", "0", "1", "1"])).unwrap();
+        assert!(out.contains("RENDEZVOUS"), "{out}");
+        let asymm = run(&argv(&["simulate", "lollipop:3x2", "0", "4", "1", "--algo", "asymm"])).unwrap();
+        assert!(asymm.contains("RENDEZVOUS"), "{asymm}");
+    }
+
+    #[test]
+    fn orbits_and_figure1_render() {
+        let orbits = run(&argv(&["orbits", "ring:5"])).unwrap();
+        assert!(orbits.contains("all nodes are pairwise symmetric"), "{orbits}");
+        let fig = run(&argv(&["figure1"])).unwrap();
+        assert!(fig.contains("17 nodes"), "{fig}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run(&argv(&["simulate", "ring:4", "0", "9", "1"])).is_err());
+        assert!(run(&argv(&["unknown"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&argv(&["simulate", "ring:4", "0", "1", "1", "--algo", "nope"])).is_err());
+        assert!(run(&argv(&["help"])).is_ok());
+    }
+}

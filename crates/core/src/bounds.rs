@@ -1,0 +1,214 @@
+//! Closed-form round-count bounds from the paper, plus the exact durations of
+//! our (substituted) procedures.  All arithmetic saturates in `u128`: the
+//! bounds are astronomically large for moderate parameters — that is the
+//! point of Section 4.
+
+use anonrv_sim::Round;
+
+use crate::pairing;
+
+/// Saturating power `(base)^(exp)` in `u128`.
+pub fn sat_pow(base: u128, exp: u32) -> u128 {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base);
+    }
+    acc
+}
+
+/// The paper's bound on the number of walks of length `d` in an `n`-node
+/// graph: `(n − 1)^d`.
+pub fn walk_count_bound(n: usize, d: usize) -> u128 {
+    sat_pow(n.saturating_sub(1) as u128, d as u32)
+}
+
+/// Duration of one iteration of the `for` loop of Procedure `Explore(u,d,δ)`:
+/// `d + δ` rounds (out, back, wait `δ − d`).
+pub fn explore_iteration_rounds(d: usize, delta: Round) -> Round {
+    (d as Round).saturating_add(delta)
+}
+
+/// Worst-case duration of one call to Procedure `Explore(u,d,δ)`:
+/// `(d + δ) · (n − 1)^d` rounds.  With padding enabled (see
+/// [`crate::explore`]) this is also the *exact* duration.
+pub fn explore_rounds(n: usize, d: usize, delta: Round) -> Round {
+    explore_iteration_rounds(d, delta).saturating_mul(walk_count_bound(n, d))
+}
+
+/// Lemma 3.3: the maximum execution time of `SymmRV(n, d, δ)`,
+/// `T(n, d, δ) = (d + δ)(n − 1)^d (M + 2) + 2(M + 1)`, where `M` is the
+/// length of the UXS `Y(n)`.
+pub fn symm_rv_bound(n: usize, d: usize, delta: Round, uxs_len: usize) -> Round {
+    let m = uxs_len as Round;
+    explore_rounds(n, d, delta)
+        .saturating_mul(m.saturating_add(2))
+        .saturating_add(2 * (m + 1))
+}
+
+/// Duration of one exploration block of the `AsymmRV` substitute: the UXS
+/// application followed by its backtrack, `2(M + 1)` moves.
+pub fn asymm_block_rounds(uxs_len: usize) -> Round {
+    2 * (uxs_len as Round + 1)
+}
+
+/// Duration of one sub-slot of the `AsymmRV` substitute's schedule:
+/// `B + 2·δ̂` rounds where `B` is the block length.
+pub fn asymm_subslot_rounds(uxs_len: usize, delay_budget: Round) -> Round {
+    asymm_block_rounds(uxs_len).saturating_add(delay_budget.saturating_mul(2))
+}
+
+/// Total duration of the `AsymmRV(n, δ̂)` substitute when no rendezvous
+/// interrupts it: label computation plus `2 · label_len` sub-slots.  This is
+/// the quantity playing the role of the paper's `P(n)` (Proposition 3.1); see
+/// DESIGN.md §4.2 for the deviation (our bound additionally depends on the
+/// delay budget).
+pub fn asymm_rv_duration(
+    label_rounds: Round,
+    label_len: usize,
+    uxs_len: usize,
+    delay_budget: Round,
+) -> Round {
+    label_rounds.saturating_add(
+        (2 * label_len as Round).saturating_mul(asymm_subslot_rounds(uxs_len, delay_budget)),
+    )
+}
+
+/// Duration of one full phase of `UniversalRV` with parameters `(n, d, δ)`:
+/// `2 · (P + δ)` rounds for the `AsymmRV` part (its execution plus the
+/// equalising wait) plus, when `δ ≥ d`, the `T(n, d, δ)` rounds of the
+/// `SymmRV` part.  Phases with `d ≥ n` are skipped and cost nothing.
+pub fn phase_rounds(
+    n: usize,
+    d: usize,
+    delta: Round,
+    uxs_len: usize,
+    label_rounds: Round,
+    label_len: usize,
+) -> Round {
+    if d >= n {
+        return 0;
+    }
+    let p = asymm_rv_duration(label_rounds, label_len, uxs_len, delta);
+    let asymm_part = 2u128.saturating_mul(p.saturating_add(delta));
+    let symm_part =
+        if delta >= d as Round { symm_rv_bound(n, d, delta, uxs_len) } else { 0 };
+    asymm_part.saturating_add(symm_part)
+}
+
+/// Upper bound on the total number of rounds `UniversalRV` needs before (and
+/// including) the phase with parameters `(n, d, δ)` — the sum of all phase
+/// durations up to `g(n, d, δ)`.  Useful for choosing simulation horizons.
+///
+/// `uxs_len_of(n')` must return the UXS length the algorithm will use for the
+/// assumed size `n'`, and `label_rounds_of(n')` the label-computation time of
+/// the `AsymmRV` substitute.
+pub fn universal_rv_completion_bound(
+    n: usize,
+    d: usize,
+    delta: Round,
+    label_len: usize,
+    mut uxs_len_of: impl FnMut(usize) -> usize,
+    mut label_rounds_of: impl FnMut(usize) -> Round,
+) -> Round {
+    let final_phase = pairing::phase_of(n, d, delta.min(u64::MAX as Round) as u64);
+    let mut total: Round = 0;
+    for p in 1..=final_phase {
+        let (n_p, d_p, delta_p) = pairing::params_of_phase(p);
+        let uxs_len = uxs_len_of(n_p);
+        let label_rounds = label_rounds_of(n_p);
+        total = total.saturating_add(phase_rounds(
+            n_p,
+            d_p,
+            delta_p as Round,
+            uxs_len,
+            label_rounds,
+            label_len,
+        ));
+    }
+    total
+}
+
+/// The paper's Proposition 4.1 reference shape `O(n + δ)^O(n + δ)`, evaluated
+/// as `(n + δ)^(n + δ)` (saturating).  Only used to compare measured growth
+/// against the claimed asymptotic envelope.
+pub fn proposition41_envelope(n: usize, delta: Round) -> Round {
+    let base = (n as u128).saturating_add(delta);
+    let exp = base.min(u32::MAX as u128) as u32;
+    sat_pow(base, exp)
+}
+
+/// The paper's estimate of the number of phases executed before rendezvous:
+/// `g(n, d, δ) = O(n⁴ + δ²)`.
+pub fn phase_count(n: usize, d: usize, delta: u64) -> u64 {
+    pairing::phase_of(n, d, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_pow_basics_and_saturation() {
+        assert_eq!(sat_pow(3, 4), 81);
+        assert_eq!(sat_pow(10, 0), 1);
+        assert_eq!(sat_pow(0, 5), 0);
+        assert_eq!(sat_pow(u128::MAX, 3), u128::MAX);
+        assert_eq!(sat_pow(2, 127), 1u128 << 127);
+    }
+
+    #[test]
+    fn walk_count_bound_matches_the_paper() {
+        assert_eq!(walk_count_bound(5, 3), 64);
+        assert_eq!(walk_count_bound(1, 3), 0);
+        // the n = 20, d = 19 case that motivates u128 rounds
+        assert!(walk_count_bound(20, 19) > u64::MAX as u128);
+    }
+
+    #[test]
+    fn symm_rv_bound_formula() {
+        // hand-computed: n=4, d=1, δ=2, M=10: (1+2)*3^1*(12) + 2*11 = 108 + 22
+        assert_eq!(symm_rv_bound(4, 1, 2, 10), 130);
+        // monotone in every argument
+        assert!(symm_rv_bound(5, 2, 2, 10) > symm_rv_bound(4, 2, 2, 10));
+        assert!(symm_rv_bound(4, 2, 3, 10) > symm_rv_bound(4, 2, 2, 10));
+        assert!(symm_rv_bound(4, 2, 2, 11) > symm_rv_bound(4, 2, 2, 10));
+    }
+
+    #[test]
+    fn asymm_durations_compose() {
+        let uxs_len = 10;
+        assert_eq!(asymm_block_rounds(uxs_len), 22);
+        assert_eq!(asymm_subslot_rounds(uxs_len, 3), 28);
+        // label: 50 rounds, 4 bits: 50 + 8 * 28
+        assert_eq!(asymm_rv_duration(50, 4, uxs_len, 3), 50 + 8 * 28);
+    }
+
+    #[test]
+    fn phase_rounds_skips_impossible_parameters() {
+        assert_eq!(phase_rounds(3, 3, 1, 10, 50, 4), 0);
+        assert_eq!(phase_rounds(3, 5, 1, 10, 50, 4), 0);
+        // with d <= δ both parts run
+        let with_symm = phase_rounds(4, 1, 2, 10, 50, 4);
+        let without_symm = phase_rounds(4, 3, 2, 10, 50, 4);
+        assert!(with_symm > without_symm);
+        assert_eq!(
+            with_symm,
+            2 * (asymm_rv_duration(50, 4, 10, 2) + 2) + symm_rv_bound(4, 1, 2, 10)
+        );
+    }
+
+    #[test]
+    fn completion_bound_is_monotone_in_the_target_phase() {
+        let bound_small = universal_rv_completion_bound(3, 1, 1, 4, |_| 10, |_| 50);
+        let bound_large = universal_rv_completion_bound(4, 1, 2, 4, |_| 10, |_| 50);
+        assert!(bound_small > 0);
+        assert!(bound_large > bound_small);
+    }
+
+    #[test]
+    fn envelope_grows_super_exponentially() {
+        assert_eq!(proposition41_envelope(2, 1), 27);
+        assert!(proposition41_envelope(4, 2) > proposition41_envelope(3, 2));
+        assert_eq!(proposition41_envelope(100, 1000), u128::MAX); // saturates
+    }
+}

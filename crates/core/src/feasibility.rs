@@ -1,0 +1,207 @@
+//! The feasibility characterisation of Corollary 3.1.
+//!
+//! A STIC `[(u, v), δ]` is feasible (some deterministic algorithm, even one
+//! dedicated to this STIC, achieves rendezvous) **iff**
+//!
+//! * `u` and `v` are nonsymmetric (then every delay works), or
+//! * `u` and `v` are symmetric and `δ ≥ Shrink(u, v)`.
+//!
+//! The forward direction is Theorem 3.1 (our `UniversalRV` is a witness); the
+//! reverse direction is Lemma 3.1, whose argument is also made executable
+//! here ([`symmetric_trajectories_never_meet`]).
+
+use anonrv_graph::shrink::shrink;
+use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_graph::{NodeId, PortGraph};
+use anonrv_sim::Round;
+
+/// Classification of a STIC according to Corollary 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SticClass {
+    /// The initial positions are nonsymmetric: feasible for every delay.
+    Nonsymmetric,
+    /// Symmetric positions with `δ ≥ Shrink(u, v)`: feasible.
+    SymmetricFeasible {
+        /// The value `Shrink(u, v)`.
+        shrink: usize,
+    },
+    /// Symmetric positions with `δ < Shrink(u, v)`: infeasible (Lemma 3.1).
+    SymmetricInfeasible {
+        /// The value `Shrink(u, v)`.
+        shrink: usize,
+    },
+    /// Degenerate case `u == v` (the "agents" are already together).
+    SameNode,
+}
+
+impl SticClass {
+    /// `true` iff the STIC is feasible.
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, SticClass::SymmetricInfeasible { .. })
+    }
+}
+
+/// Classify the STIC `[(u, v), δ]` in `g`.
+pub fn classify(g: &PortGraph, u: NodeId, v: NodeId, delta: Round) -> SticClass {
+    if u == v {
+        return SticClass::SameNode;
+    }
+    let partition = OrbitPartition::compute(g);
+    if !partition.are_symmetric(u, v) {
+        return SticClass::Nonsymmetric;
+    }
+    let s = shrink(g, u, v).expect("unbounded shrink search always completes");
+    if delta >= s as Round {
+        SticClass::SymmetricFeasible { shrink: s }
+    } else {
+        SticClass::SymmetricInfeasible { shrink: s }
+    }
+}
+
+/// Corollary 3.1 as a predicate.
+pub fn is_feasible(g: &PortGraph, u: NodeId, v: NodeId, delta: Round) -> bool {
+    classify(g, u, v, delta).is_feasible()
+}
+
+/// The executable content of Lemma 3.1's proof: for symmetric starting nodes,
+/// any common deterministic algorithm makes the two agents follow the same
+/// port sequence, so after the earlier agent has performed `k` moves and the
+/// later agent `max(k − δ, 0)` moves, the distance between them is at least
+/// `Shrink(u, v) − (moves the earlier agent can still make in the remaining
+/// δ rounds)`.  Concretely this helper verifies, for a given common port
+/// sequence prefix, that the two trajectories never coincide when
+/// `δ < Shrink(u, v)` — the paper's contradiction.
+///
+/// Returns `true` (i.e. "no meeting possible along this prefix") for every
+/// applicable prefix; experiments call it with the port sequences actually
+/// produced by our algorithms as an additional consistency check.
+pub fn symmetric_trajectories_never_meet(
+    g: &PortGraph,
+    u: NodeId,
+    v: NodeId,
+    delta: usize,
+    common_ports: &[usize],
+) -> bool {
+    // positions of the two agents after each number of moves
+    let mut pos_u = Vec::with_capacity(common_ports.len() + 1);
+    let mut pos_v = Vec::with_capacity(common_ports.len() + 1);
+    pos_u.push(u);
+    pos_v.push(v);
+    let (mut cu, mut cv) = (u, v);
+    for &p in common_ports {
+        if p >= g.degree(cu) || p >= g.degree(cv) {
+            break;
+        }
+        cu = g.succ(cu, p).0;
+        cv = g.succ(cv, p).0;
+        pos_u.push(cu);
+        pos_v.push(cv);
+    }
+    // The later agent performs move i in the same round as the earlier agent
+    // performs move i + δ (in a synchronous schedule where every round is a
+    // move).  Meeting would require pos_u[i + δ] == pos_v[i] for some i.
+    for i in 0..pos_v.len() {
+        if let Some(&earlier_pos) = pos_u.get(i + delta) {
+            if earlier_pos == pos_v[i] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Enumerate all STIC classes of a graph for a fixed delay: one entry per
+/// unordered pair of distinct nodes.  Convenience for the experiments.
+pub fn classify_all_pairs(g: &PortGraph, delta: Round) -> Vec<((NodeId, NodeId), SticClass)> {
+    let partition = OrbitPartition::compute(g);
+    let mut out = Vec::new();
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u < v {
+                let class = if !partition.are_symmetric(u, v) {
+                    SticClass::Nonsymmetric
+                } else {
+                    let s = shrink(g, u, v).expect("search completes");
+                    if delta >= s as Round {
+                        SticClass::SymmetricFeasible { shrink: s }
+                    } else {
+                        SticClass::SymmetricInfeasible { shrink: s }
+                    }
+                };
+                out.push(((u, v), class));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::{
+        lollipop, oriented_ring, oriented_torus, symmetric_double_tree,
+    };
+
+    #[test]
+    fn nonsymmetric_positions_are_always_feasible() {
+        let g = lollipop(3, 2).unwrap();
+        for delta in [0u128, 1, 5] {
+            assert_eq!(classify(&g, 0, 4, delta), SticClass::Nonsymmetric);
+            assert!(is_feasible(&g, 0, 4, delta));
+        }
+    }
+
+    #[test]
+    fn symmetric_positions_split_on_the_shrink_threshold() {
+        let g = oriented_torus(4, 4).unwrap();
+        // distance (= Shrink) between node 0 and node 5 is 2
+        assert_eq!(classify(&g, 0, 5, 1), SticClass::SymmetricInfeasible { shrink: 2 });
+        assert_eq!(classify(&g, 0, 5, 2), SticClass::SymmetricFeasible { shrink: 2 });
+        assert!(!is_feasible(&g, 0, 5, 1));
+        assert!(is_feasible(&g, 0, 5, 2));
+    }
+
+    #[test]
+    fn double_tree_pairs_are_feasible_from_delay_one() {
+        let (g, mirror) = symmetric_double_tree(2, 3).unwrap();
+        let deep = (0..g.num_nodes() / 2).find(|&v| g.degree(v) == 1).unwrap();
+        assert_eq!(classify(&g, deep, mirror[deep], 0), SticClass::SymmetricInfeasible { shrink: 1 });
+        assert_eq!(classify(&g, deep, mirror[deep], 1), SticClass::SymmetricFeasible { shrink: 1 });
+    }
+
+    #[test]
+    fn same_node_is_its_own_class() {
+        let g = oriented_ring(5).unwrap();
+        assert_eq!(classify(&g, 2, 2, 0), SticClass::SameNode);
+        assert!(classify(&g, 2, 2, 0).is_feasible());
+    }
+
+    #[test]
+    fn lemma_3_1_trajectory_argument_holds_on_symmetric_pairs() {
+        let g = oriented_ring(8).unwrap();
+        // Shrink(0, 4) = 4; any delay < 4 cannot meet along any common sequence
+        for delta in 0..4usize {
+            for ports in [vec![0, 0, 0, 0, 0, 0], vec![0, 1, 0, 1, 0], vec![1, 1, 1, 1, 1, 1, 1]] {
+                assert!(
+                    symmetric_trajectories_never_meet(&g, 0, 4, delta, &ports),
+                    "delta {delta}, ports {ports:?}"
+                );
+            }
+        }
+        // with delay = 4 the naive "always clockwise" sequence does meet
+        assert!(!symmetric_trajectories_never_meet(&g, 0, 4, 4, &[0; 12]));
+    }
+
+    #[test]
+    fn classify_all_pairs_covers_every_pair_once() {
+        let g = oriented_ring(6).unwrap();
+        let all = classify_all_pairs(&g, 2);
+        assert_eq!(all.len(), 6 * 5 / 2);
+        // on the oriented ring, Shrink = distance, so feasibility at delay 2
+        // is exactly "distance <= 2"
+        for ((u, v), class) in all {
+            let dist = anonrv_graph::distance::distance(&g, u, v);
+            assert_eq!(class.is_feasible(), dist <= 2, "pair ({u},{v})");
+        }
+    }
+}

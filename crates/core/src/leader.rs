@@ -1,0 +1,286 @@
+//! The rendezvous ⇔ leader-election equivalence from the paper's
+//! introduction.
+//!
+//! * **Leader election ⇒ rendezvous** ("waiting for Mommy"): once the roles
+//!   are assigned, the non-leader waits at its initial node while the leader
+//!   explores the graph (here: applies the UXS), so the leader eventually
+//!   stands on the non-leader's node.  [`WaitingForMommy`] is that pair of
+//!   programs; it is executed with [`anonrv_sim::simulate_with`] because the
+//!   two agents run *different* code — exactly the point of the reduction.
+//!
+//! * **Rendezvous ⇒ leader election**: after meeting, the agents compare
+//!   their trajectories coded as sequences of encountered (entry) port
+//!   numbers.  Since they started at different nodes and met, there is a
+//!   round in which they entered their current node by different ports;
+//!   considering the *last* such round before (or at) the meeting, the agent
+//!   that entered by the larger port becomes the leader.  [`elect_leader`]
+//!   implements that tie-break.
+
+use anonrv_graph::{NodeId, Port, PortGraph};
+use anonrv_sim::{AgentProgram, Navigator, Round, Stop};
+use anonrv_uxs::UxsProvider;
+
+/// Role assigned to an agent before running the "waiting for Mommy"
+/// reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The leader explores the graph until it finds the follower.
+    Leader,
+    /// The follower ("Mommy") waits at its initial node forever.
+    Follower,
+}
+
+/// The "waiting for Mommy" reduction of leader election to rendezvous:
+/// a per-role agent program.
+pub struct WaitingForMommy<'a> {
+    /// This agent's role.
+    pub role: Role,
+    /// Upper bound on the size of the graph (the leader needs it to pick the
+    /// UXS; the follower ignores it).
+    pub n: usize,
+    /// Source of the exploration sequence used by the leader.
+    pub uxs: &'a dyn UxsProvider,
+}
+
+impl<'a> WaitingForMommy<'a> {
+    /// Program for an agent with the given role in a graph of size at most
+    /// `n`.
+    pub fn new(role: Role, n: usize, uxs: &'a dyn UxsProvider) -> Self {
+        WaitingForMommy { role, n, uxs }
+    }
+
+    /// Number of rounds after which the leader is guaranteed to have visited
+    /// every node of a covered graph (one UXS application).
+    pub fn exploration_bound(&self) -> Round {
+        self.uxs.length(self.n) as Round + 1
+    }
+}
+
+impl AgentProgram for WaitingForMommy<'_> {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        match self.role {
+            Role::Follower => {
+                // wait forever (the engine interrupts on rendezvous / horizon)
+                loop {
+                    nav.wait(Round::MAX)?;
+                }
+            }
+            Role::Leader => {
+                // apply the UXS Y(n) from the current node, repeatedly: each
+                // application visits every node of a covered graph, so the
+                // waiting follower is found during the first pass.
+                loop {
+                    let y = self.uxs.sequence(self.n);
+                    let mut entry = nav.move_via(0)?;
+                    for &a in y.terms() {
+                        let p = (entry + a) % nav.degree();
+                        entry = nav.move_via(p)?;
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self.role {
+            Role::Leader => "waiting-for-mommy/leader",
+            Role::Follower => "waiting-for-mommy/follower",
+        }
+    }
+}
+
+/// Outcome of the post-rendezvous leader election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaderElection {
+    /// The first agent (whose trajectory was passed first) is the leader.
+    AgentA,
+    /// The second agent is the leader.
+    AgentB,
+    /// The recorded trajectories are identical, so no leader can be elected
+    /// from them.  This cannot happen for agents that started at *different*
+    /// nodes and met (the paper's argument); it is reported rather than
+    /// panicking so that callers can treat degenerate inputs gracefully.
+    Undecided,
+}
+
+/// Elect a leader from the two agents' trajectories, each coded as the
+/// sequence of ports by which the agent entered the node it occupied at each
+/// round (`None` when the agent did not move into the node that round — it
+/// waited, or it is the starting round).
+///
+/// The two slices are aligned **at their ends**: the last entries correspond
+/// to the meeting round.  Scanning backwards from the meeting, the first
+/// round in which the entry ports differ decides the election; the agent with
+/// the larger entry port wins (`Some(p) > None` — entering beats waiting).
+pub fn elect_leader(entries_a: &[Option<Port>], entries_b: &[Option<Port>]) -> LeaderElection {
+    let len = entries_a.len().max(entries_b.len());
+    for back in 0..len {
+        let a = entries_a
+            .len()
+            .checked_sub(back + 1)
+            .map(|i| entries_a[i])
+            .unwrap_or(None);
+        let b = entries_b
+            .len()
+            .checked_sub(back + 1)
+            .map(|i| entries_b[i])
+            .unwrap_or(None);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Greater => return LeaderElection::AgentA,
+            std::cmp::Ordering::Less => return LeaderElection::AgentB,
+            std::cmp::Ordering::Equal => continue,
+        }
+    }
+    LeaderElection::Undecided
+}
+
+/// Convenience: turn a per-round sequence of *outgoing* actions
+/// (`Some(port)` = move via that port, `None` = wait) into the corresponding
+/// per-round sequence of *entry* ports observed when following those actions
+/// from `start` in `g` — the coding [`elect_leader`] consumes.
+pub fn entry_ports_of_actions(
+    g: &PortGraph,
+    start: NodeId,
+    actions: &[Option<Port>],
+) -> Vec<Option<Port>> {
+    let mut node = start;
+    let mut out = Vec::with_capacity(actions.len());
+    for &action in actions {
+        match action {
+            None => out.push(None),
+            Some(p) => {
+                let (next, entry) = g.succ(node, p);
+                node = next;
+                out.push(Some(entry));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::{lollipop, oriented_ring, oriented_torus, two_node_graph};
+    use anonrv_sim::{simulate_with, EngineConfig, Stic};
+    use anonrv_uxs::PseudorandomUxs;
+
+    fn mommy_meets(
+        g: &PortGraph,
+        leader_start: NodeId,
+        follower_start: NodeId,
+        delay: Round,
+        leader_is_earlier: bool,
+    ) -> Option<Round> {
+        let uxs = PseudorandomUxs::default();
+        let n = g.num_nodes();
+        let leader = WaitingForMommy::new(Role::Leader, n, &uxs);
+        let follower = WaitingForMommy::new(Role::Follower, n, &uxs);
+        let horizon = delay + leader.exploration_bound() * 2 + 2;
+        let outcome = if leader_is_earlier {
+            let stic = Stic::new(leader_start, follower_start, delay);
+            simulate_with(g, &leader, &follower, &stic, EngineConfig::with_horizon(horizon))
+        } else {
+            let stic = Stic::new(follower_start, leader_start, delay);
+            simulate_with(g, &follower, &leader, &stic, EngineConfig::with_horizon(horizon))
+        };
+        outcome.rendezvous_time()
+    }
+
+    #[test]
+    fn leader_finds_the_waiting_follower_on_small_graphs() {
+        for (g, u, v) in [
+            (two_node_graph(), 0usize, 1usize),
+            (oriented_ring(7).unwrap(), 0, 3),
+            (oriented_torus(3, 3).unwrap(), 0, 4),
+            (lollipop(4, 2).unwrap(), 0, 5),
+        ] {
+            for delay in [0 as Round, 1, 4] {
+                assert!(
+                    mommy_meets(&g, u, v, delay, true).is_some(),
+                    "leader-first failed (delay {delay})"
+                );
+                assert!(
+                    mommy_meets(&g, u, v, delay, false).is_some(),
+                    "follower-first failed (delay {delay})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_positions_are_no_obstacle_once_roles_exist() {
+        // The whole point of the reduction: with roles assigned, even
+        // perfectly symmetric positions (infeasible for identical agents with
+        // delay 0) are easy.
+        let g = oriented_ring(8).unwrap();
+        assert!(mommy_meets(&g, 0, 4, 0, true).is_some());
+    }
+
+    #[test]
+    fn election_picks_the_larger_entry_port_at_the_last_difference() {
+        // same length, last difference at the final round
+        let a = [Some(1), Some(0), Some(2)];
+        let b = [Some(1), Some(0), Some(1)];
+        assert_eq!(elect_leader(&a, &b), LeaderElection::AgentA);
+        assert_eq!(elect_leader(&b, &a), LeaderElection::AgentB);
+
+        // difference earlier, identical tail
+        let a = [Some(3), Some(1), Some(1)];
+        let b = [Some(0), Some(1), Some(1)];
+        assert_eq!(elect_leader(&a, &b), LeaderElection::AgentA);
+
+        // waiting loses against entering
+        let a = [None, Some(0)];
+        let b = [Some(0), Some(0)];
+        assert_eq!(elect_leader(&a, &b), LeaderElection::AgentB);
+    }
+
+    #[test]
+    fn election_handles_trajectories_of_different_lengths() {
+        // the shorter trajectory is padded with "did not move" at the front
+        let a = [Some(0), Some(1)];
+        let b = [Some(2), Some(0), Some(1)];
+        assert_eq!(elect_leader(&a, &b), LeaderElection::AgentB);
+        assert_eq!(elect_leader(&b, &a), LeaderElection::AgentA);
+    }
+
+    #[test]
+    fn identical_trajectories_are_undecided() {
+        let a = [Some(0), None, Some(1)];
+        assert_eq!(elect_leader(&a, &a), LeaderElection::Undecided);
+        assert_eq!(elect_leader(&[], &[]), LeaderElection::Undecided);
+    }
+
+    #[test]
+    fn entry_ports_follow_the_graph() {
+        let g = oriented_ring(5).unwrap();
+        // moving clockwise (port 0) always enters by port 1 on this ring
+        let actions = [Some(0), Some(0), None, Some(1)];
+        let entries = entry_ports_of_actions(&g, 0, &actions);
+        assert_eq!(entries, vec![Some(1), Some(1), None, Some(0)]);
+    }
+
+    #[test]
+    fn the_paper_argument_elects_exactly_one_leader_after_a_meeting() {
+        // Two agents on a lollipop meet via "waiting for Mommy"; reconstruct
+        // their entry-port trajectories and check the election is decisive
+        // and antisymmetric.
+        let g = lollipop(3, 2).unwrap();
+        // leader walks ports 0,0 from node 4 (tail end) towards the clique;
+        // follower waits at node 0
+        let leader_actions = [Some(0), Some(0)];
+        let follower_actions = [None, None];
+        let a = entry_ports_of_actions(&g, 4, &leader_actions);
+        let b = entry_ports_of_actions(&g, 0, &follower_actions);
+        let election = elect_leader(&a, &b);
+        assert_ne!(election, LeaderElection::Undecided);
+        let reversed = elect_leader(&b, &a);
+        let expected = match election {
+            LeaderElection::AgentA => LeaderElection::AgentB,
+            LeaderElection::AgentB => LeaderElection::AgentA,
+            LeaderElection::Undecided => LeaderElection::Undecided,
+        };
+        assert_eq!(reversed, expected);
+    }
+}

@@ -1,0 +1,91 @@
+//! # anonrv-core
+//!
+//! The primary contribution of *Using Time to Break Symmetry: Universal
+//! Deterministic Anonymous Rendezvous* (Pelc & Yadav, SPAA 2019), implemented
+//! on top of the [`anonrv_graph`] / [`anonrv_uxs`] / [`anonrv_sim`]
+//! substrates.
+//!
+//! Two identical anonymous agents are dropped on two nodes of an anonymous
+//! port-labelled graph and must meet at a node while navigating in
+//! synchronous rounds, possibly starting with an adversarial delay `δ`.
+//! A *space-time initial configuration* (STIC) is `[(u, v), δ]`.  The paper's
+//! results, and the modules implementing them:
+//!
+//! | Paper reference | Statement | Module |
+//! |---|---|---|
+//! | Definition 3.1 | `Shrink(u, v)` | [`anonrv_graph::shrink`] (substrate) |
+//! | Lemma 3.1 | symmetric `u, v` with `δ < Shrink(u, v)` ⇒ infeasible | [`feasibility`] |
+//! | Algorithm 1/2, Lemma 3.2/3.3 | `SymmRV(n, d, δ)` meets symmetric STICs with `δ ≥ d = Shrink` in ≤ `T(n, d, δ)` rounds | [`symm_rv`], [`explore`], [`bounds`] |
+//! | Proposition 3.1 | `AsymmRV(n)` meets nonsymmetric STICs in poly(`n`) rounds | [`asymm_rv`], [`label`] (substituted, see DESIGN.md §4.2) |
+//! | Algorithm 3, Theorem 3.1 | `UniversalRV` meets **every** feasible STIC with no a-priori knowledge | [`universal_rv`], [`pairing`] |
+//! | Corollary 3.1 | feasibility ⇔ nonsymmetric ∨ (symmetric ∧ `δ ≥ Shrink`) | [`feasibility`] |
+//! | Theorem 4.1 | on `Q̂_h` some STICs at distance `D = 2k` need ≥ `2^(k−1)` rounds | [`lower_bound`] |
+//! | Proposition 4.1 | `UniversalRV` runs in `O(n + δ)^O(n + δ)` rounds | [`bounds`] |
+//! | Introduction | rendezvous ⇔ leader election | [`leader`] |
+//! | Section 4 (discussion) | deleting `SymmRV` gives a poly-time universal algorithm for nonsymmetric STICs | [`asymm_only`] |
+//! | Conclusion | the randomized baseline: two random walks meet in poly time | [`random_baseline`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anonrv_core::prelude::*;
+//! use anonrv_graph::generators::oriented_ring;
+//! use anonrv_sim::{simulate, Stic};
+//!
+//! // A 6-node oriented ring: every pair of nodes is symmetric and
+//! // Shrink(u, v) equals the distance between u and v.
+//! let g = oriented_ring(6).unwrap();
+//! let stic = Stic::new(0, 2, 2); // delay 2 == Shrink(0, 2): feasible
+//! assert!(is_feasible(&g, 0, 2, 2));
+//!
+//! // Run the universal algorithm with zero a-priori knowledge.
+//! let uxs = PseudorandomUxs::with_rule(LengthRule::Quadratic { c: 1, min_len: 16 });
+//! let scheme = TrailSignature::new(uxs);
+//! let algo = UniversalRv::new(&uxs, &scheme);
+//! let horizon = algo.completion_horizon(6, 2, 2);
+//! let outcome = simulate(&g, &algo, &stic, horizon);
+//! assert!(outcome.met());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asymm_only;
+pub mod asymm_rv;
+pub mod bounds;
+pub mod explore;
+pub mod feasibility;
+pub mod label;
+pub mod leader;
+pub mod lower_bound;
+pub mod pairing;
+pub mod random_baseline;
+pub mod symm_rv;
+pub mod universal_rv;
+
+pub use asymm_only::AsymmOnlyUniversalRv;
+pub use asymm_rv::{AsymmRv, AsymmRvUnknownDelay};
+pub use random_baseline::{estimate_random_rendezvous, RandomBaselineEstimate, RandomWalkRv};
+pub use explore::explore;
+pub use feasibility::{classify, classify_all_pairs, is_feasible, SticClass};
+pub use label::{ExactViewLabel, LabelScheme, TrailSignature, LABEL_BITS};
+pub use leader::{elect_leader, LeaderElection, Role, WaitingForMommy};
+pub use lower_bound::{
+    check_schedule_explicit, check_schedule_symbolic, LowerBoundReport, ObliviousSchedule,
+    ObliviousStep, TreePosition,
+};
+pub use symm_rv::SymmRv;
+pub use universal_rv::UniversalRv;
+
+/// Everything most users need, in one import.
+pub mod prelude {
+    pub use crate::asymm_rv::{AsymmRv, AsymmRvUnknownDelay};
+    pub use crate::bounds::{symm_rv_bound, walk_count_bound};
+    pub use crate::feasibility::{classify, is_feasible, SticClass};
+    pub use crate::label::{ExactViewLabel, LabelScheme, TrailSignature};
+    pub use crate::leader::{elect_leader, Role, WaitingForMommy};
+    pub use crate::lower_bound::{check_schedule_symbolic, ObliviousSchedule};
+    pub use crate::symm_rv::SymmRv;
+    pub use crate::universal_rv::UniversalRv;
+    pub use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
+}

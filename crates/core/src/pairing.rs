@@ -1,0 +1,138 @@
+//! The pairing bijections used by `UniversalRV` to enumerate parameter
+//! triples.
+//!
+//! Section 3.2 of the paper: `f : N⁺ × N⁺ → N⁺`,
+//! `f(x, y) = x + (x + y − 1)(x + y − 2)/2` (the Cantor diagonal pairing on
+//! positive integers) and `g(x, y, z) = f(f(x, y), z)`, both bijections.
+//! `UniversalRV` runs phase `P = 1, 2, ...` with parameters
+//! `(n, d, δ) = g⁻¹(P)`.
+//!
+//! Note that the components range over *positive* integers; in particular the
+//! delay guess of a phase is always `δ′ ≥ 1`.  This is harmless: a feasible
+//! STIC with actual delay `0` necessarily has nonsymmetric initial positions
+//! (Corollary 3.1), and the `AsymmRV` part of a phase works for every actual
+//! delay not exceeding its budget.
+
+/// Cantor pairing on positive integers: `f(x, y) = x + (x+y−1)(x+y−2)/2`.
+pub fn f(x: u64, y: u64) -> u64 {
+    debug_assert!(x >= 1 && y >= 1, "f is defined on positive integers");
+    let s = x + y;
+    x + (s - 1) * (s - 2) / 2
+}
+
+/// Inverse of [`f`]: the unique `(x, y)` with `f(x, y) == z` (for `z ≥ 1`).
+pub fn f_inv(z: u64) -> (u64, u64) {
+    debug_assert!(z >= 1);
+    // find the largest s >= 2 with (s-1)(s-2)/2 < z, i.e. the diagonal containing z
+    let mut s = 2u64;
+    // grow geometrically then binary search to keep this O(log z)
+    while (s - 1) * (s - 2) / 2 < z {
+        s *= 2;
+    }
+    let (mut lo, mut hi) = (2u64, s);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if (mid - 1) * (mid - 2) / 2 < z {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let s = lo;
+    let x = z - (s - 1) * (s - 2) / 2;
+    let y = s - x;
+    (x, y)
+}
+
+/// The triple pairing `g(x, y, z) = f(f(x, y), z)`.
+pub fn g(x: u64, y: u64, z: u64) -> u64 {
+    f(f(x, y), z)
+}
+
+/// Inverse of [`g`].
+pub fn g_inv(p: u64) -> (u64, u64, u64) {
+    let (w, z) = f_inv(p);
+    let (x, y) = f_inv(w);
+    (x, y, z)
+}
+
+/// The phase of `UniversalRV` in which the parameter triple `(n, d, δ)` is
+/// tried (phases are 1-based).
+pub fn phase_of(n: usize, d: usize, delta: u64) -> u64 {
+    g(n as u64, d as u64, delta)
+}
+
+/// The parameter triple `(n, d, δ)` of a phase.
+pub fn params_of_phase(phase: u64) -> (usize, usize, u64) {
+    let (n, d, delta) = g_inv(phase);
+    (n as usize, d as usize, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_matches_the_paper_formula_on_small_values() {
+        assert_eq!(f(1, 1), 1);
+        assert_eq!(f(1, 2), 2);
+        assert_eq!(f(2, 1), 3);
+        assert_eq!(f(1, 3), 4);
+        assert_eq!(f(2, 2), 5);
+        assert_eq!(f(3, 1), 6);
+    }
+
+    #[test]
+    fn f_is_a_bijection_on_an_initial_segment() {
+        // every value 1..=5050 is hit exactly once by pairs with x + y <= 101
+        let mut seen = vec![false; 5051];
+        for x in 1..=100u64 {
+            for y in 1..=(101 - x) {
+                let z = f(x, y);
+                assert!(z >= 1 && z <= 5050, "f({x},{y}) = {z}");
+                assert!(!seen[z as usize], "collision at {z}");
+                seen[z as usize] = true;
+            }
+        }
+        assert!(seen[1..].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn f_inv_round_trips() {
+        for z in 1..=10_000u64 {
+            let (x, y) = f_inv(z);
+            assert!(x >= 1 && y >= 1);
+            assert_eq!(f(x, y), z, "z = {z} gave ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn g_inv_round_trips() {
+        for p in 1..=5_000u64 {
+            let (x, y, z) = g_inv(p);
+            assert_eq!(g(x, y, z), p);
+        }
+        for x in 1..=12u64 {
+            for y in 1..=12 {
+                for z in 1..=12 {
+                    assert_eq!(g_inv(g(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_helpers_are_inverse_of_each_other() {
+        let p = phase_of(5, 2, 3);
+        assert_eq!(params_of_phase(p), (5, 2, 3));
+        // the paper's growth estimate: g(n, d, δ) = O(n⁴ + d⁴ + δ²)
+        assert!(phase_of(10, 9, 10) < 100_000);
+    }
+
+    #[test]
+    fn f_inv_handles_large_inputs() {
+        let z = 10_000_000_000u64;
+        let (x, y) = f_inv(z);
+        assert_eq!(f(x, y), z);
+    }
+}

@@ -1,0 +1,172 @@
+//! The randomized baseline the paper's conclusion points to: "the synchronous
+//! randomized counterpart of our problem is straightforward, and follows from
+//! the fact that two random walks meet with high probability in time
+//! polynomial in the size of the graph" (citing Mitzenmacher–Upfal).
+//!
+//! Randomization breaks symmetry without any delay: two independent random
+//! walks are almost surely not mirror images of each other, so they meet even
+//! from symmetric positions with delay `0` — the exact configuration that is
+//! *infeasible* for deterministic anonymous agents (Lemma 3.1).  The
+//! experiment EXP-RAND measures this contrast and the polynomial growth of
+//! the expected meeting time.
+//!
+//! Modelling note: the agents are still anonymous and identical as programs,
+//! but each has access to its own source of random bits.  In the simulator
+//! that is expressed by instantiating the program twice with different seeds
+//! and running them through [`anonrv_sim::simulate_with`]; a deterministic
+//! fixed-seed walk (both agents share the seed) degenerates to the
+//! symmetric-trajectory situation of Lemma 3.1 and is also provided, as the
+//! negative control of the experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use anonrv_sim::{AgentProgram, Navigator, Round, Stop};
+
+/// A lazy random walk: in every round, with probability 1/2 stay put,
+/// otherwise move through a uniformly random port of the current node.
+///
+/// The laziness is the standard device that avoids parity traps (e.g. two
+/// walks on a bipartite graph that always switch sides simultaneously).
+pub struct RandomWalkRv {
+    /// Seed of this agent's private randomness.
+    pub seed: u64,
+    /// Stop after this many rounds (`None` = walk until the engine stops the
+    /// agent); simulations always bound the horizon anyway.
+    pub max_rounds: Option<Round>,
+}
+
+impl RandomWalkRv {
+    /// A walk with the given private seed.
+    pub fn new(seed: u64) -> Self {
+        RandomWalkRv { seed, max_rounds: None }
+    }
+}
+
+impl AgentProgram for RandomWalkRv {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rounds: Round = 0;
+        loop {
+            if let Some(cap) = self.max_rounds {
+                if rounds >= cap {
+                    return Ok(());
+                }
+            }
+            if rng.gen_bool(0.5) {
+                nav.wait(1)?;
+            } else {
+                let degree = nav.degree();
+                nav.move_via(rng.gen_range(0..degree))?;
+            }
+            rounds += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "random-walk"
+    }
+}
+
+/// Expected-time estimate for the randomized baseline on one STIC: the mean
+/// rendezvous time over `trials` independent seed pairs, together with the
+/// number of trials that failed to meet within the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomBaselineEstimate {
+    /// Number of trials run.
+    pub trials: u32,
+    /// Trials that met within the horizon.
+    pub met: u32,
+    /// Mean rendezvous time over the successful trials (rounds after the
+    /// later agent's start).
+    pub mean_time: Option<Round>,
+    /// Worst successful rendezvous time.
+    pub max_time: Option<Round>,
+}
+
+/// Run the randomized baseline `trials` times on the STIC with independent
+/// seed pairs derived from `base_seed`.
+pub fn estimate_random_rendezvous(
+    g: &anonrv_graph::PortGraph,
+    stic: &anonrv_sim::Stic,
+    horizon: Round,
+    trials: u32,
+    base_seed: u64,
+) -> RandomBaselineEstimate {
+    let mut met = 0u32;
+    let mut total: u128 = 0;
+    let mut max_time: Option<Round> = None;
+    for trial in 0..trials {
+        let earlier = RandomWalkRv::new(base_seed ^ (2 * trial as u64 + 1).wrapping_mul(0x9E37_79B9));
+        let later = RandomWalkRv::new(base_seed ^ (2 * trial as u64 + 2).wrapping_mul(0x51_7C_C1_B7));
+        let outcome = anonrv_sim::simulate_with(
+            g,
+            &earlier,
+            &later,
+            stic,
+            anonrv_sim::EngineConfig::with_horizon(horizon),
+        );
+        if let Some(t) = outcome.rendezvous_time() {
+            met += 1;
+            total += t;
+            max_time = Some(max_time.map_or(t, |m: Round| m.max(t)));
+        }
+    }
+    RandomBaselineEstimate {
+        trials,
+        met,
+        mean_time: if met > 0 { Some(total / met as u128) } else { None },
+        max_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::{oriented_ring, oriented_torus};
+    use anonrv_sim::{simulate, simulate_with, EngineConfig, Stic};
+
+    #[test]
+    fn independent_random_walks_meet_even_on_the_infeasible_configuration() {
+        // symmetric positions with delay 0: infeasible deterministically
+        // (Lemma 3.1), easy with private randomness
+        let g = oriented_ring(8).unwrap();
+        let stic = Stic::new(0, 4, 0);
+        let estimate = estimate_random_rendezvous(&g, &stic, 100_000, 10, 42);
+        assert_eq!(estimate.met, estimate.trials, "{estimate:?}");
+        assert!(estimate.mean_time.unwrap() > 0);
+    }
+
+    #[test]
+    fn shared_seed_walks_never_meet_from_symmetric_positions_with_zero_delay() {
+        // the negative control: if both agents use the SAME seed the walk is a
+        // common deterministic port sequence, and Lemma 3.1 applies again
+        let g = oriented_torus(3, 3).unwrap();
+        let program = RandomWalkRv::new(7);
+        let outcome = simulate(&g, &program, &Stic::simultaneous(0, 4), 50_000);
+        assert!(!outcome.met());
+    }
+
+    #[test]
+    fn the_estimate_counts_failures_against_a_tiny_horizon() {
+        let g = oriented_ring(8).unwrap();
+        let estimate = estimate_random_rendezvous(&g, &Stic::new(0, 4, 0), 1, 5, 1);
+        assert!(estimate.met < estimate.trials);
+    }
+
+    #[test]
+    fn capped_walks_terminate_on_their_own() {
+        let g = oriented_ring(5).unwrap();
+        let earlier = RandomWalkRv { seed: 1, max_rounds: Some(10) };
+        let later = RandomWalkRv { seed: 2, max_rounds: Some(10) };
+        let outcome = simulate_with(
+            &g,
+            &earlier,
+            &later,
+            &Stic::new(0, 2, 0),
+            EngineConfig::with_horizon(1_000),
+        );
+        // regardless of whether they met, both programs terminated by themselves
+        assert!(outcome.met() || (outcome.earlier_terminated && outcome.later_terminated));
+    }
+}

@@ -1,0 +1,184 @@
+//! EXP-P31 — Proposition 3.1: rendezvous from nonsymmetric initial positions
+//! in time polynomial in `n`.
+//!
+//! The paper uses the log-space procedure of Czyzowicz–Kosowski–Pelc (2012)
+//! as a black box; our substitute is the label-based `AsymmRV` of
+//! [`anonrv_core::asymm_rv`] (DESIGN.md §4.2).  The experiment
+//!
+//! * sweeps the nonsymmetric workloads, runs the substitute on nonsymmetric
+//!   pairs for several delays and records measured time against the
+//!   substitute's own closed-form duration `P(n, δ̂)`;
+//! * verifies per instance that the label scheme distinguishes the chosen
+//!   pairs (the per-instance verification the substitution requires);
+//! * reports how the worst measured time grows with `n`, which is the
+//!   polynomial-versus-exponential contrast the paper draws against
+//!   Section 4.
+
+use anonrv_core::asymm_rv::AsymmRv;
+use anonrv_core::label::{LabelScheme, TrailSignature};
+use anonrv_sim::{Round, Stic};
+use anonrv_uxs::{LengthRule, PseudorandomUxs};
+
+use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
+use crate::runner::{run_case, Aggregate, Case, RunRecord};
+use crate::suite::{nonsymmetric_delays, nonsymmetric_pairs, nonsymmetric_workloads, Scale};
+
+/// Configuration of the `AsymmRV` experiment.
+#[derive(Debug, Clone)]
+pub struct AsymmConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Maximum nonsymmetric pairs per instance.
+    pub max_pairs: usize,
+    /// UXS length rule used by the procedure.
+    pub uxs_rule: LengthRule,
+}
+
+impl Default for AsymmConfig {
+    fn default() -> Self {
+        AsymmConfig {
+            scale: Scale::Quick,
+            max_pairs: 3,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+impl AsymmConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        AsymmConfig {
+            scale: Scale::Full,
+            max_pairs: 5,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+/// Raw records plus the per-instance label-distinctness verification.
+#[derive(Debug, Clone)]
+pub struct AsymmOutcome {
+    /// One record per simulated STIC.
+    pub records: Vec<RunRecord>,
+    /// Pairs whose labels were *not* distinct (skipped from simulation and
+    /// reported; empty on the shipped suites).
+    pub label_collisions: Vec<(String, usize, usize)>,
+}
+
+/// Run the experiment and return the raw outcome.
+pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
+    let workloads = nonsymmetric_workloads(config.scale);
+    let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
+    let scheme = TrailSignature::new(uxs);
+    let deltas = nonsymmetric_delays(config.scale);
+    let mut records = Vec::new();
+    let mut label_collisions = Vec::new();
+    for w in &workloads {
+        let n = w.n();
+        let mut verified_pairs = Vec::new();
+        for (u, v) in nonsymmetric_pairs(&w.graph, config.max_pairs) {
+            if scheme.labels_distinct(&w.graph, u, v, n) {
+                verified_pairs.push((u, v));
+            } else {
+                label_collisions.push((w.label.clone(), u, v));
+            }
+        }
+        let cases: Vec<((usize, usize), Round)> = verified_pairs
+            .iter()
+            .flat_map(|&pair| deltas.iter().map(move |&d| (pair, d)))
+            .collect();
+        let batch = crate::runner::par_map(cases, |&((u, v), delta)| {
+            let budget = delta.max(1);
+            let program = AsymmRv::new(n, budget, &scheme, &uxs);
+            let bound = program.full_duration();
+            let case = Case {
+                family: w.family.clone(),
+                label: w.label.clone(),
+                graph: &w.graph,
+                stic: Stic::new(u, v, delta),
+                horizon: bound.saturating_add(delta).saturating_add(1),
+                bound: Some(bound),
+            };
+            run_case(&case, &program)
+        });
+        records.extend(batch);
+    }
+    AsymmOutcome { records, label_collisions }
+}
+
+/// Run the experiment as a report table (one row per instance).
+pub fn run(config: &AsymmConfig) -> Table {
+    let outcome = collect(config);
+    let mut table = Table::new(
+        "EXP-P31",
+        "AsymmRV substitute on nonsymmetric STICs (Proposition 3.1)",
+        &[
+            "family",
+            "instance",
+            "n",
+            "STICs",
+            "met",
+            "within P(n, delta)",
+            "max time",
+            "max bound",
+        ],
+    );
+    let mut labels: Vec<String> = outcome.records.iter().map(|r| r.label.clone()).collect();
+    labels.dedup();
+    for label in labels {
+        let group: Vec<RunRecord> =
+            outcome.records.iter().filter(|r| r.label == label).cloned().collect();
+        let agg = Aggregate::of(&group);
+        let max_bound = group.iter().filter_map(|r| r.bound).max();
+        table.push_row([
+            group[0].family.clone(),
+            label.clone(),
+            group[0].n.to_string(),
+            agg.total.to_string(),
+            agg.met.to_string(),
+            agg.within_bound.to_string(),
+            fmt_opt_rounds(agg.max_time),
+            max_bound.map(fmt_rounds).unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    table.push_note(
+        "Paper: nonsymmetric STICs are feasible for every delay and the procedure is polynomial \
+         in n; expected outcome is 'met' = 'STICs' on every row, with 'max time' growing \
+         polynomially with n (contrast with the exponential growth of EXP-T41).",
+    );
+    table.push_note(format!(
+        "Label collisions detected (pairs excluded, see DESIGN.md §4.2): {}",
+        outcome.label_collisions.len()
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_nonsymmetric_stic_meets_within_the_substitute_bound() {
+        let config = AsymmConfig { max_pairs: 2, ..AsymmConfig::default() };
+        let outcome = collect(&config);
+        assert!(!outcome.records.is_empty());
+        assert!(outcome.label_collisions.is_empty(), "{:?}", outcome.label_collisions);
+        for r in &outcome.records {
+            assert!(r.met, "AsymmRV must meet on {} pair ({}, {}) delta {}", r.label, r.u, r.v, r.delta);
+            assert!(r.within_bound(), "substitute bound violated on {:?}", r);
+            assert_eq!(r.class, "nonsymmetric");
+        }
+    }
+
+    #[test]
+    fn measured_time_is_monotone_ish_in_n_for_the_lollipop_family() {
+        // The polynomial-shape claim: the worst time over the lollipop family
+        // must stay well below the exponential envelope; here we just check
+        // it is bounded by its own polynomial bound per instance (exhaustive
+        // in the previous test) and that the table renders one row per
+        // instance.
+        let config = AsymmConfig { max_pairs: 1, ..AsymmConfig::default() };
+        let table = run(&config);
+        assert!(table.num_rows() >= 2);
+    }
+}

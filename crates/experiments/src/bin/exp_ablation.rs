@@ -1,0 +1,13 @@
+//! EXP-ABL: ablations of the reproduction's design choices (DESIGN.md §4).
+//! Pass `--full` for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::ablation;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config =
+        if full { ablation::AblationConfig::full() } else { ablation::AblationConfig::default() };
+    for table in ablation::run(&config) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Run every experiment and print every table (the contents of
+//! EXPERIMENTS.md).  Pass `--full` for the EXPERIMENTS.md configuration and
+//! `--json <path>` to additionally archive the report as JSON.
+
+use anonrv_experiments::run_all;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let report = run_all(full);
+    println!("{}", report.render());
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            std::fs::write(path, report.to_json()).expect("writing the JSON report");
+            eprintln!("JSON report written to {path}");
+        } else {
+            eprintln!("--json requires a path argument");
+            std::process::exit(2);
+        }
+    }
+}

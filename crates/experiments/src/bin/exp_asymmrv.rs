@@ -1,0 +1,10 @@
+//! EXP-P31: the AsymmRV substitute on nonsymmetric STICs (Proposition 3.1).
+//! Pass `--full` for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::asymm;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { asymm::AsymmConfig::full() } else { asymm::AsymmConfig::default() };
+    println!("{}", asymm::run(&config));
+}

@@ -1,0 +1,16 @@
+//! EXP-FIG1: regenerate Figure 1 (the graphs `Q_h` / `Q̂_h`) and verify the
+//! construction.  Pass `--full` for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::fig1;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { fig1::Fig1Config::full() } else { fig1::Fig1Config::default() };
+    println!("{}", fig1::run(&config));
+    println!("--- Figure 1 (ASCII rendering of Q̂_2) ---");
+    println!("{}", fig1::figure1_ascii());
+    if std::env::args().any(|a| a == "--dot") {
+        println!("--- Figure 1 (DOT rendering of Q̂_2) ---");
+        println!("{}", fig1::figure1_dot());
+    }
+}

@@ -1,0 +1,14 @@
+//! EXP-L31: infeasibility of symmetric STICs with delay below the Shrink
+//! threshold (Lemma 3.1).  Pass `--full` for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::infeasible;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        infeasible::InfeasibleConfig::full()
+    } else {
+        infeasible::InfeasibleConfig::default()
+    };
+    println!("{}", infeasible::run(&config));
+}

@@ -1,0 +1,14 @@
+//! EXP-T41: the exponential lower bound on Q̂_h (Theorem 4.1).
+//! Pass `--full` for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::lower_bound_exp;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        lower_bound_exp::LowerBoundConfig::full()
+    } else {
+        lower_bound_exp::LowerBoundConfig::default()
+    };
+    println!("{}", lower_bound_exp::run(&config));
+}

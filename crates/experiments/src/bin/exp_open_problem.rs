@@ -1,0 +1,15 @@
+//! EXP-OPEN: the polynomial asymmetric-only universal algorithm versus the
+//! full UniversalRV (the Section 4 discussion / open problem).  Pass `--full`
+//! for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::open_problem;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        open_problem::OpenProblemConfig::full()
+    } else {
+        open_problem::OpenProblemConfig::default()
+    };
+    println!("{}", open_problem::run(&config));
+}

@@ -1,0 +1,12 @@
+//! EXP-RAND: the randomized baseline (independent random walks) on
+//! deterministically infeasible STICs.  Pass `--full` for the EXPERIMENTS.md
+//! configuration.
+
+use anonrv_experiments::random_exp;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config =
+        if full { random_exp::RandomConfig::full() } else { random_exp::RandomConfig::default() };
+    println!("{}", random_exp::run(&config));
+}

@@ -1,0 +1,12 @@
+//! EXP-SHRINK: Shrink(u, v) versus distance on the symmetric families
+//! (the Section 3 examples).  Pass `--full` for the EXPERIMENTS.md
+//! configuration.
+
+use anonrv_experiments::shrink_exp;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config =
+        if full { shrink_exp::ShrinkConfig::full() } else { shrink_exp::ShrinkConfig::default() };
+    println!("{}", shrink_exp::run(&config));
+}

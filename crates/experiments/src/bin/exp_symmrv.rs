@@ -1,0 +1,10 @@
+//! EXP-L32: SymmRV on symmetric STICs with delta >= Shrink (Lemmas 3.2 / 3.3).
+//! Pass `--full` for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::symm;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { symm::SymmConfig::full() } else { symm::SymmConfig::default() };
+    println!("{}", symm::run(&config));
+}

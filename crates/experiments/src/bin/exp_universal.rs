@@ -1,0 +1,15 @@
+//! EXP-T31: UniversalRV on a mixed STIC suite with zero a-priori knowledge
+//! (Theorem 3.1 / Corollary 3.1).  Pass `--full` for the EXPERIMENTS.md
+//! configuration.
+
+use anonrv_experiments::universal;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        universal::UniversalConfig::full()
+    } else {
+        universal::UniversalConfig::default()
+    };
+    println!("{}", universal::run(&config));
+}

@@ -1,0 +1,11 @@
+//! EXP-P41: UniversalRV total time versus (n, delta) (Proposition 4.1).
+//! Pass `--full` for the EXPERIMENTS.md configuration.
+
+use anonrv_experiments::scaling;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config =
+        if full { scaling::ScalingConfig::full() } else { scaling::ScalingConfig::default() };
+    println!("{}", scaling::run(&config));
+}

@@ -1,0 +1,188 @@
+//! EXP-FIG1 — reproduction of Figure 1: the tree `Q_h` and the graph `Q̂_h`
+//! (Section 4 of the paper), with structural verification.
+//!
+//! The paper's figure shows `Q_2` (left) and the extra leaf edges of `Q̂_2`
+//! (right).  The experiment regenerates both objects for a range of heights,
+//! verifies every structural property the construction promises, and renders
+//! the `h = 2` instance as ASCII and DOT.
+
+use anonrv_graph::generators::{qh_hat, qh_tree, z_set, QhGraph};
+use anonrv_graph::render::{figure1_text, to_dot_cardinal};
+use anonrv_graph::symmetry::OrbitPartition;
+
+use crate::report::Table;
+
+/// Configuration of the Figure 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Heights `h` to generate and verify.
+    pub heights: Vec<usize>,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Fig1Config { heights: vec![2, 3] }
+    }
+}
+
+impl Fig1Config {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Fig1Config { heights: vec![2, 3, 4, 5, 6] }
+    }
+}
+
+/// Structural facts of one generated `Q_h` / `Q̂_h` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig1Row {
+    /// Height `h`.
+    pub h: usize,
+    /// Number of nodes (shared by `Q_h` and `Q̂_h`).
+    pub nodes: usize,
+    /// Number of edges of the tree `Q_h`.
+    pub tree_edges: usize,
+    /// Number of edges of `Q̂_h`.
+    pub hat_edges: usize,
+    /// Number of leaves of the tree (`4 · 3^(h−1)`).
+    pub leaves: usize,
+    /// Whether `Q̂_h` is 4-regular.
+    pub hat_regular: bool,
+    /// Whether every edge of `Q̂_h` carries opposite cardinal ports
+    /// (`N`–`S` or `E`–`W`).
+    pub opposite_ports: bool,
+    /// Whether all nodes of `Q̂_h` are pairwise symmetric (single orbit).
+    pub fully_symmetric: bool,
+    /// Size of the Theorem 4.1 set `Z` for the largest admissible `k`
+    /// (`2k ≤ h/2`), when one exists.
+    pub z_size: Option<usize>,
+}
+
+/// Check that every edge of `Q̂_h` has ports `{N, S}` or `{E, W}` at its two
+/// extremities (ports are 0=N, 1=E, 2=S, 3=W).
+pub fn edges_have_opposite_cardinal_ports(q: &QhGraph) -> bool {
+    q.graph.edges().all(|(_, pu, _, pv)| (pu + 2) % 4 == pv)
+}
+
+/// Verify one height and produce its row.
+pub fn verify_height(h: usize) -> Fig1Row {
+    let tree = qh_tree(h).expect("Q_h generation");
+    let hat = qh_hat(h).expect("Q̂_h generation");
+    assert_eq!(tree.graph.num_nodes(), hat.graph.num_nodes(), "Q_h and Q̂_h share nodes");
+    let partition = OrbitPartition::compute(&hat.graph);
+    let max_k = (h / 4).max(if h >= 4 { 1 } else { 0 });
+    let z_size = if max_k >= 1 { z_set(&hat, max_k).ok().map(|z| z.len()) } else { None };
+    Fig1Row {
+        h,
+        nodes: hat.graph.num_nodes(),
+        tree_edges: tree.graph.num_edges(),
+        hat_edges: hat.graph.num_edges(),
+        leaves: tree.num_leaves(),
+        hat_regular: hat.graph.is_regular() && hat.graph.max_degree() == 4,
+        opposite_ports: edges_have_opposite_cardinal_ports(&hat),
+        fully_symmetric: partition.is_fully_symmetric(),
+        z_size,
+    }
+}
+
+/// Expected node count of `Q_h`: `1 + 4·(3^h − 1)/2`.
+pub fn expected_nodes(h: usize) -> usize {
+    1 + 4 * (3usize.pow(h as u32) - 1) / 2
+}
+
+/// Expected leaf count of `Q_h`: `4 · 3^(h−1)`.
+pub fn expected_leaves(h: usize) -> usize {
+    4 * 3usize.pow(h as u32 - 1)
+}
+
+/// Run the experiment: one table row per height.
+pub fn run(config: &Fig1Config) -> Table {
+    let mut table = Table::new(
+        "EXP-FIG1",
+        "Q_h / Q̂_h construction (Figure 1, Section 4)",
+        &[
+            "h",
+            "nodes",
+            "tree edges",
+            "hat edges",
+            "leaves",
+            "4-regular",
+            "opposite ports",
+            "fully symmetric",
+            "|Z| (max k)",
+        ],
+    );
+    for &h in &config.heights {
+        let row = verify_height(h);
+        assert_eq!(row.nodes, expected_nodes(h), "node count formula (h = {h})");
+        assert_eq!(row.leaves, expected_leaves(h), "leaf count formula (h = {h})");
+        table.push_row([
+            row.h.to_string(),
+            row.nodes.to_string(),
+            row.tree_edges.to_string(),
+            row.hat_edges.to_string(),
+            row.leaves.to_string(),
+            row.hat_regular.to_string(),
+            row.opposite_ports.to_string(),
+            row.fully_symmetric.to_string(),
+            row.z_size.map(|z| z.to_string()).unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    table.push_note(
+        "Paper: Q_h has 1 + 4(3^h − 1)/2 nodes and 4·3^(h−1) leaves; Q̂_h is 4-regular, every \
+         edge has ports N–S or E–W, and all of its nodes are pairwise symmetric.",
+    );
+    table
+}
+
+/// The ASCII rendering of the `h = 2` instance (the figure itself).
+pub fn figure1_ascii() -> String {
+    let hat = qh_hat(2).expect("Q̂_2 generation");
+    figure1_text(&hat)
+}
+
+/// The DOT rendering of `Q̂_2` with cardinal port labels.
+pub fn figure1_dot() -> String {
+    let hat = qh_hat(2).expect("Q̂_2 generation");
+    to_dot_cardinal(&hat.graph, "Q_hat_2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q2_matches_the_paper_figure() {
+        let row = verify_height(2);
+        assert_eq!(row.nodes, 17); // 1 + 4 + 12
+        assert_eq!(row.leaves, 12);
+        assert_eq!(row.tree_edges, 16);
+        // Q̂_2 is 4-regular on 17 nodes: 34 edges
+        assert_eq!(row.hat_edges, 34);
+        assert!(row.hat_regular);
+        assert!(row.opposite_ports);
+        assert!(row.fully_symmetric);
+    }
+
+    #[test]
+    fn the_experiment_covers_every_requested_height() {
+        let table = run(&Fig1Config { heights: vec![2, 3] });
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.column_values("fully symmetric"), vec!["true", "true"]);
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_mention_the_root() {
+        assert!(!figure1_ascii().is_empty());
+        let dot = figure1_dot();
+        assert!(dot.starts_with("graph") || dot.contains("graph"));
+    }
+
+    #[test]
+    fn node_and_leaf_formulas() {
+        assert_eq!(expected_nodes(1), 5);
+        assert_eq!(expected_nodes(2), 17);
+        assert_eq!(expected_nodes(3), 53);
+        assert_eq!(expected_leaves(1), 4);
+        assert_eq!(expected_leaves(3), 36);
+    }
+}

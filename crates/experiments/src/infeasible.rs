@@ -1,0 +1,272 @@
+//! EXP-L31 — Lemma 3.1: a STIC with symmetric initial positions and delay
+//! `δ < Shrink(u, v)` is infeasible.
+//!
+//! Infeasibility over *all* algorithms cannot be established by simulation
+//! alone, so the experiment combines three pieces of evidence, mirroring the
+//! proof:
+//!
+//! 1. **Trajectory argument** ([`anonrv_core::feasibility::symmetric_trajectories_never_meet`]):
+//!    for symmetric starting nodes, any deterministic algorithm makes both
+//!    agents follow the same port sequence; the checker verifies, for a
+//!    battery of port sequences (including the ones our own algorithms
+//!    produce), that the two trajectories never coincide when
+//!    `δ < Shrink(u, v)` — the paper's contradiction.
+//! 2. **Universal witness**: `UniversalRV` — which solves *every* feasible
+//!    STIC — is simulated on the infeasible STIC up to the horizon at which it
+//!    would have solved the feasible counterpart with the same parameters, and
+//!    does not meet.
+//! 3. **Classification**: the Corollary 3.1 decision procedure flags the STIC
+//!    as infeasible.
+
+use anonrv_core::feasibility::{classify, symmetric_trajectories_never_meet, SticClass};
+use anonrv_core::label::TrailSignature;
+use anonrv_core::universal_rv::UniversalRv;
+use anonrv_sim::{simulate, Round, Stic};
+use anonrv_uxs::{LengthRule, PseudorandomUxs};
+
+use crate::report::{fmt_rounds, Table};
+use crate::runner::par_map;
+use crate::suite::{symmetric_pairs, symmetric_workloads, Scale};
+
+/// Configuration of the infeasibility experiment.
+#[derive(Debug, Clone)]
+pub struct InfeasibleConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Maximum number of symmetric pairs per instance.
+    pub max_pairs: usize,
+    /// Maximum number of nodes of an instance included in the *simulation*
+    /// part (the trajectory and classification checks run on everything).
+    pub max_sim_nodes: usize,
+    /// Maximum `UniversalRV` phase index the simulation part is willing to
+    /// run: STICs whose feasible counterpart resolves in a later phase are
+    /// checked analytically only.
+    pub max_phase_budget: u64,
+    /// UXS length rule for the simulated `UniversalRV`.
+    pub uxs_rule: LengthRule,
+}
+
+impl Default for InfeasibleConfig {
+    fn default() -> Self {
+        InfeasibleConfig {
+            scale: Scale::Quick,
+            max_pairs: 4,
+            max_sim_nodes: 9,
+            max_phase_budget: 260,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+impl InfeasibleConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        InfeasibleConfig {
+            scale: Scale::Full,
+            max_pairs: 6,
+            max_sim_nodes: 10,
+            max_phase_budget: 700,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+/// One infeasible STIC and the evidence gathered for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibleRecord {
+    /// Instance label.
+    pub label: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Starting pair.
+    pub pair: (usize, usize),
+    /// `Shrink(u, v)`.
+    pub shrink: usize,
+    /// The (infeasible) delay.
+    pub delta: Round,
+    /// Corollary 3.1 classification says "infeasible".
+    pub classified_infeasible: bool,
+    /// The Lemma 3.1 trajectory argument holds on the tested port sequences.
+    pub trajectories_never_meet: bool,
+    /// Whether `UniversalRV` was simulated on this STIC.
+    pub simulated: bool,
+    /// `UniversalRV` did not meet within the horizon (only meaningful when
+    /// `simulated`).
+    pub universal_did_not_meet: bool,
+    /// Simulation horizon used.
+    pub horizon: Round,
+}
+
+impl InfeasibleRecord {
+    /// All gathered evidence is consistent with Lemma 3.1.
+    pub fn consistent(&self) -> bool {
+        self.classified_infeasible
+            && self.trajectories_never_meet
+            && (!self.simulated || self.universal_did_not_meet)
+    }
+}
+
+/// Port sequences exercised by the trajectory argument: constant sequences,
+/// alternating sequences, and a pseudorandom one (all reduced modulo the
+/// current degree during application, exactly as an agent would).
+fn trajectory_probes(len: usize) -> Vec<Vec<usize>> {
+    let mut probes = vec![vec![0; len], vec![1; len], vec![2; len]];
+    probes.push((0..len).map(|i| i % 2).collect());
+    probes.push((0..len).map(|i| (i * 7 + 3) % 5).collect());
+    probes
+}
+
+/// Gather evidence for one STIC.
+pub fn check_stic(
+    label: &str,
+    g: &anonrv_graph::PortGraph,
+    u: usize,
+    v: usize,
+    shrink: usize,
+    delta: Round,
+    config: &InfeasibleConfig,
+) -> InfeasibleRecord {
+    let class = classify(g, u, v, delta);
+    let classified_infeasible = matches!(class, SticClass::SymmetricInfeasible { .. });
+
+    let probes = trajectory_probes(3 * g.num_nodes());
+    let trajectories_never_meet = probes
+        .iter()
+        .all(|ports| symmetric_trajectories_never_meet(g, u, v, delta as usize, ports));
+
+    let simulate_it = g.num_nodes() <= config.max_sim_nodes
+        && anonrv_core::pairing::phase_of(g.num_nodes(), shrink.max(1), shrink.max(1) as u64)
+            <= config.max_phase_budget;
+    let (universal_did_not_meet, horizon) = if simulate_it {
+        let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
+        let scheme = TrailSignature::new(uxs);
+        let algo = UniversalRv::new(&uxs, &scheme);
+        // horizon: where the *feasible* counterpart (same n, d, delay = d)
+        // would have been solved at the latest
+        let horizon = algo.completion_horizon(g.num_nodes(), shrink, shrink as Round);
+        let outcome = simulate(g, &algo, &Stic::new(u, v, delta), horizon);
+        (!outcome.met(), horizon)
+    } else {
+        (true, 0)
+    };
+
+    InfeasibleRecord {
+        label: label.to_string(),
+        n: g.num_nodes(),
+        pair: (u, v),
+        shrink,
+        delta,
+        classified_infeasible,
+        trajectories_never_meet,
+        simulated: simulate_it,
+        universal_did_not_meet,
+        horizon,
+    }
+}
+
+/// Run the experiment and collect the records.
+pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
+    let workloads = symmetric_workloads(config.scale);
+    let mut cases = Vec::new();
+    for w in &workloads {
+        for p in symmetric_pairs(&w.graph, config.max_pairs) {
+            if p.shrink < 1 {
+                continue;
+            }
+            // every delay strictly below Shrink is infeasible; probe the two
+            // extremes (0 and Shrink − 1)
+            let mut deltas = vec![0 as Round];
+            if p.shrink >= 2 {
+                deltas.push(p.shrink as Round - 1);
+            }
+            deltas.dedup();
+            for delta in deltas {
+                cases.push((w.label.clone(), w.graph.clone(), p.u, p.v, p.shrink, delta));
+            }
+        }
+    }
+    par_map(cases, |(label, g, u, v, shrink, delta)| {
+        check_stic(label, g, *u, *v, *shrink, *delta, config)
+    })
+}
+
+/// Run the experiment as a report table.
+pub fn run(config: &InfeasibleConfig) -> Table {
+    let mut table = Table::new(
+        "EXP-L31",
+        "Infeasibility below the Shrink threshold (Lemma 3.1)",
+        &[
+            "instance",
+            "pair",
+            "Shrink",
+            "delta",
+            "classified infeasible",
+            "trajectory argument",
+            "UniversalRV met",
+            "horizon",
+        ],
+    );
+    for r in collect(config) {
+        table.push_row([
+            r.label.clone(),
+            format!("({}, {})", r.pair.0, r.pair.1),
+            r.shrink.to_string(),
+            r.delta.to_string(),
+            r.classified_infeasible.to_string(),
+            r.trajectories_never_meet.to_string(),
+            if r.simulated {
+                (!r.universal_did_not_meet).to_string()
+            } else {
+                "(not simulated)".to_string()
+            },
+            fmt_rounds(r.horizon),
+        ]);
+    }
+    table.push_note(
+        "Paper: every STIC with symmetric positions and delta < Shrink(u, v) is infeasible; \
+         the expected outcome is 'classified infeasible = true', 'trajectory argument = true' and \
+         'UniversalRV met = false' on every row.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::oriented_ring;
+
+    #[test]
+    fn every_record_of_the_quick_suite_is_consistent_with_lemma_3_1() {
+        let records = collect(&InfeasibleConfig {
+            // keep the unit test fast: only the smallest instances are simulated
+            max_sim_nodes: 6,
+            max_pairs: 2,
+            ..InfeasibleConfig::default()
+        });
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(r.consistent(), "inconsistent record: {r:?}");
+            assert!(r.delta < r.shrink as Round);
+        }
+        // at least one record must actually have been simulated
+        assert!(records.iter().any(|r| r.simulated));
+    }
+
+    #[test]
+    fn check_stic_flags_a_feasible_delay_as_not_infeasible() {
+        // sanity: with delta == Shrink the classification flips, so the
+        // experiment's precondition (delta < Shrink) matters
+        let g = oriented_ring(6).unwrap();
+        let r = check_stic("ring-6", &g, 0, 2, 2, 2, &InfeasibleConfig::default());
+        assert!(!r.classified_infeasible);
+    }
+
+    #[test]
+    fn the_table_reports_every_record() {
+        let config =
+            InfeasibleConfig { max_sim_nodes: 0, max_pairs: 2, ..InfeasibleConfig::default() };
+        let table = run(&config);
+        assert_eq!(table.num_rows(), collect(&config).len());
+        assert!(table.column_values("UniversalRV met").iter().all(|v| *v == "(not simulated)"));
+    }
+}

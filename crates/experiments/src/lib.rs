@@ -1,0 +1,124 @@
+//! # anonrv-experiments
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! reproduction of *Using Time to Break Symmetry: Universal Deterministic
+//! Anonymous Rendezvous* (Pelc & Yadav, SPAA 2019).
+//!
+//! The paper is a theory paper, so its "evaluation" is a set of lemmas,
+//! theorems and one construction figure; every one of them is turned into an
+//! executable experiment here (see DESIGN.md §3 for the index and
+//! EXPERIMENTS.md for recorded results):
+//!
+//! | Experiment | Paper reference | Module |
+//! |---|---|---|
+//! | EXP-FIG1   | Figure 1 | [`fig1`] |
+//! | EXP-SHRINK | Section 3 examples | [`shrink_exp`] |
+//! | EXP-L31    | Lemma 3.1 | [`infeasible`] |
+//! | EXP-L32    | Lemmas 3.2 / 3.3 | [`symm`] |
+//! | EXP-P31    | Proposition 3.1 | [`asymm`] |
+//! | EXP-T31    | Theorem 3.1 / Corollary 3.1 | [`universal`] |
+//! | EXP-T41    | Theorem 4.1 | [`lower_bound_exp`] |
+//! | EXP-P41    | Proposition 4.1 | [`scaling`] |
+//! | EXP-RAND   | Conclusion (randomized baseline) | [`random_exp`] |
+//! | EXP-OPEN   | Section 4 discussion (polynomial asymmetric-only algorithm) | [`open_problem`] |
+//! | EXP-ABL    | DESIGN.md §4 substitutions | [`ablation`] |
+//!
+//! Each module exposes a `*Config` (with `Default` = quick and `full()` =
+//! the EXPERIMENTS.md configuration), a `collect` function returning raw
+//! records, and a `run` function returning printable [`report::Table`]s.
+//! The binaries in `src/bin/` print them; the criterion benches in
+//! `anonrv-bench` time their kernels.
+//!
+//! Parallelism (rayon) lives strictly in this layer: the paper's algorithms
+//! themselves are sequential round-by-round agent programs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod asymm;
+pub mod fig1;
+pub mod infeasible;
+pub mod lower_bound_exp;
+pub mod open_problem;
+pub mod random_exp;
+pub mod report;
+pub mod runner;
+pub mod scaling;
+pub mod shrink_exp;
+pub mod suite;
+pub mod symm;
+pub mod universal;
+
+pub use report::{Report, Table};
+pub use runner::{Aggregate, Case, RunRecord};
+pub use suite::Scale;
+
+/// Run every experiment in its quick (`false`) or full (`true`)
+/// configuration and collect the tables in presentation order.
+pub fn run_all(full: bool) -> Report {
+    let mut report = Report::new();
+    report.push(fig1::run(&if full { fig1::Fig1Config::full() } else { Default::default() }));
+    report.push(shrink_exp::run(&if full {
+        shrink_exp::ShrinkConfig::full()
+    } else {
+        Default::default()
+    }));
+    report.push(infeasible::run(&if full {
+        infeasible::InfeasibleConfig::full()
+    } else {
+        Default::default()
+    }));
+    report.push(symm::run(&if full { symm::SymmConfig::full() } else { Default::default() }));
+    report.push(asymm::run(&if full { asymm::AsymmConfig::full() } else { Default::default() }));
+    report.push(universal::run(&if full {
+        universal::UniversalConfig::full()
+    } else {
+        Default::default()
+    }));
+    report.push(lower_bound_exp::run(&if full {
+        lower_bound_exp::LowerBoundConfig::full()
+    } else {
+        Default::default()
+    }));
+    report.push(scaling::run(&if full {
+        scaling::ScalingConfig::full()
+    } else {
+        Default::default()
+    }));
+    report.push(random_exp::run(&if full {
+        random_exp::RandomConfig::full()
+    } else {
+        Default::default()
+    }));
+    report.push(open_problem::run(&if full {
+        open_problem::OpenProblemConfig::full()
+    } else {
+        Default::default()
+    }));
+    for table in ablation::run(&if full {
+        ablation::AblationConfig::full()
+    } else {
+        Default::default()
+    }) {
+        report.push(table);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    // `run_all` is exercised by the integration suite (tests/integration_experiments.rs);
+    // the unit test here only checks the experiment id wiring.
+    #[test]
+    fn experiment_ids_are_unique() {
+        let ids = [
+            "EXP-FIG1", "EXP-SHRINK", "EXP-L31", "EXP-L32", "EXP-P31", "EXP-T31", "EXP-T41",
+            "EXP-P41", "EXP-RAND", "EXP-OPEN", "EXP-ABL-UXS", "EXP-ABL-LABEL", "EXP-ABL-PAD",
+        ];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

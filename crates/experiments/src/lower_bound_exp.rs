@@ -1,0 +1,221 @@
+//! EXP-T41 — Theorem 4.1: on `Q̂_h` (with `h = 2D`, `D = 2k`) any algorithm
+//! that achieves rendezvous for every STIC `[(r, v), D]` with `v ∈ Z` needs at
+//! least `2^(k−1)` rounds for some of them.
+//!
+//! The theorem is an adversary argument over *all* deterministic algorithms;
+//! its executable content (see [`anonrv_core::lower_bound`]) is that on
+//! `Q̂_h` every algorithm degenerates to an oblivious schedule — a fixed word
+//! over `{stay, N, E, S, W}` — and that a schedule shorter than `2^(k−1)`
+//! always leaves some `v ∈ Z` unmet.  For a range of `k` the experiment
+//! measures both directions:
+//!
+//! * **lower bound**: truncations of the meeting schedule to length
+//!   `2^(k−1) − 1`, and a battery of pseudorandom schedules of the same
+//!   length, never meet the whole family;
+//! * **upper bound witness**: the explicit *meeting sweep* (out-and-back
+//!   along every doubled word `γ‖γ`) meets every family member, and its
+//!   worst-case meeting time is at least the threshold `2^(k−1)` and at most
+//!   `4k · 2^k` — i.e. the exponential growth the theorem forces is really
+//!   there, and the bound is tight up to a `Θ(k)` factor;
+//! * **cross-check**: the explicit `Q̂_h` checker and the scalable symbolic
+//!   (universal-cover) checker agree wherever both run.
+
+use anonrv_core::lower_bound::{
+    check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule,
+};
+use anonrv_graph::generators::qh_hat;
+use anonrv_sim::Round;
+
+use crate::report::Table;
+use crate::runner::par_map;
+
+/// Configuration of the lower-bound experiment.
+#[derive(Debug, Clone)]
+pub struct LowerBoundConfig {
+    /// Values of `k` evaluated with the symbolic checker.
+    pub ks: Vec<usize>,
+    /// Largest `k` for which the explicit `Q̂_h` (with `h = 2D = 4k`) is also
+    /// built and cross-checked.
+    pub max_explicit_k: usize,
+    /// Number of pseudorandom schedules (of length `2^(k−1) − 1`) tested per
+    /// `k`.
+    pub random_schedules: usize,
+}
+
+impl Default for LowerBoundConfig {
+    fn default() -> Self {
+        LowerBoundConfig { ks: vec![1, 2, 3, 4, 5], max_explicit_k: 2, random_schedules: 8 }
+    }
+}
+
+impl LowerBoundConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        LowerBoundConfig {
+            ks: vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            max_explicit_k: 2,
+            random_schedules: 32,
+        }
+    }
+}
+
+/// Measured facts for one value of `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerBoundRecord {
+    /// The parameter `k` (`D = 2k`, `h = 4k`).
+    pub k: usize,
+    /// Size of the STIC family `Z` (`2^k`).
+    pub family_size: usize,
+    /// The theorem's threshold `2^(k−1)`.
+    pub threshold: Round,
+    /// Length of the meeting-sweep schedule (`4k · 2^k`).
+    pub meeting_len: usize,
+    /// Whether the meeting sweep met every family member.
+    pub meeting_met_all: bool,
+    /// Worst-case meeting time of the meeting sweep over the family.
+    pub meeting_worst_time: Option<Round>,
+    /// Whether the meeting sweep truncated to `2^(k−1) − 1` steps still meets
+    /// the whole family (must be `false` — that is the lower bound).
+    pub truncated_meets_all: bool,
+    /// Number of tested sub-threshold pseudorandom schedules that met the
+    /// whole family (must be 0).
+    pub random_schedules_meeting_all: usize,
+    /// Whether the explicit `Q̂_h` checker was run and agreed with the
+    /// symbolic one.
+    pub explicit_agrees: Option<bool>,
+}
+
+impl LowerBoundRecord {
+    /// The record is consistent with Theorem 4.1 (both directions).
+    pub fn consistent_with_theorem(&self) -> bool {
+        self.meeting_met_all
+            && self.meeting_worst_time.is_some_and(|t| t >= self.threshold)
+            && !self.truncated_meets_all
+            && self.random_schedules_meeting_all == 0
+            && self.explicit_agrees.unwrap_or(true)
+    }
+}
+
+/// Evaluate one value of `k`.
+pub fn check_k(k: usize, config: &LowerBoundConfig) -> LowerBoundRecord {
+    let meeting = ObliviousSchedule::meeting_sweep(k);
+    let symbolic = check_schedule_symbolic(k, &meeting);
+    let threshold: Round = 1u128 << (k.saturating_sub(1));
+
+    // lower-bound direction: schedules shorter than the threshold fail
+    let sub_len = (threshold as usize).saturating_sub(1);
+    let truncated = ObliviousSchedule::new(meeting.steps[..sub_len.min(meeting.len())].to_vec());
+    let truncated_meets_all = check_schedule_symbolic(k, &truncated).met_all();
+    let random_schedules_meeting_all = (0..config.random_schedules)
+        .filter(|&seed| {
+            sub_len > 0
+                && check_schedule_symbolic(
+                    k,
+                    &ObliviousSchedule::pseudorandom(sub_len, seed as u64 + 1),
+                )
+                .met_all()
+        })
+        .count();
+
+    let explicit_agrees = if k <= config.max_explicit_k {
+        let q = qh_hat(4 * k).expect("Q̂_h generation");
+        let explicit = check_schedule_explicit(&q, k, &meeting);
+        Some(explicit.times == symbolic.times)
+    } else {
+        None
+    };
+
+    LowerBoundRecord {
+        k,
+        family_size: symbolic.times.len(),
+        threshold,
+        meeting_len: meeting.len(),
+        meeting_met_all: symbolic.met_all(),
+        meeting_worst_time: symbolic.max_time(),
+        truncated_meets_all,
+        random_schedules_meeting_all,
+        explicit_agrees,
+    }
+}
+
+/// Run the experiment and return the records.
+pub fn collect(config: &LowerBoundConfig) -> Vec<LowerBoundRecord> {
+    par_map(config.ks.clone(), |&k| check_k(k, config))
+}
+
+/// Run the experiment as a report table.
+pub fn run(config: &LowerBoundConfig) -> Table {
+    let records = collect(config);
+    let mut table = Table::new(
+        "EXP-T41",
+        "Exponential lower bound on Q̂_h (Theorem 4.1)",
+        &[
+            "k",
+            "D = 2k",
+            "|Z|",
+            "threshold 2^(k-1)",
+            "meeting schedule len",
+            "meets all",
+            "worst meeting time",
+            "truncated (< threshold) meets all",
+            "sub-threshold random schedules meeting all",
+            "explicit = symbolic",
+        ],
+    );
+    for r in &records {
+        table.push_row([
+            r.k.to_string(),
+            (2 * r.k).to_string(),
+            r.family_size.to_string(),
+            r.threshold.to_string(),
+            r.meeting_len.to_string(),
+            r.meeting_met_all.to_string(),
+            r.meeting_worst_time.map(|t| t.to_string()).unwrap_or_else(|| "-".to_string()),
+            r.truncated_meets_all.to_string(),
+            r.random_schedules_meeting_all.to_string(),
+            r.explicit_agrees
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "(symbolic only)".to_string()),
+        ]);
+    }
+    table.push_note(
+        "Paper: any algorithm meeting every STIC [(r, v), D], v in Z, needs at least 2^(k-1) \
+         rounds for some of them.  Expected outcome: the meeting sweep meets all with worst time \
+         >= threshold (growing exponentially in k), while every schedule shorter than the \
+         threshold leaves part of the family unmet.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_k_of_the_quick_configuration_is_consistent_with_theorem_4_1() {
+        let config = LowerBoundConfig { ks: vec![1, 2, 3, 4], ..LowerBoundConfig::default() };
+        for r in collect(&config) {
+            assert!(r.consistent_with_theorem(), "inconsistent record {r:?}");
+            assert_eq!(r.family_size, 1usize << r.k);
+        }
+    }
+
+    #[test]
+    fn worst_meeting_time_grows_exponentially_in_k() {
+        let config = LowerBoundConfig { ks: vec![2, 4, 6], max_explicit_k: 0, random_schedules: 0 };
+        let records = collect(&config);
+        let t2 = records[0].meeting_worst_time.unwrap();
+        let t4 = records[1].meeting_worst_time.unwrap();
+        let t6 = records[2].meeting_worst_time.unwrap();
+        assert!(t4 >= 3 * t2, "t2 = {t2}, t4 = {t4}");
+        assert!(t6 >= 3 * t4, "t4 = {t4}, t6 = {t6}");
+    }
+
+    #[test]
+    fn explicit_and_symbolic_agree_for_small_k() {
+        let config = LowerBoundConfig { ks: vec![1, 2], max_explicit_k: 2, random_schedules: 2 };
+        for r in collect(&config) {
+            assert_eq!(r.explicit_agrees, Some(true));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! EXP-OPEN — the Section 4 discussion around the paper's open problem:
+//!
+//! > "a simplified algorithm working only for STICs with asymmetric nodes,
+//! > which can be obtained from Algorithm UniversalRV by deleting the
+//! > Procedure SymmRV in each phase, would indeed be polynomial in n and δ."
+//!
+//! The experiment runs that simplified algorithm
+//! ([`anonrv_core::asymm_only::AsymmOnlyUniversalRv`]) and the full
+//! `UniversalRV` side by side on the same nonsymmetric STICs and reports the
+//! measured times and the analytic completion bounds, exhibiting the
+//! polynomial-versus-exponential gap the open problem asks about.
+
+use anonrv_core::asymm_only::AsymmOnlyUniversalRv;
+use anonrv_core::label::TrailSignature;
+use anonrv_core::universal_rv::UniversalRv;
+use anonrv_graph::generators::lollipop;
+use anonrv_sim::{simulate, Round, Stic};
+use anonrv_uxs::{LengthRule, PseudorandomUxs};
+
+use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
+use crate::runner::par_map;
+
+/// Configuration of the open-problem experiment.
+#[derive(Debug, Clone)]
+pub struct OpenProblemConfig {
+    /// Lollipop tail lengths swept (the graph has `clique + tail` nodes; the
+    /// two agents start at the clique and at the tail end — nonsymmetric).
+    pub sizes: Vec<(usize, usize)>,
+    /// Delay applied to every STIC.
+    pub delta: Round,
+    /// Whether to also run the (much slower) full `UniversalRV` for
+    /// comparison on each point.
+    pub run_full_universal: bool,
+    /// UXS length rule.
+    pub uxs_rule: LengthRule,
+}
+
+impl Default for OpenProblemConfig {
+    fn default() -> Self {
+        OpenProblemConfig {
+            sizes: vec![(3, 1), (3, 2), (4, 2), (4, 3)],
+            delta: 1,
+            run_full_universal: true,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+impl OpenProblemConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        OpenProblemConfig {
+            sizes: vec![(3, 1), (3, 2), (4, 2), (4, 3), (5, 3), (5, 4), (6, 4)],
+            delta: 1,
+            run_full_universal: true,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenProblemRecord {
+    /// Number of nodes.
+    pub n: usize,
+    /// Measured time of the asymmetric-only algorithm.
+    pub asymm_only_time: Option<Round>,
+    /// Its (polynomial) completion bound.
+    pub asymm_only_bound: Round,
+    /// Measured time of the full `UniversalRV` (when run).
+    pub universal_time: Option<Option<Round>>,
+    /// The full algorithm's completion bound for the same STIC.
+    pub universal_bound: Round,
+}
+
+/// Run the sweep.
+pub fn collect(config: &OpenProblemConfig) -> Vec<OpenProblemRecord> {
+    let uxs_rule = config.uxs_rule;
+    let delta = config.delta;
+    let run_full = config.run_full_universal;
+    par_map(config.sizes.clone(), |&(clique, tail)| {
+        let g = lollipop(clique, tail).unwrap();
+        let n = g.num_nodes();
+        let stic = Stic::new(0, n - 1, delta);
+        let uxs = PseudorandomUxs::with_rule(uxs_rule);
+        let scheme = TrailSignature::new(uxs);
+
+        let asymm_only = AsymmOnlyUniversalRv::new(&uxs, &scheme);
+        let asymm_only_bound = asymm_only.completion_horizon(n, delta);
+        let asymm_only_time =
+            simulate(&g, &asymm_only, &stic, asymm_only_bound).rendezvous_time();
+
+        let full = UniversalRv::new(&uxs, &scheme);
+        let universal_bound = full.completion_horizon(n, 1, delta);
+        let universal_time = if run_full {
+            Some(simulate(&g, &full, &stic, universal_bound).rendezvous_time())
+        } else {
+            None
+        };
+
+        OpenProblemRecord { n, asymm_only_time, asymm_only_bound, universal_time, universal_bound }
+    })
+}
+
+/// Run the experiment as a report table.
+pub fn run(config: &OpenProblemConfig) -> Table {
+    let mut table = Table::new(
+        "EXP-OPEN",
+        "Deleting SymmRV: polynomial universal rendezvous for nonsymmetric STICs (Section 4 discussion)",
+        &[
+            "n",
+            "delta",
+            "AsymmOnly time",
+            "AsymmOnly bound (poly)",
+            "UniversalRV time",
+            "UniversalRV bound",
+        ],
+    );
+    for r in collect(config) {
+        table.push_row([
+            r.n.to_string(),
+            config.delta.to_string(),
+            fmt_opt_rounds(r.asymm_only_time),
+            fmt_rounds(r.asymm_only_bound),
+            match r.universal_time {
+                Some(t) => fmt_opt_rounds(t),
+                None => "(not run)".to_string(),
+            },
+            fmt_rounds(r.universal_bound),
+        ]);
+    }
+    table.push_note(
+        "Paper: the simplified algorithm is polynomial in n and delta while UniversalRV's bound \
+         is exponential; expected outcome is both algorithms meeting on every row, with the \
+         AsymmOnly bound growing polynomially and the UniversalRV bound exploding.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_simplified_algorithm_meets_and_its_bound_stays_far_below_the_full_one() {
+        let config = OpenProblemConfig {
+            sizes: vec![(3, 1), (3, 2)],
+            run_full_universal: false,
+            ..OpenProblemConfig::default()
+        };
+        let records = collect(&config);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert!(r.asymm_only_time.is_some(), "{r:?}");
+            assert!(r.asymm_only_bound < r.universal_bound, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! EXP-RAND — the randomized baseline the paper's conclusion points to:
+//! "the synchronous randomized counterpart of our problem is straightforward,
+//! and follows from the fact that two random walks meet with high probability
+//! in time polynomial in the size of the graph".
+//!
+//! The experiment contrasts, on symmetric starting positions with delay `0`
+//! (the configuration that is *infeasible* for deterministic anonymous
+//! agents, Lemma 3.1), the deterministic verdict with the measured behaviour
+//! of two independently seeded lazy random walks, and reports how the mean
+//! meeting time grows with the size of the graph.
+
+use anonrv_core::feasibility::is_feasible;
+use anonrv_core::random_baseline::estimate_random_rendezvous;
+use anonrv_graph::generators::{oriented_ring, oriented_torus};
+use anonrv_graph::PortGraph;
+use anonrv_sim::{Round, Stic};
+
+use crate::report::{fmt_opt_rounds, Table};
+use crate::runner::par_map;
+
+/// One instance of the randomized-baseline sweep.
+#[derive(Debug, Clone)]
+pub struct RandomCase {
+    /// Instance label.
+    pub label: String,
+    /// The graph.
+    pub graph: PortGraph,
+    /// Symmetric starting pair.
+    pub pair: (usize, usize),
+}
+
+/// Configuration of the randomized-baseline experiment.
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// Trials per instance.
+    pub trials: u32,
+    /// Simulation horizon per trial.
+    pub horizon: Round,
+    /// Base seed.
+    pub seed: u64,
+    /// Ring sizes swept.
+    pub ring_sizes: Vec<usize>,
+    /// Torus dimensions swept.
+    pub torus_dims: Vec<(usize, usize)>,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            trials: 8,
+            horizon: 200_000,
+            seed: 0xDEC0DE,
+            ring_sizes: vec![6, 10, 16],
+            torus_dims: vec![(3, 3), (4, 4)],
+        }
+    }
+}
+
+impl RandomConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        RandomConfig {
+            trials: 24,
+            horizon: 2_000_000,
+            seed: 0xDEC0DE,
+            ring_sizes: vec![6, 10, 16, 24, 32],
+            torus_dims: vec![(3, 3), (4, 4), (6, 6)],
+        }
+    }
+}
+
+fn cases(config: &RandomConfig) -> Vec<RandomCase> {
+    let mut out = Vec::new();
+    for &n in &config.ring_sizes {
+        out.push(RandomCase {
+            label: format!("ring-{n}"),
+            graph: oriented_ring(n).unwrap(),
+            pair: (0, n / 2),
+        });
+    }
+    for &(r, c) in &config.torus_dims {
+        out.push(RandomCase {
+            label: format!("torus-{r}x{c}"),
+            graph: oriented_torus(r, c).unwrap(),
+            pair: (0, r * c / 2),
+        });
+    }
+    out
+}
+
+/// Run the experiment as a report table.
+pub fn run(config: &RandomConfig) -> Table {
+    let mut table = Table::new(
+        "EXP-RAND",
+        "Randomized baseline: independent lazy random walks on deterministically infeasible STICs",
+        &[
+            "instance",
+            "n",
+            "pair",
+            "deterministic verdict (delta = 0)",
+            "trials",
+            "met",
+            "mean time",
+            "max time",
+        ],
+    );
+    let rows = par_map(cases(config), |case| {
+        let stic = Stic::new(case.pair.0, case.pair.1, 0);
+        let feasible = is_feasible(&case.graph, case.pair.0, case.pair.1, 0);
+        let estimate = estimate_random_rendezvous(
+            &case.graph,
+            &stic,
+            config.horizon,
+            config.trials,
+            config.seed,
+        );
+        (case.label.clone(), case.graph.num_nodes(), case.pair, feasible, estimate)
+    });
+    for (label, n, pair, feasible, estimate) in rows {
+        table.push_row([
+            label,
+            n.to_string(),
+            format!("({}, {})", pair.0, pair.1),
+            if feasible { "feasible".to_string() } else { "infeasible (Lemma 3.1)".to_string() },
+            estimate.trials.to_string(),
+            estimate.met.to_string(),
+            fmt_opt_rounds(estimate.mean_time),
+            fmt_opt_rounds(estimate.max_time),
+        ]);
+    }
+    table.push_note(
+        "Paper (conclusion): randomization sidesteps the impossibility — two independent random \
+         walks meet with high probability in time polynomial in n, even from symmetric positions \
+         with delay 0 where every deterministic algorithm must fail.  Expected outcome: verdict \
+         'infeasible' yet met = trials on every row, with the mean time growing polynomially.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_random_baseline_meets_where_determinism_cannot() {
+        let config = RandomConfig {
+            trials: 4,
+            horizon: 100_000,
+            ring_sizes: vec![6, 8],
+            torus_dims: vec![(3, 3)],
+            ..RandomConfig::default()
+        };
+        let table = run(&config);
+        assert_eq!(table.num_rows(), 3);
+        for row in &table.rows {
+            assert_eq!(row[3], "infeasible (Lemma 3.1)");
+            assert_eq!(row[4], row[5], "every trial must meet: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Lightweight tabular reports.
+//!
+//! Every experiment produces one or more [`Table`]s: the same rows that
+//! EXPERIMENTS.md records, printable as aligned ASCII and serialisable to
+//! JSON for archival.  Keeping this in-crate (rather than pulling a table
+//! crate) keeps the dependency set to the pre-approved list.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// A titled table with a header row, data rows and free-form notes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier, e.g. `"EXP-L32"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; every row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed below the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        debug_assert_eq!(row.len(), self.headers.len(), "row width mismatch in table {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Append a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column index by header name.
+    pub fn column(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// All values of the named column.
+    pub fn column_values(&self, header: &str) -> Vec<&str> {
+        match self.column(header) {
+            Some(i) => self.rows.iter().map(|r| r[i].as_str()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render the table as aligned, pipe-separated ASCII (GitHub-flavoured
+    /// markdown, so it can be pasted into EXPERIMENTS.md verbatim).
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "> {}", note);
+        }
+        out
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialisation cannot fail")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A group of tables produced by one experiment binary (or by `exp_all`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// The tables, in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append a table.
+    pub fn push(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Render every table.
+    pub fn render(&self) -> String {
+        self.tables.iter().map(Table::render).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// Find a table by id.
+    pub fn table(&self, id: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+}
+
+/// Format a `u128` round count compactly (scientific-ish for huge values).
+pub fn fmt_rounds(rounds: u128) -> String {
+    if rounds < 1_000_000 {
+        rounds.to_string()
+    } else {
+        let mut value = rounds as f64;
+        let mut exp = 0u32;
+        while value >= 10.0 {
+            value /= 10.0;
+            exp += 1;
+        }
+        format!("{value:.2}e{exp}")
+    }
+}
+
+/// Format an optional round count (`-` when absent).
+pub fn fmt_opt_rounds(rounds: Option<u128>) -> String {
+    rounds.map(fmt_rounds).unwrap_or_else(|| "-".to_string())
+}
+
+/// Format a ratio with 2 decimals, guarding against division by zero.
+pub fn fmt_ratio(numerator: u128, denominator: u128) -> String {
+    if denominator == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.3}", numerator as f64 / denominator as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_aligns_columns_and_keeps_order() {
+        let mut t = Table::new("EXP-X", "demo", &["family", "n", "time"]);
+        t.push_row(["ring", "6", "12"]);
+        t.push_row(["torus", "16", "1234"]);
+        t.push_note("a note");
+        let rendered = t.render();
+        assert!(rendered.contains("## EXP-X — demo"));
+        assert!(rendered.contains("| family | n  | time |"));
+        assert!(rendered.contains("| torus  | 16 | 1234 |"));
+        assert!(rendered.contains("> a note"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn table_columns_are_addressable_by_name() {
+        let mut t = Table::new("EXP-X", "demo", &["k", "met"]);
+        t.push_row(["1", "yes"]);
+        t.push_row(["2", "no"]);
+        assert_eq!(t.column("met"), Some(1));
+        assert_eq!(t.column("missing"), None);
+        assert_eq!(t.column_values("met"), vec!["yes", "no"]);
+        assert!(t.column_values("missing").is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Report::new();
+        let mut t = Table::new("EXP-Y", "json", &["a"]);
+        t.push_row(["1"]);
+        r.push(t);
+        let json = r.to_json();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.table("EXP-Y").is_some());
+        assert!(r.table("EXP-Z").is_none());
+    }
+
+    #[test]
+    fn round_formatting() {
+        assert_eq!(fmt_rounds(999_999), "999999");
+        assert_eq!(fmt_rounds(1_000_000), "1.00e6");
+        assert_eq!(fmt_rounds(u128::MAX), "3.40e38");
+        assert_eq!(fmt_opt_rounds(None), "-");
+        assert_eq!(fmt_opt_rounds(Some(42)), "42");
+        assert_eq!(fmt_ratio(1, 0), "-");
+        assert_eq!(fmt_ratio(3, 4), "0.750");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = Table::new("EXP-D", "display", &["x"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

@@ -1,0 +1,272 @@
+//! Parallel sweep execution.
+//!
+//! Experiments evaluate many independent STIC simulations; this module runs
+//! them with rayon (data parallelism stays strictly in the experiment layer —
+//! the algorithms themselves are sequential round-by-round programs, as in
+//! the paper) and collects uniform [`RunRecord`]s.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use anonrv_core::feasibility::{classify, SticClass};
+use anonrv_graph::{NodeId, PortGraph};
+use anonrv_sim::{simulate, AgentProgram, Round, Stic};
+
+/// One simulated STIC and its outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Workload family (e.g. `"oriented-torus"`).
+    pub family: String,
+    /// Instance label (e.g. `"torus-3x4"`).
+    pub label: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of nodes of the instance.
+    pub n: usize,
+    /// Earlier agent's start node.
+    pub u: NodeId,
+    /// Later agent's start node.
+    pub v: NodeId,
+    /// Delay between the starting rounds.
+    pub delta: Round,
+    /// STIC classification (Corollary 3.1).
+    pub class: String,
+    /// `Shrink(u, v)` when the pair is symmetric.
+    pub shrink: Option<usize>,
+    /// Whether the agents met within the horizon.
+    pub met: bool,
+    /// Rendezvous time (rounds after the later agent's start).
+    pub time: Option<Round>,
+    /// The bound the experiment compares against (e.g. `T(n, d, δ)`).
+    pub bound: Option<Round>,
+    /// Simulation horizon used.
+    pub horizon: Round,
+}
+
+impl RunRecord {
+    /// `true` when a bound is recorded and the measured time does not exceed
+    /// it.
+    pub fn within_bound(&self) -> bool {
+        match (self.time, self.bound) {
+            (Some(t), Some(b)) => t <= b,
+            _ => false,
+        }
+    }
+}
+
+/// A STIC case to run: everything [`run_case`] needs besides the algorithm.
+#[derive(Debug, Clone)]
+pub struct Case<'g> {
+    /// Workload family.
+    pub family: String,
+    /// Instance label.
+    pub label: String,
+    /// The graph.
+    pub graph: &'g PortGraph,
+    /// The STIC.
+    pub stic: Stic,
+    /// Simulation horizon.
+    pub horizon: Round,
+    /// Bound to record alongside the measurement.
+    pub bound: Option<Round>,
+}
+
+/// Simulate one case with the given program (both agents run it).
+pub fn run_case(case: &Case<'_>, program: &dyn AgentProgram) -> RunRecord {
+    let outcome = simulate(case.graph, program, &case.stic, case.horizon);
+    let class = classify(case.graph, case.stic.earlier, case.stic.later, case.stic.delay);
+    RunRecord {
+        family: case.family.clone(),
+        label: case.label.clone(),
+        algorithm: program.name().to_string(),
+        n: case.graph.num_nodes(),
+        u: case.stic.earlier,
+        v: case.stic.later,
+        delta: case.stic.delay,
+        class: class_name(&class).to_string(),
+        shrink: match class {
+            SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => {
+                Some(shrink)
+            }
+            _ => None,
+        },
+        met: outcome.met(),
+        time: outcome.rendezvous_time(),
+        bound: case.bound,
+        horizon: case.horizon,
+    }
+}
+
+/// Short name of a STIC class for reports.
+pub fn class_name(class: &SticClass) -> &'static str {
+    match class {
+        SticClass::Nonsymmetric => "nonsymmetric",
+        SticClass::SymmetricFeasible { .. } => "symmetric-feasible",
+        SticClass::SymmetricInfeasible { .. } => "symmetric-infeasible",
+        SticClass::SameNode => "same-node",
+    }
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    items.par_iter().map(|item| f(item)).collect()
+}
+
+/// Run a slice of cases against per-case programs built by `make_program`, in
+/// parallel.  The program factory receives the case so that parameters (such
+/// as the assumed size `n`) can depend on the instance.
+pub fn par_run_cases<'g, F, P>(cases: Vec<Case<'g>>, make_program: F) -> Vec<RunRecord>
+where
+    F: Fn(&Case<'g>) -> P + Sync,
+    P: AgentProgram,
+{
+    cases
+        .par_iter()
+        .map(|case| {
+            let program = make_program(case);
+            run_case(case, &program)
+        })
+        .collect()
+}
+
+/// Aggregate statistics over a set of records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Aggregate {
+    /// Total number of records.
+    pub total: usize,
+    /// Number of records with `met == true`.
+    pub met: usize,
+    /// Number of records where a bound was recorded and respected.
+    pub within_bound: usize,
+    /// Maximum rendezvous time observed.
+    pub max_time: Option<Round>,
+    /// Minimum rendezvous time observed.
+    pub min_time: Option<Round>,
+}
+
+impl Aggregate {
+    /// Compute aggregates for a record slice.
+    pub fn of(records: &[RunRecord]) -> Self {
+        let mut agg = Aggregate { total: records.len(), ..Default::default() };
+        for r in records {
+            if r.met {
+                agg.met += 1;
+            }
+            if r.within_bound() {
+                agg.within_bound += 1;
+            }
+            if let Some(t) = r.time {
+                agg.max_time = Some(agg.max_time.map_or(t, |m: Round| m.max(t)));
+                agg.min_time = Some(agg.min_time.map_or(t, |m: Round| m.min(t)));
+            }
+        }
+        agg
+    }
+
+    /// `true` iff every record met.
+    pub fn all_met(&self) -> bool {
+        self.met == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::{lollipop, oriented_ring};
+    use anonrv_sim::{Navigator, Stop};
+
+    /// Trivial program: keep moving through port 0.
+    struct AlwaysPortZero;
+    impl AgentProgram for AlwaysPortZero {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            loop {
+                nav.move_via(0)?;
+            }
+        }
+        fn name(&self) -> &str {
+            "always-port-zero"
+        }
+    }
+
+    #[test]
+    fn run_case_records_classification_and_outcome() {
+        let g = oriented_ring(4).unwrap();
+        let case = Case {
+            family: "oriented-ring".into(),
+            label: "ring-4".into(),
+            graph: &g,
+            stic: Stic::new(0, 1, 1),
+            horizon: 50,
+            bound: Some(50),
+        };
+        let record = run_case(&case, &AlwaysPortZero);
+        assert_eq!(record.class, "symmetric-feasible");
+        assert_eq!(record.shrink, Some(1));
+        // with delay 1 and "always move clockwise" the later agent is caught
+        assert!(record.met);
+        assert!(record.within_bound());
+        assert_eq!(record.algorithm, "always-port-zero");
+    }
+
+    #[test]
+    fn par_run_cases_preserves_order_and_uses_the_factory() {
+        let ring = oriented_ring(6).unwrap();
+        let lp = lollipop(3, 2).unwrap();
+        let cases = vec![
+            Case {
+                family: "oriented-ring".into(),
+                label: "ring-6".into(),
+                graph: &ring,
+                stic: Stic::new(0, 3, 3),
+                horizon: 100,
+                bound: None,
+            },
+            Case {
+                family: "lollipop".into(),
+                label: "lollipop-3-2".into(),
+                graph: &lp,
+                stic: Stic::new(0, 4, 0),
+                horizon: 100,
+                bound: None,
+            },
+        ];
+        let records = par_run_cases(cases, |_case| AlwaysPortZero);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].label, "ring-6");
+        assert_eq!(records[1].label, "lollipop-3-2");
+    }
+
+    #[test]
+    fn aggregates_summarise_records() {
+        let g = oriented_ring(4).unwrap();
+        let mk = |delta: Round| Case {
+            family: "oriented-ring".into(),
+            label: "ring-4".into(),
+            graph: &g,
+            stic: Stic::new(0, 2, delta),
+            horizon: 40,
+            bound: Some(10),
+        };
+        let records: Vec<RunRecord> =
+            vec![run_case(&mk(2), &AlwaysPortZero), run_case(&mk(0), &AlwaysPortZero)];
+        let agg = Aggregate::of(&records);
+        assert_eq!(agg.total, 2);
+        // delay 2 catches up, delay 0 keeps the agents antipodal forever
+        assert_eq!(agg.met, 1);
+        assert!(!agg.all_met());
+        assert!(agg.max_time.is_some());
+        assert_eq!(agg.min_time, agg.max_time);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let doubled = par_map((0..100usize).collect(), |x| x * 2);
+        assert_eq!(doubled[7], 14);
+        assert_eq!(doubled.len(), 100);
+    }
+}

@@ -1,0 +1,204 @@
+//! EXP-P41 — Proposition 4.1: the time used by `UniversalRV` grows like
+//! `O(n + δ)^O(n + δ)`.
+//!
+//! The experiment runs `UniversalRV` to rendezvous on a family of symmetric
+//! STICs of increasing size and delay (oriented rings, starting nodes at
+//! distance `d = Shrink = 2`, `δ = d`, plus a delay sweep at fixed `n`), and
+//! reports for every point
+//!
+//! * the measured rendezvous time (rounds since the later agent's start),
+//! * the index of the resolving phase `g(n, d, δ)` and the paper's phase-count
+//!   estimate `O(n⁴ + δ²)`,
+//! * the analytic completion bound our implementation guarantees, and
+//! * the paper's envelope `(n + δ)^(n + δ)`.
+//!
+//! The expected *shape* is super-polynomial growth of both the measured time
+//! and the bound, while staying below the envelope — not a match of absolute
+//! constants (the paper gives none).
+
+use anonrv_core::bounds::proposition41_envelope;
+use anonrv_core::label::TrailSignature;
+use anonrv_core::pairing::phase_of;
+use anonrv_core::universal_rv::UniversalRv;
+use anonrv_graph::generators::oriented_ring;
+use anonrv_graph::shrink::shrink;
+use anonrv_sim::{simulate, Round, Stic};
+use anonrv_uxs::{LengthRule, PseudorandomUxs};
+
+use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
+use crate::runner::par_map;
+
+/// One point of the scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingPoint {
+    /// Ring size.
+    pub n: usize,
+    /// Distance between the starting nodes (`= Shrink` on the oriented ring).
+    pub d: usize,
+    /// Delay.
+    pub delta: Round,
+}
+
+/// Configuration of the scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingConfig {
+    /// The sweep points.
+    pub points: Vec<ScalingPoint>,
+    /// UXS length rule.
+    pub uxs_rule: LengthRule,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            points: vec![
+                ScalingPoint { n: 4, d: 2, delta: 2 },
+                ScalingPoint { n: 5, d: 2, delta: 2 },
+                ScalingPoint { n: 6, d: 2, delta: 2 },
+                ScalingPoint { n: 4, d: 2, delta: 3 },
+            ],
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+impl ScalingConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        ScalingConfig {
+            points: vec![
+                ScalingPoint { n: 4, d: 2, delta: 2 },
+                ScalingPoint { n: 5, d: 2, delta: 2 },
+                ScalingPoint { n: 6, d: 2, delta: 2 },
+                ScalingPoint { n: 7, d: 2, delta: 2 },
+                ScalingPoint { n: 8, d: 2, delta: 2 },
+                ScalingPoint { n: 4, d: 2, delta: 3 },
+                ScalingPoint { n: 4, d: 2, delta: 4 },
+                ScalingPoint { n: 6, d: 3, delta: 3 },
+            ],
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+/// One measured row of the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalingRecord {
+    /// The sweep point.
+    pub point: ScalingPoint,
+    /// Measured rendezvous time.
+    pub time: Option<Round>,
+    /// Index of the resolving phase `g(n, d, δ)`.
+    pub resolving_phase: u64,
+    /// The paper's phase-count shape `n⁴ + δ²` evaluated at the point.
+    pub phase_shape: u64,
+    /// Our implementation's completion bound (the simulation horizon).
+    pub completion_bound: Round,
+    /// The paper's `(n + δ)^(n + δ)` envelope.
+    pub envelope: Round,
+}
+
+/// Run the sweep and return the measured records.
+pub fn collect(config: &ScalingConfig) -> Vec<ScalingRecord> {
+    let uxs_rule = config.uxs_rule;
+    par_map(config.points.clone(), |&point| {
+        let ScalingPoint { n, d, delta } = point;
+        let g = oriented_ring(n).expect("ring generation");
+        let (u, v) = (0usize, d);
+        debug_assert_eq!(shrink(&g, u, v), Some(d));
+        let uxs = PseudorandomUxs::with_rule(uxs_rule);
+        let scheme = TrailSignature::new(uxs);
+        let algo = UniversalRv::new(&uxs, &scheme);
+        let horizon = algo.completion_horizon(n, d, delta);
+        let outcome = simulate(&g, &algo, &Stic::new(u, v, delta), horizon);
+        ScalingRecord {
+            point,
+            time: outcome.rendezvous_time(),
+            resolving_phase: phase_of(n, d, delta.min(u64::MAX as Round) as u64),
+            phase_shape: (n as u64).pow(4) + (delta as u64).pow(2),
+            completion_bound: horizon,
+            envelope: proposition41_envelope(n, delta),
+        }
+    })
+}
+
+/// Run the experiment as a report table.
+pub fn run(config: &ScalingConfig) -> Table {
+    let records = collect(config);
+    let mut table = Table::new(
+        "EXP-P41",
+        "UniversalRV total time versus (n, delta) on oriented rings (Proposition 4.1)",
+        &[
+            "n",
+            "d",
+            "delta",
+            "measured time",
+            "resolving phase g(n,d,delta)",
+            "n^4 + delta^2",
+            "completion bound",
+            "envelope (n+delta)^(n+delta)",
+        ],
+    );
+    for r in &records {
+        table.push_row([
+            r.point.n.to_string(),
+            r.point.d.to_string(),
+            r.point.delta.to_string(),
+            fmt_opt_rounds(r.time),
+            r.resolving_phase.to_string(),
+            r.phase_shape.to_string(),
+            fmt_rounds(r.completion_bound),
+            fmt_rounds(r.envelope),
+        ]);
+    }
+    table.push_note(
+        "Paper: the number of phases before rendezvous is O(n^4 + delta^2) and the total time is \
+         O(n + delta)^O(n + delta); the expected shape is measured time and completion bound \
+         growing super-polynomially with n + delta while every measurement stays at or below the \
+         completion bound.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScalingConfig {
+        ScalingConfig {
+            points: vec![
+                ScalingPoint { n: 4, d: 2, delta: 2 },
+                ScalingPoint { n: 5, d: 2, delta: 2 },
+                ScalingPoint { n: 4, d: 2, delta: 3 },
+            ],
+            ..ScalingConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_point_meets_below_its_completion_bound() {
+        for r in collect(&tiny()) {
+            let t = r.time.expect("feasible STIC must be solved");
+            assert!(t <= r.completion_bound, "{r:?}");
+            assert!(r.resolving_phase as u128 <= r.phase_shape as u128 * 4,
+                "the resolving phase should respect the O(n^4 + delta^2) shape: {r:?}");
+        }
+    }
+
+    #[test]
+    fn time_grows_with_n_at_fixed_delta() {
+        let records = collect(&tiny());
+        let t4 = records[0].time.unwrap();
+        let t5 = records[1].time.unwrap();
+        assert!(t5 > t4, "measured time must grow with n (t4 = {t4}, t5 = {t5})");
+        // and with the delay at fixed n
+        let t4_d3 = records[2].time.unwrap();
+        assert!(t4_d3 > t4, "measured time must grow with the delay (t4 = {t4}, t4_d3 = {t4_d3})");
+    }
+
+    #[test]
+    fn the_table_has_one_row_per_point() {
+        let cfg = tiny();
+        assert_eq!(run(&cfg).num_rows(), cfg.points.len());
+    }
+}

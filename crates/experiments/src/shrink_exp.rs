@@ -1,0 +1,164 @@
+//! EXP-SHRINK — the Section 3 examples around `Shrink(u, v)`
+//! (Definition 3.1).
+//!
+//! The paper illustrates the definition with two extreme families:
+//!
+//! * in an **oriented torus** (and, likewise, an oriented ring) every pair of
+//!   nodes is symmetric and `Shrink(u, v)` *equals* the distance between `u`
+//!   and `v` — applying a common port sequence translates both agents rigidly;
+//! * in a **symmetric double tree** (two port-preserving isomorphic trees
+//!   joined by a central edge) `Shrink(u, v) = 1` for every symmetric pair,
+//!   however far apart the nodes are — `Shrink` can really shrink the
+//!   distance.
+//!
+//! The experiment sweeps the symmetric workloads, computes `Shrink` for a
+//! selection of symmetric pairs of each instance and reports how it compares
+//! to the graph distance.
+
+use crate::report::{fmt_ratio, Table};
+use crate::suite::{symmetric_pairs, symmetric_workloads, Scale, SymmetricPair};
+
+/// Configuration of the Shrink experiment.
+#[derive(Debug, Clone)]
+pub struct ShrinkConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Maximum number of symmetric pairs evaluated per instance.
+    pub max_pairs: usize,
+}
+
+impl Default for ShrinkConfig {
+    fn default() -> Self {
+        ShrinkConfig { scale: Scale::Quick, max_pairs: 16 }
+    }
+}
+
+impl ShrinkConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        ShrinkConfig { scale: Scale::Full, max_pairs: 64 }
+    }
+}
+
+/// Per-instance summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkRow {
+    /// Family name.
+    pub family: String,
+    /// Instance label.
+    pub label: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of pairs evaluated.
+    pub pairs: usize,
+    /// Maximum distance over the evaluated pairs.
+    pub max_distance: usize,
+    /// Maximum `Shrink` over the evaluated pairs.
+    pub max_shrink: usize,
+    /// Number of pairs with `Shrink == distance`.
+    pub shrink_equals_distance: usize,
+    /// Number of pairs with `Shrink == 1`.
+    pub shrink_is_one: usize,
+}
+
+impl ShrinkRow {
+    fn of(family: &str, label: &str, n: usize, pairs: &[SymmetricPair]) -> Self {
+        ShrinkRow {
+            family: family.to_string(),
+            label: label.to_string(),
+            n,
+            pairs: pairs.len(),
+            max_distance: pairs.iter().map(|p| p.distance).max().unwrap_or(0),
+            max_shrink: pairs.iter().map(|p| p.shrink).max().unwrap_or(0),
+            shrink_equals_distance: pairs.iter().filter(|p| p.shrink == p.distance).count(),
+            shrink_is_one: pairs.iter().filter(|p| p.shrink == 1).count(),
+        }
+    }
+}
+
+/// Run the experiment and collect the per-instance rows.
+pub fn collect(config: &ShrinkConfig) -> Vec<ShrinkRow> {
+    symmetric_workloads(config.scale)
+        .iter()
+        .map(|w| {
+            let pairs = symmetric_pairs(&w.graph, config.max_pairs);
+            ShrinkRow::of(&w.family, &w.label, w.n(), &pairs)
+        })
+        .collect()
+}
+
+/// Run the experiment as a report table.
+pub fn run(config: &ShrinkConfig) -> Table {
+    let mut table = Table::new(
+        "EXP-SHRINK",
+        "Shrink(u, v) versus distance on symmetric families (Section 3 examples)",
+        &[
+            "family",
+            "instance",
+            "n",
+            "pairs",
+            "max dist",
+            "max Shrink",
+            "Shrink = dist",
+            "Shrink = 1",
+        ],
+    );
+    for row in collect(config) {
+        table.push_row([
+            row.family.clone(),
+            row.label.clone(),
+            row.n.to_string(),
+            row.pairs.to_string(),
+            row.max_distance.to_string(),
+            row.max_shrink.to_string(),
+            fmt_ratio(row.shrink_equals_distance as u128, row.pairs as u128),
+            fmt_ratio(row.shrink_is_one as u128, row.pairs as u128),
+        ]);
+    }
+    table.push_note(
+        "Paper: on oriented tori (and rings) Shrink equals the distance for every pair \
+         (ratio 1.000 in column 'Shrink = dist'); on symmetric double trees Shrink is always 1 \
+         (ratio 1.000 in column 'Shrink = 1') although the distance can be arbitrarily large.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tori_and_rings_have_shrink_equal_to_distance() {
+        for row in collect(&ShrinkConfig::default()) {
+            if row.family == "oriented-ring" || row.family == "oriented-torus" {
+                assert_eq!(
+                    row.shrink_equals_distance, row.pairs,
+                    "{}: Shrink must equal the distance on every pair",
+                    row.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_trees_have_shrink_one_everywhere() {
+        let rows = collect(&ShrinkConfig::default());
+        let mut seen = false;
+        for row in rows {
+            if row.family == "double-tree" {
+                seen = true;
+                assert_eq!(row.shrink_is_one, row.pairs, "{}", row.label);
+                // ... even though the distance can exceed 1
+                assert!(row.max_distance >= 2, "{}", row.label);
+            }
+        }
+        assert!(seen, "the quick suite must include double trees");
+    }
+
+    #[test]
+    fn the_table_has_one_row_per_workload() {
+        let config = ShrinkConfig::default();
+        let table = run(&config);
+        assert_eq!(table.num_rows(), symmetric_workloads(config.scale).len());
+    }
+}

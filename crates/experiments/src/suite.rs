@@ -1,0 +1,318 @@
+//! Workload suites: the graph families and STIC selections every experiment
+//! draws from.
+//!
+//! All suites come in two sizes ([`Scale::Quick`] for tests / CI, and
+//! [`Scale::Full`] for the EXPERIMENTS.md runs); both are fully deterministic
+//! (fixed seeds).
+
+use anonrv_graph::generators::{
+    caterpillar, complete_bipartite, grid, hypercube, kary_tree, lollipop, oriented_ring,
+    oriented_torus, path, random_connected, star, symmetric_double_tree,
+};
+use anonrv_graph::shrink::shrink;
+use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_graph::{NodeId, PortGraph};
+
+/// How large the generated suite should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances: fast enough for unit/integration tests.
+    Quick,
+    /// The instances recorded in EXPERIMENTS.md.
+    Full,
+}
+
+/// A named graph instance.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Family name, e.g. `"oriented-ring"`.
+    pub family: String,
+    /// Short instance label, e.g. `"ring-8"`.
+    pub label: String,
+    /// The graph.
+    pub graph: PortGraph,
+}
+
+impl Workload {
+    /// Build a workload from a family name and a graph.
+    pub fn new(family: &str, label: String, graph: PortGraph) -> Self {
+        Workload { family: family.to_string(), label, graph }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// A symmetric starting pair together with its `Shrink` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymmetricPair {
+    /// First starting node.
+    pub u: NodeId,
+    /// Second starting node.
+    pub v: NodeId,
+    /// `Shrink(u, v)`.
+    pub shrink: usize,
+    /// Graph distance between `u` and `v`.
+    pub distance: usize,
+}
+
+/// Fully symmetric graph families (every pair of nodes has equal views):
+/// oriented rings, oriented tori, hypercubes, and the paper's symmetric
+/// double trees.
+pub fn symmetric_workloads(scale: Scale) -> Vec<Workload> {
+    let mut out = Vec::new();
+    let ring_sizes: &[usize] = match scale {
+        Scale::Quick => &[4, 6, 8],
+        Scale::Full => &[4, 6, 8, 10, 12, 16],
+    };
+    for &n in ring_sizes {
+        out.push(Workload::new("oriented-ring", format!("ring-{n}"), oriented_ring(n).unwrap()));
+    }
+    let torus_dims: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(3, 3), (3, 4)],
+        Scale::Full => &[(3, 3), (3, 4), (4, 4), (4, 6), (6, 6), (8, 8)],
+    };
+    for &(r, c) in torus_dims {
+        out.push(Workload::new(
+            "oriented-torus",
+            format!("torus-{r}x{c}"),
+            oriented_torus(r, c).unwrap(),
+        ));
+    }
+    let cube_dims: &[usize] = match scale {
+        Scale::Quick => &[2, 3],
+        Scale::Full => &[2, 3, 4],
+    };
+    for &d in cube_dims {
+        out.push(Workload::new("hypercube", format!("hypercube-{d}"), hypercube(d).unwrap()));
+    }
+    let tree_params: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(2, 1), (2, 2)],
+        Scale::Full => &[(2, 1), (2, 2), (2, 3), (3, 2), (2, 5)],
+    };
+    for &(arity, depth) in tree_params {
+        let (g, _) = symmetric_double_tree(arity, depth).unwrap();
+        out.push(Workload::new("double-tree", format!("double-tree-{arity}-{depth}"), g));
+    }
+    out
+}
+
+/// Graph families with nonsymmetric nodes: lollipops, caterpillars, paths,
+/// stars, complete-bipartite graphs and random connected graphs.
+pub fn nonsymmetric_workloads(scale: Scale) -> Vec<Workload> {
+    let mut out = Vec::new();
+    let lollipops: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(3, 2), (4, 3)],
+        Scale::Full => &[(3, 2), (4, 3), (5, 4), (6, 6), (8, 8)],
+    };
+    for &(clique, tail) in lollipops {
+        out.push(Workload::new(
+            "lollipop",
+            format!("lollipop-{clique}-{tail}"),
+            lollipop(clique, tail).unwrap(),
+        ));
+    }
+    let caterpillars: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(3, 1), (4, 2)],
+        Scale::Full => &[(3, 1), (4, 2), (5, 2), (6, 3)],
+    };
+    for &(spine, legs) in caterpillars {
+        out.push(Workload::new(
+            "caterpillar",
+            format!("caterpillar-{spine}-{legs}"),
+            caterpillar(spine, legs).unwrap(),
+        ));
+    }
+    let paths: &[usize] = match scale {
+        Scale::Quick => &[4, 5],
+        Scale::Full => &[4, 5, 7, 9, 12],
+    };
+    for &n in paths {
+        out.push(Workload::new("path", format!("path-{n}"), path(n).unwrap()));
+    }
+    let stars: &[usize] = match scale {
+        Scale::Quick => &[3, 5],
+        Scale::Full => &[3, 5, 8, 12],
+    };
+    for &k in stars {
+        out.push(Workload::new("star", format!("star-{k}"), star(k).unwrap()));
+    }
+    let bipartite: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(1, 3)],
+        Scale::Full => &[(1, 3), (2, 5), (3, 7)],
+    };
+    for &(a, b) in bipartite {
+        out.push(Workload::new(
+            "complete-bipartite",
+            format!("k{a}{b}"),
+            complete_bipartite(a, b).unwrap(),
+        ));
+    }
+    let trees: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(2, 2)],
+        Scale::Full => &[(2, 2), (2, 3), (3, 2)],
+    };
+    for &(arity, depth) in trees {
+        out.push(Workload::new(
+            "kary-tree",
+            format!("tree-{arity}-{depth}"),
+            kary_tree(arity, depth).unwrap(),
+        ));
+    }
+    let random: &[(usize, usize, u64)] = match scale {
+        Scale::Quick => &[(8, 3, 1), (9, 4, 2)],
+        Scale::Full => &[(8, 3, 1), (9, 4, 2), (10, 5, 3), (12, 6, 4), (14, 8, 5), (16, 10, 6)],
+    };
+    for &(n, extra, seed) in random {
+        out.push(Workload::new(
+            "random-connected",
+            format!("random-{n}-{extra}-s{seed}"),
+            random_connected(n, extra, seed).unwrap(),
+        ));
+    }
+    // grids are nonsymmetric (corners vs. interior) and exercise degree
+    // heterogeneity
+    let grids: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(2, 3)],
+        Scale::Full => &[(2, 3), (3, 3), (3, 4)],
+    };
+    for &(r, c) in grids {
+        out.push(Workload::new("grid", format!("grid-{r}x{c}"), grid(r, c).unwrap()));
+    }
+    out
+}
+
+/// Every symmetric pair of distinct nodes of `g` (restricted to orbit
+/// representatives on the first coordinate to keep the count manageable),
+/// with its `Shrink` value and distance.  `max_pairs` truncates the list
+/// deterministically.
+pub fn symmetric_pairs(g: &PortGraph, max_pairs: usize) -> Vec<SymmetricPair> {
+    let partition = OrbitPartition::compute(g);
+    let mut out = Vec::new();
+    'outer: for &u in &partition.representatives() {
+        for v in g.nodes() {
+            if v != u && partition.are_symmetric(u, v) {
+                let s = shrink(g, u, v).expect("shrink search completes");
+                let dist = anonrv_graph::distance::distance(g, u, v);
+                out.push(SymmetricPair { u, v, shrink: s, distance: dist });
+                if out.len() >= max_pairs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nonsymmetric pairs of `g` (first `max_pairs`, deterministic order).
+pub fn nonsymmetric_pairs(g: &PortGraph, max_pairs: usize) -> Vec<(NodeId, NodeId)> {
+    let partition = OrbitPartition::compute(g);
+    let mut out = Vec::new();
+    'outer: for u in g.nodes() {
+        for v in g.nodes() {
+            if u < v && !partition.are_symmetric(u, v) {
+                out.push((u, v));
+                if out.len() >= max_pairs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Delay values exercised against symmetric pairs (relative to `Shrink = d`):
+/// `d`, `d + 1`, `2d`, `d + 7`.
+pub fn symmetric_delays(d: usize) -> Vec<u128> {
+    let d = d as u128;
+    let mut v = vec![d, d + 1, 2 * d, d + 7];
+    v.dedup();
+    v
+}
+
+/// Delay values exercised against nonsymmetric pairs.
+pub fn nonsymmetric_delays(scale: Scale) -> Vec<u128> {
+    match scale {
+        Scale::Quick => vec![0, 1, 5],
+        Scale::Full => vec![0, 1, 5, 17],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_workloads_give_every_node_a_symmetric_partner() {
+        for w in symmetric_workloads(Scale::Quick) {
+            let partition = OrbitPartition::compute(&w.graph);
+            // vertex-transitive families collapse to a single orbit; the
+            // double trees have one orbit per depth level, but every node
+            // still has a symmetric partner (its mirror image)
+            if w.family == "double-tree" {
+                assert!(
+                    partition.classes().iter().all(|class| class.len() >= 2),
+                    "{}: every node needs a symmetric partner",
+                    w.label
+                );
+            } else {
+                assert!(
+                    partition.is_fully_symmetric(),
+                    "{} should have a single orbit",
+                    w.label
+                );
+            }
+            assert!(w.graph.is_connected());
+            assert!(w.n() >= 2);
+        }
+    }
+
+    #[test]
+    fn nonsymmetric_workloads_have_nonsymmetric_pairs() {
+        for w in nonsymmetric_workloads(Scale::Quick) {
+            assert!(w.graph.is_connected(), "{} must be connected", w.label);
+            assert!(
+                !nonsymmetric_pairs(&w.graph, 1).is_empty(),
+                "{} should have at least one nonsymmetric pair",
+                w.label
+            );
+        }
+    }
+
+    #[test]
+    fn quick_scale_is_a_subset_of_full_scale() {
+        assert!(symmetric_workloads(Scale::Quick).len() < symmetric_workloads(Scale::Full).len());
+        assert!(
+            nonsymmetric_workloads(Scale::Quick).len() < nonsymmetric_workloads(Scale::Full).len()
+        );
+    }
+
+    #[test]
+    fn symmetric_pairs_report_shrink_not_larger_than_distance() {
+        let g = oriented_torus(3, 4).unwrap();
+        let pairs = symmetric_pairs(&g, 64);
+        assert!(!pairs.is_empty());
+        for p in pairs {
+            assert!(p.shrink >= 1);
+            assert!(p.shrink <= p.distance, "Shrink can never exceed the distance");
+        }
+    }
+
+    #[test]
+    fn pair_truncation_is_respected() {
+        let g = oriented_torus(4, 4).unwrap();
+        assert_eq!(symmetric_pairs(&g, 3).len(), 3);
+        let lp = lollipop(5, 4).unwrap();
+        assert_eq!(nonsymmetric_pairs(&lp, 2).len(), 2);
+    }
+
+    #[test]
+    fn delay_grids_are_deterministic() {
+        assert_eq!(symmetric_delays(1), vec![1, 2, 8]);
+        assert_eq!(symmetric_delays(2), vec![2, 3, 4, 9]);
+        assert_eq!(nonsymmetric_delays(Scale::Quick), vec![0, 1, 5]);
+        assert_eq!(nonsymmetric_delays(Scale::Full), vec![0, 1, 5, 17]);
+    }
+}

@@ -1,0 +1,179 @@
+//! EXP-L32 / EXP-L33 — Procedure `SymmRV(n, d, δ)` (Lemmas 3.2 and 3.3).
+//!
+//! Lemma 3.2: two agents starting from symmetric nodes `u, v` with
+//! `δ ≥ d = Shrink(u, v)` in a graph of size `n` meet while executing
+//! `SymmRV(n, d, δ)`.  Lemma 3.3: the procedure takes at most
+//! `T(n, d, δ) = (d + δ)(n − 1)^d (M + 2) + 2(M + 1)` rounds.
+//!
+//! The experiment sweeps the symmetric workloads, picks symmetric pairs, runs
+//! the procedure with several delays `≥ Shrink` and records the measured
+//! rendezvous time against the Lemma 3.3 bound.
+
+use anonrv_core::bounds::symm_rv_bound;
+use anonrv_core::symm_rv::SymmRv;
+use anonrv_sim::{Round, Stic};
+use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
+
+use crate::report::{fmt_opt_rounds, fmt_ratio, fmt_rounds, Table};
+use crate::runner::{run_case, Aggregate, Case, RunRecord};
+use crate::suite::{symmetric_delays, symmetric_pairs, symmetric_workloads, Scale};
+
+/// Configuration of the `SymmRV` experiment.
+#[derive(Debug, Clone)]
+pub struct SymmConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Maximum symmetric pairs per instance.
+    pub max_pairs: usize,
+    /// Skip pairs with `Shrink(u, v)` above this value (the procedure's cost
+    /// is exponential in `d`; this is the knob EXPERIMENTS.md reports on).
+    pub max_shrink: usize,
+    /// Skip instances with more nodes than this (the `(n − 1)^d (M + 2)`
+    /// factor of Lemma 3.3 makes large instances impractically slow).
+    pub max_nodes: usize,
+    /// UXS length rule used by the procedure.
+    pub uxs_rule: LengthRule,
+}
+
+impl Default for SymmConfig {
+    fn default() -> Self {
+        SymmConfig {
+            scale: Scale::Quick,
+            max_pairs: 4,
+            max_shrink: 2,
+            max_nodes: 14,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+impl SymmConfig {
+    /// The configuration used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        SymmConfig {
+            scale: Scale::Full,
+            max_pairs: 6,
+            max_shrink: 2,
+            max_nodes: 16,
+            uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+        }
+    }
+}
+
+/// Run the experiment and return the raw records.
+pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
+    let workloads = symmetric_workloads(config.scale);
+    let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
+    let mut records = Vec::new();
+    for w in &workloads {
+        let n = w.n();
+        if n > config.max_nodes {
+            continue;
+        }
+        let m = uxs.length(n);
+        let pairs: Vec<_> = symmetric_pairs(&w.graph, config.max_pairs)
+            .into_iter()
+            .filter(|p| p.shrink >= 1 && p.shrink <= config.max_shrink)
+            .collect();
+        let cases: Vec<(usize, Round)> = pairs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| symmetric_delays(p.shrink).into_iter().map(move |d| (i, d)))
+            .collect();
+        let batch = crate::runner::par_map(cases, |&(i, delta)| {
+            let p = &pairs[i];
+            let bound = symm_rv_bound(n, p.shrink, delta, m);
+            let case = Case {
+                family: w.family.clone(),
+                label: w.label.clone(),
+                graph: &w.graph,
+                stic: Stic::new(p.u, p.v, delta),
+                horizon: bound.saturating_add(delta).saturating_add(1),
+                bound: Some(bound),
+            };
+            let program = SymmRv::new(n, p.shrink, delta, &uxs);
+            run_case(&case, &program)
+        });
+        records.extend(batch);
+    }
+    records
+}
+
+/// Run the experiment as a report table (one row per instance, aggregated).
+pub fn run(config: &SymmConfig) -> Table {
+    let records = collect(config);
+    let mut table = Table::new(
+        "EXP-L32",
+        "SymmRV on symmetric STICs with delta >= Shrink (Lemmas 3.2 / 3.3)",
+        &[
+            "family",
+            "instance",
+            "n",
+            "STICs",
+            "met",
+            "within T(n,d,delta)",
+            "max time",
+            "max bound",
+            "max time / bound",
+        ],
+    );
+    let mut labels: Vec<String> = records.iter().map(|r| r.label.clone()).collect();
+    labels.dedup();
+    for label in labels {
+        let group: Vec<&RunRecord> = records.iter().filter(|r| r.label == label).collect();
+        let owned: Vec<RunRecord> = group.iter().map(|r| (*r).clone()).collect();
+        let agg = Aggregate::of(&owned);
+        let max_bound = group.iter().filter_map(|r| r.bound).max();
+        table.push_row([
+            group[0].family.clone(),
+            label.clone(),
+            group[0].n.to_string(),
+            agg.total.to_string(),
+            agg.met.to_string(),
+            agg.within_bound.to_string(),
+            fmt_opt_rounds(agg.max_time),
+            max_bound.map(fmt_rounds).unwrap_or_else(|| "-".to_string()),
+            match (agg.max_time, max_bound) {
+                (Some(t), Some(b)) => fmt_ratio(t, b),
+                _ => "-".to_string(),
+            },
+        ]);
+    }
+    table.push_note(
+        "Paper: every STIC in this sweep is feasible (delta >= Shrink), so 'met' must equal \
+         'STICs' and every measured time must respect the Lemma 3.3 bound \
+         ('within T' = 'STICs', ratio <= 1).",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_symmetric_stic_with_sufficient_delay_meets_within_the_bound() {
+        let config = SymmConfig { max_pairs: 2, max_shrink: 2, ..SymmConfig::default() };
+        let records = collect(&config);
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(r.met, "SymmRV must meet on {} pair ({}, {}) delta {}", r.label, r.u, r.v, r.delta);
+            assert!(r.within_bound(), "Lemma 3.3 bound violated on {:?}", r);
+            assert_eq!(r.class, "symmetric-feasible");
+        }
+    }
+
+    #[test]
+    fn the_table_aggregates_by_instance() {
+        let config = SymmConfig { max_pairs: 1, max_shrink: 1, ..SymmConfig::default() };
+        let table = run(&config);
+        assert!(table.num_rows() >= 1);
+        for (met, total) in table
+            .column_values("met")
+            .iter()
+            .zip(table.column_values("STICs").iter())
+        {
+            assert_eq!(met, total);
+        }
+    }
+}

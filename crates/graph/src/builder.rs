@@ -1,0 +1,252 @@
+//! Checked construction of [`PortGraph`]s.
+
+use crate::error::GraphError;
+use crate::graph::{NodeId, Port, PortGraph};
+use crate::Result;
+
+/// Incremental, checked builder for [`PortGraph`].
+///
+/// Edges are added with explicit ports at both extremities.  The builder
+/// rejects self-loops, parallel edges and reused ports at insertion time;
+/// [`PortGraphBuilder::build`] additionally checks that the ports of every
+/// node are contiguous (`0..deg`) and that the graph is connected, as the
+/// paper's model requires.
+///
+/// ```
+/// use anonrv_graph::PortGraphBuilder;
+///
+/// // the two-node graph from the paper's introduction
+/// let mut b = PortGraphBuilder::new(2);
+/// b.add_edge(0, 0, 1, 0).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.succ(0, 0), (1, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortGraphBuilder {
+    /// `slots[v][p] = Some((w, q))` once the edge using port `p` at `v` is known.
+    slots: Vec<Vec<Option<(NodeId, Port)>>>,
+}
+
+impl PortGraphBuilder {
+    /// Create a builder for a graph with `n` nodes and no edges yet.
+    pub fn new(n: usize) -> Self {
+        PortGraphBuilder { slots: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Add one more (isolated, for now) node and return its index.
+    pub fn add_node(&mut self) -> NodeId {
+        self.slots.push(Vec::new());
+        self.slots.len() - 1
+    }
+
+    /// Add the undirected edge `{u, v}` with port `pu` at `u` and `pv` at `v`.
+    pub fn add_edge(&mut self, u: NodeId, pu: Port, v: NodeId, pv: Port) -> Result<()> {
+        let n = self.slots.len();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.slots[u].iter().flatten().any(|&(w, _)| w == v) {
+            return Err(GraphError::ParallelEdge { u, v });
+        }
+        if self.port_used(u, pu) {
+            return Err(GraphError::DuplicatePort { node: u, port: pu });
+        }
+        if self.port_used(v, pv) {
+            return Err(GraphError::DuplicatePort { node: v, port: pv });
+        }
+        self.set_slot(u, pu, (v, pv));
+        self.set_slot(v, pv, (u, pu));
+        Ok(())
+    }
+
+    /// Add the edge `{u, v}` using the smallest unused port at each endpoint.
+    /// Returns the pair of assigned ports.
+    pub fn add_edge_auto(&mut self, u: NodeId, v: NodeId) -> Result<(Port, Port)> {
+        let pu = self.next_free_port(u);
+        let pv = self.next_free_port(v);
+        self.add_edge(u, pu, v, pv)?;
+        Ok((pu, pv))
+    }
+
+    /// Current number of used ports at `v` (its degree so far).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.slots.get(v).map(|s| s.iter().flatten().count()).unwrap_or(0)
+    }
+
+    /// Smallest port not yet used at `v`.
+    pub fn next_free_port(&self, v: NodeId) -> Port {
+        let slots = &self.slots[v];
+        for (p, s) in slots.iter().enumerate() {
+            if s.is_none() {
+                return p;
+            }
+        }
+        slots.len()
+    }
+
+    fn port_used(&self, v: NodeId, p: Port) -> bool {
+        self.slots[v].get(p).map(|s| s.is_some()).unwrap_or(false)
+    }
+
+    fn set_slot(&mut self, v: NodeId, p: Port, value: (NodeId, Port)) {
+        let slots = &mut self.slots[v];
+        if slots.len() <= p {
+            slots.resize(p + 1, None);
+        }
+        slots[p] = Some(value);
+    }
+
+    /// Finalise the graph.  Fails if some node has non-contiguous ports, an
+    /// isolated node exists or the graph is disconnected.
+    pub fn build(self) -> Result<PortGraph> {
+        let mut adj: Vec<Box<[(NodeId, Port)]>> = Vec::with_capacity(self.slots.len());
+        for (v, slots) in self.slots.into_iter().enumerate() {
+            let mut list = Vec::with_capacity(slots.len());
+            for (p, s) in slots.into_iter().enumerate() {
+                match s {
+                    Some(half) => list.push(half),
+                    None => {
+                        // a hole below the maximum used port
+                        let _ = p;
+                        return Err(GraphError::NonContiguousPorts { node: v });
+                    }
+                }
+            }
+            if list.is_empty() {
+                return Err(GraphError::IsolatedNode { node: v });
+            }
+            adj.push(list.into_boxed_slice());
+        }
+        PortGraph::from_adjacency(adj)
+    }
+
+    /// Build a graph from plain adjacency lists, assigning ports in list
+    /// order (`adj[v][i]` uses port `i` at `v`).  Every edge must appear in
+    /// both endpoint lists exactly once.
+    pub fn from_adjacency_lists(lists: &[Vec<NodeId>]) -> Result<PortGraph> {
+        let n = lists.len();
+        let mut b = PortGraphBuilder::new(n);
+        for (u, nbrs) in lists.iter().enumerate() {
+            for (pu, &v) in nbrs.iter().enumerate() {
+                if v >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+                if u < v {
+                    // port at v = position of u in v's list
+                    let pv = lists[v]
+                        .iter()
+                        .position(|&w| w == u)
+                        .ok_or(GraphError::DuplicatePort { node: v, port: 0 })?;
+                    b.add_edge(u, pu, v, pv)?;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_triangle_builds() {
+        let mut b = PortGraphBuilder::new(3);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        b.add_edge(1, 1, 2, 0).unwrap();
+        b.add_edge(2, 1, 0, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_regular());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut b = PortGraphBuilder::new(2);
+        assert_eq!(b.add_edge(0, 0, 0, 1), Err(GraphError::SelfLoop { node: 0 }));
+    }
+
+    #[test]
+    fn parallel_edges_are_rejected() {
+        let mut b = PortGraphBuilder::new(2);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        assert_eq!(b.add_edge(0, 1, 1, 1), Err(GraphError::ParallelEdge { u: 0, v: 1 }));
+    }
+
+    #[test]
+    fn duplicate_ports_are_rejected() {
+        let mut b = PortGraphBuilder::new(3);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        assert_eq!(
+            b.add_edge(0, 0, 2, 0),
+            Err(GraphError::DuplicatePort { node: 0, port: 0 })
+        );
+    }
+
+    #[test]
+    fn non_contiguous_ports_are_rejected_at_build_time() {
+        let mut b = PortGraphBuilder::new(2);
+        // Port 1 is used at node 0 but port 0 never is.
+        b.add_edge(0, 1, 1, 0).unwrap();
+        assert_eq!(b.build(), Err(GraphError::NonContiguousPorts { node: 0 }));
+    }
+
+    #[test]
+    fn disconnected_graphs_are_rejected() {
+        let mut b = PortGraphBuilder::new(4);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        b.add_edge(2, 0, 3, 0).unwrap();
+        assert_eq!(b.build(), Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn isolated_nodes_are_rejected() {
+        let mut b = PortGraphBuilder::new(3);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        assert_eq!(b.build(), Err(GraphError::IsolatedNode { node: 2 }));
+    }
+
+    #[test]
+    fn add_edge_auto_assigns_lowest_free_ports() {
+        let mut b = PortGraphBuilder::new(4);
+        assert_eq!(b.add_edge_auto(0, 1).unwrap(), (0, 0));
+        assert_eq!(b.add_edge_auto(0, 2).unwrap(), (1, 0));
+        assert_eq!(b.add_edge_auto(0, 3).unwrap(), (2, 0));
+        assert_eq!(b.degree(0), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree_sequence(), vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn from_adjacency_lists_round_trips_ports_in_list_order() {
+        let lists = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let g = PortGraphBuilder::from_adjacency_lists(&lists).unwrap();
+        assert_eq!(g.succ(0, 0), (1, 0));
+        assert_eq!(g.succ(0, 1), (2, 0));
+        assert_eq!(g.succ(2, 1), (1, 1));
+    }
+
+    #[test]
+    fn add_node_grows_the_graph() {
+        let mut b = PortGraphBuilder::new(1);
+        let v = b.add_node();
+        assert_eq!(v, 1);
+        b.add_edge(0, 0, 1, 0).unwrap();
+        assert_eq!(b.build().unwrap().num_nodes(), 2);
+    }
+}

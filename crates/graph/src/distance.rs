@@ -1,0 +1,154 @@
+//! Breadth-first search distances, eccentricities and diameter.
+
+use std::collections::VecDeque;
+
+use crate::graph::{NodeId, PortGraph};
+
+/// Distance (in edges) from `source` to every node.  All nodes are reachable
+/// because a validated [`PortGraph`] is connected.
+pub fn bfs_distances(g: &PortGraph, source: NodeId) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for p in 0..g.degree(v) {
+            let (w, _) = g.succ(v, p);
+            if dist[w] == usize::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Distance between two nodes.
+pub fn distance(g: &PortGraph, u: NodeId, v: NodeId) -> usize {
+    bfs_distances(g, u)[v]
+}
+
+/// BFS predecessor tree from `source`: `parent[v]` is `None` for the source
+/// and `Some((parent, port_at_parent, port_at_v))` otherwise.
+pub fn bfs_tree(g: &PortGraph, source: NodeId) -> Vec<Option<(NodeId, usize, usize)>> {
+    let n = g.num_nodes();
+    let mut parent = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[source] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for p in 0..g.degree(v) {
+            let (w, q) = g.succ(v, p);
+            if !seen[w] {
+                seen[w] = true;
+                parent[w] = Some((v, p, q));
+                queue.push_back(w);
+            }
+        }
+    }
+    parent
+}
+
+/// A shortest path from `u` to `v` as the sequence of outgoing ports to take
+/// from `u`.
+pub fn shortest_path_ports(g: &PortGraph, u: NodeId, v: NodeId) -> Vec<usize> {
+    if u == v {
+        return Vec::new();
+    }
+    let parent = bfs_tree(g, u);
+    let mut ports_rev = Vec::new();
+    let mut cur = v;
+    while cur != u {
+        let (p, port_at_parent, _) = parent[cur].expect("graph is connected");
+        ports_rev.push(port_at_parent);
+        cur = p;
+    }
+    ports_rev.reverse();
+    ports_rev
+}
+
+/// Eccentricity of a node: the maximum distance from it to any other node.
+pub fn eccentricity(g: &PortGraph, v: NodeId) -> usize {
+    *bfs_distances(g, v).iter().max().unwrap_or(&0)
+}
+
+/// Diameter of the graph.
+pub fn diameter(g: &PortGraph) -> usize {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// The full all-pairs distance matrix (row `u`, column `v`).  Quadratic in
+/// memory; intended for the small/medium graphs used in the experiments.
+pub fn distance_matrix(g: &PortGraph) -> Vec<Vec<usize>> {
+    g.nodes().map(|v| bfs_distances(g, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, hypercube, oriented_ring, path};
+    use crate::traversal::apply_ports_end;
+
+    #[test]
+    fn ring_distances_wrap_around() {
+        let g = oriented_ring(8).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+        assert_eq!(diameter(&g), 4);
+    }
+
+    #[test]
+    fn path_distances_and_eccentricity() {
+        let g = path(5).unwrap();
+        assert_eq!(distance(&g, 0, 4), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(diameter(&g), 4);
+    }
+
+    #[test]
+    fn complete_graph_has_diameter_one() {
+        let g = complete(6).unwrap();
+        assert_eq!(diameter(&g), 1);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(distance(&g, u, v), usize::from(u != v));
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming_distance() {
+        let g = hypercube(4).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(distance(&g, u, v), (u ^ v).count_ones() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_ports_reach_the_target_with_the_right_length() {
+        let g = hypercube(3).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let ports = shortest_path_ports(&g, u, v);
+                assert_eq!(ports.len(), distance(&g, u, v));
+                assert_eq!(apply_ports_end(&g, u, &ports), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric() {
+        let g = oriented_ring(7).unwrap();
+        let m = distance_matrix(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m[u][v], m[v][u]);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type shared by every fallible operation of the crate.
+
+use std::fmt;
+
+/// Errors raised while building, validating or querying a [`crate::PortGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was outside `0..n`.
+    NodeOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A port index was outside `0..deg(node)`.
+    PortOutOfRange {
+        /// Node whose port set was addressed.
+        node: usize,
+        /// Offending port.
+        port: usize,
+        /// Degree of the node.
+        degree: usize,
+    },
+    /// The same port of the same node was used by two different edges.
+    DuplicatePort {
+        /// Node with the conflicting port.
+        node: usize,
+        /// The port used twice.
+        port: usize,
+    },
+    /// A self-loop was requested; the paper's model uses simple graphs.
+    SelfLoop {
+        /// The node.
+        node: usize,
+    },
+    /// Two parallel edges between the same pair of nodes were requested.
+    ParallelEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// After building, some node had a "hole" in its port numbering, i.e. the
+    /// used ports were not exactly `0..deg`.
+    NonContiguousPorts {
+        /// Offending node.
+        node: usize,
+    },
+    /// A node ended up with degree zero (isolated); the model requires every
+    /// node to have at least one incident edge and the graph to be connected.
+    IsolatedNode {
+        /// Offending node.
+        node: usize,
+    },
+    /// The built graph is not connected.
+    Disconnected,
+    /// A generator received parameters outside its supported range.
+    InvalidParameter {
+        /// Human readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range (graph has {n} nodes)")
+            }
+            GraphError::PortOutOfRange { node, port, degree } => {
+                write!(f, "port {port} out of range at node {node} (degree {degree})")
+            }
+            GraphError::DuplicatePort { node, port } => {
+                write!(f, "port {port} at node {node} used by more than one edge")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} not allowed"),
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge between {u} and {v} not allowed")
+            }
+            GraphError::NonContiguousPorts { node } => {
+                write!(f, "ports at node {node} are not contiguous 0..deg")
+            }
+            GraphError::IsolatedNode { node } => write!(f, "node {node} has no incident edge"),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl GraphError {
+    /// Helper for generator parameter validation.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        GraphError::InvalidParameter { reason: reason.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::PortOutOfRange { node: 3, port: 7, degree: 2 };
+        let s = e.to_string();
+        assert!(s.contains("port 7"));
+        assert!(s.contains("node 3"));
+        assert!(s.contains("degree 2"));
+    }
+
+    #[test]
+    fn invalid_helper_builds_parameter_error() {
+        let e = GraphError::invalid("n must be at least 3");
+        assert_eq!(
+            e,
+            GraphError::InvalidParameter { reason: "n must be at least 3".to_string() }
+        );
+        assert!(e.to_string().contains("n must be at least 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GraphError::Disconnected, GraphError::Disconnected);
+        assert_ne!(GraphError::Disconnected, GraphError::SelfLoop { node: 0 });
+    }
+}

@@ -1,0 +1,284 @@
+//! Elementary families: rings, paths, complete graphs, stars, hypercubes,
+//! lollipops.
+
+use crate::builder::PortGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+use crate::Result;
+
+/// The two-node graph from the paper's introduction (delay 3 example).
+pub fn two_node_graph() -> PortGraph {
+    let mut b = PortGraphBuilder::new(2);
+    b.add_edge(0, 0, 1, 0).expect("static construction");
+    b.build().expect("static construction")
+}
+
+/// Oriented ring on `n ≥ 3` nodes: at every node, port `0` leads "clockwise"
+/// (to `i + 1 mod n`) and port `1` leads "counter-clockwise".  Every pair of
+/// nodes is symmetric and `Shrink(u, v) = dist(u, v)`.
+pub fn oriented_ring(n: usize) -> Result<PortGraph> {
+    if n < 3 {
+        return Err(GraphError::invalid("oriented_ring requires n >= 3"));
+    }
+    let mut b = PortGraphBuilder::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_edge(i, 0, j, 1)?;
+    }
+    b.build()
+}
+
+/// Ring on `n ≥ 3` nodes with a per-node orientation choice: if
+/// `clockwise_first[i]` is `true`, port `0` at node `i` points to
+/// `i + 1 mod n`, otherwise to `i - 1 mod n`.  Choosing a non-uniform
+/// orientation generally breaks the full symmetry of the oriented ring, which
+/// makes this generator useful for nonsymmetric STIC workloads on rings.
+pub fn ring_with_orientation(n: usize, clockwise_first: &[bool]) -> Result<PortGraph> {
+    if n < 3 {
+        return Err(GraphError::invalid("ring_with_orientation requires n >= 3"));
+    }
+    if clockwise_first.len() != n {
+        return Err(GraphError::invalid("orientation vector length must equal n"));
+    }
+    let mut b = PortGraphBuilder::new(n);
+    let port_to = |i: usize, j: usize| -> usize {
+        // port used at node i for the edge towards j (its cw or ccw neighbour)
+        let cw = (i + 1) % n == j;
+        match (clockwise_first[i], cw) {
+            (true, true) | (false, false) => 0,
+            _ => 1,
+        }
+    };
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_edge(i, port_to(i, j), j, port_to(j, i))?;
+    }
+    b.build()
+}
+
+/// Simple path on `n ≥ 2` nodes `0 - 1 - ... - n-1`.  Interior node `i` uses
+/// port `0` towards `i - 1` and port `1` towards `i + 1`; the end nodes have
+/// the single port `0`.
+pub fn path(n: usize) -> Result<PortGraph> {
+    if n < 2 {
+        return Err(GraphError::invalid("path requires n >= 2"));
+    }
+    let mut b = PortGraphBuilder::new(n);
+    for i in 0..n - 1 {
+        let p_left = if i == 0 { 0 } else { 1 };
+        b.add_edge(i, p_left, i + 1, 0)?;
+    }
+    b.build()
+}
+
+/// Complete graph on `n ≥ 2` nodes; at node `i` the ports enumerate the other
+/// nodes in increasing order of identifier.
+pub fn complete(n: usize) -> Result<PortGraph> {
+    if n < 2 {
+        return Err(GraphError::invalid("complete requires n >= 2"));
+    }
+    let lists: Vec<Vec<usize>> = (0..n).map(|i| (0..n).filter(|&j| j != i).collect()).collect();
+    PortGraphBuilder::from_adjacency_lists(&lists)
+}
+
+/// Complete bipartite graph `K_{a,b}` with parts `{0..a}` and `{a..a+b}`;
+/// ports enumerate the opposite part in increasing order.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<PortGraph> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::invalid("complete_bipartite requires both parts non-empty"));
+    }
+    if a + b < 2 {
+        return Err(GraphError::invalid("complete_bipartite requires at least 2 nodes"));
+    }
+    let lists: Vec<Vec<usize>> = (0..a + b)
+        .map(|i| if i < a { (a..a + b).collect() } else { (0..a).collect() })
+        .collect();
+    PortGraphBuilder::from_adjacency_lists(&lists)
+}
+
+/// Star with `k ≥ 2` leaves: center `0`, leaves `1..=k`.  Leaf `i` attaches to
+/// port `i - 1` of the center, so distinct leaves are *not* symmetric.
+pub fn star(k: usize) -> Result<PortGraph> {
+    if k < 2 {
+        return Err(GraphError::invalid("star requires at least 2 leaves"));
+    }
+    let mut b = PortGraphBuilder::new(k + 1);
+    for i in 1..=k {
+        b.add_edge(0, i - 1, i, 0)?;
+    }
+    b.build()
+}
+
+/// Hypercube of dimension `d ≥ 1`: nodes are the integers `0..2^d`, port `i`
+/// flips bit `i` (and the entry port equals the exit port).  Every pair of
+/// nodes is symmetric and `Shrink = Hamming distance`.
+pub fn hypercube(d: usize) -> Result<PortGraph> {
+    if d == 0 || d > 20 {
+        return Err(GraphError::invalid("hypercube requires 1 <= d <= 20"));
+    }
+    let n = 1usize << d;
+    let mut b = PortGraphBuilder::new(n);
+    for u in 0..n {
+        for i in 0..d {
+            let v = u ^ (1 << i);
+            if u < v {
+                b.add_edge(u, i, v, i)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Lollipop graph: a complete graph on `clique ≥ 3` nodes with a path of
+/// `tail ≥ 1` extra nodes attached to node `0`.  A classic source of pairwise
+/// nonsymmetric nodes.  Ports are assigned automatically in construction
+/// order.
+pub fn lollipop(clique: usize, tail: usize) -> Result<PortGraph> {
+    if clique < 3 {
+        return Err(GraphError::invalid("lollipop requires clique >= 3"));
+    }
+    if tail < 1 {
+        return Err(GraphError::invalid("lollipop requires tail >= 1"));
+    }
+    let n = clique + tail;
+    let mut b = PortGraphBuilder::new(n);
+    for i in 0..clique {
+        for j in i + 1..clique {
+            b.add_edge_auto(i, j)?;
+        }
+    }
+    // attach the tail to clique node 0
+    b.add_edge_auto(0, clique)?;
+    for i in clique..n - 1 {
+        b.add_edge_auto(i, i + 1)?;
+    }
+    b.build()
+}
+
+/// An `n`-cycle (oriented ports) with one extra chord between nodes `0` and
+/// `chord_to`; the chord destroys the ring's full symmetry, producing a small
+/// family of graphs with a mix of symmetric and nonsymmetric pairs.
+pub fn cycle_with_chord(n: usize, chord_to: usize) -> Result<PortGraph> {
+    if n < 5 {
+        return Err(GraphError::invalid("cycle_with_chord requires n >= 5"));
+    }
+    if chord_to <= 1 || chord_to >= n - 1 {
+        return Err(GraphError::invalid("chord endpoint must not be adjacent to node 0"));
+    }
+    let mut b = PortGraphBuilder::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_edge(i, 0, j, 1)?;
+    }
+    b.add_edge(0, 2, chord_to, 2)?;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetry::OrbitPartition;
+
+    #[test]
+    fn two_node_graph_is_the_introduction_example() {
+        let g = two_node_graph();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(OrbitPartition::compute(&g).is_fully_symmetric());
+    }
+
+    #[test]
+    fn oriented_ring_ports_are_consistent() {
+        let g = oriented_ring(7).unwrap();
+        for i in 0..7 {
+            assert_eq!(g.succ(i, 0), ((i + 1) % 7, 1));
+            assert_eq!(g.succ(i, 1), ((i + 6) % 7, 0));
+        }
+        assert!(oriented_ring(2).is_err());
+    }
+
+    #[test]
+    fn ring_with_orientation_matches_oriented_ring_when_uniform() {
+        let uniform = ring_with_orientation(6, &[true; 6]).unwrap();
+        assert_eq!(uniform, oriented_ring(6).unwrap());
+        // flipping one node's orientation yields a valid but different graph
+        let mut o = vec![true; 6];
+        o[2] = false;
+        let twisted = ring_with_orientation(6, &o).unwrap();
+        assert_ne!(twisted, uniform);
+        twisted.validate().unwrap();
+        assert!(ring_with_orientation(6, &[true; 5]).is_err());
+    }
+
+    #[test]
+    fn path_degrees_and_validation() {
+        let g = path(6).unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 1);
+        for i in 1..5 {
+            assert_eq!(g.degree(i), 2);
+        }
+        assert!(path(1).is_err());
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.is_regular());
+        assert!(complete(1).is_err());
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(2, 3).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 2);
+        assert!(complete_bipartite(0, 3).is_err());
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(5).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.degree(0), 5);
+        for leaf in 1..=5 {
+            assert_eq!(g.degree(leaf), 1);
+        }
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn hypercube_structure_and_symmetry() {
+        let g = hypercube(3).unwrap();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_regular());
+        assert!(OrbitPartition::compute(&g).is_fully_symmetric());
+        assert!(hypercube(0).is_err());
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(4, 3).unwrap();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 6 + 3);
+        assert_eq!(g.degree(0), 4); // clique node with the tail attached
+        assert_eq!(g.degree(6), 1); // tail end
+        assert!(lollipop(2, 1).is_err());
+        assert!(lollipop(3, 0).is_err());
+    }
+
+    #[test]
+    fn cycle_with_chord_structure() {
+        let g = cycle_with_chord(8, 4).unwrap();
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 3);
+        assert!(!OrbitPartition::compute(&g).is_fully_symmetric());
+        assert!(cycle_with_chord(8, 1).is_err());
+        assert!(cycle_with_chord(4, 2).is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! The Section 4 lower-bound graphs: the tree `Q_h` and the 4-regular graph
+//! `Q̂_h` obtained from it by wiring the leaves together (Figure 1), plus the
+//! node set `Z` used in Theorem 4.1.
+//!
+//! Conventions (matching the paper's cardinal-direction notation):
+//!
+//! * ports are `N = 0`, `E = 1`, `S = 2`, `W = 3`;
+//! * every edge has either ports `N–S` or ports `E–W` at its extremities;
+//! * in `Q_h` all leaves are at distance `h` from the root and every non-leaf
+//!   node has degree 4; leaves are classified by the single (cardinal) port
+//!   of their tree edge;
+//! * `Q̂_h` (requires `h ≥ 2`) adds the pairing edges `N_i–S_i`, `E_i–W_i`
+//!   and the four alternating leaf cycles described in Section 4, making the
+//!   graph 4-regular with all views equal (every pair of nodes symmetric).
+
+use crate::builder::PortGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{NodeId, PortGraph};
+use crate::Result;
+
+/// The four cardinal port labels of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cardinal {
+    /// North, port 0.
+    N = 0,
+    /// East, port 1.
+    E = 1,
+    /// South, port 2.
+    S = 2,
+    /// West, port 3.
+    W = 3,
+}
+
+impl Cardinal {
+    /// All four cardinals in port order.
+    pub const ALL: [Cardinal; 4] = [Cardinal::N, Cardinal::E, Cardinal::S, Cardinal::W];
+
+    /// The opposite direction (`N↔S`, `E↔W`); every edge of `Q_h`/`Q̂_h`
+    /// carries a cardinal and its opposite at its two extremities.
+    pub fn opposite(self) -> Cardinal {
+        match self {
+            Cardinal::N => Cardinal::S,
+            Cardinal::S => Cardinal::N,
+            Cardinal::E => Cardinal::W,
+            Cardinal::W => Cardinal::E,
+        }
+    }
+
+    /// The port number of this cardinal.
+    pub fn port(self) -> usize {
+        self as usize
+    }
+
+    /// Cardinal from a port number (`0..4`).
+    pub fn from_port(p: usize) -> Option<Cardinal> {
+        match p {
+            0 => Some(Cardinal::N),
+            1 => Some(Cardinal::E),
+            2 => Some(Cardinal::S),
+            3 => Some(Cardinal::W),
+            _ => None,
+        }
+    }
+
+    /// Single-letter name.
+    pub fn letter(self) -> char {
+        match self {
+            Cardinal::N => 'N',
+            Cardinal::E => 'E',
+            Cardinal::S => 'S',
+            Cardinal::W => 'W',
+        }
+    }
+}
+
+/// A generated `Q_h` or `Q̂_h` together with its structural metadata.
+#[derive(Debug, Clone)]
+pub struct QhGraph {
+    /// The port graph itself.
+    pub graph: PortGraph,
+    /// The root `r` of the underlying tree.
+    pub root: NodeId,
+    /// Tree height `h`.
+    pub h: usize,
+    /// Depth of every node in the underlying tree.
+    pub depth: Vec<usize>,
+    /// For every leaf of the tree, its type (the cardinal of its single tree
+    /// port); `None` for non-leaf nodes.
+    pub leaf_type: Vec<Option<Cardinal>>,
+    /// The leaves of each type, in construction order: index by
+    /// `Cardinal as usize`.  (`leaves[t][i]` is the paper's `T_{i+1}` for
+    /// type `T`.)
+    pub leaves: [Vec<NodeId>; 4],
+    /// `true` iff the leaf edges of `Q̂_h` were added.
+    pub is_hat: bool,
+}
+
+impl QhGraph {
+    /// Number of leaves of the underlying tree (`4 · 3^(h-1)`).
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.iter().map(|l| l.len()).sum()
+    }
+
+    /// The paper's `x = 3^(h-1)`, the number of leaves of each type.
+    pub fn x(&self) -> usize {
+        self.leaves[0].len()
+    }
+}
+
+/// Number of nodes of `Q_h`: `1 + 4·(3^h − 1)/2`.
+fn qh_num_nodes(h: usize) -> Result<usize> {
+    let mut total: usize = 1;
+    let mut level: usize = 1;
+    for d in 0..h {
+        level = level
+            .checked_mul(if d == 0 { 4 } else { 3 })
+            .ok_or_else(|| GraphError::invalid("Q_h too large"))?;
+        total = total.checked_add(level).ok_or_else(|| GraphError::invalid("Q_h too large"))?;
+    }
+    Ok(total)
+}
+
+struct TreeSkeleton {
+    builder: PortGraphBuilder,
+    depth: Vec<usize>,
+    leaf_type: Vec<Option<Cardinal>>,
+    leaves: [Vec<NodeId>; 4],
+}
+
+/// Build the tree part shared by `Q_h` and `Q̂_h`.  In the plain tree the
+/// leaves have degree 1, so their single cardinal port cannot be a literal
+/// port number (ports must be `0..deg`); the caller decides whether to remap
+/// it to port 0 (`qh_tree`) or to complete the degree-4 wiring (`qh_hat`).
+fn build_skeleton(h: usize, leaf_port_is_cardinal: bool) -> Result<TreeSkeleton> {
+    if h < 1 {
+        return Err(GraphError::invalid("Q_h requires h >= 1"));
+    }
+    let n = qh_num_nodes(h)?;
+    if n > 4_000_000 {
+        return Err(GraphError::invalid(format!(
+            "Q_h with h={h} would have {n} nodes; refusing to allocate (limit 4,000,000)"
+        )));
+    }
+    let mut builder = PortGraphBuilder::new(n);
+    let mut depth = vec![0usize; n];
+    let mut leaf_type: Vec<Option<Cardinal>> = vec![None; n];
+    let mut leaves: [Vec<NodeId>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+
+    // BFS construction: (node, depth, entry cardinal from parent) — the entry
+    // cardinal is the port of the tree edge at this node.
+    let mut next_id: NodeId = 1;
+    let mut frontier: Vec<(NodeId, Cardinal)> = Vec::new();
+
+    // root: children in all four directions
+    for c in Cardinal::ALL {
+        let child = next_id;
+        next_id += 1;
+        depth[child] = 1;
+        let child_port = c.opposite();
+        if h == 1 {
+            // children are leaves
+            leaf_type[child] = Some(child_port);
+            leaves[child_port.port()].push(child);
+            let leaf_port = if leaf_port_is_cardinal { child_port.port() } else { 0 };
+            builder.add_edge(0, c.port(), child, leaf_port)?;
+        } else {
+            builder.add_edge(0, c.port(), child, child_port.port())?;
+            frontier.push((child, child_port));
+        }
+    }
+
+    for d in 2..=h {
+        let mut next_frontier = Vec::with_capacity(frontier.len() * 3);
+        for (node, entry) in frontier.drain(..) {
+            for c in Cardinal::ALL {
+                if c == entry {
+                    continue; // that port already points to the parent
+                }
+                let child = next_id;
+                next_id += 1;
+                depth[child] = d;
+                let child_port = c.opposite();
+                if d == h {
+                    leaf_type[child] = Some(child_port);
+                    leaves[child_port.port()].push(child);
+                    let leaf_port = if leaf_port_is_cardinal { child_port.port() } else { 0 };
+                    builder.add_edge(node, c.port(), child, leaf_port)?;
+                } else {
+                    builder.add_edge(node, c.port(), child, child_port.port())?;
+                    next_frontier.push((child, child_port));
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+    debug_assert_eq!(next_id, n);
+
+    Ok(TreeSkeleton { builder, depth, leaf_type, leaves })
+}
+
+/// The plain tree `Q_h` (Figure 1, left, for `h = 2`).
+///
+/// Because leaves have degree 1, their single port is stored as port `0` in
+/// the returned [`PortGraph`]; the *cardinal type* of every leaf is recorded
+/// in [`QhGraph::leaf_type`], matching the paper's classification of leaves
+/// into `N`/`S`/`E`/`W` types.
+pub fn qh_tree(h: usize) -> Result<QhGraph> {
+    let skel = build_skeleton(h, false)?;
+    let graph = skel.builder.build()?;
+    Ok(QhGraph {
+        graph,
+        root: 0,
+        h,
+        depth: skel.depth,
+        leaf_type: skel.leaf_type,
+        leaves: skel.leaves,
+        is_hat: false,
+    })
+}
+
+/// The 4-regular graph `Q̂_h` (`h ≥ 2`): `Q_h` plus the pairing edges
+/// `N_i–S_i` / `E_i–W_i` and the four alternating leaf cycles of Section 4.
+/// All nodes of `Q̂_h` have identical views.
+pub fn qh_hat(h: usize) -> Result<QhGraph> {
+    if h < 2 {
+        return Err(GraphError::invalid("Q̂_h requires h >= 2 (with h = 1 the leaf cycles degenerate)"));
+    }
+    let mut skel = build_skeleton(h, true)?;
+    let x = skel.leaves[0].len();
+    debug_assert!(x % 2 == 1, "x = 3^(h-1) is odd");
+    let n_leaves = &skel.leaves[Cardinal::N.port()];
+    let e_leaves = &skel.leaves[Cardinal::E.port()];
+    let s_leaves = &skel.leaves[Cardinal::S.port()];
+    let w_leaves = &skel.leaves[Cardinal::W.port()];
+
+    // Pairing edges: N_i — S_i (port S at N_i, N at S_i); E_i — W_i (port W at E_i, E at W_i).
+    for i in 0..x {
+        skel.builder.add_edge(
+            n_leaves[i],
+            Cardinal::S.port(),
+            s_leaves[i],
+            Cardinal::N.port(),
+        )?;
+        skel.builder.add_edge(
+            e_leaves[i],
+            Cardinal::W.port(),
+            w_leaves[i],
+            Cardinal::E.port(),
+        )?;
+    }
+
+    // The four alternating cycles.  In each cycle, consecutive vertices are
+    // joined with the "low index" endpoint getting the first port of the pair
+    // and the "high index" endpoint the second; the wrap-around edge uses the
+    // same pair on (last, first).
+    let alternating = |primary: &[NodeId], secondary: &[NodeId]| -> Vec<NodeId> {
+        (0..x).map(|j| if j % 2 == 0 { primary[j] } else { secondary[j] }).collect()
+    };
+    let cycles: [(Vec<NodeId>, Cardinal, Cardinal); 4] = [
+        // N1 - S2 - N3 - ... - Nx - N1, ports E (low) / W (high)
+        (alternating(n_leaves, s_leaves), Cardinal::E, Cardinal::W),
+        // S1 - N2 - S3 - ... - Sx - S1, ports E / W
+        (alternating(s_leaves, n_leaves), Cardinal::E, Cardinal::W),
+        // E1 - W2 - E3 - ... - Ex - E1, ports N / S
+        (alternating(e_leaves, w_leaves), Cardinal::N, Cardinal::S),
+        // W1 - E2 - W3 - ... - Wx - W1, ports N / S
+        (alternating(w_leaves, e_leaves), Cardinal::N, Cardinal::S),
+    ];
+    for (cycle, low_port, high_port) in cycles {
+        for j in 0..x {
+            let a = cycle[j];
+            let b = cycle[(j + 1) % x];
+            skel.builder.add_edge(a, low_port.port(), b, high_port.port())?;
+        }
+    }
+
+    let graph = skel.builder.build()?;
+    Ok(QhGraph {
+        graph,
+        root: 0,
+        h,
+        depth: skel.depth,
+        leaf_type: skel.leaf_type,
+        leaves: skel.leaves,
+        is_hat: true,
+    })
+}
+
+/// The node set `Z` of Theorem 4.1: all nodes `v = (γ‖γ)(r)` where `γ` ranges
+/// over the `2^k` sequences in `{N, E}^k`.  Every such node is at distance
+/// `D = 2k` from the root and `|Z| = 2^k`.
+///
+/// Requires `2k ≤ h` so that the doubled sequence stays inside the tree.
+pub fn z_set(q: &QhGraph, k: usize) -> Result<Vec<NodeId>> {
+    if 2 * k > q.h {
+        return Err(GraphError::invalid(format!(
+            "z_set requires 2k <= h (k={k}, h={})",
+            q.h
+        )));
+    }
+    if k >= usize::BITS as usize {
+        return Err(GraphError::invalid("k too large"));
+    }
+    let mut out = Vec::with_capacity(1usize << k);
+    for mask in 0u64..(1u64 << k) {
+        // bit i of mask: 0 => N, 1 => E, giving gamma; the walk follows gamma twice
+        let gamma: Vec<usize> = (0..k)
+            .map(|i| if mask >> i & 1 == 0 { Cardinal::N.port() } else { Cardinal::E.port() })
+            .collect();
+        let mut cur = q.root;
+        for _ in 0..2 {
+            for &p in &gamma {
+                cur = q.graph.succ(cur, p).0;
+            }
+        }
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance;
+    use crate::symmetry::OrbitPartition;
+
+    #[test]
+    fn qh_tree_counts_match_the_paper() {
+        for h in 1..=4 {
+            let q = qh_tree(h).unwrap();
+            let expected_leaves = 4 * 3usize.pow((h - 1) as u32);
+            assert_eq!(q.num_leaves(), expected_leaves, "h={h}");
+            assert_eq!(q.x(), 3usize.pow((h - 1) as u32));
+            // every type has exactly x leaves
+            for t in 0..4 {
+                assert_eq!(q.leaves[t].len(), q.x(), "h={h}, type {t}");
+            }
+            // tree edge count
+            assert_eq!(q.graph.num_edges(), q.graph.num_nodes() - 1);
+        }
+    }
+
+    #[test]
+    fn qh_tree_leaves_are_at_depth_h_and_internal_nodes_have_degree_4() {
+        let q = qh_tree(3).unwrap();
+        for v in q.graph.nodes() {
+            if q.leaf_type[v].is_some() {
+                assert_eq!(q.depth[v], 3);
+                assert_eq!(q.graph.degree(v), 1);
+                assert_eq!(distance(&q.graph, q.root, v), 3);
+            } else {
+                assert_eq!(q.graph.degree(v), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn qh_hat_is_4_regular_with_nsew_port_pairing() {
+        let q = qh_hat(2).unwrap();
+        assert_eq!(q.graph.num_nodes(), 17);
+        assert!(q.graph.is_regular());
+        assert_eq!(q.graph.max_degree(), 4);
+        // every edge pairs N with S or E with W
+        for (_, pu, _, pv) in q.graph.edges() {
+            let cu = Cardinal::from_port(pu).unwrap();
+            let cv = Cardinal::from_port(pv).unwrap();
+            assert_eq!(cu.opposite(), cv, "edge ports {pu}/{pv}");
+        }
+    }
+
+    #[test]
+    fn qh_hat_has_all_views_equal() {
+        // the key structural property claimed in Section 4
+        for h in 2..=3 {
+            let q = qh_hat(h).unwrap();
+            let p = OrbitPartition::compute(&q.graph);
+            assert!(p.is_fully_symmetric(), "Q̂_{h} must have all views equal");
+        }
+    }
+
+    #[test]
+    fn qh_hat_rejects_h_one() {
+        assert!(qh_hat(1).is_err());
+    }
+
+    #[test]
+    fn z_set_size_and_distance() {
+        let k = 1usize;
+        let q = qh_hat(4 * k).unwrap(); // h = 2D = 4k
+        let z = z_set(&q, k).unwrap();
+        assert_eq!(z.len(), 2usize.pow(k as u32));
+        for &v in &z {
+            assert_eq!(distance(&q.graph, q.root, v), 2 * k);
+            assert_eq!(q.depth[v], 2 * k);
+        }
+        // all distinct
+        let mut sorted = z.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), z.len());
+    }
+
+    #[test]
+    fn z_set_requires_enough_height() {
+        let q = qh_hat(2).unwrap();
+        assert!(z_set(&q, 2).is_err());
+        assert!(z_set(&q, 1).is_ok());
+    }
+
+    #[test]
+    fn cardinal_helpers() {
+        assert_eq!(Cardinal::N.opposite(), Cardinal::S);
+        assert_eq!(Cardinal::W.opposite(), Cardinal::E);
+        assert_eq!(Cardinal::from_port(1), Some(Cardinal::E));
+        assert_eq!(Cardinal::from_port(4), None);
+        assert_eq!(Cardinal::S.letter(), 'S');
+        for c in Cardinal::ALL {
+            assert_eq!(Cardinal::from_port(c.port()), Some(c));
+            assert_eq!(c.opposite().opposite(), c);
+        }
+    }
+
+    #[test]
+    fn qh_size_limit_is_enforced() {
+        assert!(qh_tree(20).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Oriented tori and rectangular grids.
+
+use crate::builder::PortGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+use crate::Result;
+
+/// Oriented torus with `rows × cols` nodes (`rows, cols ≥ 3`).
+///
+/// Node `(i, j)` has identifier `i * cols + j` and the globally consistent
+/// port assignment
+///
+/// * port `0` = East  (to `(i, j+1)`), entered there by port `1`,
+/// * port `1` = West,
+/// * port `2` = South (to `(i+1, j)`), entered there by port `3`,
+/// * port `3` = North.
+///
+/// Every pair of nodes is symmetric; `Shrink(u, v)` equals the torus distance
+/// (the paper's first Section 3 example).
+pub fn oriented_torus(rows: usize, cols: usize) -> Result<PortGraph> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::invalid("oriented_torus requires rows, cols >= 3"));
+    }
+    let id = |i: usize, j: usize| i * cols + j;
+    let mut b = PortGraphBuilder::new(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            // East edge
+            b.add_edge(id(i, j), 0, id(i, (j + 1) % cols), 1)?;
+            // South edge
+            b.add_edge(id(i, j), 2, id((i + 1) % rows, j), 3)?;
+        }
+    }
+    b.build()
+}
+
+/// Rectangular grid (no wrap-around) with `rows × cols ≥ 2` nodes.  Ports at
+/// each node enumerate its existing neighbours in the fixed order East,
+/// South, West, North (compressed to `0..deg`), so border and interior nodes
+/// get different degrees and the grid is far from symmetric.
+pub fn grid(rows: usize, cols: usize) -> Result<PortGraph> {
+    if rows * cols < 2 {
+        return Err(GraphError::invalid("grid requires at least 2 nodes"));
+    }
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::invalid("grid requires rows, cols >= 1"));
+    }
+    let id = |i: usize, j: usize| i * cols + j;
+    let lists: Vec<Vec<usize>> = (0..rows * cols)
+        .map(|v| {
+            let (i, j) = (v / cols, v % cols);
+            let mut nbrs = Vec::with_capacity(4);
+            if j + 1 < cols {
+                nbrs.push(id(i, j + 1)); // E
+            }
+            if i + 1 < rows {
+                nbrs.push(id(i + 1, j)); // S
+            }
+            if j > 0 {
+                nbrs.push(id(i, j - 1)); // W
+            }
+            if i > 0 {
+                nbrs.push(id(i - 1, j)); // N
+            }
+            nbrs
+        })
+        .collect();
+    PortGraphBuilder::from_adjacency_lists(&lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance;
+    use crate::symmetry::OrbitPartition;
+
+    #[test]
+    fn torus_is_4_regular_and_fully_symmetric() {
+        let g = oriented_torus(3, 5).unwrap();
+        assert_eq!(g.num_nodes(), 15);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert!(OrbitPartition::compute(&g).is_fully_symmetric());
+        assert!(oriented_torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn torus_distance_is_l1_with_wraparound() {
+        let (r, c) = (4, 5);
+        let g = oriented_torus(r, c).unwrap();
+        let id = |i: usize, j: usize| i * c + j;
+        let wrap = |a: usize, b: usize, m: usize| {
+            let d = (a as isize - b as isize).unsigned_abs();
+            d.min(m - d)
+        };
+        for i in 0..r {
+            for j in 0..c {
+                let expect = wrap(0, i, r) + wrap(0, j, c);
+                assert_eq!(distance(&g, id(0, 0), id(i, j)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_ports_are_globally_consistent() {
+        let g = oriented_torus(3, 3).unwrap();
+        for v in g.nodes() {
+            // going East then West returns to v
+            let (e, pe) = g.succ(v, 0);
+            assert_eq!(pe, 1);
+            assert_eq!(g.succ(e, 1).0, v);
+            // going South then North returns to v
+            let (s, ps) = g.succ(v, 2);
+            assert_eq!(ps, 3);
+            assert_eq!(g.succ(s, 3).0, v);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // border
+        assert_eq!(g.degree(5), 4); // interior
+        assert!(!OrbitPartition::compute(&g).is_fully_symmetric());
+        assert!(grid(1, 1).is_err());
+    }
+
+    #[test]
+    fn one_dimensional_grid_is_a_path() {
+        let g = grid(1, 5).unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(distance(&g, 0, 4), 4);
+    }
+}

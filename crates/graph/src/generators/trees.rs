@@ -1,0 +1,172 @@
+//! Trees and the "symmetric double" construction of Section 3.
+
+use crate::builder::PortGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{NodeId, PortGraph};
+use crate::Result;
+
+/// Complete `arity`-ary rooted tree of the given `depth ≥ 1` (a depth-1 tree
+/// is a star).  The root is node `0` and has degree `arity`; every internal
+/// node uses port `0` towards its parent and ports `1..=arity` towards its
+/// children; every child is entered through its port `0`.
+pub fn kary_tree(arity: usize, depth: usize) -> Result<PortGraph> {
+    if arity < 2 {
+        return Err(GraphError::invalid("kary_tree requires arity >= 2"));
+    }
+    if depth < 1 {
+        return Err(GraphError::invalid("kary_tree requires depth >= 1"));
+    }
+    // number of nodes: 1 + arity + arity^2*?  Children per internal node:
+    // the root has `arity` children; every other internal node has `arity` children too.
+    let mut total = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level.checked_mul(arity).ok_or_else(|| GraphError::invalid("tree too large"))?;
+        total = total.checked_add(level).ok_or_else(|| GraphError::invalid("tree too large"))?;
+    }
+    let mut b = PortGraphBuilder::new(total);
+    // breadth-first ids: parent of node v (v >= 1) is (v - 1) / arity
+    for v in 1..total {
+        let parent = (v - 1) / arity;
+        let child_index = (v - 1) % arity; // 0..arity
+        let parent_port = if parent == 0 { child_index } else { child_index + 1 };
+        b.add_edge(parent, parent_port, v, 0)?;
+    }
+    b.build()
+}
+
+/// The paper's second Section 3 example: a *symmetric tree* composed of a
+/// central edge with port-preserving isomorphic `arity`-ary trees of the
+/// given `depth` attached to both of its ends.
+///
+/// Returns the graph together with the mirror map `mirror[v]` sending every
+/// node to its image under the port-preserving involution that swaps the two
+/// halves.  Every pair `(v, mirror[v])` is symmetric and
+/// `Shrink(v, mirror[v]) = 1` (walk to the roots of the central edge), even
+/// though the distance between deep mirror pairs grows with the depth.
+pub fn symmetric_double_tree(arity: usize, depth: usize) -> Result<(PortGraph, Vec<NodeId>)> {
+    let half = kary_tree(arity, depth)?;
+    symmetric_double_graph(&half, 0)
+}
+
+/// General "symmetric double" construction: take two port-preserving copies
+/// of `half` and join `anchor` to its copy by a new edge carrying port
+/// `deg(anchor)` at both extremities.  Returns the doubled graph and the
+/// mirror map.  Every pair `(v, mirror[v])` is symmetric in the result.
+pub fn symmetric_double_graph(half: &PortGraph, anchor: NodeId) -> Result<(PortGraph, Vec<NodeId>)> {
+    let s = half.num_nodes();
+    if anchor >= s {
+        return Err(GraphError::NodeOutOfRange { node: anchor, n: s });
+    }
+    let mut b = PortGraphBuilder::new(2 * s);
+    for (u, pu, v, pv) in half.edges() {
+        b.add_edge(u, pu, v, pv)?;
+        b.add_edge(u + s, pu, v + s, pv)?;
+    }
+    let port = half.degree(anchor);
+    b.add_edge(anchor, port, anchor + s, port)?;
+    let mirror = (0..2 * s).map(|v| if v < s { v + s } else { v - s }).collect();
+    Ok((b.build()?, mirror))
+}
+
+/// Caterpillar tree: a spine path of `spine ≥ 2` nodes, each carrying
+/// `legs ≥ 0` pendant leaves.  With `legs ≥ 1` the node degrees vary along
+/// the spine, giving a convenient family of almost entirely nonsymmetric
+/// trees for the `AsymmRV` workloads.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<PortGraph> {
+    if spine < 2 {
+        return Err(GraphError::invalid("caterpillar requires spine >= 2"));
+    }
+    let n = spine + spine * legs;
+    let mut b = PortGraphBuilder::new(n);
+    for i in 0..spine - 1 {
+        b.add_edge_auto(i, i + 1)?;
+    }
+    let mut next = spine;
+    for i in 0..spine {
+        for _ in 0..legs {
+            b.add_edge_auto(i, next)?;
+            next += 1;
+        }
+    }
+    if legs == 0 && spine < 2 {
+        return Err(GraphError::invalid("caterpillar with no legs needs spine >= 2"));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance;
+    use crate::shrink::shrink;
+    use crate::symmetry::OrbitPartition;
+
+    #[test]
+    fn kary_tree_node_count_and_degrees() {
+        let g = kary_tree(2, 3).unwrap();
+        assert_eq!(g.num_nodes(), 1 + 2 + 4 + 8);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(14), 1);
+        assert!(kary_tree(1, 3).is_err());
+        assert!(kary_tree(2, 0).is_err());
+    }
+
+    #[test]
+    fn kary_tree_is_a_tree() {
+        let g = kary_tree(3, 2).unwrap();
+        assert_eq!(g.num_edges(), g.num_nodes() - 1);
+    }
+
+    #[test]
+    fn double_tree_mirror_pairs_are_symmetric_with_shrink_one() {
+        let (g, mirror) = symmetric_double_tree(2, 2).unwrap();
+        let p = OrbitPartition::compute(&g);
+        for v in g.nodes() {
+            assert!(p.are_symmetric(v, mirror[v]));
+            assert_eq!(mirror[mirror[v]], v);
+            assert_eq!(shrink(&g, v, mirror[v]), Some(1));
+        }
+    }
+
+    #[test]
+    fn double_tree_distance_grows_with_depth_but_shrink_stays_one() {
+        let (g, mirror) = symmetric_double_tree(2, 4).unwrap();
+        // a deepest leaf of the first copy
+        let leaf = (0..g.num_nodes() / 2).max_by_key(|&v| distance(&g, 0, v)).unwrap();
+        assert_eq!(distance(&g, leaf, mirror[leaf]), 2 * 4 + 1);
+        assert_eq!(shrink(&g, leaf, mirror[leaf]), Some(1));
+    }
+
+    #[test]
+    fn symmetric_double_graph_works_for_arbitrary_halves() {
+        let half = crate::generators::lollipop(3, 2).unwrap();
+        let (g, mirror) = symmetric_double_graph(&half, 4).unwrap();
+        assert_eq!(g.num_nodes(), 2 * half.num_nodes());
+        let p = OrbitPartition::compute(&g);
+        for v in g.nodes() {
+            assert!(p.are_symmetric(v, mirror[v]));
+        }
+        assert!(symmetric_double_graph(&half, 99).is_err());
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2).unwrap();
+        assert_eq!(g.num_nodes(), 4 + 8);
+        assert_eq!(g.num_edges(), 3 + 8);
+        // spine ends have degree 1 + legs, interior 2 + legs
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 4);
+        assert!(caterpillar(1, 2).is_err());
+    }
+
+    #[test]
+    fn caterpillar_without_legs_is_a_path() {
+        let g = caterpillar(5, 0).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+}

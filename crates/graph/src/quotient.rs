@@ -1,0 +1,213 @@
+//! Quotient (minimal base) graph of the view equivalence.
+//!
+//! Collapsing every view-equivalence class of a port-labelled graph to a
+//! single node yields the *quotient graph*: the smallest port-labelled
+//! (multi)graph with the same universal cover.  Two nodes of `G` have equal
+//! views iff they map to the same quotient node, so the pair
+//! *(quotient, image of the node)* — encoded canonically — is a complete,
+//! polynomial-size invariant of the view.  The analysis layer and the exact
+//! label scheme of the `AsymmRV` substitute use this encoding.
+
+use crate::graph::{NodeId, Port, PortGraph};
+use crate::symmetry::OrbitPartition;
+
+/// The quotient of a [`PortGraph`] by its view equivalence.  Unlike
+/// [`PortGraph`] this may contain self-loops and parallel arcs, so it is kept
+/// as a separate type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quotient {
+    /// `adj[c][p] = (target class, entry port)` for each port `p` of class `c`.
+    adj: Vec<Vec<(usize, Port)>>,
+    /// A representative original node per class.
+    representatives: Vec<NodeId>,
+    /// Number of original nodes per class.
+    sizes: Vec<usize>,
+    /// Class of every original node.
+    class_of: Vec<usize>,
+}
+
+impl Quotient {
+    /// Build the quotient of `g` from a previously computed partition.
+    pub fn from_partition(g: &PortGraph, partition: &OrbitPartition) -> Self {
+        let reps = partition.representatives();
+        let sizes: Vec<usize> = partition.classes().iter().map(|c| c.len()).collect();
+        let adj = reps
+            .iter()
+            .map(|&rep| {
+                (0..g.degree(rep))
+                    .map(|p| {
+                        let (w, q) = g.succ(rep, p);
+                        (partition.class_of(w), q)
+                    })
+                    .collect()
+            })
+            .collect();
+        let class_of = (0..g.num_nodes()).map(|v| partition.class_of(v)).collect();
+        Quotient { adj, representatives: reps, sizes, class_of }
+    }
+
+    /// Build the quotient of `g`, computing the partition internally.
+    pub fn compute(g: &PortGraph) -> Self {
+        Self::from_partition(g, &OrbitPartition::compute(g))
+    }
+
+    /// Number of quotient nodes (view-equivalence classes).
+    pub fn num_classes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Degree of a quotient node.
+    pub fn degree(&self, class: usize) -> usize {
+        self.adj[class].len()
+    }
+
+    /// The class an original node maps to.
+    pub fn class_of(&self, v: NodeId) -> usize {
+        self.class_of[v]
+    }
+
+    /// A representative original node of `class`.
+    pub fn representative(&self, class: usize) -> NodeId {
+        self.representatives[class]
+    }
+
+    /// Number of original nodes in `class`.
+    pub fn class_size(&self, class: usize) -> usize {
+        self.sizes[class]
+    }
+
+    /// Follow port `p` out of `class`: the target class and the entry port.
+    pub fn succ(&self, class: usize, p: Port) -> (usize, Port) {
+        self.adj[class][p]
+    }
+
+    /// Canonical byte encoding of the pair *(quotient, marked class)*.
+    ///
+    /// Classes are renumbered by a deterministic BFS from the marked class
+    /// that scans ports in increasing order, so the encoding is identical for
+    /// any two nodes (possibly of different graphs) with equal views, and
+    /// different otherwise.
+    pub fn canonical_code(&self, marked_class: usize) -> Vec<u8> {
+        let k = self.num_classes();
+        let mut order = vec![usize::MAX; k]; // class -> canonical id
+        let mut bfs = std::collections::VecDeque::new();
+        order[marked_class] = 0;
+        bfs.push_back(marked_class);
+        let mut next_id = 1usize;
+        let mut visit_sequence = vec![marked_class];
+        while let Some(c) = bfs.pop_front() {
+            for p in 0..self.degree(c) {
+                let (t, _) = self.succ(c, p);
+                if order[t] == usize::MAX {
+                    order[t] = next_id;
+                    next_id += 1;
+                    bfs.push_back(t);
+                    visit_sequence.push(t);
+                }
+            }
+        }
+        // encode, in canonical order, the full port map of every class
+        let mut out = Vec::new();
+        out.extend_from_slice(b"Q");
+        out.extend_from_slice(next_id.to_string().as_bytes());
+        out.push(b';');
+        for &c in &visit_sequence {
+            out.push(b'(');
+            for p in 0..self.degree(c) {
+                let (t, q) = self.succ(c, p);
+                out.extend_from_slice(p.to_string().as_bytes());
+                out.push(b'>');
+                out.extend_from_slice(order[t].to_string().as_bytes());
+                out.push(b':');
+                out.extend_from_slice(q.to_string().as_bytes());
+                out.push(b',');
+            }
+            out.push(b')');
+        }
+        out
+    }
+
+    /// Canonical code of an original node (through its class).
+    pub fn canonical_code_of_node(&self, v: NodeId) -> Vec<u8> {
+        self.canonical_code(self.class_of(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{lollipop, oriented_ring, oriented_torus, path, symmetric_double_tree};
+
+    #[test]
+    fn quotient_of_a_fully_symmetric_graph_has_one_class() {
+        let g = oriented_torus(3, 3).unwrap();
+        let q = Quotient::compute(&g);
+        assert_eq!(q.num_classes(), 1);
+        assert_eq!(q.degree(0), 4);
+        assert_eq!(q.class_size(0), 9);
+        // every port loops back to the single class
+        for p in 0..4 {
+            assert_eq!(q.succ(0, p).0, 0);
+        }
+    }
+
+    #[test]
+    fn quotient_of_an_asymmetric_graph_is_the_graph_itself() {
+        let g = lollipop(4, 2).unwrap();
+        let q = Quotient::compute(&g);
+        assert_eq!(q.num_classes(), g.num_nodes());
+        for v in g.nodes() {
+            assert_eq!(q.class_size(q.class_of(v)), 1);
+        }
+    }
+
+    #[test]
+    fn canonical_codes_agree_exactly_with_symmetry() {
+        for g in [path(5).unwrap(), oriented_ring(6).unwrap(), lollipop(3, 3).unwrap()] {
+            let q = Quotient::compute(&g);
+            let part = OrbitPartition::compute(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        q.canonical_code_of_node(u) == q.canonical_code_of_node(v),
+                        part.are_symmetric(u, v),
+                        "nodes {u}, {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_comparable_across_graphs() {
+        // two oriented rings of the same size: every node of either graph has
+        // the same view, so codes must match across graphs
+        let g1 = oriented_ring(5).unwrap();
+        let g2 = oriented_ring(5).unwrap();
+        let q1 = Quotient::compute(&g1);
+        let q2 = Quotient::compute(&g2);
+        assert_eq!(q1.canonical_code_of_node(0), q2.canonical_code_of_node(3));
+        // rings of different sizes still quotient to the same single-class map,
+        // which is precisely the "same view" statement for oriented rings --
+        // an agent cannot tell oriented rings apart without knowing n.
+        let g3 = oriented_ring(7).unwrap();
+        let q3 = Quotient::compute(&g3);
+        assert_eq!(q1.canonical_code_of_node(0), q3.canonical_code_of_node(0));
+    }
+
+    #[test]
+    fn double_tree_quotient_halves_the_graph() {
+        let (g, _mirror) = symmetric_double_tree(2, 2).unwrap();
+        let q = Quotient::compute(&g);
+        assert_eq!(q.num_classes() * 2, g.num_nodes());
+    }
+
+    #[test]
+    fn representatives_map_back_to_their_classes() {
+        let g = path(6).unwrap();
+        let q = Quotient::compute(&g);
+        for c in 0..q.num_classes() {
+            assert_eq!(q.class_of(q.representative(c)), c);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Rendering of port-labelled graphs (DOT and plain text), used to reproduce
+//! Figure 1 of the paper.
+
+use std::fmt::Write as _;
+
+use crate::generators::{Cardinal, QhGraph};
+use crate::graph::PortGraph;
+
+/// Render the graph in Graphviz DOT format.  Every edge is annotated with its
+/// two port numbers (`taillabel`/`headlabel` on an undirected edge).
+pub fn to_dot(g: &PortGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle, label=\"\"];");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  n{v};");
+    }
+    for (u, pu, v, pv) in g.edges() {
+        let _ = writeln!(out, "  n{u} -- n{v} [taillabel=\"{pu}\", headlabel=\"{pv}\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render the graph in DOT with cardinal port letters (`N/E/S/W`) instead of
+/// numbers — the natural rendering for `Q_h` / `Q̂_h` (Figure 1).
+pub fn to_dot_cardinal(g: &PortGraph, name: &str) -> String {
+    let letter = |p: usize| Cardinal::from_port(p).map(|c| c.letter().to_string()).unwrap_or_else(|| p.to_string());
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle, label=\"\"];");
+    for (u, pu, v, pv) in g.edges() {
+        let _ = writeln!(
+            out,
+            "  n{u} -- n{v} [taillabel=\"{}\", headlabel=\"{}\"];",
+            letter(pu),
+            letter(pv)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// A plain-text adjacency summary: one line per node with its degree and the
+/// `(port -> neighbour @ entry port)` list.  Stable output, used in golden
+/// tests and by the CLI.
+pub fn to_text(g: &PortGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes: {}, edges: {}", g.num_nodes(), g.num_edges());
+    for v in g.nodes() {
+        let ports: Vec<String> =
+            g.ports(v).map(|(p, w, q)| format!("{p}->{w}@{q}")).collect();
+        let _ = writeln!(out, "  {v} (deg {}): {}", g.degree(v), ports.join("  "));
+    }
+    out
+}
+
+/// Textual reproduction of Figure 1: the tree `Q_h` drawn by depth levels and
+/// the list of leaf edges added in `Q̂_h` (pairings and the four alternating
+/// cycles), with cardinal port letters.
+pub fn figure1_text(q: &QhGraph) -> String {
+    let g = &q.graph;
+    let mut out = String::new();
+    let kind = if q.is_hat { "Q̂" } else { "Q" };
+    let _ = writeln!(out, "{}_{} : {} nodes, {} edges, x = 3^(h-1) = {}", kind, q.h, g.num_nodes(), g.num_edges(), q.x());
+    // tree levels
+    for d in 0..=q.h {
+        let level: Vec<String> = g
+            .nodes()
+            .filter(|&v| q.depth[v] == d)
+            .map(|v| match q.leaf_type[v] {
+                Some(c) => format!("{v}[{}]", c.letter()),
+                None => format!("{v}"),
+            })
+            .collect();
+        let _ = writeln!(out, "  depth {d}: {}", level.join(" "));
+    }
+    // tree edges
+    let _ = writeln!(out, "  tree edges (parent --port/port-- child):");
+    for (u, pu, v, pv) in g.edges() {
+        let du = q.depth[u];
+        let dv = q.depth[v];
+        if du + 1 == dv || dv + 1 == du {
+            let (hi, ph, lo, pl) = if du < dv { (u, pu, v, pv) } else { (v, pv, u, pu) };
+            let _ = writeln!(
+                out,
+                "    {hi} --{}/{}-- {lo}",
+                cardinal_letter(ph),
+                cardinal_letter(pl)
+            );
+        }
+    }
+    if q.is_hat {
+        let _ = writeln!(out, "  added leaf edges (Q̂ only):");
+        for (u, pu, v, pv) in g.edges() {
+            let both_leaves = q.leaf_type[u].is_some() && q.leaf_type[v].is_some();
+            if both_leaves {
+                let _ = writeln!(
+                    out,
+                    "    {u}[{}] --{}/{}-- {v}[{}]",
+                    q.leaf_type[u].unwrap().letter(),
+                    cardinal_letter(pu),
+                    cardinal_letter(pv),
+                    q.leaf_type[v].unwrap().letter()
+                );
+            }
+        }
+    }
+    out
+}
+
+fn cardinal_letter(p: usize) -> String {
+    Cardinal::from_port(p).map(|c| c.letter().to_string()).unwrap_or_else(|| p.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{oriented_ring, qh_hat, qh_tree};
+
+    #[test]
+    fn dot_output_contains_all_edges() {
+        let g = oriented_ring(4).unwrap();
+        let dot = to_dot(&g, "ring4");
+        assert!(dot.starts_with("graph ring4 {"));
+        assert_eq!(dot.matches(" -- ").count(), g.num_edges());
+        assert!(dot.contains("taillabel"));
+    }
+
+    #[test]
+    fn cardinal_dot_uses_letters() {
+        let q = qh_hat(2).unwrap();
+        let dot = to_dot_cardinal(&q.graph, "qhat2");
+        assert!(dot.contains("taillabel=\"N\"") || dot.contains("headlabel=\"N\""));
+        assert_eq!(dot.matches(" -- ").count(), q.graph.num_edges());
+    }
+
+    #[test]
+    fn text_rendering_is_stable_and_complete() {
+        let g = oriented_ring(3).unwrap();
+        let t = to_text(&g);
+        assert!(t.contains("nodes: 3, edges: 3"));
+        assert_eq!(t.lines().count(), 1 + 3);
+    }
+
+    #[test]
+    fn figure1_text_mentions_every_level_and_added_edges() {
+        let tree = qh_tree(2).unwrap();
+        let t = figure1_text(&tree);
+        assert!(t.contains("depth 0"));
+        assert!(t.contains("depth 2"));
+        assert!(!t.contains("added leaf edges"));
+
+        let hat = qh_hat(2).unwrap();
+        let t = figure1_text(&hat);
+        assert!(t.contains("added leaf edges"));
+        // Q̂_2 has 34 edges, 16 of them tree edges, 18 added between leaves
+        assert_eq!(t.matches("--").count() >= 34, true);
+    }
+}

@@ -1,0 +1,269 @@
+//! The paper's `Shrink(u, v)` quantity (Definition 3.1).
+//!
+//! For a pair of nodes `u, v`, `Shrink(u, v)` is the smallest distance
+//! between `α(u)` and `α(v)` over all port sequences `α` that are applicable
+//! at both nodes.  Intuitively it is the closest the two agents can ever get
+//! while blindly copying each other's moves — which is exactly what happens
+//! when identical deterministic agents start at symmetric positions.
+//!
+//! Corollary 3.1 characterises feasibility through this quantity: a STIC
+//! `[(u, v), δ]` with symmetric `u, v` is feasible iff `δ ≥ Shrink(u, v)`.
+//!
+//! The computation is a BFS over the *pair graph*: states are ordered pairs
+//! `(a, b)` of nodes, the start state is `(u, v)`, and for every port `p`
+//! applicable at both coordinates there is a transition to
+//! `(succ(a, p), succ(b, p))`.  `Shrink` is the minimum graph distance
+//! `dist(a, b)` over all reachable states.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::distance::bfs_distances;
+use crate::graph::{NodeId, PortGraph};
+
+/// Result of a [`shrink_detailed`] computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkResult {
+    /// The value `Shrink(u, v)`.
+    pub shrink: usize,
+    /// A port sequence `α` witnessing the minimum, i.e.
+    /// `dist(α(u), α(v)) == shrink`.  Empty when the initial distance is
+    /// already minimal.
+    pub witness: Vec<usize>,
+    /// The pair of nodes `(α(u), α(v))` realising the minimum.
+    pub closest_pair: (NodeId, NodeId),
+    /// Number of pair states explored.
+    pub explored_pairs: usize,
+}
+
+/// Compute `Shrink(u, v)`.
+///
+/// Defined for any pair; for `u == v` the result is `0`.  For symmetric
+/// `u ≠ v` the result is at least `1` (a common port sequence can never merge
+/// two symmetric nodes, because reversing the walk from the common endpoint
+/// would have to reach both).
+pub fn shrink(g: &PortGraph, u: NodeId, v: NodeId) -> Option<usize> {
+    shrink_detailed(g, u, v, usize::MAX).map(|r| r.shrink)
+}
+
+/// Compute `Shrink(u, v)` but give up (returning `None`) after exploring more
+/// than `max_pairs` pair states.  `shrink` uses `usize::MAX`.
+pub fn shrink_bounded(g: &PortGraph, u: NodeId, v: NodeId, max_pairs: usize) -> Option<usize> {
+    shrink_detailed(g, u, v, max_pairs).map(|r| r.shrink)
+}
+
+/// Full computation with a witness sequence.  Returns `None` only when the
+/// `max_pairs` exploration budget is exhausted before the search completes
+/// (and no distance-1 pair was found earlier).
+pub fn shrink_detailed(
+    g: &PortGraph,
+    u: NodeId,
+    v: NodeId,
+    max_pairs: usize,
+) -> Option<ShrinkResult> {
+    if u == v {
+        return Some(ShrinkResult { shrink: 0, witness: Vec::new(), closest_pair: (u, u), explored_pairs: 1 });
+    }
+    let n = g.num_nodes();
+    // Distance oracle: full matrix for small graphs, per-source cache otherwise.
+    let mut dist_cache: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let dist = |a: NodeId, b: NodeId, cache: &mut HashMap<NodeId, Vec<usize>>| -> usize {
+        cache.entry(a).or_insert_with(|| bfs_distances(g, a))[b]
+    };
+
+    let key = |a: NodeId, b: NodeId| a * n + b;
+    let mut parent: HashMap<usize, (usize, usize)> = HashMap::new(); // pair -> (parent pair, port)
+    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut queue = VecDeque::new();
+    let start = key(u, v);
+    seen.insert(start);
+    queue.push_back((u, v));
+
+    let mut best = dist(u, v, &mut dist_cache);
+    let mut best_pair = (u, v);
+    let mut best_key = start;
+    let mut explored = 0usize;
+
+    while let Some((a, b)) = queue.pop_front() {
+        explored += 1;
+        if best == 1 {
+            break; // cannot do better for distinct nodes
+        }
+        if explored > max_pairs {
+            return None;
+        }
+        let common_ports = g.degree(a).min(g.degree(b));
+        for p in 0..common_ports {
+            let (a2, _) = g.succ(a, p);
+            let (b2, _) = g.succ(b, p);
+            let k2 = key(a2, b2);
+            if seen.insert(k2) {
+                parent.insert(k2, (key(a, b), p));
+                let d = if a2 == b2 { 0 } else { dist(a2, b2, &mut dist_cache) };
+                if d < best {
+                    best = d;
+                    best_pair = (a2, b2);
+                    best_key = k2;
+                }
+                queue.push_back((a2, b2));
+            }
+        }
+    }
+
+    // reconstruct witness
+    let mut witness = Vec::new();
+    let mut cur = best_key;
+    while cur != start {
+        let (prev, port) = parent[&cur];
+        witness.push(port);
+        cur = prev;
+    }
+    witness.reverse();
+
+    Some(ShrinkResult { shrink: best, witness, closest_pair: best_pair, explored_pairs: explored })
+}
+
+/// Brute-force reference: minimum of `dist(α(u), α(v))` over every applicable
+/// sequence `α` of length at most `max_len`.  Exponential; used only to
+/// cross-check [`shrink`] in tests.
+pub fn shrink_brute_force(g: &PortGraph, u: NodeId, v: NodeId, max_len: usize) -> usize {
+    use crate::traversal::apply_ports_end;
+    let dist_from: Vec<Vec<usize>> = g.nodes().map(|x| bfs_distances(g, x)).collect();
+    let mut best = dist_from[u][v];
+    let mut stack: Vec<Vec<usize>> = vec![vec![]];
+    while let Some(seq) = stack.pop() {
+        let a = apply_ports_end(g, u, &seq);
+        let b = apply_ports_end(g, v, &seq);
+        if let (Some(a), Some(b)) = (a, b) {
+            best = best.min(dist_from[a][b]);
+            if seq.len() < max_len {
+                let max_port = g.degree(a).min(g.degree(b));
+                for p in 0..max_port {
+                    let mut next = seq.clone();
+                    next.push(p);
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// `Shrink` for every symmetric pair of the graph, as
+/// `((u, v), shrink)` entries ordered by pair.
+pub fn shrink_all_symmetric_pairs(g: &PortGraph) -> Vec<((NodeId, NodeId), usize)> {
+    let partition = crate::symmetry::OrbitPartition::compute(g);
+    partition
+        .symmetric_pairs()
+        .into_iter()
+        .map(|(u, v)| ((u, v), shrink(g, u, v).expect("unbounded search always completes")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance;
+    use crate::generators::{
+        hypercube, oriented_ring, oriented_torus, path, symmetric_double_tree,
+    };
+
+    #[test]
+    fn shrink_of_a_node_with_itself_is_zero() {
+        let g = oriented_ring(5).unwrap();
+        assert_eq!(shrink(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn oriented_ring_shrink_equals_distance() {
+        let g = oriented_ring(8).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(shrink(&g, u, v), Some(distance(&g, u, v)));
+            }
+        }
+    }
+
+    #[test]
+    fn oriented_torus_shrink_equals_distance() {
+        // the paper's Section 3 example
+        let g = oriented_torus(4, 4).unwrap();
+        for u in [0usize, 3, 7] {
+            for v in g.nodes() {
+                assert_eq!(shrink(&g, u, v), Some(distance(&g, u, v)), "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_shrink_equals_distance() {
+        let g = hypercube(3).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(shrink(&g, u, v), Some(distance(&g, u, v)));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_double_tree_shrink_is_one_for_mirror_pairs() {
+        // the paper's second Section 3 example: Shrink can really shrink
+        let (g, mirror) = symmetric_double_tree(2, 3).unwrap();
+        for v in g.nodes() {
+            let m = mirror[v];
+            if m != v {
+                assert_eq!(shrink(&g, v, m), Some(1), "node {v} vs mirror {m}");
+            }
+        }
+        // ... even though the distance between deep mirror pairs is large
+        let far = g
+            .nodes()
+            .filter(|&v| mirror[v] != v)
+            .max_by_key(|&v| distance(&g, v, mirror[v]))
+            .unwrap();
+        assert!(distance(&g, far, mirror[far]) > 1);
+    }
+
+    #[test]
+    fn brute_force_agrees_on_small_graphs() {
+        for g in [oriented_ring(5).unwrap(), path(5).unwrap(), hypercube(3).unwrap()] {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let fast = shrink(&g, u, v).unwrap();
+                    let slow = shrink_brute_force(&g, u, v, 6);
+                    assert_eq!(fast, slow, "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_sequence_realises_the_reported_shrink() {
+        use crate::traversal::apply_ports_end;
+        let (g, mirror) = symmetric_double_tree(2, 2).unwrap();
+        let v = g.nodes().find(|&v| mirror[v] != v && g.degree(v) == 1).unwrap();
+        let r = shrink_detailed(&g, v, mirror[v], usize::MAX).unwrap();
+        let a = apply_ports_end(&g, v, &r.witness).unwrap();
+        let b = apply_ports_end(&g, mirror[v], &r.witness).unwrap();
+        assert_eq!(distance(&g, a, b), r.shrink);
+        assert_eq!((a, b), r.closest_pair);
+    }
+
+    #[test]
+    fn bounded_search_gives_up_gracefully() {
+        let g = oriented_torus(5, 5).unwrap();
+        // a budget of a single pair cannot finish (best > 1 initially)
+        assert_eq!(shrink_bounded(&g, 0, 12, 1), None);
+        // a generous budget succeeds
+        assert!(shrink_bounded(&g, 0, 12, 100_000).is_some());
+    }
+
+    #[test]
+    fn all_symmetric_pairs_listing_is_consistent() {
+        let g = oriented_ring(6).unwrap();
+        let all = shrink_all_symmetric_pairs(&g);
+        assert_eq!(all.len(), 6 * 5 / 2);
+        for ((u, v), s) in all {
+            assert_eq!(s, distance(&g, u, v));
+        }
+    }
+}

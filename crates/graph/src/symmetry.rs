@@ -1,0 +1,259 @@
+//! View-equivalence ("symmetric nodes") via port-respecting colour refinement.
+//!
+//! Two nodes of a port-labelled graph have equal views iff they receive the
+//! same colour in the coarsest partition that is *equitable with respect to
+//! ports*: starting from the degree partition, nodes are repeatedly split
+//! according to the vector, indexed by port, of (entry port, colour) of their
+//! neighbours, until a fixpoint is reached.  This is the classical
+//! Yamashita–Kameda / Boldi–Vigna characterisation; the fixpoint is reached
+//! after at most `n - 1` rounds, matching Norris' view-truncation bound.
+//!
+//! The refinement runs in `O(n · Δ · rounds)` time and is the workhorse used
+//! by the feasibility characterisation (Corollary 3.1) and by every
+//! experiment that needs to enumerate symmetric pairs.
+
+use std::collections::HashMap;
+
+use crate::graph::{NodeId, PortGraph};
+
+/// The partition of the node set into view-equivalence classes (orbits of the
+/// view map).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrbitPartition {
+    class_of: Vec<usize>,
+    num_classes: usize,
+    /// Number of refinement rounds needed to reach the fixpoint.
+    rounds: usize,
+}
+
+impl OrbitPartition {
+    /// Compute the partition for `g`.
+    pub fn compute(g: &PortGraph) -> Self {
+        let n = g.num_nodes();
+        // initial colours: degrees, renumbered to 0..k
+        let mut colour: Vec<usize> = {
+            let mut map: HashMap<usize, usize> = HashMap::new();
+            (0..n)
+                .map(|v| {
+                    let d = g.degree(v);
+                    let next = map.len();
+                    *map.entry(d).or_insert(next)
+                })
+                .collect()
+        };
+        let mut num_classes = colour.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        let mut rounds = 0usize;
+
+        loop {
+            // signature of v: (colour(v), [(entry port, colour(neighbour)) per port])
+            let mut sig_map: HashMap<(usize, Vec<(usize, usize)>), usize> = HashMap::new();
+            let mut next_colour = vec![0usize; n];
+            for v in 0..n {
+                let nbrs: Vec<(usize, usize)> =
+                    (0..g.degree(v)).map(|p| {
+                        let (w, q) = g.succ(v, p);
+                        (q, colour[w])
+                    }).collect();
+                let key = (colour[v], nbrs);
+                let next = sig_map.len();
+                let c = *sig_map.entry(key).or_insert(next);
+                next_colour[v] = c;
+            }
+            let new_num = sig_map.len();
+            rounds += 1;
+            let stable = new_num == num_classes;
+            colour = next_colour;
+            num_classes = new_num;
+            if stable {
+                break;
+            }
+        }
+
+        OrbitPartition { class_of: colour, num_classes, rounds }
+    }
+
+    /// Number of view-equivalence classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of refinement rounds used to reach the fixpoint.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Class identifier of node `v` (in `0..num_classes`).
+    pub fn class_of(&self, v: NodeId) -> usize {
+        self.class_of[v]
+    }
+
+    /// `true` iff `u` and `v` are symmetric (equal views).
+    pub fn are_symmetric(&self, u: NodeId, v: NodeId) -> bool {
+        self.class_of[u] == self.class_of[v]
+    }
+
+    /// Number of nodes in the partition (the graph size).
+    pub fn num_nodes(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// The classes as explicit node lists, ordered by class identifier.
+    pub fn classes(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.num_classes];
+        for (v, &c) in self.class_of.iter().enumerate() {
+            out[c].push(v);
+        }
+        out
+    }
+
+    /// All unordered symmetric pairs `u < v`.
+    pub fn symmetric_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        for class in self.classes() {
+            for i in 0..class.len() {
+                for j in i + 1..class.len() {
+                    pairs.push((class[i], class[j]));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// A representative (smallest node id) of each class.
+    pub fn representatives(&self) -> Vec<NodeId> {
+        let mut reps = vec![usize::MAX; self.num_classes];
+        for (v, &c) in self.class_of.iter().enumerate() {
+            if reps[c] == usize::MAX {
+                reps[c] = v;
+            }
+        }
+        reps
+    }
+
+    /// `true` iff every node is alone in its class (no symmetric pair exists).
+    pub fn is_asymmetric(&self) -> bool {
+        self.num_classes == self.class_of.len()
+    }
+
+    /// `true` iff all nodes share one class (every pair is symmetric), as in
+    /// oriented rings, oriented tori, hypercubes and the paper's `Q̂_h`.
+    pub fn is_fully_symmetric(&self) -> bool {
+        self.num_classes == 1
+    }
+}
+
+/// Convenience wrapper: `true` iff `u` and `v` are symmetric in `g`.
+pub fn are_symmetric(g: &PortGraph, u: NodeId, v: NodeId) -> bool {
+    OrbitPartition::compute(g).are_symmetric(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{
+        complete, hypercube, lollipop, oriented_ring, oriented_torus, path, star,
+        symmetric_double_tree,
+    };
+    use crate::view::symmetric_by_views;
+
+    #[test]
+    fn oriented_ring_is_fully_symmetric() {
+        let g = oriented_ring(9).unwrap();
+        let p = OrbitPartition::compute(&g);
+        assert!(p.is_fully_symmetric());
+        assert_eq!(p.symmetric_pairs().len(), 9 * 8 / 2);
+    }
+
+    #[test]
+    fn oriented_torus_is_fully_symmetric() {
+        let g = oriented_torus(3, 4).unwrap();
+        let p = OrbitPartition::compute(&g);
+        assert!(p.is_fully_symmetric());
+    }
+
+    #[test]
+    fn hypercube_is_fully_symmetric() {
+        let g = hypercube(4).unwrap();
+        assert!(OrbitPartition::compute(&g).is_fully_symmetric());
+    }
+
+    #[test]
+    fn complete_graph_with_canonical_ports_is_not_necessarily_symmetric() {
+        // with the generator's port assignment (ports by increasing neighbour id)
+        // the nodes of K_n are pairwise distinguishable for n >= 3
+        let g = complete(4).unwrap();
+        let p = OrbitPartition::compute(&g);
+        assert!(p.num_classes() > 1);
+    }
+
+    #[test]
+    fn star_center_differs_from_leaves() {
+        let g = star(5).unwrap();
+        let p = OrbitPartition::compute(&g);
+        assert!(!p.are_symmetric(0, 1));
+        // leaves attach to distinct center ports, hence are pairwise nonsymmetric
+        assert!(p.is_asymmetric() || p.num_classes() >= 5);
+    }
+
+    #[test]
+    fn lollipop_is_asymmetric() {
+        let g = lollipop(4, 3).unwrap();
+        let p = OrbitPartition::compute(&g);
+        assert!(p.is_asymmetric());
+    }
+
+    #[test]
+    fn double_tree_mirror_nodes_are_symmetric() {
+        let (g, mirror) = symmetric_double_tree(2, 3).unwrap();
+        let p = OrbitPartition::compute(&g);
+        for v in g.nodes() {
+            assert!(p.are_symmetric(v, mirror[v]), "{v} vs its mirror");
+        }
+    }
+
+    #[test]
+    fn refinement_agrees_with_view_comparison_on_small_graphs() {
+        for g in [
+            oriented_ring(5).unwrap(),
+            path(5).unwrap(),
+            star(4).unwrap(),
+            complete(4).unwrap(),
+            lollipop(3, 2).unwrap(),
+        ] {
+            let p = OrbitPartition::compute(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        p.are_symmetric(u, v),
+                        symmetric_by_views(&g, u, v),
+                        "disagreement on ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_and_classes_are_consistent() {
+        let g = star(6).unwrap();
+        let p = OrbitPartition::compute(&g);
+        let reps = p.representatives();
+        assert_eq!(reps.len(), p.num_classes());
+        for (c, class) in p.classes().iter().enumerate() {
+            assert!(!class.is_empty());
+            assert_eq!(reps[c], class[0]);
+            for &v in class {
+                assert_eq!(p.class_of(v), c);
+            }
+        }
+        let total: usize = p.classes().iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.num_nodes());
+    }
+
+    #[test]
+    fn rounds_is_bounded_by_n() {
+        let g = path(9).unwrap();
+        let p = OrbitPartition::compute(&g);
+        assert!(p.rounds() <= g.num_nodes());
+    }
+}

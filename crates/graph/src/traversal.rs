@@ -1,0 +1,228 @@
+//! Port-sequence application `α(x)`, reverse paths and walk bookkeeping.
+//!
+//! Section 2 of the paper defines, for a node `x` and a sequence
+//! `α = (p1, ..., ps)` of port numbers, the node `α(x)` reached by following
+//! the consecutive *outgoing* port numbers `p1, ..., ps` from `x`.  It also
+//! defines the *reverse path* `π̄` of a path `π`, obtained by walking back
+//! through the *entry* ports in reverse order.
+
+use crate::graph::{NodeId, Port, PortGraph};
+
+/// The full record of applying a port sequence from a start node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Visited nodes, `nodes[0]` is the start; `nodes.len() == out_ports.len() + 1`.
+    pub nodes: Vec<NodeId>,
+    /// Outgoing port taken at step `i` (from `nodes[i]`).
+    pub out_ports: Vec<Port>,
+    /// Entry port observed at step `i` (the port of the traversed edge at
+    /// `nodes[i + 1]`).
+    pub in_ports: Vec<Port>,
+}
+
+impl Walk {
+    /// A walk of length zero anchored at `start`.
+    pub fn empty(start: NodeId) -> Self {
+        Walk { nodes: vec![start], out_ports: Vec::new(), in_ports: Vec::new() }
+    }
+
+    /// Number of edges traversed.
+    pub fn len(&self) -> usize {
+        self.out_ports.len()
+    }
+
+    /// `true` iff no edge was traversed.
+    pub fn is_empty(&self) -> bool {
+        self.out_ports.is_empty()
+    }
+
+    /// Final node of the walk (`α(start)`).
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().expect("walk always has at least the start node")
+    }
+
+    /// Start node of the walk.
+    pub fn start(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The port sequence that traverses this walk backwards from its end to
+    /// its start: the entry ports in reverse order (the paper's `π̄`).
+    pub fn reverse_ports(&self) -> Vec<Port> {
+        self.in_ports.iter().rev().copied().collect()
+    }
+}
+
+/// Apply the port sequence `ports` starting at `start`, i.e. compute the
+/// paper's `α(x)` together with the whole visited path.  Returns `None` if
+/// some port is out of range at the node where it would be used (the
+/// sequence is not *applicable* at `start`).
+pub fn apply_ports(g: &PortGraph, start: NodeId, ports: &[Port]) -> Option<Walk> {
+    let mut walk = Walk::empty(start);
+    let mut cur = start;
+    for &p in ports {
+        if p >= g.degree(cur) {
+            return None;
+        }
+        let (next, q) = g.succ(cur, p);
+        walk.nodes.push(next);
+        walk.out_ports.push(p);
+        walk.in_ports.push(q);
+        cur = next;
+    }
+    Some(walk)
+}
+
+/// The node `α(x)` only (discarding the path), or `None` if not applicable.
+pub fn apply_ports_end(g: &PortGraph, start: NodeId, ports: &[Port]) -> Option<NodeId> {
+    let mut cur = start;
+    for &p in ports {
+        if p >= g.degree(cur) {
+            return None;
+        }
+        cur = g.succ(cur, p).0;
+    }
+    Some(cur)
+}
+
+/// `true` iff the port sequence is applicable at `start` (every port exists
+/// at the node where it would be used).
+pub fn is_applicable(g: &PortGraph, start: NodeId, ports: &[Port]) -> bool {
+    apply_ports_end(g, start, ports).is_some()
+}
+
+/// Enumerate every applicable port sequence of length exactly `len` from
+/// `start`, in lexicographic order, calling `f` with the sequence and the walk
+/// it induces.  This is the *analysis-side* counterpart of the agent-side
+/// enumeration performed by Procedure `Explore`; it is used by tests and by
+/// the `Shrink` verification utilities.
+pub fn for_each_walk_of_length<F>(g: &PortGraph, start: NodeId, len: usize, mut f: F)
+where
+    F: FnMut(&[Port], &Walk),
+{
+    let mut ports: Vec<Port> = Vec::with_capacity(len);
+    let mut walk = Walk::empty(start);
+    recurse(g, len, &mut ports, &mut walk, &mut f);
+
+    fn recurse<F>(g: &PortGraph, len: usize, ports: &mut Vec<Port>, walk: &mut Walk, f: &mut F)
+    where
+        F: FnMut(&[Port], &Walk),
+    {
+        if ports.len() == len {
+            f(ports, walk);
+            return;
+        }
+        let cur = walk.end();
+        for p in 0..g.degree(cur) {
+            let (next, q) = g.succ(cur, p);
+            ports.push(p);
+            walk.nodes.push(next);
+            walk.out_ports.push(p);
+            walk.in_ports.push(q);
+            recurse(g, len, ports, walk, f);
+            ports.pop();
+            walk.nodes.pop();
+            walk.out_ports.pop();
+            walk.in_ports.pop();
+        }
+    }
+}
+
+/// Count the applicable port sequences of length `len` from `start`.
+/// The paper bounds this by `(n - 1)^len`; the true value is
+/// `∏ deg(node at step i)` summed over branches.
+pub fn count_walks_of_length(g: &PortGraph, start: NodeId, len: usize) -> u128 {
+    // Dynamic programming over node occupancy: the number of walks of length
+    // `i` ending at each node.
+    let n = g.num_nodes();
+    let mut cur = vec![0u128; n];
+    cur[start] = 1;
+    for _ in 0..len {
+        let mut next = vec![0u128; n];
+        for v in 0..n {
+            if cur[v] == 0 {
+                continue;
+            }
+            for p in 0..g.degree(v) {
+                let (w, _) = g.succ(v, p);
+                next[w] += cur[v];
+            }
+        }
+        cur = next;
+    }
+    cur.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, oriented_ring, path};
+
+    #[test]
+    fn apply_ports_follows_the_oriented_ring() {
+        let g = oriented_ring(6).unwrap();
+        // port 0 is the "clockwise" port at every node
+        let w = apply_ports(&g, 0, &[0, 0, 0]).unwrap();
+        assert_eq!(w.nodes, vec![0, 1, 2, 3]);
+        assert_eq!(w.end(), 3);
+        assert_eq!(apply_ports_end(&g, 0, &[0; 6]), Some(0));
+    }
+
+    #[test]
+    fn apply_ports_rejects_out_of_range_ports() {
+        let g = path(3).unwrap();
+        // end nodes of the path have degree 1, so port 1 is not applicable
+        assert!(apply_ports(&g, 0, &[1]).is_none());
+        assert!(!is_applicable(&g, 0, &[0, 0, 1]));
+        assert!(is_applicable(&g, 0, &[0, 0]));
+    }
+
+    #[test]
+    fn reverse_ports_walk_back_to_the_start() {
+        let g = complete(5).unwrap();
+        let w = apply_ports(&g, 0, &[2, 1, 3]).unwrap();
+        let back = apply_ports(&g, w.end(), &w.reverse_ports()).unwrap();
+        assert_eq!(back.end(), 0);
+    }
+
+    #[test]
+    fn empty_walk_has_sane_accessors() {
+        let w = Walk::empty(7);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.start(), 7);
+        assert_eq!(w.end(), 7);
+        assert!(w.reverse_ports().is_empty());
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let g = complete(4).unwrap();
+        for len in 0..4 {
+            let mut seen = 0u128;
+            let mut last: Option<Vec<Port>> = None;
+            for_each_walk_of_length(&g, 0, len, |ports, walk| {
+                seen += 1;
+                assert_eq!(walk.len(), len);
+                // lexicographic order
+                if let Some(prev) = &last {
+                    assert!(prev.as_slice() < ports);
+                }
+                last = Some(ports.to_vec());
+            });
+            assert_eq!(seen, count_walks_of_length(&g, 0, len));
+            assert_eq!(seen, 3u128.pow(len as u32));
+        }
+    }
+
+    #[test]
+    fn count_walks_respects_varying_degrees() {
+        let g = path(3).unwrap(); // 0 - 1 - 2
+        // from the middle node: 2 walks of length 1, each continuing 1 way => 2 of length 2
+        assert_eq!(count_walks_of_length(&g, 1, 1), 2);
+        assert_eq!(count_walks_of_length(&g, 1, 2), 2);
+        // from an end node: 1, then 2, then 2...
+        assert_eq!(count_walks_of_length(&g, 0, 1), 1);
+        assert_eq!(count_walks_of_length(&g, 0, 2), 2);
+    }
+}

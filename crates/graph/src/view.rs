@@ -1,0 +1,208 @@
+//! Truncated views `V(v, G)` and their canonical encodings.
+//!
+//! The *view* from `v` in `G` (Section 2 of the paper, following
+//! Yamashita–Kameda) is the infinite tree of all walks in `G` starting from
+//! `v`, coded as sequences of port numbers.  Two nodes are *symmetric* iff
+//! their views are equal.  By the classical result of Norris, the infinite
+//! views of two nodes of an `n`-node graph are equal iff their truncations to
+//! depth `n - 1` are equal, so all computations here work with truncated
+//! views.
+//!
+//! Truncated views can be exponentially large in the depth, so this module is
+//! intended for small graphs and for cross-checking the polynomial-time
+//! partition refinement of [`crate::symmetry`]; production code should prefer
+//! the latter.
+
+use crate::graph::{NodeId, Port, PortGraph};
+
+/// A truncated view: a rooted tree in which every non-leaf node carries its
+/// degree and, for every port `p` of the original node, the child reached by
+/// leaving through `p` together with the entry port at that child.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct View {
+    /// Degree of the node this (sub)view is rooted at.
+    pub degree: usize,
+    /// `children[p] = (entry_port, subview)`, one entry per port, empty when
+    /// the view is truncated at this level.
+    pub children: Vec<(Port, View)>,
+}
+
+impl View {
+    /// Depth of the truncation (length of the longest root-to-leaf path).
+    pub fn depth(&self) -> usize {
+        self.children.iter().map(|(_, c)| 1 + c.depth()).max().unwrap_or(0)
+    }
+
+    /// Number of tree nodes in the truncated view (including the root).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|(_, c)| c.size()).sum::<usize>()
+    }
+
+    /// Deterministic, injective byte encoding of the truncated view.  Two
+    /// truncated views are equal iff their encodings are equal, so the
+    /// encoding can be used as a canonical label.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size() * 4);
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(b'(');
+        push_usize(out, self.degree);
+        for (in_port, child) in &self.children {
+            out.push(b'[');
+            push_usize(out, *in_port);
+            child.encode_into(out);
+            out.push(b']');
+        }
+        out.push(b')');
+    }
+
+    /// A 64-bit FNV-1a hash of the canonical encoding.  Collisions are
+    /// possible in principle; use [`View::canonical_bytes`] or direct `==`
+    /// when exactness matters.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.canonical_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+fn push_usize(out: &mut Vec<u8>, x: usize) {
+    // small decimal encoding with a terminator keeps the encoding injective
+    out.extend_from_slice(x.to_string().as_bytes());
+    out.push(b',');
+}
+
+/// Compute the view from `v` truncated to `depth`.
+pub fn truncated_view(g: &PortGraph, v: NodeId, depth: usize) -> View {
+    let degree = g.degree(v);
+    if depth == 0 {
+        return View { degree, children: Vec::new() };
+    }
+    let children = (0..degree)
+        .map(|p| {
+            let (w, q) = g.succ(v, p);
+            (q, truncated_view(g, w, depth - 1))
+        })
+        .collect();
+    View { degree, children }
+}
+
+/// Compare the views of `u` and `v` truncated to `depth` without
+/// materialising them (early exit on the first difference).
+pub fn views_equal_to_depth(g: &PortGraph, u: NodeId, v: NodeId, depth: usize) -> bool {
+    if g.degree(u) != g.degree(v) {
+        return false;
+    }
+    if depth == 0 {
+        return true;
+    }
+    for p in 0..g.degree(u) {
+        let (u2, qu) = g.succ(u, p);
+        let (v2, qv) = g.succ(v, p);
+        if qu != qv {
+            return false;
+        }
+        if !views_equal_to_depth(g, u2, v2, depth - 1) {
+            return false;
+        }
+    }
+    true
+}
+
+/// `true` iff `u` and `v` are symmetric, decided through view comparison at
+/// the Norris depth `n - 1`.  Exponential in the worst case; prefer
+/// [`crate::symmetry::OrbitPartition`] for anything but small graphs.
+pub fn symmetric_by_views(g: &PortGraph, u: NodeId, v: NodeId) -> bool {
+    views_equal_to_depth(g, u, v, g.num_nodes().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{oriented_ring, path, star};
+
+    #[test]
+    fn truncated_view_shape_on_a_ring() {
+        let g = oriented_ring(5).unwrap();
+        let v = truncated_view(&g, 0, 2);
+        assert_eq!(v.degree, 2);
+        assert_eq!(v.depth(), 2);
+        // binary branching: 1 + 2 + 4 nodes
+        assert_eq!(v.size(), 7);
+    }
+
+    #[test]
+    fn all_nodes_of_an_oriented_ring_are_symmetric() {
+        let g = oriented_ring(6).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert!(symmetric_by_views(&g, u, v), "{u} and {v} should be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn path_endpoints_are_symmetric_only_when_ports_mirror() {
+        // path 0-1-2 built by the generator: ports at node 1 are 0 -> node 0, 1 -> node 2,
+        // so the two leaves see different entry ports at depth 1 and are NOT symmetric.
+        let g = path(3).unwrap();
+        assert!(!symmetric_by_views(&g, 0, 2));
+        assert!(!symmetric_by_views(&g, 0, 1));
+    }
+
+    #[test]
+    fn star_leaves_are_pairwise_nonsymmetric_under_distinct_center_ports() {
+        let g = star(4).unwrap(); // center 0, leaves 1..=4
+        // every leaf is attached to a distinct port of the center, so the
+        // depth-2 views differ
+        for a in 1..5 {
+            for b in 1..5 {
+                if a != b {
+                    assert!(!symmetric_by_views(&g, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_views_and_match_equality() {
+        let g = path(4).unwrap();
+        let n = g.num_nodes();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let vu = truncated_view(&g, u, n - 1);
+                let vv = truncated_view(&g, v, n - 1);
+                assert_eq!(vu == vv, vu.canonical_bytes() == vv.canonical_bytes());
+                assert_eq!(vu == vv, views_equal_to_depth(&g, u, v, n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_equality_compatible() {
+        let g = oriented_ring(7).unwrap();
+        let a = truncated_view(&g, 0, 6);
+        let b = truncated_view(&g, 3, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn depth_zero_view_records_only_the_degree() {
+        let g = star(3).unwrap();
+        let center = truncated_view(&g, 0, 0);
+        assert_eq!(center.degree, 3);
+        assert!(center.children.is_empty());
+        assert_eq!(center.size(), 1);
+        assert_eq!(center.depth(), 0);
+    }
+}

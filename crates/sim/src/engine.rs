@@ -1,0 +1,517 @@
+//! The streaming two-agent simulation engine.
+//!
+//! Each agent runs on its own thread and streams chunked [`Event`] batches
+//! over a bounded channel; the coordinator merges the two position timelines
+//! on the fly and stops everything as soon as a rendezvous (or the horizon)
+//! is reached.  Memory stays `O(chunk_size)` no matter how long the executed
+//! algorithms are, and waits of astronomical length (the padding of
+//! `UniversalRV`) cost a single event.
+
+use std::collections::VecDeque;
+use std::thread;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use anonrv_graph::{NodeId, PortGraph};
+
+use crate::navigator::{AgentProgram, Event, EventSink, GraphNavigator, Stop};
+use crate::stic::{Round, Stic};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Global round horizon: the simulation gives up if no rendezvous happens
+    /// at a global round `<= horizon`.
+    pub horizon: Round,
+    /// Number of events per channel batch.
+    pub chunk_size: usize,
+    /// Number of batches that may be in flight per agent.
+    pub channel_capacity: usize,
+}
+
+impl EngineConfig {
+    /// Configuration with the given horizon and default batching.
+    pub fn with_horizon(horizon: Round) -> Self {
+        EngineConfig { horizon, chunk_size: 4096, channel_capacity: 8 }
+    }
+}
+
+/// A detected rendezvous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meeting {
+    /// Global round of the meeting (the earlier agent's clock).
+    pub global_round: Round,
+    /// Rounds since the later agent's start — the paper's notion of
+    /// rendezvous *time*.
+    pub later_round: Round,
+    /// The node where the agents met.
+    pub node: NodeId,
+}
+
+/// Result of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// The meeting, if one happened within the horizon.
+    pub meeting: Option<Meeting>,
+    /// Edge traversals of the earlier agent observed up to the meeting /
+    /// horizon.
+    pub earlier_moves: u64,
+    /// Edge traversals of the later agent observed up to the meeting /
+    /// horizon.
+    pub later_moves: u64,
+    /// Whether the earlier agent's program terminated by itself (only
+    /// meaningful when no meeting interrupted it).
+    pub earlier_terminated: bool,
+    /// Whether the later agent's program terminated by itself.
+    pub later_terminated: bool,
+    /// The horizon used.
+    pub horizon: Round,
+}
+
+impl SimOutcome {
+    /// `true` iff rendezvous was achieved within the horizon.
+    pub fn met(&self) -> bool {
+        self.meeting.is_some()
+    }
+
+    /// Rendezvous time in the paper's sense (rounds after the later agent's
+    /// start), if the agents met.
+    pub fn rendezvous_time(&self) -> Option<Round> {
+        self.meeting.map(|m| m.later_round)
+    }
+}
+
+enum Msg {
+    Events(Vec<Event>),
+    Done { terminated: bool, moves: u64 },
+}
+
+/// Channel-backed event sink used by the agent threads.
+struct ChannelSink {
+    buffer: Vec<Event>,
+    chunk_size: usize,
+    tx: Sender<Msg>,
+}
+
+impl ChannelSink {
+    fn new(chunk_size: usize, tx: Sender<Msg>) -> Self {
+        ChannelSink { buffer: Vec::with_capacity(chunk_size), chunk_size, tx }
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn emit(&mut self, event: Event) -> Result<(), Stop> {
+        self.buffer.push(event);
+        if self.buffer.len() >= self.chunk_size {
+            let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.chunk_size));
+            self.tx.send(Msg::Events(batch)).map_err(|_| Stop::Interrupted)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        if !self.buffer.is_empty() {
+            let batch = std::mem::take(&mut self.buffer);
+            let _ = self.tx.send(Msg::Events(batch));
+        }
+    }
+}
+
+const INFINITY: Round = Round::MAX;
+
+/// Coordinator-side view of one agent's position timeline, reconstructed
+/// lazily from its event stream.
+struct Cursor {
+    rx: Receiver<Msg>,
+    pending: VecDeque<Event>,
+    /// Current segment `[seg_start, seg_end)` at `node`, in *global* rounds.
+    seg_start: Round,
+    seg_end: Round,
+    node: NodeId,
+    /// No more events will arrive.
+    stream_closed: bool,
+    /// The program terminated by itself (final position lasts forever).
+    terminated: bool,
+    /// The infinite tail segment has been emitted.
+    tail_emitted: bool,
+    moves: u64,
+}
+
+impl Cursor {
+    fn new(rx: Receiver<Msg>, start_node: NodeId, start_time: Round) -> Self {
+        Cursor {
+            rx,
+            pending: VecDeque::new(),
+            seg_start: start_time,
+            seg_end: start_time + 1,
+            node: start_node,
+            stream_closed: false,
+            terminated: false,
+            tail_emitted: false,
+            moves: 0,
+        }
+    }
+
+    /// Ensure at least one pending event or learn that the stream is closed.
+    fn fill(&mut self) {
+        while self.pending.is_empty() && !self.stream_closed {
+            match self.rx.recv() {
+                Ok(Msg::Events(batch)) => self.pending.extend(batch),
+                Ok(Msg::Done { terminated, moves }) => {
+                    self.stream_closed = true;
+                    self.terminated = terminated;
+                    self.moves = moves;
+                }
+                Err(_) => {
+                    self.stream_closed = true;
+                }
+            }
+        }
+    }
+
+    /// Advance the timeline.  Either the current segment is extended by one or
+    /// more wait events (same node, larger `seg_end`) or the cursor moves on
+    /// to the next one-round segment of a move event.  In both cases the
+    /// coordinator must re-check the overlap with the other agent before
+    /// advancing again — a wait extension can create an overlap that did not
+    /// exist before, and skipping past it would miss a rendezvous that happens
+    /// while this agent is parked.  Returns `false` when the timeline is
+    /// exhausted (no further position information exists).
+    fn advance(&mut self) -> bool {
+        self.fill();
+        match self.pending.pop_front() {
+            Some(Event::Wait { rounds }) => {
+                self.seg_end += rounds;
+                // absorb any further already-received waits (same node), but do
+                // not block waiting for more: the extended segment must be
+                // compared against the other agent first
+                while let Some(&Event::Wait { rounds }) = self.pending.front() {
+                    self.seg_end += rounds;
+                    self.pending.pop_front();
+                }
+                true
+            }
+            Some(Event::Move { to, .. }) => {
+                self.seg_start = self.seg_end;
+                self.seg_end += 1;
+                self.node = to;
+                true
+            }
+            None => {
+                // stream closed
+                if self.terminated && !self.tail_emitted {
+                    self.tail_emitted = true;
+                    self.seg_start = self.seg_end;
+                    self.seg_end = INFINITY;
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Absorb any immediately available waits into the current segment so the
+    /// first comparison sees a maximal run.  (Correctness does not depend on
+    /// this; it only avoids degenerate 1-round segments at the start.)
+    fn absorb_leading_waits(&mut self) {
+        loop {
+            self.fill();
+            match self.pending.front() {
+                Some(Event::Wait { rounds }) => {
+                    self.seg_end += rounds;
+                    self.pending.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Simulate the STIC with both agents running the same `program` (the
+/// standard anonymous setting), up to the given global horizon.
+pub fn simulate(
+    g: &PortGraph,
+    program: &dyn AgentProgram,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    simulate_with(g, program, program, stic, EngineConfig::with_horizon(horizon))
+}
+
+/// Simulate with possibly different programs for the two agents (used by the
+/// leader-election reduction and by adversarial tests) and explicit engine
+/// configuration.
+pub fn simulate_with(
+    g: &PortGraph,
+    earlier_program: &dyn AgentProgram,
+    later_program: &dyn AgentProgram,
+    stic: &Stic,
+    config: EngineConfig,
+) -> SimOutcome {
+    assert!(stic.earlier < g.num_nodes(), "earlier start node out of range");
+    assert!(stic.later < g.num_nodes(), "later start node out of range");
+
+    if stic.delay > config.horizon {
+        // the later agent never even appears within the horizon
+        return SimOutcome {
+            meeting: None,
+            earlier_moves: 0,
+            later_moves: 0,
+            earlier_terminated: false,
+            later_terminated: false,
+            horizon: config.horizon,
+        };
+    }
+
+    thread::scope(|scope| {
+        let (tx_a, rx_a) = bounded::<Msg>(config.channel_capacity);
+        let (tx_b, rx_b) = bounded::<Msg>(config.channel_capacity);
+
+        let earlier_horizon = config.horizon;
+        let later_horizon = config.horizon - stic.delay;
+
+        scope.spawn(move || {
+            run_agent(g, earlier_program, stic.earlier, earlier_horizon, config.chunk_size, tx_a);
+        });
+        scope.spawn(move || {
+            run_agent(g, later_program, stic.later, later_horizon, config.chunk_size, tx_b);
+        });
+
+        coordinate(rx_a, rx_b, stic, config.horizon)
+    })
+}
+
+fn run_agent(
+    g: &PortGraph,
+    program: &dyn AgentProgram,
+    start: NodeId,
+    horizon: Round,
+    chunk_size: usize,
+    tx: Sender<Msg>,
+) {
+    let sink = ChannelSink::new(chunk_size, tx.clone());
+    let mut nav = GraphNavigator::new(g, start, horizon, sink);
+    let result = program.run(&mut nav);
+    let moves = nav.moves();
+    let _sink = nav.into_sink(); // flush
+    let _ = tx.send(Msg::Done { terminated: result.is_ok(), moves });
+}
+
+fn coordinate(rx_a: Receiver<Msg>, rx_b: Receiver<Msg>, stic: &Stic, horizon: Round) -> SimOutcome {
+    let mut a = Cursor::new(rx_a, stic.earlier, 0);
+    let mut b = Cursor::new(rx_b, stic.later, stic.delay);
+    a.absorb_leading_waits();
+    b.absorb_leading_waits();
+
+    let mut meeting = None;
+    loop {
+        // overlap of the two current segments
+        let lo = a.seg_start.max(b.seg_start);
+        let hi = a.seg_end.min(b.seg_end);
+        if lo < hi && a.node == b.node && lo <= horizon {
+            meeting = Some(Meeting { global_round: lo, later_round: lo - stic.delay, node: a.node });
+            break;
+        }
+        if lo > horizon {
+            break;
+        }
+        if a.seg_end == INFINITY && b.seg_end == INFINITY {
+            // both agents parked forever on different nodes
+            break;
+        }
+        let advanced = if a.seg_end <= b.seg_end { a.advance() } else { b.advance() };
+        if !advanced {
+            break;
+        }
+    }
+
+    // Drain whatever the agents still have to say so the move counters are as
+    // accurate as possible, then drop the receivers (unblocking the agents if
+    // they are still running).
+    let (a_moves, a_term) = drain(a);
+    let (b_moves, b_term) = drain(b);
+
+    SimOutcome {
+        meeting,
+        earlier_moves: a_moves,
+        later_moves: b_moves,
+        earlier_terminated: a_term,
+        later_terminated: b_term,
+        horizon,
+    }
+}
+
+fn drain(cursor: Cursor) -> (u64, bool) {
+    // If the stream already closed we have exact counts; otherwise count what
+    // is pending and give the sender a chance to finish quickly, then drop.
+    if !cursor.stream_closed {
+        // do not block: the agent may be far from done; just drop the channel.
+        let pending_moves =
+            cursor.pending.iter().filter(|e| matches!(e, Event::Move { .. })).count() as u64;
+        return (pending_moves, false);
+    }
+    let pending_moves =
+        cursor.pending.iter().filter(|e| matches!(e, Event::Move { .. })).count() as u64;
+    let _ = pending_moves;
+    (cursor.moves, cursor.terminated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::navigator::Navigator;
+    use anonrv_graph::generators::{oriented_ring, two_node_graph};
+
+    /// "move every round through port 0" — the introduction's example
+    /// algorithm on the two-node graph.
+    fn mover() -> impl AgentProgram {
+        |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            loop {
+                nav.move_via(0)?;
+            }
+        }
+    }
+
+    /// Wait forever (a single maximal wait per iteration, so that waiting
+    /// until an astronomically distant horizon stays O(1) events).
+    fn waiter() -> impl AgentProgram {
+        |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            loop {
+                nav.wait(Round::MAX)?;
+            }
+        }
+    }
+
+    #[test]
+    fn two_node_graph_with_odd_delay_meets_as_in_the_introduction() {
+        // identical agents executing "move at each round" with delay 3 meet
+        // 3 rounds after the start of the earlier agent
+        let g = two_node_graph();
+        let out = simulate(&g, &mover(), &Stic::new(0, 1, 3), 100);
+        let m = out.meeting.expect("must meet");
+        assert_eq!(m.global_round, 3);
+        assert_eq!(m.later_round, 0);
+    }
+
+    #[test]
+    fn two_node_graph_with_even_delay_never_meets_with_the_naive_mover() {
+        let g = two_node_graph();
+        let out = simulate(&g, &mover(), &Stic::new(0, 1, 2), 10_000);
+        assert!(!out.met());
+        // and simultaneous start can never meet regardless of the algorithm
+        let out0 = simulate(&g, &mover(), &Stic::simultaneous(0, 1), 10_000);
+        assert!(!out0.met());
+    }
+
+    #[test]
+    fn waiting_for_mommy_meets_when_roles_differ() {
+        let g = oriented_ring(6).unwrap();
+        // earlier agent waits at node 0, later agent walks the ring
+        let out = simulate_with(
+            &g,
+            &waiter(),
+            &mover(),
+            &Stic::new(0, 3, 2),
+            EngineConfig::with_horizon(100),
+        );
+        let m = out.meeting.expect("walker reaches the waiter");
+        assert_eq!(m.node, 0);
+        assert_eq!(m.later_round, 3); // three ring steps from node 3 to node 0... via port 0: 3->4->5->0
+    }
+
+    #[test]
+    fn meeting_can_happen_at_the_later_agents_start_round() {
+        let g = oriented_ring(5).unwrap();
+        // earlier walks; later appears right on the node the earlier agent
+        // reaches at that very round
+        let out = simulate(&g, &mover(), &Stic::new(0, 2, 2), 100);
+        let m = out.meeting.expect("must meet immediately");
+        assert_eq!(m.later_round, 0);
+        assert_eq!(m.global_round, 2);
+        assert_eq!(m.node, 2);
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let g = oriented_ring(6).unwrap();
+        // two waiters on different nodes never meet; simulation returns quickly
+        let out = simulate(&g, &waiter(), &Stic::new(0, 3, 1), 1_000_000);
+        assert!(!out.met());
+        assert_eq!(out.horizon, 1_000_000);
+    }
+
+    #[test]
+    fn both_programs_terminating_far_apart_ends_the_simulation() {
+        let g = oriented_ring(8).unwrap();
+        let two_steps = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.move_via(0)?;
+            nav.move_via(0)?;
+            Ok(())
+        };
+        let out = simulate(&g, &two_steps, &Stic::new(0, 4, 0), Round::MAX - 1);
+        assert!(!out.met());
+        assert!(out.earlier_terminated);
+        assert!(out.later_terminated);
+    }
+
+    #[test]
+    fn terminated_programs_still_meet_later_arrivals() {
+        let g = oriented_ring(6).unwrap();
+        // earlier agent takes two steps to node 2 and stops forever;
+        // later agent starts at node 5 much later and walks until it hits node 2.
+        let two_steps = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.move_via(0)?;
+            nav.move_via(0)?;
+            Ok(())
+        };
+        let out = simulate_with(
+            &g,
+            &two_steps,
+            &mover(),
+            &Stic::new(0, 5, 50),
+            EngineConfig::with_horizon(10_000),
+        );
+        let m = out.meeting.expect("the mover reaches the parked agent");
+        assert_eq!(m.node, 2);
+        assert_eq!(m.later_round, 3); // 5 -> 0 -> 1 -> 2
+    }
+
+    #[test]
+    fn delay_beyond_horizon_means_no_meeting() {
+        let g = oriented_ring(4).unwrap();
+        let out = simulate(&g, &mover(), &Stic::new(0, 2, 1_000), 10);
+        assert!(!out.met());
+    }
+
+    #[test]
+    fn huge_waits_do_not_hang_the_engine() {
+        let g = oriented_ring(4).unwrap();
+        let patient = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.wait(1u128 << 90)?;
+            nav.move_via(0)?;
+            Ok(())
+        };
+        let out = simulate_with(
+            &g,
+            &patient,
+            &waiter(),
+            &Stic::new(0, 1, 0),
+            EngineConfig::with_horizon(1u128 << 91),
+        );
+        // the earlier agent eventually steps onto node 1 where the later agent
+        // has been waiting the whole time
+        let m = out.meeting.expect("meet after the long wait");
+        assert_eq!(m.node, 1);
+        assert_eq!(m.global_round, (1u128 << 90) + 1);
+    }
+
+    #[test]
+    fn same_start_node_meets_at_the_later_start() {
+        let g = oriented_ring(5).unwrap();
+        let out = simulate(&g, &waiter(), &Stic::new(3, 3, 7), 100);
+        let m = out.meeting.unwrap();
+        assert_eq!(m.global_round, 7);
+        assert_eq!(m.later_round, 0);
+        assert_eq!(m.node, 3);
+    }
+}

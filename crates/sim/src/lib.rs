@@ -1,0 +1,43 @@
+//! # anonrv-sim
+//!
+//! Synchronous two-agent rendezvous simulator.
+//!
+//! The paper's execution model: two identical anonymous agents are placed on
+//! two nodes of an anonymous port-labelled graph; they run the same
+//! deterministic algorithm in synchronous rounds, starting in rounds chosen
+//! by the adversary (their difference is the *delay* `δ`).  In every round an
+//! agent either stays put or moves through a port of its current node; upon
+//! arrival it observes only the degree of the node and the entry port.
+//! Rendezvous happens when both agents occupy the same node in the same
+//! round (crossing inside an edge does not count, and is invisible to the
+//! agents).
+//!
+//! Architecture:
+//!
+//! * agent algorithms are written against the restricted [`Navigator`]
+//!   interface ([`AgentProgram`]) — they can never observe node identities,
+//!   the graph, the other agent or the global clock, exactly as in the model;
+//! * every navigator action is an [`Event`]; long waits are *single* events,
+//!   so the astronomically long padding waits of `UniversalRV` cost O(1);
+//! * the [`engine::simulate`] engine runs the two agents on two threads that
+//!   stream chunked event batches over bounded channels to a coordinator
+//!   which merges the position timelines on the fly — memory stays bounded
+//!   regardless of how long the execution is;
+//! * [`trace::record_trace`] materialises a single agent's run-length-encoded
+//!   position trace for tests and analysis.
+//!
+//! Round counters are `u128`: the padding bound `T(n, d, δ)` of the paper
+//! overflows 64 bits already for moderate parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod navigator;
+pub mod stic;
+pub mod trace;
+
+pub use engine::{simulate, simulate_with, EngineConfig, Meeting, SimOutcome};
+pub use navigator::{AgentProgram, Event, EventSink, GraphNavigator, Navigator, Stop};
+pub use stic::{Round, Stic};
+pub use trace::{record_trace, PositionTrace, Segment, TraceStats};

@@ -1,0 +1,282 @@
+//! The restricted agent-side interface and its graph-backed implementation.
+
+use anonrv_graph::{NodeId, Port, PortGraph};
+
+use crate::stic::Round;
+
+/// Why an agent's execution was cut short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// The simulation horizon was reached.
+    Horizon,
+    /// The coordinator no longer needs events (rendezvous already detected or
+    /// the simulation was abandoned); the agent thread should unwind quietly.
+    Interrupted,
+}
+
+impl std::fmt::Display for Stop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stop::Horizon => write!(f, "simulation horizon reached"),
+            Stop::Interrupted => write!(f, "execution interrupted by the coordinator"),
+        }
+    }
+}
+
+impl std::error::Error for Stop {}
+
+/// One atomic action of an agent, as seen by the simulation engine.
+/// Long waits are a single event, which is what makes the enormous padding
+/// waits of `UniversalRV` affordable to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Move through `port`, arriving at `to` by `entry_port`, taking 1 round.
+    Move {
+        /// Outgoing port used.
+        port: Port,
+        /// Node reached (coordinator-side bookkeeping only; never exposed to
+        /// the agent program).
+        to: NodeId,
+        /// Entry port observed at the new node.
+        entry_port: Port,
+    },
+    /// Stay at the current node for `rounds` rounds.
+    Wait {
+        /// Number of rounds spent waiting.
+        rounds: Round,
+    },
+}
+
+/// Where a navigator delivers its events (an in-memory trace, a channel to
+/// the streaming engine, ...).
+pub trait EventSink {
+    /// Deliver one event.  An error tells the agent to stop.
+    fn emit(&mut self, event: Event) -> Result<(), Stop>;
+    /// Flush buffered events (called when the agent program finishes).
+    fn finish(&mut self);
+}
+
+/// The only interface an agent algorithm may use: exactly the observations
+/// the paper's model grants (degree of the current node, the entry port, the
+/// agent's own clock) and the two possible actions (move by a port, stay).
+pub trait Navigator {
+    /// Degree of the current node.
+    fn degree(&self) -> usize;
+    /// The port by which the agent entered the current node (`None` at its
+    /// initial node, before the first move).
+    fn entry_port(&self) -> Option<Port>;
+    /// Rounds elapsed since this agent's start (its private clock).
+    fn local_time(&self) -> Round;
+    /// Move through `port` (one round).  Returns the entry port observed at
+    /// the node reached.
+    ///
+    /// # Panics
+    /// Panics if `port` is not a valid port of the current node — that is a
+    /// bug in the algorithm, not an adversarial condition.
+    fn move_via(&mut self, port: Port) -> Result<Port, Stop>;
+    /// Stay at the current node for `rounds` rounds (a no-op when `rounds == 0`).
+    fn wait(&mut self, rounds: Round) -> Result<(), Stop>;
+}
+
+/// A deterministic agent algorithm.  Both agents execute the *same* program
+/// (the agents are identical and anonymous).  Algorithms that never terminate
+/// (e.g. `UniversalRV`) simply run until the navigator reports [`Stop`].
+pub trait AgentProgram: Sync {
+    /// Execute the algorithm through the navigator.  Returning `Ok(())` means
+    /// the algorithm terminated by itself; the agent then stays at its final
+    /// node forever.
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop>;
+
+    /// A short human-readable name (used in experiment reports).
+    fn name(&self) -> &str {
+        "agent-program"
+    }
+}
+
+impl<F> AgentProgram for F
+where
+    F: Fn(&mut dyn Navigator) -> Result<(), Stop> + Sync,
+{
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        self(nav)
+    }
+}
+
+/// Graph-backed [`Navigator`] implementation used by both engines.
+///
+/// The navigator knows the graph and the agent's true position, but exposes
+/// only the model-allowed observations to the program it drives.
+pub struct GraphNavigator<'g, S: EventSink> {
+    graph: &'g PortGraph,
+    position: NodeId,
+    entry_port: Option<Port>,
+    local_time: Round,
+    /// Maximum local time; actions that would exceed it fail with
+    /// [`Stop::Horizon`].
+    horizon: Round,
+    sink: S,
+    moves: u64,
+}
+
+impl<'g, S: EventSink> GraphNavigator<'g, S> {
+    /// Create a navigator for an agent starting at `start` with the given
+    /// local horizon.
+    pub fn new(graph: &'g PortGraph, start: NodeId, horizon: Round, sink: S) -> Self {
+        assert!(start < graph.num_nodes(), "start node out of range");
+        GraphNavigator { graph, position: start, entry_port: None, local_time: 0, horizon, sink, moves: 0 }
+    }
+
+    /// The agent's true position (engine-side only; not reachable through the
+    /// `Navigator` trait).
+    pub fn position(&self) -> NodeId {
+        self.position
+    }
+
+    /// Number of edge traversals performed.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Consume the navigator, flushing and returning its sink.
+    pub fn into_sink(mut self) -> S {
+        self.sink.finish();
+        self.sink
+    }
+}
+
+impl<'g, S: EventSink> Navigator for GraphNavigator<'g, S> {
+    fn degree(&self) -> usize {
+        self.graph.degree(self.position)
+    }
+
+    fn entry_port(&self) -> Option<Port> {
+        self.entry_port
+    }
+
+    fn local_time(&self) -> Round {
+        self.local_time
+    }
+
+    fn move_via(&mut self, port: Port) -> Result<Port, Stop> {
+        let degree = self.graph.degree(self.position);
+        assert!(
+            port < degree,
+            "agent program used port {port} at a node of degree {degree}"
+        );
+        if self.local_time >= self.horizon {
+            return Err(Stop::Horizon);
+        }
+        let (to, entry) = self.graph.succ(self.position, port);
+        self.sink.emit(Event::Move { port, to, entry_port: entry })?;
+        self.position = to;
+        self.entry_port = Some(entry);
+        self.local_time += 1;
+        self.moves += 1;
+        Ok(entry)
+    }
+
+    fn wait(&mut self, rounds: Round) -> Result<(), Stop> {
+        if rounds == 0 {
+            return Ok(());
+        }
+        let remaining = self.horizon.saturating_sub(self.local_time);
+        if remaining == 0 {
+            return Err(Stop::Horizon);
+        }
+        let actual = rounds.min(remaining);
+        self.sink.emit(Event::Wait { rounds: actual })?;
+        self.local_time += actual;
+        if actual < rounds {
+            return Err(Stop::Horizon);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::oriented_ring;
+
+    /// Sink collecting raw events for the tests below.
+    #[derive(Default)]
+    struct VecSink {
+        events: Vec<Event>,
+        finished: bool,
+    }
+
+    impl EventSink for VecSink {
+        fn emit(&mut self, event: Event) -> Result<(), Stop> {
+            self.events.push(event);
+            Ok(())
+        }
+        fn finish(&mut self) {
+            self.finished = true;
+        }
+    }
+
+    #[test]
+    fn navigator_exposes_only_local_observations() {
+        let g = oriented_ring(5).unwrap();
+        let mut nav = GraphNavigator::new(&g, 0, 1_000, VecSink::default());
+        assert_eq!(nav.degree(), 2);
+        assert_eq!(nav.entry_port(), None);
+        assert_eq!(nav.local_time(), 0);
+        let entry = nav.move_via(0).unwrap();
+        assert_eq!(entry, 1);
+        assert_eq!(nav.entry_port(), Some(1));
+        assert_eq!(nav.local_time(), 1);
+        assert_eq!(nav.position(), 1);
+        nav.wait(10).unwrap();
+        assert_eq!(nav.local_time(), 11);
+        assert_eq!(nav.moves(), 1);
+        let sink = nav.into_sink();
+        assert!(sink.finished);
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[1], Event::Wait { rounds: 10 });
+    }
+
+    #[test]
+    fn horizon_cuts_moves_and_waits() {
+        let g = oriented_ring(4).unwrap();
+        let mut nav = GraphNavigator::new(&g, 0, 3, VecSink::default());
+        nav.move_via(0).unwrap();
+        nav.move_via(0).unwrap();
+        // one round left: a 5-round wait is truncated and reports Horizon
+        assert_eq!(nav.wait(5), Err(Stop::Horizon));
+        assert_eq!(nav.local_time(), 3);
+        assert_eq!(nav.move_via(0), Err(Stop::Horizon));
+        assert_eq!(nav.wait(1), Err(Stop::Horizon));
+    }
+
+    #[test]
+    fn zero_wait_is_a_no_op() {
+        let g = oriented_ring(4).unwrap();
+        let mut nav = GraphNavigator::new(&g, 2, 10, VecSink::default());
+        nav.wait(0).unwrap();
+        assert_eq!(nav.local_time(), 0);
+        assert!(nav.into_sink().events.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "agent program used port")]
+    fn invalid_port_is_a_program_bug() {
+        let g = oriented_ring(4).unwrap();
+        let mut nav = GraphNavigator::new(&g, 0, 10, VecSink::default());
+        let _ = nav.move_via(7);
+    }
+
+    #[test]
+    fn closures_are_agent_programs() {
+        let program = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.move_via(0)?;
+            nav.wait(3)?;
+            Ok(())
+        };
+        let g = oriented_ring(4).unwrap();
+        let mut nav = GraphNavigator::new(&g, 0, 100, VecSink::default());
+        AgentProgram::run(&program, &mut nav).unwrap();
+        assert_eq!(nav.local_time(), 4);
+        assert_eq!(program.name(), "agent-program");
+    }
+}

@@ -1,0 +1,78 @@
+//! Space-time initial configurations (STICs).
+
+use anonrv_graph::NodeId;
+
+/// Rounds are counted in `u128`: the paper's worst-case padding bound
+/// `T(n, d, δ) = (d + δ)(n − 1)^d (M + 2) + 2(M + 1)` exceeds `u64` for
+/// moderate `n` and `d`.
+pub type Round = u128;
+
+/// A space-time initial configuration `[(u, v), δ]` (Section 1): the agents'
+/// initial nodes together with the difference between their starting rounds.
+///
+/// The adversary additionally chooses *which* of the two agents starts first;
+/// a `Stic` fixes that choice (`earlier` starts at global round 0, `later` at
+/// global round `delay`).  Experiments that want the adversarial worst case
+/// simply evaluate both orientations (see [`Stic::swapped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stic {
+    /// Initial node of the agent that starts first.
+    pub earlier: NodeId,
+    /// Initial node of the agent that starts `delay` rounds later.
+    pub later: NodeId,
+    /// The delay `δ ≥ 0` between the two starting rounds.
+    pub delay: Round,
+}
+
+impl Stic {
+    /// Construct a STIC.
+    pub fn new(earlier: NodeId, later: NodeId, delay: Round) -> Self {
+        Stic { earlier, later, delay }
+    }
+
+    /// A simultaneous-start STIC (`δ = 0`).
+    pub fn simultaneous(u: NodeId, v: NodeId) -> Self {
+        Stic { earlier: u, later: v, delay: 0 }
+    }
+
+    /// The STIC with the roles of the two agents exchanged (same pair of
+    /// nodes and delay, but the other agent starts first).
+    pub fn swapped(&self) -> Self {
+        Stic { earlier: self.later, later: self.earlier, delay: self.delay }
+    }
+
+    /// The unordered pair of initial nodes.
+    pub fn nodes(&self) -> (NodeId, NodeId) {
+        (self.earlier, self.later)
+    }
+}
+
+impl std::fmt::Display for Stic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[({}, {}), {}]", self.earlier, self.later, self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Stic::new(3, 7, 5);
+        assert_eq!(s.nodes(), (3, 7));
+        assert_eq!(s.delay, 5);
+        let sw = s.swapped();
+        assert_eq!(sw.earlier, 7);
+        assert_eq!(sw.later, 3);
+        assert_eq!(sw.delay, 5);
+        assert_eq!(sw.swapped(), s);
+        let sim = Stic::simultaneous(1, 2);
+        assert_eq!(sim.delay, 0);
+    }
+
+    #[test]
+    fn display_matches_the_paper_notation() {
+        assert_eq!(Stic::new(0, 4, 2).to_string(), "[(0, 4), 2]");
+    }
+}

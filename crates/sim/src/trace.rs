@@ -1,0 +1,259 @@
+//! Run-length-encoded position traces of a single agent.
+
+use anonrv_graph::{NodeId, PortGraph};
+
+use crate::navigator::{AgentProgram, Event, EventSink, GraphNavigator, Stop};
+use crate::stic::Round;
+
+/// A maximal run of rounds spent at one node: the agent occupies `node` at
+/// every local round in `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First local round of the run (inclusive).
+    pub start: Round,
+    /// One past the last local round of the run.
+    pub end: Round,
+    /// The node occupied throughout the run.
+    pub node: NodeId,
+}
+
+impl Segment {
+    /// Number of rounds in the run.
+    pub fn len(&self) -> Round {
+        self.end - self.start
+    }
+
+    /// `true` iff the run is empty (never produced by the recorder).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Statistics of a recorded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Edge traversals performed.
+    pub moves: u64,
+    /// Events recorded (moves + coalesced waits).
+    pub events: u64,
+    /// Local rounds covered by the trace.
+    pub rounds: Round,
+}
+
+/// The position of one agent at every local round of its execution, with
+/// waits run-length encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionTrace {
+    /// The agent's initial node.
+    pub start_node: NodeId,
+    /// Contiguous segments starting at local round 0.
+    pub segments: Vec<Segment>,
+    /// Local rounds covered (`segments.last().end`).
+    pub total: Round,
+    /// `true` iff the agent program terminated on its own (it then stays at
+    /// its final node forever, so the last segment conceptually extends to
+    /// infinity).
+    pub terminated: bool,
+}
+
+impl PositionTrace {
+    /// The node occupied at `local_round`, or `None` if the trace does not
+    /// cover that round (and the program did not terminate).
+    pub fn position_at(&self, local_round: Round) -> Option<NodeId> {
+        if local_round >= self.total {
+            return if self.terminated { self.segments.last().map(|s| s.node) } else { None };
+        }
+        // binary search over segment starts
+        let idx = self
+            .segments
+            .partition_point(|s| s.end <= local_round);
+        self.segments.get(idx).map(|s| s.node)
+    }
+
+    /// The agent's final recorded position.
+    pub fn final_position(&self) -> NodeId {
+        self.segments.last().map(|s| s.node).unwrap_or(self.start_node)
+    }
+
+    /// Distinct nodes visited.
+    pub fn visited(&self) -> std::collections::HashSet<NodeId> {
+        self.segments.iter().map(|s| s.node).collect()
+    }
+}
+
+/// Event sink that builds a [`PositionTrace`].
+pub struct TraceSink {
+    start_node: NodeId,
+    segments: Vec<Segment>,
+    cur_node: NodeId,
+    cur_start: Round,
+    cur_end: Round,
+    max_segments: usize,
+    events: u64,
+    overflowed: bool,
+}
+
+impl TraceSink {
+    /// Create a sink for an agent starting at `start_node`; recording aborts
+    /// (with [`Stop::Interrupted`]) once `max_segments` segments exist.
+    pub fn new(start_node: NodeId, max_segments: usize) -> Self {
+        TraceSink {
+            start_node,
+            segments: Vec::new(),
+            cur_node: start_node,
+            cur_start: 0,
+            cur_end: 1, // position at local round 0 is the start node
+            max_segments,
+            events: 0,
+            overflowed: false,
+        }
+    }
+
+    /// `true` iff recording was aborted because of the segment limit.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    fn close_current(&mut self) {
+        self.segments.push(Segment { start: self.cur_start, end: self.cur_end, node: self.cur_node });
+    }
+
+    /// Finalise into a trace; `terminated` records whether the program ended
+    /// by itself.
+    pub fn into_trace(mut self, terminated: bool) -> (PositionTrace, TraceStats) {
+        self.close_current();
+        let total = self.cur_end;
+        let moves = self.segments.len() as u64 - 1;
+        let stats = TraceStats { moves, events: self.events, rounds: total };
+        (
+            PositionTrace { start_node: self.start_node, segments: self.segments, total, terminated },
+            stats,
+        )
+    }
+}
+
+impl EventSink for TraceSink {
+    fn emit(&mut self, event: Event) -> Result<(), Stop> {
+        self.events += 1;
+        match event {
+            Event::Wait { rounds } => {
+                self.cur_end += rounds;
+            }
+            Event::Move { to, .. } => {
+                if self.segments.len() + 1 >= self.max_segments {
+                    self.overflowed = true;
+                    return Err(Stop::Interrupted);
+                }
+                self.close_current();
+                self.cur_start = self.cur_end;
+                self.cur_end += 1;
+                self.cur_node = to;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {}
+}
+
+/// Record the position trace of a single agent executing `program` from
+/// `start`, up to `horizon` local rounds and at most `max_segments` trace
+/// segments.
+pub fn record_trace(
+    g: &PortGraph,
+    program: &dyn AgentProgram,
+    start: NodeId,
+    horizon: Round,
+    max_segments: usize,
+) -> (PositionTrace, TraceStats) {
+    let sink = TraceSink::new(start, max_segments);
+    let mut nav = GraphNavigator::new(g, start, horizon, sink);
+    let finished = program.run(&mut nav).is_ok();
+    let sink = nav.into_sink();
+    sink.into_trace(finished)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::navigator::Navigator;
+    use anonrv_graph::generators::oriented_ring;
+
+    fn walker(steps: usize, pause: Round) -> impl AgentProgram {
+        move |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            for _ in 0..steps {
+                nav.move_via(0)?;
+                nav.wait(pause)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trace_covers_every_round_with_rle_waits() {
+        let g = oriented_ring(5).unwrap();
+        let (trace, stats) = record_trace(&g, &walker(3, 4), 0, 1_000, 1_000);
+        assert!(trace.terminated);
+        assert_eq!(stats.moves, 3);
+        assert_eq!(stats.rounds, 3 * 5 + 1);
+        // round 0 at the start, each move then 4 waiting rounds
+        assert_eq!(trace.position_at(0), Some(0));
+        assert_eq!(trace.position_at(1), Some(1));
+        assert_eq!(trace.position_at(5), Some(1));
+        assert_eq!(trace.position_at(6), Some(2));
+        assert_eq!(trace.position_at(15), Some(3));
+        // beyond the trace the agent stays at its final node (it terminated)
+        assert_eq!(trace.position_at(1_000_000), Some(3));
+        assert_eq!(trace.final_position(), 3);
+        assert_eq!(trace.visited().len(), 4);
+    }
+
+    #[test]
+    fn horizon_truncates_and_marks_non_termination() {
+        let g = oriented_ring(5).unwrap();
+        let forever = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            loop {
+                nav.move_via(0)?;
+            }
+        };
+        let (trace, stats) = record_trace(&g, &forever, 0, 7, 1_000);
+        assert!(!trace.terminated);
+        assert_eq!(stats.moves, 7);
+        assert_eq!(trace.total, 8);
+        assert_eq!(trace.position_at(7), Some(7 % 5));
+        assert_eq!(trace.position_at(8), None);
+    }
+
+    #[test]
+    fn huge_waits_cost_one_segment() {
+        let g = oriented_ring(4).unwrap();
+        let patient = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.wait(1u128 << 100)?;
+            Ok(())
+        };
+        let (trace, stats) = record_trace(&g, &patient, 2, Round::MAX, 10);
+        assert_eq!(trace.segments.len(), 1);
+        assert_eq!(stats.rounds, (1u128 << 100) + 1);
+        assert_eq!(trace.position_at(1u128 << 99), Some(2));
+    }
+
+    #[test]
+    fn segment_cap_aborts_recording() {
+        let g = oriented_ring(4).unwrap();
+        let forever = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            loop {
+                nav.move_via(0)?;
+            }
+        };
+        let (trace, _stats) = record_trace(&g, &forever, 0, Round::MAX, 5);
+        assert!(!trace.terminated);
+        assert!(trace.segments.len() <= 5);
+    }
+
+    #[test]
+    fn segment_helpers() {
+        let s = Segment { start: 3, end: 7, node: 1 };
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # anonrv-uxs
+//!
+//! Universal exploration sequences (UXS) for the anonymous-rendezvous
+//! reproduction.
+//!
+//! Section 2 of the paper uses a UXS `Y(n) = (a_1, ..., a_M)` for the class
+//! of graphs of size `n`: its *application* `R(u) = (u_0, u_1, ..., u_{M+1})`
+//! at any node `u` of any such graph visits every node of the graph.  The
+//! application rule is
+//!
+//! * `u_0 = u`, `u_1 = succ(u_0, 0)`, and
+//! * `u_{i+1} = succ(u_i, (p + a_i) mod deg(u_i))` where `p` is the port by
+//!   which the walk entered `u_i`.
+//!
+//! The paper invokes Reingold'08 / Koucký'02 for the *existence* of a UXS of
+//! length polynomial in `n`.  Those constructions have enormous constants, so
+//! this crate substitutes a **deterministic, fixed-seed pseudorandom
+//! sequence** derived from `n` alone (both agents therefore agree on it, as
+//! the model requires) together with a *coverage verifier* used by the test
+//! and experiment suites to confirm that the substitute sequence indeed
+//! explores every graph it is used on.  See DESIGN.md §4.1 for the
+//! substitution rationale.
+//!
+//! The crate also exposes the application/transcript machinery shared by the
+//! algorithms: [`apply`], [`covers`], [`transcript`], and the
+//! [`UxsProvider`] abstraction that lets experiments swap sequence lengths
+//! (the ablation study of EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod provider;
+mod sequence;
+mod verify;
+
+pub use provider::{CachedProvider, LengthRule, PseudorandomUxs, UxsProvider};
+pub use sequence::{apply, covers, fingerprint_pairs, transcript, transcript_fingerprint, Uxs, UxsWalk};
+pub use verify::{covers_from_all, shortest_covering_prefix, verify_on_family, CoverageReport};

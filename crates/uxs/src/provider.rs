@@ -1,0 +1,184 @@
+//! Pluggable sources of (candidate) universal exploration sequences.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::sequence::Uxs;
+
+/// How the sequence length is chosen as a function of the assumed graph size
+/// `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthRule {
+    /// `max(min_len, c · n³)` — conservative default, comfortably above the
+    /// cover time of the walk on every family in the experiment suites.
+    Cubic {
+        /// Multiplier `c`.
+        c: usize,
+        /// Lower bound on the length.
+        min_len: usize,
+    },
+    /// `max(min_len, c · n² · ⌈log₂ n⌉)` — shorter sequences for the
+    /// ablation study.
+    Quadratic {
+        /// Multiplier `c`.
+        c: usize,
+        /// Lower bound on the length.
+        min_len: usize,
+    },
+    /// A fixed length, independent of `n`.
+    Fixed(usize),
+}
+
+impl LengthRule {
+    /// The sequence length for assumed size `n`.
+    pub fn length_for(self, n: usize) -> usize {
+        match self {
+            LengthRule::Cubic { c, min_len } => (c * n * n * n).max(min_len),
+            LengthRule::Quadratic { c, min_len } => {
+                let log = usize::BITS as usize - n.max(2).leading_zeros() as usize;
+                (c * n * n * log).max(min_len)
+            }
+            LengthRule::Fixed(len) => len,
+        }
+    }
+}
+
+/// A deterministic source of the sequence `Y(n)`.  Both agents instantiate
+/// the same provider (it is part of the algorithm, not of the input), so they
+/// always agree on `Y(n)` — exactly as in the paper, where `Y(n)` is a fixed
+/// object associated with the size `n`.
+pub trait UxsProvider: Send + Sync {
+    /// The sequence `Y(n)` for assumed graph size `n`.
+    fn sequence(&self, n: usize) -> Uxs;
+
+    /// The length `M` of `Y(n)` (must agree with [`UxsProvider::sequence`]).
+    fn length(&self, n: usize) -> usize {
+        self.sequence(n).len()
+    }
+}
+
+/// The default substitute construction: a fixed-seed ChaCha8 pseudorandom
+/// sequence of terms in `{0, 1, 2}`.  See DESIGN.md §4.1.
+///
+/// Terms are drawn from `{0, 1, 2}` rather than `{0, 1}` so that on nodes of
+/// degree ≥ 3 the walk can turn in every direction; on degree-2 and degree-1
+/// nodes the modulo in the application rule reduces them appropriately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PseudorandomUxs {
+    /// Seed shared by the two agents (a constant of the algorithm).
+    pub seed: u64,
+    /// Length rule.
+    pub rule: LengthRule,
+}
+
+impl Default for PseudorandomUxs {
+    fn default() -> Self {
+        PseudorandomUxs { seed: 0xC0FF_EE00_5EED, rule: LengthRule::Cubic { c: 1, min_len: 32 } }
+    }
+}
+
+impl PseudorandomUxs {
+    /// Default provider with a custom length rule.
+    pub fn with_rule(rule: LengthRule) -> Self {
+        PseudorandomUxs { rule, ..Default::default() }
+    }
+
+    /// Provider producing fixed-length sequences (ablation experiments).
+    pub fn fixed_length(len: usize) -> Self {
+        Self::with_rule(LengthRule::Fixed(len))
+    }
+}
+
+impl UxsProvider for PseudorandomUxs {
+    fn sequence(&self, n: usize) -> Uxs {
+        let len = self.rule.length_for(n);
+        // the seed mixes in n so that different sizes give independent sequences,
+        // but the construction depends on nothing else
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Uxs::new((0..len).map(|_| rng.gen_range(0..3usize)).collect())
+    }
+
+    fn length(&self, n: usize) -> usize {
+        self.rule.length_for(n)
+    }
+}
+
+/// Memoising wrapper: computing `Y(n)` is cheap but `UniversalRV` requests it
+/// once per phase, so the cache keeps repeated simulations allocation-free.
+pub struct CachedProvider<P: UxsProvider> {
+    inner: P,
+    cache: Mutex<HashMap<usize, Uxs>>,
+}
+
+impl<P: UxsProvider> CachedProvider<P> {
+    /// Wrap a provider.
+    pub fn new(inner: P) -> Self {
+        CachedProvider { inner, cache: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<P: UxsProvider> UxsProvider for CachedProvider<P> {
+    fn sequence(&self, n: usize) -> Uxs {
+        let mut cache = self.cache.lock().expect("uxs cache poisoned");
+        cache.entry(n).or_insert_with(|| self.inner.sequence(n)).clone()
+    }
+
+    fn length(&self, n: usize) -> usize {
+        self.inner.length(n)
+    }
+}
+
+impl<P: UxsProvider + Default> Default for CachedProvider<P> {
+    fn default() -> Self {
+        CachedProvider::new(P::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_rules() {
+        assert_eq!(LengthRule::Fixed(7).length_for(100), 7);
+        assert_eq!(LengthRule::Cubic { c: 2, min_len: 10 }.length_for(3), 54);
+        assert_eq!(LengthRule::Cubic { c: 2, min_len: 100 }.length_for(3), 100);
+        let q = LengthRule::Quadratic { c: 1, min_len: 1 }.length_for(8);
+        assert_eq!(q, 8 * 8 * 4); // ceil(log2 8) == 4 with this bit-length formula
+    }
+
+    #[test]
+    fn provider_is_deterministic_and_size_dependent() {
+        let p = PseudorandomUxs::default();
+        assert_eq!(p.sequence(5), p.sequence(5));
+        assert_ne!(p.sequence(5), p.sequence(6));
+        assert_eq!(p.sequence(5).len(), p.length(5));
+        assert_eq!(p.length(5), 125);
+    }
+
+    #[test]
+    fn terms_stay_in_range() {
+        let p = PseudorandomUxs::default();
+        assert!(p.sequence(8).terms().iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn cached_provider_agrees_with_inner() {
+        let cached = CachedProvider::new(PseudorandomUxs::default());
+        let direct = PseudorandomUxs::default();
+        assert_eq!(cached.sequence(6), direct.sequence(6));
+        // second call hits the cache and stays equal
+        assert_eq!(cached.sequence(6), direct.sequence(6));
+        assert_eq!(cached.length(6), direct.length(6));
+    }
+
+    #[test]
+    fn fixed_length_constructor() {
+        let p = PseudorandomUxs::fixed_length(40);
+        assert_eq!(p.sequence(3).len(), 40);
+        assert_eq!(p.sequence(30).len(), 40);
+    }
+}

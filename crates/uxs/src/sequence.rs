@@ -1,0 +1,253 @@
+//! The UXS data type and its application semantics.
+
+use anonrv_graph::{NodeId, Port, PortGraph};
+
+/// A (candidate) universal exploration sequence: the integer terms
+/// `(a_1, ..., a_M)` of Section 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Uxs {
+    terms: Vec<usize>,
+}
+
+impl Uxs {
+    /// Wrap an explicit term sequence.
+    pub fn new(terms: Vec<usize>) -> Self {
+        Uxs { terms }
+    }
+
+    /// The number of terms `M`.  The application visits `M + 2` nodes
+    /// (`u_0 ... u_{M+1}`), i.e. performs `M + 1` moves.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff the sequence has no terms (its application still performs
+    /// the single initial port-0 move).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The raw terms.
+    pub fn terms(&self) -> &[usize] {
+        &self.terms
+    }
+
+    /// A prefix of the sequence (used by the ablation experiments).
+    pub fn prefix(&self, len: usize) -> Uxs {
+        Uxs { terms: self.terms[..len.min(self.terms.len())].to_vec() }
+    }
+
+    /// Number of moves performed by the application of this sequence.
+    pub fn num_moves(&self) -> usize {
+        self.terms.len() + 1
+    }
+}
+
+/// The application `R(u)` of a UXS at a start node: all visited nodes plus
+/// the outgoing and entry ports of every move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UxsWalk {
+    /// Visited nodes `u_0, ..., u_{M+1}`.
+    pub nodes: Vec<NodeId>,
+    /// Outgoing port of move `i` (taken at `nodes[i]`).
+    pub out_ports: Vec<Port>,
+    /// Entry port of move `i` (the port of the traversed edge at `nodes[i+1]`).
+    pub in_ports: Vec<Port>,
+}
+
+impl UxsWalk {
+    /// The port sequence that retraces this walk backwards to its start.
+    pub fn backtrack_ports(&self) -> Vec<Port> {
+        self.in_ports.iter().rev().copied().collect()
+    }
+
+    /// Set of distinct visited nodes.
+    pub fn visited(&self) -> std::collections::HashSet<NodeId> {
+        self.nodes.iter().copied().collect()
+    }
+}
+
+/// Apply the UXS at `start` following the paper's rule (analysis-side: the
+/// graph is known).  Agent-side execution lives in `anonrv-core`, which only
+/// uses the restricted navigator interface.
+pub fn apply(g: &PortGraph, uxs: &Uxs, start: NodeId) -> UxsWalk {
+    let mut nodes = Vec::with_capacity(uxs.len() + 2);
+    let mut out_ports = Vec::with_capacity(uxs.len() + 1);
+    let mut in_ports = Vec::with_capacity(uxs.len() + 1);
+    nodes.push(start);
+
+    // first move: port 0
+    let (mut cur, mut entry) = g.succ(start, 0);
+    nodes.push(cur);
+    out_ports.push(0);
+    in_ports.push(entry);
+
+    for &a in uxs.terms() {
+        let d = g.degree(cur);
+        let p = (entry + a) % d;
+        let (next, q) = g.succ(cur, p);
+        nodes.push(next);
+        out_ports.push(p);
+        in_ports.push(q);
+        cur = next;
+        entry = q;
+    }
+    UxsWalk { nodes, out_ports, in_ports }
+}
+
+/// `true` iff the application of `uxs` at `start` visits every node of `g`.
+pub fn covers(g: &PortGraph, uxs: &Uxs, start: NodeId) -> bool {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut count = 0usize;
+    let mark = |v: NodeId, seen: &mut Vec<bool>, count: &mut usize| {
+        if !seen[v] {
+            seen[v] = true;
+            *count += 1;
+        }
+    };
+    mark(start, &mut seen, &mut count);
+    let (mut cur, mut entry) = g.succ(start, 0);
+    mark(cur, &mut seen, &mut count);
+    for &a in uxs.terms() {
+        if count == g.num_nodes() {
+            return true;
+        }
+        let d = g.degree(cur);
+        let p = (entry + a) % d;
+        let (next, q) = g.succ(cur, p);
+        mark(next, &mut seen, &mut count);
+        cur = next;
+        entry = q;
+    }
+    count == g.num_nodes()
+}
+
+/// The *trail transcript* of the UXS application at `start`: the degree of
+/// the start node followed, for every subsequent visited node, by the pair
+/// `(entry port, degree)`.  The transcript is exactly what an agent observes
+/// while executing the application, so it is computable agent-side; it is
+/// identical for two symmetric start nodes (equal views force equal
+/// observations along equal port decisions).
+pub fn transcript(g: &PortGraph, uxs: &Uxs, start: NodeId) -> Vec<(usize, usize)> {
+    let walk = apply(g, uxs, start);
+    let mut t = Vec::with_capacity(walk.nodes.len());
+    t.push((usize::MAX, g.degree(start)));
+    for (i, &v) in walk.nodes.iter().enumerate().skip(1) {
+        t.push((walk.in_ports[i - 1], g.degree(v)));
+    }
+    t
+}
+
+/// 64-bit FNV-1a fingerprint of the trail transcript.  Used as the default
+/// (polynomial-size) label of the `AsymmRV` substitute; see DESIGN.md §4.2.
+pub fn transcript_fingerprint(g: &PortGraph, uxs: &Uxs, start: NodeId) -> u64 {
+    fingerprint_pairs(&transcript(g, uxs, start))
+}
+
+/// FNV-1a over a slice of pairs (shared with the agent-side implementation in
+/// `anonrv-core`, which computes the same value from its own observations).
+pub fn fingerprint_pairs(pairs: &[(usize, usize)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &(a, b) in pairs {
+        for byte in a.to_le_bytes().into_iter().chain(b.to_le_bytes()) {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::{lollipop, oriented_ring, oriented_torus, star};
+    use anonrv_graph::symmetry::OrbitPartition;
+
+    fn small_uxs() -> Uxs {
+        Uxs::new(vec![1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 1, 0, 1])
+    }
+
+    #[test]
+    fn application_has_the_documented_length() {
+        let g = oriented_ring(5).unwrap();
+        let uxs = small_uxs();
+        let walk = apply(&g, &uxs, 0);
+        assert_eq!(walk.nodes.len(), uxs.len() + 2);
+        assert_eq!(walk.out_ports.len(), uxs.len() + 1);
+        assert_eq!(walk.in_ports.len(), uxs.len() + 1);
+        assert_eq!(uxs.num_moves(), uxs.len() + 1);
+    }
+
+    #[test]
+    fn first_move_uses_port_zero() {
+        let g = star(4).unwrap();
+        let walk = apply(&g, &small_uxs(), 0);
+        assert_eq!(walk.out_ports[0], 0);
+        assert_eq!(walk.nodes[1], g.succ(0, 0).0);
+    }
+
+    #[test]
+    fn backtrack_ports_return_to_the_start() {
+        let g = lollipop(4, 3).unwrap();
+        let walk = apply(&g, &small_uxs(), 2);
+        let back = anonrv_graph::traversal::apply_ports(&g, *walk.nodes.last().unwrap(), &walk.backtrack_ports()).unwrap();
+        assert_eq!(back.end(), 2);
+    }
+
+    #[test]
+    fn covers_detects_full_and_partial_coverage() {
+        let g = oriented_ring(4).unwrap();
+        // Application rule: the next port is (entry port + term) mod degree.
+        // On the oriented ring the entry port is always 1 when moving
+        // clockwise, so term 1 keeps going clockwise (covers the ring) while
+        // term 0 goes back the way it came (bounces between two nodes).
+        let all_one = Uxs::new(vec![1; 6]);
+        assert!(covers(&g, &all_one, 0));
+        let all_zero = Uxs::new(vec![0; 6]);
+        assert!(!covers(&g, &all_zero, 0));
+        let too_short = Uxs::new(vec![1]);
+        assert!(!covers(&g, &too_short, 0));
+        // covers agrees with apply + visited
+        assert_eq!(apply(&g, &all_one, 0).visited().len(), 4);
+        assert_eq!(apply(&g, &all_zero, 0).visited().len(), 2);
+    }
+
+    #[test]
+    fn transcript_is_equal_for_symmetric_nodes_and_observable_only() {
+        let g = oriented_torus(3, 4).unwrap();
+        let uxs = small_uxs();
+        let p = OrbitPartition::compute(&g);
+        assert!(p.is_fully_symmetric());
+        let t0 = transcript(&g, &uxs, 0);
+        for v in g.nodes() {
+            assert_eq!(transcript(&g, &uxs, v), t0, "symmetric nodes must have equal transcripts");
+        }
+        assert_eq!(t0.len(), uxs.len() + 2);
+        assert_eq!(t0[0], (usize::MAX, 4));
+    }
+
+    #[test]
+    fn transcript_fingerprints_differ_on_a_clearly_asymmetric_pair() {
+        let g = lollipop(4, 3).unwrap();
+        let uxs = small_uxs();
+        // node 0 (degree 4, clique + tail) vs the tail end (degree 1)
+        assert_ne!(transcript_fingerprint(&g, &uxs, 0), transcript_fingerprint(&g, &uxs, 6));
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let u = small_uxs();
+        assert_eq!(u.prefix(3).terms(), &[1, 0, 1]);
+        assert_eq!(u.prefix(100).len(), u.len());
+        assert!(!u.is_empty());
+        assert!(Uxs::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_pairs_is_order_sensitive() {
+        assert_ne!(fingerprint_pairs(&[(1, 2), (3, 4)]), fingerprint_pairs(&[(3, 4), (1, 2)]));
+        assert_eq!(fingerprint_pairs(&[]), fingerprint_pairs(&[]));
+    }
+}

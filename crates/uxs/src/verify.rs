@@ -1,0 +1,133 @@
+//! Coverage verification for substitute UXS sequences.
+//!
+//! Because the crate substitutes the paper's (existence-only) polynomial UXS
+//! with a pseudorandom sequence, every experiment verifies up front that the
+//! sequence actually explores the graphs it will be used on.  This module is
+//! that verifier.
+
+use anonrv_graph::PortGraph;
+
+use crate::sequence::{covers, Uxs};
+
+/// Result of verifying a sequence against one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Number of nodes of the verified graph.
+    pub n: usize,
+    /// Whether the application covered all nodes from *every* start node.
+    pub covered: bool,
+    /// Start nodes from which coverage failed (empty when `covered`).
+    pub failing_starts: Vec<usize>,
+}
+
+/// `true` iff the application of `uxs` covers all of `g` from every start
+/// node — the property the paper's UXS guarantees by definition.
+pub fn covers_from_all(g: &PortGraph, uxs: &Uxs) -> bool {
+    g.nodes().all(|v| covers(g, uxs, v))
+}
+
+/// Verify a sequence on a family of graphs; one report per graph.
+pub fn verify_on_family<'a, I>(graphs: I, uxs: &Uxs) -> Vec<CoverageReport>
+where
+    I: IntoIterator<Item = &'a PortGraph>,
+{
+    graphs
+        .into_iter()
+        .map(|g| {
+            let failing: Vec<usize> = g.nodes().filter(|&v| !covers(g, uxs, v)).collect();
+            CoverageReport { n: g.num_nodes(), covered: failing.is_empty(), failing_starts: failing }
+        })
+        .collect()
+}
+
+/// The shortest prefix of `uxs` whose application from every start node of
+/// `g` still covers all nodes, found by binary search.  Returns `None` when
+/// even the full sequence does not cover.  Used by the UXS-length ablation.
+pub fn shortest_covering_prefix(g: &PortGraph, uxs: &Uxs) -> Option<usize> {
+    if !covers_from_all(g, uxs) {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, uxs.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if covers_from_all(g, &uxs.prefix(mid)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{PseudorandomUxs, UxsProvider};
+    use anonrv_graph::generators::{
+        hypercube, kary_tree, lollipop, oriented_ring, oriented_torus, qh_hat, random_connected,
+        symmetric_double_tree,
+    };
+
+    #[test]
+    fn default_provider_covers_the_core_families() {
+        let p = PseudorandomUxs::default();
+        let graphs = vec![
+            oriented_ring(9).unwrap(),
+            oriented_torus(3, 4).unwrap(),
+            hypercube(4).unwrap(),
+            symmetric_double_tree(2, 3).unwrap().0,
+            lollipop(4, 4).unwrap(),
+            kary_tree(3, 3).unwrap(),
+            qh_hat(2).unwrap().graph,
+        ];
+        for g in &graphs {
+            let uxs = p.sequence(g.num_nodes());
+            assert!(
+                covers_from_all(g, &uxs),
+                "default UXS must cover the {}-node graph from every start",
+                g.num_nodes()
+            );
+        }
+        let reports = verify_on_family(graphs.iter(), &p.sequence(40));
+        assert!(reports.iter().all(|r| r.covered));
+    }
+
+    #[test]
+    fn default_provider_covers_random_graphs() {
+        let p = PseudorandomUxs::default();
+        for seed in 0..10u64 {
+            let g = random_connected(14, 6, seed).unwrap();
+            let uxs = p.sequence(g.num_nodes());
+            assert!(covers_from_all(&g, &uxs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn verify_on_family_reports_failures() {
+        let ring = oriented_ring(8).unwrap();
+        let too_short = Uxs::new(vec![0, 0]);
+        let reports = verify_on_family(std::iter::once(&ring), &too_short);
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].covered);
+        assert!(!reports[0].failing_starts.is_empty());
+        assert_eq!(reports[0].n, 8);
+    }
+
+    #[test]
+    fn shortest_prefix_is_minimal() {
+        let g = oriented_ring(6).unwrap();
+        let p = PseudorandomUxs::default();
+        let uxs = p.sequence(6);
+        let len = shortest_covering_prefix(&g, &uxs).expect("full sequence covers");
+        assert!(covers_from_all(&g, &uxs.prefix(len)));
+        if len > 0 {
+            assert!(!covers_from_all(&g, &uxs.prefix(len - 1)));
+        }
+    }
+
+    #[test]
+    fn shortest_prefix_returns_none_when_sequence_insufficient() {
+        let g = oriented_ring(12).unwrap();
+        assert_eq!(shortest_covering_prefix(&g, &Uxs::new(vec![0, 1])), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! The rendezvous <-> leader election equivalence from the paper's
+//! introduction, in both directions.
+//!
+//! ```sh
+//! cargo run --example leader_election
+//! ```
+
+use anonrv_core::leader::{elect_leader, entry_ports_of_actions, LeaderElection, Role, WaitingForMommy};
+use anonrv_core::prelude::*;
+use anonrv_graph::generators::oriented_ring;
+use anonrv_sim::{simulate_with, EngineConfig, Stic};
+
+fn main() {
+    let g = oriented_ring(8).expect("ring generation");
+
+    // Direction 1 — leader election gives rendezvous ("waiting for Mommy"):
+    // once the roles are assigned, even perfectly symmetric positions with
+    // delay 0 (infeasible for identical anonymous agents!) become easy.
+    let (u, v) = (0usize, 4usize);
+    assert!(!is_feasible(&g, u, v, 0), "symmetric + simultaneous start is infeasible");
+    let uxs = PseudorandomUxs::default();
+    let leader = WaitingForMommy::new(Role::Leader, g.num_nodes(), &uxs);
+    let follower = WaitingForMommy::new(Role::Follower, g.num_nodes(), &uxs);
+    let horizon = leader.exploration_bound() + 2;
+    let outcome = simulate_with(
+        &g,
+        &leader,
+        &follower,
+        &Stic::new(u, v, 0),
+        EngineConfig::with_horizon(horizon),
+    );
+    match outcome.meeting {
+        Some(m) => println!(
+            "waiting-for-Mommy: leader finds the follower at node {} after {} rounds",
+            m.node, m.later_round
+        ),
+        None => println!("waiting-for-Mommy: no meeting within {horizon} rounds"),
+    }
+
+    // Direction 2 — rendezvous gives leader election: after meeting, the
+    // agents compare their trajectories (sequences of entry ports); at the
+    // last round where the entry ports differ, the larger port wins.
+    // Here: agent A walked clockwise into the meeting node, agent B waited.
+    let a_actions = [Some(0), Some(0), Some(0), Some(0)];
+    let b_actions = [None, None, None, None];
+    let a_entries = entry_ports_of_actions(&g, 0, &a_actions);
+    let b_entries = entry_ports_of_actions(&g, 4, &b_actions);
+    let elected = elect_leader(&a_entries, &b_entries);
+    println!(
+        "post-rendezvous election: {}",
+        match elected {
+            LeaderElection::AgentA => "the walking agent is elected leader",
+            LeaderElection::AgentB => "the waiting agent is elected leader",
+            LeaderElection::Undecided => "undecided (identical trajectories)",
+        }
+    );
+    assert_ne!(elected, LeaderElection::Undecided);
+}

@@ -1,0 +1,46 @@
+//! Quickstart: classify a space-time initial configuration (STIC) and run the
+//! universal rendezvous algorithm on it with zero a-priori knowledge.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use anonrv_core::prelude::*;
+use anonrv_graph::generators::oriented_ring;
+use anonrv_graph::shrink::shrink;
+use anonrv_sim::{simulate, Stic};
+
+fn main() {
+    // A 6-node oriented ring: every pair of nodes is symmetric, and
+    // Shrink(u, v) equals the distance between u and v.
+    let g = oriented_ring(6).expect("ring generation");
+    let (u, v) = (0usize, 2usize);
+    let d = shrink(&g, u, v).expect("shrink computation");
+    println!("graph: oriented ring with {} nodes", g.num_nodes());
+    println!("Shrink({u}, {v}) = {d}");
+
+    // Corollary 3.1: the STIC [(u, v), delta] is feasible iff the positions
+    // are nonsymmetric, or they are symmetric and delta >= Shrink(u, v).
+    for delta in [d as u128 - 1, d as u128] {
+        println!(
+            "STIC [({u}, {v}), {delta}] is {}",
+            if is_feasible(&g, u, v, delta) { "feasible" } else { "infeasible (Lemma 3.1)" }
+        );
+    }
+
+    // Run UniversalRV (Algorithm 3) on the feasible STIC.  The algorithm
+    // knows nothing: not the graph, not its size, not the delay.
+    let delta = d as u128;
+    let uxs = PseudorandomUxs::with_rule(LengthRule::Quadratic { c: 1, min_len: 16 });
+    let scheme = TrailSignature::new(uxs);
+    let algo = UniversalRv::new(&uxs, &scheme);
+    let horizon = algo.completion_horizon(g.num_nodes(), d, delta);
+    let outcome = simulate(&g, &algo, &Stic::new(u, v, delta), horizon);
+    match outcome.meeting {
+        Some(m) => println!(
+            "UniversalRV: rendezvous at node {} after {} rounds (later agent's clock)",
+            m.node, m.later_round
+        ),
+        None => println!("UniversalRV: no rendezvous within {horizon} rounds"),
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests for the feasibility characterisation
+//! (Corollary 3.1) and its ingredients (views, orbits, Shrink).
+
+use anonrv_core::feasibility::{classify, classify_all_pairs, is_feasible, SticClass};
+use anonrv_experiments::suite::{
+    nonsymmetric_workloads, symmetric_pairs, symmetric_workloads, Scale,
+};
+use anonrv_graph::distance::distance;
+use anonrv_graph::shrink::{shrink, shrink_all_symmetric_pairs, shrink_brute_force};
+use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_graph::view::symmetric_by_views;
+
+#[test]
+fn orbit_partition_agrees_with_view_equality_on_every_quick_workload() {
+    let mut workloads = symmetric_workloads(Scale::Quick);
+    workloads.extend(nonsymmetric_workloads(Scale::Quick));
+    for w in &workloads {
+        let g = &w.graph;
+        let partition = OrbitPartition::compute(g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v {
+                    assert_eq!(
+                        partition.are_symmetric(u, v),
+                        symmetric_by_views(g, u, v),
+                        "{}: orbit partition and truncated views disagree on ({u}, {v})",
+                        w.label
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn classification_follows_the_symmetry_and_shrink_split() {
+    let mut workloads = symmetric_workloads(Scale::Quick);
+    workloads.extend(nonsymmetric_workloads(Scale::Quick));
+    for w in &workloads {
+        let g = &w.graph;
+        let partition = OrbitPartition::compute(g);
+        for u in g.nodes().take(4) {
+            for v in g.nodes().take(6) {
+                if u == v {
+                    assert_eq!(classify(g, u, v, 0), SticClass::SameNode);
+                    continue;
+                }
+                let s = shrink(g, u, v).unwrap();
+                for delta in [0u128, 1, s as u128, s as u128 + 3] {
+                    let class = classify(g, u, v, delta);
+                    if !partition.are_symmetric(u, v) {
+                        assert_eq!(class, SticClass::Nonsymmetric, "{} ({u},{v})", w.label);
+                        assert!(is_feasible(g, u, v, delta));
+                    } else if delta >= s as u128 {
+                        assert_eq!(class, SticClass::SymmetricFeasible { shrink: s });
+                        assert!(is_feasible(g, u, v, delta));
+                    } else {
+                        assert_eq!(class, SticClass::SymmetricInfeasible { shrink: s });
+                        assert!(!is_feasible(g, u, v, delta));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn feasibility_is_monotone_in_the_delay() {
+    for w in symmetric_workloads(Scale::Quick) {
+        for p in symmetric_pairs(&w.graph, 6) {
+            let mut previous = false;
+            for delta in 0..(p.shrink as u128 + 3) {
+                let now = is_feasible(&w.graph, p.u, p.v, delta);
+                assert!(
+                    !previous || now,
+                    "{}: feasibility must be monotone in delta (pair ({}, {}))",
+                    w.label,
+                    p.u,
+                    p.v
+                );
+                previous = now;
+            }
+            assert!(previous, "sufficiently large delays are always feasible");
+        }
+    }
+}
+
+#[test]
+fn shrink_never_exceeds_the_distance_and_is_positive_on_symmetric_pairs() {
+    for w in symmetric_workloads(Scale::Quick) {
+        let g = &w.graph;
+        for p in symmetric_pairs(g, 6) {
+            assert!(p.shrink <= distance(g, p.u, p.v), "{}", w.label);
+            assert!(p.shrink >= 1, "symmetric distinct nodes can never be merged ({})", w.label);
+        }
+    }
+}
+
+#[test]
+fn shrink_agrees_with_brute_force_on_small_low_degree_graphs() {
+    // the brute force enumerates every port sequence up to the given length,
+    // so keep it to graphs where degree^length stays tiny
+    for w in symmetric_workloads(Scale::Quick) {
+        let g = &w.graph;
+        if g.num_nodes() > 8 || g.max_degree() > 2 {
+            continue;
+        }
+        for p in symmetric_pairs(g, 4) {
+            let brute = shrink_brute_force(g, p.u, p.v, g.num_nodes());
+            assert_eq!(p.shrink, brute, "{}: BFS and brute force disagree", w.label);
+        }
+    }
+}
+
+#[test]
+fn shrink_all_symmetric_pairs_is_consistent_with_pairwise_shrink() {
+    let w = &symmetric_workloads(Scale::Quick)[0];
+    let all = shrink_all_symmetric_pairs(&w.graph);
+    assert!(!all.is_empty());
+    for ((u, v), s) in all {
+        assert_eq!(shrink(&w.graph, u, v), Some(s));
+    }
+}
+
+#[test]
+fn classify_all_pairs_matches_individual_classification() {
+    for w in nonsymmetric_workloads(Scale::Quick).iter().take(3) {
+        let g = &w.graph;
+        let n = g.num_nodes();
+        let all = classify_all_pairs(g, 1);
+        assert_eq!(all.len(), n * (n - 1) / 2);
+        for ((u, v), class) in all {
+            assert_eq!(class, classify(g, u, v, 1), "{} pair ({u},{v})", w.label);
+        }
+    }
+}
+
+#[test]
+fn the_oriented_torus_example_from_section_3() {
+    // "in an oriented torus, any pair of nodes is symmetric, and Shrink(u, v)
+    // is equal to the distance between u and v"
+    let g = anonrv_graph::generators::oriented_torus(4, 4).unwrap();
+    let partition = OrbitPartition::compute(&g);
+    assert!(partition.is_fully_symmetric());
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u != v {
+                assert_eq!(shrink(&g, u, v), Some(distance(&g, u, v)));
+            }
+        }
+    }
+}
+
+#[test]
+fn the_double_tree_example_from_section_3() {
+    // "in a symmetric tree composed of a central edge with port-preserving
+    // isomorphic trees attached to both of its ends, Shrink(u, v) for any
+    // symmetric pair is always 1"
+    let (g, mirror) = anonrv_graph::generators::symmetric_double_tree(2, 3).unwrap();
+    let partition = OrbitPartition::compute(&g);
+    for v in 0..g.num_nodes() / 2 {
+        let m = mirror[v];
+        assert!(partition.are_symmetric(v, m));
+        assert_eq!(shrink(&g, v, m), Some(1));
+        // distance grows with the depth of v, so Shrink really shrinks
+        assert!(distance(&g, v, m) >= 1);
+    }
+}

