@@ -16,9 +16,11 @@ fn bench_ablation(c: &mut Criterion) {
         ("fixed-64", LengthRule::Fixed(64)),
     ] {
         let provider = PseudorandomUxs::with_rule(rule);
-        group.bench_with_input(BenchmarkId::new("uxs generation, n=16", name), &provider, |b, p| {
-            b.iter(|| p.sequence(black_box(16)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("uxs generation, n=16", name),
+            &provider,
+            |b, p| b.iter(|| p.sequence(black_box(16))),
+        );
         let torus = oriented_torus(4, 4).unwrap();
         let y = provider.sequence(16);
         group.bench_with_input(BenchmarkId::new("coverage check, torus-4x4", name), &y, |b, y| {

@@ -21,7 +21,9 @@ fn bench_infeasibility(c: &mut Criterion) {
     let leaf = (0..tree.num_nodes() / 2).find(|&v| tree.degree(v) == 1).unwrap();
     let ports: Vec<usize> = (0..200).map(|i| i % 3).collect();
     group.bench_function("Lemma 3.1 trajectory check, double-tree depth 4", |b| {
-        b.iter(|| symmetric_trajectories_never_meet(black_box(&tree), leaf, mirror[leaf], 0, &ports))
+        b.iter(|| {
+            symmetric_trajectories_never_meet(black_box(&tree), leaf, mirror[leaf], 0, &ports)
+        })
     });
     group.finish();
 }

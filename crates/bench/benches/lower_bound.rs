@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use anonrv_core::lower_bound::{check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule};
+use anonrv_core::lower_bound::{
+    check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule,
+};
 use anonrv_graph::generators::qh_hat;
 
 fn bench_lower_bound(c: &mut Criterion) {

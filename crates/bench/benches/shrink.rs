@@ -14,9 +14,7 @@ fn bench_shrink(c: &mut Criterion) {
         b.iter(|| shrink(black_box(&torus), 0, 21))
     });
     let ring = oriented_ring(64).unwrap();
-    group.bench_function("ring-64 antipodal pair", |b| {
-        b.iter(|| shrink(black_box(&ring), 0, 32))
-    });
+    group.bench_function("ring-64 antipodal pair", |b| b.iter(|| shrink(black_box(&ring), 0, 32)));
     let (tree, mirror) = symmetric_double_tree(2, 6).unwrap();
     let leaf = (0..tree.num_nodes() / 2).find(|&v| tree.degree(v) == 1).unwrap();
     group.bench_function("double-tree depth-6 mirror leaves", |b| {

@@ -24,13 +24,10 @@ fn bench_symm_rv(c: &mut Criterion) {
     let mut group = c.benchmark_group("symm_rv");
     group.sample_size(20);
     let ring = oriented_ring(8).unwrap();
-    group.bench_function("ring-8 d=2 delta=2", |b| {
-        b.iter(|| run(black_box(&ring), 0, 2, 2, 2))
-    });
+    group.bench_function("ring-8 d=2 delta=2", |b| b.iter(|| run(black_box(&ring), 0, 2, 2, 2)));
     let torus = oriented_torus(3, 3).unwrap();
-    group.bench_function("torus-3x3 d=2 delta=2", |b| {
-        b.iter(|| run(black_box(&torus), 0, 4, 2, 2))
-    });
+    group
+        .bench_function("torus-3x3 d=2 delta=2", |b| b.iter(|| run(black_box(&torus), 0, 4, 2, 2)));
     let (tree, mirror) = symmetric_double_tree(2, 2).unwrap();
     let leaf = (0..tree.num_nodes() / 2).find(|&v| tree.degree(v) == 1).unwrap();
     group.bench_function("double-tree-2-2 d=1 delta=1", |b| {

@@ -23,7 +23,9 @@ fn bench_scaling(c: &mut Criterion) {
             BenchmarkId::new("ring-4 adjacent pair, growing delta", delta as u64),
             &delta,
             |b, &delta| {
-                b.iter(|| expect_met(&run_universal(black_box(&ring4), Stic::new(0, 1, delta), 1, delta)))
+                b.iter(|| {
+                    expect_met(&run_universal(black_box(&ring4), Stic::new(0, 1, delta), 1, delta))
+                })
             },
         );
     }

@@ -1,0 +1,101 @@
+//! Emit `BENCH_allpairs.json`: wall-clock timings and speedups for the two
+//! kernels this repo's perf trajectory tracks —
+//!
+//! 1. all-pairs `Shrink` on `oriented_torus(16, 16)`: the one-pass
+//!    product-space engine versus the per-pair BFS baseline (measured on a
+//!    pair sample and extrapolated linearly, because running the baseline on
+//!    all 32 640 pairs takes minutes);
+//! 2. a short-horizon STIC sweep through the lockstep engine versus the
+//!    threaded streaming engine.
+//!
+//! Usage: `cargo run --release -p anonrv-bench --bin allpairs_timing
+//! [output.json]` (default output: `BENCH_allpairs.json`).
+
+use std::time::Instant;
+
+use anonrv_graph::generators::{oriented_ring, oriented_torus};
+use anonrv_graph::pairspace::ShrinkEngine;
+use anonrv_graph::shrink::{shrink_all_symmetric_pairs, shrink_reference_bfs};
+use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_sim::{simulate_with, EngineConfig, Navigator, Round, Stic, Stop};
+
+/// Median wall time of `runs` executions, in seconds.
+fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn walker(nav: &mut dyn Navigator) -> Result<(), Stop> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    loop {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        nav.move_via((state >> 33) as usize % nav.degree())?;
+    }
+}
+
+fn sweep(g: &anonrv_graph::PortGraph, config: impl Fn(Round) -> EngineConfig) -> usize {
+    let n = g.num_nodes();
+    let mut met = 0usize;
+    for u in 0..8usize {
+        for delta in 0..8u32 {
+            let stic = Stic::new(u % n, (u * 5 + 3) % n, delta as Round);
+            met += usize::from(simulate_with(g, &walker, &walker, &stic, config(200)).met());
+        }
+    }
+    met
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_allpairs.json".to_string());
+
+    // --- kernel 1: all-pairs Shrink on oriented_torus(16, 16) ---
+    let torus = oriented_torus(16, 16).unwrap();
+    let partition = OrbitPartition::compute(&torus);
+    let symmetric_pairs = partition.symmetric_pairs();
+    let num_pairs = symmetric_pairs.len();
+
+    let engine_all_pairs_s = time_median(5, || shrink_all_symmetric_pairs(&torus));
+    let engine_sweep_only_s = {
+        let engine = ShrinkEngine::new(&torus);
+        time_median(5, || engine.all_pairs())
+    };
+
+    const BASELINE_SAMPLE: usize = 32;
+    let sample: Vec<(usize, usize)> =
+        symmetric_pairs.iter().copied().take(BASELINE_SAMPLE).collect();
+    let baseline_sample_s = time_median(3, || {
+        sample.iter().map(|&(u, v)| shrink_reference_bfs(&torus, u, v)).sum::<usize>()
+    });
+    let baseline_est_total_s = baseline_sample_s * num_pairs as f64 / sample.len() as f64;
+    let allpairs_speedup = baseline_est_total_s / engine_all_pairs_s;
+
+    // --- kernel 2: short-horizon STIC sweep, lockstep vs streaming ---
+    let ring = oriented_ring(32).unwrap();
+    let lockstep_s = time_median(5, || sweep(&ring, EngineConfig::lockstep));
+    let streaming_s = time_median(5, || sweep(&ring, EngineConfig::streaming));
+    let lockstep_speedup = streaming_s / lockstep_s;
+
+    let json = format!(
+        "{{\n  \"instance\": \"oriented_torus(16, 16)\",\n  \"symmetric_pairs\": {num_pairs},\n  \
+         \"engine_all_symmetric_pairs_seconds\": {engine_all_pairs_s:.6},\n  \
+         \"engine_all_pairs_sweep_seconds\": {engine_sweep_only_s:.6},\n  \
+         \"baseline_sample_pairs\": {BASELINE_SAMPLE},\n  \
+         \"baseline_sample_seconds\": {baseline_sample_s:.6},\n  \
+         \"baseline_estimated_total_seconds\": {baseline_est_total_s:.6},\n  \
+         \"allpairs_speedup\": {allpairs_speedup:.1},\n  \
+         \"sweep_instance\": \"oriented_ring(32), 64 STICs, horizon 200\",\n  \
+         \"lockstep_sweep_seconds\": {lockstep_s:.6},\n  \
+         \"streaming_sweep_seconds\": {streaming_s:.6},\n  \
+         \"lockstep_speedup\": {lockstep_speedup:.1}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

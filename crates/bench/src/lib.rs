@@ -22,12 +22,7 @@ pub fn bench_uxs() -> PseudorandomUxs {
 
 /// Run `UniversalRV` on a STIC until rendezvous (or the completion horizon of
 /// the phase with the given parameter hints) and return the outcome.
-pub fn run_universal(
-    g: &PortGraph,
-    stic: Stic,
-    d_hint: usize,
-    delta_hint: Round,
-) -> SimOutcome {
+pub fn run_universal(g: &PortGraph, stic: Stic, d_hint: usize, delta_hint: Round) -> SimOutcome {
     let uxs = bench_uxs();
     let scheme = TrailSignature::new(uxs);
     let algo = UniversalRv::new(&uxs, &scheme);

@@ -22,8 +22,8 @@ use anonrv_core::label::TrailSignature;
 use anonrv_core::symm_rv::SymmRv;
 use anonrv_core::universal_rv::UniversalRv;
 use anonrv_graph::generators::{
-    caterpillar, complete, grid, hypercube, lollipop, oriented_ring, oriented_torus, path,
-    qh_hat, random_connected, star, symmetric_double_tree,
+    caterpillar, complete, grid, hypercube, lollipop, oriented_ring, oriented_torus, path, qh_hat,
+    random_connected, star, symmetric_double_tree,
 };
 use anonrv_graph::render::figure1_text;
 use anonrv_graph::shrink::shrink_detailed;
@@ -218,19 +218,23 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         "universal" => {
             let algo = UniversalRv::new(&uxs, &scheme);
             let d_hint = match class {
-                SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => shrink.max(1),
+                SticClass::SymmetricFeasible { shrink }
+                | SticClass::SymmetricInfeasible { shrink } => shrink.max(1),
                 _ => 1,
             };
-            let horizon = horizon_override.unwrap_or_else(|| algo.completion_horizon(n, d_hint, delta.max(1)));
+            let horizon = horizon_override
+                .unwrap_or_else(|| algo.completion_horizon(n, d_hint, delta.max(1)));
             (simulate(&g, &algo, &stic, horizon), "UniversalRV")
         }
         "symm" => {
             let d = match class {
-                SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => shrink.max(1),
+                SticClass::SymmetricFeasible { shrink }
+                | SticClass::SymmetricInfeasible { shrink } => shrink.max(1),
                 _ => return Err("--algo symm requires symmetric starting positions".to_string()),
             };
             let program = SymmRv::new(n, d, delta.max(d as Round), &uxs);
-            let bound = anonrv_core::bounds::symm_rv_bound(n, d, delta.max(d as Round), uxs.length(n));
+            let bound =
+                anonrv_core::bounds::symm_rv_bound(n, d, delta.max(d as Round), uxs.length(n));
             let horizon = horizon_override.unwrap_or(bound.saturating_add(delta).saturating_add(1));
             (simulate(&g, &program, &stic, horizon), "SymmRV")
         }
@@ -245,8 +249,12 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
 
     let class_text = match class {
         SticClass::Nonsymmetric => "nonsymmetric (feasible)".to_string(),
-        SticClass::SymmetricFeasible { shrink } => format!("symmetric, Shrink = {shrink} (feasible)"),
-        SticClass::SymmetricInfeasible { shrink } => format!("symmetric, Shrink = {shrink} (INFEASIBLE)"),
+        SticClass::SymmetricFeasible { shrink } => {
+            format!("symmetric, Shrink = {shrink} (feasible)")
+        }
+        SticClass::SymmetricInfeasible { shrink } => {
+            format!("symmetric, Shrink = {shrink} (INFEASIBLE)")
+        }
         SticClass::SameNode => "same node".to_string(),
     };
     let result = match outcome.meeting {
@@ -338,7 +346,8 @@ mod tests {
     fn simulate_command_achieves_rendezvous_on_a_feasible_stic() {
         let out = run(&argv(&["simulate", "ring:4", "0", "1", "1"])).unwrap();
         assert!(out.contains("RENDEZVOUS"), "{out}");
-        let asymm = run(&argv(&["simulate", "lollipop:3x2", "0", "4", "1", "--algo", "asymm"])).unwrap();
+        let asymm =
+            run(&argv(&["simulate", "lollipop:3x2", "0", "4", "1", "--algo", "asymm"])).unwrap();
         assert!(asymm.contains("RENDEZVOUS"), "{asymm}");
     }
 

@@ -40,9 +40,7 @@ pub fn explore_rounds(n: usize, d: usize, delta: Round) -> Round {
 /// length of the UXS `Y(n)`.
 pub fn symm_rv_bound(n: usize, d: usize, delta: Round, uxs_len: usize) -> Round {
     let m = uxs_len as Round;
-    explore_rounds(n, d, delta)
-        .saturating_mul(m.saturating_add(2))
-        .saturating_add(2 * (m + 1))
+    explore_rounds(n, d, delta).saturating_mul(m.saturating_add(2)).saturating_add(2 * (m + 1))
 }
 
 /// Duration of one exploration block of the `AsymmRV` substitute: the UXS
@@ -90,8 +88,7 @@ pub fn phase_rounds(
     }
     let p = asymm_rv_duration(label_rounds, label_len, uxs_len, delta);
     let asymm_part = 2u128.saturating_mul(p.saturating_add(delta));
-    let symm_part =
-        if delta >= d as Round { symm_rv_bound(n, d, delta, uxs_len) } else { 0 };
+    let symm_part = if delta >= d as Round { symm_rv_bound(n, d, delta, uxs_len) } else { 0 };
     asymm_part.saturating_add(symm_part)
 }
 

@@ -116,7 +116,8 @@ mod tests {
             *iterations.lock().unwrap() = it;
             Ok(())
         };
-        let (trace, stats) = record_trace(g, &program as &dyn AgentProgram, start, Round::MAX, 1 << 22);
+        let (trace, stats) =
+            record_trace(g, &program as &dyn AgentProgram, start, Round::MAX, 1 << 22);
         let it = *iterations.lock().unwrap();
         (trace, stats, it)
     }

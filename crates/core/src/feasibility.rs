@@ -10,6 +10,7 @@
 //! reverse direction is Lemma 3.1, whose argument is also made executable
 //! here ([`symmetric_trajectories_never_meet`]).
 
+use anonrv_graph::pairspace::{AllPairsShrink, ShrinkEngine};
 use anonrv_graph::shrink::shrink;
 use anonrv_graph::symmetry::OrbitPartition;
 use anonrv_graph::{NodeId, PortGraph};
@@ -63,6 +64,63 @@ pub fn is_feasible(g: &PortGraph, u: NodeId, v: NodeId, delta: Round) -> bool {
     classify(g, u, v, delta).is_feasible()
 }
 
+/// Precomputed feasibility oracle for one graph: the view-equivalence
+/// partition plus the one-pass all-pairs `Shrink` table from
+/// [`anonrv_graph::pairspace`].
+///
+/// [`classify`] recomputes both the orbit partition and a pair-graph search
+/// on every call, which is wasteful inside sweeps that evaluate many STICs
+/// of the *same* graph.  The oracle pays the `O(n²·Δ)` preparation once and
+/// then answers [`FeasibilityOracle::classify`] in O(1), so an all-pairs ×
+/// all-delays sweep costs `O(n²·Δ + #queries)` instead of `O(#queries ·
+/// n²·Δ)`.
+#[derive(Debug, Clone)]
+pub struct FeasibilityOracle {
+    partition: OrbitPartition,
+    all_shrink: AllPairsShrink,
+}
+
+impl FeasibilityOracle {
+    /// Precompute the oracle for `g`.
+    pub fn new(g: &PortGraph) -> Self {
+        FeasibilityOracle {
+            partition: OrbitPartition::compute(g),
+            all_shrink: ShrinkEngine::new(g).all_pairs(),
+        }
+    }
+
+    /// The view-equivalence partition the oracle classifies with.
+    pub fn partition(&self) -> &OrbitPartition {
+        &self.partition
+    }
+
+    /// `Shrink(u, v)` in O(1).
+    pub fn shrink(&self, u: NodeId, v: NodeId) -> usize {
+        self.all_shrink.get(u, v)
+    }
+
+    /// Classify the STIC `[(u, v), δ]` in O(1).
+    pub fn classify(&self, u: NodeId, v: NodeId, delta: Round) -> SticClass {
+        if u == v {
+            return SticClass::SameNode;
+        }
+        if !self.partition.are_symmetric(u, v) {
+            return SticClass::Nonsymmetric;
+        }
+        let s = self.all_shrink.get(u, v);
+        if delta >= s as Round {
+            SticClass::SymmetricFeasible { shrink: s }
+        } else {
+            SticClass::SymmetricInfeasible { shrink: s }
+        }
+    }
+
+    /// Corollary 3.1 as an O(1) predicate.
+    pub fn is_feasible(&self, u: NodeId, v: NodeId, delta: Round) -> bool {
+        self.classify(u, v, delta).is_feasible()
+    }
+}
+
 /// The executable content of Lemma 3.1's proof: for symmetric starting nodes,
 /// any common deterministic algorithm makes the two agents follow the same
 /// port sequence, so after the earlier agent has performed `k` moves and the
@@ -100,9 +158,9 @@ pub fn symmetric_trajectories_never_meet(
     // The later agent performs move i in the same round as the earlier agent
     // performs move i + δ (in a synchronous schedule where every round is a
     // move).  Meeting would require pos_u[i + δ] == pos_v[i] for some i.
-    for i in 0..pos_v.len() {
+    for (i, &later_pos) in pos_v.iter().enumerate() {
         if let Some(&earlier_pos) = pos_u.get(i + delta) {
-            if earlier_pos == pos_v[i] {
+            if earlier_pos == later_pos {
                 return false;
             }
         }
@@ -112,23 +170,17 @@ pub fn symmetric_trajectories_never_meet(
 
 /// Enumerate all STIC classes of a graph for a fixed delay: one entry per
 /// unordered pair of distinct nodes.  Convenience for the experiments.
+///
+/// One [`FeasibilityOracle`] preparation (`O(n²·Δ)`) answers every pair, so
+/// the whole enumeration is `O(n²·Δ)` rather than one pair-graph search per
+/// pair.
 pub fn classify_all_pairs(g: &PortGraph, delta: Round) -> Vec<((NodeId, NodeId), SticClass)> {
-    let partition = OrbitPartition::compute(g);
+    let oracle = FeasibilityOracle::new(g);
     let mut out = Vec::new();
     for u in g.nodes() {
         for v in g.nodes() {
             if u < v {
-                let class = if !partition.are_symmetric(u, v) {
-                    SticClass::Nonsymmetric
-                } else {
-                    let s = shrink(g, u, v).expect("search completes");
-                    if delta >= s as Round {
-                        SticClass::SymmetricFeasible { shrink: s }
-                    } else {
-                        SticClass::SymmetricInfeasible { shrink: s }
-                    }
-                };
-                out.push(((u, v), class));
+                out.push(((u, v), oracle.classify(u, v, delta)));
             }
         }
     }
@@ -165,7 +217,10 @@ mod tests {
     fn double_tree_pairs_are_feasible_from_delay_one() {
         let (g, mirror) = symmetric_double_tree(2, 3).unwrap();
         let deep = (0..g.num_nodes() / 2).find(|&v| g.degree(v) == 1).unwrap();
-        assert_eq!(classify(&g, deep, mirror[deep], 0), SticClass::SymmetricInfeasible { shrink: 1 });
+        assert_eq!(
+            classify(&g, deep, mirror[deep], 0),
+            SticClass::SymmetricInfeasible { shrink: 1 }
+        );
         assert_eq!(classify(&g, deep, mirror[deep], 1), SticClass::SymmetricFeasible { shrink: 1 });
     }
 
@@ -190,6 +245,30 @@ mod tests {
         }
         // with delay = 4 the naive "always clockwise" sequence does meet
         assert!(!symmetric_trajectories_never_meet(&g, 0, 4, 4, &[0; 12]));
+    }
+
+    #[test]
+    fn oracle_agrees_with_the_one_shot_classifier() {
+        for g in [
+            oriented_ring(7).unwrap(),
+            oriented_torus(3, 4).unwrap(),
+            lollipop(4, 3).unwrap(),
+            symmetric_double_tree(2, 2).unwrap().0,
+        ] {
+            let oracle = FeasibilityOracle::new(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    for delta in [0u128, 1, 2, 5] {
+                        assert_eq!(
+                            oracle.classify(u, v, delta),
+                            classify(&g, u, v, delta),
+                            "({u},{v}) delta {delta}"
+                        );
+                        assert_eq!(oracle.is_feasible(u, v, delta), is_feasible(&g, u, v, delta));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -68,16 +68,10 @@ pub trait LabelScheme: Sync {
 /// the *trail transcript* of the UXS application from the starting node (the
 /// sequence of degrees and entry ports the agent observes while walking
 /// `R(u)` and back).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TrailSignature {
     /// UXS provider shared with the rest of the algorithm.
     pub uxs: PseudorandomUxs,
-}
-
-impl Default for TrailSignature {
-    fn default() -> Self {
-        TrailSignature { uxs: PseudorandomUxs::default() }
-    }
 }
 
 impl TrailSignature {
@@ -238,7 +232,8 @@ mod tests {
             *result.lock().unwrap() = label;
             Ok(())
         };
-        let (trace, stats) = record_trace(g, &program as &dyn AgentProgram, start, Round::MAX, 1 << 22);
+        let (trace, stats) =
+            record_trace(g, &program as &dyn AgentProgram, start, Round::MAX, 1 << 22);
         assert!(trace.terminated);
         assert_eq!(trace.final_position(), start, "label computation must end at the start");
         (result.into_inner().unwrap(), stats.rounds - 1)

@@ -115,16 +115,8 @@ pub enum LeaderElection {
 pub fn elect_leader(entries_a: &[Option<Port>], entries_b: &[Option<Port>]) -> LeaderElection {
     let len = entries_a.len().max(entries_b.len());
     for back in 0..len {
-        let a = entries_a
-            .len()
-            .checked_sub(back + 1)
-            .map(|i| entries_a[i])
-            .unwrap_or(None);
-        let b = entries_b
-            .len()
-            .checked_sub(back + 1)
-            .map(|i| entries_b[i])
-            .unwrap_or(None);
+        let a = entries_a.len().checked_sub(back + 1).map(|i| entries_a[i]).unwrap_or(None);
+        let b = entries_b.len().checked_sub(back + 1).map(|i| entries_b[i]).unwrap_or(None);
         match a.cmp(&b) {
             std::cmp::Ordering::Greater => return LeaderElection::AgentA,
             std::cmp::Ordering::Less => return LeaderElection::AgentB,

@@ -13,12 +13,12 @@
 //!
 //! | Paper reference | Statement | Module |
 //! |---|---|---|
-//! | Definition 3.1 | `Shrink(u, v)` | [`anonrv_graph::shrink`] (substrate) |
+//! | Definition 3.1 | `Shrink(u, v)` | [`anonrv_graph::shrink`] over the flat [`anonrv_graph::pairspace`] engine |
 //! | Lemma 3.1 | symmetric `u, v` with `δ < Shrink(u, v)` ⇒ infeasible | [`feasibility`] |
 //! | Algorithm 1/2, Lemma 3.2/3.3 | `SymmRV(n, d, δ)` meets symmetric STICs with `δ ≥ d = Shrink` in ≤ `T(n, d, δ)` rounds | [`symm_rv`], [`explore`], [`bounds`] |
 //! | Proposition 3.1 | `AsymmRV(n)` meets nonsymmetric STICs in poly(`n`) rounds | [`asymm_rv`], [`label`] (substituted, see DESIGN.md §4.2) |
 //! | Algorithm 3, Theorem 3.1 | `UniversalRV` meets **every** feasible STIC with no a-priori knowledge | [`universal_rv`], [`pairing`] |
-//! | Corollary 3.1 | feasibility ⇔ nonsymmetric ∨ (symmetric ∧ `δ ≥ Shrink`) | [`feasibility`] |
+//! | Corollary 3.1 | feasibility ⇔ nonsymmetric ∨ (symmetric ∧ `δ ≥ Shrink`) | [`feasibility`] ([`FeasibilityOracle`] answers all pairs in one `O(n²·Δ)` [`anonrv_graph::pairspace`] sweep) |
 //! | Theorem 4.1 | on `Q̂_h` some STICs at distance `D = 2k` need ≥ `2^(k−1)` rounds | [`lower_bound`] |
 //! | Proposition 4.1 | `UniversalRV` runs in `O(n + δ)^O(n + δ)` rounds | [`bounds`] |
 //! | Introduction | rendezvous ⇔ leader election | [`leader`] |
@@ -65,15 +65,15 @@ pub mod universal_rv;
 
 pub use asymm_only::AsymmOnlyUniversalRv;
 pub use asymm_rv::{AsymmRv, AsymmRvUnknownDelay};
-pub use random_baseline::{estimate_random_rendezvous, RandomBaselineEstimate, RandomWalkRv};
 pub use explore::explore;
-pub use feasibility::{classify, classify_all_pairs, is_feasible, SticClass};
+pub use feasibility::{classify, classify_all_pairs, is_feasible, FeasibilityOracle, SticClass};
 pub use label::{ExactViewLabel, LabelScheme, TrailSignature, LABEL_BITS};
 pub use leader::{elect_leader, LeaderElection, Role, WaitingForMommy};
 pub use lower_bound::{
     check_schedule_explicit, check_schedule_symbolic, LowerBoundReport, ObliviousSchedule,
     ObliviousStep, TreePosition,
 };
+pub use random_baseline::{estimate_random_rendezvous, RandomBaselineEstimate, RandomWalkRv};
 pub use symm_rv::SymmRv;
 pub use universal_rv::UniversalRv;
 
@@ -81,7 +81,7 @@ pub use universal_rv::UniversalRv;
 pub mod prelude {
     pub use crate::asymm_rv::{AsymmRv, AsymmRvUnknownDelay};
     pub use crate::bounds::{symm_rv_bound, walk_count_bound};
-    pub use crate::feasibility::{classify, is_feasible, SticClass};
+    pub use crate::feasibility::{classify, is_feasible, FeasibilityOracle, SticClass};
     pub use crate::label::{ExactViewLabel, LabelScheme, TrailSignature};
     pub use crate::leader::{elect_leader, Role, WaitingForMommy};
     pub use crate::lower_bound::{check_schedule_symbolic, ObliviousSchedule};

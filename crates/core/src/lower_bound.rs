@@ -117,7 +117,7 @@ impl ObliviousSchedule {
     /// `M(v) = γ(r)`), but it is **not** a meeting schedule.  Its length is
     /// `2k · 2^k`.
     pub fn sweep(k: usize) -> Self {
-        let mut steps = Vec::with_capacity(2 * k << k);
+        let mut steps = Vec::with_capacity((2 * k) << k);
         for mask in 0u64..(1u64 << k) {
             let gamma: Vec<Cardinal> = (0..k)
                 .map(|i| if mask >> i & 1 == 0 { Cardinal::N } else { Cardinal::E })
@@ -147,7 +147,7 @@ impl ObliviousSchedule {
     /// giving time `≈ 4k(2^k − 1) ≥ 2^(k−1)` — the upper-bound counterpart of
     /// the theorem (tight up to the `Θ(k)` factor).
     pub fn meeting_sweep(k: usize) -> Self {
-        let mut steps = Vec::with_capacity(4 * k << k);
+        let mut steps = Vec::with_capacity((4 * k) << k);
         for mask in 0u64..(1u64 << k) {
             let gamma: Vec<Cardinal> = (0..k)
                 .map(|i| if mask >> i & 1 == 0 { Cardinal::N } else { Cardinal::E })
@@ -172,7 +172,11 @@ impl AgentProgram for ObliviousSchedule {
                 ObliviousStep::Go(c) => {
                     // Q̂_h is 4-regular with cardinal ports; on any other graph
                     // this program is simply not applicable.
-                    assert_eq!(nav.degree(), 4, "oblivious schedules require a 4-regular cardinal graph");
+                    assert_eq!(
+                        nav.degree(),
+                        4,
+                        "oblivious schedules require a 4-regular cardinal graph"
+                    );
                     nav.move_via(c.port())?;
                 }
             }
@@ -226,7 +230,11 @@ impl LowerBoundReport {
 /// is the point where both agents have finished the schedule (after which no
 /// further meeting can occur because both stay put on, by then, distinct
 /// nodes).
-pub fn check_schedule_explicit(q: &QhGraph, k: usize, schedule: &ObliviousSchedule) -> LowerBoundReport {
+pub fn check_schedule_explicit(
+    q: &QhGraph,
+    k: usize,
+    schedule: &ObliviousSchedule,
+) -> LowerBoundReport {
     assert!(q.is_hat, "the lower bound environment is Q̂_h");
     let d = 2 * k as Round;
     let z = z_set(q, k).expect("Z requires 2k <= h");
@@ -291,9 +299,8 @@ pub fn check_schedule_symbolic(k: usize, schedule: &ObliviousSchedule) -> LowerB
     let threshold = 1u128 << (k.saturating_sub(1));
     let mut times = Vec::with_capacity(1usize << k);
     for mask in 0u64..(1u64 << k) {
-        let gamma: Vec<Cardinal> = (0..k)
-            .map(|i| if mask >> i & 1 == 0 { Cardinal::N } else { Cardinal::E })
-            .collect();
+        let gamma: Vec<Cardinal> =
+            (0..k).map(|i| if mask >> i & 1 == 0 { Cardinal::N } else { Cardinal::E }).collect();
         let doubled: Vec<Cardinal> = gamma.iter().chain(gamma.iter()).copied().collect();
         times.push(symbolic_meeting_time(schedule, &doubled, d));
     }
@@ -456,7 +463,8 @@ mod tests {
 
     #[test]
     fn report_accessors() {
-        let report = LowerBoundReport { k: 2, times: vec![Some(3), None, Some(5), Some(1)], threshold: 2 };
+        let report =
+            LowerBoundReport { k: 2, times: vec![Some(3), None, Some(5), Some(1)], threshold: 2 };
         assert!(!report.met_all());
         assert_eq!(report.unmet(), 1);
         assert_eq!(report.max_time(), Some(5));

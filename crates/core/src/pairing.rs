@@ -89,7 +89,7 @@ mod tests {
         for x in 1..=100u64 {
             for y in 1..=(101 - x) {
                 let z = f(x, y);
-                assert!(z >= 1 && z <= 5050, "f({x},{y}) = {z}");
+                assert!((1..=5050).contains(&z), "f({x},{y}) = {z}");
                 assert!(!seen[z as usize], "collision at {z}");
                 seen[z as usize] = true;
             }

@@ -97,8 +97,10 @@ pub fn estimate_random_rendezvous(
     let mut total: u128 = 0;
     let mut max_time: Option<Round> = None;
     for trial in 0..trials {
-        let earlier = RandomWalkRv::new(base_seed ^ (2 * trial as u64 + 1).wrapping_mul(0x9E37_79B9));
-        let later = RandomWalkRv::new(base_seed ^ (2 * trial as u64 + 2).wrapping_mul(0x51_7C_C1_B7));
+        let earlier =
+            RandomWalkRv::new(base_seed ^ (2 * trial as u64 + 1).wrapping_mul(0x9E37_79B9));
+        let later =
+            RandomWalkRv::new(base_seed ^ (2 * trial as u64 + 2).wrapping_mul(0x51_7C_C1_B7));
         let outcome = anonrv_sim::simulate_with(
             g,
             &earlier,

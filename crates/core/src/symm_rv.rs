@@ -164,12 +164,7 @@ mod tests {
         let (trace, stats) = record_trace(&g, &program, 0, Round::MAX, 1 << 22);
         assert!(trace.terminated);
         let bound = symm_rv_bound(n, d, delta, uxs.length(n));
-        assert!(
-            stats.rounds <= bound,
-            "duration {} exceeds T(n,d,δ) = {}",
-            stats.rounds,
-            bound
-        );
+        assert!(stats.rounds <= bound, "duration {} exceeds T(n,d,δ) = {}", stats.rounds, bound);
         // the procedure ends where it started
         assert_eq!(trace.final_position(), 0);
     }

@@ -83,7 +83,8 @@ impl<'a, L: LabelScheme> UniversalRv<'a, L> {
         // The substitute ends at the starting node, so the paper's backtrack
         // along the traversed path is a no-op here; realign exactly as the
         // paper does ("wait until 2(P(n) + δ) rounds from the start").
-        let asymm_target = phase_start.saturating_add(2u128.saturating_mul(p_bound.saturating_add(delta)));
+        let asymm_target =
+            phase_start.saturating_add(2u128.saturating_mul(p_bound.saturating_add(delta)));
         let now = nav.local_time();
         if now < asymm_target {
             nav.wait(asymm_target - now)?;
@@ -130,7 +131,9 @@ mod tests {
     use crate::feasibility::{classify, SticClass};
     use crate::label::TrailSignature;
     use crate::pairing::phase_of;
-    use anonrv_graph::generators::{lollipop, oriented_ring, symmetric_double_tree, two_node_graph};
+    use anonrv_graph::generators::{
+        lollipop, oriented_ring, symmetric_double_tree, two_node_graph,
+    };
     use anonrv_graph::shrink::shrink;
     use anonrv_graph::PortGraph;
     use anonrv_sim::{record_trace, simulate, Stic};

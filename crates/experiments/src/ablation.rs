@@ -21,7 +21,9 @@ use anonrv_core::symm_rv::SymmRv;
 use anonrv_graph::generators::lollipop;
 use anonrv_graph::shrink::shrink;
 use anonrv_sim::{record_trace, simulate, Round, Stic};
-use anonrv_uxs::{covers_from_all, shortest_covering_prefix, LengthRule, PseudorandomUxs, UxsProvider};
+use anonrv_uxs::{
+    covers_from_all, shortest_covering_prefix, LengthRule, PseudorandomUxs, UxsProvider,
+};
 
 use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
 use crate::suite::{nonsymmetric_pairs, nonsymmetric_workloads, symmetric_workloads, Scale};
@@ -44,7 +46,7 @@ impl Default for AblationConfig {
         AblationConfig {
             scale: Scale::Quick,
             uxs_rules: vec![
-                ("cubic", LengthRule::Cubic { c: 1, min_len: 32 }),
+                ("cubic", LengthRule::Cubic { c: 2, min_len: 32 }),
                 ("quadratic", LengthRule::Quadratic { c: 1, min_len: 16 }),
                 ("fixed-32", LengthRule::Fixed(32)),
             ],
@@ -60,7 +62,7 @@ impl AblationConfig {
         AblationConfig {
             scale: Scale::Full,
             uxs_rules: vec![
-                ("cubic", LengthRule::Cubic { c: 1, min_len: 32 }),
+                ("cubic", LengthRule::Cubic { c: 2, min_len: 32 }),
                 ("quadratic", LengthRule::Quadratic { c: 1, min_len: 16 }),
                 ("fixed-64", LengthRule::Fixed(64)),
                 ("fixed-32", LengthRule::Fixed(32)),
@@ -130,13 +132,7 @@ pub fn label_table(config: &AblationConfig) -> Table {
     let mut table = Table::new(
         "EXP-ABL-LABEL",
         "AsymmRV label scheme ablation (DESIGN.md §4.2)",
-        &[
-            "scheme",
-            "n",
-            "label rounds",
-            "distinct pairs",
-            "nonsymmetric pairs",
-        ],
+        &["scheme", "n", "label rounds", "distinct pairs", "nonsymmetric pairs"],
     );
     let trail = TrailSignature::default();
     let exact = ExactViewLabel;

@@ -20,7 +20,7 @@ use anonrv_sim::{Round, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
-use crate::runner::{run_case, Aggregate, Case, RunRecord};
+use crate::runner::{run_case_with_oracle, Aggregate, Case, RunRecord};
 use crate::suite::{nonsymmetric_delays, nonsymmetric_pairs, nonsymmetric_workloads, Scale};
 
 /// Configuration of the `AsymmRV` experiment.
@@ -87,6 +87,7 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
             .iter()
             .flat_map(|&pair| deltas.iter().map(move |&d| (pair, d)))
             .collect();
+        let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
         let batch = crate::runner::par_map(cases, |&((u, v), delta)| {
             let budget = delta.max(1);
             let program = AsymmRv::new(n, budget, &scheme, &uxs);
@@ -99,7 +100,7 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
                 horizon: bound.saturating_add(delta).saturating_add(1),
                 bound: Some(bound),
             };
-            run_case(&case, &program)
+            run_case_with_oracle(&case, &program, &oracle)
         });
         records.extend(batch);
     }
@@ -112,16 +113,7 @@ pub fn run(config: &AsymmConfig) -> Table {
     let mut table = Table::new(
         "EXP-P31",
         "AsymmRV substitute on nonsymmetric STICs (Proposition 3.1)",
-        &[
-            "family",
-            "instance",
-            "n",
-            "STICs",
-            "met",
-            "within P(n, delta)",
-            "max time",
-            "max bound",
-        ],
+        &["family", "instance", "n", "STICs", "met", "within P(n, delta)", "max time", "max bound"],
     );
     let mut labels: Vec<String> = outcome.records.iter().map(|r| r.label.clone()).collect();
     labels.dedup();
@@ -164,7 +156,11 @@ mod tests {
         assert!(!outcome.records.is_empty());
         assert!(outcome.label_collisions.is_empty(), "{:?}", outcome.label_collisions);
         for r in &outcome.records {
-            assert!(r.met, "AsymmRV must meet on {} pair ({}, {}) delta {}", r.label, r.u, r.v, r.delta);
+            assert!(
+                r.met,
+                "AsymmRV must meet on {} pair ({}, {}) delta {}",
+                r.label, r.u, r.v, r.delta
+            );
             assert!(r.within_bound(), "substitute bound violated on {:?}", r);
             assert_eq!(r.class, "nonsymmetric");
         }

@@ -18,7 +18,7 @@
 //! 3. **Classification**: the Corollary 3.1 decision procedure flags the STIC
 //!    as infeasible.
 
-use anonrv_core::feasibility::{classify, symmetric_trajectories_never_meet, SticClass};
+use anonrv_core::feasibility::{symmetric_trajectories_never_meet, FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::universal_rv::UniversalRv;
 use anonrv_sim::{simulate, Round, Stic};
@@ -116,17 +116,20 @@ fn trajectory_probes(len: usize) -> Vec<Vec<usize>> {
     probes
 }
 
-/// Gather evidence for one STIC.
+/// Gather evidence for one STIC.  `oracle` must be the
+/// [`FeasibilityOracle`] of `g` (built once per workload by [`collect`]).
+#[allow(clippy::too_many_arguments)] // mirrors the fields of InfeasibleRecord
 pub fn check_stic(
     label: &str,
     g: &anonrv_graph::PortGraph,
+    oracle: &FeasibilityOracle,
     u: usize,
     v: usize,
     shrink: usize,
     delta: Round,
     config: &InfeasibleConfig,
 ) -> InfeasibleRecord {
-    let class = classify(g, u, v, delta);
+    let class = oracle.classify(u, v, delta);
     let classified_infeasible = matches!(class, SticClass::SymmetricInfeasible { .. });
 
     let probes = trajectory_probes(3 * g.num_nodes());
@@ -167,8 +170,9 @@ pub fn check_stic(
 /// Run the experiment and collect the records.
 pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
     let workloads = symmetric_workloads(config.scale);
-    let mut cases = Vec::new();
+    let mut records = Vec::new();
     for w in &workloads {
+        let mut cases = Vec::new();
         for p in symmetric_pairs(&w.graph, config.max_pairs) {
             if p.shrink < 1 {
                 continue;
@@ -181,13 +185,15 @@ pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
             }
             deltas.dedup();
             for delta in deltas {
-                cases.push((w.label.clone(), w.graph.clone(), p.u, p.v, p.shrink, delta));
+                cases.push((p.u, p.v, p.shrink, delta));
             }
         }
+        let oracle = FeasibilityOracle::new(&w.graph);
+        records.extend(par_map(cases, |&(u, v, shrink, delta)| {
+            check_stic(&w.label, &w.graph, &oracle, u, v, shrink, delta, config)
+        }));
     }
-    par_map(cases, |(label, g, u, v, shrink, delta)| {
-        check_stic(label, g, *u, *v, *shrink, *delta, config)
-    })
+    records
 }
 
 /// Run the experiment as a report table.
@@ -257,7 +263,8 @@ mod tests {
         // sanity: with delta == Shrink the classification flips, so the
         // experiment's precondition (delta < Shrink) matters
         let g = oriented_ring(6).unwrap();
-        let r = check_stic("ring-6", &g, 0, 2, 2, 2, &InfeasibleConfig::default());
+        let oracle = FeasibilityOracle::new(&g);
+        let r = check_stic("ring-6", &g, &oracle, 0, 2, 2, 2, &InfeasibleConfig::default());
         assert!(!r.classified_infeasible);
     }
 

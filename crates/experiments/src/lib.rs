@@ -96,11 +96,9 @@ pub fn run_all(full: bool) -> Report {
     } else {
         Default::default()
     }));
-    for table in ablation::run(&if full {
-        ablation::AblationConfig::full()
-    } else {
-        Default::default()
-    }) {
+    for table in
+        ablation::run(&if full { ablation::AblationConfig::full() } else { Default::default() })
+    {
         report.push(table);
     }
     report
@@ -113,8 +111,19 @@ mod tests {
     #[test]
     fn experiment_ids_are_unique() {
         let ids = [
-            "EXP-FIG1", "EXP-SHRINK", "EXP-L31", "EXP-L32", "EXP-P31", "EXP-T31", "EXP-T41",
-            "EXP-P41", "EXP-RAND", "EXP-OPEN", "EXP-ABL-UXS", "EXP-ABL-LABEL", "EXP-ABL-PAD",
+            "EXP-FIG1",
+            "EXP-SHRINK",
+            "EXP-L31",
+            "EXP-L32",
+            "EXP-P31",
+            "EXP-T31",
+            "EXP-T41",
+            "EXP-P41",
+            "EXP-RAND",
+            "EXP-OPEN",
+            "EXP-ABL-UXS",
+            "EXP-ABL-LABEL",
+            "EXP-ABL-PAD",
         ];
         let mut sorted = ids.to_vec();
         sorted.sort_unstable();

@@ -87,8 +87,7 @@ pub fn collect(config: &OpenProblemConfig) -> Vec<OpenProblemRecord> {
 
         let asymm_only = AsymmOnlyUniversalRv::new(&uxs, &scheme);
         let asymm_only_bound = asymm_only.completion_horizon(n, delta);
-        let asymm_only_time =
-            simulate(&g, &asymm_only, &stic, asymm_only_bound).rendezvous_time();
+        let asymm_only_time = simulate(&g, &asymm_only, &stic, asymm_only_bound).rendezvous_time();
 
         let full = UniversalRv::new(&uxs, &scheme);
         let universal_bound = full.completion_horizon(n, 1, delta);

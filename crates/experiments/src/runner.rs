@@ -4,11 +4,16 @@
 //! them with rayon (data parallelism stays strictly in the experiment layer —
 //! the algorithms themselves are sequential round-by-round programs, as in
 //! the paper) and collects uniform [`RunRecord`]s.
+//!
+//! Classification inside sweeps goes through a per-graph
+//! [`FeasibilityOracle`] (one `O(n²·Δ)` pair-space preparation answering
+//! every STIC of that graph in O(1)) via [`run_case_with_oracle`]; the
+//! oracle-less [`run_case`] stays as a convenience for one-off cases.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use anonrv_core::feasibility::{classify, SticClass};
+use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_graph::{NodeId, PortGraph};
 use anonrv_sim::{simulate, AgentProgram, Round, Stic};
 
@@ -71,10 +76,22 @@ pub struct Case<'g> {
     pub bound: Option<Round>,
 }
 
-/// Simulate one case with the given program (both agents run it).
+/// Simulate one case with the given program (both agents run it), building a
+/// throwaway [`FeasibilityOracle`] for the classification.  Sweeps with many
+/// cases per graph should build the oracle once and use
+/// [`run_case_with_oracle`].
 pub fn run_case(case: &Case<'_>, program: &dyn AgentProgram) -> RunRecord {
+    run_case_with_oracle(case, program, &FeasibilityOracle::new(case.graph))
+}
+
+/// Simulate one case, classifying through a prebuilt per-graph oracle.
+pub fn run_case_with_oracle(
+    case: &Case<'_>,
+    program: &dyn AgentProgram,
+    oracle: &FeasibilityOracle,
+) -> RunRecord {
     let outcome = simulate(case.graph, program, &case.stic, case.horizon);
-    let class = classify(case.graph, case.stic.earlier, case.stic.later, case.stic.delay);
+    let class = oracle.classify(case.stic.earlier, case.stic.later, case.stic.delay);
     RunRecord {
         family: case.family.clone(),
         label: case.label.clone(),
@@ -114,22 +131,38 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    items.par_iter().map(|item| f(item)).collect()
+    items.par_iter().map(f).collect()
 }
 
 /// Run a slice of cases against per-case programs built by `make_program`, in
 /// parallel.  The program factory receives the case so that parameters (such
 /// as the assumed size `n`) can depend on the instance.
+///
+/// One [`FeasibilityOracle`] is prepared per *distinct graph* in the batch
+/// (compared by address) and shared by every case on it, so classification
+/// costs `O(n²·Δ)` once per graph instead of once per case.
 pub fn par_run_cases<'g, F, P>(cases: Vec<Case<'g>>, make_program: F) -> Vec<RunRecord>
 where
     F: Fn(&Case<'g>) -> P + Sync,
     P: AgentProgram,
 {
+    let mut graphs: Vec<&PortGraph> = Vec::new();
+    for case in &cases {
+        if !graphs.iter().any(|g| std::ptr::eq(*g, case.graph)) {
+            graphs.push(case.graph);
+        }
+    }
+    let oracles: Vec<FeasibilityOracle> =
+        graphs.iter().map(|g| FeasibilityOracle::new(g)).collect();
     cases
         .par_iter()
         .map(|case| {
+            let which = graphs
+                .iter()
+                .position(|g| std::ptr::eq(*g, case.graph))
+                .expect("every case graph was indexed above");
             let program = make_program(case);
-            run_case(case, &program)
+            run_case_with_oracle(case, &program, &oracles[which])
         })
         .collect()
 }

@@ -180,8 +180,10 @@ mod tests {
         for r in collect(&tiny()) {
             let t = r.time.expect("feasible STIC must be solved");
             assert!(t <= r.completion_bound, "{r:?}");
-            assert!(r.resolving_phase as u128 <= r.phase_shape as u128 * 4,
-                "the resolving phase should respect the O(n^4 + delta^2) shape: {r:?}");
+            assert!(
+                r.resolving_phase as u128 <= r.phase_shape as u128 * 4,
+                "the resolving phase should respect the O(n^4 + delta^2) shape: {r:?}"
+            );
         }
     }
 

@@ -9,7 +9,7 @@ use anonrv_graph::generators::{
     caterpillar, complete_bipartite, grid, hypercube, kary_tree, lollipop, oriented_ring,
     oriented_torus, path, random_connected, star, symmetric_double_tree,
 };
-use anonrv_graph::shrink::shrink;
+use anonrv_graph::pairspace::ShrinkEngine;
 use anonrv_graph::symmetry::OrbitPartition;
 use anonrv_graph::{NodeId, PortGraph};
 
@@ -190,13 +190,16 @@ pub fn nonsymmetric_workloads(scale: Scale) -> Vec<Workload> {
 /// deterministically.
 pub fn symmetric_pairs(g: &PortGraph, max_pairs: usize) -> Vec<SymmetricPair> {
     let partition = OrbitPartition::compute(g);
+    // One pair-space engine serves every Shrink and distance lookup below
+    // (`all_pairs` would also work, but representative-restricted sweeps
+    // rarely touch more than a few sources, so per-pair flat BFS is cheaper).
+    let engine = ShrinkEngine::new(g);
     let mut out = Vec::new();
     'outer: for &u in &partition.representatives() {
         for v in g.nodes() {
             if v != u && partition.are_symmetric(u, v) {
-                let s = shrink(g, u, v).expect("shrink search completes");
-                let dist = anonrv_graph::distance::distance(g, u, v);
-                out.push(SymmetricPair { u, v, shrink: s, distance: dist });
+                let s = engine.shrink(u, v);
+                out.push(SymmetricPair { u, v, shrink: s, distance: engine.distance(u, v) });
                 if out.len() >= max_pairs {
                     break 'outer;
                 }
@@ -258,11 +261,7 @@ mod tests {
                     w.label
                 );
             } else {
-                assert!(
-                    partition.is_fully_symmetric(),
-                    "{} should have a single orbit",
-                    w.label
-                );
+                assert!(partition.is_fully_symmetric(), "{} should have a single orbit", w.label);
             }
             assert!(w.graph.is_connected());
             assert!(w.n() >= 2);

@@ -15,7 +15,7 @@ use anonrv_sim::{Round, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
 
 use crate::report::{fmt_opt_rounds, fmt_ratio, fmt_rounds, Table};
-use crate::runner::{run_case, Aggregate, Case, RunRecord};
+use crate::runner::{run_case_with_oracle, Aggregate, Case, RunRecord};
 use crate::suite::{symmetric_delays, symmetric_pairs, symmetric_workloads, Scale};
 
 /// Configuration of the `SymmRV` experiment.
@@ -80,6 +80,7 @@ pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
             .enumerate()
             .flat_map(|(i, p)| symmetric_delays(p.shrink).into_iter().map(move |d| (i, d)))
             .collect();
+        let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
         let batch = crate::runner::par_map(cases, |&(i, delta)| {
             let p = &pairs[i];
             let bound = symm_rv_bound(n, p.shrink, delta, m);
@@ -92,7 +93,7 @@ pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
                 bound: Some(bound),
             };
             let program = SymmRv::new(n, p.shrink, delta, &uxs);
-            run_case(&case, &program)
+            run_case_with_oracle(&case, &program, &oracle)
         });
         records.extend(batch);
     }
@@ -157,7 +158,11 @@ mod tests {
         let records = collect(&config);
         assert!(!records.is_empty());
         for r in &records {
-            assert!(r.met, "SymmRV must meet on {} pair ({}, {}) delta {}", r.label, r.u, r.v, r.delta);
+            assert!(
+                r.met,
+                "SymmRV must meet on {} pair ({}, {}) delta {}",
+                r.label, r.u, r.v, r.delta
+            );
             assert!(r.within_bound(), "Lemma 3.3 bound violated on {:?}", r);
             assert_eq!(r.class, "symmetric-feasible");
         }
@@ -168,10 +173,8 @@ mod tests {
         let config = SymmConfig { max_pairs: 1, max_shrink: 1, ..SymmConfig::default() };
         let table = run(&config);
         assert!(table.num_rows() >= 1);
-        for (met, total) in table
-            .column_values("met")
-            .iter()
-            .zip(table.column_values("STICs").iter())
+        for (met, total) in
+            table.column_values("met").iter().zip(table.column_values("STICs").iter())
         {
             assert_eq!(met, total);
         }

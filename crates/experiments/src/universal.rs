@@ -13,7 +13,7 @@
 //! to STICs whose resolving phase index stays below a configurable budget;
 //! EXPERIMENTS.md records the exact instances used.
 
-use anonrv_core::feasibility::{classify, SticClass};
+use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::pairing::phase_of;
 use anonrv_core::universal_rv::UniversalRv;
@@ -113,6 +113,10 @@ struct Planned {
     v: usize,
     delta: Round,
     resolving_phase: u64,
+    /// Classification, resolved at planning time through the per-workload
+    /// [`anonrv_core::FeasibilityOracle`] so the parallel simulation loop
+    /// does no pair-space work.
+    class: SticClass,
 }
 
 fn plan(config: &UniversalConfig) -> Vec<Planned> {
@@ -131,6 +135,7 @@ fn plan(config: &UniversalConfig) -> Vec<Planned> {
         if !anonrv_uxs::covers_from_all(&w.graph, &anonrv_uxs::UxsProvider::sequence(&uxs, w.n())) {
             continue;
         }
+        let oracle = FeasibilityOracle::new(&w.graph);
         for (u, v) in nonsymmetric_pairs(&w.graph, config.max_pairs) {
             if !anonrv_core::label::LabelScheme::labels_distinct(&scheme, &w.graph, u, v, w.n()) {
                 continue;
@@ -145,6 +150,7 @@ fn plan(config: &UniversalConfig) -> Vec<Planned> {
                         v,
                         delta,
                         resolving_phase: phase,
+                        class: oracle.classify(u, v, delta),
                     });
                 }
             }
@@ -171,6 +177,7 @@ fn plan(config: &UniversalConfig) -> Vec<Planned> {
                 v: p.v,
                 delta: p.shrink as Round,
                 resolving_phase: phase,
+                class: SticClass::SymmetricFeasible { shrink: p.shrink },
             });
             if p.shrink >= 1 {
                 planned.push(Planned {
@@ -180,6 +187,7 @@ fn plan(config: &UniversalConfig) -> Vec<Planned> {
                     v: p.v,
                     delta: p.shrink as Round - 1,
                     resolving_phase: phase,
+                    class: SticClass::SymmetricInfeasible { shrink: p.shrink },
                 });
             }
         }
@@ -195,7 +203,7 @@ pub fn collect(config: &UniversalConfig) -> Vec<UniversalRecord> {
         let uxs = PseudorandomUxs::with_rule(uxs_rule);
         let scheme = TrailSignature::new(uxs);
         let algo = UniversalRv::new(&uxs, &scheme);
-        let class = classify(&p.graph, p.u, p.v, p.delta);
+        let class = p.class;
         let (n_hint, d_hint) = match class {
             SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => {
                 (p.graph.num_nodes(), shrink.max(1))
@@ -281,10 +289,7 @@ mod tests {
         assert!(records.iter().any(|r| r.feasible));
         assert!(records.iter().any(|r| !r.feasible));
         for r in &records {
-            assert!(
-                r.agrees_with_characterisation(),
-                "characterisation mismatch on {r:?}"
-            );
+            assert!(r.agrees_with_characterisation(), "characterisation mismatch on {r:?}");
         }
     }
 

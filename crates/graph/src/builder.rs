@@ -191,10 +191,7 @@ mod tests {
     fn duplicate_ports_are_rejected() {
         let mut b = PortGraphBuilder::new(3);
         b.add_edge(0, 0, 1, 0).unwrap();
-        assert_eq!(
-            b.add_edge(0, 0, 2, 0),
-            Err(GraphError::DuplicatePort { node: 0, port: 0 })
-        );
+        assert_eq!(b.add_edge(0, 0, 2, 0), Err(GraphError::DuplicatePort { node: 0, port: 0 }));
     }
 
     #[test]

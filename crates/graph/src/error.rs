@@ -112,10 +112,7 @@ mod tests {
     #[test]
     fn invalid_helper_builds_parameter_error() {
         let e = GraphError::invalid("n must be at least 3");
-        assert_eq!(
-            e,
-            GraphError::InvalidParameter { reason: "n must be at least 3".to_string() }
-        );
+        assert_eq!(e, GraphError::InvalidParameter { reason: "n must be at least 3".to_string() });
         assert!(e.to_string().contains("n must be at least 3"));
     }
 

@@ -90,9 +90,8 @@ pub fn complete_bipartite(a: usize, b: usize) -> Result<PortGraph> {
     if a + b < 2 {
         return Err(GraphError::invalid("complete_bipartite requires at least 2 nodes"));
     }
-    let lists: Vec<Vec<usize>> = (0..a + b)
-        .map(|i| if i < a { (a..a + b).collect() } else { (0..a).collect() })
-        .collect();
+    let lists: Vec<Vec<usize>> =
+        (0..a + b).map(|i| if i < a { (a..a + b).collect() } else { (0..a).collect() }).collect();
     PortGraphBuilder::from_adjacency_lists(&lists)
 }
 

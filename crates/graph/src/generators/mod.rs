@@ -25,4 +25,4 @@ pub use basic::{
 pub use qh::{qh_hat, qh_tree, z_set, Cardinal, QhGraph};
 pub use random::{random_connected, random_regular};
 pub use torus::{grid, oriented_torus};
-pub use trees::{caterpillar, kary_tree, symmetric_double_tree, symmetric_double_graph};
+pub use trees::{caterpillar, kary_tree, symmetric_double_graph, symmetric_double_tree};

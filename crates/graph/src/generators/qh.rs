@@ -223,7 +223,9 @@ pub fn qh_tree(h: usize) -> Result<QhGraph> {
 /// All nodes of `Q̂_h` have identical views.
 pub fn qh_hat(h: usize) -> Result<QhGraph> {
     if h < 2 {
-        return Err(GraphError::invalid("Q̂_h requires h >= 2 (with h = 1 the leaf cycles degenerate)"));
+        return Err(GraphError::invalid(
+            "Q̂_h requires h >= 2 (with h = 1 the leaf cycles degenerate)",
+        ));
     }
     let mut skel = build_skeleton(h, true)?;
     let x = skel.leaves[0].len();
@@ -235,18 +237,8 @@ pub fn qh_hat(h: usize) -> Result<QhGraph> {
 
     // Pairing edges: N_i — S_i (port S at N_i, N at S_i); E_i — W_i (port W at E_i, E at W_i).
     for i in 0..x {
-        skel.builder.add_edge(
-            n_leaves[i],
-            Cardinal::S.port(),
-            s_leaves[i],
-            Cardinal::N.port(),
-        )?;
-        skel.builder.add_edge(
-            e_leaves[i],
-            Cardinal::W.port(),
-            w_leaves[i],
-            Cardinal::E.port(),
-        )?;
+        skel.builder.add_edge(n_leaves[i], Cardinal::S.port(), s_leaves[i], Cardinal::N.port())?;
+        skel.builder.add_edge(e_leaves[i], Cardinal::W.port(), w_leaves[i], Cardinal::E.port())?;
     }
 
     // The four alternating cycles.  In each cycle, consecutive vertices are
@@ -293,10 +285,7 @@ pub fn qh_hat(h: usize) -> Result<QhGraph> {
 /// Requires `2k ≤ h` so that the doubled sequence stays inside the tree.
 pub fn z_set(q: &QhGraph, k: usize) -> Result<Vec<NodeId>> {
     if 2 * k > q.h {
-        return Err(GraphError::invalid(format!(
-            "z_set requires 2k <= h (k={k}, h={})",
-            q.h
-        )));
+        return Err(GraphError::invalid(format!("z_set requires 2k <= h (k={k}, h={})", q.h)));
     }
     if k >= usize::BITS as usize {
         return Err(GraphError::invalid("k too large"));

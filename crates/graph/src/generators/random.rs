@@ -72,12 +72,12 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<PortGraph> {
     if n < 2 || d == 0 || d >= n {
         return Err(GraphError::invalid("random_regular requires n >= 2 and 0 < d < n"));
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::invalid("random_regular requires n*d even"));
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     'attempt: for _ in 0..200 {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut rng);
         let mut b = PortGraphBuilder::new(n);
         let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();

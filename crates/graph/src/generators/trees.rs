@@ -53,7 +53,10 @@ pub fn symmetric_double_tree(arity: usize, depth: usize) -> Result<(PortGraph, V
 /// of `half` and join `anchor` to its copy by a new edge carrying port
 /// `deg(anchor)` at both extremities.  Returns the doubled graph and the
 /// mirror map.  Every pair `(v, mirror[v])` is symmetric in the result.
-pub fn symmetric_double_graph(half: &PortGraph, anchor: NodeId) -> Result<(PortGraph, Vec<NodeId>)> {
+pub fn symmetric_double_graph(
+    half: &PortGraph,
+    anchor: NodeId,
+) -> Result<(PortGraph, Vec<NodeId>)> {
     let s = half.num_nodes();
     if anchor >= s {
         return Err(GraphError::NodeOutOfRange { node: anchor, n: s });

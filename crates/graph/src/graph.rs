@@ -87,9 +87,11 @@ impl PortGraph {
     pub fn try_succ(&self, v: NodeId, p: Port) -> Result<(NodeId, Port)> {
         let n = self.num_nodes();
         let list = self.adj.get(v).ok_or(GraphError::NodeOutOfRange { node: v, n })?;
-        list.get(p)
-            .copied()
-            .ok_or(GraphError::PortOutOfRange { node: v, port: p, degree: list.len() })
+        list.get(p).copied().ok_or(GraphError::PortOutOfRange {
+            node: v,
+            port: p,
+            degree: list.len(),
+        })
     }
 
     /// Iterator over the node indices `0..n`.
@@ -150,12 +152,9 @@ impl PortGraph {
                 }
                 seen_neighbours.push(w);
                 // the reverse half-edge must exist and point back through `p`
-                let back = self
-                    .adj
-                    .get(w)
-                    .and_then(|lw| lw.get(q))
-                    .copied()
-                    .ok_or(GraphError::PortOutOfRange { node: w, port: q, degree: self.degree(w) })?;
+                let back = self.adj.get(w).and_then(|lw| lw.get(q)).copied().ok_or(
+                    GraphError::PortOutOfRange { node: w, port: q, degree: self.degree(w) },
+                )?;
                 if back != (v, p) {
                     return Err(GraphError::DuplicatePort { node: w, port: q });
                 }

@@ -25,6 +25,10 @@
 //! * [`quotient`] — the quotient (minimal base) graph of the view
 //!   equivalence;
 //! * [`shrink`] — the paper's `Shrink(u, v)` quantity (Definition 3.1);
+//! * [`pairspace`] — the flat product-space engine behind `Shrink`: a dense
+//!   CSR pair graph with a precomputed distance matrix, answering single
+//!   pairs by flat BFS and **all `n²` pairs in one `O(n²·Δ)` sweep**
+//!   ([`pairspace::ShrinkEngine::all_pairs`]);
 //! * [`traversal`] / [`distance`] — port-sequence application `α(x)`,
 //!   reverse paths, BFS distances;
 //! * [`render`] — DOT / ASCII rendering used to reproduce Figure 1.
@@ -50,6 +54,7 @@ pub mod distance;
 pub mod error;
 pub mod generators;
 pub mod graph;
+pub mod pairspace;
 pub mod quotient;
 pub mod render;
 pub mod shrink;

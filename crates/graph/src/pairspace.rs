@@ -1,0 +1,462 @@
+//! Flat product-space (“pair graph”) engine behind `Shrink`.
+//!
+//! The pair graph of a port-labelled graph `G` with `n` nodes has one state
+//! per **ordered pair** `(a, b)` of nodes (indexed flat as `a·n + b`), and a
+//! transition `(a, b) → (succ(a, p), succ(b, p))` for every port
+//! `p < min(deg a, deg b)` — the moves available to two agents blindly
+//! copying each other, which is exactly the situation of identical
+//! deterministic agents started on symmetric nodes.  `Shrink(u, v)`
+//! (Definition 3.1) is the minimum of `dist(a, b)` over the pair states
+//! reachable from `(u, v)`.
+//!
+//! This module replaces the per-pair `HashMap`-backed BFS previously used by
+//! [`crate::shrink`] with dense flat tables:
+//!
+//! * [`ShrinkEngine::new`] precomputes the full `n × n` distance matrix as a
+//!   flat `Vec<u32>` plus a CSR copy of the successor tables —
+//!   `O(n·(n + m))` time, `O(n²)` memory — shared by every subsequent query;
+//! * [`ShrinkEngine::shrink`] / [`ShrinkEngine::shrink_detailed`] answer a
+//!   single-pair query with a flat-array BFS over the reachable pair states
+//!   (`O(n²·Δ)` worst case, allocation-light, with witness reconstruction);
+//! * [`ShrinkEngine::all_pairs`] computes `Shrink` for **all n² ordered
+//!   pairs in one pass**: pair states are bucketed by `dist(a, b)` and the
+//!   buckets are swept in ascending order, propagating each value backwards
+//!   over the *reversed* product edges.  A state is finalised the first time
+//!   the sweep reaches it, so every product edge is relaxed exactly once and
+//!   the whole computation is `O(n²·Δ)` — the same asymptotic cost the old
+//!   code paid for a *single* unlucky pair, and `n²/2` times cheaper than
+//!   the old all-pairs path.
+//!
+//! Correctness of the sweep: let `S(x) = min { dist(y) : y reachable from
+//! x }` (so `Shrink(u, v) = S(u·n + v)`).  Sweeping values `t = 0, 1, ...`
+//! in order, the reverse-BFS started from the (still unfinalised) states
+//! with `dist = t` reaches exactly the unfinalised states that can reach a
+//! `dist = t` state; any state with a smaller reachable value was finalised
+//! in an earlier bucket, so the first value that reaches a state is its
+//! minimum.
+
+use std::collections::VecDeque;
+
+use crate::distance::bfs_distances;
+use crate::graph::{NodeId, PortGraph};
+use crate::shrink::ShrinkResult;
+
+/// Sentinel for “not yet reached” in the flat tables.
+const UNSET: u32 = u32::MAX;
+
+/// `Shrink(u, v)` for every ordered pair of a graph, as a flat matrix.
+///
+/// Produced by [`ShrinkEngine::all_pairs`]; `get` is O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllPairsShrink {
+    n: usize,
+    values: Vec<u32>,
+}
+
+impl AllPairsShrink {
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// `Shrink(u, v)`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> usize {
+        assert!(u < self.n && v < self.n, "node out of range");
+        self.values[u * self.n + v] as usize
+    }
+}
+
+/// Batch `Shrink` solver over a dense copy of one graph.
+///
+/// Construction cost is `O(n·(n + m))` (one BFS per node for the distance
+/// matrix); it is repaid as soon as more than one pair is queried, and the
+/// one-pass [`ShrinkEngine::all_pairs`] sweep amortises it over all `n²`
+/// pairs at once.
+pub struct ShrinkEngine {
+    n: usize,
+    /// Flat distance matrix: `dist[a·n + b] = dist(a, b)`.
+    dist: Vec<u32>,
+    /// CSR successor tables: the neighbours of `v` (by port order) are
+    /// `succ[deg_offset[v] .. deg_offset[v + 1]]`.
+    deg_offset: Vec<u32>,
+    succ: Vec<u32>,
+}
+
+impl ShrinkEngine {
+    /// Build the engine for `g`.
+    ///
+    /// Node counts are limited to `u32` index space (`n ≤ 65535` keeps the
+    /// `n²` pair index within `u32`), far beyond the sizes a quadratic
+    /// distance matrix is sensible for anyway.
+    pub fn new(g: &PortGraph) -> Self {
+        let n = g.num_nodes();
+        assert!(n <= u16::MAX as usize, "pair-space engine supports up to 65535 nodes");
+        let mut dist = Vec::with_capacity(n * n);
+        for v in 0..n {
+            let row = bfs_distances(g, v);
+            dist.extend(row.into_iter().map(|d| d as u32));
+        }
+        let mut deg_offset = Vec::with_capacity(n + 1);
+        let mut succ = Vec::new();
+        deg_offset.push(0u32);
+        for v in 0..n {
+            for p in 0..g.degree(v) {
+                succ.push(g.succ(v, p).0 as u32);
+            }
+            deg_offset.push(succ.len() as u32);
+        }
+        ShrinkEngine { n, dist, deg_offset, succ }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Graph distance `dist(a, b)` from the precomputed flat matrix.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.dist[a * self.n + b] as usize
+    }
+
+    #[inline]
+    fn degree(&self, v: usize) -> usize {
+        (self.deg_offset[v + 1] - self.deg_offset[v]) as usize
+    }
+
+    /// Successors of pair state `(a, b)`: the common-port transitions.
+    #[inline]
+    fn pair_successors(&self, a: usize, b: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let ports = self.degree(a).min(self.degree(b));
+        let oa = self.deg_offset[a] as usize;
+        let ob = self.deg_offset[b] as usize;
+        (0..ports).map(move |p| (self.succ[oa + p] as usize, self.succ[ob + p] as usize))
+    }
+
+    /// Total number of product-graph edges, `Σ_{a,b} min(deg a, deg b)`,
+    /// computed from the sorted degree sequence (each sorted position `i` is
+    /// the minimum for the `2·(n−1−i) + 1` ordered pairs whose other
+    /// coordinate sorts at or after it).
+    fn num_product_edges(&self) -> u128 {
+        let mut degs: Vec<u128> = (0..self.n).map(|v| self.degree(v) as u128).collect();
+        degs.sort_unstable();
+        let n = self.n as u128;
+        degs.iter().enumerate().map(|(i, &d)| d * (2 * (n - 1 - i as u128) + 1)).sum()
+    }
+
+    /// `Shrink(u, v)` for **every ordered pair** in one `O(n²·Δ)` sweep.
+    ///
+    /// # Panics
+    /// Panics if the product graph has more than `u32::MAX` edges (only
+    /// reachable far beyond the sizes the quadratic distance matrix is
+    /// practical for) — the CSR offsets are kept in `u32` to halve the
+    /// sweep's memory traffic, and overflowing them must be loud, not a
+    /// silently corrupt table.
+    pub fn all_pairs(&self) -> AllPairsShrink {
+        let n = self.n;
+        let nn = n * n;
+        assert!(
+            self.num_product_edges() <= u32::MAX as u128,
+            "product graph exceeds u32 edge index space"
+        );
+
+        // Reversed product edges in CSR form.  Pass 1 counts the in-degree of
+        // every pair state, pass 2 fills the predecessor lists.
+        let mut rev_offset = vec![0u32; nn + 1];
+        for a in 0..n {
+            for b in 0..n {
+                for (a2, b2) in self.pair_successors(a, b) {
+                    rev_offset[a2 * n + b2 + 1] += 1;
+                }
+            }
+        }
+        for i in 0..nn {
+            rev_offset[i + 1] += rev_offset[i];
+        }
+        let mut rev_edges = vec![0u32; rev_offset[nn] as usize];
+        let mut cursor: Vec<u32> = rev_offset[..nn].to_vec();
+        for a in 0..n {
+            for b in 0..n {
+                let k = (a * n + b) as u32;
+                for (a2, b2) in self.pair_successors(a, b) {
+                    let slot = &mut cursor[a2 * n + b2];
+                    rev_edges[*slot as usize] = k;
+                    *slot += 1;
+                }
+            }
+        }
+
+        // Bucket pair states by dist(a, b) (counting sort).
+        let max_d = self.dist.iter().copied().max().unwrap_or(0) as usize;
+        let mut bucket_offset = vec![0u32; max_d + 2];
+        for &d in &self.dist {
+            bucket_offset[d as usize + 1] += 1;
+        }
+        for t in 0..=max_d {
+            bucket_offset[t + 1] += bucket_offset[t];
+        }
+        let mut buckets = vec![0u32; nn];
+        let mut bcursor: Vec<u32> = bucket_offset[..=max_d].to_vec();
+        for (k, &d) in self.dist.iter().enumerate() {
+            let slot = &mut bcursor[d as usize];
+            buckets[*slot as usize] = k as u32;
+            *slot += 1;
+        }
+
+        // Ascending-value sweep with reverse propagation.
+        let mut values = vec![UNSET; nn];
+        let mut stack: Vec<u32> = Vec::new();
+        for t in 0..=max_d {
+            let lo = bucket_offset[t] as usize;
+            let hi = bucket_offset[t + 1] as usize;
+            for &k in &buckets[lo..hi] {
+                if values[k as usize] == UNSET {
+                    values[k as usize] = t as u32;
+                    stack.push(k);
+                }
+            }
+            while let Some(x) = stack.pop() {
+                let lo = rev_offset[x as usize] as usize;
+                let hi = rev_offset[x as usize + 1] as usize;
+                for &y in &rev_edges[lo..hi] {
+                    if values[y as usize] == UNSET {
+                        values[y as usize] = t as u32;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        debug_assert!(values.iter().all(|&v| v != UNSET), "every pair state has a distance");
+
+        AllPairsShrink { n, values }
+    }
+
+    /// Single-pair `Shrink(u, v)` (forward flat BFS, stopping early when the
+    /// global minimum `0` is reached).
+    pub fn shrink(&self, u: NodeId, v: NodeId) -> usize {
+        self.search(u, v, usize::MAX, false).expect("unbounded search always completes").shrink
+    }
+
+    /// Single-pair query with an exploration budget: gives up (returning
+    /// `None`) after more than `max_pairs` pair states have been expanded.
+    pub fn shrink_bounded(&self, u: NodeId, v: NodeId, max_pairs: usize) -> Option<usize> {
+        self.search(u, v, max_pairs, false).map(|r| r.shrink)
+    }
+
+    /// Full single-pair computation with a witness port sequence realising
+    /// the minimum.  `None` only when the `max_pairs` budget is exhausted.
+    pub fn shrink_detailed(&self, u: NodeId, v: NodeId, max_pairs: usize) -> Option<ShrinkResult> {
+        self.search(u, v, max_pairs, true)
+    }
+
+    fn search(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        max_pairs: usize,
+        want_witness: bool,
+    ) -> Option<ShrinkResult> {
+        let n = self.n;
+        assert!(u < n && v < n, "node out of range");
+        if u == v {
+            return Some(ShrinkResult {
+                shrink: 0,
+                witness: Vec::new(),
+                closest_pair: (u, u),
+                explored_pairs: 1,
+            });
+        }
+        let start = (u * n + v) as u32;
+        // `parent[k]` doubles as the visited marker; for the start state it
+        // holds itself (the reconstruction loop stops there).
+        let mut parent = vec![UNSET; n * n];
+        let mut port_used = if want_witness { vec![0u32; n * n] } else { Vec::new() };
+        parent[start as usize] = start;
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+
+        let mut best = self.dist[start as usize];
+        let mut best_key = start;
+        let mut explored = 0usize;
+
+        'bfs: while let Some(k) = queue.pop_front() {
+            explored += 1;
+            if best == 0 {
+                break;
+            }
+            if explored > max_pairs {
+                return None;
+            }
+            let (a, b) = ((k as usize) / n, (k as usize) % n);
+            for (p, (a2, b2)) in self.pair_successors(a, b).enumerate() {
+                let k2 = (a2 * n + b2) as u32;
+                if parent[k2 as usize] == UNSET {
+                    parent[k2 as usize] = k;
+                    if want_witness {
+                        port_used[k2 as usize] = p as u32;
+                    }
+                    let d = self.dist[k2 as usize];
+                    if d < best {
+                        best = d;
+                        best_key = k2;
+                        if best == 0 {
+                            // the global minimum; stop expanding immediately
+                            break 'bfs;
+                        }
+                    }
+                    queue.push_back(k2);
+                }
+            }
+        }
+
+        let mut witness = Vec::new();
+        if want_witness {
+            let mut cur = best_key;
+            while cur != start {
+                witness.push(port_used[cur as usize] as usize);
+                cur = parent[cur as usize];
+            }
+            witness.reverse();
+        }
+        let closest = best_key as usize;
+        Some(ShrinkResult {
+            shrink: best as usize,
+            witness,
+            closest_pair: (closest / n, closest % n),
+            explored_pairs: explored,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance;
+    use crate::generators::{
+        hypercube, lollipop, oriented_ring, oriented_torus, path, random_connected,
+        symmetric_double_tree,
+    };
+    use crate::shrink::{shrink_brute_force, shrink_reference_bfs};
+
+    fn engine_matches_reference(g: &PortGraph) {
+        let engine = ShrinkEngine::new(g);
+        let all = engine.all_pairs();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let reference = shrink_reference_bfs(g, u, v);
+                assert_eq!(all.get(u, v), reference, "all_pairs vs reference on ({u},{v})");
+                assert_eq!(engine.shrink(u, v), reference, "single-pair vs reference on ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_matches_the_reference_bfs_on_every_family() {
+        for g in [
+            oriented_ring(7).unwrap(),
+            oriented_torus(3, 4).unwrap(),
+            hypercube(3).unwrap(),
+            path(6).unwrap(),
+            lollipop(4, 3).unwrap(),
+            symmetric_double_tree(2, 3).unwrap().0,
+            random_connected(9, 5, 11).unwrap(),
+            random_connected(10, 0, 3).unwrap(),
+        ] {
+            engine_matches_reference(&g);
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric_and_zero_exactly_on_the_diagonal_of_symmetric_families() {
+        let g = oriented_torus(4, 4).unwrap();
+        let all = ShrinkEngine::new(&g).all_pairs();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(all.get(u, v), all.get(v, u));
+                assert_eq!(all.get(u, v) == 0, u == v);
+                assert!(all.get(u, v) <= distance(&g, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_agrees_where_its_horizon_suffices() {
+        for g in [oriented_ring(5).unwrap(), path(5).unwrap(), hypercube(3).unwrap()] {
+            let engine = ShrinkEngine::new(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let detailed = engine.shrink_detailed(u, v, usize::MAX).unwrap();
+                    if detailed.witness.len() <= 6 {
+                        assert_eq!(detailed.shrink, shrink_brute_force(&g, u, v, 6), "({u},{v})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_realise_the_reported_value() {
+        use crate::traversal::apply_ports_end;
+        let (g, mirror) = symmetric_double_tree(2, 3).unwrap();
+        let engine = ShrinkEngine::new(&g);
+        for v in g.nodes() {
+            let m = mirror[v];
+            if m == v {
+                continue;
+            }
+            let r = engine.shrink_detailed(v, m, usize::MAX).unwrap();
+            let a = apply_ports_end(&g, v, &r.witness).unwrap();
+            let b = apply_ports_end(&g, m, &r.witness).unwrap();
+            assert_eq!(distance(&g, a, b), r.shrink);
+            assert_eq!((a, b), r.closest_pair);
+        }
+    }
+
+    #[test]
+    fn bounded_search_budget_is_respected() {
+        let g = oriented_torus(5, 5).unwrap();
+        let engine = ShrinkEngine::new(&g);
+        assert_eq!(engine.shrink_bounded(0, 12, 1), None);
+        assert!(engine.shrink_bounded(0, 12, 100_000).is_some());
+    }
+
+    #[test]
+    fn merging_pairs_shrink_to_zero() {
+        // On a path, port 0 from both endpoints of a length-2 segment merges
+        // the two agents: Shrink can genuinely reach 0 for distinct
+        // (nonsymmetric) nodes, and the engine must report it.
+        let g = path(3).unwrap();
+        let engine = ShrinkEngine::new(&g);
+        assert_eq!(engine.shrink(0, 2), 0);
+        assert_eq!(engine.all_pairs().get(0, 2), 0);
+    }
+
+    #[test]
+    fn product_edge_count_matches_the_direct_double_loop() {
+        for g in [lollipop(4, 3).unwrap(), path(5).unwrap(), oriented_torus(3, 4).unwrap()] {
+            let engine = ShrinkEngine::new(&g);
+            let mut direct = 0u128;
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    direct += g.degree(a).min(g.degree(b)) as u128;
+                }
+            }
+            assert_eq!(engine.num_product_edges(), direct);
+        }
+    }
+
+    #[test]
+    fn distance_matrix_is_exposed_flat() {
+        let g = oriented_ring(6).unwrap();
+        let engine = ShrinkEngine::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(engine.distance(u, v), distance(&g, u, v));
+            }
+        }
+    }
+}

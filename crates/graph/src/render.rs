@@ -25,7 +25,9 @@ pub fn to_dot(g: &PortGraph, name: &str) -> String {
 /// Render the graph in DOT with cardinal port letters (`N/E/S/W`) instead of
 /// numbers — the natural rendering for `Q_h` / `Q̂_h` (Figure 1).
 pub fn to_dot_cardinal(g: &PortGraph, name: &str) -> String {
-    let letter = |p: usize| Cardinal::from_port(p).map(|c| c.letter().to_string()).unwrap_or_else(|| p.to_string());
+    let letter = |p: usize| {
+        Cardinal::from_port(p).map(|c| c.letter().to_string()).unwrap_or_else(|| p.to_string())
+    };
     let mut out = String::new();
     let _ = writeln!(out, "graph {name} {{");
     let _ = writeln!(out, "  node [shape=circle, label=\"\"];");
@@ -48,8 +50,7 @@ pub fn to_text(g: &PortGraph) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "nodes: {}, edges: {}", g.num_nodes(), g.num_edges());
     for v in g.nodes() {
-        let ports: Vec<String> =
-            g.ports(v).map(|(p, w, q)| format!("{p}->{w}@{q}")).collect();
+        let ports: Vec<String> = g.ports(v).map(|(p, w, q)| format!("{p}->{w}@{q}")).collect();
         let _ = writeln!(out, "  {v} (deg {}): {}", g.degree(v), ports.join("  "));
     }
     out
@@ -62,7 +63,15 @@ pub fn figure1_text(q: &QhGraph) -> String {
     let g = &q.graph;
     let mut out = String::new();
     let kind = if q.is_hat { "Q̂" } else { "Q" };
-    let _ = writeln!(out, "{}_{} : {} nodes, {} edges, x = 3^(h-1) = {}", kind, q.h, g.num_nodes(), g.num_edges(), q.x());
+    let _ = writeln!(
+        out,
+        "{}_{} : {} nodes, {} edges, x = 3^(h-1) = {}",
+        kind,
+        q.h,
+        g.num_nodes(),
+        g.num_edges(),
+        q.x()
+    );
     // tree levels
     for d in 0..=q.h {
         let level: Vec<String> = g
@@ -82,12 +91,8 @@ pub fn figure1_text(q: &QhGraph) -> String {
         let dv = q.depth[v];
         if du + 1 == dv || dv + 1 == du {
             let (hi, ph, lo, pl) = if du < dv { (u, pu, v, pv) } else { (v, pv, u, pu) };
-            let _ = writeln!(
-                out,
-                "    {hi} --{}/{}-- {lo}",
-                cardinal_letter(ph),
-                cardinal_letter(pl)
-            );
+            let _ =
+                writeln!(out, "    {hi} --{}/{}-- {lo}", cardinal_letter(ph), cardinal_letter(pl));
         }
     }
     if q.is_hat {
@@ -155,6 +160,6 @@ mod tests {
         let t = figure1_text(&hat);
         assert!(t.contains("added leaf edges"));
         // Q̂_2 has 34 edges, 16 of them tree edges, 18 added between leaves
-        assert_eq!(t.matches("--").count() >= 34, true);
+        assert!(t.matches("--").count() >= 34);
     }
 }

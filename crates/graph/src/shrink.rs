@@ -9,16 +9,26 @@
 //! Corollary 3.1 characterises feasibility through this quantity: a STIC
 //! `[(u, v), δ]` with symmetric `u, v` is feasible iff `δ ≥ Shrink(u, v)`.
 //!
-//! The computation is a BFS over the *pair graph*: states are ordered pairs
-//! `(a, b)` of nodes, the start state is `(u, v)`, and for every port `p`
-//! applicable at both coordinates there is a transition to
+//! The computation is a search over the *pair graph*: states are ordered
+//! pairs `(a, b)` of nodes, the start state is `(u, v)`, and for every port
+//! `p` applicable at both coordinates there is a transition to
 //! `(succ(a, p), succ(b, p))`.  `Shrink` is the minimum graph distance
 //! `dist(a, b)` over all reachable states.
+//!
+//! The functions here are thin wrappers over the flat product-space engine
+//! in [`crate::pairspace`]: single-pair queries run a flat-array BFS over a
+//! precomputed distance matrix, and [`shrink_all_symmetric_pairs`] uses
+//! [`crate::pairspace::ShrinkEngine::all_pairs`] to answer **all** pairs in
+//! one `O(n²·Δ)` reverse-propagation sweep instead of one BFS per pair.
+//! The original `HashMap`-backed per-pair BFS is retained as
+//! [`shrink_reference_bfs`] so property tests can differentially validate
+//! the engine against it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::distance::bfs_distances;
 use crate::graph::{NodeId, PortGraph};
+use crate::pairspace::ShrinkEngine;
 
 /// Result of a [`shrink_detailed`] computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,86 +50,32 @@ pub struct ShrinkResult {
 /// Defined for any pair; for `u == v` the result is `0`.  For symmetric
 /// `u ≠ v` the result is at least `1` (a common port sequence can never merge
 /// two symmetric nodes, because reversing the walk from the common endpoint
-/// would have to reach both).
+/// would have to reach both); for *nonsymmetric* pairs the agents' positions
+/// can genuinely merge and the result may be `0`.
+///
+/// One-shot convenience: builds a [`ShrinkEngine`] for the single query.
+/// Callers with more than one pair to resolve should build the engine once
+/// (or use [`shrink_all_symmetric_pairs`] /
+/// [`crate::pairspace::ShrinkEngine::all_pairs`]).
 pub fn shrink(g: &PortGraph, u: NodeId, v: NodeId) -> Option<usize> {
-    shrink_detailed(g, u, v, usize::MAX).map(|r| r.shrink)
+    Some(ShrinkEngine::new(g).shrink(u, v))
 }
 
 /// Compute `Shrink(u, v)` but give up (returning `None`) after exploring more
 /// than `max_pairs` pair states.  `shrink` uses `usize::MAX`.
 pub fn shrink_bounded(g: &PortGraph, u: NodeId, v: NodeId, max_pairs: usize) -> Option<usize> {
-    shrink_detailed(g, u, v, max_pairs).map(|r| r.shrink)
+    ShrinkEngine::new(g).shrink_bounded(u, v, max_pairs)
 }
 
 /// Full computation with a witness sequence.  Returns `None` only when the
-/// `max_pairs` exploration budget is exhausted before the search completes
-/// (and no distance-1 pair was found earlier).
+/// `max_pairs` exploration budget is exhausted before the search completes.
 pub fn shrink_detailed(
     g: &PortGraph,
     u: NodeId,
     v: NodeId,
     max_pairs: usize,
 ) -> Option<ShrinkResult> {
-    if u == v {
-        return Some(ShrinkResult { shrink: 0, witness: Vec::new(), closest_pair: (u, u), explored_pairs: 1 });
-    }
-    let n = g.num_nodes();
-    // Distance oracle: full matrix for small graphs, per-source cache otherwise.
-    let mut dist_cache: HashMap<NodeId, Vec<usize>> = HashMap::new();
-    let dist = |a: NodeId, b: NodeId, cache: &mut HashMap<NodeId, Vec<usize>>| -> usize {
-        cache.entry(a).or_insert_with(|| bfs_distances(g, a))[b]
-    };
-
-    let key = |a: NodeId, b: NodeId| a * n + b;
-    let mut parent: HashMap<usize, (usize, usize)> = HashMap::new(); // pair -> (parent pair, port)
-    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
-    let mut queue = VecDeque::new();
-    let start = key(u, v);
-    seen.insert(start);
-    queue.push_back((u, v));
-
-    let mut best = dist(u, v, &mut dist_cache);
-    let mut best_pair = (u, v);
-    let mut best_key = start;
-    let mut explored = 0usize;
-
-    while let Some((a, b)) = queue.pop_front() {
-        explored += 1;
-        if best == 1 {
-            break; // cannot do better for distinct nodes
-        }
-        if explored > max_pairs {
-            return None;
-        }
-        let common_ports = g.degree(a).min(g.degree(b));
-        for p in 0..common_ports {
-            let (a2, _) = g.succ(a, p);
-            let (b2, _) = g.succ(b, p);
-            let k2 = key(a2, b2);
-            if seen.insert(k2) {
-                parent.insert(k2, (key(a, b), p));
-                let d = if a2 == b2 { 0 } else { dist(a2, b2, &mut dist_cache) };
-                if d < best {
-                    best = d;
-                    best_pair = (a2, b2);
-                    best_key = k2;
-                }
-                queue.push_back((a2, b2));
-            }
-        }
-    }
-
-    // reconstruct witness
-    let mut witness = Vec::new();
-    let mut cur = best_key;
-    while cur != start {
-        let (prev, port) = parent[&cur];
-        witness.push(port);
-        cur = prev;
-    }
-    witness.reverse();
-
-    Some(ShrinkResult { shrink: best, witness, closest_pair: best_pair, explored_pairs: explored })
+    ShrinkEngine::new(g).shrink_detailed(u, v, max_pairs)
 }
 
 /// Brute-force reference: minimum of `dist(α(u), α(v))` over every applicable
@@ -148,15 +104,53 @@ pub fn shrink_brute_force(g: &PortGraph, u: NodeId, v: NodeId, max_len: usize) -
     best
 }
 
+/// The pre-`pairspace` implementation: an exhaustive `HashMap`-backed BFS
+/// over the pair states reachable from `(u, v)`, with a lazily filled
+/// per-source distance cache.  `O(n²·Δ)` per pair and allocation-heavy —
+/// kept (unbounded, no early exit) purely as an independent oracle for the
+/// differential property tests of [`crate::pairspace`].
+pub fn shrink_reference_bfs(g: &PortGraph, u: NodeId, v: NodeId) -> usize {
+    if u == v {
+        return 0;
+    }
+    let n = g.num_nodes();
+    let mut dist_cache: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut dist = |a: NodeId, b: NodeId| -> usize {
+        if a == b {
+            0
+        } else {
+            dist_cache.entry(a).or_insert_with(|| bfs_distances(g, a))[b]
+        }
+    };
+    let key = |a: NodeId, b: NodeId| a * n + b;
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(key(u, v));
+    queue.push_back((u, v));
+    let mut best = dist(u, v);
+    while let Some((a, b)) = queue.pop_front() {
+        let common_ports = g.degree(a).min(g.degree(b));
+        for p in 0..common_ports {
+            let (a2, _) = g.succ(a, p);
+            let (b2, _) = g.succ(b, p);
+            if seen.insert(key(a2, b2)) {
+                best = best.min(dist(a2, b2));
+                queue.push_back((a2, b2));
+            }
+        }
+    }
+    best
+}
+
 /// `Shrink` for every symmetric pair of the graph, as
 /// `((u, v), shrink)` entries ordered by pair.
+///
+/// Runs the one-pass [`ShrinkEngine::all_pairs`] sweep (`O(n²·Δ)` total)
+/// rather than one pair-graph BFS per pair (`O(n⁴·Δ)` total).
 pub fn shrink_all_symmetric_pairs(g: &PortGraph) -> Vec<((NodeId, NodeId), usize)> {
     let partition = crate::symmetry::OrbitPartition::compute(g);
-    partition
-        .symmetric_pairs()
-        .into_iter()
-        .map(|(u, v)| ((u, v), shrink(g, u, v).expect("unbounded search always completes")))
-        .collect()
+    let all = ShrinkEngine::new(g).all_pairs();
+    partition.symmetric_pairs().into_iter().map(|(u, v)| ((u, v), all.get(u, v))).collect()
 }
 
 #[cfg(test)]
@@ -237,6 +231,17 @@ mod tests {
     }
 
     #[test]
+    fn reference_bfs_agrees_with_the_engine_on_small_graphs() {
+        for g in [oriented_ring(6).unwrap(), path(5).unwrap(), oriented_torus(3, 3).unwrap()] {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(shrink(&g, u, v), Some(shrink_reference_bfs(&g, u, v)), "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn witness_sequence_realises_the_reported_shrink() {
         use crate::traversal::apply_ports_end;
         let (g, mirror) = symmetric_double_tree(2, 2).unwrap();
@@ -251,7 +256,7 @@ mod tests {
     #[test]
     fn bounded_search_gives_up_gracefully() {
         let g = oriented_torus(5, 5).unwrap();
-        // a budget of a single pair cannot finish (best > 1 initially)
+        // a budget of a single pair cannot finish (best > 0 initially)
         assert_eq!(shrink_bounded(&g, 0, 12, 1), None);
         // a generous budget succeeds
         assert!(shrink_bounded(&g, 0, 12, 100_000).is_some());

@@ -8,11 +8,13 @@
 //! Yamashita–Kameda / Boldi–Vigna characterisation; the fixpoint is reached
 //! after at most `n - 1` rounds, matching Norris' view-truncation bound.
 //!
-//! The refinement runs in `O(n · Δ · rounds)` time and is the workhorse used
-//! by the feasibility characterisation (Corollary 3.1) and by every
-//! experiment that needs to enumerate symmetric pairs.
-
-use std::collections::HashMap;
+//! The refinement runs in `O(n · Δ · log n · rounds)` time and is the
+//! workhorse used by the feasibility characterisation (Corollary 3.1) and by
+//! every experiment that needs to enumerate symmetric pairs.  Each round
+//! renumbers colours by **sorting** node signatures laid out in one flat
+//! reused buffer — no hashing and no per-node allocations, which makes the
+//! constant factor small enough that the partition is recomputed freely by
+//! the sweeps.
 
 use crate::graph::{NodeId, PortGraph};
 
@@ -30,39 +32,75 @@ impl OrbitPartition {
     /// Compute the partition for `g`.
     pub fn compute(g: &PortGraph) -> Self {
         let n = g.num_nodes();
-        // initial colours: degrees, renumbered to 0..k
-        let mut colour: Vec<usize> = {
-            let mut map: HashMap<usize, usize> = HashMap::new();
-            (0..n)
-                .map(|v| {
-                    let d = g.degree(v);
-                    let next = map.len();
-                    *map.entry(d).or_insert(next)
-                })
-                .collect()
-        };
-        let mut num_classes = colour.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        if n == 0 {
+            return OrbitPartition { class_of: Vec::new(), num_classes: 0, rounds: 1 };
+        }
+
+        // Signature layout: one flat buffer holding, per node, the slice
+        // `[colour(v), q₀, colour(w₀), q₁, colour(w₁), ...]` over its ports
+        // (entry port and colour of each neighbour).  `sig_offset[v]` is
+        // fixed across rounds because degrees never change, so the buffer,
+        // the node order and the next-colour vector are all reused.
+        let mut sig_offset = Vec::with_capacity(n + 1);
+        sig_offset.push(0usize);
+        for v in 0..n {
+            sig_offset.push(sig_offset[v] + 1 + 2 * g.degree(v));
+        }
+        let mut sig = vec![0usize; sig_offset[n]];
+        let mut order: Vec<NodeId> = (0..n).collect();
+        let mut next_colour = vec![0usize; n];
+
+        // Initial colours: degrees, renumbered to 0..k in sorted order (any
+        // canonical renumbering works — classes matter, not ids).
+        order.sort_unstable_by_key(|&v| g.degree(v));
+        let mut colour = vec![0usize; n];
+        let mut num_classes = 0usize;
+        let mut prev_degree = usize::MAX;
+        for &v in &order {
+            let d = g.degree(v);
+            if d != prev_degree {
+                if prev_degree != usize::MAX {
+                    num_classes += 1;
+                }
+                prev_degree = d;
+            }
+            colour[v] = num_classes;
+        }
+        num_classes += 1;
         let mut rounds = 0usize;
 
         loop {
-            // signature of v: (colour(v), [(entry port, colour(neighbour)) per port])
-            let mut sig_map: HashMap<(usize, Vec<(usize, usize)>), usize> = HashMap::new();
-            let mut next_colour = vec![0usize; n];
+            // Fill the signatures for the current colouring.
             for v in 0..n {
-                let nbrs: Vec<(usize, usize)> =
-                    (0..g.degree(v)).map(|p| {
-                        let (w, q) = g.succ(v, p);
-                        (q, colour[w])
-                    }).collect();
-                let key = (colour[v], nbrs);
-                let next = sig_map.len();
-                let c = *sig_map.entry(key).or_insert(next);
-                next_colour[v] = c;
+                let base = sig_offset[v];
+                sig[base] = colour[v];
+                for (p, slot) in (0..g.degree(v)).zip((base + 1..).step_by(2)) {
+                    let (w, q) = g.succ(v, p);
+                    sig[slot] = q;
+                    sig[slot + 1] = colour[w];
+                }
             }
-            let new_num = sig_map.len();
+            // Sort nodes by signature slice and renumber by runs of equals.
+            order.sort_unstable_by(|&a, &b| {
+                sig[sig_offset[a]..sig_offset[a + 1]].cmp(&sig[sig_offset[b]..sig_offset[b + 1]])
+            });
+            let mut new_num = 0usize;
+            let mut prev: Option<NodeId> = None;
+            for &v in &order {
+                if let Some(p) = prev {
+                    if sig[sig_offset[p]..sig_offset[p + 1]]
+                        != sig[sig_offset[v]..sig_offset[v + 1]]
+                    {
+                        new_num += 1;
+                    }
+                }
+                next_colour[v] = new_num;
+                prev = Some(v);
+            }
+            new_num += 1;
             rounds += 1;
             let stable = new_num == num_classes;
-            colour = next_colour;
+            std::mem::swap(&mut colour, &mut next_colour);
             num_classes = new_num;
             if stable {
                 break;

@@ -139,13 +139,13 @@ pub fn count_walks_of_length(g: &PortGraph, start: NodeId, len: usize) -> u128 {
     cur[start] = 1;
     for _ in 0..len {
         let mut next = vec![0u128; n];
-        for v in 0..n {
-            if cur[v] == 0 {
+        for (v, &count) in cur.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
             for p in 0..g.degree(v) {
                 let (w, _) = g.succ(v, p);
-                next[w] += cur[v];
+                next[w] += count;
             }
         }
         cur = next;
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn count_walks_respects_varying_degrees() {
         let g = path(3).unwrap(); // 0 - 1 - 2
-        // from the middle node: 2 walks of length 1, each continuing 1 way => 2 of length 2
+                                  // from the middle node: 2 walks of length 1, each continuing 1 way => 2 of length 2
         assert_eq!(count_walks_of_length(&g, 1, 1), 2);
         assert_eq!(count_walks_of_length(&g, 1, 2), 2);
         // from an end node: 1, then 2, then 2...

@@ -161,8 +161,8 @@ mod tests {
     #[test]
     fn star_leaves_are_pairwise_nonsymmetric_under_distinct_center_ports() {
         let g = star(4).unwrap(); // center 0, leaves 1..=4
-        // every leaf is attached to a distinct port of the center, so the
-        // depth-2 views differ
+                                  // every leaf is attached to a distinct port of the center, so the
+                                  // depth-2 views differ
         for a in 1..5 {
             for b in 1..5 {
                 if a != b {

@@ -1,11 +1,24 @@
-//! The streaming two-agent simulation engine.
+//! The two-agent simulation engines.
 //!
-//! Each agent runs on its own thread and streams chunked [`Event`] batches
-//! over a bounded channel; the coordinator merges the two position timelines
-//! on the fly and stops everything as soon as a rendezvous (or the horizon)
-//! is reached.  Memory stays `O(chunk_size)` no matter how long the executed
-//! algorithms are, and waits of astronomical length (the padding of
-//! `UniversalRV`) cost a single event.
+//! Two execution strategies produce bit-identical [`SimOutcome`]s:
+//!
+//! * **Streaming** — each agent runs on its own thread and streams chunked
+//!   [`Event`] batches over a bounded channel; the coordinator merges the two
+//!   position timelines on the fly and stops everything as soon as a
+//!   rendezvous (or the horizon) is reached.  Memory stays `O(chunk_size)`
+//!   no matter how long the executed algorithms are, and waits of
+//!   astronomical length (the padding of `UniversalRV`) cost a single event.
+//! * **Lockstep** — single-threaded fast path for short horizons: the
+//!   earlier agent's whole wait-compressed segment timeline is recorded
+//!   up front (`O(#events)` memory, bounded by the horizon), then the later
+//!   agent is streamed against it, stopping at the first overlap.  This
+//!   eliminates the two-threads-plus-channels setup cost that dominates the
+//!   millions of small `simulate` calls issued by the experiment sweeps.
+//!
+//! [`EngineMode`] selects the strategy; the default [`EngineMode::Auto`]
+//! uses lockstep whenever `horizon ≤ 2¹⁶` (so the recorded timeline stays
+//! small) and streaming otherwise.  The two paths are asserted equal by the
+//! differential tests below and by `tests/property_engine_lockstep.rs`.
 
 use std::collections::VecDeque;
 use std::thread;
@@ -17,22 +30,55 @@ use anonrv_graph::{NodeId, PortGraph};
 use crate::navigator::{AgentProgram, Event, EventSink, GraphNavigator, Stop};
 use crate::stic::{Round, Stic};
 
+/// Which execution strategy [`simulate_with`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Lockstep when `horizon ≤ 2¹⁶` (bounding the recorded timeline),
+    /// streaming otherwise.
+    #[default]
+    Auto,
+    /// Always the threaded streaming engine.
+    Streaming,
+    /// Always the single-threaded lockstep engine.  The earlier agent's
+    /// timeline is materialised in memory: one entry per event, at most
+    /// `horizon + 1` of them — callers opting in explicitly should keep
+    /// horizons moderate.
+    Lockstep,
+}
+
+/// Horizon up to which [`EngineMode::Auto`] picks the lockstep engine.
+const LOCKSTEP_AUTO_HORIZON: Round = 1 << 16;
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Global round horizon: the simulation gives up if no rendezvous happens
     /// at a global round `<= horizon`.
     pub horizon: Round,
-    /// Number of events per channel batch.
+    /// Number of events per channel batch (streaming engine only).
     pub chunk_size: usize,
-    /// Number of batches that may be in flight per agent.
+    /// Number of batches that may be in flight per agent (streaming engine
+    /// only).
     pub channel_capacity: usize,
+    /// Execution strategy.
+    pub mode: EngineMode,
 }
 
 impl EngineConfig {
-    /// Configuration with the given horizon and default batching.
+    /// Configuration with the given horizon, default batching and automatic
+    /// engine selection.
     pub fn with_horizon(horizon: Round) -> Self {
-        EngineConfig { horizon, chunk_size: 4096, channel_capacity: 8 }
+        EngineConfig { horizon, chunk_size: 4096, channel_capacity: 8, mode: EngineMode::Auto }
+    }
+
+    /// Configuration pinned to the threaded streaming engine.
+    pub fn streaming(horizon: Round) -> Self {
+        EngineConfig { mode: EngineMode::Streaming, ..Self::with_horizon(horizon) }
+    }
+
+    /// Configuration pinned to the single-threaded lockstep engine.
+    pub fn lockstep(horizon: Round) -> Self {
+        EngineConfig { mode: EngineMode::Lockstep, ..Self::with_horizon(horizon) }
     }
 }
 
@@ -134,7 +180,13 @@ struct Cursor {
     terminated: bool,
     /// The infinite tail segment has been emitted.
     tail_emitted: bool,
+    /// Authoritative move total reported by the agent's `Done` message.
     moves: u64,
+    /// Move events consumed from the stream so far.  Every consumed move
+    /// completed at a round `<= seg_start <=` the stopping round, so when the
+    /// coordinator stops before the stream closes this is exactly "edge
+    /// traversals observed up to the meeting / horizon".
+    consumed_moves: u64,
 }
 
 impl Cursor {
@@ -149,6 +201,7 @@ impl Cursor {
             terminated: false,
             tail_emitted: false,
             moves: 0,
+            consumed_moves: 0,
         }
     }
 
@@ -195,6 +248,7 @@ impl Cursor {
                 self.seg_start = self.seg_end;
                 self.seg_end += 1;
                 self.node = to;
+                self.consumed_moves += 1;
                 true
             }
             None => {
@@ -263,6 +317,15 @@ pub fn simulate_with(
         };
     }
 
+    let use_lockstep = match config.mode {
+        EngineMode::Lockstep => true,
+        EngineMode::Streaming => false,
+        EngineMode::Auto => config.horizon <= LOCKSTEP_AUTO_HORIZON,
+    };
+    if use_lockstep {
+        return simulate_lockstep(g, earlier_program, later_program, stic, config.horizon);
+    }
+
     thread::scope(|scope| {
         let (tx_a, rx_a) = bounded::<Msg>(config.channel_capacity);
         let (tx_b, rx_b) = bounded::<Msg>(config.channel_capacity);
@@ -309,7 +372,8 @@ fn coordinate(rx_a: Receiver<Msg>, rx_b: Receiver<Msg>, stic: &Stic, horizon: Ro
         let lo = a.seg_start.max(b.seg_start);
         let hi = a.seg_end.min(b.seg_end);
         if lo < hi && a.node == b.node && lo <= horizon {
-            meeting = Some(Meeting { global_round: lo, later_round: lo - stic.delay, node: a.node });
+            meeting =
+                Some(Meeting { global_round: lo, later_round: lo - stic.delay, node: a.node });
             break;
         }
         if lo > horizon {
@@ -325,9 +389,8 @@ fn coordinate(rx_a: Receiver<Msg>, rx_b: Receiver<Msg>, stic: &Stic, horizon: Ro
         }
     }
 
-    // Drain whatever the agents still have to say so the move counters are as
-    // accurate as possible, then drop the receivers (unblocking the agents if
-    // they are still running).
+    // Settle the per-agent counters, then drop the receivers (unblocking and
+    // interrupting the agents if they are still running).
     let (a_moves, a_term) = drain(a);
     let (b_moves, b_term) = drain(b);
 
@@ -341,19 +404,258 @@ fn coordinate(rx_a: Receiver<Msg>, rx_b: Receiver<Msg>, stic: &Stic, horizon: Ro
     }
 }
 
+/// Final `(moves, terminated)` for one cursor.
+///
+/// When the stream closed we have the agent's authoritative totals from its
+/// `Done` message.  When the coordinator stopped first (meeting detected, or
+/// the peer timeline ended), the deterministic count is the moves *consumed*
+/// into the timeline — all of which completed at rounds `<=` the stopping
+/// round, while every still-pending or unsent event lies beyond it.  (The
+/// previous implementation returned only the count of *pending* events here,
+/// dropping every move already merged into the timeline, and dead-stored the
+/// pending count in the closed case.)
 fn drain(cursor: Cursor) -> (u64, bool) {
-    // If the stream already closed we have exact counts; otherwise count what
-    // is pending and give the sender a chance to finish quickly, then drop.
-    if !cursor.stream_closed {
-        // do not block: the agent may be far from done; just drop the channel.
-        let pending_moves =
-            cursor.pending.iter().filter(|e| matches!(e, Event::Move { .. })).count() as u64;
-        return (pending_moves, false);
+    if cursor.stream_closed {
+        (cursor.moves, cursor.terminated)
+    } else {
+        (cursor.consumed_moves, false)
     }
-    let pending_moves =
-        cursor.pending.iter().filter(|e| matches!(e, Event::Move { .. })).count() as u64;
-    let _ = pending_moves;
-    (cursor.moves, cursor.terminated)
+}
+
+// ---------------------------------------------------------------------------
+// lockstep engine
+// ---------------------------------------------------------------------------
+
+/// One stop of an agent's wait-compressed position timeline: the agent sits
+/// at `node` during the global rounds `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    node: NodeId,
+    start: Round,
+    end: Round,
+    /// Edge traversals completed at rounds `<= start` (the move that opened
+    /// this segment included).  Because the agent is parked for the whole
+    /// segment, this is also the move count "up to `r`" for any `r` inside
+    /// the segment.
+    moves_before: u64,
+}
+
+/// Sink recording the earlier agent's full timeline (consecutive waits are
+/// merged into their segment, so memory is one entry per *event*, not per
+/// round).
+struct RecordSink {
+    segs: Vec<Seg>,
+    moves: u64,
+}
+
+impl RecordSink {
+    fn new(start_node: NodeId) -> Self {
+        RecordSink {
+            segs: vec![Seg { node: start_node, start: 0, end: 1, moves_before: 0 }],
+            moves: 0,
+        }
+    }
+}
+
+impl EventSink for RecordSink {
+    fn emit(&mut self, event: Event) -> Result<(), Stop> {
+        let last = self.segs.last_mut().expect("timeline starts non-empty");
+        match event {
+            Event::Wait { rounds } => last.end += rounds,
+            Event::Move { to, .. } => {
+                let at = last.end;
+                self.moves += 1;
+                self.segs.push(Seg { node: to, start: at, end: at + 1, moves_before: self.moves });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {}
+}
+
+/// Sink streaming the later agent against the recorded earlier timeline and
+/// stopping (via [`Stop::Interrupted`]) at the first overlap.
+///
+/// `idx` is the first earlier segment that has not entirely passed before
+/// the later agent's current segment; `j >= idx` is the scan position inside
+/// the current segment (persisted across wait extensions so every earlier
+/// segment is compared at most once per later segment it overlaps — the
+/// whole merge is `O(#earlier + #later)`).
+struct LockstepScan<'a> {
+    earlier: &'a [Seg],
+    horizon: Round,
+    delay: Round,
+    idx: usize,
+    j: usize,
+    node: NodeId,
+    start: Round,
+    end: Round,
+    moves: u64,
+    /// Set once: the meeting, the index of the earlier segment realising it,
+    /// and the later move count at detection time.
+    meeting: Option<(Meeting, usize, u64)>,
+    /// The later agent is parked forever (its program terminated).
+    on_tail: bool,
+    /// A meeting was found while `on_tail` was set.
+    met_on_tail: bool,
+}
+
+impl<'a> LockstepScan<'a> {
+    fn new(earlier: &'a [Seg], start_node: NodeId, delay: Round, horizon: Round) -> Self {
+        LockstepScan {
+            earlier,
+            horizon,
+            delay,
+            idx: 0,
+            j: 0,
+            node: start_node,
+            start: delay,
+            end: delay + 1,
+            moves: 0,
+            meeting: None,
+            on_tail: false,
+            met_on_tail: false,
+        }
+    }
+
+    /// Scan the earlier segments overlapping the current later segment.
+    /// Returns `true` when a meeting is recorded.
+    fn check(&mut self) -> bool {
+        while self.j < self.earlier.len() {
+            let a = self.earlier[self.j];
+            if a.start >= self.end {
+                // strictly after the current segment: revisited (from `idx`)
+                // if a future later segment reaches it
+                break;
+            }
+            if a.end > self.start && a.node == self.node {
+                let lo = a.start.max(self.start);
+                if lo <= self.horizon {
+                    self.meeting = Some((
+                        Meeting { global_round: lo, later_round: lo - self.delay, node: a.node },
+                        self.j,
+                        self.moves,
+                    ));
+                    self.met_on_tail = self.on_tail;
+                    return true;
+                }
+                // overlap entirely beyond the horizon can never become a
+                // meeting (later overlaps only start later still): skip it
+            }
+            self.j += 1;
+        }
+        false
+    }
+
+    /// Begin a new later segment at `node` starting where the previous one
+    /// ended.
+    fn advance_segment(&mut self, node: NodeId, length: Round) {
+        self.start = self.end;
+        self.end += length;
+        self.node = node;
+        while self.idx < self.earlier.len() && self.earlier[self.idx].end <= self.start {
+            self.idx += 1;
+        }
+        // restart the scan at `idx`: segments between `idx` and the previous
+        // `j` may straddle the boundary and overlap this segment too
+        self.j = self.idx;
+    }
+}
+
+impl EventSink for LockstepScan<'_> {
+    fn emit(&mut self, event: Event) -> Result<(), Stop> {
+        match event {
+            Event::Wait { rounds } => self.end += rounds,
+            Event::Move { to, .. } => {
+                self.moves += 1;
+                self.advance_segment(to, 1);
+            }
+        }
+        if self.check() {
+            return Err(Stop::Interrupted);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {}
+}
+
+/// The single-threaded lockstep engine.  Produces outcomes identical to the
+/// streaming coordinator:
+///
+/// * `meeting` — the earliest round at which the two position timelines
+///   overlap on a node (both engines compute the unique earliest overlap);
+/// * on a meeting, move counters report the edge traversals completed up to
+///   the meeting round, and a `*_terminated` flag is set only when that
+///   agent's program had already terminated by the meeting round;
+/// * with no meeting, counters and flags are the agents' full-run totals.
+fn simulate_lockstep(
+    g: &PortGraph,
+    earlier_program: &dyn AgentProgram,
+    later_program: &dyn AgentProgram,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    // 1. record the earlier agent's full (horizon-capped) timeline
+    let mut nav = GraphNavigator::new(g, stic.earlier, horizon, RecordSink::new(stic.earlier));
+    let earlier_terminated = earlier_program.run(&mut nav).is_ok();
+    let earlier_total_moves = nav.moves();
+    let mut record = nav.into_sink();
+    let mut tail_index = None;
+    if earlier_terminated {
+        // the program ended by itself: it stays at its final node forever
+        let last = *record.segs.last().expect("timeline starts non-empty");
+        tail_index = Some(record.segs.len());
+        record.segs.push(Seg {
+            node: last.node,
+            start: last.end,
+            end: INFINITY,
+            moves_before: record.moves,
+        });
+    }
+    let earlier_segs = record.segs;
+
+    // 2. stream the later agent against it
+    let mut scan = LockstepScan::new(&earlier_segs, stic.later, stic.delay, horizon);
+    let (later_total_moves, later_terminated, scan) = if scan.check() {
+        // the agents meet while the later one is still on its start segment
+        (0, false, scan)
+    } else {
+        let later_horizon = horizon - stic.delay;
+        let mut nav = GraphNavigator::new(g, stic.later, later_horizon, scan);
+        let result = later_program.run(&mut nav);
+        let moves = nav.moves();
+        let mut scan = nav.into_sink();
+        let terminated = result.is_ok();
+        if terminated && scan.meeting.is_none() {
+            // parked forever at the final node: one infinite tail segment
+            scan.on_tail = true;
+            scan.advance_segment(scan.node, INFINITY - scan.end);
+            scan.check();
+        }
+        (moves, terminated, scan)
+    };
+
+    // 3. assemble the outcome
+    match scan.meeting {
+        Some((meeting, earlier_index, later_moves_at_meeting)) => SimOutcome {
+            meeting: Some(meeting),
+            earlier_moves: earlier_segs[earlier_index].moves_before,
+            later_moves: later_moves_at_meeting,
+            earlier_terminated: earlier_terminated && Some(earlier_index) == tail_index,
+            later_terminated: later_terminated && scan.met_on_tail,
+            horizon,
+        },
+        None => SimOutcome {
+            meeting: None,
+            earlier_moves: earlier_total_moves,
+            later_moves: later_total_moves,
+            earlier_terminated,
+            later_terminated,
+            horizon,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -513,5 +815,107 @@ mod tests {
         assert_eq!(m.global_round, 7);
         assert_eq!(m.later_round, 0);
         assert_eq!(m.node, 3);
+    }
+
+    /// Deterministic pseudo-random walker: each round takes port
+    /// `hash(seed, round) % degree`, waits a couple of rounds every so often
+    /// and optionally terminates after `lifetime` actions.
+    struct ScriptedWalker {
+        seed: u64,
+        lifetime: Option<u64>,
+    }
+
+    impl AgentProgram for ScriptedWalker {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            let mut state = self.seed | 1;
+            let mut actions = 0u64;
+            loop {
+                if let Some(lifetime) = self.lifetime {
+                    if actions >= lifetime {
+                        return Ok(());
+                    }
+                }
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let roll = state >> 33;
+                if roll.is_multiple_of(5) {
+                    nav.wait((roll % 7 + 1) as Round)?;
+                } else {
+                    nav.move_via(roll as usize % nav.degree())?;
+                }
+                actions += 1;
+            }
+        }
+    }
+
+    /// The lockstep and streaming engines must return bit-identical outcomes
+    /// on a randomized sweep over STICs, delays, horizons and program
+    /// behaviours (meeting and non-meeting, terminating and not).
+    #[test]
+    fn lockstep_and_streaming_engines_agree_on_a_randomized_stic_sweep() {
+        use anonrv_graph::generators::{oriented_torus, random_connected};
+        let graphs = [
+            oriented_ring(6).unwrap(),
+            oriented_torus(3, 4).unwrap(),
+            random_connected(9, 4, 7).unwrap(),
+        ];
+        let mut compared = 0usize;
+        let mut met = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            let n = g.num_nodes();
+            for seed in 0..4u64 {
+                for &delay in &[0 as Round, 1, 3, 10] {
+                    for &horizon in &[25 as Round, 160] {
+                        let stic = Stic::new(
+                            (seed as usize * 3 + gi) % n,
+                            (seed as usize * 5 + 2 * gi + 1) % n,
+                            delay,
+                        );
+                        let lifetime = if seed % 2 == 0 { Some(12 + seed * 9) } else { None };
+                        let program = ScriptedWalker { seed: seed * 77 + gi as u64, lifetime };
+                        let fast = simulate_with(
+                            g,
+                            &program,
+                            &program,
+                            &stic,
+                            EngineConfig::lockstep(horizon),
+                        );
+                        let reference = simulate_with(
+                            g,
+                            &program,
+                            &program,
+                            &stic,
+                            EngineConfig::streaming(horizon),
+                        );
+                        assert_eq!(
+                            fast, reference,
+                            "engines disagree: graph {gi}, seed {seed}, {stic}, horizon {horizon}"
+                        );
+                        compared += 1;
+                        if fast.met() {
+                            met += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // the sweep must exercise both meeting and non-meeting outcomes
+        assert!(compared >= 96);
+        assert!(met > 0 && met < compared, "sweep must mix outcomes, met {met}/{compared}");
+    }
+
+    /// Different programs per agent (waiter vs walker) across both engines.
+    #[test]
+    fn lockstep_and_streaming_agree_with_asymmetric_programs() {
+        let g = oriented_ring(8).unwrap();
+        for delay in [0 as Round, 2, 5] {
+            for horizon in [10 as Round, 200] {
+                let stic = Stic::new(0, 4, delay);
+                let fast =
+                    simulate_with(&g, &waiter(), &mover(), &stic, EngineConfig::lockstep(horizon));
+                let reference =
+                    simulate_with(&g, &waiter(), &mover(), &stic, EngineConfig::streaming(horizon));
+                assert_eq!(fast, reference, "delay {delay}, horizon {horizon}");
+            }
+        }
     }
 }

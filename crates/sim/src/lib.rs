@@ -19,10 +19,16 @@
 //!   the graph, the other agent or the global clock, exactly as in the model;
 //! * every navigator action is an [`Event`]; long waits are *single* events,
 //!   so the astronomically long padding waits of `UniversalRV` cost O(1);
-//! * the [`engine::simulate`] engine runs the two agents on two threads that
-//!   stream chunked event batches over bounded channels to a coordinator
-//!   which merges the position timelines on the fly — memory stays bounded
-//!   regardless of how long the execution is;
+//! * [`engine::simulate`] picks between two engines returning bit-identical
+//!   [`SimOutcome`]s, selected by [`EngineMode`] in the [`EngineConfig`]:
+//!   the **streaming** engine runs the two agents on two threads that stream
+//!   chunked event batches over bounded channels to a coordinator merging
+//!   the position timelines on the fly (memory stays bounded regardless of
+//!   how long the execution is), while the **lockstep** engine records the
+//!   earlier agent's wait-compressed timeline and streams the later agent
+//!   against it on a single thread — no thread/channel setup, which is what
+//!   dominates short-horizon sweeps.  [`EngineMode::Auto`] (the default)
+//!   uses lockstep for horizons up to `2¹⁶` and streaming beyond;
 //! * [`trace::record_trace`] materialises a single agent's run-length-encoded
 //!   position trace for tests and analysis.
 //!
@@ -37,7 +43,7 @@ pub mod navigator;
 pub mod stic;
 pub mod trace;
 
-pub use engine::{simulate, simulate_with, EngineConfig, Meeting, SimOutcome};
+pub use engine::{simulate, simulate_with, EngineConfig, EngineMode, Meeting, SimOutcome};
 pub use navigator::{AgentProgram, Event, EventSink, GraphNavigator, Navigator, Stop};
 pub use stic::{Round, Stic};
 pub use trace::{record_trace, PositionTrace, Segment, TraceStats};

@@ -123,7 +123,15 @@ impl<'g, S: EventSink> GraphNavigator<'g, S> {
     /// local horizon.
     pub fn new(graph: &'g PortGraph, start: NodeId, horizon: Round, sink: S) -> Self {
         assert!(start < graph.num_nodes(), "start node out of range");
-        GraphNavigator { graph, position: start, entry_port: None, local_time: 0, horizon, sink, moves: 0 }
+        GraphNavigator {
+            graph,
+            position: start,
+            entry_port: None,
+            local_time: 0,
+            horizon,
+            sink,
+            moves: 0,
+        }
     }
 
     /// The agent's true position (engine-side only; not reachable through the
@@ -159,10 +167,7 @@ impl<'g, S: EventSink> Navigator for GraphNavigator<'g, S> {
 
     fn move_via(&mut self, port: Port) -> Result<Port, Stop> {
         let degree = self.graph.degree(self.position);
-        assert!(
-            port < degree,
-            "agent program used port {port} at a node of degree {degree}"
-        );
+        assert!(port < degree, "agent program used port {port} at a node of degree {degree}");
         if self.local_time >= self.horizon {
             return Err(Stop::Horizon);
         }

@@ -64,9 +64,7 @@ impl PositionTrace {
             return if self.terminated { self.segments.last().map(|s| s.node) } else { None };
         }
         // binary search over segment starts
-        let idx = self
-            .segments
-            .partition_point(|s| s.end <= local_round);
+        let idx = self.segments.partition_point(|s| s.end <= local_round);
         self.segments.get(idx).map(|s| s.node)
     }
 
@@ -115,7 +113,11 @@ impl TraceSink {
     }
 
     fn close_current(&mut self) {
-        self.segments.push(Segment { start: self.cur_start, end: self.cur_end, node: self.cur_node });
+        self.segments.push(Segment {
+            start: self.cur_start,
+            end: self.cur_end,
+            node: self.cur_node,
+        });
     }
 
     /// Finalise into a trace; `terminated` records whether the program ended
@@ -126,7 +128,12 @@ impl TraceSink {
         let moves = self.segments.len() as u64 - 1;
         let stats = TraceStats { moves, events: self.events, rounds: total };
         (
-            PositionTrace { start_node: self.start_node, segments: self.segments, total, terminated },
+            PositionTrace {
+                start_node: self.start_node,
+                segments: self.segments,
+                total,
+                terminated,
+            },
             stats,
         )
     }

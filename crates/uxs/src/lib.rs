@@ -34,5 +34,7 @@ mod sequence;
 mod verify;
 
 pub use provider::{CachedProvider, LengthRule, PseudorandomUxs, UxsProvider};
-pub use sequence::{apply, covers, fingerprint_pairs, transcript, transcript_fingerprint, Uxs, UxsWalk};
+pub use sequence::{
+    apply, covers, fingerprint_pairs, transcript, transcript_fingerprint, Uxs, UxsWalk,
+};
 pub use verify::{covers_from_all, shortest_covering_prefix, verify_on_family, CoverageReport};

@@ -76,7 +76,11 @@ pub struct PseudorandomUxs {
 
 impl Default for PseudorandomUxs {
     fn default() -> Self {
-        PseudorandomUxs { seed: 0xC0FF_EE00_5EED, rule: LengthRule::Cubic { c: 1, min_len: 32 } }
+        // `c = 2` rather than `c = 1`: the length-n³ walk of the vendored
+        // ChaCha8 stream misses one node of the quick-suite lollipop-4-3
+        // instance; doubling the cubic budget restores full coverage on every
+        // shipped workload (asserted by the ablation experiment's tests).
+        PseudorandomUxs { seed: 0xC0FF_EE00_5EED, rule: LengthRule::Cubic { c: 2, min_len: 32 } }
     }
 }
 
@@ -97,7 +101,8 @@ impl UxsProvider for PseudorandomUxs {
         let len = self.rule.length_for(n);
         // the seed mixes in n so that different sizes give independent sequences,
         // but the construction depends on nothing else
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         Uxs::new((0..len).map(|_| rng.gen_range(0..3usize)).collect())
     }
 
@@ -156,7 +161,7 @@ mod tests {
         assert_eq!(p.sequence(5), p.sequence(5));
         assert_ne!(p.sequence(5), p.sequence(6));
         assert_eq!(p.sequence(5).len(), p.length(5));
-        assert_eq!(p.length(5), 125);
+        assert_eq!(p.length(5), 250); // default cubic rule: 2 · 5³
     }
 
     #[test]

@@ -192,7 +192,12 @@ mod tests {
     fn backtrack_ports_return_to_the_start() {
         let g = lollipop(4, 3).unwrap();
         let walk = apply(&g, &small_uxs(), 2);
-        let back = anonrv_graph::traversal::apply_ports(&g, *walk.nodes.last().unwrap(), &walk.backtrack_ports()).unwrap();
+        let back = anonrv_graph::traversal::apply_ports(
+            &g,
+            *walk.nodes.last().unwrap(),
+            &walk.backtrack_ports(),
+        )
+        .unwrap();
         assert_eq!(back.end(), 2);
     }
 

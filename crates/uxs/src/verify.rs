@@ -35,7 +35,11 @@ where
         .into_iter()
         .map(|g| {
             let failing: Vec<usize> = g.nodes().filter(|&v| !covers(g, uxs, v)).collect();
-            CoverageReport { n: g.num_nodes(), covered: failing.is_empty(), failing_starts: failing }
+            CoverageReport {
+                n: g.num_nodes(),
+                covered: failing.is_empty(),
+                failing_starts: failing,
+            }
         })
         .collect()
 }

@@ -18,11 +18,7 @@ use anonrv_sim::{simulate, Stic};
 fn main() {
     // main gallery of 5 junctions, 2 side corridors per junction
     let mine = caterpillar(5, 2).expect("mine layout");
-    println!(
-        "mine layout: {} junctions, {} corridors",
-        mine.num_nodes(),
-        mine.num_edges()
-    );
+    println!("mine layout: {} junctions, {} corridors", mine.num_nodes(), mine.num_edges());
 
     // The robots are dropped at a gallery junction and at the end of a side
     // corridor — structurally different places, so their views differ.

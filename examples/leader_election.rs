@@ -5,7 +5,9 @@
 //! cargo run --example leader_election
 //! ```
 
-use anonrv_core::leader::{elect_leader, entry_ports_of_actions, LeaderElection, Role, WaitingForMommy};
+use anonrv_core::leader::{
+    elect_leader, entry_ports_of_actions, LeaderElection, Role, WaitingForMommy,
+};
 use anonrv_core::prelude::*;
 use anonrv_graph::generators::oriented_ring;
 use anonrv_sim::{simulate_with, EngineConfig, Stic};

@@ -7,7 +7,9 @@
 //! cargo run --example lower_bound_tree
 //! ```
 
-use anonrv_core::lower_bound::{check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule};
+use anonrv_core::lower_bound::{
+    check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule,
+};
 use anonrv_graph::generators::{qh_hat, z_set};
 use anonrv_graph::symmetry::OrbitPartition;
 
@@ -52,5 +54,7 @@ fn main() {
             report.max_time().unwrap()
         );
     }
-    println!("\nTheorem 4.1: no algorithm can do better than 2^(k-1) on some member of the family.");
+    println!(
+        "\nTheorem 4.1: no algorithm can do better than 2^(k-1) on some member of the family."
+    );
 }

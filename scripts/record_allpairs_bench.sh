@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Record the all-pairs Shrink / lockstep-simulation perf numbers as
+# BENCH_allpairs.json (repo root), the file the perf trajectory is tracked
+# in from PR 1 onward.
+#
+# Usage: scripts/record_allpairs_bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_allpairs.json}"
+cargo run --release -p anonrv-bench --bin allpairs_timing -- "$OUT"

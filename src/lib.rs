@@ -1,0 +1,27 @@
+//! # anonrv
+//!
+//! Umbrella crate for the reproduction of *Using Time to Break Symmetry:
+//! Universal Deterministic Anonymous Rendezvous* (Pelc & Yadav, SPAA 2019).
+//!
+//! The implementation lives in the focused sub-crates; this crate re-exports
+//! them under one roof so that downstream users (and the workspace-level
+//! integration tests and examples) need a single dependency:
+//!
+//! * [`graph`] ([`anonrv_graph`]) — port-labelled graph substrate, the
+//!   view-equivalence partition, `Shrink`, and the flat product-space
+//!   [`anonrv_graph::pairspace`] engine;
+//! * [`uxs`] ([`anonrv_uxs`]) — universal exploration sequences;
+//! * [`sim`] ([`anonrv_sim`]) — the two-agent round simulator (streaming and
+//!   lockstep engines);
+//! * [`core`] ([`anonrv_core`]) — the paper's algorithms and the feasibility
+//!   characterisation;
+//! * [`experiments`] ([`anonrv_experiments`]) — the table/figure harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use anonrv_core as core;
+pub use anonrv_experiments as experiments;
+pub use anonrv_graph as graph;
+pub use anonrv_sim as sim;
+pub use anonrv_uxs as uxs;

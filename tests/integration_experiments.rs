@@ -11,8 +11,19 @@ fn quick_report() -> Report {
 fn every_experiment_produces_its_table() {
     let report = quick_report();
     let expected = [
-        "EXP-FIG1", "EXP-SHRINK", "EXP-L31", "EXP-L32", "EXP-P31", "EXP-T31", "EXP-T41",
-        "EXP-P41", "EXP-RAND", "EXP-OPEN", "EXP-ABL-UXS", "EXP-ABL-LABEL", "EXP-ABL-PAD",
+        "EXP-FIG1",
+        "EXP-SHRINK",
+        "EXP-L31",
+        "EXP-L32",
+        "EXP-P31",
+        "EXP-T31",
+        "EXP-T41",
+        "EXP-P41",
+        "EXP-RAND",
+        "EXP-OPEN",
+        "EXP-ABL-UXS",
+        "EXP-ABL-LABEL",
+        "EXP-ABL-PAD",
     ];
     assert_eq!(report.tables.len(), expected.len());
     for id in expected {
@@ -64,10 +75,7 @@ fn headline_outcomes_match_the_paper_claims_on_the_quick_suite() {
     // EXP-T41: lower bound holds for every k
     let t41 = report.table("EXP-T41").unwrap();
     assert!(t41.column_values("meets all").iter().all(|v| *v == "true"));
-    assert!(t41
-        .column_values("truncated (< threshold) meets all")
-        .iter()
-        .all(|v| *v == "false"));
+    assert!(t41.column_values("truncated (< threshold) meets all").iter().all(|v| *v == "false"));
     // EXP-FIG1: the construction checks out
     let fig1 = report.table("EXP-FIG1").unwrap();
     assert!(fig1.column_values("fully symmetric").iter().all(|v| *v == "true"));

@@ -158,8 +158,7 @@ fn the_double_tree_example_from_section_3() {
     // symmetric pair is always 1"
     let (g, mirror) = anonrv_graph::generators::symmetric_double_tree(2, 3).unwrap();
     let partition = OrbitPartition::compute(&g);
-    for v in 0..g.num_nodes() / 2 {
-        let m = mirror[v];
+    for (v, &m) in mirror.iter().enumerate().take(g.num_nodes() / 2) {
         assert!(partition.are_symmetric(v, m));
         assert_eq!(shrink(&g, v, m), Some(1));
         // distance grows with the depth of v, so Shrink really shrinks

@@ -7,8 +7,8 @@ use anonrv_core::bounds::symm_rv_bound;
 use anonrv_core::label::{LabelScheme, TrailSignature};
 use anonrv_core::symm_rv::SymmRv;
 use anonrv_experiments::asymm::{self, AsymmConfig};
+use anonrv_experiments::suite::nonsymmetric_pairs;
 use anonrv_experiments::symm::{self, SymmConfig};
-use anonrv_experiments::suite::{nonsymmetric_pairs, Scale};
 use anonrv_graph::generators::{lollipop, symmetric_double_tree};
 use anonrv_graph::shrink::shrink;
 use anonrv_sim::{simulate, Round, Stic};

@@ -5,7 +5,7 @@ use anonrv_core::feasibility::is_feasible;
 use anonrv_core::label::TrailSignature;
 use anonrv_core::universal_rv::UniversalRv;
 use anonrv_experiments::universal::{self, UniversalConfig};
-use anonrv_graph::generators::{two_node_graph, oriented_ring};
+use anonrv_graph::generators::{oriented_ring, two_node_graph};
 use anonrv_sim::{record_trace, simulate, Round, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
@@ -22,10 +22,7 @@ fn universal_rv_agrees_with_the_characterisation_on_the_quick_suite() {
     assert!(feasible >= 10, "suite must contain feasible STICs");
     assert!(infeasible >= 3, "suite must contain infeasible STICs");
     for r in &records {
-        assert!(
-            r.agrees_with_characterisation(),
-            "Theorem 3.1 / Lemma 3.1 disagreement on {r:?}"
-        );
+        assert!(r.agrees_with_characterisation(), "Theorem 3.1 / Lemma 3.1 disagreement on {r:?}");
     }
 }
 

@@ -1,0 +1,101 @@
+//! Differential property test: the lockstep and streaming simulation
+//! engines must return **bit-identical** [`SimOutcome`]s on randomized STIC
+//! sweeps — random connected graphs, random start pairs, delays, horizons
+//! and scripted agent behaviours (moving, waiting, terminating).
+
+use proptest::prelude::*;
+
+use anonrv_graph::generators::random_connected;
+use anonrv_sim::{simulate_with, AgentProgram, EngineConfig, Navigator, Round, Stic, Stop};
+
+/// Deterministic scripted agent: a seeded LCG decides each round between
+/// moving through a pseudo-random port and short waits, optionally
+/// terminating after a bounded number of actions.
+struct ScriptedWalker {
+    seed: u64,
+    lifetime: Option<u64>,
+}
+
+impl AgentProgram for ScriptedWalker {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        let mut state = self.seed | 1;
+        let mut actions = 0u64;
+        loop {
+            if let Some(lifetime) = self.lifetime {
+                if actions >= lifetime {
+                    return Ok(());
+                }
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            if roll.is_multiple_of(4) {
+                nav.wait((roll % 9 + 1) as Round)?;
+            } else {
+                nav.move_via(roll as usize % nav.degree())?;
+            }
+            actions += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lockstep_and_streaming_outcomes_are_identical(
+        n in 2usize..12,
+        extra in 0usize..6,
+        graph_seed in 0u64..200,
+        a in 0usize..24,
+        b in 0usize..24,
+        delay in 0u64..20,
+        horizon in 1u64..220,
+        walker_seed in 0u64..1_000,
+        lifetime in proptest::option::of(1u64..40),
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, graph_seed).unwrap();
+        let stic = Stic::new(a % n, b % n, delay as Round);
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let fast = simulate_with(
+            &g,
+            &program,
+            &program,
+            &stic,
+            EngineConfig::lockstep(horizon as Round),
+        );
+        let reference = simulate_with(
+            &g,
+            &program,
+            &program,
+            &stic,
+            EngineConfig::streaming(horizon as Round),
+        );
+        prop_assert_eq!(
+            fast, reference,
+            "engines disagree on {} horizon {} walker {} lifetime {:?}",
+            stic, horizon, walker_seed, lifetime
+        );
+    }
+
+    #[test]
+    fn engines_agree_when_the_two_agents_run_different_programs(
+        n in 3usize..10,
+        graph_seed in 0u64..100,
+        delay in 0u64..12,
+        horizon in 1u64..160,
+        seed_a in 0u64..500,
+        seed_b in 0u64..500,
+        lifetime_a in proptest::option::of(1u64..30),
+    ) {
+        let g = random_connected(n, 2.min(n * (n - 1) / 2 - (n - 1)), graph_seed).unwrap();
+        let stic = Stic::new(0, n - 1, delay as Round);
+        let earlier = ScriptedWalker { seed: seed_a, lifetime: lifetime_a };
+        let later = ScriptedWalker { seed: seed_b, lifetime: None };
+        let fast =
+            simulate_with(&g, &earlier, &later, &stic, EngineConfig::lockstep(horizon as Round));
+        let reference =
+            simulate_with(&g, &earlier, &later, &stic, EngineConfig::streaming(horizon as Round));
+        prop_assert_eq!(fast, reference);
+    }
+}

@@ -7,7 +7,9 @@ use anonrv_core::feasibility::{is_feasible, symmetric_trajectories_never_meet};
 use anonrv_core::leader::{elect_leader, LeaderElection};
 use anonrv_core::pairing::{f, f_inv, g, g_inv, params_of_phase, phase_of};
 use anonrv_graph::distance::{bfs_distances, distance};
-use anonrv_graph::generators::{oriented_ring, oriented_torus, random_connected, symmetric_double_tree};
+use anonrv_graph::generators::{
+    oriented_ring, oriented_torus, random_connected, symmetric_double_tree,
+};
 use anonrv_graph::shrink::shrink;
 use anonrv_graph::symmetry::OrbitPartition;
 use anonrv_graph::traversal::{apply_ports, apply_ports_end};
@@ -253,9 +255,9 @@ fn double_trees_of_every_arity_and_depth_have_shrink_one_on_mirror_pairs() {
         for depth in 1..=3usize {
             let (g, mirror) = symmetric_double_tree(arity, depth).unwrap();
             let partition = OrbitPartition::compute(&g);
-            for v in 0..g.num_nodes() / 2 {
-                assert!(partition.are_symmetric(v, mirror[v]));
-                assert_eq!(shrink(&g, v, mirror[v]), Some(1));
+            for (v, &m) in mirror.iter().enumerate().take(g.num_nodes() / 2) {
+                assert!(partition.are_symmetric(v, m));
+                assert_eq!(shrink(&g, v, m), Some(1));
             }
         }
     }

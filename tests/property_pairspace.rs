@@ -1,0 +1,91 @@
+//! Property tests pinning the flat product-space `ShrinkEngine` to its two
+//! independent oracles on random graphs:
+//!
+//! * the pre-`pairspace` per-pair `HashMap` BFS
+//!   ([`anonrv_graph::shrink::shrink_reference_bfs`]), and
+//! * the exponential brute-force sequence enumeration
+//!   ([`anonrv_graph::shrink::shrink_brute_force`]), wherever its bounded
+//!   sequence length provably suffices (the engine's witness is no longer
+//!   than the brute-force horizon).
+
+use proptest::prelude::*;
+
+use anonrv_graph::generators::random_connected;
+use anonrv_graph::pairspace::ShrinkEngine;
+use anonrv_graph::shrink::{shrink_brute_force, shrink_reference_bfs};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_pairs_sweep_agrees_with_the_per_pair_reference_bfs(
+        n in 2usize..12,
+        extra in 0usize..8,
+        seed in 0u64..400,
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, seed).unwrap();
+        let engine = ShrinkEngine::new(&g);
+        let all = engine.all_pairs();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let reference = shrink_reference_bfs(&g, u, v);
+                prop_assert_eq!(
+                    all.get(u, v), reference,
+                    "all_pairs vs reference on pair ({}, {}) of n={} extra={} seed={}",
+                    u, v, n, extra, seed
+                );
+                prop_assert_eq!(engine.shrink(u, v), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_values_match_brute_force_where_its_horizon_suffices(
+        n in 2usize..7,
+        extra in 0usize..4,
+        seed in 0u64..200,
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, seed).unwrap();
+        let engine = ShrinkEngine::new(&g);
+        const MAX_LEN: usize = 6;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let detailed = engine.shrink_detailed(u, v, usize::MAX).unwrap();
+                let brute = shrink_brute_force(&g, u, v, MAX_LEN);
+                // brute force over bounded sequences can only overestimate
+                prop_assert!(detailed.shrink <= brute);
+                if detailed.witness.len() <= MAX_LEN {
+                    prop_assert_eq!(
+                        detailed.shrink, brute,
+                        "brute force (len {}) disagrees on ({}, {}) of n={} seed={}",
+                        MAX_LEN, u, v, n, seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_are_applicable_and_realise_the_value(
+        n in 2usize..10,
+        extra in 0usize..6,
+        seed in 0u64..200,
+        a in 0usize..20,
+        b in 0usize..20,
+    ) {
+        use anonrv_graph::distance::distance;
+        use anonrv_graph::traversal::apply_ports_end;
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, seed).unwrap();
+        let (u, v) = (a % n, b % n);
+        let r = ShrinkEngine::new(&g).shrink_detailed(u, v, usize::MAX).unwrap();
+        let end_u = apply_ports_end(&g, u, &r.witness);
+        let end_v = apply_ports_end(&g, v, &r.witness);
+        prop_assert!(end_u.is_some() && end_v.is_some(), "witness must be applicable at both");
+        let (x, y) = (end_u.unwrap(), end_v.unwrap());
+        prop_assert_eq!((x, y), r.closest_pair);
+        prop_assert_eq!(distance(&g, x, y), r.shrink);
+    }
+}

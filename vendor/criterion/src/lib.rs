@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the benchmarking surface this workspace uses —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `Bencher::iter_batched`, `BenchmarkId` and `sample_size` — with a simple
+//! but honest measurement loop: per sample, the routine is run enough times
+//! to fill a minimum sample duration, and the per-iteration wall time of
+//! every sample is collected; the report prints the median, mean and min.
+//!
+//! Command-line compatibility: the first free (non-flag) argument is treated
+//! as a substring filter on `group/benchmark` ids, matching `cargo bench --
+//! <filter>`; `--bench`-style flags that cargo appends are ignored.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises its setup; the stand-in measures the routine
+/// only (setup runs untimed either way), so the variants differ only in how
+/// many routine calls share one timing window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many routine calls per timing window.
+    SmallInput,
+    /// Large inputs: one routine call per timing window.
+    LargeInput,
+    /// One routine call per timing window.
+    PerIteration,
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier composed of a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Types accepted wherever criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render into the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>, // per-iteration nanoseconds, one entry per sample
+    sample_size: usize,
+    sample_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let per_iter = {
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine());
+            start.elapsed().max(Duration::from_nanos(1))
+        };
+        let iters_per_sample =
+            (self.sample_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                let _ = std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One routine call per timing window: setup cost must stay untimed,
+        // so batching multiple calls into one window is not possible without
+        // pre-building all inputs (which the stand-in avoids for memory's
+        // sake).  Samples therefore time exactly one iteration each.
+        let total = self.sample_size.max(8);
+        for _ in 0..total {
+            let input = setup();
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Number of samples collected per benchmark (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Ignored tuning knob kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_id());
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            sample_time: self.criterion.sample_time,
+        };
+        f(&mut bencher);
+        report(&full_id, &bencher.samples);
+        self
+    }
+
+    /// Run one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark manager: configuration plus the id filter from the CLI.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` (and friends); the first free argument
+        // is the benchmark filter, as with upstream criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, sample_time: Duration::from_millis(10) }
+    }
+}
+
+impl Criterion {
+    /// Begin a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 30 }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        if self.matches(&id) {
+            let mut bencher =
+                Bencher { samples: Vec::new(), sample_size: 30, sample_time: self.sample_time };
+            f(&mut bencher);
+            report(&id, &bencher.samples);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<60} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let min = sorted[0];
+    println!(
+        "{id:<60} time: [median {}] (mean {}, min {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        sorted.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group several benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion { filter: None, sample_time: Duration::from_micros(50) };
+        let mut ran = 0u64;
+        c.benchmark_group("demo").sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_benchmarks() {
+        let mut c =
+            Criterion { filter: Some("nomatch".into()), sample_time: Duration::from_micros(50) };
+        let mut ran = false;
+        c.benchmark_group("demo").bench_function("skipped", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut c = Criterion { filter: None, sample_time: Duration::from_micros(50) };
+        let mut calls = 0u32;
+        c.benchmark_group("demo").sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 8],
+                |v| {
+                    calls += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(calls >= 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for `crossbeam-channel` (see `vendor/README.md`),
+//! backed by [`std::sync::mpsc::sync_channel`].  Provides exactly the
+//! bounded-channel subset the simulation engine uses: blocking `send`,
+//! blocking `recv`, clonable senders, and disconnect errors when the other
+//! side is dropped.
+
+use std::sync::mpsc;
+
+/// Sending half of a bounded channel.
+pub struct Sender<T>(mpsc::SyncSender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+/// Receiving half of a bounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// The channel is disconnected (all receivers dropped); returns the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// The channel is disconnected (all senders dropped) and empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Create a bounded channel with capacity `cap` (0 = rendezvous channel).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(tx), Receiver(rx))
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is enqueued; error if the receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives; error once the channel is empty and
+    /// every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_capacity() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn disconnects_are_reported() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+        let (tx2, rx2) = bounded::<u32>(1);
+        tx2.send(5).unwrap();
+        drop(tx2);
+        assert_eq!(rx2.recv(), Ok(5));
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (tx, rx) = bounded::<usize>(4);
+        std::thread::scope(|scope| {
+            let tx2 = tx.clone();
+            scope.spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            drop(tx);
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            assert_eq!(sum, 4950);
+        });
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the property-testing surface this workspace uses: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]` header),
+//! integer-range / `collection::vec` / `option::of` strategies, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.  Each test
+//! runs `cases` deterministic pseudo-random cases (seeded from the test
+//! name, so failures are reproducible); assumption failures skip the case.
+//! Shrinking is not implemented — the failing inputs are printed instead.
+
+/// Runner configuration and error plumbing.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs: skip the case.
+        Reject,
+        /// An assertion failed: the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    /// Deterministic pseudo-random generator (splitmix64) used to sample
+    /// strategies.  Seeded from the test name so every run of a given test
+    /// sees the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded from an arbitrary string (typically the test name).
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, then splitmix from there.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Something that can generate values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Sample one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = (self.end as i128 - self.start as i128) as u128 as u64;
+                    let offset = rng.below(width);
+                    ((self.start as i128) + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy yielding one fixed value (used for degenerate cases).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// `Vec` strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy generating vectors of `element` values with a length drawn
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of values sampled from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(width) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `Some(inner)` half the time and `None` otherwise.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option` of values sampled from `inner` (50% `Some`).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The usual import surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare property tests.  Each test samples its arguments from the given
+/// strategies `cases` times and runs the body; `prop_assert*` failures abort
+/// the test with the case's inputs printed, `prop_assume!` skips the case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )*
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "proptest case {case} failed: {message}\n  inputs: {inputs}"
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_their_bounds(x in 3usize..10, y in -4i32..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_option_strategies_compose(
+            v in crate::collection::vec(0u64..7, 0..9),
+            o in crate::option::of(1u8..3),
+        ) {
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 7));
+            if let Some(inner) = o {
+                prop_assert!(inner == 1 || inner == 2);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let seq_a: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let seq_c: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for `rand_chacha` (see `vendor/README.md`): a genuine
+//! ChaCha stream-cipher core with 8 double-rounds, exposed through the
+//! workspace's [`rand`] traits.  Deterministic, but not bit-compatible with
+//! upstream `rand_chacha` (the `seed_from_u64` key schedule differs).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha8-based random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// ChaCha state: 4 constant words, 8 key words, 1 counter, 3 nonce words.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word of `block` (16 = exhausted).
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column + diagonal)
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(self.state.iter())) {
+            *out = w.wrapping_add(s);
+        }
+        self.state[12] = self.state[12].wrapping_add(1); // block counter
+        self.idx = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // "expand 32-byte k" constants
+        let mut s = [0u32; 16];
+        s[0] = 0x6170_7865;
+        s[1] = 0x3320_646e;
+        s[2] = 0x7962_2d32;
+        s[3] = 0x6b20_6574;
+        let mut sm = state;
+        for i in 0..4 {
+            let k = rand_splitmix(&mut sm);
+            s[4 + 2 * i] = k as u32;
+            s[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // counter and nonce start at zero
+        ChaCha8Rng { state: s, block: [0; 16], idx: 16 }
+    }
+}
+
+/// Local SplitMix64 (kept here so the crate has no private access to `rand`).
+fn rand_splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha_is_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut counts = [0usize; 2];
+        for _ in 0..4096 {
+            counts[usize::from(rng.gen_range(0..2u32) == 0)] += 1;
+        }
+        assert!(counts.iter().all(|&c| (1700..2400).contains(&c)), "{counts:?}");
+    }
+}

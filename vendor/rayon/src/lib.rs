@@ -1,0 +1,250 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! Implements the data-parallel subset this workspace uses —
+//! `par_iter()` / `into_par_iter()` followed by `map(...).collect()` or
+//! `for_each(...)` — with genuine multi-core execution: worker threads
+//! (one per available core) pull item indices from a shared atomic counter,
+//! which load-balances well even when per-item cost varies by orders of
+//! magnitude (exactly the case for STIC simulation sweeps).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The usual rayon import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Dynamically load-balanced parallel indexed map: applies `f` to `0..len`
+/// and returns the results in index order.
+fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        per_worker =
+            handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect();
+    });
+    let mut indexed: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// `into_par_iter()` on owned collections / ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a borrowed slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParSliceMap { slice: self.slice, f }
+    }
+
+    /// Parallel side-effecting traversal.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+}
+
+/// Mapped parallel iterator over a borrowed slice.
+pub struct ParSliceMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParSliceMap<'a, T, F> {
+    /// Execute the map in parallel and collect the results in order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_indexed(self.slice.len(), |i| (self.f)(&self.slice[i])))
+    }
+}
+
+/// Parallel iterator over an owned vector.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync> ParVec<T> {
+    /// Parallel map (items are borrowed by the workers, then dropped).
+    pub fn map<R, F>(self, f: F) -> ParVecMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        T: Clone,
+    {
+        ParVecMap { items: self.items, f }
+    }
+}
+
+/// Mapped parallel iterator over an owned vector.
+pub struct ParVecMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send + Sync + Clone, R: Send, F: Fn(T) -> R + Sync> ParVecMap<T, F> {
+    /// Execute the map in parallel and collect the results in order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let items = &self.items;
+        let f = &self.f;
+        C::from(par_map_indexed(items.len(), |i| f(items[i].clone())))
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    /// Parallel map over the range, in order.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap { range: self.range, f }
+    }
+}
+
+/// Mapped parallel iterator over a range.
+pub struct ParRangeMap<F> {
+    range: std::ops::Range<usize>,
+    f: F,
+}
+
+impl<R: Send, F: Fn(usize) -> R + Sync> ParRangeMap<F> {
+    /// Execute the map in parallel and collect the results in order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let start = self.range.start;
+        let f = &self.f;
+        C::from(par_map_indexed(self.range.len(), |i| f(start + i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_workloads_are_balanced() {
+        let items: Vec<usize> = (0..64).collect();
+        let results: Vec<usize> = items
+            .par_iter()
+            .map(|&x| {
+                // items at the front are much more expensive
+                let reps = if x < 4 { 100_000 } else { 10 };
+                (0..reps).fold(x, |acc, _| std::hint::black_box(acc))
+            })
+            .collect();
+        assert_eq!(results, items);
+    }
+
+    #[test]
+    fn range_into_par_iter_works() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[7], 49);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

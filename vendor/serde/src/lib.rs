@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace only serialises plain named-field structs to JSON and back
+//! (via `serde_json`), so the stand-in replaces serde's visitor machinery
+//! with a small owned JSON [`Value`] tree: [`Serialize`] renders into a
+//! `Value`, [`Deserialize`] rebuilds from one.  The derive macros come from
+//! the sibling `serde_derive` stand-in and generate impls of these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value.
+///
+/// Numbers are kept as their literal text so that `u128` round counts (the
+/// simulator's `Round` type) survive round-trips without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, stored as its literal text.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialisation / deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Construct an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Render into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a JSON value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Value used when an object member is absent.  Errors by default;
+    /// `Option<T>` overrides this to `None` (matching serde's behaviour for
+    /// optional fields).
+    fn missing(field: &str) -> Result<Self, Error> {
+        Err(Error::msg(format!("missing field '{field}'")))
+    }
+}
+
+/// Helper used by derive-generated code: fetch and deserialise one field.
+pub fn from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(member) => T::from_value(member),
+        None => T::missing(name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// impls for the primitive types the workspace serialises
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(text) => text
+                        .parse::<$t>()
+                        .map_err(|_| Error::msg(format!("invalid {} literal '{text}'", stringify!($t)))),
+                    other => Err(Error::msg(format!("expected a number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(format!("{self}"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(text) => {
+                text.parse::<f64>().map_err(|_| Error::msg(format!("invalid f64 literal '{text}'")))
+            }
+            other => Err(Error::msg(format!("expected a number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected a bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected a string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+
+    fn missing(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected an array, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(
+            u128::from_value(&340282366920938463463374607431768211455u128.to_value()),
+            Ok(u128::MAX)
+        );
+        assert_eq!(String::from_value(&"hé — llo".to_string().to_value()), Ok("hé — llo".into()));
+        assert_eq!(Option::<usize>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<usize>::from_value(&7usize.to_value()), Ok(Some(7)));
+        assert_eq!(Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()), Ok(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn missing_fields_default_only_for_options() {
+        let obj = Value::Obj(vec![]);
+        assert!(from_field::<usize>(&obj, "gone").is_err());
+        assert_eq!(from_field::<Option<usize>>(&obj, "gone"), Ok(None));
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(bool::from_value(&Value::Num("1".into())).is_err());
+        assert!(u32::from_value(&Value::Num("-5".into())).is_err());
+        assert!(u8::from_value(&Value::Num("300".into())).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace only derives `Serialize` / `Deserialize` for plain structs
+//! with named fields, so the stand-in avoids `syn`/`quote` entirely: it walks
+//! the raw `proc_macro::TokenStream` to find the struct name and its field
+//! names, then emits impls of the sibling `serde` stand-in's `Serialize` /
+//! `Deserialize` traits (which are JSON-`Value`-tree based rather than
+//! visitor based).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type: its name and named fields, in order.
+struct Struct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and named-field list from a derive input stream.
+///
+/// Panics (i.e. produces a compile error) on enums, tuple structs and unit
+/// structs — the workspace does not derive serde traits for those.
+fn parse_struct(input: TokenStream) -> Struct {
+    let mut iter = input.into_iter();
+    // Skip outer attributes, doc comments and visibility until `struct`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("the serde_derive stand-in only supports structs with named fields")
+            }
+            Some(_) => continue,
+            None => panic!("derive input contains no `struct` item"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected a struct name, found {other:?}"),
+    };
+    // Find the brace-delimited field group (generic parameters, which the
+    // workspace does not use on serialised types, would appear before it).
+    let fields = loop {
+        match iter.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                break parse_named_fields(group.stream());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("the serde_derive stand-in does not support tuple/unit structs")
+            }
+            Some(_) => continue,
+            None => panic!("struct `{name}` has no named-field body"),
+        }
+    };
+    Struct { name, fields }
+}
+
+/// Extract the field names from the token stream inside the struct braces.
+///
+/// Grammar handled: `(#[attr])* (pub (crate/super/...)?)? name : Type ,` —
+/// commas inside angle brackets (`HashMap<K, V>`) are skipped by tracking the
+/// `<`/`>` nesting depth (parenthesised and bracketed types are whole groups
+/// and need no tracking).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    'fields: loop {
+        // Leading attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    // consume the attribute group `[...]`
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // consume an optional `(crate)` restriction
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other:?}"),
+            }
+        };
+        fields.push(name);
+        // `:` then the type, up to a comma at angle-bracket depth 0.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0usize;
+        loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => continue 'fields,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Derive the stand-in `serde::Serialize` (render into a JSON `Value` tree).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let mut entries = String::new();
+    for field in &s.fields {
+        entries.push_str(&format!(
+            "({field:?}.to_string(), ::serde::Serialize::to_value(&self.{field})),"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = s.name,
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive the stand-in `serde::Deserialize` (rebuild from a JSON `Value`
+/// tree; missing members error except for `Option` fields, which default to
+/// `None` via `Deserialize::missing`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let mut inits = String::new();
+    for field in &s.fields {
+        inits.push_str(&format!("{field}: ::serde::from_field(v, {field:?})?,"));
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = s.name,
+    );
+    out.parse().expect("generated Deserialize impl must parse")
+}
