@@ -1,0 +1,64 @@
+//! Emit `BENCH_sweep.json`: wall-clock timings and the speedup of the batch
+//! (trajectory-memoized) simulation engine on the symm-sweep workload —
+//! **all** `(u, v)` ordered pairs × δ ∈ {0..4} on `oriented_torus(16, 16)`
+//! (327 680 STICs, horizon 256) — versus per-call lockstep simulation.
+//! Both sides run the full workload single-threaded, so the recorded ratio
+//! is pure engine work (the experiment sweeps add rayon on top of the batch
+//! engine).
+//!
+//! Usage: `cargo run --release -p anonrv-bench --bin sweep_timing
+//! [output.json]` (default output: `BENCH_sweep.json`).
+
+use std::time::Instant;
+
+use anonrv_bench::{sweep_batch_engine, sweep_per_call_lockstep, sweep_stics, SweepWalker};
+use anonrv_graph::generators::oriented_torus;
+use anonrv_sim::Round;
+
+const HORIZON: Round = 256;
+const DELTAS: u32 = 5;
+
+/// Median wall time of `runs` executions, in seconds.
+fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let torus = oriented_torus(16, 16).unwrap();
+    let n = torus.num_nodes();
+    let program = SweepWalker { seed: 0x5EED };
+    let stics = sweep_stics(n, DELTAS);
+
+    // correctness guard: both paths must agree before anything is timed
+    let met_batch = sweep_batch_engine(&torus, &program, DELTAS, HORIZON);
+    let met_lockstep = sweep_per_call_lockstep(&torus, &program, &stics, HORIZON);
+    assert_eq!(met_batch, met_lockstep, "engines disagree on the sweep workload");
+
+    let batch_s = time_median(5, || sweep_batch_engine(&torus, &program, DELTAS, HORIZON));
+    let lockstep_s = time_median(3, || sweep_per_call_lockstep(&torus, &program, &stics, HORIZON));
+    let speedup = lockstep_s / batch_s;
+
+    let num_stics = stics.len();
+    let json = format!(
+        "{{\n  \"instance\": \"oriented_torus(16, 16)\",\n  \
+         \"workload\": \"all (u, v) pairs x delta in 0..{DELTAS}, horizon {HORIZON}\",\n  \
+         \"stics\": {num_stics},\n  \
+         \"meetings\": {met_batch},\n  \
+         \"batch_sweep_seconds\": {batch_s:.6},\n  \
+         \"per_call_lockstep_seconds\": {lockstep_s:.6},\n  \
+         \"batch_speedup\": {speedup:.1}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

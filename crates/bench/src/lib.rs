@@ -11,7 +11,10 @@
 use anonrv_core::label::TrailSignature;
 use anonrv_core::universal_rv::UniversalRv;
 use anonrv_graph::PortGraph;
-use anonrv_sim::{simulate, Round, SimOutcome, Stic};
+use anonrv_sim::{
+    simulate, simulate_with, AgentProgram, EngineConfig, Navigator, Round, SimOutcome, Stic, Stop,
+    SweepEngine,
+};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 /// The short UXS rule shared by all benchmarks (coverage on the benchmark
@@ -37,6 +40,91 @@ pub fn expect_met(outcome: &SimOutcome) -> Round {
     outcome.rendezvous_time().expect("benchmark STIC must be solved")
 }
 
+// ---------------------------------------------------------------------------
+// the symm-sweep workload (BENCH_sweep.json / benches/sweep_batch.rs)
+// ---------------------------------------------------------------------------
+
+/// Deterministic agent of the sweep workload: a seeded LCG mixes
+/// pseudo-random moves with short waits — the move/wait event mix of the
+/// paper's procedures, without their setup cost, so the sweep times engine
+/// work rather than one particular algorithm.
+pub struct SweepWalker {
+    /// LCG seed (a constant of the program, shared by both agents).
+    pub seed: u64,
+}
+
+impl AgentProgram for SweepWalker {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        let mut state = self.seed | 1;
+        loop {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            if roll.is_multiple_of(4) {
+                nav.wait((roll % 7 + 1) as Round)?;
+            } else {
+                nav.move_via(roll as usize % nav.degree())?;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sweep-walker"
+    }
+}
+
+/// The STICs of the symm-sweep workload on a graph of `n` nodes: **all**
+/// `n²` ordered `(u, v)` pairs × every delay in `{0..deltas}`.
+pub fn sweep_stics(n: usize, deltas: u32) -> Vec<Stic> {
+    let mut stics = Vec::with_capacity(n * n * deltas as usize);
+    for u in 0..n {
+        for v in 0..n {
+            for delta in 0..deltas {
+                stics.push(Stic::new(u, v, delta as Round));
+            }
+        }
+    }
+    stics
+}
+
+/// Run `stics` through per-call lockstep simulation (the pre-batch
+/// baseline): every call re-executes both agents' programs from scratch.
+/// Returns the number of meetings (consumed so the work cannot be elided).
+pub fn sweep_per_call_lockstep(
+    g: &PortGraph,
+    program: &dyn AgentProgram,
+    stics: &[Stic],
+    horizon: Round,
+) -> usize {
+    stics
+        .iter()
+        .filter(|stic| {
+            simulate_with(g, program, program, stic, EngineConfig::lockstep(horizon)).met()
+        })
+        .count()
+}
+
+/// Run the symm-sweep workload (all ordered pairs × `deltas` delays)
+/// through one batch [`SweepEngine`]: each start node's trajectory is
+/// recorded once and each pair's whole delay sweep is one cached-timeline
+/// pass (`simulate_deltas`).  Returns the number of meetings.
+pub fn sweep_batch_engine(
+    g: &PortGraph,
+    program: &dyn AgentProgram,
+    deltas: u32,
+    horizon: Round,
+) -> usize {
+    let engine = SweepEngine::new(g, program, EngineConfig::batch(horizon));
+    let deltas: Vec<Round> = (0..deltas as Round).collect();
+    let n = g.num_nodes();
+    let mut met = 0usize;
+    for u in 0..n {
+        for v in 0..n {
+            met += engine.simulate_deltas(u, v, &deltas).iter().filter(|o| o.met()).count();
+        }
+    }
+    met
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +137,18 @@ mod tests {
         // the meeting may happen as early as the later agent's start round
         let _time = expect_met(&outcome);
         assert!(outcome.met());
+    }
+
+    #[test]
+    fn the_sweep_workload_agrees_across_engines_and_mixes_outcomes() {
+        use anonrv_graph::generators::oriented_torus;
+        let g = oriented_torus(3, 4).unwrap();
+        let stics = sweep_stics(g.num_nodes(), 5);
+        assert_eq!(stics.len(), 12 * 12 * 5);
+        let program = SweepWalker { seed: 0x5EED };
+        let met_lockstep = sweep_per_call_lockstep(&g, &program, &stics, 64);
+        let met_batch = sweep_batch_engine(&g, &program, 5, 64);
+        assert_eq!(met_lockstep, met_batch);
+        assert!(met_batch > 0 && met_batch < stics.len());
     }
 }

@@ -108,6 +108,8 @@ pub fn uxs_table(config: &AblationConfig) -> Table {
         let d = shrink(&ring, u, v).unwrap();
         let program = SymmRv::new(config.probe_ring, d, d as Round, &uxs);
         let bound = symm_rv_bound(config.probe_ring, d, d as Round, uxs.length(config.probe_ring));
+        // a one-off probe (every rule is a different program, so a
+        // trajectory cache would have nothing to reuse): per-call simulate
         let outcome = simulate(&ring, &program, &Stic::new(u, v, d as Round), bound + 2);
         table.push_row([
             name.to_string(),

@@ -16,11 +16,11 @@
 
 use anonrv_core::asymm_rv::AsymmRv;
 use anonrv_core::label::{LabelScheme, TrailSignature};
-use anonrv_sim::{Round, Stic};
+use anonrv_sim::{EngineConfig, Stic, SweepEngine};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
-use crate::runner::{run_case_with_oracle, Aggregate, Case, RunRecord};
+use crate::runner::{distinct_in_order, run_case_with_engine, Aggregate, Case, RunRecord};
 use crate::suite::{nonsymmetric_delays, nonsymmetric_pairs, nonsymmetric_workloads, Scale};
 
 /// Configuration of the `AsymmRV` experiment.
@@ -83,26 +83,39 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
                 label_collisions.push((w.label.clone(), u, v));
             }
         }
-        let cases: Vec<((usize, usize), Round)> = verified_pairs
-            .iter()
-            .flat_map(|&pair| deltas.iter().map(move |&d| (pair, d)))
-            .collect();
         let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
-        let batch = crate::runner::par_map(cases, |&((u, v), delta)| {
-            let budget = delta.max(1);
+        // `AsymmRV` is one program per delay *budget* (δ = 0 and δ = 1 share
+        // budget 1), so each budget gets one sweep engine whose trajectory
+        // cache is shared by every verified pair and every delay mapping to
+        // it; rayon fans out over the timeline merges.
+        for budget in distinct_in_order(deltas.iter().map(|&d| d.max(1))) {
             let program = AsymmRv::new(n, budget, &scheme, &uxs);
             let bound = program.full_duration();
-            let case = Case {
-                family: w.family.clone(),
-                label: w.label.clone(),
-                graph: &w.graph,
-                stic: Stic::new(u, v, delta),
-                horizon: bound.saturating_add(delta).saturating_add(1),
-                bound: Some(bound),
+            let horizon_of = |delta: u128| bound.saturating_add(delta).saturating_add(1);
+            let cases: Vec<(usize, usize, u128)> = deltas
+                .iter()
+                .copied()
+                .filter(|&d| d.max(1) == budget)
+                .flat_map(|d| verified_pairs.iter().map(move |&(u, v)| (u, v, d)))
+                .collect();
+            let Some(max_horizon) = cases.iter().map(|&(_, _, d)| horizon_of(d)).max() else {
+                continue; // no verified pairs on this instance
             };
-            run_case_with_oracle(&case, &program, &oracle)
-        });
-        records.extend(batch);
+            let engine =
+                SweepEngine::new(&w.graph, &program, EngineConfig::with_horizon(max_horizon));
+            let batch = crate::runner::par_map(cases, |&(u, v, delta)| {
+                let case = Case {
+                    family: w.family.clone(),
+                    label: w.label.clone(),
+                    graph: &w.graph,
+                    stic: Stic::new(u, v, delta),
+                    horizon: horizon_of(delta),
+                    bound: Some(bound),
+                };
+                run_case_with_engine(&case, &engine, &oracle)
+            });
+            records.extend(batch);
+        }
     }
     AsymmOutcome { records, label_collisions }
 }

@@ -21,7 +21,7 @@
 use anonrv_core::feasibility::{symmetric_trajectories_never_meet, FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::universal_rv::UniversalRv;
-use anonrv_sim::{simulate, Round, Stic};
+use anonrv_sim::{simulate, Round, Stic, SweepEngine};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{fmt_rounds, Table};
@@ -116,8 +116,65 @@ fn trajectory_probes(len: usize) -> Vec<Vec<usize>> {
     probes
 }
 
+/// Whether the simulation part of the evidence is gathered for a STIC of
+/// `g` with the given `Shrink` (size and phase-budget gates).
+fn simulation_gate(g: &anonrv_graph::PortGraph, shrink: usize, config: &InfeasibleConfig) -> bool {
+    g.num_nodes() <= config.max_sim_nodes
+        && anonrv_core::pairing::phase_of(g.num_nodes(), shrink.max(1), shrink.max(1) as u64)
+            <= config.max_phase_budget
+}
+
+/// The simulation horizon for a gated STIC: where the *feasible*
+/// counterpart (same `n`, `d`, delay = `d`) would have been solved at the
+/// latest.
+fn simulation_horizon(
+    algo: &UniversalRv<'_, TrailSignature>,
+    g: &anonrv_graph::PortGraph,
+    shrink: usize,
+) -> Round {
+    algo.completion_horizon(g.num_nodes(), shrink, shrink as Round)
+}
+
+/// Assemble a record from the analytic checks plus the (optional)
+/// simulation evidence.
+#[allow(clippy::too_many_arguments)] // mirrors the fields of InfeasibleRecord
+fn assemble_record(
+    label: &str,
+    g: &anonrv_graph::PortGraph,
+    oracle: &FeasibilityOracle,
+    u: usize,
+    v: usize,
+    shrink: usize,
+    delta: Round,
+    simulation: Option<(bool, Round)>,
+) -> InfeasibleRecord {
+    let class = oracle.classify(u, v, delta);
+    let classified_infeasible = matches!(class, SticClass::SymmetricInfeasible { .. });
+
+    let probes = trajectory_probes(3 * g.num_nodes());
+    let trajectories_never_meet = probes
+        .iter()
+        .all(|ports| symmetric_trajectories_never_meet(g, u, v, delta as usize, ports));
+
+    let (universal_did_not_meet, horizon) = simulation.unwrap_or((true, 0));
+    InfeasibleRecord {
+        label: label.to_string(),
+        n: g.num_nodes(),
+        pair: (u, v),
+        shrink,
+        delta,
+        classified_infeasible,
+        trajectories_never_meet,
+        simulated: simulation.is_some(),
+        universal_did_not_meet,
+        horizon,
+    }
+}
+
 /// Gather evidence for one STIC.  `oracle` must be the
 /// [`FeasibilityOracle`] of `g` (built once per workload by [`collect`]).
+/// One-off convenience: the sweep in [`collect`] shares one trajectory
+/// cache per workload instead of simulating each STIC from scratch.
 #[allow(clippy::too_many_arguments)] // mirrors the fields of InfeasibleRecord
 pub fn check_stic(
     label: &str,
@@ -129,47 +186,30 @@ pub fn check_stic(
     delta: Round,
     config: &InfeasibleConfig,
 ) -> InfeasibleRecord {
-    let class = oracle.classify(u, v, delta);
-    let classified_infeasible = matches!(class, SticClass::SymmetricInfeasible { .. });
-
-    let probes = trajectory_probes(3 * g.num_nodes());
-    let trajectories_never_meet = probes
-        .iter()
-        .all(|ports| symmetric_trajectories_never_meet(g, u, v, delta as usize, ports));
-
-    let simulate_it = g.num_nodes() <= config.max_sim_nodes
-        && anonrv_core::pairing::phase_of(g.num_nodes(), shrink.max(1), shrink.max(1) as u64)
-            <= config.max_phase_budget;
-    let (universal_did_not_meet, horizon) = if simulate_it {
+    let simulation = if simulation_gate(g, shrink, config) {
         let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
         let scheme = TrailSignature::new(uxs);
         let algo = UniversalRv::new(&uxs, &scheme);
-        // horizon: where the *feasible* counterpart (same n, d, delay = d)
-        // would have been solved at the latest
-        let horizon = algo.completion_horizon(g.num_nodes(), shrink, shrink as Round);
+        let horizon = simulation_horizon(&algo, g, shrink);
         let outcome = simulate(g, &algo, &Stic::new(u, v, delta), horizon);
-        (!outcome.met(), horizon)
+        Some((!outcome.met(), horizon))
     } else {
-        (true, 0)
+        None
     };
-
-    InfeasibleRecord {
-        label: label.to_string(),
-        n: g.num_nodes(),
-        pair: (u, v),
-        shrink,
-        delta,
-        classified_infeasible,
-        trajectories_never_meet,
-        simulated: simulate_it,
-        universal_did_not_meet,
-        horizon,
-    }
+    assemble_record(label, g, oracle, u, v, shrink, delta, simulation)
 }
 
 /// Run the experiment and collect the records.
+///
+/// The simulated part runs the *same* `UniversalRV` program on every gated
+/// STIC of a workload, so one [`SweepEngine`] per workload (built at the
+/// largest gated horizon) records each queried start node's trajectory once;
+/// rayon then fans out over cached-timeline merges and the analytic checks.
 pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
     let workloads = symmetric_workloads(config.scale);
+    let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
+    let scheme = TrailSignature::new(uxs);
+    let algo = UniversalRv::new(&uxs, &scheme);
     let mut records = Vec::new();
     for w in &workloads {
         let mut cases = Vec::new();
@@ -185,12 +225,22 @@ pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
             }
             deltas.dedup();
             for delta in deltas {
-                cases.push((p.u, p.v, p.shrink, delta));
+                let horizon = simulation_gate(&w.graph, p.shrink, config)
+                    .then(|| simulation_horizon(&algo, &w.graph, p.shrink));
+                cases.push((p.u, p.v, p.shrink, delta, horizon));
             }
         }
         let oracle = FeasibilityOracle::new(&w.graph);
-        records.extend(par_map(cases, |&(u, v, shrink, delta)| {
-            check_stic(&w.label, &w.graph, &oracle, u, v, shrink, delta, config)
+        let max_horizon = cases.iter().filter_map(|c| c.4).max();
+        let engine = max_horizon
+            .map(|h| SweepEngine::new(&w.graph, &algo, anonrv_sim::EngineConfig::with_horizon(h)));
+        records.extend(par_map(cases, |&(u, v, shrink, delta, horizon)| {
+            let simulation = horizon.map(|h| {
+                let engine = engine.as_ref().expect("a gated case implies an engine");
+                let outcome = engine.simulate_capped(&Stic::new(u, v, delta), h);
+                (!outcome.met(), h)
+            });
+            assemble_record(&w.label, &w.graph, &oracle, u, v, shrink, delta, simulation)
         }));
     }
     records

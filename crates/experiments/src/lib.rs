@@ -31,6 +31,26 @@
 //!
 //! Parallelism (rayon) lives strictly in this layer: the paper's algorithms
 //! themselves are sequential round-by-round agent programs.
+//!
+//! ## How the sweeps simulate
+//!
+//! `anonrv-sim` offers three bit-identical engines (streaming, lockstep,
+//! batch); the sweeps here pick per workload shape:
+//!
+//! * sweeps evaluating **many STICs of one `(graph, program)` pair** —
+//!   [`symm`] (per `(Shrink, δ)` parameter group), [`asymm`] (per delay
+//!   budget), [`universal`], [`infeasible`] and [`scaling`] (one parameterless
+//!   `UniversalRV` per instance / ring size) — build one
+//!   [`anonrv_sim::SweepEngine`] per group: its `TrajectoryCache` executes
+//!   each start node's deterministic walk exactly once and every STIC becomes
+//!   a cached-timeline merge, `O(n)` program executions per graph instead of
+//!   `O(n²·Δ)`.  Rayon fans out over the merges
+//!   ([`runner::run_case_with_engine`]); heterogeneous per-case horizons
+//!   share the cache through capped queries.
+//! * one-off simulations (single probes, heterogeneous per-case programs as
+//!   in [`random_exp`] or [`lower_bound_exp`]) use [`anonrv_sim::simulate`],
+//!   whose `Auto` mode picks lockstep for short horizons and streaming for
+//!   astronomical ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

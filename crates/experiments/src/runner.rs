@@ -5,17 +5,27 @@
 //! the algorithms themselves are sequential round-by-round programs, as in
 //! the paper) and collects uniform [`RunRecord`]s.
 //!
-//! Classification inside sweeps goes through a per-graph
-//! [`FeasibilityOracle`] (one `O(n²·Δ)` pair-space preparation answering
-//! every STIC of that graph in O(1)) via [`run_case_with_oracle`]; the
-//! oracle-less [`run_case`] stays as a convenience for one-off cases.
+//! Two per-graph preparations turn sweeps from `O(cases · full-work)` into
+//! `O(graph)` + cheap per-case queries:
+//!
+//! * classification goes through a [`FeasibilityOracle`] (one `O(n²·Δ)`
+//!   pair-space preparation answering every STIC of that graph in O(1)) via
+//!   [`run_case_with_oracle`];
+//! * simulation goes through a [`SweepEngine`] (one trajectory recording
+//!   per start node answering every STIC by merging two cached timelines)
+//!   via [`run_case_with_engine`] — the sweeps group their cases by
+//!   `(graph, program, horizon)`, build one engine per group, and fan rayon
+//!   over the cached-timeline merges.
+//!
+//! The oracle-less, engine-less [`run_case`] stays as a convenience for
+//! one-off cases.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_graph::{NodeId, PortGraph};
-use anonrv_sim::{simulate, AgentProgram, Round, Stic};
+use anonrv_sim::{simulate, AgentProgram, Round, Stic, SweepEngine};
 
 /// One simulated STIC and its outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,11 +101,34 @@ pub fn run_case_with_oracle(
     oracle: &FeasibilityOracle,
 ) -> RunRecord {
     let outcome = simulate(case.graph, program, &case.stic, case.horizon);
+    record_outcome(case, program.name(), oracle, outcome)
+}
+
+/// Simulate one case through a prebuilt per-`(graph, program)`
+/// [`SweepEngine`] (its trajectory cache answers the STIC by merging two
+/// cached timelines) and classify through the per-graph oracle.  The
+/// engine's cache horizon must be at least `case.horizon`; cases with
+/// heterogeneous horizons share one engine built at the maximum.
+pub fn run_case_with_engine(
+    case: &Case<'_>,
+    engine: &SweepEngine<'_>,
+    oracle: &FeasibilityOracle,
+) -> RunRecord {
+    let outcome = engine.simulate_capped(&case.stic, case.horizon);
+    record_outcome(case, engine.program().name(), oracle, outcome)
+}
+
+fn record_outcome(
+    case: &Case<'_>,
+    algorithm: &str,
+    oracle: &FeasibilityOracle,
+    outcome: anonrv_sim::SimOutcome,
+) -> RunRecord {
     let class = oracle.classify(case.stic.earlier, case.stic.later, case.stic.delay);
     RunRecord {
         family: case.family.clone(),
         label: case.label.clone(),
-        algorithm: program.name().to_string(),
+        algorithm: algorithm.to_string(),
         n: case.graph.num_nodes(),
         u: case.stic.earlier,
         v: case.stic.later,
@@ -122,6 +155,18 @@ pub fn class_name(class: &SticClass) -> &'static str {
         SticClass::SymmetricInfeasible { .. } => "symmetric-infeasible",
         SticClass::SameNode => "same-node",
     }
+}
+
+/// Distinct values of `items` in first-seen order (the sweeps use this to
+/// derive their one-engine-per-group keys deterministically).
+pub fn distinct_in_order<T: PartialEq>(items: impl IntoIterator<Item = T>) -> Vec<T> {
+    let mut distinct = Vec::new();
+    for item in items {
+        if !distinct.contains(&item) {
+            distinct.push(item);
+        }
+    }
+    distinct
 }
 
 /// Map `f` over `items` in parallel, preserving order.

@@ -22,11 +22,11 @@ use anonrv_core::pairing::phase_of;
 use anonrv_core::universal_rv::UniversalRv;
 use anonrv_graph::generators::oriented_ring;
 use anonrv_graph::shrink::shrink;
-use anonrv_sim::{simulate, Round, Stic};
+use anonrv_sim::{EngineConfig, Round, Stic, SweepEngine};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
-use crate::runner::par_map;
+use crate::runner::{distinct_in_order, par_map};
 
 /// One point of the scaling sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,28 +98,50 @@ pub struct ScalingRecord {
     pub envelope: Round,
 }
 
-/// Run the sweep and return the measured records.
+/// Run the sweep and return the measured records (in `config.points`
+/// order).
+///
+/// `UniversalRV` takes no parameters, so all points sharing one ring size
+/// run the same program on the same graph: each size gets one
+/// [`SweepEngine`] at the largest completion bound among its points, the
+/// trajectory cache records each queried start node once, and rayon fans
+/// out over cached-timeline merges (capped at every point's own bound).
 pub fn collect(config: &ScalingConfig) -> Vec<ScalingRecord> {
-    let uxs_rule = config.uxs_rule;
-    par_map(config.points.clone(), |&point| {
-        let ScalingPoint { n, d, delta } = point;
+    let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
+    let scheme = TrailSignature::new(uxs);
+    let algo = UniversalRv::new(&uxs, &scheme);
+    let mut records: Vec<Option<ScalingRecord>> = vec![None; config.points.len()];
+    for n in distinct_in_order(config.points.iter().map(|p| p.n)) {
         let g = oriented_ring(n).expect("ring generation");
-        let (u, v) = (0usize, d);
-        debug_assert_eq!(shrink(&g, u, v), Some(d));
-        let uxs = PseudorandomUxs::with_rule(uxs_rule);
-        let scheme = TrailSignature::new(uxs);
-        let algo = UniversalRv::new(&uxs, &scheme);
-        let horizon = algo.completion_horizon(n, d, delta);
-        let outcome = simulate(&g, &algo, &Stic::new(u, v, delta), horizon);
-        ScalingRecord {
-            point,
-            time: outcome.rendezvous_time(),
-            resolving_phase: phase_of(n, d, delta.min(u64::MAX as Round) as u64),
-            phase_shape: (n as u64).pow(4) + (delta as u64).pow(2),
-            completion_bound: horizon,
-            envelope: proposition41_envelope(n, delta),
+        let group: Vec<usize> =
+            (0..config.points.len()).filter(|&i| config.points[i].n == n).collect();
+        let max_horizon = group
+            .iter()
+            .map(|&i| algo.completion_horizon(n, config.points[i].d, config.points[i].delta))
+            .max()
+            .expect("size groups are non-empty");
+        let engine = SweepEngine::new(&g, &algo, EngineConfig::with_horizon(max_horizon));
+        for (i, record) in par_map(group, |&i| {
+            let point = config.points[i];
+            let ScalingPoint { n, d, delta } = point;
+            let (u, v) = (0usize, d);
+            debug_assert_eq!(shrink(&g, u, v), Some(d));
+            let horizon = algo.completion_horizon(n, d, delta);
+            let outcome = engine.simulate_capped(&Stic::new(u, v, delta), horizon);
+            let record = ScalingRecord {
+                point,
+                time: outcome.rendezvous_time(),
+                resolving_phase: phase_of(n, d, delta.min(u64::MAX as Round) as u64),
+                phase_shape: (n as u64).pow(4) + (delta as u64).pow(2),
+                completion_bound: horizon,
+                envelope: proposition41_envelope(n, delta),
+            };
+            (i, record)
+        }) {
+            records[i] = Some(record);
         }
-    })
+    }
+    records.into_iter().map(|r| r.expect("every point is simulated")).collect()
 }
 
 /// Run the experiment as a report table.

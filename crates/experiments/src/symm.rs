@@ -11,11 +11,11 @@
 
 use anonrv_core::bounds::symm_rv_bound;
 use anonrv_core::symm_rv::SymmRv;
-use anonrv_sim::{Round, Stic};
+use anonrv_sim::{EngineConfig, Stic, SweepEngine};
 use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
 
 use crate::report::{fmt_opt_rounds, fmt_ratio, fmt_rounds, Table};
-use crate::runner::{run_case_with_oracle, Aggregate, Case, RunRecord};
+use crate::runner::{distinct_in_order, run_case_with_engine, Aggregate, Case, RunRecord};
 use crate::suite::{symmetric_delays, symmetric_pairs, symmetric_workloads, Scale};
 
 /// Configuration of the `SymmRV` experiment.
@@ -61,6 +61,11 @@ impl SymmConfig {
 }
 
 /// Run the experiment and return the raw records.
+///
+/// `SymmRV(n, d, δ)` is one deterministic program per `(d, δ)` parameter
+/// pair, so the sweep groups its cases by `(Shrink, δ)`: every group shares
+/// one [`anonrv_sim::SweepEngine`] whose trajectory cache records each start
+/// node's walk once, and rayon fans out over the cached-timeline merges.
 pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
     let workloads = symmetric_workloads(config.scale);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
@@ -75,27 +80,34 @@ pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
             .into_iter()
             .filter(|p| p.shrink >= 1 && p.shrink <= config.max_shrink)
             .collect();
-        let cases: Vec<(usize, Round)> = pairs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, p)| symmetric_delays(p.shrink).into_iter().map(move |d| (i, d)))
-            .collect();
+        // (shrink, delta) groups, in deterministic first-seen order
+        let groups = distinct_in_order(
+            pairs
+                .iter()
+                .flat_map(|p| symmetric_delays(p.shrink).into_iter().map(|d| (p.shrink, d))),
+        );
         let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
-        let batch = crate::runner::par_map(cases, |&(i, delta)| {
-            let p = &pairs[i];
-            let bound = symm_rv_bound(n, p.shrink, delta, m);
-            let case = Case {
-                family: w.family.clone(),
-                label: w.label.clone(),
-                graph: &w.graph,
-                stic: Stic::new(p.u, p.v, delta),
-                horizon: bound.saturating_add(delta).saturating_add(1),
-                bound: Some(bound),
-            };
-            let program = SymmRv::new(n, p.shrink, delta, &uxs);
-            run_case_with_oracle(&case, &program, &oracle)
-        });
-        records.extend(batch);
+        for (shrink, delta) in groups {
+            // pairs with this Shrink share the whole delay set, so the
+            // group key alone determines membership
+            let group: Vec<_> = pairs.iter().filter(|p| p.shrink == shrink).collect();
+            let bound = symm_rv_bound(n, shrink, delta, m);
+            let horizon = bound.saturating_add(delta).saturating_add(1);
+            let program = SymmRv::new(n, shrink, delta, &uxs);
+            let engine = SweepEngine::new(&w.graph, &program, EngineConfig::with_horizon(horizon));
+            let batch = crate::runner::par_map(group, |p| {
+                let case = Case {
+                    family: w.family.clone(),
+                    label: w.label.clone(),
+                    graph: &w.graph,
+                    stic: Stic::new(p.u, p.v, delta),
+                    horizon,
+                    bound: Some(bound),
+                };
+                run_case_with_engine(&case, &engine, &oracle)
+            });
+            records.extend(batch);
+        }
     }
     records
 }

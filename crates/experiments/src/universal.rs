@@ -17,7 +17,7 @@ use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::pairing::phase_of;
 use anonrv_core::universal_rv::UniversalRv;
-use anonrv_sim::{simulate, Round, Stic};
+use anonrv_sim::{EngineConfig, Round, Stic, SweepEngine};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
@@ -195,36 +195,62 @@ fn plan(config: &UniversalConfig) -> Vec<Planned> {
     planned
 }
 
+/// The completion horizon a planned STIC is simulated to.
+fn case_horizon(algo: &UniversalRv<'_, TrailSignature>, p: &Planned) -> Round {
+    let (n_hint, d_hint) = match p.class {
+        SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => {
+            (p.graph.num_nodes(), shrink.max(1))
+        }
+        _ => (p.graph.num_nodes(), 1),
+    };
+    algo.completion_horizon(n_hint, d_hint, p.delta.max(1))
+}
+
 /// Run the experiment and return the raw records.
+///
+/// `UniversalRV` takes no parameters, so every STIC of one instance runs
+/// the *same* program: the sweep builds one [`SweepEngine`] per instance at
+/// the largest planned horizon, records each queried start node's
+/// trajectory once, and answers every case (at its own, possibly smaller,
+/// horizon) by merging cached timelines under rayon.
 pub fn collect(config: &UniversalConfig) -> Vec<UniversalRecord> {
     let planned = plan(config);
-    let uxs_rule = config.uxs_rule;
-    par_map(planned, |p| {
-        let uxs = PseudorandomUxs::with_rule(uxs_rule);
-        let scheme = TrailSignature::new(uxs);
-        let algo = UniversalRv::new(&uxs, &scheme);
-        let class = p.class;
-        let (n_hint, d_hint) = match class {
-            SticClass::SymmetricFeasible { shrink } | SticClass::SymmetricInfeasible { shrink } => {
-                (p.graph.num_nodes(), shrink.max(1))
+    let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
+    let scheme = TrailSignature::new(uxs);
+    let algo = UniversalRv::new(&uxs, &scheme);
+    let mut records = Vec::new();
+    // `plan` emits each instance's cases contiguously
+    let mut start = 0;
+    while start < planned.len() {
+        let end = planned[start..]
+            .iter()
+            .position(|p| p.label != planned[start].label)
+            .map_or(planned.len(), |k| start + k);
+        let group = &planned[start..end];
+        let graph = &group[0].graph;
+        let cases: Vec<(&Planned, Round)> =
+            group.iter().map(|p| (p, case_horizon(&algo, p))).collect();
+        let max_horizon =
+            cases.iter().map(|&(_, h)| h).max().expect("instance groups are non-empty");
+        let engine = SweepEngine::new(graph, &algo, EngineConfig::with_horizon(max_horizon));
+        records.extend(par_map(cases, |&(p, horizon)| {
+            let outcome = engine.simulate_capped(&Stic::new(p.u, p.v, p.delta), horizon);
+            UniversalRecord {
+                label: p.label.clone(),
+                n: p.graph.num_nodes(),
+                pair: (p.u, p.v),
+                delta: p.delta,
+                class: class_name(&p.class).to_string(),
+                feasible: p.class.is_feasible(),
+                met: outcome.met(),
+                time: outcome.rendezvous_time(),
+                resolving_phase: p.resolving_phase,
+                horizon,
             }
-            _ => (p.graph.num_nodes(), 1),
-        };
-        let horizon = algo.completion_horizon(n_hint, d_hint, p.delta.max(1));
-        let outcome = simulate(&p.graph, &algo, &Stic::new(p.u, p.v, p.delta), horizon);
-        UniversalRecord {
-            label: p.label.clone(),
-            n: p.graph.num_nodes(),
-            pair: (p.u, p.v),
-            delta: p.delta,
-            class: class_name(&class).to_string(),
-            feasible: class.is_feasible(),
-            met: outcome.met(),
-            time: outcome.rendezvous_time(),
-            resolving_phase: p.resolving_phase,
-            horizon,
-        }
-    })
+        }));
+        start = end;
+    }
+    records
 }
 
 /// Run the experiment as a report table (one row per STIC).

@@ -1,0 +1,892 @@
+//! The batch (trajectory-memoized) simulation engine for sweep workloads.
+//!
+//! In the paper's model an agent's walk is a *deterministic function of its
+//! start node alone*: the program sees only local observations (degree,
+//! entry port, its own clock), so two agents started on the same node always
+//! trace the same position timeline, and the delay `δ` merely shifts when
+//! the later agent's copy begins.  Sweeps that evaluate many STICs of one
+//! graph therefore re-execute the same `n` trajectories over and over —
+//! `O(n²·Δ)` full program runs for an all-pairs × delays sweep.
+//!
+//! This module computes each start node's wait-compressed timeline **once**
+//! ([`Timeline::record`], the same segment representation the lockstep
+//! engine materialises per call) and answers any `(u, v, δ)` STIC by merging
+//! two cached timelines:
+//!
+//! * [`TrajectoryCache`] — per `(graph, program, horizon)` store of lazily
+//!   recorded [`Timeline`]s, one per start node, thread-safe (`OnceLock`
+//!   slots) so rayon sweeps can fan out over merges directly;
+//! * [`merge_timelines`] — meeting detection over two cached timelines: the
+//!   later agent's segments are swept in time order and each is resolved
+//!   against the earlier timeline's per-node *occupancy-interval index*
+//!   (sorted visit intervals per node, built once at record time), so a
+//!   query costs `O(segments(later) · log)` with early exit as soon as the
+//!   running best meeting round can no longer be beaten — the common
+//!   "agents meet fast" case touches only a prefix of the timeline;
+//! * [`SweepEngine`] — the sweep-facing façade: an [`EngineConfig`] plus a
+//!   cache; [`EngineMode::Auto`] and [`EngineMode::Batch`] answer from the
+//!   cache (constructing a `SweepEngine` *is* the caller's signal that
+//!   timelines will be reused), while pinning `Streaming`/`Lockstep` falls
+//!   back to per-call simulation (the differential-testing escape hatch);
+//! * [`simulate_batch`] — one-shot convenience for a single STIC through
+//!   the batch path.
+//!
+//! Outcomes are **bit-identical** to the streaming and lockstep engines
+//! (asserted by `tests/property_engine_batch.rs` and the differential tests
+//! below), with one contract the other engines share implicitly: agent
+//! programs must propagate [`Stop`](crate::navigator::Stop) errors outward
+//! (every program in this repository does, via `?`).  That is what makes a
+//! horizon-`h` run an exact prefix of a horizon-`H ≥ h` run, which in turn
+//! lets one cached timeline at the cache horizon answer
+//! [`TrajectoryCache::simulate_capped`] queries at any smaller horizon and
+//! stand in for the later agent's `horizon − δ`-truncated execution.
+
+use std::sync::OnceLock;
+
+use anonrv_graph::{NodeId, PortGraph};
+
+use crate::engine::{simulate_with, EngineConfig, EngineMode, Meeting, SimOutcome};
+use crate::navigator::{AgentProgram, Event, EventSink, GraphNavigator, Stop};
+use crate::stic::{Round, Stic};
+
+const INFINITY: Round = Round::MAX;
+
+/// One stop of an agent's wait-compressed position timeline: the agent sits
+/// at `node` during the local rounds `[start, end)`.  Consecutive segments
+/// are contiguous (`end == next.start`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Seg {
+    /// Node occupied throughout the segment.
+    pub(crate) node: NodeId,
+    /// First round of the stop (inclusive).
+    pub(crate) start: Round,
+    /// One past the last round of the stop.
+    pub(crate) end: Round,
+    /// Edge traversals completed at rounds `<= start` (the move that opened
+    /// this segment included).  Constant across the segment because the
+    /// agent is parked for its whole duration.
+    pub(crate) moves_before: u64,
+}
+
+/// Sink recording a full wait-compressed timeline (consecutive waits merge
+/// into their segment, so memory is one entry per *event*, not per round).
+/// Shared with the lockstep engine, which records the earlier agent through
+/// it on every call — exactly the work this module memoizes.
+pub(crate) struct RecordSink {
+    pub(crate) segs: Vec<Seg>,
+    pub(crate) moves: u64,
+}
+
+impl RecordSink {
+    pub(crate) fn new(start_node: NodeId) -> Self {
+        RecordSink {
+            segs: vec![Seg { node: start_node, start: 0, end: 1, moves_before: 0 }],
+            moves: 0,
+        }
+    }
+}
+
+impl EventSink for RecordSink {
+    fn emit(&mut self, event: Event) -> Result<(), Stop> {
+        let last = self.segs.last_mut().expect("timeline starts non-empty");
+        match event {
+            Event::Wait { rounds } => last.end += rounds,
+            Event::Move { to, .. } => {
+                let at = last.end;
+                self.moves += 1;
+                self.segs.push(Seg { node: to, start: at, end: at + 1, moves_before: self.moves });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) {}
+}
+
+/// One entry of the per-node occupancy-interval index: a visit interval
+/// plus the index of the segment realising it.  Entries carry the interval
+/// bounds inline so a lookup never chases back into the segment array.
+#[derive(Debug, Clone, Copy)]
+struct OccEntry {
+    start: Round,
+    end: Round,
+    seg: u32,
+}
+
+/// A start node's full position timeline under one `(graph, program,
+/// horizon)` triple, in the agent's *local* rounds (round 0 = its start),
+/// plus the per-node occupancy-interval index used by [`merge_timelines`].
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Contiguous segments from local round 0; the final entry is the
+    /// infinite parked-forever tail when the program terminated by itself.
+    segs: Vec<Seg>,
+    /// Hot copy of the segment starts plus one sentinel (the last segment's
+    /// end), so the merge sweep reads `starts[j] .. starts[j + 1]` from one
+    /// dense array: contiguity makes every segment's end its successor's
+    /// start.
+    starts: Vec<Round>,
+    /// Hot copy of the segment nodes (same indexing as `segs`).
+    nodes: Vec<u32>,
+    /// End of the last *finite* segment — one past the last local round the
+    /// recorded run actually executed.
+    finite_end: Round,
+    /// Full-run edge-traversal total.
+    total_moves: u64,
+    /// The program terminated by itself (rather than hitting the horizon).
+    terminated: bool,
+    /// Index of the infinite tail segment, if any.
+    tail_index: Option<usize>,
+    /// CSR offsets into `occ`, one slice per node (length `n + 1`).
+    occ_starts: Vec<u32>,
+    /// Visit intervals grouped by node, each group sorted by `start` (and,
+    /// intervals being disjoint, by `end`).
+    occ: Vec<OccEntry>,
+}
+
+impl Timeline {
+    /// Execute `program` from `start` once, up to the local `horizon`, and
+    /// record its wait-compressed timeline.
+    pub fn record(
+        g: &PortGraph,
+        program: &dyn AgentProgram,
+        start: NodeId,
+        horizon: Round,
+    ) -> Self {
+        assert!(start < g.num_nodes(), "start node out of range");
+        let mut nav = GraphNavigator::new(g, start, horizon, RecordSink::new(start));
+        let terminated = program.run(&mut nav).is_ok();
+        let total_moves = nav.moves();
+        let record = nav.into_sink();
+        let mut segs = record.segs;
+        let finite_end = segs.last().expect("timeline starts non-empty").end;
+        let mut tail_index = None;
+        if terminated {
+            // the program ended by itself: it stays at its final node forever
+            let last = *segs.last().expect("timeline starts non-empty");
+            tail_index = Some(segs.len());
+            segs.push(Seg {
+                node: last.node,
+                start: finite_end,
+                end: INFINITY,
+                moves_before: total_moves,
+            });
+        }
+        assert!(segs.len() <= u32::MAX as usize, "timeline exceeds the index width");
+
+        // hot sweep arrays: starts with the trailing sentinel, and nodes
+        let mut starts: Vec<Round> = segs.iter().map(|s| s.start).collect();
+        starts.push(segs.last().expect("timeline starts non-empty").end);
+        let nodes: Vec<u32> = segs.iter().map(|s| s.node as u32).collect();
+
+        // per-node occupancy index (counting sort into CSR layout)
+        let n = g.num_nodes();
+        let mut occ_starts = vec![0u32; n + 1];
+        for s in &segs {
+            occ_starts[s.node + 1] += 1;
+        }
+        for i in 0..n {
+            occ_starts[i + 1] += occ_starts[i];
+        }
+        let mut cursor = occ_starts.clone();
+        let mut occ = vec![OccEntry { start: 0, end: 0, seg: 0 }; segs.len()];
+        for (i, s) in segs.iter().enumerate() {
+            occ[cursor[s.node] as usize] = OccEntry { start: s.start, end: s.end, seg: i as u32 };
+            cursor[s.node] += 1;
+        }
+
+        Timeline {
+            segs,
+            starts,
+            nodes,
+            finite_end,
+            total_moves,
+            terminated,
+            tail_index,
+            occ_starts,
+            occ,
+        }
+    }
+
+    /// Number of recorded segments (including the infinite tail, if any).
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// `true` iff the program terminated by itself within the horizon.
+    pub fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Full-run edge-traversal total.
+    pub fn total_moves(&self) -> u64 {
+        self.total_moves
+    }
+
+    /// Index of the segment occupying `local` (which must be covered: below
+    /// [`Self::finite_end`], or anywhere when the timeline has a tail).
+    fn seg_at(&self, local: Round) -> usize {
+        let idx = self.segs.partition_point(|s| s.end <= local);
+        debug_assert!(idx < self.segs.len(), "round {local} beyond the recorded timeline");
+        idx
+    }
+
+    /// `(moves, terminated)` of the same program run truncated at local
+    /// horizon `cap <=` the recorded horizon — exact because programs
+    /// propagate `Stop`, making the truncated run a prefix of this one.
+    fn totals_up_to(&self, cap: Round) -> (u64, bool) {
+        if cap >= self.finite_end - 1 {
+            (self.total_moves, self.terminated)
+        } else {
+            (self.segs[self.seg_at(cap)].moves_before, false)
+        }
+    }
+
+    /// Earliest visit to `node` within the local window `[lo, hi)`: the
+    /// occupancy-interval index finds the first interval at `node` ending
+    /// after `lo` in one binary search (intervals per node are disjoint, so
+    /// sorted by `start` *and* by `end`).  Returns the segment index and the
+    /// first shared round.
+    #[inline]
+    fn first_visit(&self, node: NodeId, lo: Round, hi: Round) -> Option<(usize, Round)> {
+        let list = &self.occ[self.occ_starts[node] as usize..self.occ_starts[node + 1] as usize];
+        let k = list.partition_point(|entry| entry.end <= lo);
+        let entry = list.get(k)?;
+        (entry.start < hi).then(|| (entry.seg as usize, entry.start.max(lo)))
+    }
+}
+
+/// Merge two cached timelines into the [`SimOutcome`] of the STIC that
+/// starts the `earlier` timeline's program at global round 0 and the
+/// `later` one's at `stic.delay`, up to the global `horizon` — bit-identical
+/// to running the streaming or lockstep engine on the same STIC.
+///
+/// Both timelines must have been recorded with a local horizon of at least
+/// `horizon` (the cache horizon); the merge clips them down to the query,
+/// which is exact because truncated runs are prefixes (see the module docs).
+pub fn merge_timelines(
+    earlier: &Timeline,
+    later: &Timeline,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    if stic.delay > horizon {
+        // the later agent never even appears within the horizon
+        return SimOutcome::no_show(horizon);
+    }
+    let delay = stic.delay;
+    // the later agent's run is truncated at this local round
+    let later_cap = horizon - delay;
+
+    // Sweep the later agent's segments in time order; every segment is a
+    // parked interval, so the earliest meeting inside it is the earlier
+    // agent's first visit to that node within the (global) window.  Stop as
+    // soon as the next window opens at or after the best meeting so far.
+    // The sweep runs over the hot `starts`/`nodes` arrays and the packed
+    // occupancy entries only — `segs` is touched once, on a meeting.
+    let mut best_lo = INFINITY;
+    let mut best: Option<(usize, usize)> = None;
+    let cap1 = later_cap.saturating_add(1);
+    for jb in 0..later.nodes.len() {
+        let b_start = later.starts[jb];
+        if b_start > later_cap {
+            break;
+        }
+        let lo = b_start + delay; // <= horizon, exact
+        if lo >= best_lo {
+            break;
+        }
+        let hi = later.starts[jb + 1].min(cap1).saturating_add(delay);
+        if let Some((si, at)) = earlier.first_visit(later.nodes[jb] as usize, lo, hi) {
+            if at < best_lo {
+                best_lo = at;
+                best = Some((si, jb));
+            }
+        }
+    }
+
+    match best.map(|(si, jb)| (best_lo, si, jb)) {
+        Some((at, si, jb)) => SimOutcome {
+            meeting: Some(Meeting {
+                global_round: at,
+                later_round: at - delay,
+                node: earlier.segs[si].node,
+            }),
+            earlier_moves: earlier.segs[si].moves_before,
+            later_moves: later.segs[jb].moves_before,
+            earlier_terminated: earlier.tail_index == Some(si),
+            later_terminated: later.tail_index == Some(jb),
+            horizon,
+        },
+        None => {
+            let (earlier_moves, earlier_terminated) = earlier.totals_up_to(horizon);
+            let (later_moves, later_terminated) = later.totals_up_to(later_cap);
+            SimOutcome {
+                meeting: None,
+                earlier_moves,
+                later_moves,
+                earlier_terminated,
+                later_terminated,
+                horizon,
+            }
+        }
+    }
+}
+
+/// Merge two cached timelines for a whole **delay sweep** of one `(u, v)`
+/// pair: one pass over the later timeline resolves every `δ` in `deltas` at
+/// once, returning outcomes in input order, each bit-identical to
+/// [`merge_timelines`] at that delay.
+///
+/// This is the sweep workloads' inner loop: all of a pair's delays share the
+/// occupancy lookups and the later-timeline sweep, so `k` delays cost about
+/// one merge instead of `k` (the per-node index is probed once per later
+/// segment and the probe cursor only nudges forward across delays).
+pub fn merge_timelines_deltas(
+    earlier: &Timeline,
+    later: &Timeline,
+    deltas: &[Round],
+    horizon: Round,
+) -> Vec<SimOutcome> {
+    // the fast path needs ascending delays; reorder through a sorted copy
+    // otherwise (sweeps pass ascending delay lists, so this never triggers
+    // on the hot path)
+    if !deltas.windows(2).all(|w| w[0] <= w[1]) {
+        let mut order: Vec<usize> = (0..deltas.len()).collect();
+        order.sort_by_key(|&i| deltas[i]);
+        let sorted: Vec<Round> = order.iter().map(|&i| deltas[i]).collect();
+        let outcomes = merge_timelines_deltas(earlier, later, &sorted, horizon);
+        let mut out = vec![outcomes[0]; deltas.len()];
+        for (k, &i) in order.iter().enumerate() {
+            out[i] = outcomes[k];
+        }
+        return out;
+    }
+
+    let horizon1 = horizon.saturating_add(1);
+    // delays beyond the horizon sit at the tail and are never swept
+    let active = deltas.partition_point(|&d| d <= horizon);
+
+    // per-active-delay best meeting: (meeting round, earlier seg, later seg)
+    let mut best: Vec<(Round, usize, usize)> = vec![(INFINITY, 0, 0); active];
+    if active > 0 {
+        let delta_min = deltas[0];
+        let delta_max = deltas[active - 1];
+        let occ_starts = earlier.occ_starts.as_slice();
+        let occ = earlier.occ.as_slice();
+        // the later sweep may stop once every delay's window is closed:
+        // segment j is useful for delay δ only while start + δ < min(best_lo,
+        // horizon + 1)
+        let stop_at = |best: &[(Round, usize, usize)]| -> Round {
+            deltas[..active]
+                .iter()
+                .zip(best)
+                .map(|(&d, &(lo, ..))| lo.min(horizon1).saturating_sub(d))
+                .max()
+                .expect("active is non-zero")
+        };
+        let mut stop = stop_at(&best);
+        for jb in 0..later.nodes.len() {
+            let b_start = later.starts[jb];
+            if b_start >= stop {
+                break;
+            }
+            let node = later.nodes[jb] as usize;
+            let s = occ_starts[node] as usize;
+            let e = occ_starts[node + 1] as usize;
+            if s == e {
+                continue; // the earlier agent never visits this node at all
+            }
+            let list = &occ[s..e];
+            let b_end = later.starts[jb + 1];
+            // An earlier visit `[entry.start, entry.end)` overlaps this
+            // (parked) later segment under delay δ iff
+            //   entry.end > b_start + δ  and  entry.start < b_end + δ,
+            // i.e. for δ in [(entry.start+1) − b_end, entry.end − b_start);
+            // the horizon additionally caps δ ≤ horizon − b_start.  Each
+            // entry is charged once for the whole delay range instead of
+            // being re-probed per delay.
+            let delta_cap = horizon1 - b_start; // > 0: b_start <= horizon here
+            let k = list.partition_point(|entry| entry.end <= b_start + delta_min);
+            // a useful entry must satisfy entry.start < b_end + δ for some
+            // valid δ *and* entry.start <= horizon (a meeting round never
+            // exceeds the horizon); entries are sorted by start, so the
+            // first one beyond either bound ends the scan
+            let entry_stop = b_end.saturating_add(delta_max.min(delta_cap - 1)).min(horizon1);
+            let mut updated = false;
+            for entry in &list[k..] {
+                if entry.start >= entry_stop {
+                    break;
+                }
+                let d_lo = (entry.start + 1).saturating_sub(b_end).max(delta_min);
+                let d_hi = (entry.end - b_start).min(delta_cap); // exclusive
+                                                                 // the active delays inside [d_lo, d_hi) — a handful, so a
+                                                                 // linear scan beats binary search
+                for (slot, &delta) in deltas[..active].iter().enumerate() {
+                    if delta >= d_hi {
+                        break;
+                    }
+                    if delta < d_lo {
+                        continue;
+                    }
+                    let at = entry.start.max(b_start + delta);
+                    if at < best[slot].0 {
+                        best[slot] = (at, entry.seg as usize, jb);
+                        updated = true;
+                    }
+                }
+            }
+            if updated {
+                stop = stop_at(&best);
+            }
+        }
+    }
+
+    // assemble outcomes in input order
+    deltas
+        .iter()
+        .enumerate()
+        .map(|(slot, &delta)| {
+            if slot >= active {
+                // the later agent never even appears within the horizon
+                return SimOutcome::no_show(horizon);
+            }
+            let (at, si, jb) = best[slot];
+            if at < INFINITY {
+                SimOutcome {
+                    meeting: Some(Meeting {
+                        global_round: at,
+                        later_round: at - delta,
+                        node: earlier.segs[si].node,
+                    }),
+                    earlier_moves: earlier.segs[si].moves_before,
+                    later_moves: later.segs[jb].moves_before,
+                    earlier_terminated: earlier.tail_index == Some(si),
+                    later_terminated: later.tail_index == Some(jb),
+                    horizon,
+                }
+            } else {
+                let (earlier_moves, earlier_terminated) = earlier.totals_up_to(horizon);
+                let (later_moves, later_terminated) = later.totals_up_to(horizon - delta);
+                SimOutcome {
+                    meeting: None,
+                    earlier_moves,
+                    later_moves,
+                    earlier_terminated,
+                    later_terminated,
+                    horizon,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Per-`(graph, program, horizon)` store of start-node timelines, computed
+/// lazily (at most once per node) and shared across threads: `timeline`
+/// takes `&self`, so a rayon sweep can fan out over
+/// [`TrajectoryCache::simulate`] calls directly.
+pub struct TrajectoryCache<'a> {
+    graph: &'a PortGraph,
+    program: &'a dyn AgentProgram,
+    horizon: Round,
+    slots: Vec<OnceLock<Timeline>>,
+}
+
+impl<'a> TrajectoryCache<'a> {
+    /// Create an empty cache; no trajectory is computed until queried.
+    pub fn new(graph: &'a PortGraph, program: &'a dyn AgentProgram, horizon: Round) -> Self {
+        let slots = (0..graph.num_nodes()).map(|_| OnceLock::new()).collect();
+        TrajectoryCache { graph, program, horizon, slots }
+    }
+
+    /// The cache horizon: every query must use a horizon `<=` this.
+    pub fn horizon(&self) -> Round {
+        self.horizon
+    }
+
+    /// The graph the cache simulates on.
+    pub fn graph(&self) -> &'a PortGraph {
+        self.graph
+    }
+
+    /// The program both agents run.
+    pub fn program(&self) -> &'a dyn AgentProgram {
+        self.program
+    }
+
+    /// The timeline of the agent started at `start`, recording it on first
+    /// use.
+    pub fn timeline(&self, start: NodeId) -> &Timeline {
+        self.slots[start]
+            .get_or_init(|| Timeline::record(self.graph, self.program, start, self.horizon))
+    }
+
+    /// Number of start nodes whose timeline has been recorded so far.
+    pub fn computed(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// Record every start node's timeline (sequentially; parallel callers
+    /// can equivalently fan `timeline` calls out over their own thread
+    /// pool).
+    pub fn warm_all(&self) {
+        for u in 0..self.graph.num_nodes() {
+            self.timeline(u);
+        }
+    }
+
+    /// Simulate one STIC at the cache horizon.
+    pub fn simulate(&self, stic: &Stic) -> SimOutcome {
+        self.simulate_capped(stic, self.horizon)
+    }
+
+    /// Simulate one STIC at `horizon <= self.horizon()` (exact for any
+    /// smaller horizon because truncated runs are prefixes; see the module
+    /// docs).
+    pub fn simulate_capped(&self, stic: &Stic, horizon: Round) -> SimOutcome {
+        assert!(
+            horizon <= self.horizon,
+            "query horizon {horizon} exceeds the cache horizon {}",
+            self.horizon
+        );
+        assert!(stic.earlier < self.graph.num_nodes(), "earlier start node out of range");
+        assert!(stic.later < self.graph.num_nodes(), "later start node out of range");
+        if stic.delay > horizon {
+            // answered without touching (or recording) any timeline,
+            // mirroring the other engines' early return
+            return SimOutcome::no_show(horizon);
+        }
+        merge_timelines(self.timeline(stic.earlier), self.timeline(stic.later), stic, horizon)
+    }
+
+    /// Simulate one `(u, v)` pair under **every** delay in `deltas` in a
+    /// single pass over the cached timelines (see
+    /// [`merge_timelines_deltas`]); outcome `i` is bit-identical to
+    /// `simulate(&Stic::new(u, v, deltas[i]))`.
+    pub fn simulate_deltas(&self, u: NodeId, v: NodeId, deltas: &[Round]) -> Vec<SimOutcome> {
+        assert!(u < self.graph.num_nodes(), "earlier start node out of range");
+        assert!(v < self.graph.num_nodes(), "later start node out of range");
+        if deltas.iter().all(|&d| d > self.horizon) {
+            // answered without recording any timeline, like `simulate_capped`
+            return deltas.iter().map(|_| SimOutcome::no_show(self.horizon)).collect();
+        }
+        merge_timelines_deltas(self.timeline(u), self.timeline(v), deltas, self.horizon)
+    }
+}
+
+/// Sweep-facing engine façade: a [`TrajectoryCache`] plus the
+/// [`EngineConfig`] that selects how queries are answered.
+///
+/// Constructing a `SweepEngine` is the caller's signal that many STICs of
+/// one `(graph, program)` pair will be simulated, so [`EngineMode::Auto`]
+/// resolves to the batch path here (unlike in
+/// [`simulate_with`], where a single call cannot amortise a cache).
+/// Pinning [`EngineMode::Streaming`] or [`EngineMode::Lockstep`] makes every
+/// query fall through to the per-call engines — the escape hatch the
+/// differential tests flip.
+pub struct SweepEngine<'a> {
+    cache: TrajectoryCache<'a>,
+    config: EngineConfig,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// Create an engine for sweeping STICs of `graph` under `program`.
+    pub fn new(graph: &'a PortGraph, program: &'a dyn AgentProgram, config: EngineConfig) -> Self {
+        SweepEngine { cache: TrajectoryCache::new(graph, program, config.horizon), config }
+    }
+
+    /// The underlying trajectory cache.
+    pub fn cache(&self) -> &TrajectoryCache<'a> {
+        &self.cache
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The program both agents run.
+    pub fn program(&self) -> &'a dyn AgentProgram {
+        self.cache.program()
+    }
+
+    /// Simulate one STIC at the configured horizon.
+    pub fn simulate(&self, stic: &Stic) -> SimOutcome {
+        self.simulate_capped(stic, self.config.horizon)
+    }
+
+    /// Simulate one STIC at `horizon <= config.horizon` (sweeps whose cases
+    /// use heterogeneous horizons build one engine at the maximum and cap
+    /// every query).
+    pub fn simulate_capped(&self, stic: &Stic, horizon: Round) -> SimOutcome {
+        match self.config.mode {
+            EngineMode::Auto | EngineMode::Batch => self.cache.simulate_capped(stic, horizon),
+            EngineMode::Streaming | EngineMode::Lockstep => {
+                let program = self.cache.program();
+                let config = EngineConfig { horizon, ..self.config };
+                simulate_with(self.cache.graph(), program, program, stic, config)
+            }
+        }
+    }
+
+    /// Simulate one `(u, v)` pair under every delay in `deltas`: on the
+    /// batch path a single pass over the cached timelines resolves the whole
+    /// delay sweep ([`TrajectoryCache::simulate_deltas`]); pinned per-call
+    /// modes simulate each delay separately.  Outcome `i` is bit-identical
+    /// to `simulate(&Stic::new(u, v, deltas[i]))`.
+    pub fn simulate_deltas(&self, u: NodeId, v: NodeId, deltas: &[Round]) -> Vec<SimOutcome> {
+        match self.config.mode {
+            EngineMode::Auto | EngineMode::Batch => self.cache.simulate_deltas(u, v, deltas),
+            EngineMode::Streaming | EngineMode::Lockstep => {
+                deltas.iter().map(|&delta| self.simulate(&Stic::new(u, v, delta))).collect()
+            }
+        }
+    }
+}
+
+/// Simulate a single STIC through the batch engine (both agents run
+/// `program`).  One-shot convenience over [`TrajectoryCache`]; sweeps should
+/// hold on to a cache (or a [`SweepEngine`]) instead, which is where the
+/// `O(n)`-executions-per-graph payoff comes from.
+pub fn simulate_batch(
+    g: &PortGraph,
+    program: &dyn AgentProgram,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    TrajectoryCache::new(g, program, horizon).simulate(stic)
+}
+
+/// Batch path of [`simulate_with`] (`EngineMode::Batch` with possibly
+/// different programs per agent): record the two timelines and merge.
+pub(crate) fn simulate_batch_with(
+    g: &PortGraph,
+    earlier_program: &dyn AgentProgram,
+    later_program: &dyn AgentProgram,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    let earlier = Timeline::record(g, earlier_program, stic.earlier, horizon);
+    let later = Timeline::record(g, later_program, stic.later, horizon);
+    merge_timelines(&earlier, &later, stic, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::navigator::Navigator;
+    use anonrv_graph::generators::{oriented_ring, oriented_torus, two_node_graph};
+
+    fn mover() -> impl AgentProgram {
+        |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            loop {
+                nav.move_via(0)?;
+            }
+        }
+    }
+
+    fn waiter() -> impl AgentProgram {
+        |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            loop {
+                nav.wait(Round::MAX)?;
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_records_waits_compressed_and_moves_counted() {
+        let g = oriented_ring(5).unwrap();
+        let program = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.move_via(0)?;
+            nav.wait(3)?;
+            nav.wait(2)?;
+            nav.move_via(0)?;
+            Ok(())
+        };
+        let t = Timeline::record(&g, &program, 0, 100);
+        // [0,1)@0, [1,7)@1 (move + merged waits), [7,8)@2, tail [8,inf)@2
+        assert_eq!(t.num_segments(), 4);
+        assert!(t.terminated());
+        assert_eq!(t.total_moves(), 2);
+        assert_eq!(t.finite_end, 8);
+        assert_eq!(t.first_visit(1, 0, 100), Some((1, 1)));
+        assert_eq!(t.first_visit(2, 0, 8), Some((2, 7)));
+        assert_eq!(t.first_visit(2, 8, 100), Some((3, 8))); // the tail
+        assert_eq!(t.first_visit(3, 0, 100), None);
+        assert_eq!(t.totals_up_to(0), (0, false));
+        assert_eq!(t.totals_up_to(6), (1, false));
+        assert_eq!(t.totals_up_to(7), (2, true));
+        assert_eq!(t.totals_up_to(50), (2, true));
+    }
+
+    #[test]
+    fn batch_agrees_with_the_engine_unit_scenarios() {
+        // the same scenarios engine.rs pins for lockstep/streaming
+        let two = two_node_graph();
+        let ring = oriented_ring(6).unwrap();
+        let cases: Vec<(&PortGraph, Stic, Round)> = vec![
+            (&two, Stic::new(0, 1, 3), 100),
+            (&two, Stic::new(0, 1, 2), 10_000),
+            (&two, Stic::simultaneous(0, 1), 10_000),
+            (&ring, Stic::new(0, 2, 2), 100),
+            (&ring, Stic::new(0, 2, 1_000), 10),
+        ];
+        for (g, stic, horizon) in cases {
+            let batch = simulate_batch(g, &mover(), &stic, horizon);
+            let reference = simulate(g, &mover(), &stic, horizon);
+            assert_eq!(batch, reference, "{stic} horizon {horizon}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_programs_through_engine_mode_batch() {
+        let g = oriented_ring(6).unwrap();
+        for delay in [0 as Round, 2, 5] {
+            for horizon in [10 as Round, 200] {
+                let stic = Stic::new(0, 3, delay);
+                let batch =
+                    simulate_with(&g, &waiter(), &mover(), &stic, EngineConfig::batch(horizon));
+                let reference =
+                    simulate_with(&g, &waiter(), &mover(), &stic, EngineConfig::lockstep(horizon));
+                assert_eq!(batch, reference, "delay {delay} horizon {horizon}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_records_each_start_node_at_most_once() {
+        let g = oriented_torus(3, 4).unwrap();
+        let program = mover();
+        let cache = TrajectoryCache::new(&g, &program, 64);
+        assert_eq!(cache.computed(), 0);
+        cache.simulate(&Stic::new(0, 5, 1));
+        assert_eq!(cache.computed(), 2);
+        cache.simulate(&Stic::new(0, 5, 3));
+        cache.simulate(&Stic::new(5, 0, 2));
+        assert_eq!(cache.computed(), 2);
+        cache.warm_all();
+        assert_eq!(cache.computed(), g.num_nodes());
+    }
+
+    #[test]
+    fn capped_queries_match_rerecording_at_the_smaller_horizon() {
+        let g = oriented_ring(7).unwrap();
+        let program = mover();
+        let cache = TrajectoryCache::new(&g, &program, 500);
+        for horizon in [0 as Round, 1, 3, 17, 100, 500] {
+            for delay in [0 as Round, 1, 5] {
+                let stic = Stic::new(0, 3, delay);
+                let capped = cache.simulate_capped(&stic, horizon);
+                let fresh = simulate_batch(&g, &program, &stic, horizon);
+                let lockstep =
+                    simulate_with(&g, &program, &program, &stic, EngineConfig::lockstep(horizon));
+                assert_eq!(capped, fresh, "{stic} horizon {horizon}");
+                assert_eq!(capped, lockstep, "{stic} horizon {horizon}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_engine_auto_uses_the_cache_and_pinned_modes_bypass_it() {
+        let g = oriented_ring(8).unwrap();
+        let program = mover();
+        let auto = SweepEngine::new(&g, &program, EngineConfig::with_horizon(100));
+        let pinned = SweepEngine::new(&g, &program, EngineConfig::streaming(100));
+        let stic = Stic::new(0, 4, 3);
+        let a = auto.simulate(&stic);
+        let b = pinned.simulate(&stic);
+        assert_eq!(a, b);
+        assert_eq!(auto.cache().computed(), 2);
+        assert_eq!(pinned.cache().computed(), 0);
+    }
+
+    #[test]
+    fn delay_beyond_horizon_is_answered_without_recording() {
+        let g = oriented_ring(5).unwrap();
+        let program = mover();
+        let cache = TrajectoryCache::new(&g, &program, 10);
+        let out = cache.simulate(&Stic::new(0, 2, 1_000));
+        assert!(!out.met());
+        assert_eq!(cache.computed(), 0);
+    }
+
+    #[test]
+    fn delta_sweep_queries_match_per_delta_queries() {
+        let g = oriented_torus(3, 4).unwrap();
+        let n = g.num_nodes();
+        for (lifetime, horizon) in [(None, 40 as Round), (Some(9), 25)] {
+            let program = ScriptedStepper { lifetime };
+            let cache = TrajectoryCache::new(&g, &program, horizon);
+            // ascending, unsorted and beyond-horizon delay lists
+            let delta_lists: Vec<Vec<Round>> = vec![
+                vec![0, 1, 2, 3, 4],
+                vec![3, 0, 7, 1, 1],
+                vec![horizon, horizon + 1, 0],
+                vec![5],
+                vec![],
+            ];
+            for u in 0..n {
+                for v in [0usize, 5, 11] {
+                    for deltas in &delta_lists {
+                        let swept = cache.simulate_deltas(u, v, deltas);
+                        assert_eq!(swept.len(), deltas.len());
+                        for (i, &delta) in deltas.iter().enumerate() {
+                            let single = cache.simulate(&Stic::new(u, v, delta));
+                            assert_eq!(
+                                swept[i], single,
+                                "delta sweep diverged: ({u}, {v}) delta {delta}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic mover/waiter mix used by the delta-sweep test (waits
+    /// make segments longer than one round, exercising the δ-interval
+    /// arithmetic).
+    struct ScriptedStepper {
+        lifetime: Option<u64>,
+    }
+
+    impl AgentProgram for ScriptedStepper {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            let mut state = 0xDEAD_BEEFu64;
+            let mut actions = 0u64;
+            loop {
+                if let Some(lifetime) = self.lifetime {
+                    if actions >= lifetime {
+                        return Ok(());
+                    }
+                }
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let roll = state >> 33;
+                if roll.is_multiple_of(3) {
+                    nav.wait((roll % 5 + 1) as Round)?;
+                } else {
+                    nav.move_via(roll as usize % nav.degree())?;
+                }
+                actions += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn meeting_on_the_earlier_agents_terminated_tail_is_flagged() {
+        let g = oriented_ring(6).unwrap();
+        let two_steps = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.move_via(0)?;
+            nav.move_via(0)?;
+            Ok(())
+        };
+        let stic = Stic::new(0, 5, 50);
+        let batch = simulate_with(&g, &two_steps, &mover(), &stic, EngineConfig::batch(10_000));
+        let reference =
+            simulate_with(&g, &two_steps, &mover(), &stic, EngineConfig::lockstep(10_000));
+        assert_eq!(batch, reference);
+        assert!(batch.earlier_terminated);
+        assert_eq!(batch.meeting.unwrap().node, 2);
+    }
+}

@@ -1,6 +1,6 @@
-//! The two-agent simulation engines.
+//! The per-call two-agent simulation engines.
 //!
-//! Two execution strategies produce bit-identical [`SimOutcome`]s:
+//! Three execution strategies produce bit-identical [`SimOutcome`]s:
 //!
 //! * **Streaming** — each agent runs on its own thread and streams chunked
 //!   [`Event`] batches over a bounded channel; the coordinator merges the two
@@ -14,11 +14,19 @@
 //!   agent is streamed against it, stopping at the first overlap.  This
 //!   eliminates the two-threads-plus-channels setup cost that dominates the
 //!   millions of small `simulate` calls issued by the experiment sweeps.
+//! * **Batch** ([`crate::batch`]) — records *both* agents' timelines in the
+//!   lockstep engine's segment representation and merges them; on its own it
+//!   buys nothing over lockstep, but the recorded timelines are exactly what
+//!   [`crate::batch::TrajectoryCache`] memoizes per start node, turning an
+//!   all-pairs sweep's `O(n²·Δ)` program executions into `O(n)`.
 //!
 //! [`EngineMode`] selects the strategy; the default [`EngineMode::Auto`]
 //! uses lockstep whenever `horizon ≤ 2¹⁶` (so the recorded timeline stays
-//! small) and streaming otherwise.  The two paths are asserted equal by the
-//! differential tests below and by `tests/property_engine_lockstep.rs`.
+//! small) and streaming otherwise — and resolves to the batch path inside a
+//! [`crate::batch::SweepEngine`], whose construction is the caller's signal
+//! that timelines will be reused.  The paths are asserted equal by the
+//! differential tests below and by `tests/property_engine_lockstep.rs` /
+//! `tests/property_engine_batch.rs`.
 
 use std::collections::VecDeque;
 use std::thread;
@@ -27,6 +35,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 
 use anonrv_graph::{NodeId, PortGraph};
 
+use crate::batch::{RecordSink, Seg};
 use crate::navigator::{AgentProgram, Event, EventSink, GraphNavigator, Stop};
 use crate::stic::{Round, Stic};
 
@@ -34,7 +43,9 @@ use crate::stic::{Round, Stic};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
     /// Lockstep when `horizon ≤ 2¹⁶` (bounding the recorded timeline),
-    /// streaming otherwise.
+    /// streaming otherwise.  Inside a [`crate::batch::SweepEngine`], `Auto`
+    /// resolves to `Batch` instead: constructing a sweep engine signals that
+    /// many STICs of one `(graph, program)` pair will be simulated.
     #[default]
     Auto,
     /// Always the threaded streaming engine.
@@ -44,6 +55,11 @@ pub enum EngineMode {
     /// `horizon + 1` of them — callers opting in explicitly should keep
     /// horizons moderate.
     Lockstep,
+    /// Always the batch engine ([`crate::batch`]): both agents' timelines
+    /// are recorded and merged.  Memory bounds match `Lockstep` (times two);
+    /// per-call it exists for completeness and differential testing — the
+    /// payoff is the timeline reuse of [`crate::batch::TrajectoryCache`].
+    Batch,
 }
 
 /// Horizon up to which [`EngineMode::Auto`] picks the lockstep engine.
@@ -80,6 +96,11 @@ impl EngineConfig {
     pub fn lockstep(horizon: Round) -> Self {
         EngineConfig { mode: EngineMode::Lockstep, ..Self::with_horizon(horizon) }
     }
+
+    /// Configuration pinned to the batch (trajectory-merging) engine.
+    pub fn batch(horizon: Round) -> Self {
+        EngineConfig { mode: EngineMode::Batch, ..Self::with_horizon(horizon) }
+    }
 }
 
 /// A detected rendezvous.
@@ -115,6 +136,21 @@ pub struct SimOutcome {
 }
 
 impl SimOutcome {
+    /// The outcome of a simulation in which the later agent never even
+    /// appeared within the horizon (`delay > horizon`): no meeting, no
+    /// observed work.  Shared by every engine so the convention cannot
+    /// drift.
+    pub(crate) fn no_show(horizon: Round) -> Self {
+        SimOutcome {
+            meeting: None,
+            earlier_moves: 0,
+            later_moves: 0,
+            earlier_terminated: false,
+            later_terminated: false,
+            horizon,
+        }
+    }
+
     /// `true` iff rendezvous was achieved within the horizon.
     pub fn met(&self) -> bool {
         self.meeting.is_some()
@@ -306,25 +342,33 @@ pub fn simulate_with(
     assert!(stic.later < g.num_nodes(), "later start node out of range");
 
     if stic.delay > config.horizon {
-        // the later agent never even appears within the horizon
-        return SimOutcome {
-            meeting: None,
-            earlier_moves: 0,
-            later_moves: 0,
-            earlier_terminated: false,
-            later_terminated: false,
-            horizon: config.horizon,
-        };
+        return SimOutcome::no_show(config.horizon);
     }
 
     let use_lockstep = match config.mode {
         EngineMode::Lockstep => true,
         EngineMode::Streaming => false,
+        EngineMode::Batch => {
+            return crate::batch::simulate_batch_with(
+                g,
+                earlier_program,
+                later_program,
+                stic,
+                config.horizon,
+            );
+        }
         EngineMode::Auto => config.horizon <= LOCKSTEP_AUTO_HORIZON,
     };
     if use_lockstep {
         return simulate_lockstep(g, earlier_program, later_program, stic, config.horizon);
     }
+
+    assert!(
+        config.channel_capacity > 0,
+        "EngineConfig::channel_capacity must be at least 1 for the streaming engine: a capacity \
+         of 0 would leave both agent threads blocked on their first send with the coordinator \
+         unable to make progress"
+    );
 
     thread::scope(|scope| {
         let (tx_a, rx_a) = bounded::<Msg>(config.channel_capacity);
@@ -425,54 +469,10 @@ fn drain(cursor: Cursor) -> (u64, bool) {
 // ---------------------------------------------------------------------------
 // lockstep engine
 // ---------------------------------------------------------------------------
-
-/// One stop of an agent's wait-compressed position timeline: the agent sits
-/// at `node` during the global rounds `[start, end)`.
-#[derive(Debug, Clone, Copy)]
-struct Seg {
-    node: NodeId,
-    start: Round,
-    end: Round,
-    /// Edge traversals completed at rounds `<= start` (the move that opened
-    /// this segment included).  Because the agent is parked for the whole
-    /// segment, this is also the move count "up to `r`" for any `r` inside
-    /// the segment.
-    moves_before: u64,
-}
-
-/// Sink recording the earlier agent's full timeline (consecutive waits are
-/// merged into their segment, so memory is one entry per *event*, not per
-/// round).
-struct RecordSink {
-    segs: Vec<Seg>,
-    moves: u64,
-}
-
-impl RecordSink {
-    fn new(start_node: NodeId) -> Self {
-        RecordSink {
-            segs: vec![Seg { node: start_node, start: 0, end: 1, moves_before: 0 }],
-            moves: 0,
-        }
-    }
-}
-
-impl EventSink for RecordSink {
-    fn emit(&mut self, event: Event) -> Result<(), Stop> {
-        let last = self.segs.last_mut().expect("timeline starts non-empty");
-        match event {
-            Event::Wait { rounds } => last.end += rounds,
-            Event::Move { to, .. } => {
-                let at = last.end;
-                self.moves += 1;
-                self.segs.push(Seg { node: to, start: at, end: at + 1, moves_before: self.moves });
-            }
-        }
-        Ok(())
-    }
-
-    fn finish(&mut self) {}
-}
+//
+// The wait-compressed `Seg` timeline representation and the `RecordSink`
+// recording it live in `crate::batch`, shared with the batch engine (which
+// memoizes exactly the timelines this engine re-records per call).
 
 /// Sink streaming the later agent against the recorded earlier timeline and
 /// stopping (via [`Stop::Interrupted`]) at the first overlap.
@@ -901,6 +901,76 @@ mod tests {
         // the sweep must exercise both meeting and non-meeting outcomes
         assert!(compared >= 96);
         assert!(met > 0 && met < compared, "sweep must mix outcomes, met {met}/{compared}");
+    }
+
+    /// The streaming engine must reject a zero channel capacity loudly: the
+    /// vendored channel treats capacity 0 as a rendezvous channel, a regime
+    /// the engine was never validated in (both agent threads could park on
+    /// their first send), so it is a configuration error, not a hang.
+    #[test]
+    #[should_panic(expected = "channel_capacity must be at least 1")]
+    fn streaming_with_zero_channel_capacity_is_rejected() {
+        let g = two_node_graph();
+        let config = EngineConfig { channel_capacity: 0, ..EngineConfig::streaming(1 << 20) };
+        let _ = simulate_with(&g, &mover(), &mover(), &Stic::new(0, 1, 3), config);
+    }
+
+    /// Capacity 0 is only a streaming concern: the lockstep and batch paths
+    /// never open a channel, so the same configuration must run fine there.
+    #[test]
+    fn non_streaming_modes_ignore_a_zero_channel_capacity() {
+        let g = two_node_graph();
+        for mode in [EngineMode::Lockstep, EngineMode::Batch] {
+            let config =
+                EngineConfig { channel_capacity: 0, mode, ..EngineConfig::with_horizon(100) };
+            let out = simulate_with(&g, &mover(), &mover(), &Stic::new(0, 1, 3), config);
+            assert_eq!(out.meeting.expect("must meet").global_round, 3);
+        }
+    }
+
+    /// Minimal buffering (capacity 1, tiny chunks) must not change outcomes:
+    /// streaming stays bit-identical to lockstep on meeting, non-meeting and
+    /// terminating scenarios alike.
+    #[test]
+    fn capacity_one_streaming_matches_lockstep_outcomes() {
+        use anonrv_graph::generators::oriented_torus;
+        let graphs = [oriented_ring(6).unwrap(), oriented_torus(3, 4).unwrap()];
+        for g in &graphs {
+            let n = g.num_nodes();
+            for seed in 0..3u64 {
+                for &delay in &[0 as Round, 1, 4] {
+                    for &horizon in &[30 as Round, 150] {
+                        for &chunk_size in &[1usize, 2, 7] {
+                            let stic = Stic::new(
+                                (seed as usize * 2 + 1) % n,
+                                (seed as usize * 5 + 3) % n,
+                                delay,
+                            );
+                            let lifetime = (seed % 2 == 0).then_some(10 + seed * 7);
+                            let program = ScriptedWalker { seed: seed * 31 + 5, lifetime };
+                            let tight = EngineConfig {
+                                chunk_size,
+                                channel_capacity: 1,
+                                ..EngineConfig::streaming(horizon)
+                            };
+                            let streamed = simulate_with(g, &program, &program, &stic, tight);
+                            let reference = simulate_with(
+                                g,
+                                &program,
+                                &program,
+                                &stic,
+                                EngineConfig::lockstep(horizon),
+                            );
+                            assert_eq!(
+                                streamed, reference,
+                                "capacity-1 streaming diverged: {stic}, horizon {horizon}, \
+                                 chunk {chunk_size}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Different programs per agent (waiter vs walker) across both engines.

@@ -19,16 +19,28 @@
 //!   the graph, the other agent or the global clock, exactly as in the model;
 //! * every navigator action is an [`Event`]; long waits are *single* events,
 //!   so the astronomically long padding waits of `UniversalRV` cost O(1);
-//! * [`engine::simulate`] picks between two engines returning bit-identical
-//!   [`SimOutcome`]s, selected by [`EngineMode`] in the [`EngineConfig`]:
-//!   the **streaming** engine runs the two agents on two threads that stream
-//!   chunked event batches over bounded channels to a coordinator merging
-//!   the position timelines on the fly (memory stays bounded regardless of
-//!   how long the execution is), while the **lockstep** engine records the
-//!   earlier agent's wait-compressed timeline and streams the later agent
-//!   against it on a single thread — no thread/channel setup, which is what
-//!   dominates short-horizon sweeps.  [`EngineMode::Auto`] (the default)
-//!   uses lockstep for horizons up to `2¹⁶` and streaming beyond;
+//! * three engines return bit-identical [`SimOutcome`]s, selected by
+//!   [`EngineMode`] in the [`EngineConfig`]:
+//!
+//!   * the **streaming** engine runs the two agents on two threads that
+//!     stream chunked event batches over bounded channels to a coordinator
+//!     merging the position timelines on the fly — memory stays
+//!     `O(chunk_size)` no matter how long the execution is, which is what
+//!     astronomical horizons need;
+//!   * the **lockstep** engine records the earlier agent's wait-compressed
+//!     timeline and streams the later agent against it on a single thread —
+//!     no thread/channel setup, which is what dominates short-horizon
+//!     per-call sweeps;
+//!   * the **batch** engine ([`batch`]) records *every* start node's
+//!     timeline at most once in a [`TrajectoryCache`] and answers each
+//!     `(u, v, δ)` STIC by merging two cached timelines through a per-node
+//!     occupancy-interval index — `O(n)` program executions per graph
+//!     instead of `O(n²·Δ)`, which is what all-pairs × delays sweep
+//!     workloads need ([`SweepEngine`], [`simulate_batch`]);
+//!
+//!   [`EngineMode::Auto`] (the default) picks lockstep for per-call horizons
+//!   up to `2¹⁶`, streaming beyond, and the batch path whenever the caller
+//!   signals sweep reuse by constructing a [`SweepEngine`];
 //! * [`trace::record_trace`] materialises a single agent's run-length-encoded
 //!   position trace for tests and analysis.
 //!
@@ -38,11 +50,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod navigator;
 pub mod stic;
 pub mod trace;
 
+pub use batch::{
+    merge_timelines, merge_timelines_deltas, simulate_batch, SweepEngine, Timeline, TrajectoryCache,
+};
 pub use engine::{simulate, simulate_with, EngineConfig, EngineMode, Meeting, SimOutcome};
 pub use navigator::{AgentProgram, Event, EventSink, GraphNavigator, Navigator, Stop};
 pub use stic::{Round, Stic};

@@ -1,7 +1,7 @@
 //! Pluggable sources of (candidate) universal exploration sequences.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -113,21 +113,32 @@ impl UxsProvider for PseudorandomUxs {
 
 /// Memoising wrapper: computing `Y(n)` is cheap but `UniversalRV` requests it
 /// once per phase, so the cache keeps repeated simulations allocation-free.
+///
+/// The cache is an `RwLock` rather than a `Mutex`: rayon sweeps call
+/// [`UxsProvider::sequence`] from every worker at once, and after the first
+/// miss per `n` all of those calls are pure reads — serialising them behind
+/// an exclusive lock put the whole sweep on one core.  Reads now take the
+/// shared lock; the exclusive lock is taken only to insert a missing entry
+/// (with a re-check under the write lock for the race where two threads
+/// miss the same `n` simultaneously).
 pub struct CachedProvider<P: UxsProvider> {
     inner: P,
-    cache: Mutex<HashMap<usize, Uxs>>,
+    cache: RwLock<HashMap<usize, Uxs>>,
 }
 
 impl<P: UxsProvider> CachedProvider<P> {
     /// Wrap a provider.
     pub fn new(inner: P) -> Self {
-        CachedProvider { inner, cache: Mutex::new(HashMap::new()) }
+        CachedProvider { inner, cache: RwLock::new(HashMap::new()) }
     }
 }
 
 impl<P: UxsProvider> UxsProvider for CachedProvider<P> {
     fn sequence(&self, n: usize) -> Uxs {
-        let mut cache = self.cache.lock().expect("uxs cache poisoned");
+        if let Some(hit) = self.cache.read().expect("uxs cache poisoned").get(&n) {
+            return hit.clone();
+        }
+        let mut cache = self.cache.write().expect("uxs cache poisoned");
         cache.entry(n).or_insert_with(|| self.inner.sequence(n)).clone()
     }
 
@@ -185,5 +196,52 @@ mod tests {
         let p = PseudorandomUxs::fixed_length(40);
         assert_eq!(p.sequence(3).len(), 40);
         assert_eq!(p.sequence(30).len(), 40);
+    }
+
+    /// Counts how often the wrapped provider actually computes a sequence.
+    struct CountingProvider {
+        inner: PseudorandomUxs,
+        computed: std::sync::atomic::AtomicUsize,
+    }
+
+    impl UxsProvider for CountingProvider {
+        fn sequence(&self, n: usize) -> Uxs {
+            self.computed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.sequence(n)
+        }
+        fn length(&self, n: usize) -> usize {
+            self.inner.length(n)
+        }
+    }
+
+    /// Contention regression for the rayon-sweep pattern: many threads
+    /// hammering `sequence()` on a handful of sizes must (a) all read the
+    /// same sequences, and (b) compute each size's sequence exactly once —
+    /// every later call is a shared-lock read.  (Before the `RwLock`
+    /// read-fast path, every one of these calls serialised on an exclusive
+    /// `Mutex`.)
+    #[test]
+    fn cached_provider_is_concurrently_correct_and_computes_each_size_once() {
+        let provider = CachedProvider::new(CountingProvider {
+            inner: PseudorandomUxs::fixed_length(64),
+            computed: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let sizes = [3usize, 5, 8, 13];
+        let expected: Vec<Uxs> =
+            sizes.iter().map(|&n| PseudorandomUxs::fixed_length(64).sequence(n)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let provider = &provider;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let which = (t + i) % sizes.len();
+                        assert_eq!(provider.sequence(sizes[which]), expected[which]);
+                    }
+                });
+            }
+        });
+        let computed = provider.inner.computed.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(computed, sizes.len(), "each size must be computed exactly once");
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Record the batch-engine sweep perf numbers as BENCH_sweep.json (repo
+# root): the symm-sweep workload (all (u, v) pairs x delta in {0..4} on
+# oriented_torus(16, 16)) through the trajectory-memoized batch engine
+# versus per-call lockstep simulation.
+#
+# Usage: scripts/record_sweep_bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_sweep.json}"
+cargo run --release -p anonrv-bench --bin sweep_timing -- "$OUT"

@@ -1,0 +1,250 @@
+//! Differential property tests for the batch (trajectory-memoized) engine:
+//! answering STICs by merging cached per-start-node timelines must return
+//! **bit-identical** [`SimOutcome`](anonrv_sim::SimOutcome)s to the lockstep
+//! and streaming engines — on random connected graphs, random scripted
+//! programs (moving, waiting, terminating), random delays and horizons, with
+//! the cache *reused* across many queries (the regime the sweeps run it in)
+//! and with queries capped below the cache horizon.
+
+use proptest::prelude::*;
+
+use anonrv_graph::generators::{oriented_torus, random_connected};
+use anonrv_sim::{
+    simulate_with, AgentProgram, EngineConfig, Navigator, Round, Stic, Stop, SweepEngine,
+    TrajectoryCache,
+};
+
+/// Deterministic scripted agent: a seeded LCG decides each round between
+/// moving through a pseudo-random port and short waits, optionally
+/// terminating after a bounded number of actions.
+struct ScriptedWalker {
+    seed: u64,
+    lifetime: Option<u64>,
+}
+
+impl AgentProgram for ScriptedWalker {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        let mut state = self.seed | 1;
+        let mut actions = 0u64;
+        loop {
+            if let Some(lifetime) = self.lifetime {
+                if actions >= lifetime {
+                    return Ok(());
+                }
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            if roll.is_multiple_of(4) {
+                nav.wait((roll % 9 + 1) as Round)?;
+            } else {
+                nav.move_via(roll as usize % nav.degree())?;
+            }
+            actions += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One shared cache, many STICs: every query must match both per-call
+    /// engines exactly.
+    #[test]
+    fn batch_lockstep_and_streaming_outcomes_are_identical(
+        n in 2usize..12,
+        extra in 0usize..6,
+        graph_seed in 0u64..200,
+        pair_seed in 0usize..1_000,
+        delay in 0u64..20,
+        horizon in 1u64..220,
+        walker_seed in 0u64..1_000,
+        lifetime in proptest::option::of(1u64..40),
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, graph_seed).unwrap();
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let cache = TrajectoryCache::new(&g, &program, horizon as Round);
+        for k in 0..6usize {
+            let stic = Stic::new(
+                (pair_seed * 3 + k) % n,
+                (pair_seed * 7 + 2 * k + 1) % n,
+                (delay as Round + k as Round) % 20,
+            );
+            let batch = cache.simulate(&stic);
+            let lockstep = simulate_with(
+                &g,
+                &program,
+                &program,
+                &stic,
+                EngineConfig::lockstep(horizon as Round),
+            );
+            let streaming = simulate_with(
+                &g,
+                &program,
+                &program,
+                &stic,
+                EngineConfig::streaming(horizon as Round),
+            );
+            prop_assert_eq!(
+                batch, lockstep,
+                "batch vs lockstep on {} horizon {} walker {} lifetime {:?}",
+                stic, horizon, walker_seed, lifetime
+            );
+            prop_assert_eq!(
+                lockstep, streaming,
+                "lockstep vs streaming on {} horizon {} walker {} lifetime {:?}",
+                stic, horizon, walker_seed, lifetime
+            );
+        }
+    }
+
+    /// Capped queries: one cache built at the maximum horizon must answer
+    /// every smaller-horizon query exactly as engines run at that horizon —
+    /// the mode the heterogeneous-horizon sweeps (universal, infeasible,
+    /// scaling) rely on.
+    #[test]
+    fn capped_cache_queries_match_per_horizon_engines(
+        n in 2usize..10,
+        graph_seed in 0u64..100,
+        a in 0usize..24,
+        b in 0usize..24,
+        delay in 0u64..12,
+        cache_horizon in 40u64..200,
+        walker_seed in 0u64..500,
+        lifetime in proptest::option::of(1u64..30),
+    ) {
+        let g = random_connected(n, 1.min(n * (n - 1) / 2 - (n - 1)), graph_seed).unwrap();
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let cache = TrajectoryCache::new(&g, &program, cache_horizon as Round);
+        let stic = Stic::new(a % n, b % n, delay as Round);
+        for horizon in [0u64, 1, 7, cache_horizon / 2, cache_horizon] {
+            let capped = cache.simulate_capped(&stic, horizon as Round);
+            let reference = simulate_with(
+                &g,
+                &program,
+                &program,
+                &stic,
+                EngineConfig::lockstep(horizon as Round),
+            );
+            prop_assert_eq!(
+                capped, reference,
+                "capped query diverged on {} at horizon {} (cache horizon {})",
+                stic, horizon, cache_horizon
+            );
+        }
+    }
+
+    /// The single-pass delay sweep (`simulate_deltas`) must return, per
+    /// delay, exactly what the per-call engines return for that STIC.
+    #[test]
+    fn delta_sweep_queries_match_the_per_call_engines(
+        n in 2usize..12,
+        extra in 0usize..6,
+        graph_seed in 0u64..200,
+        a in 0usize..24,
+        b in 0usize..24,
+        base_delay in 0u64..16,
+        horizon in 1u64..200,
+        walker_seed in 0u64..1_000,
+        lifetime in proptest::option::of(1u64..40),
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, graph_seed).unwrap();
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let engine = SweepEngine::new(&g, &program, EngineConfig::with_horizon(horizon as Round));
+        let deltas: Vec<Round> =
+            (0..5).map(|k| (base_delay + k * 3) as Round).chain([horizon as Round + 1]).collect();
+        let (u, v) = (a % n, b % n);
+        let swept = engine.simulate_deltas(u, v, &deltas);
+        prop_assert_eq!(swept.len(), deltas.len());
+        for (i, &delta) in deltas.iter().enumerate() {
+            let stic = Stic::new(u, v, delta);
+            let reference = simulate_with(
+                &g,
+                &program,
+                &program,
+                &stic,
+                EngineConfig::lockstep(horizon as Round),
+            );
+            prop_assert_eq!(
+                swept[i], reference,
+                "delta sweep vs lockstep on {} horizon {} walker {} lifetime {:?}",
+                stic, horizon, walker_seed, lifetime
+            );
+        }
+    }
+
+    /// `EngineMode::Batch` with different programs per agent must agree with
+    /// the other engines too.
+    #[test]
+    fn batch_mode_agrees_when_the_two_agents_run_different_programs(
+        n in 3usize..10,
+        graph_seed in 0u64..100,
+        delay in 0u64..12,
+        horizon in 1u64..160,
+        seed_a in 0u64..500,
+        seed_b in 0u64..500,
+        lifetime_a in proptest::option::of(1u64..30),
+    ) {
+        let g = random_connected(n, 2.min(n * (n - 1) / 2 - (n - 1)), graph_seed).unwrap();
+        let stic = Stic::new(0, n - 1, delay as Round);
+        let earlier = ScriptedWalker { seed: seed_a, lifetime: lifetime_a };
+        let later = ScriptedWalker { seed: seed_b, lifetime: None };
+        let batch =
+            simulate_with(&g, &earlier, &later, &stic, EngineConfig::batch(horizon as Round));
+        let reference =
+            simulate_with(&g, &earlier, &later, &stic, EngineConfig::lockstep(horizon as Round));
+        prop_assert_eq!(batch, reference);
+    }
+}
+
+/// Exhaustive differential check on `oriented_torus(3, 4)`: every ordered
+/// `(u, v)` pair × every delay in `{0..4}` × terminating and non-terminating
+/// programs, batch (shared engine) vs lockstep vs streaming.
+#[test]
+fn exhaustive_torus_3x4_sweep_is_bit_identical_across_all_three_engines() {
+    let g = oriented_torus(3, 4).unwrap();
+    let n = g.num_nodes();
+    let horizon: Round = 60;
+    let mut compared = 0usize;
+    let mut met = 0usize;
+    for (walker_seed, lifetime) in [(11u64, None), (42, Some(25u64))] {
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let engine = SweepEngine::new(&g, &program, EngineConfig::with_horizon(horizon));
+        let deltas: Vec<Round> = (0..5).collect();
+        for u in 0..n {
+            for v in 0..n {
+                let swept = engine.simulate_deltas(u, v, &deltas);
+                for (delta, swept_outcome) in swept.iter().enumerate() {
+                    let stic = Stic::new(u, v, delta as Round);
+                    let batch = engine.simulate(&stic);
+                    let lockstep = simulate_with(
+                        &g,
+                        &program,
+                        &program,
+                        &stic,
+                        EngineConfig::lockstep(horizon),
+                    );
+                    let streaming = simulate_with(
+                        &g,
+                        &program,
+                        &program,
+                        &stic,
+                        EngineConfig::streaming(horizon),
+                    );
+                    assert_eq!(batch, lockstep, "batch vs lockstep on {stic}");
+                    assert_eq!(batch, streaming, "batch vs streaming on {stic}");
+                    assert_eq!(*swept_outcome, batch, "delta sweep vs batch on {stic}");
+                    compared += 1;
+                    if batch.met() {
+                        met += 1;
+                    }
+                }
+            }
+        }
+        // the cache must have recorded exactly one timeline per start node
+        assert_eq!(engine.cache().computed(), n);
+    }
+    assert_eq!(compared, 2 * n * n * 5);
+    assert!(met > 0 && met < compared, "sweep must mix outcomes, met {met}/{compared}");
+}

@@ -10,7 +10,10 @@
 //!
 //! Command-line compatibility: the first free (non-flag) argument is treated
 //! as a substring filter on `group/benchmark` ids, matching `cargo bench --
-//! <filter>`; `--bench`-style flags that cargo appends are ignored.
+//! <filter>`; a `--test` flag runs every benchmark routine once without
+//! timing (upstream criterion's smoke-test mode, used by CI to keep benches
+//! compiling and running); other `--bench`-style flags that cargo appends
+//! are ignored.
 
 use std::time::{Duration, Instant};
 
@@ -74,11 +77,17 @@ pub struct Bencher {
     samples: Vec<f64>, // per-iteration nanoseconds, one entry per sample
     sample_size: usize,
     sample_time: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Time `routine`, called repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // smoke-test mode: run the routine once, record nothing
+            let _ = std::hint::black_box(routine());
+            return;
+        }
         // Warm up and estimate the per-iteration cost.
         let per_iter = {
             let start = Instant::now();
@@ -104,6 +113,10 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            let _ = std::hint::black_box(routine(setup()));
+            return;
+        }
         // One routine call per timing window: setup cost must stay untimed,
         // so batching multiple calls into one window is not possible without
         // pre-building all inputs (which the stand-in avoids for memory's
@@ -150,9 +163,14 @@ impl<'c> BenchmarkGroup<'c> {
             samples: Vec::new(),
             sample_size: self.sample_size,
             sample_time: self.criterion.sample_time,
+            test_mode: self.criterion.test_mode,
         };
         f(&mut bencher);
-        report(&full_id, &bencher.samples);
+        if self.criterion.test_mode {
+            println!("{full_id:<60} (test mode: ran once, ok)");
+        } else {
+            report(&full_id, &bencher.samples);
+        }
         self
     }
 
@@ -173,18 +191,22 @@ impl<'c> BenchmarkGroup<'c> {
     pub fn finish(&mut self) {}
 }
 
-/// Benchmark manager: configuration plus the id filter from the CLI.
+/// Benchmark manager: configuration plus the id filter and smoke-test flag
+/// from the CLI.
 pub struct Criterion {
     filter: Option<String>,
     sample_time: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // cargo bench passes `--bench` (and friends); the first free argument
-        // is the benchmark filter, as with upstream criterion.
+        // is the benchmark filter and `--test` selects smoke-test mode, as
+        // with upstream criterion.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Criterion { filter, sample_time: Duration::from_millis(10) }
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+        Criterion { filter, sample_time: Duration::from_millis(10), test_mode }
     }
 }
 
@@ -201,10 +223,18 @@ impl Criterion {
     {
         let id = id.into_id();
         if self.matches(&id) {
-            let mut bencher =
-                Bencher { samples: Vec::new(), sample_size: 30, sample_time: self.sample_time };
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                sample_size: 30,
+                sample_time: self.sample_time,
+                test_mode: self.test_mode,
+            };
             f(&mut bencher);
-            report(&id, &bencher.samples);
+            if self.test_mode {
+                println!("{id:<60} (test mode: ran once, ok)");
+            } else {
+                report(&id, &bencher.samples);
+            }
         }
         self
     }
@@ -275,7 +305,8 @@ mod tests {
 
     #[test]
     fn iter_collects_samples_and_reports() {
-        let mut c = Criterion { filter: None, sample_time: Duration::from_micros(50) };
+        let mut c =
+            Criterion { filter: None, sample_time: Duration::from_micros(50), test_mode: false };
         let mut ran = 0u64;
         c.benchmark_group("demo").sample_size(3).bench_function("count", |b| {
             b.iter(|| {
@@ -288,8 +319,11 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching_benchmarks() {
-        let mut c =
-            Criterion { filter: Some("nomatch".into()), sample_time: Duration::from_micros(50) };
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            sample_time: Duration::from_micros(50),
+            test_mode: false,
+        };
         let mut ran = false;
         c.benchmark_group("demo").bench_function("skipped", |b| {
             b.iter(|| {
@@ -301,7 +335,8 @@ mod tests {
 
     #[test]
     fn iter_batched_times_only_the_routine() {
-        let mut c = Criterion { filter: None, sample_time: Duration::from_micros(50) };
+        let mut c =
+            Criterion { filter: None, sample_time: Duration::from_micros(50), test_mode: false };
         let mut calls = 0u32;
         c.benchmark_group("demo").sample_size(4).bench_function("batched", |b| {
             b.iter_batched(
