@@ -1,0 +1,71 @@
+//! Emit `BENCH_planned.json`: wall-clock timings and the speedup of the
+//! pair-orbit sweep planner on the symm-sweep workload — **all** `(u, v)`
+//! ordered pairs × δ ∈ {0..4} on `oriented_torus(16, 16)` (327 680 STICs,
+//! horizon 256) — versus the PR 2 batch path (`SweepEngine` merging every
+//! pair).  Both sides run the full workload single-threaded-equivalent; the
+//! planned side includes computing the orbit partition from scratch every
+//! iteration, so the recorded ratio is the honest end-to-end planning win.
+//!
+//! Usage: `cargo run --release -p anonrv-bench --bin planned_timing
+//! [output.json]` (default output: `BENCH_planned.json`).
+
+use std::time::Instant;
+
+use anonrv_bench::{sweep_batch_engine, sweep_planned_engine, SweepWalker};
+use anonrv_graph::generators::oriented_torus;
+use anonrv_plan::PairOrbits;
+use anonrv_sim::Round;
+
+const HORIZON: Round = 256;
+const DELTAS: u32 = 5;
+
+/// Median wall time of `runs` executions, in seconds.
+fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_planned.json".to_string());
+
+    let torus = oriented_torus(16, 16).unwrap();
+    let n = torus.num_nodes();
+    let program = SweepWalker { seed: 0x5EED };
+    let orbits = PairOrbits::compute(&torus);
+
+    // correctness guard: both paths must agree before anything is timed
+    let met_planned = sweep_planned_engine(&torus, &program, DELTAS, HORIZON);
+    let met_batch = sweep_batch_engine(&torus, &program, DELTAS, HORIZON);
+    assert_eq!(met_planned, met_batch, "planned and batch paths disagree on the sweep workload");
+
+    let planned_s = time_median(15, || sweep_planned_engine(&torus, &program, DELTAS, HORIZON));
+    let planning_s = time_median(15, || PairOrbits::compute(&torus));
+    let batch_s = time_median(5, || sweep_batch_engine(&torus, &program, DELTAS, HORIZON));
+    let speedup = batch_s / planned_s;
+
+    let num_stics = n * n * DELTAS as usize;
+    let classes = orbits.num_pair_classes();
+    let compression = orbits.compression();
+    let json = format!(
+        "{{\n  \"instance\": \"oriented_torus(16, 16)\",\n  \
+         \"workload\": \"all (u, v) pairs x delta in 0..{DELTAS}, horizon {HORIZON}\",\n  \
+         \"stics\": {num_stics},\n  \
+         \"meetings\": {met_planned},\n  \
+         \"pair_classes\": {classes},\n  \
+         \"orbit_compression\": {compression:.1},\n  \
+         \"planned_sweep_seconds\": {planned_s:.6},\n  \
+         \"planning_only_seconds\": {planning_s:.6},\n  \
+         \"batch_sweep_seconds\": {batch_s:.6},\n  \
+         \"planned_speedup\": {speedup:.1}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

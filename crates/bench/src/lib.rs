@@ -125,6 +125,25 @@ pub fn sweep_batch_engine(
     met
 }
 
+/// Run the symm-sweep workload through the **pair-orbit planner**
+/// ([`anonrv_plan::PlannedSweep`]) on top of the batch engine: the
+/// automorphism group collapses the `n²` ordered pairs to their orbit
+/// representatives (256× on the 16×16 torus), only the representatives are
+/// merged, and `met` is counted through the expansion map.  Returns the
+/// number of meetings — identical to [`sweep_batch_engine`] (the differential
+/// and validation tests pin bit-identity of the full outcomes).
+pub fn sweep_planned_engine(
+    g: &PortGraph,
+    program: &dyn AgentProgram,
+    deltas: u32,
+    horizon: Round,
+) -> usize {
+    let deltas: Vec<Round> = (0..deltas as Round).collect();
+    let planned = anonrv_plan::PlannedSweep::new(g, program, EngineConfig::batch(horizon));
+    let plan = anonrv_plan::SweepPlan::from_orbits(planned.orbits().clone(), deltas, horizon);
+    planned.run(&plan).met_total()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,7 +167,9 @@ mod tests {
         let program = SweepWalker { seed: 0x5EED };
         let met_lockstep = sweep_per_call_lockstep(&g, &program, &stics, 64);
         let met_batch = sweep_batch_engine(&g, &program, 5, 64);
+        let met_planned = sweep_planned_engine(&g, &program, 5, 64);
         assert_eq!(met_lockstep, met_batch);
+        assert_eq!(met_planned, met_batch);
         assert!(met_batch > 0 && met_batch < stics.len());
     }
 }

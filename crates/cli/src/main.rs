@@ -12,7 +12,7 @@
 //! Graph specifications: `ring:8`, `path:5`, `star:4`, `complete:5`,
 //! `hypercube:3`, `torus:3x4`, `grid:2x3`, `lollipop:4x2`,
 //! `caterpillar:4x2`, `double-tree:2x3`, `random:10x4x7` (n, extra edges,
-//! seed), `qhat:4`.
+//! seed), `circulant:12x1x3` (n, then the shifts), `qhat:4`.
 
 use std::process::ExitCode;
 
@@ -22,8 +22,8 @@ use anonrv_core::label::TrailSignature;
 use anonrv_core::symm_rv::SymmRv;
 use anonrv_core::universal_rv::UniversalRv;
 use anonrv_graph::generators::{
-    caterpillar, complete, grid, hypercube, lollipop, oriented_ring, oriented_torus, path, qh_hat,
-    random_connected, star, symmetric_double_tree,
+    caterpillar, circulant, complete, grid, hypercube, lollipop, oriented_ring, oriented_torus,
+    path, qh_hat, random_connected, star, symmetric_double_tree,
 };
 use anonrv_graph::render::figure1_text;
 use anonrv_graph::shrink::shrink_detailed;
@@ -52,7 +52,8 @@ fn usage() -> &'static str {
     "usage:\n  anonrv shrink   <graph> <u> <v>\n  anonrv feasible <graph> <u> <v> <delta>\n  \
      anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm] [--horizon H]\n  \
      anonrv orbits   <graph>\n  anonrv figure1  [h]\n\ngraphs: ring:8 path:5 star:4 complete:5 \
-     hypercube:3 torus:3x4 grid:2x3 lollipop:4x2 caterpillar:4x2 double-tree:2x3 random:10x4x7 qhat:4"
+     hypercube:3 torus:3x4 grid:2x3 lollipop:4x2 caterpillar:4x2 double-tree:2x3 random:10x4x7 \
+     circulant:12x1x3 qhat:4"
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -127,6 +128,15 @@ fn parse_graph(spec: &str) -> Result<PortGraph, String> {
         "random" => {
             need(3)?;
             build(random_connected(dims[0], dims[1], dims[2] as u64))
+        }
+        "circulant" => {
+            if dims.len() < 2 {
+                return Err(format!(
+                    "'circulant' expects n followed by at least one shift, got {}",
+                    dims.len()
+                ));
+            }
+            build(circulant(dims[0], &dims[1..]))
         }
         "qhat" => {
             need(1)?;
@@ -285,12 +295,22 @@ fn cmd_orbits(args: &[String]) -> Result<String, String> {
         out.push_str(&format!("  class {i}: {class:?}\n"));
     }
     out.push_str(if classes.len() == 1 {
-        "all nodes are pairwise symmetric"
+        "all nodes are pairwise symmetric\n"
     } else if classes.len() == g.num_nodes() {
-        "no two nodes are symmetric"
+        "no two nodes are symmetric\n"
     } else {
-        "the graph has both symmetric and nonsymmetric pairs"
+        "the graph has both symmetric and nonsymmetric pairs\n"
     });
+    // pair-orbit view: what the sweep planner collapses all-pairs workloads to
+    let n = g.num_nodes();
+    let orbits = anonrv_plan::PairOrbits::compute(&g);
+    out.push_str(&format!(
+        "automorphism group order: {}\npair orbits (ordered pairs): {} of {} (compression {:.1}x)",
+        orbits.group_order(),
+        orbits.num_pair_classes(),
+        n * n,
+        orbits.compression(),
+    ));
     Ok(out)
 }
 
@@ -322,9 +342,13 @@ mod tests {
         assert_eq!(parse_graph("lollipop:4x2").unwrap().num_nodes(), 6);
         assert_eq!(parse_graph("double-tree:2x2").unwrap().num_nodes(), 14);
         assert_eq!(parse_graph("qhat:2").unwrap().num_nodes(), 17);
+        assert_eq!(parse_graph("circulant:12x1x3").unwrap().num_nodes(), 12);
+        assert_eq!(parse_graph("circulant:12x1x3").unwrap().degree(0), 4);
         assert!(parse_graph("ring").is_err());
         assert!(parse_graph("ring:abc").is_err());
         assert!(parse_graph("torus:3").is_err());
+        assert!(parse_graph("circulant:12").is_err());
+        assert!(parse_graph("circulant:12x2x4").is_err());
         assert!(parse_graph("mystery:3").is_err());
     }
 
@@ -355,6 +379,13 @@ mod tests {
     fn orbits_and_figure1_render() {
         let orbits = run(&argv(&["orbits", "ring:5"])).unwrap();
         assert!(orbits.contains("all nodes are pairwise symmetric"), "{orbits}");
+        // 5 rotations collapse the 25 ordered pairs to 5 orbits
+        assert!(
+            orbits.contains("pair orbits (ordered pairs): 5 of 25 (compression 5.0x)"),
+            "{orbits}"
+        );
+        let rigid = run(&argv(&["orbits", "lollipop:3x2"])).unwrap();
+        assert!(rigid.contains("automorphism group order: 1"), "{rigid}");
         let fig = run(&argv(&["figure1"])).unwrap();
         assert!(fig.contains("17 nodes"), "{fig}");
     }

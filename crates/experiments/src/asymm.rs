@@ -16,11 +16,12 @@
 
 use anonrv_core::asymm_rv::AsymmRv;
 use anonrv_core::label::{LabelScheme, TrailSignature};
-use anonrv_sim::{EngineConfig, Stic, SweepEngine};
+use anonrv_plan::{PairOrbits, PlannedSweep};
+use anonrv_sim::{EngineConfig, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
-use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
-use crate::runner::{distinct_in_order, run_case_with_engine, Aggregate, Case, RunRecord};
+use crate::report::{compression_note, fmt_opt_rounds, fmt_rounds, PlanCompression, Table};
+use crate::runner::{distinct_in_order, run_cases_planned, Aggregate, Case, RunRecord};
 use crate::suite::{nonsymmetric_delays, nonsymmetric_pairs, nonsymmetric_workloads, Scale};
 
 /// Configuration of the `AsymmRV` experiment.
@@ -63,9 +64,18 @@ pub struct AsymmOutcome {
     /// Pairs whose labels were *not* distinct (skipped from simulation and
     /// reported; empty on the shipped suites).
     pub label_collisions: Vec<(String, usize, usize)>,
+    /// Per-instance pair-orbit planning statistics.
+    pub plan_stats: Vec<PlanCompression>,
 }
 
 /// Run the experiment and return the raw outcome.
+///
+/// `AsymmRV` is one program per delay *budget* (δ = 0 and δ = 1 share budget
+/// 1), so each budget gets one [`PlannedSweep`]: the workload's pair-orbit
+/// partition (computed once per instance — most of these families are rigid,
+/// where planning degrades to a no-op) collapses equivalent cases, the
+/// trajectory cache is shared by every verified pair and every delay mapping
+/// to the budget, and rayon fans out over the representative merges.
 pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
     let workloads = nonsymmetric_workloads(config.scale);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
@@ -73,6 +83,7 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
     let deltas = nonsymmetric_delays(config.scale);
     let mut records = Vec::new();
     let mut label_collisions = Vec::new();
+    let mut plan_stats = Vec::new();
     for w in &workloads {
         let n = w.n();
         let mut verified_pairs = Vec::new();
@@ -84,40 +95,50 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
             }
         }
         let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
-        // `AsymmRV` is one program per delay *budget* (δ = 0 and δ = 1 share
-        // budget 1), so each budget gets one sweep engine whose trajectory
-        // cache is shared by every verified pair and every delay mapping to
-        // it; rayon fans out over the timeline merges.
+        let orbits = PairOrbits::compute(&w.graph);
+        let mut instance = PlanCompression {
+            label: w.label.clone(),
+            pairs: n * n,
+            classes: orbits.num_pair_classes(),
+            executed: 0,
+            answered: 0,
+        };
         for budget in distinct_in_order(deltas.iter().map(|&d| d.max(1))) {
             let program = AsymmRv::new(n, budget, &scheme, &uxs);
             let bound = program.full_duration();
             let horizon_of = |delta: u128| bound.saturating_add(delta).saturating_add(1);
-            let cases: Vec<(usize, usize, u128)> = deltas
+            let cases: Vec<Case<'_>> = deltas
                 .iter()
                 .copied()
                 .filter(|&d| d.max(1) == budget)
-                .flat_map(|d| verified_pairs.iter().map(move |&(u, v)| (u, v, d)))
+                .flat_map(|d| {
+                    verified_pairs.iter().map(move |&(u, v)| Case {
+                        family: w.family.clone(),
+                        label: w.label.clone(),
+                        graph: &w.graph,
+                        stic: Stic::new(u, v, d),
+                        horizon: horizon_of(d),
+                        bound: Some(bound),
+                    })
+                })
                 .collect();
-            let Some(max_horizon) = cases.iter().map(|&(_, _, d)| horizon_of(d)).max() else {
+            let Some(max_horizon) = cases.iter().map(|c| c.horizon).max() else {
                 continue; // no verified pairs on this instance
             };
-            let engine =
-                SweepEngine::new(&w.graph, &program, EngineConfig::with_horizon(max_horizon));
-            let batch = crate::runner::par_map(cases, |&(u, v, delta)| {
-                let case = Case {
-                    family: w.family.clone(),
-                    label: w.label.clone(),
-                    graph: &w.graph,
-                    stic: Stic::new(u, v, delta),
-                    horizon: horizon_of(delta),
-                    bound: Some(bound),
-                };
-                run_case_with_engine(&case, &engine, &oracle)
-            });
+            let planned = PlannedSweep::with_orbits(
+                &orbits,
+                &w.graph,
+                &program,
+                EngineConfig::with_horizon(max_horizon),
+            );
+            let (batch, exec) = run_cases_planned(&cases, &planned, &oracle);
+            instance.executed += exec.executed;
+            instance.answered += exec.answered;
             records.extend(batch);
         }
+        plan_stats.push(instance);
     }
-    AsymmOutcome { records, label_collisions }
+    AsymmOutcome { records, label_collisions, plan_stats }
 }
 
 /// Run the experiment as a report table (one row per instance).
@@ -155,6 +176,7 @@ pub fn run(config: &AsymmConfig) -> Table {
         "Label collisions detected (pairs excluded, see DESIGN.md §4.2): {}",
         outcome.label_collisions.len()
     ));
+    table.push_note(compression_note(&outcome.plan_stats));
     table
 }
 

@@ -21,10 +21,11 @@
 use anonrv_core::feasibility::{symmetric_trajectories_never_meet, FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::universal_rv::UniversalRv;
-use anonrv_sim::{simulate, Round, Stic, SweepEngine};
+use anonrv_plan::PlannedSweep;
+use anonrv_sim::{simulate, EngineConfig, Round, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
-use crate::report::{fmt_rounds, Table};
+use crate::report::{compression_note, fmt_rounds, PlanCompression, Table};
 use crate::runner::par_map;
 use crate::suite::{symmetric_pairs, symmetric_workloads, Scale};
 
@@ -200,17 +201,28 @@ pub fn check_stic(
 }
 
 /// Run the experiment and collect the records.
+pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
+    collect_with_stats(config).0
+}
+
+/// Run the experiment and collect the records plus the per-instance
+/// pair-orbit planning statistics of the simulated part.
 ///
 /// The simulated part runs the *same* `UniversalRV` program on every gated
-/// STIC of a workload, so one [`SweepEngine`] per workload (built at the
-/// largest gated horizon) records each queried start node's trajectory once;
-/// rayon then fans out over cached-timeline merges and the analytic checks.
-pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
+/// STIC of a workload, so one [`PlannedSweep`] per workload (built at the
+/// largest gated horizon) collapses view-equivalent gated STICs onto one
+/// representative each and records each canonical start node's trajectory
+/// once; rayon fans out over the representative merges and, separately,
+/// over the analytic checks.
+pub fn collect_with_stats(
+    config: &InfeasibleConfig,
+) -> (Vec<InfeasibleRecord>, Vec<PlanCompression>) {
     let workloads = symmetric_workloads(config.scale);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
     let scheme = TrailSignature::new(uxs);
     let algo = UniversalRv::new(&uxs, &scheme);
     let mut records = Vec::new();
+    let mut stats = Vec::new();
     for w in &workloads {
         let mut cases = Vec::new();
         for p in symmetric_pairs(&w.graph, config.max_pairs) {
@@ -231,23 +243,43 @@ pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
             }
         }
         let oracle = FeasibilityOracle::new(&w.graph);
-        let max_horizon = cases.iter().filter_map(|c| c.4).max();
-        let engine = max_horizon
-            .map(|h| SweepEngine::new(&w.graph, &algo, anonrv_sim::EngineConfig::with_horizon(h)));
-        records.extend(par_map(cases, |&(u, v, shrink, delta, horizon)| {
-            let simulation = horizon.map(|h| {
-                let engine = engine.as_ref().expect("a gated case implies an engine");
-                let outcome = engine.simulate_capped(&Stic::new(u, v, delta), h);
-                (!outcome.met(), h)
+        // planned simulation of the gated STICs (one representative per
+        // pair-orbit group), broadcast back to case order
+        let gated: Vec<(usize, (Stic, Round))> = cases
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(u, v, _, delta, horizon))| {
+                horizon.map(|h| (i, (Stic::new(u, v, delta), h)))
+            })
+            .collect();
+        let mut sims: Vec<Option<(bool, Round)>> = vec![None; cases.len()];
+        if !gated.is_empty() {
+            let max_horizon = gated.iter().map(|&(_, (_, h))| h).max().expect("gated is non-empty");
+            let sweep = PlannedSweep::new(&w.graph, &algo, EngineConfig::with_horizon(max_horizon));
+            let queries: Vec<(Stic, Round)> = gated.iter().map(|&(_, q)| q).collect();
+            let (outcomes, exec) = sweep.simulate_many_counted(&queries);
+            for (&(i, (_, h)), outcome) in gated.iter().zip(outcomes) {
+                sims[i] = Some((!outcome.met(), h));
+            }
+            stats.push(PlanCompression {
+                label: w.label.clone(),
+                pairs: w.n() * w.n(),
+                classes: sweep.orbits().num_pair_classes(),
+                executed: exec.executed,
+                answered: exec.answered,
             });
+        }
+        let work: Vec<_> = cases.into_iter().zip(sims).collect();
+        records.extend(par_map(work, |&((u, v, shrink, delta, _), simulation)| {
             assemble_record(&w.label, &w.graph, &oracle, u, v, shrink, delta, simulation)
         }));
     }
-    records
+    (records, stats)
 }
 
 /// Run the experiment as a report table.
 pub fn run(config: &InfeasibleConfig) -> Table {
+    let (records, stats) = collect_with_stats(config);
     let mut table = Table::new(
         "EXP-L31",
         "Infeasibility below the Shrink threshold (Lemma 3.1)",
@@ -262,7 +294,7 @@ pub fn run(config: &InfeasibleConfig) -> Table {
             "horizon",
         ],
     );
-    for r in collect(config) {
+    for r in records {
         table.push_row([
             r.label.clone(),
             format!("({}, {})", r.pair.0, r.pair.1),
@@ -283,6 +315,9 @@ pub fn run(config: &InfeasibleConfig) -> Table {
          the expected outcome is 'classified infeasible = true', 'trajectory argument = true' and \
          'UniversalRV met = false' on every row.",
     );
+    if !stats.is_empty() {
+        table.push_note(compression_note(&stats));
+    }
     table
 }
 

@@ -35,18 +35,21 @@
 //! ## How the sweeps simulate
 //!
 //! `anonrv-sim` offers three bit-identical engines (streaming, lockstep,
-//! batch); the sweeps here pick per workload shape:
+//! batch) and `anonrv-plan` a symmetry-reduction layer on top; the sweeps
+//! here pick per workload shape:
 //!
 //! * sweeps evaluating **many STICs of one `(graph, program)` pair** —
 //!   [`symm`] (per `(Shrink, δ)` parameter group), [`asymm`] (per delay
 //!   budget), [`universal`], [`infeasible`] and [`scaling`] (one parameterless
-//!   `UniversalRV` per instance / ring size) — build one
-//!   [`anonrv_sim::SweepEngine`] per group: its `TrajectoryCache` executes
-//!   each start node's deterministic walk exactly once and every STIC becomes
-//!   a cached-timeline merge, `O(n)` program executions per graph instead of
-//!   `O(n²·Δ)`.  Rayon fans out over the merges
-//!   ([`runner::run_case_with_engine`]); heterogeneous per-case horizons
-//!   share the cache through capped queries.
+//!   `UniversalRV` per instance) — run **plan-then-execute** through one
+//!   [`anonrv_plan::PlannedSweep`] per group: the instance's pair-orbit
+//!   partition collapses view-equivalent `(pair, δ, horizon)` cases onto one
+//!   representative each ([`runner::run_cases_planned`] /
+//!   `simulate_many`), the underlying `TrajectoryCache` executes each
+//!   canonical start node's deterministic walk exactly once, rayon fans out
+//!   over the representative merges, and the (bit-identical) outcomes are
+//!   broadcast back to every member case.  Each table reports the resulting
+//!   compression as a note ([`report::compression_note`]).
 //! * one-off simulations (single probes, heterogeneous per-case programs as
 //!   in [`random_exp`] or [`lower_bound_exp`]) use [`anonrv_sim::simulate`],
 //!   whose `Auto` mode picks lockstep for short horizons and streaming for

@@ -150,6 +150,54 @@ impl Report {
     }
 }
 
+/// One workload's pair-orbit planning statistics: how far the sweep planner
+/// compressed its STIC batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanCompression {
+    /// Instance label.
+    pub label: String,
+    /// Number of ordered pairs (`n²`).
+    pub pairs: usize,
+    /// Number of pair-orbit classes.
+    pub classes: usize,
+    /// Representative simulations executed.
+    pub executed: usize,
+    /// Member STICs answered.
+    pub answered: usize,
+}
+
+impl PlanCompression {
+    /// The pair-space compression ratio `n² / classes`.
+    pub fn ratio(&self) -> f64 {
+        self.pairs as f64 / self.classes as f64
+    }
+}
+
+/// Render per-instance planning statistics as a single table note.
+pub fn compression_note(stats: &[PlanCompression]) -> String {
+    let total_answered: usize = stats.iter().map(|s| s.answered).sum();
+    let total_executed: usize = stats.iter().map(|s| s.executed).sum();
+    let detail: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{}: {} pairs -> {} orbits ({:.1}x), {}/{} sims",
+                s.label,
+                s.pairs,
+                s.classes,
+                s.ratio(),
+                s.executed,
+                s.answered
+            )
+        })
+        .collect();
+    format!(
+        "Pair-orbit planning executed {total_executed} representative simulations for \
+         {total_answered} STICs — {}.",
+        detail.join("; ")
+    )
+}
+
 /// Format a `u128` round count compactly (scientific-ish for huge values).
 pub fn fmt_rounds(rounds: u128) -> String {
     if rounds < 1_000_000 {
@@ -219,6 +267,30 @@ mod tests {
         assert_eq!(back, r);
         assert!(r.table("EXP-Y").is_some());
         assert!(r.table("EXP-Z").is_none());
+    }
+
+    #[test]
+    fn compression_note_summarises_per_instance_stats() {
+        let stats = vec![
+            PlanCompression {
+                label: "ring-8".into(),
+                pairs: 64,
+                classes: 8,
+                executed: 6,
+                answered: 24,
+            },
+            PlanCompression {
+                label: "torus-3x4".into(),
+                pairs: 144,
+                classes: 12,
+                executed: 4,
+                answered: 16,
+            },
+        ];
+        assert_eq!(stats[0].ratio(), 8.0);
+        let note = compression_note(&stats);
+        assert!(note.contains("10 representative simulations for 40 STICs"), "{note}");
+        assert!(note.contains("ring-8: 64 pairs -> 8 orbits (8.0x), 6/24 sims"), "{note}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! the algorithms themselves are sequential round-by-round programs, as in
 //! the paper) and collects uniform [`RunRecord`]s.
 //!
-//! Two per-graph preparations turn sweeps from `O(cases · full-work)` into
+//! Three per-graph preparations turn sweeps from `O(cases · full-work)` into
 //! `O(graph)` + cheap per-case queries:
 //!
 //! * classification goes through a [`FeasibilityOracle`] (one `O(n²·Δ)`
@@ -15,7 +15,12 @@
 //!   per start node answering every STIC by merging two cached timelines)
 //!   via [`run_case_with_engine`] — the sweeps group their cases by
 //!   `(graph, program, horizon)`, build one engine per group, and fan rayon
-//!   over the cached-timeline merges.
+//!   over the cached-timeline merges;
+//! * on top of both, **planning** collapses view-equivalent cases before any
+//!   simulation runs: [`run_cases_planned`] routes a case batch through a
+//!   [`PlannedSweep`], which executes one representative per `(pair orbit,
+//!   δ, horizon)` group and broadcasts the (bit-identical) outcome to every
+//!   member case.
 //!
 //! The oracle-less, engine-less [`run_case`] stays as a convenience for
 //! one-off cases.
@@ -25,6 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_graph::{NodeId, PortGraph};
+use anonrv_plan::{ExecStats, PlannedSweep};
 use anonrv_sim::{simulate, AgentProgram, Round, Stic, SweepEngine};
 
 /// One simulated STIC and its outcome.
@@ -116,6 +122,27 @@ pub fn run_case_with_engine(
 ) -> RunRecord {
     let outcome = engine.simulate_capped(&case.stic, case.horizon);
     record_outcome(case, engine.program().name(), oracle, outcome)
+}
+
+/// Run a batch of cases through a planned sweep: one representative
+/// simulation per `(pair orbit, δ, horizon)` group, broadcast to every
+/// member case (outcomes are bit-identical to simulating each case; see
+/// `anonrv_plan`).  Classification stays per-case through the O(1) oracle.
+/// Returns the records in case order plus the execution statistics the
+/// reports surface as compression notes.
+pub fn run_cases_planned(
+    cases: &[Case<'_>],
+    planned: &PlannedSweep<'_>,
+    oracle: &FeasibilityOracle,
+) -> (Vec<RunRecord>, ExecStats) {
+    let queries: Vec<(Stic, Round)> = cases.iter().map(|c| (c.stic, c.horizon)).collect();
+    let (outcomes, stats) = planned.simulate_many_counted(&queries);
+    let records = cases
+        .iter()
+        .zip(outcomes)
+        .map(|(case, outcome)| record_outcome(case, planned.program().name(), oracle, outcome))
+        .collect();
+    (records, stats)
 }
 
 fn record_outcome(
@@ -317,6 +344,37 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].label, "ring-6");
         assert_eq!(records[1].label, "lollipop-3-2");
+    }
+
+    #[test]
+    fn planned_batch_matches_per_case_engine_records() {
+        use anonrv_plan::PlannedSweep;
+        use anonrv_sim::EngineConfig;
+        let g = oriented_ring(6).unwrap();
+        let program = AlwaysPortZero;
+        let oracle = FeasibilityOracle::new(&g);
+        let cases: Vec<Case<'_>> = (0..6)
+            .flat_map(|v| {
+                [(v, 0u128), (v, 2)].map(|(v, delta)| Case {
+                    family: "oriented-ring".into(),
+                    label: "ring-6".into(),
+                    graph: &g,
+                    stic: Stic::new(0, v, delta),
+                    horizon: 80,
+                    bound: Some(80),
+                })
+            })
+            .collect();
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::with_horizon(80));
+        let engine = SweepEngine::new(&g, &program, EngineConfig::with_horizon(80));
+        let (records, stats) = run_cases_planned(&cases, &planned, &oracle);
+        assert_eq!(records.len(), cases.len());
+        assert_eq!(stats.answered, cases.len());
+        assert!(stats.executed <= cases.len());
+        for (case, record) in cases.iter().zip(&records) {
+            let direct = run_case_with_engine(case, &engine, &oracle);
+            assert_eq!(*record, direct, "planned record diverged on {}", case.stic);
+        }
     }
 
     #[test]

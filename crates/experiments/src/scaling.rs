@@ -1,10 +1,12 @@
 //! EXP-P41 — Proposition 4.1: the time used by `UniversalRV` grows like
 //! `O(n + δ)^O(n + δ)`.
 //!
-//! The experiment runs `UniversalRV` to rendezvous on a family of symmetric
-//! STICs of increasing size and delay (oriented rings, starting nodes at
-//! distance `d = Shrink = 2`, `δ = d`, plus a delay sweep at fixed `n`), and
-//! reports for every point
+//! The experiment runs `UniversalRV` to rendezvous on families of symmetric
+//! STICs of increasing size and delay — oriented rings plus circulants
+//! `C_n(s_1, ..., s_k)` for scenario diversity (higher degree, smaller
+//! diameter, same full symmetry) — starting nodes at distance
+//! `d = Shrink`, `δ = d`, plus a delay sweep at fixed `n`.  For every point
+//! it reports
 //!
 //! * the measured rendezvous time (rounds since the later agent's start),
 //! * the index of the resolving phase `g(n, d, δ)` and the paper's phase-count
@@ -20,23 +22,69 @@ use anonrv_core::bounds::proposition41_envelope;
 use anonrv_core::label::TrailSignature;
 use anonrv_core::pairing::phase_of;
 use anonrv_core::universal_rv::UniversalRv;
-use anonrv_graph::generators::oriented_ring;
+use anonrv_graph::generators::{circulant, oriented_ring};
 use anonrv_graph::shrink::shrink;
-use anonrv_sim::{EngineConfig, Round, Stic, SweepEngine};
+use anonrv_graph::PortGraph;
+use anonrv_plan::PlannedSweep;
+use anonrv_sim::{EngineConfig, Round, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
-use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
-use crate::runner::{distinct_in_order, par_map};
+use crate::report::{compression_note, fmt_opt_rounds, fmt_rounds, PlanCompression, Table};
+use crate::runner::distinct_in_order;
+
+/// The graph family a scaling point runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalingFamily {
+    /// The oriented ring (= `circulant(n, [1])`).
+    Ring,
+    /// A circulant `C_n(s_1, ..., s_k)` with the given shifts.
+    Circulant(Vec<usize>),
+}
+
+impl ScalingFamily {
+    /// Instance label for tables (e.g. `"ring-6"`, `"circulant-8(1,2)"`).
+    pub fn label(&self, n: usize) -> String {
+        match self {
+            ScalingFamily::Ring => format!("ring-{n}"),
+            ScalingFamily::Circulant(shifts) => {
+                let shifts: Vec<String> = shifts.iter().map(|s| s.to_string()).collect();
+                format!("circulant-{n}({})", shifts.join(","))
+            }
+        }
+    }
+
+    /// Build the instance.
+    pub fn build(&self, n: usize) -> PortGraph {
+        match self {
+            ScalingFamily::Ring => oriented_ring(n).expect("ring generation"),
+            ScalingFamily::Circulant(shifts) => circulant(n, shifts).expect("circulant generation"),
+        }
+    }
+}
 
 /// One point of the scaling sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScalingPoint {
-    /// Ring size.
+    /// Graph family of the instance.
+    pub family: ScalingFamily,
+    /// Instance size.
     pub n: usize,
-    /// Distance between the starting nodes (`= Shrink` on the oriented ring).
+    /// `Shrink` of the chosen starting pair.
     pub d: usize,
     /// Delay.
     pub delta: Round,
+}
+
+impl ScalingPoint {
+    /// A ring point (the original sweep family).
+    pub fn ring(n: usize, d: usize, delta: Round) -> Self {
+        ScalingPoint { family: ScalingFamily::Ring, n, d, delta }
+    }
+
+    /// A circulant point.
+    pub fn circulant(n: usize, shifts: &[usize], d: usize, delta: Round) -> Self {
+        ScalingPoint { family: ScalingFamily::Circulant(shifts.to_vec()), n, d, delta }
+    }
 }
 
 /// Configuration of the scaling experiment.
@@ -52,10 +100,11 @@ impl Default for ScalingConfig {
     fn default() -> Self {
         ScalingConfig {
             points: vec![
-                ScalingPoint { n: 4, d: 2, delta: 2 },
-                ScalingPoint { n: 5, d: 2, delta: 2 },
-                ScalingPoint { n: 6, d: 2, delta: 2 },
-                ScalingPoint { n: 4, d: 2, delta: 3 },
+                ScalingPoint::ring(4, 2, 2),
+                ScalingPoint::ring(5, 2, 2),
+                ScalingPoint::ring(6, 2, 2),
+                ScalingPoint::ring(4, 2, 3),
+                ScalingPoint::circulant(6, &[1, 2], 2, 2),
             ],
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
         }
@@ -67,14 +116,17 @@ impl ScalingConfig {
     pub fn full() -> Self {
         ScalingConfig {
             points: vec![
-                ScalingPoint { n: 4, d: 2, delta: 2 },
-                ScalingPoint { n: 5, d: 2, delta: 2 },
-                ScalingPoint { n: 6, d: 2, delta: 2 },
-                ScalingPoint { n: 7, d: 2, delta: 2 },
-                ScalingPoint { n: 8, d: 2, delta: 2 },
-                ScalingPoint { n: 4, d: 2, delta: 3 },
-                ScalingPoint { n: 4, d: 2, delta: 4 },
-                ScalingPoint { n: 6, d: 3, delta: 3 },
+                ScalingPoint::ring(4, 2, 2),
+                ScalingPoint::ring(5, 2, 2),
+                ScalingPoint::ring(6, 2, 2),
+                ScalingPoint::ring(7, 2, 2),
+                ScalingPoint::ring(8, 2, 2),
+                ScalingPoint::ring(4, 2, 3),
+                ScalingPoint::ring(4, 2, 4),
+                ScalingPoint::ring(6, 3, 3),
+                ScalingPoint::circulant(6, &[1, 2], 2, 2),
+                ScalingPoint::circulant(7, &[1, 2], 2, 2),
+                ScalingPoint::circulant(8, &[1, 3], 2, 2),
             ],
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
         }
@@ -100,57 +152,79 @@ pub struct ScalingRecord {
 
 /// Run the sweep and return the measured records (in `config.points`
 /// order).
-///
-/// `UniversalRV` takes no parameters, so all points sharing one ring size
-/// run the same program on the same graph: each size gets one
-/// [`SweepEngine`] at the largest completion bound among its points, the
-/// trajectory cache records each queried start node once, and rayon fans
-/// out over cached-timeline merges (capped at every point's own bound).
 pub fn collect(config: &ScalingConfig) -> Vec<ScalingRecord> {
+    collect_with_stats(config).0
+}
+
+/// Run the sweep and return the measured records plus the per-instance
+/// pair-orbit planning statistics.
+///
+/// `UniversalRV` takes no parameters, so all points sharing one instance
+/// run the same program on the same graph: each `(family, n)` gets one
+/// [`PlannedSweep`] at the largest completion bound among its points — the
+/// starting pair is canonicalised onto its pair-orbit representative, the
+/// trajectory cache records each canonical start node once, and every point
+/// is answered at its own bound.
+pub fn collect_with_stats(config: &ScalingConfig) -> (Vec<ScalingRecord>, Vec<PlanCompression>) {
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
     let scheme = TrailSignature::new(uxs);
     let algo = UniversalRv::new(&uxs, &scheme);
     let mut records: Vec<Option<ScalingRecord>> = vec![None; config.points.len()];
-    for n in distinct_in_order(config.points.iter().map(|p| p.n)) {
-        let g = oriented_ring(n).expect("ring generation");
-        let group: Vec<usize> =
-            (0..config.points.len()).filter(|&i| config.points[i].n == n).collect();
-        let max_horizon = group
+    let mut stats = Vec::new();
+    for instance in distinct_in_order(config.points.iter().map(|p| (p.family.clone(), p.n))) {
+        let (family, n) = &instance;
+        let g = family.build(*n);
+        let group: Vec<usize> = (0..config.points.len())
+            .filter(|&i| (&config.points[i].family, config.points[i].n) == (family, *n))
+            .collect();
+        let queries: Vec<(Stic, Round)> = group
             .iter()
-            .map(|&i| algo.completion_horizon(n, config.points[i].d, config.points[i].delta))
-            .max()
-            .expect("size groups are non-empty");
-        let engine = SweepEngine::new(&g, &algo, EngineConfig::with_horizon(max_horizon));
-        for (i, record) in par_map(group, |&i| {
-            let point = config.points[i];
-            let ScalingPoint { n, d, delta } = point;
-            let (u, v) = (0usize, d);
-            debug_assert_eq!(shrink(&g, u, v), Some(d));
-            let horizon = algo.completion_horizon(n, d, delta);
-            let outcome = engine.simulate_capped(&Stic::new(u, v, delta), horizon);
-            let record = ScalingRecord {
+            .map(|&i| {
+                let point = &config.points[i];
+                // the starting pair: node 0 and the smallest node at
+                // Shrink = d (on the ring that is node d itself)
+                let v =
+                    g.nodes().find(|&v| shrink(&g, 0, v) == Some(point.d)).unwrap_or_else(|| {
+                        panic!("{} has no pair with Shrink {}", family.label(*n), point.d)
+                    });
+                let horizon = algo.completion_horizon(*n, point.d, point.delta);
+                (Stic::new(0, v, point.delta), horizon)
+            })
+            .collect();
+        let max_horizon = queries.iter().map(|&(_, h)| h).max().expect("size groups are non-empty");
+        let sweep = PlannedSweep::new(&g, &algo, EngineConfig::with_horizon(max_horizon));
+        let (outcomes, exec) = sweep.simulate_many_counted(&queries);
+        stats.push(PlanCompression {
+            label: family.label(*n),
+            pairs: n * n,
+            classes: sweep.orbits().num_pair_classes(),
+            executed: exec.executed,
+            answered: exec.answered,
+        });
+        for (&i, (&(_, horizon), outcome)) in group.iter().zip(queries.iter().zip(outcomes)) {
+            let point = config.points[i].clone();
+            let (n, d, delta) = (point.n, point.d, point.delta);
+            records[i] = Some(ScalingRecord {
                 point,
                 time: outcome.rendezvous_time(),
                 resolving_phase: phase_of(n, d, delta.min(u64::MAX as Round) as u64),
                 phase_shape: (n as u64).pow(4) + (delta as u64).pow(2),
                 completion_bound: horizon,
                 envelope: proposition41_envelope(n, delta),
-            };
-            (i, record)
-        }) {
-            records[i] = Some(record);
+            });
         }
     }
-    records.into_iter().map(|r| r.expect("every point is simulated")).collect()
+    (records.into_iter().map(|r| r.expect("every point is simulated")).collect(), stats)
 }
 
 /// Run the experiment as a report table.
 pub fn run(config: &ScalingConfig) -> Table {
-    let records = collect(config);
+    let (records, stats) = collect_with_stats(config);
     let mut table = Table::new(
         "EXP-P41",
-        "UniversalRV total time versus (n, delta) on oriented rings (Proposition 4.1)",
+        "UniversalRV total time versus (n, delta) on oriented rings and circulants (Proposition 4.1)",
         &[
+            "instance",
             "n",
             "d",
             "delta",
@@ -163,6 +237,7 @@ pub fn run(config: &ScalingConfig) -> Table {
     );
     for r in &records {
         table.push_row([
+            r.point.family.label(r.point.n),
             r.point.n.to_string(),
             r.point.d.to_string(),
             r.point.delta.to_string(),
@@ -179,6 +254,7 @@ pub fn run(config: &ScalingConfig) -> Table {
          growing super-polynomially with n + delta while every measurement stays at or below the \
          completion bound.",
     );
+    table.push_note(compression_note(&stats));
     table
 }
 
@@ -189,9 +265,11 @@ mod tests {
     fn tiny() -> ScalingConfig {
         ScalingConfig {
             points: vec![
-                ScalingPoint { n: 4, d: 2, delta: 2 },
-                ScalingPoint { n: 5, d: 2, delta: 2 },
-                ScalingPoint { n: 4, d: 2, delta: 3 },
+                ScalingPoint::ring(4, 2, 2),
+                ScalingPoint::ring(5, 2, 2),
+                ScalingPoint::ring(4, 2, 3),
+                // C_5(1, 2) is K_5: every pair has Shrink 1
+                ScalingPoint::circulant(5, &[1, 2], 1, 1),
             ],
             ..ScalingConfig::default()
         }
@@ -218,6 +296,23 @@ mod tests {
         // and with the delay at fixed n
         let t4_d3 = records[2].time.unwrap();
         assert!(t4_d3 > t4, "measured time must grow with the delay (t4 = {t4}, t4_d3 = {t4_d3})");
+    }
+
+    #[test]
+    fn every_configured_point_has_a_pair_at_the_requested_shrink() {
+        for config in [tiny(), ScalingConfig::default(), ScalingConfig::full()] {
+            for point in &config.points {
+                let g = point.family.build(point.n);
+                let v = g.nodes().find(|&v| shrink(&g, 0, v) == Some(point.d));
+                assert!(v.is_some(), "no pair at Shrink {} on {:?}", point.d, point.family);
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_labels_render() {
+        assert_eq!(ScalingFamily::Ring.label(6), "ring-6");
+        assert_eq!(ScalingFamily::Circulant(vec![1, 3]).label(8), "circulant-8(1,3)");
     }
 
     #[test]

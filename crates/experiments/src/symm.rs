@@ -11,11 +11,14 @@
 
 use anonrv_core::bounds::symm_rv_bound;
 use anonrv_core::symm_rv::SymmRv;
-use anonrv_sim::{EngineConfig, Stic, SweepEngine};
+use anonrv_plan::{PairOrbits, PlannedSweep};
+use anonrv_sim::{EngineConfig, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
 
-use crate::report::{fmt_opt_rounds, fmt_ratio, fmt_rounds, Table};
-use crate::runner::{distinct_in_order, run_case_with_engine, Aggregate, Case, RunRecord};
+use crate::report::{
+    compression_note, fmt_opt_rounds, fmt_ratio, fmt_rounds, PlanCompression, Table,
+};
+use crate::runner::{distinct_in_order, run_cases_planned, Aggregate, Case, RunRecord};
 use crate::suite::{symmetric_delays, symmetric_pairs, symmetric_workloads, Scale};
 
 /// Configuration of the `SymmRV` experiment.
@@ -61,15 +64,25 @@ impl SymmConfig {
 }
 
 /// Run the experiment and return the raw records.
+pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
+    collect_with_stats(config).0
+}
+
+/// Run the experiment and return the raw records plus the per-instance
+/// pair-orbit planning statistics.
 ///
 /// `SymmRV(n, d, δ)` is one deterministic program per `(d, δ)` parameter
-/// pair, so the sweep groups its cases by `(Shrink, δ)`: every group shares
-/// one [`anonrv_sim::SweepEngine`] whose trajectory cache records each start
-/// node's walk once, and rayon fans out over the cached-timeline merges.
-pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
+/// pair, so the sweep groups its cases by `(Shrink, δ)`: every group runs
+/// through one [`PlannedSweep`] — the workload's pair-orbit partition
+/// (computed once per instance) collapses view-equivalent cases onto one
+/// representative each, the underlying trajectory cache records each
+/// canonical start node's walk once, and rayon fans out over the
+/// representative merges before the outcomes are broadcast back.
+pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompression>) {
     let workloads = symmetric_workloads(config.scale);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
     let mut records = Vec::new();
+    let mut stats = Vec::new();
     for w in &workloads {
         let n = w.n();
         if n > config.max_nodes {
@@ -87,6 +100,14 @@ pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
                 .flat_map(|p| symmetric_delays(p.shrink).into_iter().map(|d| (p.shrink, d))),
         );
         let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
+        let orbits = PairOrbits::compute(&w.graph);
+        let mut instance = PlanCompression {
+            label: w.label.clone(),
+            pairs: n * n,
+            classes: orbits.num_pair_classes(),
+            executed: 0,
+            answered: 0,
+        };
         for (shrink, delta) in groups {
             // pairs with this Shrink share the whole delay set, so the
             // group key alone determines membership
@@ -94,27 +115,36 @@ pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
             let bound = symm_rv_bound(n, shrink, delta, m);
             let horizon = bound.saturating_add(delta).saturating_add(1);
             let program = SymmRv::new(n, shrink, delta, &uxs);
-            let engine = SweepEngine::new(&w.graph, &program, EngineConfig::with_horizon(horizon));
-            let batch = crate::runner::par_map(group, |p| {
-                let case = Case {
+            let planned = PlannedSweep::with_orbits(
+                &orbits,
+                &w.graph,
+                &program,
+                EngineConfig::with_horizon(horizon),
+            );
+            let cases: Vec<Case<'_>> = group
+                .iter()
+                .map(|p| Case {
                     family: w.family.clone(),
                     label: w.label.clone(),
                     graph: &w.graph,
                     stic: Stic::new(p.u, p.v, delta),
                     horizon,
                     bound: Some(bound),
-                };
-                run_case_with_engine(&case, &engine, &oracle)
-            });
+                })
+                .collect();
+            let (batch, exec) = run_cases_planned(&cases, &planned, &oracle);
+            instance.executed += exec.executed;
+            instance.answered += exec.answered;
             records.extend(batch);
         }
+        stats.push(instance);
     }
-    records
+    (records, stats)
 }
 
 /// Run the experiment as a report table (one row per instance, aggregated).
 pub fn run(config: &SymmConfig) -> Table {
-    let records = collect(config);
+    let (records, stats) = collect_with_stats(config);
     let mut table = Table::new(
         "EXP-L32",
         "SymmRV on symmetric STICs with delta >= Shrink (Lemmas 3.2 / 3.3)",
@@ -157,6 +187,7 @@ pub fn run(config: &SymmConfig) -> Table {
          'STICs' and every measured time must respect the Lemma 3.3 bound \
          ('within T' = 'STICs', ratio <= 1).",
     );
+    table.push_note(compression_note(&stats));
     table
 }
 

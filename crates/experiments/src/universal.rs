@@ -17,11 +17,12 @@ use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::pairing::phase_of;
 use anonrv_core::universal_rv::UniversalRv;
-use anonrv_sim::{EngineConfig, Round, Stic, SweepEngine};
+use anonrv_plan::PlannedSweep;
+use anonrv_sim::{EngineConfig, Round, Stic};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
-use crate::report::{fmt_opt_rounds, fmt_rounds, Table};
-use crate::runner::{class_name, par_map};
+use crate::report::{compression_note, fmt_opt_rounds, fmt_rounds, PlanCompression, Table};
+use crate::runner::class_name;
 use crate::suite::{
     nonsymmetric_pairs, nonsymmetric_workloads, symmetric_pairs, symmetric_workloads, Scale,
 };
@@ -207,18 +208,29 @@ fn case_horizon(algo: &UniversalRv<'_, TrailSignature>, p: &Planned) -> Round {
 }
 
 /// Run the experiment and return the raw records.
+pub fn collect(config: &UniversalConfig) -> Vec<UniversalRecord> {
+    collect_with_stats(config).0
+}
+
+/// Run the experiment and return the raw records plus the per-instance
+/// pair-orbit planning statistics.
 ///
 /// `UniversalRV` takes no parameters, so every STIC of one instance runs
-/// the *same* program: the sweep builds one [`SweepEngine`] per instance at
-/// the largest planned horizon, records each queried start node's
-/// trajectory once, and answers every case (at its own, possibly smaller,
-/// horizon) by merging cached timelines under rayon.
-pub fn collect(config: &UniversalConfig) -> Vec<UniversalRecord> {
+/// the *same* program: the sweep builds one [`PlannedSweep`] per instance at
+/// the largest planned horizon — the pair-orbit partition collapses
+/// view-equivalent `(pair, δ, horizon)` cases onto one representative each,
+/// the trajectory cache records each canonical start node once, and rayon
+/// fans out over the representative merges (each case capped at its own,
+/// possibly smaller, horizon).
+pub fn collect_with_stats(
+    config: &UniversalConfig,
+) -> (Vec<UniversalRecord>, Vec<PlanCompression>) {
     let planned = plan(config);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
     let scheme = TrailSignature::new(uxs);
     let algo = UniversalRv::new(&uxs, &scheme);
     let mut records = Vec::new();
+    let mut stats = Vec::new();
     // `plan` emits each instance's cases contiguously
     let mut start = 0;
     while start < planned.len() {
@@ -228,14 +240,21 @@ pub fn collect(config: &UniversalConfig) -> Vec<UniversalRecord> {
             .map_or(planned.len(), |k| start + k);
         let group = &planned[start..end];
         let graph = &group[0].graph;
-        let cases: Vec<(&Planned, Round)> =
-            group.iter().map(|p| (p, case_horizon(&algo, p))).collect();
+        let queries: Vec<(Stic, Round)> =
+            group.iter().map(|p| (Stic::new(p.u, p.v, p.delta), case_horizon(&algo, p))).collect();
         let max_horizon =
-            cases.iter().map(|&(_, h)| h).max().expect("instance groups are non-empty");
-        let engine = SweepEngine::new(graph, &algo, EngineConfig::with_horizon(max_horizon));
-        records.extend(par_map(cases, |&(p, horizon)| {
-            let outcome = engine.simulate_capped(&Stic::new(p.u, p.v, p.delta), horizon);
-            UniversalRecord {
+            queries.iter().map(|&(_, h)| h).max().expect("instance groups are non-empty");
+        let sweep = PlannedSweep::new(graph, &algo, EngineConfig::with_horizon(max_horizon));
+        let (outcomes, exec) = sweep.simulate_many_counted(&queries);
+        stats.push(PlanCompression {
+            label: group[0].label.clone(),
+            pairs: graph.num_nodes() * graph.num_nodes(),
+            classes: sweep.orbits().num_pair_classes(),
+            executed: exec.executed,
+            answered: exec.answered,
+        });
+        records.extend(group.iter().zip(queries.iter().zip(outcomes)).map(
+            |(p, (&(_, horizon), outcome))| UniversalRecord {
                 label: p.label.clone(),
                 n: p.graph.num_nodes(),
                 pair: (p.u, p.v),
@@ -246,16 +265,16 @@ pub fn collect(config: &UniversalConfig) -> Vec<UniversalRecord> {
                 time: outcome.rendezvous_time(),
                 resolving_phase: p.resolving_phase,
                 horizon,
-            }
-        }));
+            },
+        ));
         start = end;
     }
-    records
+    (records, stats)
 }
 
 /// Run the experiment as a report table (one row per STIC).
 pub fn run(config: &UniversalConfig) -> Table {
-    let records = collect(config);
+    let (records, stats) = collect_with_stats(config);
     let mut table = Table::new(
         "EXP-T31",
         "UniversalRV on a mixed STIC suite with zero a-priori knowledge (Theorem 3.1 / Corollary 3.1)",
@@ -292,6 +311,7 @@ pub fn run(config: &UniversalConfig) -> Table {
          UniversalRV solves exactly the feasible ones; agreement on this suite: {agreements}/{}.",
         records.len()
     ));
+    table.push_note(compression_note(&stats));
     table
 }
 

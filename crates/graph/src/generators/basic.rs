@@ -154,6 +154,61 @@ pub fn lollipop(clique: usize, tail: usize) -> Result<PortGraph> {
     b.build()
 }
 
+/// Circulant graph `C_n(s_1, ..., s_k)` on `n ≥ 3` nodes: node `i` is
+/// adjacent to `i ± s_j (mod n)` for every shift `s_j`.
+///
+/// Port convention (globally consistent, generalising [`oriented_ring`] —
+/// which is exactly `circulant(n, &[1])`): at **every** node, port `2j`
+/// leads to `i + s_j` and is entered there by port `2j + 1`, while port
+/// `2j + 1` leads to `i − s_j` and is entered by port `2j`.  A shift
+/// `s_j = n/2` pairs `i` with its antipode through a *single* edge carrying
+/// port `2j` at both extremities (like the hypercube's self-paired ports).
+/// Because the convention is translation-invariant, every pair of nodes is
+/// symmetric and `Shrink(u, v)` equals the circulant distance — a family of
+/// symmetric workloads with tunable degree and diameter.
+///
+/// Shifts must be strictly increasing with `0 < s_j ≤ n/2`, and
+/// `gcd(n, s_1, ..., s_k)` must be `1` (otherwise the graph is
+/// disconnected).
+pub fn circulant(n: usize, shifts: &[usize]) -> Result<PortGraph> {
+    if n < 3 {
+        return Err(GraphError::invalid("circulant requires n >= 3"));
+    }
+    if shifts.is_empty() {
+        return Err(GraphError::invalid("circulant requires at least one shift"));
+    }
+    if !shifts.windows(2).all(|w| w[0] < w[1]) {
+        return Err(GraphError::invalid("circulant shifts must be strictly increasing"));
+    }
+    if shifts[0] == 0 || 2 * shifts[shifts.len() - 1] > n {
+        return Err(GraphError::invalid("circulant shifts must satisfy 0 < s <= n/2"));
+    }
+    let gcd = shifts.iter().fold(n, |acc, &s| {
+        let (mut a, mut b) = (acc, s);
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    });
+    if gcd != 1 {
+        return Err(GraphError::invalid("circulant is disconnected: gcd(n, shifts) > 1"));
+    }
+    let mut b = PortGraphBuilder::new(n);
+    for (j, &s) in shifts.iter().enumerate() {
+        for i in 0..n {
+            if 2 * s == n {
+                // antipodal shift: one self-paired port per node
+                if i < (i + s) % n {
+                    b.add_edge(i, 2 * j, (i + s) % n, 2 * j)?;
+                }
+            } else {
+                b.add_edge(i, 2 * j, (i + s) % n, 2 * j + 1)?;
+            }
+        }
+    }
+    b.build()
+}
+
 /// An `n`-cycle (oriented ports) with one extra chord between nodes `0` and
 /// `chord_to`; the chord destroys the ring's full symmetry, producing a small
 /// family of graphs with a mix of symmetric and nonsymmetric pairs.
@@ -268,6 +323,45 @@ mod tests {
         assert_eq!(g.degree(6), 1); // tail end
         assert!(lollipop(2, 1).is_err());
         assert!(lollipop(3, 0).is_err());
+    }
+
+    #[test]
+    fn circulant_matches_the_documented_port_table() {
+        let g = circulant(10, &[1, 3]).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 20);
+        for i in 0..10 {
+            assert_eq!(g.succ(i, 0), ((i + 1) % 10, 1)); // +s_1
+            assert_eq!(g.succ(i, 1), ((i + 9) % 10, 0)); // -s_1
+            assert_eq!(g.succ(i, 2), ((i + 3) % 10, 3)); // +s_2
+            assert_eq!(g.succ(i, 3), ((i + 7) % 10, 2)); // -s_2
+        }
+        assert!(OrbitPartition::compute(&g).is_fully_symmetric());
+    }
+
+    #[test]
+    fn circulant_with_shift_one_is_the_oriented_ring() {
+        assert_eq!(circulant(7, &[1]).unwrap(), oriented_ring(7).unwrap());
+    }
+
+    #[test]
+    fn circulant_antipodal_shift_uses_a_self_paired_port() {
+        let g = circulant(8, &[1, 4]).unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.succ(0, 2), (4, 2));
+        assert_eq!(g.succ(4, 2), (0, 2));
+        assert!(OrbitPartition::compute(&g).is_fully_symmetric());
+    }
+
+    #[test]
+    fn circulant_rejects_bad_parameters() {
+        assert!(circulant(2, &[1]).is_err());
+        assert!(circulant(8, &[]).is_err());
+        assert!(circulant(8, &[0, 1]).is_err());
+        assert!(circulant(8, &[3, 1]).is_err());
+        assert!(circulant(8, &[1, 5]).is_err()); // 5 > 8/2
+        assert!(circulant(8, &[2, 4]).is_err()); // gcd(8, 2, 4) = 2
+        assert!(circulant(9, &[3]).is_err()); // gcd(9, 3) = 3
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! | family | symmetry structure | role in the paper |
 //! |--------|--------------------|-------------------|
-//! | [`oriented_ring`], [`oriented_torus`], [`hypercube`] | every pair symmetric, `Shrink = distance` | Section 3 example (torus) |
+//! | [`oriented_ring`], [`oriented_torus`], [`hypercube`], [`circulant`] | every pair symmetric, `Shrink = distance` | Section 3 example (torus) |
 //! | [`symmetric_double_tree`] | mirror pairs symmetric, `Shrink = 1` | Section 3 example (tree with central edge) |
 //! | [`qh_tree`], [`qh_hat`] | all views equal | Section 4 lower bound (Figure 1) |
 //! | [`path`], [`star`], [`lollipop`], [`random_connected`] | mostly asymmetric | Proposition 3.1 workloads |
@@ -19,8 +19,8 @@ mod torus;
 mod trees;
 
 pub use basic::{
-    complete, complete_bipartite, cycle_with_chord, hypercube, lollipop, oriented_ring, path,
-    ring_with_orientation, star, two_node_graph,
+    circulant, complete, complete_bipartite, cycle_with_chord, hypercube, lollipop, oriented_ring,
+    path, ring_with_orientation, star, two_node_graph,
 };
 pub use qh::{qh_hat, qh_tree, z_set, Cardinal, QhGraph};
 pub use random::{random_connected, random_regular};

@@ -136,6 +136,10 @@ impl OrbitPartition {
     }
 
     /// The classes as explicit node lists, ordered by class identifier.
+    ///
+    /// Allocates one `Vec` per class; hot sweep paths should prefer
+    /// [`OrbitPartition::class_sizes`] / [`OrbitPartition::nodes_by_class`],
+    /// which stay flat.
     pub fn classes(&self) -> Vec<Vec<NodeId>> {
         let mut out = vec![Vec::new(); self.num_classes];
         for (v, &c) in self.class_of.iter().enumerate() {
@@ -144,10 +148,48 @@ impl OrbitPartition {
         out
     }
 
-    /// All unordered symmetric pairs `u < v`.
+    /// Number of nodes in each class, indexed by class identifier.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_classes];
+        for &c in &self.class_of {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// All nodes grouped by class in one flat buffer: nodes of class `c` are
+    /// `nodes[offsets[c]..offsets[c + 1]]`, in increasing node order.  Two
+    /// allocations total (a counting sort), versus the per-class `Vec`s of
+    /// [`OrbitPartition::classes`].
+    pub fn nodes_by_class(&self) -> (Vec<usize>, Vec<NodeId>) {
+        let sizes = self.class_sizes();
+        let mut offsets = Vec::with_capacity(self.num_classes + 1);
+        offsets.push(0usize);
+        for &s in &sizes {
+            offsets.push(offsets.last().copied().unwrap_or(0) + s);
+        }
+        let mut cursor = offsets[..self.num_classes].to_vec();
+        let mut nodes = vec![0 as NodeId; self.class_of.len()];
+        for (v, &c) in self.class_of.iter().enumerate() {
+            nodes[cursor[c]] = v;
+            cursor[c] += 1;
+        }
+        (offsets, nodes)
+    }
+
+    /// All unordered symmetric pairs `u < v`, grouped by class, in one
+    /// counting-sorted pass (no intermediate `Vec<Vec<NodeId>>`).
     pub fn symmetric_pairs(&self) -> Vec<(NodeId, NodeId)> {
-        let mut pairs = Vec::new();
-        for class in self.classes() {
+        let (offsets, nodes) = self.nodes_by_class();
+        let total: usize = (0..self.num_classes)
+            .map(|c| {
+                let s = offsets[c + 1] - offsets[c];
+                s * (s - 1) / 2
+            })
+            .sum();
+        let mut pairs = Vec::with_capacity(total);
+        for c in 0..self.num_classes {
+            let class = &nodes[offsets[c]..offsets[c + 1]];
             for i in 0..class.len() {
                 for j in i + 1..class.len() {
                     pairs.push((class[i], class[j]));
@@ -286,6 +328,31 @@ mod tests {
         }
         let total: usize = p.classes().iter().map(|c| c.len()).sum();
         assert_eq!(total, g.num_nodes());
+    }
+
+    #[test]
+    fn flat_class_accessors_agree_with_the_vec_of_vecs() {
+        for g in [star(6).unwrap(), oriented_ring(8).unwrap(), lollipop(4, 2).unwrap()] {
+            let p = OrbitPartition::compute(&g);
+            let classes = p.classes();
+            assert_eq!(p.class_sizes(), classes.iter().map(Vec::len).collect::<Vec<_>>());
+            let (offsets, nodes) = p.nodes_by_class();
+            assert_eq!(offsets.len(), p.num_classes() + 1);
+            assert_eq!(*offsets.last().unwrap(), g.num_nodes());
+            for (c, class) in classes.iter().enumerate() {
+                assert_eq!(&nodes[offsets[c]..offsets[c + 1]], class.as_slice());
+            }
+            // symmetric_pairs keeps its class-grouped, id-ordered layout
+            let mut expected = Vec::new();
+            for class in &classes {
+                for i in 0..class.len() {
+                    for j in i + 1..class.len() {
+                        expected.push((class[i], class[j]));
+                    }
+                }
+            }
+            assert_eq!(p.symmetric_pairs(), expected);
+        }
     }
 
     #[test]

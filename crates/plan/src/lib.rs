@@ -1,0 +1,73 @@
+//! # anonrv-plan
+//!
+//! Symmetry-reduced **sweep planning**: collapse all-pairs workloads onto one
+//! representative query per equivalence class of ordered start pairs, execute
+//! only the representatives, and broadcast the results back.
+//!
+//! ## Why this is sound
+//!
+//! In the paper's model (Pelc & Yadav, SPAA 2019) an agent observes nothing
+//! but its own degree, entry port and clock, so every rendezvous outcome is a
+//! function of the agents' *views*, never of node identities.  The strongest
+//! executable form of that statement uses port-preserving automorphisms: if
+//! `φ` is an automorphism of the port-labelled graph `G` with `φ(u) = u'` and
+//! `φ(v) = v'`, then for **any** pair of deterministic programs and any delay
+//! `δ`, the execution from `(u', v')` is the `φ`-image of the execution from
+//! `(u, v)` — same observation sequences, same meeting rounds, same move
+//! counts, same termination flags, and the meeting node maps through `φ`.
+//! [`PairOrbits`] partitions the `n²` ordered pairs into the orbits of the
+//! automorphism group and keeps the witnessing automorphism per node, so a
+//! planned sweep reconstructs even the meeting node of every member pair
+//! **bit-identically** (see [`PairOrbits::from_canonical`]).
+//!
+//! Orbits are computed through the *port-rigidity* of anonymous graphs: a
+//! port-preserving automorphism of a connected port-labelled graph is
+//! uniquely determined by the image of a single node (`φ(succ(v, p)) =
+//! succ(φ(v), p)` propagates the map edge by edge).  The node
+//! view-equivalence partition from [`anonrv_graph::symmetry`] (colour
+//! refinement) prunes the candidate images, and each surviving candidate is
+//! checked by one `O(n·Δ)` propagation, so the whole group costs
+//! `O(k·n·Δ)` for `k` view-equivalent candidates — cheap enough to plan
+//! every sweep, and the action is *free* (an automorphism fixing any node is
+//! the identity), which makes every pair class the same size and
+//! canonicalisation a two-lookup operation.
+//!
+//! ## Why not colour refinement on the common-port pair graph
+//!
+//! The pair graph behind `Shrink` (transitions `(a, b) → (succ(a, p),
+//! succ(b, p))` over common ports) is the wrong carrier for *outcome*
+//! equivalence: its refinement cannot separate pairs whose outcomes differ.
+//! On the oriented 8-ring the pairs `(0, 2)` and `(0, 6)` have isomorphic
+//! common-port reachability (both preserve their node-difference, both have
+//! `Shrink = 2`), yet a clockwise-walking program meets at delay 2 from
+//! `(0, 2)` and never from `(0, 6)` — the two agents run *time-shifted*
+//! executions, not port-lockstep ones.  The automorphism orbits used here
+//! are a refinement of pair-view equivalence and are therefore always sound;
+//! the counterexample is pinned by a test in [`orbits`].
+//!
+//! ## The planning layer
+//!
+//! * [`PairOrbits`] — the orbit partition of ordered pairs with O(1)
+//!   `class_of`, per-class representative/members, and the canonical maps;
+//! * [`SweepPlan`] — a `(graph, δ-grid, horizon)` workload reduced to one
+//!   representative STIC per `(pair class, δ)` plus the expansion map;
+//! * [`PlannedSweep`] — the façade in front of
+//!   [`anonrv_sim::SweepEngine`]: executes representative queries only
+//!   (rayon over classes), broadcasts outcomes (including meeting nodes)
+//!   back to member pairs, and offers a sampling [`ValidationReport`] mode
+//!   that re-runs non-representatives through the batch engine and checks
+//!   bit-identity.
+//!
+//! On vertex-transitive families the compression equals the group order:
+//! `oriented_torus(16, 16)` collapses 65 536 ordered pairs to 256 classes,
+//! so an all-pairs × δ-grid sweep executes 256× fewer merges on top of the
+//! trajectory-memoized batch engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod orbits;
+pub mod sweep;
+
+pub use orbits::{Automorphisms, PairOrbits};
+pub use sweep::{ExecStats, PlannedOutcomes, PlannedSweep, SweepPlan, ValidationReport};

@@ -1,0 +1,417 @@
+//! Orbits of ordered node pairs under the port-preserving automorphism
+//! group, with explicit canonicalisation witnesses.
+//!
+//! The construction leans on two structural facts about connected
+//! port-labelled graphs:
+//!
+//! 1. **Port-rigidity.**  A port-preserving automorphism satisfies
+//!    `φ(succ(v, p)) = succ(φ(v), p)` with matching entry ports, so `φ` is
+//!    completely determined by the image of one node and can be grown (or
+//!    refuted) by a single BFS propagation in `O(n·Δ)`.
+//! 2. **Freeness.**  By the same rigidity, an automorphism fixing any node
+//!    is the identity.  Hence the group acts freely on nodes *and* on
+//!    ordered pairs: every node orbit and every pair orbit has exactly
+//!    `|Aut(G)|` elements, and for each node `a` there is exactly one
+//!    automorphism carrying `a` to its orbit representative.
+//!
+//! Freeness is what makes the pair partition cheap: the canonical form of
+//! `(u, v)` is `(rep(u), π_u(v))` where `π_u` is the unique automorphism
+//! with `π_u(u) = rep(u)`, so [`PairOrbits::class_of`] is two array lookups
+//! and no `n²` table is ever materialised.  The node view-equivalence
+//! partition ([`OrbitPartition`], colour refinement) serves as the candidate
+//! filter: `φ(base) = w` is only possible when `w` has the same view as
+//! `base`.
+
+use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_graph::{NodeId, PortGraph};
+
+const UNSET: u32 = u32::MAX;
+
+/// The full port-preserving automorphism group of a connected port-labelled
+/// graph, as explicit permutations (the first entry is the identity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Automorphisms {
+    n: usize,
+    /// `perms[k][v]` = image of `v` under automorphism `k`; `perms[0]` is
+    /// the identity.
+    perms: Vec<Vec<u32>>,
+    /// Inverse permutations, same indexing.
+    inv: Vec<Vec<u32>>,
+}
+
+impl Automorphisms {
+    /// Compute the group of `g` by rigid propagation from node `0` to every
+    /// view-equivalent candidate image.
+    pub fn compute(g: &PortGraph) -> Self {
+        let n = g.num_nodes();
+        assert!(n > 0, "automorphisms of the empty graph are not defined");
+        assert!(n <= u32::MAX as usize, "node count exceeds the index width");
+        let partition = OrbitPartition::compute(g);
+        let base = 0;
+        let mut perms = Vec::new();
+        for w in 0..n {
+            if partition.class_of(w) != partition.class_of(base) {
+                continue;
+            }
+            if let Some(phi) = propagate(g, base, w) {
+                perms.push(phi);
+            }
+        }
+        debug_assert!(perms[0].iter().enumerate().all(|(v, &x)| v == x as usize));
+        let inv = perms
+            .iter()
+            .map(|p| {
+                let mut inv = vec![0u32; n];
+                for (v, &x) in p.iter().enumerate() {
+                    inv[x as usize] = v as u32;
+                }
+                inv
+            })
+            .collect();
+        Automorphisms { n, perms, inv }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Order of the group (`1` for rigid graphs).  By freeness it divides
+    /// the node count.
+    pub fn order(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Image of `v` under automorphism `k`.
+    #[inline]
+    pub fn apply(&self, k: usize, v: NodeId) -> NodeId {
+        self.perms[k][v] as usize
+    }
+
+    /// Image of `v` under the inverse of automorphism `k`.
+    #[inline]
+    pub fn apply_inv(&self, k: usize, v: NodeId) -> NodeId {
+        self.inv[k][v] as usize
+    }
+
+    /// The permutations themselves (the identity first).
+    pub fn permutations(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.perms.iter().map(|p| p.as_slice())
+    }
+}
+
+/// Grow the unique automorphism with `φ(base) = w`, or refute it.  One BFS
+/// over the graph: every edge is checked for matching far ports and the
+/// image assignment is checked for injectivity, so a `Some` result is a
+/// genuine port-preserving automorphism.
+fn propagate(g: &PortGraph, base: NodeId, w: NodeId) -> Option<Vec<u32>> {
+    if g.degree(base) != g.degree(w) {
+        return None;
+    }
+    let n = g.num_nodes();
+    let mut phi = vec![UNSET; n];
+    let mut image_used = vec![false; n];
+    phi[base] = w as u32;
+    image_used[w] = true;
+    let mut stack = vec![base];
+    while let Some(v) = stack.pop() {
+        let fv = phi[v] as usize;
+        for p in 0..g.degree(v) {
+            let (a, q) = g.succ(v, p);
+            let (b, q2) = g.succ(fv, p);
+            if q != q2 {
+                return None;
+            }
+            if phi[a] == UNSET {
+                if g.degree(a) != g.degree(b) || image_used[b] {
+                    return None;
+                }
+                phi[a] = b as u32;
+                image_used[b] = true;
+                stack.push(a);
+            } else if phi[a] as usize != b {
+                return None;
+            }
+        }
+    }
+    // connectivity makes the map total; `image_used` made it injective
+    debug_assert!(phi.iter().all(|&x| x != UNSET));
+    Some(phi)
+}
+
+/// The partition of all `n²` **ordered** node pairs into orbits of the
+/// automorphism group, with the canonicalisation witnesses needed to
+/// broadcast simulation outcomes (meeting nodes included) from a class
+/// representative to every member.
+///
+/// Class identifiers are laid out as `rep_index(u) · n + c`: the canonical
+/// form of `(u, v)` is the pair `(rep(u), π_u(v))` where `rep(u)` is the
+/// smallest node in `u`'s orbit and `π_u` the unique automorphism carrying
+/// `u` there.  Every class therefore contains exactly one pair whose first
+/// coordinate is an orbit representative, and that pair *is* the class
+/// representative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairOrbits {
+    n: usize,
+    autos: Automorphisms,
+    /// Smallest image of each node under the group (its orbit
+    /// representative).
+    node_rep: Vec<u32>,
+    /// Dense index of each orbit-representative node (`UNSET` elsewhere).
+    rep_dense: Vec<u32>,
+    /// Dense index → representative node.
+    node_reps: Vec<u32>,
+    /// `canon[a]` = index of the unique automorphism with
+    /// `perms[canon[a]][a] = node_rep[a]`.
+    canon: Vec<u32>,
+}
+
+impl PairOrbits {
+    /// Compute the pair-orbit partition of `g`.
+    pub fn compute(g: &PortGraph) -> Self {
+        Self::from_automorphisms(Automorphisms::compute(g))
+    }
+
+    /// Build the partition from a precomputed automorphism group.
+    pub fn from_automorphisms(autos: Automorphisms) -> Self {
+        let n = autos.num_nodes();
+        let mut node_rep = vec![0u32; n];
+        let mut canon = vec![0u32; n];
+        for a in 0..n {
+            let (mut best, mut best_k) = (autos.perms[0][a], 0usize);
+            for k in 1..autos.order() {
+                let img = autos.perms[k][a];
+                if img < best {
+                    best = img;
+                    best_k = k;
+                }
+            }
+            node_rep[a] = best;
+            canon[a] = best_k as u32;
+        }
+        let mut rep_dense = vec![UNSET; n];
+        let mut node_reps = Vec::new();
+        for v in 0..n {
+            if node_rep[v] as usize == v {
+                rep_dense[v] = node_reps.len() as u32;
+                node_reps.push(v as u32);
+            }
+        }
+        PairOrbits { n, autos, node_rep, rep_dense, node_reps, canon }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The automorphism group the partition is built on.
+    pub fn automorphisms(&self) -> &Automorphisms {
+        &self.autos
+    }
+
+    /// Order of the automorphism group — by freeness also the size of
+    /// *every* node orbit and every pair class.
+    pub fn group_order(&self) -> usize {
+        self.autos.order()
+    }
+
+    /// Number of node orbits (`n / group_order`).
+    pub fn num_node_orbits(&self) -> usize {
+        self.node_reps.len()
+    }
+
+    /// Number of ordered-pair classes (`n² / group_order`).
+    pub fn num_pair_classes(&self) -> usize {
+        self.node_reps.len() * self.n
+    }
+
+    /// Size of every pair class (uniform, by freeness of the action).
+    pub fn class_size(&self) -> usize {
+        self.autos.order()
+    }
+
+    /// The compression ratio `n² / num_pair_classes` (= the group order).
+    pub fn compression(&self) -> f64 {
+        (self.n * self.n) as f64 / self.num_pair_classes() as f64
+    }
+
+    /// Orbit representative (smallest image) of node `u`.
+    #[inline]
+    pub fn node_representative(&self, u: NodeId) -> NodeId {
+        self.node_rep[u] as usize
+    }
+
+    /// Class identifier of the ordered pair `(u, v)`, in
+    /// `0..num_pair_classes`.
+    #[inline]
+    pub fn class_of(&self, u: NodeId, v: NodeId) -> usize {
+        let k = self.canon[u] as usize;
+        self.rep_dense[self.node_rep[u] as usize] as usize * self.n
+            + self.autos.perms[k][v] as usize
+    }
+
+    /// The canonical representative pair of a class.
+    #[inline]
+    pub fn representative(&self, class: usize) -> (NodeId, NodeId) {
+        (self.node_reps[class / self.n] as usize, class % self.n)
+    }
+
+    /// All member pairs of a class (each exactly once, the representative
+    /// among them).
+    pub fn members(&self, class: usize) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        let (r, c) = self.representative(class);
+        self.autos.perms.iter().map(move |p| (p[r] as usize, p[c] as usize))
+    }
+
+    /// `true` iff `(u, v)` and `(u2, v2)` lie in the same pair orbit.
+    pub fn are_equivalent(&self, u: NodeId, v: NodeId, u2: NodeId, v2: NodeId) -> bool {
+        self.class_of(u, v) == self.class_of(u2, v2)
+    }
+
+    /// Map a node of `(u, ·)`'s world into the canonical world of `u`'s
+    /// class representative (`π_u`, the witnessing automorphism).
+    #[inline]
+    pub fn to_canonical(&self, u: NodeId, x: NodeId) -> NodeId {
+        self.autos.apply(self.canon[u] as usize, x)
+    }
+
+    /// Map a node of the canonical world back into `(u, ·)`'s world
+    /// (`π_u⁻¹`) — this is what lets a planned sweep reconstruct member
+    /// meeting nodes bit-identically.
+    #[inline]
+    pub fn from_canonical(&self, u: NodeId, x: NodeId) -> NodeId {
+        self.autos.apply_inv(self.canon[u] as usize, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::{
+        hypercube, lollipop, oriented_ring, oriented_torus, path, qh_hat, random_connected,
+        symmetric_double_tree,
+    };
+
+    fn assert_group(g: &PortGraph, expected_order: usize) -> Automorphisms {
+        let autos = Automorphisms::compute(g);
+        assert_eq!(autos.order(), expected_order, "group order");
+        let n = g.num_nodes();
+        for k in 0..autos.order() {
+            // genuine port-preserving automorphism
+            for v in 0..n {
+                for p in 0..g.degree(v) {
+                    let (w, q) = g.succ(v, p);
+                    let (w2, q2) = g.succ(autos.apply(k, v), p);
+                    assert_eq!(w2, autos.apply(k, w));
+                    assert_eq!(q2, q);
+                }
+                assert_eq!(autos.apply_inv(k, autos.apply(k, v)), v);
+            }
+            // freeness: only the identity has a fixed point
+            if k != 0 {
+                assert!((0..n).all(|v| autos.apply(k, v) != v), "non-identity with fixed point");
+            }
+        }
+        autos
+    }
+
+    #[test]
+    fn ring_group_is_the_rotations() {
+        assert_group(&oriented_ring(9).unwrap(), 9);
+    }
+
+    #[test]
+    fn torus_group_is_the_translations() {
+        assert_group(&oriented_torus(3, 4).unwrap(), 12);
+    }
+
+    #[test]
+    fn hypercube_group_is_the_bit_translations() {
+        assert_group(&hypercube(3).unwrap(), 8);
+    }
+
+    #[test]
+    fn double_tree_group_contains_the_mirror() {
+        let (g, mirror) = symmetric_double_tree(2, 2).unwrap();
+        let autos = assert_group(&g, 2);
+        let k = 1;
+        for v in g.nodes() {
+            assert_eq!(autos.apply(k, v), mirror[v]);
+        }
+    }
+
+    #[test]
+    fn rigid_graphs_have_the_trivial_group() {
+        assert_group(&lollipop(4, 3).unwrap(), 1);
+        assert_group(&path(5).unwrap(), 1);
+        assert_group(&random_connected(10, 5, 3).unwrap(), 1);
+    }
+
+    #[test]
+    fn pair_classes_partition_all_ordered_pairs() {
+        for g in [
+            oriented_ring(7).unwrap(),
+            oriented_torus(3, 4).unwrap(),
+            hypercube(3).unwrap(),
+            symmetric_double_tree(2, 2).unwrap().0,
+            lollipop(4, 3).unwrap(),
+            qh_hat(2).unwrap().graph,
+        ] {
+            let n = g.num_nodes();
+            let orbits = PairOrbits::compute(&g);
+            assert_eq!(orbits.num_pair_classes() * orbits.class_size(), n * n);
+            let mut seen = vec![0usize; n * n];
+            for class in 0..orbits.num_pair_classes() {
+                let (r, c) = orbits.representative(class);
+                assert_eq!(orbits.class_of(r, c), class, "representative is self-canonical");
+                for (a, b) in orbits.members(class) {
+                    assert_eq!(orbits.class_of(a, b), class);
+                    seen[a * n + b] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&s| s == 1), "every ordered pair in exactly one class");
+        }
+    }
+
+    #[test]
+    fn canonical_maps_witness_the_class() {
+        let g = oriented_torus(4, 4).unwrap();
+        let orbits = PairOrbits::compute(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let (r, c) = orbits.representative(orbits.class_of(u, v));
+                assert_eq!(orbits.to_canonical(u, u), r);
+                assert_eq!(orbits.to_canonical(u, v), c);
+                assert_eq!(orbits.from_canonical(u, r), u);
+                assert_eq!(orbits.from_canonical(u, c), v);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_16x16_compresses_all_pairs_to_256_classes() {
+        let g = oriented_torus(16, 16).unwrap();
+        let orbits = PairOrbits::compute(&g);
+        assert_eq!(orbits.group_order(), 256);
+        assert_eq!(orbits.num_pair_classes(), 256);
+        assert_eq!(orbits.compression(), 256.0);
+    }
+
+    /// The module-level counterexample: on the oriented 8-ring, `(0, 2)` and
+    /// `(0, 6)` are indistinguishable to common-port pair-graph refinement
+    /// (node-difference is preserved by lockstep moves, both have
+    /// `Shrink = 2`), yet their outcomes differ — so the planner must keep
+    /// them in different classes, and it does (they are not related by any
+    /// rotation).
+    #[test]
+    fn ring_pairs_with_equal_shrink_but_opposite_orientation_stay_separate() {
+        let g = oriented_ring(8).unwrap();
+        assert_eq!(anonrv_graph::shrink::shrink(&g, 0, 2), Some(2));
+        assert_eq!(anonrv_graph::shrink::shrink(&g, 0, 6), Some(2));
+        let orbits = PairOrbits::compute(&g);
+        assert!(!orbits.are_equivalent(0, 2, 0, 6));
+        // ...while genuinely rotated pairs collapse
+        assert!(orbits.are_equivalent(0, 2, 3, 5));
+    }
+}

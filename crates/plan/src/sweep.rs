@@ -1,0 +1,463 @@
+//! Sweep planning and planned execution.
+//!
+//! [`SweepPlan`] reduces a `(graph, δ-grid, horizon)` workload to one
+//! representative STIC per `(pair class, δ)`; [`PlannedSweep`] executes only
+//! those representatives through an [`anonrv_sim::SweepEngine`] (rayon over
+//! classes) and broadcasts the outcomes back to member pairs through the
+//! orbit's witnessing automorphisms, so every member outcome — meeting node
+//! included — is **bit-identical** to simulating the member directly.
+//!
+//! The validate mode ([`PlannedSweep::validate_sample`]) re-runs a sampled
+//! fraction of non-representative member queries through the underlying
+//! batch engine and checks that bit-identity, which is the executable form
+//! of the planner's soundness argument (see the crate docs).
+
+use std::borrow::Cow;
+
+use rayon::prelude::*;
+
+use anonrv_graph::{NodeId, PortGraph};
+use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine};
+
+use crate::orbits::PairOrbits;
+
+/// Pull a canonical-world outcome back into the world of the member pair
+/// whose earlier node is `u`: the meeting node is the **only**
+/// orbit-variant field of a [`SimOutcome`], and it maps through `π_u⁻¹`.
+fn pull_back(orbits: &PairOrbits, u: NodeId, mut outcome: SimOutcome) -> SimOutcome {
+    if let Some(m) = outcome.meeting.as_mut() {
+        m.node = orbits.from_canonical(u, m.node);
+    }
+    outcome
+}
+
+/// A planned sweep workload: the pair-orbit partition of one graph plus the
+/// delay grid and horizon it will be executed under.  Emits one
+/// representative query per `(pair class, δ)`; the expansion map back to
+/// member pairs is the orbit structure itself
+/// ([`PairOrbits::members`] / [`PairOrbits::class_of`]).
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    orbits: PairOrbits,
+    deltas: Vec<Round>,
+    horizon: Round,
+}
+
+impl SweepPlan {
+    /// Plan an all-pairs sweep of `g` over `deltas` at `horizon`.
+    pub fn new(g: &PortGraph, deltas: Vec<Round>, horizon: Round) -> Self {
+        Self::from_orbits(PairOrbits::compute(g), deltas, horizon)
+    }
+
+    /// Plan from a precomputed pair-orbit partition (sweeps sharing one
+    /// graph reuse the partition across programs and delay grids).
+    pub fn from_orbits(orbits: PairOrbits, deltas: Vec<Round>, horizon: Round) -> Self {
+        SweepPlan { orbits, deltas, horizon }
+    }
+
+    /// The pair-orbit partition the plan reduces through.
+    pub fn orbits(&self) -> &PairOrbits {
+        &self.orbits
+    }
+
+    /// The delay grid.
+    pub fn deltas(&self) -> &[Round] {
+        &self.deltas
+    }
+
+    /// The simulation horizon.
+    pub fn horizon(&self) -> Round {
+        self.horizon
+    }
+
+    /// Number of representative queries the plan executes
+    /// (`num_pair_classes × |δ-grid|`).
+    pub fn num_representative_queries(&self) -> usize {
+        self.orbits.num_pair_classes() * self.deltas.len()
+    }
+
+    /// Number of member queries the plan answers (`n² × |δ-grid|`).
+    pub fn num_member_queries(&self) -> usize {
+        let n = self.orbits.num_nodes();
+        n * n * self.deltas.len()
+    }
+
+    /// The representative STICs, class-major and δ-minor (matching the
+    /// layout of [`PlannedOutcomes`]).
+    pub fn representative_queries(&self) -> impl Iterator<Item = (usize, Stic)> + '_ {
+        (0..self.orbits.num_pair_classes()).flat_map(move |class| {
+            let (r, c) = self.orbits.representative(class);
+            self.deltas.iter().map(move |&delta| (class, Stic::new(r, c, delta)))
+        })
+    }
+}
+
+/// The outcome table of an executed [`SweepPlan`]: one [`SimOutcome`] per
+/// `(pair class, δ)`, expandable to any member pair in O(1).
+#[derive(Debug, Clone)]
+pub struct PlannedOutcomes<'p> {
+    plan: &'p SweepPlan,
+    /// `table[class · |deltas| + delta_index]`.
+    table: Vec<SimOutcome>,
+}
+
+impl PlannedOutcomes<'_> {
+    /// The plan this table was executed from.
+    pub fn plan(&self) -> &SweepPlan {
+        self.plan
+    }
+
+    /// The representative outcome of a class at delay index `di`.
+    pub fn representative_outcome(&self, class: usize, di: usize) -> SimOutcome {
+        self.table[class * self.plan.deltas.len() + di]
+    }
+
+    /// The outcome of the member STIC `[(u, v), deltas[di]]`, bit-identical
+    /// to simulating it directly (the meeting node is pulled back through
+    /// `u`'s canonical automorphism).
+    pub fn get(&self, u: NodeId, v: NodeId, di: usize) -> SimOutcome {
+        let orbits = self.plan.orbits();
+        let class = orbits.class_of(u, v);
+        pull_back(orbits, u, self.representative_outcome(class, di))
+    }
+
+    /// Total number of member STICs that met, over all pairs and delays
+    /// (each class counts `class_size` times — `met` is orbit-invariant).
+    pub fn met_total(&self) -> usize {
+        self.table.iter().filter(|o| o.met()).count() * self.plan.orbits().class_size()
+    }
+}
+
+/// Execution statistics of a planned query batch: how many representative
+/// simulations actually ran for how many answered queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Representative simulations executed.
+    pub executed: usize,
+    /// Member queries answered.
+    pub answered: usize,
+}
+
+/// Result of [`PlannedSweep::validate_sample`].
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Member queries re-simulated directly.
+    pub checked: usize,
+    /// Queries whose direct outcome differed from the broadcast one.
+    pub mismatches: usize,
+    /// The first mismatch, if any: the STIC plus (planned, direct) outcomes.
+    pub first_mismatch: Option<(Stic, SimOutcome, SimOutcome)>,
+}
+
+impl ValidationReport {
+    /// `true` iff every checked query was bit-identical.
+    pub fn is_valid(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+/// The planned-execution façade in front of [`SweepEngine`]: canonicalises
+/// every query onto its class representative, so the underlying trajectory
+/// cache records only representative-world timelines and equivalent queries
+/// collapse onto one merge; [`PlannedSweep::run`] executes a whole
+/// [`SweepPlan`] with rayon over classes.
+pub struct PlannedSweep<'a> {
+    engine: SweepEngine<'a>,
+    orbits: Cow<'a, PairOrbits>,
+}
+
+impl<'a> PlannedSweep<'a> {
+    /// Build a planned sweep for `graph` under `program`, computing the
+    /// pair-orbit partition.
+    pub fn new(graph: &'a PortGraph, program: &'a dyn AgentProgram, config: EngineConfig) -> Self {
+        let orbits = PairOrbits::compute(graph);
+        assert_eq!(orbits.num_nodes(), graph.num_nodes(), "orbit partition of a different graph");
+        PlannedSweep {
+            engine: SweepEngine::new(graph, program, config),
+            orbits: Cow::Owned(orbits),
+        }
+    }
+
+    /// Build from a precomputed partition (must belong to `graph`); the
+    /// partition is borrowed, so sweeps sharing one graph reuse it across
+    /// programs and parameter groups without copying.
+    pub fn with_orbits(
+        orbits: &'a PairOrbits,
+        graph: &'a PortGraph,
+        program: &'a dyn AgentProgram,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(orbits.num_nodes(), graph.num_nodes(), "orbit partition of a different graph");
+        PlannedSweep {
+            engine: SweepEngine::new(graph, program, config),
+            orbits: Cow::Borrowed(orbits),
+        }
+    }
+
+    /// The underlying sweep engine.
+    pub fn engine(&self) -> &SweepEngine<'a> {
+        &self.engine
+    }
+
+    /// The pair-orbit partition queries are canonicalised through.
+    pub fn orbits(&self) -> &PairOrbits {
+        &self.orbits
+    }
+
+    /// The program both agents run.
+    pub fn program(&self) -> &'a dyn AgentProgram {
+        self.engine.program()
+    }
+
+    /// The canonical-world image of a STIC: the class representative pair at
+    /// the same delay.
+    pub fn canonical_stic(&self, stic: &Stic) -> Stic {
+        Stic::new(
+            self.orbits.node_representative(stic.earlier),
+            self.orbits.to_canonical(stic.earlier, stic.later),
+            stic.delay,
+        )
+    }
+
+    /// Pull a canonical-world outcome back into the world of the member pair
+    /// whose earlier node is `u`.
+    fn pull_back(&self, u: NodeId, outcome: SimOutcome) -> SimOutcome {
+        pull_back(&self.orbits, u, outcome)
+    }
+
+    /// Simulate one STIC at the configured horizon (canonicalise, run the
+    /// representative, pull the outcome back) — bit-identical to
+    /// `engine().simulate(stic)`.
+    pub fn simulate(&self, stic: &Stic) -> SimOutcome {
+        self.simulate_capped(stic, self.engine.config().horizon)
+    }
+
+    /// Simulate one STIC at `horizon <= config.horizon`.
+    pub fn simulate_capped(&self, stic: &Stic, horizon: Round) -> SimOutcome {
+        let canonical = self.canonical_stic(stic);
+        self.pull_back(stic.earlier, self.engine.simulate_capped(&canonical, horizon))
+    }
+
+    /// Simulate one `(u, v)` pair under every delay in `deltas` (one
+    /// canonical delta-sweep pass).
+    pub fn simulate_deltas(&self, u: NodeId, v: NodeId, deltas: &[Round]) -> Vec<SimOutcome> {
+        let r = self.orbits.node_representative(u);
+        let c = self.orbits.to_canonical(u, v);
+        self.engine
+            .simulate_deltas(r, c, deltas)
+            .into_iter()
+            .map(|o| self.pull_back(u, o))
+            .collect()
+    }
+
+    /// Answer a batch of `(stic, horizon)` queries, executing **one**
+    /// representative simulation per distinct `(pair class, δ, horizon)`
+    /// (rayon over the groups) and broadcasting within each group.
+    /// Outcomes are returned in input order, each bit-identical to
+    /// `engine().simulate_capped(...)` on the member itself.
+    pub fn simulate_many(&self, queries: &[(Stic, Round)]) -> Vec<SimOutcome> {
+        self.simulate_many_counted(queries).0
+    }
+
+    /// [`PlannedSweep::simulate_many`] plus the execution statistics.
+    pub fn simulate_many_counted(&self, queries: &[(Stic, Round)]) -> (Vec<SimOutcome>, ExecStats) {
+        let key =
+            |q: &(Stic, Round)| (self.orbits.class_of(q.0.earlier, q.0.later), q.0.delay, q.1);
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_unstable_by_key(|&i| key(&queries[i]));
+        // contiguous runs of `order` share one representative simulation
+        let mut groups: Vec<&[usize]> = Vec::new();
+        let mut start = 0;
+        for i in 1..=order.len() {
+            if i == order.len() || key(&queries[order[i]]) != key(&queries[order[start]]) {
+                groups.push(&order[start..i]);
+                start = i;
+            }
+        }
+        let per_group: Vec<SimOutcome> = groups
+            .par_iter()
+            .map(|group| {
+                let (stic, horizon) = &queries[group[0]];
+                // canonical-world outcome, broadcast below per member
+                self.engine.simulate_capped(&self.canonical_stic(stic), *horizon)
+            })
+            .collect();
+        let mut outcomes: Vec<Option<SimOutcome>> = vec![None; queries.len()];
+        for (group, canonical) in groups.iter().zip(per_group) {
+            for &i in *group {
+                outcomes[i] = Some(self.pull_back(queries[i].0.earlier, canonical));
+            }
+        }
+        let outcomes = outcomes.into_iter().map(|o| o.expect("every query is grouped")).collect();
+        (outcomes, ExecStats { executed: groups.len(), answered: queries.len() })
+    }
+
+    /// Execute a whole plan: run only the representative queries and return
+    /// the broadcastable outcome table.  The plan must describe the same
+    /// graph (same orbit partition) as this sweep.
+    pub fn run<'p>(&self, plan: &'p SweepPlan) -> PlannedOutcomes<'p> {
+        assert_eq!(
+            plan.orbits(),
+            self.orbits(),
+            "plan was built for a different graph / partition"
+        );
+        assert!(
+            plan.horizon() <= self.engine.config().horizon,
+            "plan horizon exceeds the engine horizon"
+        );
+        let num_classes = self.orbits.num_pair_classes();
+        let per_class: Vec<Vec<SimOutcome>> = (0..num_classes)
+            .into_par_iter()
+            .map(|class| {
+                let (r, c) = self.orbits.representative(class);
+                // one delta-sweep pass per class resolves the whole δ-grid
+                if plan.horizon() == self.engine.config().horizon {
+                    self.engine.simulate_deltas(r, c, plan.deltas())
+                } else {
+                    plan.deltas()
+                        .iter()
+                        .map(|&d| self.engine.simulate_capped(&Stic::new(r, c, d), plan.horizon()))
+                        .collect()
+                }
+            })
+            .collect();
+        PlannedOutcomes { plan, table: per_class.into_iter().flatten().collect() }
+    }
+
+    /// Validate the broadcast on a deterministic sample: every
+    /// `sample_every`-th non-representative member query of the plan's grid
+    /// is re-simulated *directly* through the underlying engine (no
+    /// canonicalisation) and compared bit-for-bit against the planned
+    /// answer.
+    pub fn validate_sample(&self, plan: &SweepPlan, sample_every: usize) -> ValidationReport {
+        assert!(sample_every >= 1, "sample_every must be at least 1");
+        let outcomes = self.run(plan);
+        let mut report = ValidationReport { checked: 0, mismatches: 0, first_mismatch: None };
+        let mut counter = 0usize;
+        for class in 0..self.orbits.num_pair_classes() {
+            let rep = self.orbits.representative(class);
+            for (u, v) in self.orbits.members(class) {
+                if (u, v) == rep {
+                    continue; // representatives were executed, not broadcast
+                }
+                for (di, &delta) in plan.deltas().iter().enumerate() {
+                    counter += 1;
+                    if !counter.is_multiple_of(sample_every) {
+                        continue;
+                    }
+                    let stic = Stic::new(u, v, delta);
+                    let planned = outcomes.get(u, v, di);
+                    let direct = self.engine.simulate_capped(&stic, plan.horizon());
+                    report.checked += 1;
+                    if planned != direct {
+                        report.mismatches += 1;
+                        report.first_mismatch.get_or_insert((stic, planned, direct));
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonrv_graph::generators::{oriented_ring, oriented_torus};
+    use anonrv_sim::{Navigator, Stop};
+
+    /// Deterministic mover/waiter mix (same idiom as the sim crate's tests).
+    struct Walker {
+        seed: u64,
+    }
+
+    impl AgentProgram for Walker {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            let mut state = self.seed | 1;
+            loop {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let roll = state >> 33;
+                if roll.is_multiple_of(4) {
+                    nav.wait((roll % 7 + 1) as Round)?;
+                } else {
+                    nav.move_via(roll as usize % nav.degree())?;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_outcomes_match_direct_simulation_exactly() {
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let deltas: Vec<Round> = vec![0, 1, 2, 3];
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), 64);
+        let outcomes = planned.run(&plan);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for (di, &delta) in deltas.iter().enumerate() {
+                    let direct = planned.engine().simulate(&Stic::new(u, v, delta));
+                    assert_eq!(outcomes.get(u, v, di), direct, "({u}, {v}) delta {delta}");
+                }
+            }
+        }
+        assert_eq!(plan.num_representative_queries(), 12 * 4);
+        assert_eq!(plan.num_member_queries(), 144 * 4);
+    }
+
+    #[test]
+    fn simulate_many_groups_and_broadcasts_bit_identically() {
+        let g = oriented_ring(8).unwrap();
+        let program = Walker { seed: 7 };
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(200));
+        let mut queries = Vec::new();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for (delta, horizon) in [(0, 200), (2, 100), (5, 200)] {
+                    queries.push((Stic::new(u, v, delta), horizon as Round));
+                }
+            }
+        }
+        let (outcomes, stats) = planned.simulate_many_counted(&queries);
+        assert_eq!(stats.answered, queries.len());
+        // 8 rotations collapse the 64 pairs to 8 classes per (delta, horizon)
+        assert_eq!(stats.executed, 8 * 3);
+        for (i, (stic, horizon)) in queries.iter().enumerate() {
+            let direct = planned.engine().simulate_capped(stic, *horizon);
+            assert_eq!(outcomes[i], direct, "{stic} horizon {horizon}");
+        }
+    }
+
+    #[test]
+    fn validation_passes_on_a_symmetric_family() {
+        let g = oriented_torus(3, 3).unwrap();
+        let program = Walker { seed: 42 };
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1, 3], 64);
+        let report = planned.validate_sample(&plan, 3);
+        assert!(report.checked > 0);
+        assert!(report.is_valid(), "{:?}", report.first_mismatch);
+    }
+
+    #[test]
+    fn met_total_matches_the_exhaustive_count() {
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let deltas: Vec<Round> = vec![0, 1, 2, 3, 4];
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), 64);
+        let outcomes = planned.run(&plan);
+        let mut direct = 0usize;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for &delta in &deltas {
+                    if planned.engine().simulate(&Stic::new(u, v, delta)).met() {
+                        direct += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(outcomes.met_total(), direct);
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Record the pair-orbit sweep-planner perf numbers as BENCH_planned.json
+# (repo root): the symm-sweep workload (all (u, v) pairs x delta in {0..4}
+# on oriented_torus(16, 16)) through the PlannedSweep (256 orbit
+# representatives) versus the PR 2 batch path (65536 pair merges).
+#
+# Usage: scripts/record_planned_bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_planned.json}"
+cargo run --release -p anonrv-bench --bin planned_timing -- "$OUT"

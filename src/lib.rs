@@ -15,6 +15,8 @@
 //!   lockstep engines);
 //! * [`core`] ([`anonrv_core`]) — the paper's algorithms and the feasibility
 //!   characterisation;
+//! * [`plan`] ([`anonrv_plan`]) — symmetry-reduced sweep planning: pair
+//!   orbits, representative queries and broadcastable outcomes;
 //! * [`experiments`] ([`anonrv_experiments`]) — the table/figure harnesses.
 
 #![forbid(unsafe_code)]
@@ -23,5 +25,6 @@
 pub use anonrv_core as core;
 pub use anonrv_experiments as experiments;
 pub use anonrv_graph as graph;
+pub use anonrv_plan as plan;
 pub use anonrv_sim as sim;
 pub use anonrv_uxs as uxs;
