@@ -1,0 +1,158 @@
+//! Emit `BENCH_store.json`: wall-clock timings of the persistent plan cache
+//! (`anonrv-store`) on the exhaustive sweep workload — **all** `(u, v)`
+//! ordered pairs × δ ∈ {0..4} on `oriented_torus(16, 16)` (327 680 STICs,
+//! horizon 256) — in three temperatures:
+//!
+//! * **cold** — empty cache: plan (automorphism group + pair orbits), record
+//!   every trajectory, merge every representative, persist everything;
+//! * **warm timelines** — orbits and trajectory timelines load from disk
+//!   (planning and program execution skipped), only the representative
+//!   merges run;
+//! * **warm outcomes** — the full outcome table loads from disk; planning,
+//!   trajectory recording *and* merging are all skipped.
+//!
+//! A 2-shard execute + merge is also checked for bit-identity against the
+//! unsharded table before anything is timed, so a broken merge fails the
+//! benchmark loudly.
+//!
+//! Usage: `cargo run --release -p anonrv-bench --bin store_timing
+//! [output.json]` (default output: `BENCH_store.json`).
+
+use std::time::Instant;
+
+use anonrv_bench::SweepWalker;
+use anonrv_graph::generators::oriented_torus;
+use anonrv_plan::{PlannedOutcomes, PlannedSweep, SweepPlan};
+use anonrv_sim::{EngineConfig, Round};
+use anonrv_store::{execute_shard, ShardSpec, Store};
+
+const HORIZON: Round = 256;
+const DELTAS: u32 = 5;
+
+/// Median wall time of `runs` executions, in seconds.
+fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_store.json".to_string());
+    let dir = std::env::temp_dir().join(format!("anonrv-store-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let torus = oriented_torus(16, 16).unwrap();
+    let n = torus.num_nodes();
+    let program = SweepWalker { seed: 0x5EED };
+    // the canonical walker key: these artifacts warm `anonrv sweep` runs of
+    // the same seed, and vice versa
+    let program_key = &program.program_key();
+    let deltas: Vec<Round> = (0..DELTAS as Round).collect();
+
+    // one full cold pipeline: orbits + plan + run + persist everything
+    let cold_pipeline = |store: &Store| -> usize {
+        let (planned, _) =
+            store.prepare_sweep(&torus, &program, program_key, EngineConfig::batch(HORIZON));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), HORIZON);
+        let outcomes = planned.run(&plan);
+        store.persist_engine(planned.engine(), program_key).expect("persist timelines");
+        store.save_plan_outcomes(&torus, program_key, &plan, outcomes.table()).expect("persist");
+        outcomes.met_total()
+    };
+
+    // correctness guard before anything is timed: 2-shard merge must be
+    // bit-identical to the unsharded run
+    let reference_sweep = PlannedSweep::new(&torus, &program, EngineConfig::batch(HORIZON));
+    let reference_plan =
+        SweepPlan::from_orbits(reference_sweep.orbits().clone(), deltas.clone(), HORIZON);
+    let reference = reference_sweep.run(&reference_plan);
+    {
+        let shard_store = Store::open(dir.join("shard-check")).expect("open shard store");
+        for index in 0..2 {
+            let (worker, _) = shard_store.prepare_sweep(
+                &torus,
+                &program,
+                program_key,
+                EngineConfig::batch(HORIZON),
+            );
+            let part = execute_shard(&worker, &reference_plan, ShardSpec::new(2, index).unwrap());
+            shard_store.save_shard(&torus, program_key, &reference_plan, &part).expect("save");
+            shard_store.persist_engine(worker.engine(), program_key).expect("persist");
+        }
+        let merged = shard_store
+            .merge_shards(&torus, program_key, &reference_plan, 2)
+            .expect("merge 2 shards");
+        assert_eq!(
+            merged,
+            reference.table(),
+            "2-shard merge diverged from the unsharded planned sweep"
+        );
+    }
+
+    // cold: a fresh directory per iteration
+    let mut cold_iter = 0u32;
+    let cold_s = time_median(5, || {
+        cold_iter += 1;
+        let fresh = dir.join(format!("cold-{cold_iter}"));
+        let store = Store::open(&fresh).expect("open cold store");
+        let met = cold_pipeline(&store);
+        std::fs::remove_dir_all(&fresh).ok();
+        met
+    });
+
+    // seed one persistent directory for the warm measurements
+    let warm_dir = dir.join("warm");
+    let store = Store::open(&warm_dir).expect("open warm store");
+    let met_cold = cold_pipeline(&store);
+    assert_eq!(met_cold, reference.met_total(), "store pipeline changed the outcome");
+
+    // warm outcomes: everything loads, nothing executes
+    let warm_outcomes_s = time_median(15, || {
+        let (orbits, prov) = store.orbits(&torus);
+        assert!(prov.is_warm(), "orbit artifact went missing");
+        let plan = SweepPlan::from_orbits(orbits, deltas.clone(), HORIZON);
+        let table =
+            store.load_plan_outcomes(&torus, program_key, &plan).expect("warm outcome table");
+        let outcomes = PlannedOutcomes::from_table(&plan, table).expect("table matches plan");
+        assert_eq!(outcomes.met_total(), met_cold);
+        outcomes.met_total()
+    });
+
+    // warm timelines: planning and recording load, the merges re-run
+    let warm_timelines_s = time_median(10, || {
+        let (planned, stats) =
+            store.prepare_sweep(&torus, &program, program_key, EngineConfig::batch(HORIZON));
+        assert!(stats.orbits.is_warm());
+        assert_eq!(stats.timeline_hits, n, "every timeline must preload");
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), HORIZON);
+        let outcomes = planned.run(&plan);
+        assert_eq!(outcomes.met_total(), met_cold);
+        outcomes.met_total()
+    });
+
+    let num_stics = n * n * DELTAS as usize;
+    let json = format!(
+        "{{\n  \"instance\": \"oriented_torus(16, 16)\",\n  \
+         \"workload\": \"all (u, v) pairs x delta in 0..{DELTAS}, horizon {HORIZON}\",\n  \
+         \"stics\": {num_stics},\n  \
+         \"meetings\": {met_cold},\n  \
+         \"shard_merge_check\": \"2 shards, bit-identical\",\n  \
+         \"cold_seconds\": {cold_s:.6},\n  \
+         \"warm_timelines_seconds\": {warm_timelines_s:.6},\n  \
+         \"warm_outcomes_seconds\": {warm_outcomes_s:.6},\n  \
+         \"warm_timelines_speedup\": {:.1},\n  \
+         \"warm_outcomes_speedup\": {:.1}\n}}\n",
+        cold_s / warm_timelines_s,
+        cold_s / warm_outcomes_s,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,8 +12,7 @@ use anonrv_core::label::TrailSignature;
 use anonrv_core::universal_rv::UniversalRv;
 use anonrv_graph::PortGraph;
 use anonrv_sim::{
-    simulate, simulate_with, AgentProgram, EngineConfig, Navigator, Round, SimOutcome, Stic, Stop,
-    SweepEngine,
+    simulate, simulate_with, AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine,
 };
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
@@ -44,33 +43,10 @@ pub fn expect_met(outcome: &SimOutcome) -> Round {
 // the symm-sweep workload (BENCH_sweep.json / benches/sweep_batch.rs)
 // ---------------------------------------------------------------------------
 
-/// Deterministic agent of the sweep workload: a seeded LCG mixes
-/// pseudo-random moves with short waits — the move/wait event mix of the
-/// paper's procedures, without their setup cost, so the sweep times engine
-/// work rather than one particular algorithm.
-pub struct SweepWalker {
-    /// LCG seed (a constant of the program, shared by both agents).
-    pub seed: u64,
-}
-
-impl AgentProgram for SweepWalker {
-    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
-        let mut state = self.seed | 1;
-        loop {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let roll = state >> 33;
-            if roll.is_multiple_of(4) {
-                nav.wait((roll % 7 + 1) as Round)?;
-            } else {
-                nav.move_via(roll as usize % nav.degree())?;
-            }
-        }
-    }
-
-    fn name(&self) -> &str {
-        "sweep-walker"
-    }
-}
+/// Deterministic agent of the sweep workload (re-exported from
+/// [`anonrv_sim::workload`] so the benches, the CLI and the store tests
+/// share one byte-for-byte program *and* one canonical cache program key).
+pub use anonrv_sim::SweepWalker;
 
 /// The STICs of the symm-sweep workload on a graph of `n` nodes: **all**
 /// `n²` ordered `(u, v)` pairs × every delay in `{0..deltas}`.

@@ -30,7 +30,7 @@ pub fn explore_iteration_rounds(d: usize, delta: Round) -> Round {
 
 /// Worst-case duration of one call to Procedure `Explore(u,d,δ)`:
 /// `(d + δ) · (n − 1)^d` rounds.  With padding enabled (see
-/// [`crate::explore`]) this is also the *exact* duration.
+/// [`mod@crate::explore`]) this is also the *exact* duration.
 pub fn explore_rounds(n: usize, d: usize, delta: Round) -> Round {
     explore_iteration_rounds(d, delta).saturating_mul(walk_count_bound(n, d))
 }

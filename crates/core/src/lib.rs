@@ -15,7 +15,7 @@
 //! |---|---|---|
 //! | Definition 3.1 | `Shrink(u, v)` | [`anonrv_graph::shrink`] over the flat [`anonrv_graph::pairspace`] engine |
 //! | Lemma 3.1 | symmetric `u, v` with `δ < Shrink(u, v)` ⇒ infeasible | [`feasibility`] |
-//! | Algorithm 1/2, Lemma 3.2/3.3 | `SymmRV(n, d, δ)` meets symmetric STICs with `δ ≥ d = Shrink` in ≤ `T(n, d, δ)` rounds | [`symm_rv`], [`explore`], [`bounds`] |
+//! | Algorithm 1/2, Lemma 3.2/3.3 | `SymmRV(n, d, δ)` meets symmetric STICs with `δ ≥ d = Shrink` in ≤ `T(n, d, δ)` rounds | [`symm_rv`], [`mod@explore`], [`bounds`] |
 //! | Proposition 3.1 | `AsymmRV(n)` meets nonsymmetric STICs in poly(`n`) rounds | [`asymm_rv`], [`label`] (substituted, see DESIGN.md §4.2) |
 //! | Algorithm 3, Theorem 3.1 | `UniversalRV` meets **every** feasible STIC with no a-priori knowledge | [`universal_rv`], [`pairing`] |
 //! | Corollary 3.1 | feasibility ⇔ nonsymmetric ∨ (symmetric ∧ `δ ≥ Shrink`) | [`feasibility`] ([`FeasibilityOracle`] answers all pairs in one `O(n²·Δ)` [`anonrv_graph::pairspace`] sweep) |

@@ -96,13 +96,7 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
         }
         let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
         let orbits = PairOrbits::compute(&w.graph);
-        let mut instance = PlanCompression {
-            label: w.label.clone(),
-            pairs: n * n,
-            classes: orbits.num_pair_classes(),
-            executed: 0,
-            answered: 0,
-        };
+        let mut instance = PlanCompression::new(w.label.clone(), n * n, orbits.num_pair_classes());
         for budget in distinct_in_order(deltas.iter().map(|&d| d.max(1))) {
             let program = AsymmRv::new(n, budget, &scheme, &uxs);
             let bound = program.full_duration();
@@ -134,6 +128,8 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
             let (batch, exec) = run_cases_planned(&cases, &planned, &oracle);
             instance.executed += exec.executed;
             instance.answered += exec.answered;
+            // in-memory run: every recorded timeline is a cold recording
+            instance.cache_misses += planned.engine().cache().computed();
             records.extend(batch);
         }
         plan_stats.push(instance);

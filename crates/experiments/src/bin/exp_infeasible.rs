@@ -1,14 +1,19 @@
 //! EXP-L31: infeasibility of symmetric STICs with delay below the Shrink
-//! threshold (Lemma 3.1).  Pass `--full` for the EXPERIMENTS.md configuration.
+//! threshold (Lemma 3.1).  Pass `--full` for the EXPERIMENTS.md
+//! configuration and `--exhaustive` to gather evidence for every symmetric
+//! pair instead of the `max_pairs` cap (exhaustive tables pin the
+//! infeasibility boundary exactly).
 
 use anonrv_experiments::infeasible;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let config = if full {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let mut config = if full {
         infeasible::InfeasibleConfig::full()
     } else {
         infeasible::InfeasibleConfig::default()
     };
+    config.exhaustive = args.iter().any(|a| a == "--exhaustive");
     println!("{}", infeasible::run(&config));
 }

@@ -1,10 +1,28 @@
 //! EXP-L32: SymmRV on symmetric STICs with delta >= Shrink (Lemmas 3.2 / 3.3).
-//! Pass `--full` for the EXPERIMENTS.md configuration.
+//!
+//! Flags:
+//! * `--full` — the EXPERIMENTS.md configuration;
+//! * `--exhaustive` — every symmetric pair instead of the `max_pairs` cap
+//!   (the pair-orbit planner makes the uncapped tables affordable);
+//! * `--cache-dir <dir>` — persistent plan cache (`anonrv-store`): warm runs
+//!   skip planning and trajectory recording, and the compression note
+//!   reports the hit/miss traffic.
 
 use anonrv_experiments::symm;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let config = if full { symm::SymmConfig::full() } else { symm::SymmConfig::default() };
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let mut config = if full { symm::SymmConfig::full() } else { symm::SymmConfig::default() };
+    config.exhaustive = args.iter().any(|a| a == "--exhaustive");
+    if let Some(pos) = args.iter().position(|a| a == "--cache-dir") {
+        match args.get(pos + 1) {
+            Some(dir) => config.cache_dir = Some(dir.into()),
+            None => {
+                eprintln!("--cache-dir requires a directory argument");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("{}", symm::run(&config));
 }

@@ -1,15 +1,18 @@
 //! EXP-T31: UniversalRV on a mixed STIC suite with zero a-priori knowledge
 //! (Theorem 3.1 / Corollary 3.1).  Pass `--full` for the EXPERIMENTS.md
-//! configuration.
+//! configuration and `--exhaustive` to drop the `max_pairs` cap on the
+//! symmetric families (the pair-orbit planner makes that affordable).
 
 use anonrv_experiments::universal;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let config = if full {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let mut config = if full {
         universal::UniversalConfig::full()
     } else {
         universal::UniversalConfig::default()
     };
+    config.exhaustive = args.iter().any(|a| a == "--exhaustive");
     println!("{}", universal::run(&config));
 }

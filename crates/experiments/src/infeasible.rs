@@ -27,7 +27,7 @@ use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{compression_note, fmt_rounds, PlanCompression, Table};
 use crate::runner::par_map;
-use crate::suite::{symmetric_pairs, symmetric_workloads, Scale};
+use crate::suite::{all_symmetric_pairs, symmetric_pairs, symmetric_workloads, Scale};
 
 /// Configuration of the infeasibility experiment.
 #[derive(Debug, Clone)]
@@ -45,6 +45,11 @@ pub struct InfeasibleConfig {
     pub max_phase_budget: u64,
     /// UXS length rule for the simulated `UniversalRV`.
     pub uxs_rule: LengthRule,
+    /// Gather evidence for **every** symmetric pair instead of capping at
+    /// `max_pairs` (the analytic checks run on all of them; the
+    /// size/phase-budget gates still restrict the simulated part).
+    /// Exhaustive tables are what pins the infeasibility boundary exactly.
+    pub exhaustive: bool,
 }
 
 impl Default for InfeasibleConfig {
@@ -55,6 +60,7 @@ impl Default for InfeasibleConfig {
             max_sim_nodes: 9,
             max_phase_budget: 260,
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+            exhaustive: false,
         }
     }
 }
@@ -68,6 +74,7 @@ impl InfeasibleConfig {
             max_sim_nodes: 10,
             max_phase_budget: 700,
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+            exhaustive: false,
         }
     }
 }
@@ -225,7 +232,12 @@ pub fn collect_with_stats(
     let mut stats = Vec::new();
     for w in &workloads {
         let mut cases = Vec::new();
-        for p in symmetric_pairs(&w.graph, config.max_pairs) {
+        let selected = if config.exhaustive {
+            all_symmetric_pairs(&w.graph)
+        } else {
+            symmetric_pairs(&w.graph, config.max_pairs)
+        };
+        for p in selected {
             if p.shrink < 1 {
                 continue;
             }
@@ -261,13 +273,16 @@ pub fn collect_with_stats(
             for (&(i, (_, h)), outcome) in gated.iter().zip(outcomes) {
                 sims[i] = Some((!outcome.met(), h));
             }
-            stats.push(PlanCompression {
-                label: w.label.clone(),
-                pairs: w.n() * w.n(),
-                classes: sweep.orbits().num_pair_classes(),
-                executed: exec.executed,
-                answered: exec.answered,
-            });
+            let mut instance = PlanCompression::new(
+                w.label.clone(),
+                w.n() * w.n(),
+                sweep.orbits().num_pair_classes(),
+            );
+            instance.executed = exec.executed;
+            instance.answered = exec.answered;
+            // in-memory run: every recorded timeline is a cold recording
+            instance.cache_misses = sweep.engine().cache().computed();
+            stats.push(instance);
         }
         let work: Vec<_> = cases.into_iter().zip(sims).collect();
         records.extend(par_map(work, |&((u, v, shrink, delta, _), simulation)| {

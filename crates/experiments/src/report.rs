@@ -151,7 +151,9 @@ impl Report {
 }
 
 /// One workload's pair-orbit planning statistics: how far the sweep planner
-/// compressed its STIC batch.
+/// compressed its STIC batch, plus the cache and shard provenance that make
+/// `--exhaustive` runs auditable (which work was actually re-executed, and
+/// by which slice of a sharded run).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanCompression {
     /// Instance label.
@@ -164,36 +166,88 @@ pub struct PlanCompression {
     pub executed: usize,
     /// Member STICs answered.
     pub answered: usize,
+    /// Trajectory timelines served warm from the persistent plan cache
+    /// (`anonrv-store`); always 0 for in-memory runs without a cache dir.
+    pub cache_hits: usize,
+    /// Trajectory timelines recorded cold by executing the agent program.
+    pub cache_misses: usize,
+    /// Shard provenance when the instance was produced by one slice of a
+    /// sharded run; `None` for unsharded execution.
+    pub shard: Option<ShardProvenance>,
+}
+
+/// Which slice of a sharded run produced an instance's numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardProvenance {
+    /// Shard index, in `0..shards`.
+    pub index: usize,
+    /// Total number of shards.
+    pub shards: usize,
 }
 
 impl PlanCompression {
+    /// A fresh per-instance accumulator: no work executed yet, no cache
+    /// traffic, unsharded.
+    pub fn new(label: impl Into<String>, pairs: usize, classes: usize) -> Self {
+        PlanCompression {
+            label: label.into(),
+            pairs,
+            classes,
+            executed: 0,
+            answered: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            shard: None,
+        }
+    }
+
     /// The pair-space compression ratio `n² / classes`.
     pub fn ratio(&self) -> f64 {
         self.pairs as f64 / self.classes as f64
     }
+
+    /// The cache provenance rendered for the note column
+    /// (`"cache 3w/5c"` = 3 timelines warm, 5 recorded cold).
+    pub fn cache_column(&self) -> String {
+        format!("cache {}w/{}c", self.cache_hits, self.cache_misses)
+    }
+
+    /// The shard provenance rendered for the note column (`"shard 0/2"`, or
+    /// `"unsharded"`).
+    pub fn shard_column(&self) -> String {
+        match self.shard {
+            Some(ShardProvenance { index, shards }) => format!("shard {index}/{shards}"),
+            None => "unsharded".to_string(),
+        }
+    }
 }
 
-/// Render per-instance planning statistics as a single table note.
+/// Render per-instance planning statistics as a single table note,
+/// including the cache hit/miss and shard provenance columns.
 pub fn compression_note(stats: &[PlanCompression]) -> String {
     let total_answered: usize = stats.iter().map(|s| s.answered).sum();
     let total_executed: usize = stats.iter().map(|s| s.executed).sum();
+    let total_hits: usize = stats.iter().map(|s| s.cache_hits).sum();
+    let total_misses: usize = stats.iter().map(|s| s.cache_misses).sum();
     let detail: Vec<String> = stats
         .iter()
         .map(|s| {
             format!(
-                "{}: {} pairs -> {} orbits ({:.1}x), {}/{} sims",
+                "{}: {} pairs -> {} orbits ({:.1}x), {}/{} sims, {}, {}",
                 s.label,
                 s.pairs,
                 s.classes,
                 s.ratio(),
                 s.executed,
-                s.answered
+                s.answered,
+                s.cache_column(),
+                s.shard_column(),
             )
         })
         .collect();
     format!(
         "Pair-orbit planning executed {total_executed} representative simulations for \
-         {total_answered} STICs — {}.",
+         {total_answered} STICs (timelines: {total_hits} warm / {total_misses} recorded) — {}.",
         detail.join("; ")
     )
 }
@@ -271,26 +325,31 @@ mod tests {
 
     #[test]
     fn compression_note_summarises_per_instance_stats() {
-        let stats = vec![
-            PlanCompression {
-                label: "ring-8".into(),
-                pairs: 64,
-                classes: 8,
-                executed: 6,
-                answered: 24,
-            },
-            PlanCompression {
-                label: "torus-3x4".into(),
-                pairs: 144,
-                classes: 12,
-                executed: 4,
-                answered: 16,
-            },
-        ];
+        let mut ring = PlanCompression::new("ring-8", 64, 8);
+        ring.executed = 6;
+        ring.answered = 24;
+        ring.cache_hits = 5;
+        ring.cache_misses = 3;
+        ring.shard = Some(ShardProvenance { index: 0, shards: 2 });
+        let mut torus = PlanCompression::new("torus-3x4", 144, 12);
+        torus.executed = 4;
+        torus.answered = 16;
+        torus.cache_misses = 12;
+        let stats = vec![ring, torus];
         assert_eq!(stats[0].ratio(), 8.0);
         let note = compression_note(&stats);
         assert!(note.contains("10 representative simulations for 40 STICs"), "{note}");
-        assert!(note.contains("ring-8: 64 pairs -> 8 orbits (8.0x), 6/24 sims"), "{note}");
+        assert!(note.contains("timelines: 5 warm / 15 recorded"), "{note}");
+        assert!(
+            note.contains("ring-8: 64 pairs -> 8 orbits (8.0x), 6/24 sims, cache 5w/3c, shard 0/2"),
+            "{note}"
+        );
+        assert!(
+            note.contains(
+                "torus-3x4: 144 pairs -> 12 orbits (12.0x), 4/16 sims, cache 0w/12c, unsharded"
+            ),
+            "{note}"
+        );
     }
 
     #[test]

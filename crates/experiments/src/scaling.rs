@@ -194,13 +194,13 @@ pub fn collect_with_stats(config: &ScalingConfig) -> (Vec<ScalingRecord>, Vec<Pl
         let max_horizon = queries.iter().map(|&(_, h)| h).max().expect("size groups are non-empty");
         let sweep = PlannedSweep::new(&g, &algo, EngineConfig::with_horizon(max_horizon));
         let (outcomes, exec) = sweep.simulate_many_counted(&queries);
-        stats.push(PlanCompression {
-            label: family.label(*n),
-            pairs: n * n,
-            classes: sweep.orbits().num_pair_classes(),
-            executed: exec.executed,
-            answered: exec.answered,
-        });
+        let mut instance =
+            PlanCompression::new(family.label(*n), n * n, sweep.orbits().num_pair_classes());
+        instance.executed = exec.executed;
+        instance.answered = exec.answered;
+        // in-memory run: every recorded timeline is a cold recording
+        instance.cache_misses = sweep.engine().cache().computed();
+        stats.push(instance);
         for (&i, (&(_, horizon), outcome)) in group.iter().zip(queries.iter().zip(outcomes)) {
             let point = config.points[i].clone();
             let (n, d, delta) = (point.n, point.d, point.delta);

@@ -209,6 +209,19 @@ pub fn symmetric_pairs(g: &PortGraph, max_pairs: usize) -> Vec<SymmetricPair> {
     out
 }
 
+/// Every symmetric pair of `g`, with **no** `max_pairs` cap: the
+/// `--exhaustive` mode of the experiment suites.  The first coordinate is
+/// still restricted to orbit representatives — for planner-driven sweeps
+/// that restriction is lossless (every `(u, v)` is the automorphic image of
+/// a representative pair, and the planner broadcasts bit-identical
+/// outcomes), so this *is* the exhaustive all-pairs table, orbit-reduced.
+/// The pair-orbit planner is what makes tables of this size affordable;
+/// exhaustive (rather than capped) tables are what exposes feasibility
+/// boundaries without sampling artifacts.
+pub fn all_symmetric_pairs(g: &PortGraph) -> Vec<SymmetricPair> {
+    symmetric_pairs(g, usize::MAX)
+}
+
 /// Nonsymmetric pairs of `g` (first `max_pairs`, deterministic order).
 pub fn nonsymmetric_pairs(g: &PortGraph, max_pairs: usize) -> Vec<(NodeId, NodeId)> {
     let partition = OrbitPartition::compute(g);

@@ -13,20 +13,24 @@ use anonrv_core::bounds::symm_rv_bound;
 use anonrv_core::symm_rv::SymmRv;
 use anonrv_plan::{PairOrbits, PlannedSweep};
 use anonrv_sim::{EngineConfig, Stic};
+use anonrv_store::Store;
 use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
 
 use crate::report::{
     compression_note, fmt_opt_rounds, fmt_ratio, fmt_rounds, PlanCompression, Table,
 };
 use crate::runner::{distinct_in_order, run_cases_planned, Aggregate, Case, RunRecord};
-use crate::suite::{symmetric_delays, symmetric_pairs, symmetric_workloads, Scale};
+use crate::suite::{
+    all_symmetric_pairs, symmetric_delays, symmetric_pairs, symmetric_workloads, Scale,
+};
 
 /// Configuration of the `SymmRV` experiment.
 #[derive(Debug, Clone)]
 pub struct SymmConfig {
     /// Workload scale.
     pub scale: Scale,
-    /// Maximum symmetric pairs per instance.
+    /// Maximum symmetric pairs per instance (ignored under
+    /// [`SymmConfig::exhaustive`]).
     pub max_pairs: usize,
     /// Skip pairs with `Shrink(u, v)` above this value (the procedure's cost
     /// is exponential in `d`; this is the knob EXPERIMENTS.md reports on).
@@ -36,6 +40,18 @@ pub struct SymmConfig {
     pub max_nodes: usize,
     /// UXS length rule used by the procedure.
     pub uxs_rule: LengthRule,
+    /// Evaluate **every** symmetric pair instead of capping at
+    /// [`SymmConfig::max_pairs`] ([`all_symmetric_pairs`]); the pair-orbit
+    /// planner makes the uncapped tables affordable, and exhaustive tables
+    /// are what exposes feasibility boundaries without sampling artifacts.
+    /// The `Shrink` and node-count gates still apply (they bound *cost per
+    /// case*, not coverage).
+    pub exhaustive: bool,
+    /// Optional persistent plan-cache directory (`anonrv-store`): pair
+    /// orbits are loaded instead of recomputed and trajectory timelines are
+    /// preloaded instead of re-recorded; everything computed cold is written
+    /// back.  The compression note reports the resulting hit/miss traffic.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SymmConfig {
@@ -46,6 +62,8 @@ impl Default for SymmConfig {
             max_shrink: 2,
             max_nodes: 14,
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+            exhaustive: false,
+            cache_dir: None,
         }
     }
 }
@@ -59,6 +77,8 @@ impl SymmConfig {
             max_shrink: 2,
             max_nodes: 16,
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+            exhaustive: false,
+            cache_dir: None,
         }
     }
 }
@@ -81,6 +101,11 @@ pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
 pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompression>) {
     let workloads = symmetric_workloads(config.scale);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
+    let store = config.cache_dir.as_ref().map(|dir| {
+        // the user explicitly asked for persistence: an unusable cache dir
+        // is a configuration error, not something to silently run cold over
+        Store::open(dir).unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", dir.display()))
+    });
     let mut records = Vec::new();
     let mut stats = Vec::new();
     for w in &workloads {
@@ -89,7 +114,12 @@ pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompr
             continue;
         }
         let m = uxs.length(n);
-        let pairs: Vec<_> = symmetric_pairs(&w.graph, config.max_pairs)
+        let selected = if config.exhaustive {
+            all_symmetric_pairs(&w.graph)
+        } else {
+            symmetric_pairs(&w.graph, config.max_pairs)
+        };
+        let pairs: Vec<_> = selected
             .into_iter()
             .filter(|p| p.shrink >= 1 && p.shrink <= config.max_shrink)
             .collect();
@@ -100,14 +130,11 @@ pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompr
                 .flat_map(|p| symmetric_delays(p.shrink).into_iter().map(|d| (p.shrink, d))),
         );
         let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
-        let orbits = PairOrbits::compute(&w.graph);
-        let mut instance = PlanCompression {
-            label: w.label.clone(),
-            pairs: n * n,
-            classes: orbits.num_pair_classes(),
-            executed: 0,
-            answered: 0,
+        let orbits = match &store {
+            Some(store) => store.orbits(&w.graph).0,
+            None => PairOrbits::compute(&w.graph),
         };
+        let mut instance = PlanCompression::new(w.label.clone(), n * n, orbits.num_pair_classes());
         for (shrink, delta) in groups {
             // pairs with this Shrink share the whole delay set, so the
             // group key alone determines membership
@@ -121,6 +148,10 @@ pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompr
                 &program,
                 EngineConfig::with_horizon(horizon),
             );
+            // the program key pins every parameter the program closes over
+            let program_key = format!("symm-rv-n{n}-d{shrink}-delta{delta}");
+            let hits =
+                store.as_ref().map_or(0, |store| store.warm_engine(planned.engine(), &program_key));
             let cases: Vec<Case<'_>> = group
                 .iter()
                 .map(|p| Case {
@@ -135,6 +166,12 @@ pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompr
             let (batch, exec) = run_cases_planned(&cases, &planned, &oracle);
             instance.executed += exec.executed;
             instance.answered += exec.answered;
+            instance.cache_hits += hits;
+            instance.cache_misses += planned.engine().cache().computed().saturating_sub(hits);
+            if let Some(store) = &store {
+                // a failed write leaves the cache cold but the run correct
+                let _ = store.persist_engine(planned.engine(), &program_key);
+            }
             records.extend(batch);
         }
         stats.push(instance);
@@ -209,6 +246,41 @@ mod tests {
             assert!(r.within_bound(), "Lemma 3.3 bound violated on {:?}", r);
             assert_eq!(r.class, "symmetric-feasible");
         }
+    }
+
+    #[test]
+    fn exhaustive_mode_supersets_the_capped_sweep_and_caches_warm() {
+        let capped = SymmConfig { max_pairs: 2, max_shrink: 1, ..SymmConfig::default() };
+        let exhaustive = SymmConfig { exhaustive: true, ..capped.clone() };
+        let (capped_records, _) = collect_with_stats(&capped);
+        let (all_records, all_stats) = collect_with_stats(&exhaustive);
+        assert!(all_records.len() > capped_records.len(), "exhaustive must drop the cap");
+        // every capped record appears identically in the exhaustive run
+        for r in &capped_records {
+            assert!(all_records.contains(r), "capped record missing from exhaustive: {r:?}");
+        }
+        // without a cache dir, every timeline is recorded cold, unsharded
+        for s in &all_stats {
+            assert_eq!(s.cache_hits, 0);
+            assert!(s.cache_misses > 0, "{}: a sweep records timelines", s.label);
+            assert_eq!(s.shard, None);
+        }
+
+        // a persistent cache dir: second run is warm and bit-identical
+        let dir =
+            std::env::temp_dir().join(format!("anonrv-symm-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cached = SymmConfig { cache_dir: Some(dir.clone()), ..exhaustive };
+        let (cold_records, cold_stats) = collect_with_stats(&cached);
+        let (warm_records, warm_stats) = collect_with_stats(&cached);
+        assert_eq!(warm_records, cold_records, "warm and cold runs must be bit-identical");
+        assert_eq!(cold_records, all_records, "the cache must not change results");
+        assert!(cold_stats.iter().all(|s| s.cache_hits == 0));
+        for (cold, warm) in cold_stats.iter().zip(&warm_stats) {
+            assert_eq!(warm.cache_misses, 0, "{}: warm run recorded timelines", warm.label);
+            assert_eq!(warm.cache_hits, cold.cache_misses, "{}: hit/miss mismatch", warm.label);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

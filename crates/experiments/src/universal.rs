@@ -24,7 +24,8 @@ use anonrv_uxs::{LengthRule, PseudorandomUxs};
 use crate::report::{compression_note, fmt_opt_rounds, fmt_rounds, PlanCompression, Table};
 use crate::runner::class_name;
 use crate::suite::{
-    nonsymmetric_pairs, nonsymmetric_workloads, symmetric_pairs, symmetric_workloads, Scale,
+    all_symmetric_pairs, nonsymmetric_pairs, nonsymmetric_workloads, symmetric_pairs,
+    symmetric_workloads, Scale,
 };
 
 /// Configuration of the universal-algorithm experiment.
@@ -43,6 +44,12 @@ pub struct UniversalConfig {
     /// UXS length rule (kept short so phases stay cheap; coverage on the
     /// selected instances is verified by the integration suite).
     pub uxs_rule: LengthRule,
+    /// Evaluate **every** symmetric pair of the symmetric families instead
+    /// of capping at `max_pairs` (the phase budget still gates per-case
+    /// cost).  Nonsymmetric pairs stay capped: on rigid families the
+    /// planner cannot compress them, so exhaustive tables there would buy
+    /// coverage with raw simulation time.
+    pub exhaustive: bool,
 }
 
 impl Default for UniversalConfig {
@@ -54,6 +61,7 @@ impl Default for UniversalConfig {
             max_phase_budget: 260,
             nonsymmetric_deltas: vec![0, 1, 3],
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+            exhaustive: false,
         }
     }
 }
@@ -68,6 +76,7 @@ impl UniversalConfig {
             max_phase_budget: 700,
             nonsymmetric_deltas: vec![0, 1, 3, 5],
             uxs_rule: LengthRule::Quadratic { c: 1, min_len: 16 },
+            exhaustive: false,
         }
     }
 }
@@ -166,7 +175,12 @@ fn plan(config: &UniversalConfig) -> Vec<Planned> {
         if !anonrv_uxs::covers_from_all(&w.graph, &anonrv_uxs::UxsProvider::sequence(&uxs, w.n())) {
             continue;
         }
-        for p in symmetric_pairs(&w.graph, config.max_pairs) {
+        let selected = if config.exhaustive {
+            all_symmetric_pairs(&w.graph)
+        } else {
+            symmetric_pairs(&w.graph, config.max_pairs)
+        };
+        for p in selected {
             let phase = phase_of(w.n(), p.shrink, p.shrink as u64);
             if phase > config.max_phase_budget {
                 continue;
@@ -246,13 +260,16 @@ pub fn collect_with_stats(
             queries.iter().map(|&(_, h)| h).max().expect("instance groups are non-empty");
         let sweep = PlannedSweep::new(graph, &algo, EngineConfig::with_horizon(max_horizon));
         let (outcomes, exec) = sweep.simulate_many_counted(&queries);
-        stats.push(PlanCompression {
-            label: group[0].label.clone(),
-            pairs: graph.num_nodes() * graph.num_nodes(),
-            classes: sweep.orbits().num_pair_classes(),
-            executed: exec.executed,
-            answered: exec.answered,
-        });
+        let mut instance = PlanCompression::new(
+            group[0].label.clone(),
+            graph.num_nodes() * graph.num_nodes(),
+            sweep.orbits().num_pair_classes(),
+        );
+        instance.executed = exec.executed;
+        instance.answered = exec.answered;
+        // in-memory run: every recorded timeline is a cold recording
+        instance.cache_misses = sweep.engine().cache().computed();
+        stats.push(instance);
         records.extend(group.iter().zip(queries.iter().zip(outcomes)).map(
             |(p, (&(_, horizon), outcome))| UniversalRecord {
                 label: p.label.clone(),

@@ -31,6 +31,9 @@
 //!   ([`pairspace::ShrinkEngine::all_pairs`]);
 //! * [`traversal`] / [`distance`] — port-sequence application `α(x)`,
 //!   reverse paths, BFS distances;
+//! * [`fingerprint`] — the canonical 128-bit structural hash
+//!   ([`PortGraph::canonical_hash`]) the persistent plan cache
+//!   (`anonrv-store`) keys its on-disk artifacts by;
 //! * [`render`] — DOT / ASCII rendering used to reproduce Figure 1.
 //!
 //! ```
@@ -52,6 +55,7 @@
 pub mod builder;
 pub mod distance;
 pub mod error;
+pub mod fingerprint;
 pub mod generators;
 pub mod graph;
 pub mod pairspace;

@@ -62,6 +62,24 @@
 //! `oriented_torus(16, 16)` collapses 65 536 ordered pairs to 256 classes,
 //! so an all-pairs × δ-grid sweep executes 256× fewer merges on top of the
 //! trajectory-memoized batch engine.
+//!
+//! ## Beyond one process
+//!
+//! A plan's `(class, δ)` work-list is embarrassingly parallel and every
+//! planning artifact is a deterministic function of the graph, so the layer
+//! above this one (`anonrv-store`) persists groups/orbits/outcomes in a
+//! content-addressed on-disk cache and shards
+//! [`PlannedSweep::run_classes`] slices across processes, merging the
+//! partial tables back bit-identically.  The hooks it builds on live here:
+//! [`Automorphisms::from_permutations`] (verified deserialisation),
+//! [`PlannedOutcomes::from_table`] / [`PlannedOutcomes::table`], and
+//! [`PlannedSweep::from_orbits`].
+//!
+//! [`Automorphisms::from_permutations`]: orbits::Automorphisms::from_permutations
+//! [`PlannedOutcomes::from_table`]: sweep::PlannedOutcomes::from_table
+//! [`PlannedOutcomes::table`]: sweep::PlannedOutcomes::table
+//! [`PlannedSweep::run_classes`]: sweep::PlannedSweep::run_classes
+//! [`PlannedSweep::from_orbits`]: sweep::PlannedSweep::from_orbits
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

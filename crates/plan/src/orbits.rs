@@ -21,6 +21,48 @@
 //! partition ([`OrbitPartition`], colour refinement) serves as the candidate
 //! filter: `φ(base) = w` is only possible when `w` has the same view as
 //! `base`.
+//!
+//! # Design note: why pair-graph refinement is unsound (and orbits are not)
+//!
+//! An earlier design sketch proposed compressing all-pairs sweeps by colour
+//! refinement over the **common-port pair graph** — the graph behind the
+//! paper's `Shrink`, whose states are ordered pairs `(a, b)` and whose
+//! transitions move *both* coordinates through the same port, `(a, b) →
+//! (succ(a, p), succ(b, p))`.  Two pairs refined into the same class there
+//! have isomorphic common-port reachability structure, so one might hope
+//! they also share rendezvous outcomes.  **They do not**, and the
+//! counterexample is small enough to keep in view:
+//!
+//! On the oriented 8-ring, consider the ordered pairs `(0, 2)` and `(0, 6)`.
+//! Lockstep moves preserve the node difference, so both pairs have the same
+//! common-port orbit shape and the same `Shrink = 2`; every pair-graph
+//! refinement therefore leaves them in one class.  Now run the program
+//! "always move clockwise" (port 0) on both agents.  From `(0, 2)` with
+//! delay `δ = 2`, the later agent sits on node 2 while the earlier agent
+//! walks `0 → 1 → 2`: they meet in round 2.  From `(0, 6)` with the same
+//! delay, the earlier agent starts a 2-round head start *behind* a partner
+//! that then flees clockwise at the same speed forever: they never meet.
+//! Same refinement class, different outcomes — broadcasting one
+//! representative's outcome to the other would be silently wrong.
+//!
+//! The root cause: rendezvous executions are **time-shifted**, not
+//! port-lockstep.  The pair graph quantifies over runs where both agents
+//! take the same port in the same round; a delayed execution pairs round `t`
+//! of one agent with round `t − δ` of the other, which the common-port
+//! structure does not constrain.  Any equivalence used to broadcast outcomes
+//! must commute with *independent* per-agent dynamics — exactly what a
+//! port-preserving automorphism does (`φ` maps each agent's whole walk
+//! separately), and what no refinement of the lockstep pair product can
+//! guarantee.
+//!
+//! The executable form of this note is pinned twice: the test
+//! `ring_pairs_with_equal_shrink_but_opposite_orientation_stay_separate`
+//! below checks that [`PairOrbits`] keeps `(0, 2)` and `(0, 6)` apart (no
+//! rotation of the ring relates them — rotations preserve the *signed*
+//! difference), and `tests/property_plan.rs` re-derives the outcome split
+//! with a real simulation.  If you are tempted to resurrect pair-graph
+//! refinement for a coarser compression, route it through the asynchronous
+//! (independent-moves) pair product instead — see ROADMAP.md.
 
 use anonrv_graph::symmetry::OrbitPartition;
 use anonrv_graph::{NodeId, PortGraph};
@@ -69,6 +111,81 @@ impl Automorphisms {
             })
             .collect();
         Automorphisms { n, perms, inv }
+    }
+
+    /// Rebuild the group from explicit permutations (the deserialisation
+    /// path of the persistent plan cache), verifying **every** claimed
+    /// permutation against `g` before accepting it.
+    ///
+    /// The checks are exactly the guarantees [`Automorphisms::compute`]
+    /// establishes: the first entry is the identity, every entry is a
+    /// bijection on `0..n`, every entry preserves `succ` with matching entry
+    /// ports (a genuine port-preserving automorphism), no entry appears
+    /// twice, and the collection is the *full* group (same order as a fresh
+    /// candidate scan would find — checked cheaply through freeness: the
+    /// images of node 0 under a valid set are pairwise distinct, so
+    /// distinctness plus validity suffice for group membership, and
+    /// completeness is the caller's contract, re-verified by the caller's
+    /// checksum).  Cost is `O(k·n·Δ)` — the same as one propagation per
+    /// surviving candidate, without the colour-refinement preparation.
+    ///
+    /// Errors name the first violated invariant; cache loaders treat any
+    /// error as a miss and fall back to [`Automorphisms::compute`].
+    pub fn from_permutations(g: &PortGraph, perms: Vec<Vec<u32>>) -> Result<Self, String> {
+        let n = g.num_nodes();
+        assert!(n > 0, "automorphisms of the empty graph are not defined");
+        if perms.is_empty() {
+            return Err("the group contains at least the identity".into());
+        }
+        let mut images_of_base = vec![false; n];
+        for (k, p) in perms.iter().enumerate() {
+            if p.len() != n {
+                return Err(format!("permutation {k}: length {} != n = {n}", p.len()));
+            }
+            let mut seen = vec![false; n];
+            for (v, &img) in p.iter().enumerate() {
+                let img = img as usize;
+                if img >= n {
+                    return Err(format!("permutation {k}: image {img} out of range"));
+                }
+                if seen[img] {
+                    return Err(format!("permutation {k}: image {img} repeated (not a bijection)"));
+                }
+                seen[img] = true;
+                if g.degree(v) != g.degree(img) {
+                    return Err(format!("permutation {k}: degree mismatch at node {v}"));
+                }
+                for port in 0..g.degree(v) {
+                    let (w, q) = g.succ(v, port);
+                    let (w2, q2) = g.succ(img, port);
+                    if q != q2 || w2 != p[w] as usize {
+                        return Err(format!(
+                            "permutation {k}: succ not preserved at node {v} port {port}"
+                        ));
+                    }
+                }
+            }
+            if k == 0 && p.iter().enumerate().any(|(v, &img)| v != img as usize) {
+                return Err("the first permutation must be the identity".into());
+            }
+            // freeness: distinct automorphisms differ at node 0
+            let base_img = p[0] as usize;
+            if images_of_base[base_img] {
+                return Err(format!("permutation {k}: duplicate group element"));
+            }
+            images_of_base[base_img] = true;
+        }
+        let inv = perms
+            .iter()
+            .map(|p| {
+                let mut inv = vec![0u32; n];
+                for (v, &x) in p.iter().enumerate() {
+                    inv[x as usize] = v as u32;
+                }
+                inv
+            })
+            .collect();
+        Ok(Automorphisms { n, perms, inv })
     }
 
     /// Number of nodes of the underlying graph.
@@ -243,7 +360,27 @@ impl PairOrbits {
     }
 
     /// Class identifier of the ordered pair `(u, v)`, in
-    /// `0..num_pair_classes`.
+    /// `0..num_pair_classes` — two array lookups, no `n²` table.
+    ///
+    /// Pairs related by an automorphism share a class (and therefore share
+    /// every rendezvous outcome); unrelated pairs never do:
+    ///
+    /// ```
+    /// use anonrv_graph::generators::oriented_ring;
+    /// use anonrv_plan::PairOrbits;
+    ///
+    /// let g = oriented_ring(8).unwrap();
+    /// let orbits = PairOrbits::compute(&g);
+    /// // the 8 rotations collapse the 64 ordered pairs to 8 classes
+    /// assert_eq!(orbits.num_pair_classes(), 8);
+    /// // (0, 2) and (3, 5) are the same pair up to rotation ...
+    /// assert_eq!(orbits.class_of(0, 2), orbits.class_of(3, 5));
+    /// // ... while (0, 6) walks the other way around and stays separate
+    /// assert_ne!(orbits.class_of(0, 2), orbits.class_of(0, 6));
+    /// // the canonical representative is itself a member of the class
+    /// let (r, c) = orbits.representative(orbits.class_of(3, 5));
+    /// assert_eq!(orbits.class_of(r, c), orbits.class_of(3, 5));
+    /// ```
     #[inline]
     pub fn class_of(&self, u: NodeId, v: NodeId) -> usize {
         let k = self.canon[u] as usize;
@@ -396,6 +533,49 @@ mod tests {
         assert_eq!(orbits.group_order(), 256);
         assert_eq!(orbits.num_pair_classes(), 256);
         assert_eq!(orbits.compression(), 256.0);
+    }
+
+    #[test]
+    fn from_permutations_round_trips_and_rejects_forgeries() {
+        let g = oriented_torus(3, 4).unwrap();
+        let autos = Automorphisms::compute(&g);
+        let perms: Vec<Vec<u32>> = autos.permutations().map(|p| p.to_vec()).collect();
+        let rebuilt = Automorphisms::from_permutations(&g, perms.clone()).unwrap();
+        assert_eq!(rebuilt, autos);
+        // pair orbits built on the rebuilt group are identical too
+        assert_eq!(PairOrbits::from_automorphisms(rebuilt), PairOrbits::from_automorphisms(autos));
+
+        // empty set
+        assert!(Automorphisms::from_permutations(&g, vec![]).is_err());
+        // identity not first
+        let mut reordered = perms.clone();
+        reordered.swap(0, 1);
+        assert!(Automorphisms::from_permutations(&g, reordered).is_err());
+        // wrong length
+        let mut truncated = perms.clone();
+        truncated[1].pop();
+        assert!(Automorphisms::from_permutations(&g, truncated).is_err());
+        // image out of range
+        let mut oob = perms.clone();
+        oob[1][3] = 99;
+        assert!(Automorphisms::from_permutations(&g, oob).is_err());
+        // not a bijection
+        let mut dup = perms.clone();
+        dup[1][3] = dup[1][4];
+        assert!(Automorphisms::from_permutations(&g, dup).is_err());
+        // a bijection that is not an automorphism (swap two images)
+        let mut forged = perms.clone();
+        forged[1].swap(3, 4);
+        assert!(Automorphisms::from_permutations(&g, forged).is_err());
+        // duplicate group element
+        let mut doubled = perms.clone();
+        doubled.push(perms[1].clone());
+        assert!(Automorphisms::from_permutations(&g, doubled).is_err());
+        // valid permutations of a *different* graph are rejected against g
+        let other = oriented_torus(4, 3).unwrap();
+        let foreign: Vec<Vec<u32>> =
+            Automorphisms::compute(&other).permutations().map(|p| p.to_vec()).collect();
+        assert!(Automorphisms::from_permutations(&g, foreign).is_err());
     }
 
     /// The module-level counterexample: on the oriented 8-ring, `(0, 2)` and

@@ -36,6 +36,29 @@ fn pull_back(orbits: &PairOrbits, u: NodeId, mut outcome: SimOutcome) -> SimOutc
 /// representative query per `(pair class, δ)`; the expansion map back to
 /// member pairs is the orbit structure itself
 /// ([`PairOrbits::members`] / [`PairOrbits::class_of`]).
+///
+/// The `(class, δ)` work-list is what the shard executor of `anonrv-store`
+/// slices across processes: any partition of the classes yields partial
+/// outcome tables that merge back — deterministically and bit-identically —
+/// into the table [`PlannedSweep::run`] would have produced in one process
+/// (see [`PlannedSweep::run_classes`]).
+///
+/// ```
+/// use anonrv_graph::generators::oriented_torus;
+/// use anonrv_plan::SweepPlan;
+///
+/// // all-pairs x delta in {0, 1, 2} on the 3x4 torus, horizon 64
+/// let g = oriented_torus(3, 4).unwrap();
+/// let plan = SweepPlan::new(&g, vec![0, 1, 2], 64);
+/// // 144 ordered pairs collapse onto 12 translation classes ...
+/// assert_eq!(plan.orbits().num_pair_classes(), 12);
+/// // ... so the plan answers 432 member queries with 36 representative runs
+/// assert_eq!(plan.num_member_queries(), 144 * 3);
+/// assert_eq!(plan.num_representative_queries(), 12 * 3);
+/// // the work-list enumerates representatives class-major, delta-minor
+/// let (class, stic) = plan.representative_queries().next().unwrap();
+/// assert_eq!((class, stic.delay), (0, 0));
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepPlan {
     orbits: PairOrbits,
@@ -101,7 +124,30 @@ pub struct PlannedOutcomes<'p> {
     table: Vec<SimOutcome>,
 }
 
-impl PlannedOutcomes<'_> {
+impl<'p> PlannedOutcomes<'p> {
+    /// Wrap an externally produced outcome table (a warm persistent cache, or
+    /// the deterministic merge of sharded partial results) as the outcome of
+    /// `plan`.  The table must be laid out exactly as [`PlannedSweep::run`]
+    /// produces it — `table[class · |deltas| + delta_index]` — and the length
+    /// is checked; the *contents* are the caller's contract (the store
+    /// checksums its payloads and embeds the plan identity in the key).
+    pub fn from_table(plan: &'p SweepPlan, table: Vec<SimOutcome>) -> Result<Self, String> {
+        let expected = plan.num_representative_queries();
+        if table.len() != expected {
+            return Err(format!(
+                "outcome table has {} entries, the plan expects {expected}",
+                table.len()
+            ));
+        }
+        Ok(PlannedOutcomes { plan, table })
+    }
+
+    /// The raw representative-outcome table, class-major and δ-minor (what
+    /// the persistent store serialises).
+    pub fn table(&self) -> &[SimOutcome] {
+        &self.table
+    }
+
     /// The plan this table was executed from.
     pub fn plan(&self) -> &SweepPlan {
         self.plan
@@ -171,6 +217,23 @@ impl<'a> PlannedSweep<'a> {
     /// pair-orbit partition.
     pub fn new(graph: &'a PortGraph, program: &'a dyn AgentProgram, config: EngineConfig) -> Self {
         let orbits = PairOrbits::compute(graph);
+        assert_eq!(orbits.num_nodes(), graph.num_nodes(), "orbit partition of a different graph");
+        PlannedSweep {
+            engine: SweepEngine::new(graph, program, config),
+            orbits: Cow::Owned(orbits),
+        }
+    }
+
+    /// Build from an *owned* precomputed partition (must belong to
+    /// `graph`) — the constructor used when the partition arrives from
+    /// outside the borrow graph, e.g. deserialised from the persistent plan
+    /// cache of `anonrv-store`.
+    pub fn from_orbits(
+        orbits: PairOrbits,
+        graph: &'a PortGraph,
+        program: &'a dyn AgentProgram,
+        config: EngineConfig,
+    ) -> Self {
         assert_eq!(orbits.num_nodes(), graph.num_nodes(), "orbit partition of a different graph");
         PlannedSweep {
             engine: SweepEngine::new(graph, program, config),
@@ -296,6 +359,22 @@ impl<'a> PlannedSweep<'a> {
     /// the broadcastable outcome table.  The plan must describe the same
     /// graph (same orbit partition) as this sweep.
     pub fn run<'p>(&self, plan: &'p SweepPlan) -> PlannedOutcomes<'p> {
+        let classes: Vec<usize> = (0..self.orbits.num_pair_classes()).collect();
+        let table = self.run_classes(plan, &classes);
+        PlannedOutcomes { plan, table }
+    }
+
+    /// Execute a *slice* of a plan: run the representative queries of the
+    /// given classes only and return their outcomes, class-major and
+    /// δ-minor (`|classes| × |deltas|` entries, in the order of `classes`).
+    ///
+    /// This is the shard-execution primitive: partitioning `0..num_classes`
+    /// across processes and concatenating the per-class blocks in class
+    /// order reproduces [`PlannedSweep::run`]'s table bit-identically,
+    /// because every class's outcomes depend only on its own representative
+    /// STIC (the merge of two deterministic timelines) and never on which
+    /// other classes ran alongside it.
+    pub fn run_classes(&self, plan: &SweepPlan, classes: &[usize]) -> Vec<SimOutcome> {
         assert_eq!(
             plan.orbits(),
             self.orbits(),
@@ -305,10 +384,9 @@ impl<'a> PlannedSweep<'a> {
             plan.horizon() <= self.engine.config().horizon,
             "plan horizon exceeds the engine horizon"
         );
-        let num_classes = self.orbits.num_pair_classes();
-        let per_class: Vec<Vec<SimOutcome>> = (0..num_classes)
-            .into_par_iter()
-            .map(|class| {
+        let per_class: Vec<Vec<SimOutcome>> = classes
+            .par_iter()
+            .map(|&class| {
                 let (r, c) = self.orbits.representative(class);
                 // one delta-sweep pass per class resolves the whole δ-grid
                 if plan.horizon() == self.engine.config().horizon {
@@ -321,7 +399,7 @@ impl<'a> PlannedSweep<'a> {
                 }
             })
             .collect();
-        PlannedOutcomes { plan, table: per_class.into_iter().flatten().collect() }
+        per_class.into_iter().flatten().collect()
     }
 
     /// Validate the broadcast on a deterministic sample: every
@@ -438,6 +516,38 @@ mod tests {
         let report = planned.validate_sample(&plan, 3);
         assert!(report.checked > 0);
         assert!(report.is_valid(), "{:?}", report.first_mismatch);
+    }
+
+    #[test]
+    fn run_classes_slices_concatenate_to_the_full_table() {
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 3], 64);
+        let full = planned.run(&plan);
+        let num_classes = planned.orbits().num_pair_classes();
+        for shards in [1usize, 2, 3, 5] {
+            let mut table = vec![None; plan.num_representative_queries()];
+            for index in 0..shards {
+                let classes: Vec<usize> =
+                    (0..num_classes).filter(|c| c % shards == index).collect();
+                let block = planned.run_classes(&plan, &classes);
+                assert_eq!(block.len(), classes.len() * plan.deltas().len());
+                for (k, &class) in classes.iter().enumerate() {
+                    for di in 0..plan.deltas().len() {
+                        let slot = class * plan.deltas().len() + di;
+                        assert!(table[slot].is_none(), "class {class} executed twice");
+                        table[slot] = Some(block[k * plan.deltas().len() + di]);
+                    }
+                }
+            }
+            let merged: Vec<_> = table.into_iter().map(|o| o.expect("full coverage")).collect();
+            assert_eq!(merged, full.table(), "{shards}-way slicing diverged");
+            let rewrapped = PlannedOutcomes::from_table(&plan, merged).unwrap();
+            assert_eq!(rewrapped.get(5, 7, 1), full.get(5, 7, 1));
+        }
+        // from_table rejects a mis-sized table
+        assert!(PlannedOutcomes::from_table(&plan, vec![]).is_err());
     }
 
     #[test]

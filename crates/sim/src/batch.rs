@@ -34,7 +34,7 @@
 //! Outcomes are **bit-identical** to the streaming and lockstep engines
 //! (asserted by `tests/property_engine_batch.rs` and the differential tests
 //! below), with one contract the other engines share implicitly: agent
-//! programs must propagate [`Stop`](crate::navigator::Stop) errors outward
+//! programs must propagate [`Stop`] errors outward
 //! (every program in this repository does, via `?`).  That is what makes a
 //! horizon-`h` run an exact prefix of a horizon-`H ≥ h` run, which in turn
 //! lets one cached timeline at the cache horizon answer
@@ -113,6 +113,22 @@ struct OccEntry {
     seg: u32,
 }
 
+/// One stop of a timeline in its public, serialisable form: the agent sits
+/// at `node` during the local rounds `[start, end)`.  This is the exact
+/// information [`Timeline::from_segments`] needs to rebuild a timeline —
+/// move counts are derivable (every segment after the first is opened by
+/// exactly one edge traversal), so they are not part of the exchange format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineSeg {
+    /// Node occupied throughout the segment.
+    pub node: NodeId,
+    /// First local round of the stop (inclusive).
+    pub start: Round,
+    /// One past the last local round of the stop ([`Round::MAX`] marks the
+    /// parked-forever tail of a self-terminated program).
+    pub end: Round,
+}
+
 /// A start node's full position timeline under one `(graph, program,
 /// horizon)` triple, in the agent's *local* rounds (round 0 = its start),
 /// plus the per-node occupancy-interval index used by [`merge_timelines`].
@@ -121,6 +137,9 @@ pub struct Timeline {
     /// Contiguous segments from local round 0; the final entry is the
     /// infinite parked-forever tail when the program terminated by itself.
     segs: Vec<Seg>,
+    /// The local horizon the run was recorded (or reconstructed) at; queries
+    /// through this timeline are exact for any horizon `<=` this.
+    recorded_horizon: Round,
     /// Hot copy of the segment starts plus one sentinel (the last segment's
     /// end), so the merge sweep reads `starts[j] .. starts[j + 1]` from one
     /// dense array: contiguity makes every segment's end its successor's
@@ -172,6 +191,113 @@ impl Timeline {
                 moves_before: total_moves,
             });
         }
+        Self::assemble(
+            g.num_nodes(),
+            horizon,
+            segs,
+            finite_end,
+            total_moves,
+            terminated,
+            tail_index,
+        )
+    }
+
+    /// Rebuild a timeline from its serialisable segment list, validating
+    /// every structural invariant [`Timeline::record`] guarantees: the exact
+    /// inverse of [`Timeline::segments`], used by the persistent trajectory
+    /// cache to restore recorded runs from disk without re-executing the
+    /// program.
+    ///
+    /// `n` is the node count of the graph the run was recorded on (it sizes
+    /// the per-node occupancy index) and `horizon` the local horizon of the
+    /// recording.  Errors describe the first violated invariant; a cache
+    /// treats any error as a miss and falls back to re-recording.
+    pub fn from_segments(n: usize, horizon: Round, segs: Vec<TimelineSeg>) -> Result<Self, String> {
+        if segs.is_empty() {
+            return Err("a timeline has at least its initial segment".into());
+        }
+        if segs.len() > u32::MAX as usize {
+            return Err("timeline exceeds the index width".into());
+        }
+        if segs[0].start != 0 {
+            return Err("the first segment must start at local round 0".into());
+        }
+        for (i, s) in segs.iter().enumerate() {
+            if s.node >= n {
+                return Err(format!("segment {i}: node {} out of range (n = {n})", s.node));
+            }
+            if s.start >= s.end {
+                return Err(format!("segment {i}: empty or inverted interval"));
+            }
+            if s.end == INFINITY && i + 1 != segs.len() {
+                return Err(format!("segment {i}: infinite tail not in final position"));
+            }
+            if i > 0 && segs[i - 1].end != s.start {
+                return Err(format!("segment {i}: not contiguous with its predecessor"));
+            }
+        }
+        let terminated = segs.last().expect("checked non-empty").end == INFINITY;
+        if terminated {
+            let len = segs.len();
+            if len < 2 {
+                return Err("a terminated run records a finite segment before its tail".into());
+            }
+            if segs[len - 1].node != segs[len - 2].node {
+                return Err("the parked-forever tail must stay on the final node".into());
+            }
+        }
+        let finite_count = segs.len() - usize::from(terminated);
+        let finite_end = segs[finite_count - 1].end;
+        if finite_end > horizon.saturating_add(1) {
+            return Err(format!(
+                "finite timeline end {finite_end} exceeds the recorded horizon {horizon}"
+            ));
+        }
+        // every segment after the first (tail excepted) is opened by exactly
+        // one edge traversal, so move counts are positional
+        let total_moves = (finite_count - 1) as u64;
+        let tail_index = terminated.then_some(segs.len() - 1);
+        let segs: Vec<Seg> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seg {
+                node: s.node,
+                start: s.start,
+                end: s.end,
+                moves_before: (i as u64).min(total_moves),
+            })
+            .collect();
+        Ok(Self::assemble(n, horizon, segs, finite_end, total_moves, terminated, tail_index))
+    }
+
+    /// The serialisable segment list (the exact input
+    /// [`Timeline::from_segments`] rebuilds this timeline from).
+    pub fn segments(&self) -> impl Iterator<Item = TimelineSeg> + '_ {
+        self.segs.iter().map(|s| TimelineSeg { node: s.node, start: s.start, end: s.end })
+    }
+
+    /// The local horizon this timeline was recorded (or reconstructed) at.
+    pub fn recorded_horizon(&self) -> Round {
+        self.recorded_horizon
+    }
+
+    /// Node count of the graph the timeline was recorded on.
+    pub fn num_graph_nodes(&self) -> usize {
+        self.occ_starts.len() - 1
+    }
+
+    /// Build the hot sweep arrays and the per-node occupancy index from a
+    /// validated segment list (shared by [`Timeline::record`] and
+    /// [`Timeline::from_segments`]).
+    fn assemble(
+        n: usize,
+        recorded_horizon: Round,
+        segs: Vec<Seg>,
+        finite_end: Round,
+        total_moves: u64,
+        terminated: bool,
+        tail_index: Option<usize>,
+    ) -> Self {
         assert!(segs.len() <= u32::MAX as usize, "timeline exceeds the index width");
 
         // hot sweep arrays: starts with the trailing sentinel, and nodes
@@ -180,7 +306,6 @@ impl Timeline {
         let nodes: Vec<u32> = segs.iter().map(|s| s.node as u32).collect();
 
         // per-node occupancy index (counting sort into CSR layout)
-        let n = g.num_nodes();
         let mut occ_starts = vec![0u32; n + 1];
         for s in &segs {
             occ_starts[s.node + 1] += 1;
@@ -197,6 +322,7 @@ impl Timeline {
 
         Timeline {
             segs,
+            recorded_horizon,
             starts,
             nodes,
             finite_end,
@@ -524,6 +650,36 @@ impl<'a> TrajectoryCache<'a> {
     /// Number of start nodes whose timeline has been recorded so far.
     pub fn computed(&self) -> usize {
         self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// The already-recorded timeline of `start`, without recording one.
+    pub fn get(&self, start: NodeId) -> Option<&Timeline> {
+        self.slots[start].get()
+    }
+
+    /// Every recorded `(start node, timeline)` pair, in node order — what a
+    /// persistent store serialises after a sweep.
+    pub fn computed_timelines(&self) -> impl Iterator<Item = (NodeId, &Timeline)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(u, slot)| slot.get().map(|t| (u, t)))
+    }
+
+    /// Install a previously recorded timeline for `start` (a warm persistent
+    /// cache restoring trajectories from disk), so later queries skip the
+    /// program execution entirely.
+    ///
+    /// Returns `false` — leaving the cache untouched — when the timeline
+    /// cannot stand in for a fresh recording: wrong graph size, a recorded
+    /// horizon below this cache's, or a slot that is already populated.
+    /// Rejection is not an error; the affected node simply falls back to
+    /// recording on first use.
+    pub fn preload(&self, start: NodeId, timeline: Timeline) -> bool {
+        if start >= self.graph.num_nodes()
+            || timeline.num_graph_nodes() != self.graph.num_nodes()
+            || timeline.recorded_horizon() < self.horizon
+        {
+            return false;
+        }
+        self.slots[start].set(timeline).is_ok()
     }
 
     /// Record every start node's timeline (sequentially; parallel callers
@@ -871,6 +1027,98 @@ mod tests {
                 actions += 1;
             }
         }
+    }
+
+    #[test]
+    fn timeline_round_trips_through_its_segment_list() {
+        let g = oriented_torus(3, 4).unwrap();
+        for lifetime in [None, Some(9)] {
+            let program = ScriptedStepper { lifetime };
+            for start in [0usize, 5, 11] {
+                let original = Timeline::record(&g, &program, start, 40);
+                let segs: Vec<TimelineSeg> = original.segments().collect();
+                let rebuilt = Timeline::from_segments(g.num_nodes(), 40, segs).unwrap();
+                assert_eq!(rebuilt.num_segments(), original.num_segments());
+                assert_eq!(rebuilt.terminated(), original.terminated());
+                assert_eq!(rebuilt.total_moves(), original.total_moves());
+                assert_eq!(rebuilt.recorded_horizon(), original.recorded_horizon());
+                assert_eq!(rebuilt.num_graph_nodes(), g.num_nodes());
+                // the rebuilt timeline must answer every merge bit-identically
+                let other = Timeline::record(&g, &program, (start + 1) % g.num_nodes(), 40);
+                for delta in [0 as Round, 1, 3, 7] {
+                    let stic = Stic::new(start, (start + 1) % g.num_nodes(), delta);
+                    assert_eq!(
+                        merge_timelines(&rebuilt, &other, &stic, 40),
+                        merge_timelines(&original, &other, &stic, 40),
+                        "rebuilt timeline diverged on {stic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_segments_rejects_malformed_segment_lists() {
+        let seg = |node: NodeId, start: Round, end: Round| TimelineSeg { node, start, end };
+        // empty
+        assert!(Timeline::from_segments(4, 10, vec![]).is_err());
+        // first segment not at round 0
+        assert!(Timeline::from_segments(4, 10, vec![seg(0, 1, 2)]).is_err());
+        // node out of range
+        assert!(Timeline::from_segments(4, 10, vec![seg(9, 0, 2)]).is_err());
+        // inverted interval
+        assert!(Timeline::from_segments(4, 10, vec![seg(0, 0, 0)]).is_err());
+        // gap between segments
+        assert!(Timeline::from_segments(4, 10, vec![seg(0, 0, 1), seg(1, 2, 3)]).is_err());
+        // infinite tail not in final position
+        assert!(Timeline::from_segments(
+            4,
+            10,
+            vec![seg(0, 0, 1), seg(1, 1, INFINITY), seg(1, INFINITY, INFINITY)]
+        )
+        .is_err());
+        // tail wandering off the final node
+        assert!(Timeline::from_segments(4, 10, vec![seg(0, 0, 1), seg(1, 1, INFINITY)]).is_err());
+        // finite end beyond the declared horizon
+        assert!(Timeline::from_segments(4, 10, vec![seg(0, 0, 40)]).is_err());
+        // a well-formed list passes
+        assert!(Timeline::from_segments(
+            4,
+            10,
+            vec![seg(0, 0, 3), seg(1, 3, 4), seg(1, 4, INFINITY)]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn preload_installs_compatible_timelines_and_rejects_the_rest() {
+        let g = oriented_ring(6).unwrap();
+        let program = mover();
+        let cache = TrajectoryCache::new(&g, &program, 50);
+        // a timeline recorded at a *larger* horizon is an exact superset
+        let longer = Timeline::record(&g, &program, 2, 80);
+        assert!(cache.preload(2, longer));
+        assert_eq!(cache.computed(), 1);
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_none());
+        // occupied slot
+        assert!(!cache.preload(2, Timeline::record(&g, &program, 2, 80)));
+        // too-short recording
+        assert!(!cache.preload(3, Timeline::record(&g, &program, 3, 10)));
+        // wrong graph size
+        let other = oriented_ring(5).unwrap();
+        assert!(!cache.preload(4, Timeline::record(&other, &program, 4, 80)));
+        // the preloaded slot answers queries bit-identically to a fresh cache
+        let fresh = TrajectoryCache::new(&g, &program, 50);
+        for delta in [0 as Round, 2, 5] {
+            let stic = Stic::new(2, 4, delta);
+            assert_eq!(cache.simulate(&stic), fresh.simulate(&stic));
+        }
+        assert_eq!(
+            cache.computed_timelines().map(|(u, _)| u).collect::<Vec<_>>(),
+            vec![2, 4],
+            "computed_timelines reports recorded slots in node order"
+        );
     }
 
     #[test]

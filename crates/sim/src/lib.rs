@@ -55,11 +55,14 @@ pub mod engine;
 pub mod navigator;
 pub mod stic;
 pub mod trace;
+pub mod workload;
 
 pub use batch::{
-    merge_timelines, merge_timelines_deltas, simulate_batch, SweepEngine, Timeline, TrajectoryCache,
+    merge_timelines, merge_timelines_deltas, simulate_batch, SweepEngine, Timeline, TimelineSeg,
+    TrajectoryCache,
 };
 pub use engine::{simulate, simulate_with, EngineConfig, EngineMode, Meeting, SimOutcome};
 pub use navigator::{AgentProgram, Event, EventSink, GraphNavigator, Navigator, Stop};
 pub use stic::{Round, Stic};
 pub use trace::{record_trace, PositionTrace, Segment, TraceStats};
+pub use workload::SweepWalker;

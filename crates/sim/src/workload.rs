@@ -1,0 +1,71 @@
+//! Deterministic workload programs shared by the benches, the CLI and the
+//! persistent-store tests.
+//!
+//! Sweep-shaped measurements want an agent whose event mix resembles the
+//! paper's procedures (pseudo-random moves interleaved with short waits)
+//! without any per-algorithm setup cost, so that what gets timed is
+//! engine/planner/store work.  Keeping the program *here* — next to the
+//! engines — gives every consumer the same byte-for-byte behaviour and,
+//! just as importantly for the persistent plan cache, the same canonical
+//! [`SweepWalker::program_key`]: artifacts recorded by the benchmarks warm
+//! the CLI's sweeps and vice versa.
+
+use crate::navigator::{AgentProgram, Navigator, Stop};
+use crate::stic::Round;
+
+/// The deterministic sweep-workload agent: a seeded LCG mixing
+/// pseudo-random moves with short waits.  The seed is a constant of the
+/// program (both agents share it), so differently seeded walkers are
+/// different programs — [`SweepWalker::program_key`] embeds the seed for
+/// exactly that reason.
+pub struct SweepWalker {
+    /// LCG seed (a constant of the program, shared by both agents).
+    pub seed: u64,
+}
+
+impl SweepWalker {
+    /// The canonical persistent-cache program key of this walker
+    /// (`"sweep-walker-<seed in hex>"`).  Every store-backed consumer must
+    /// use this key so their artifacts warm each other.
+    pub fn program_key(&self) -> String {
+        format!("sweep-walker-{:x}", self.seed)
+    }
+}
+
+impl AgentProgram for SweepWalker {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        let mut state = self.seed | 1;
+        loop {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            if roll.is_multiple_of(4) {
+                nav.wait((roll % 7 + 1) as Round)?;
+            } else {
+                nav.move_via(roll as usize % nav.degree())?;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sweep-walker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::SweepEngine;
+    use crate::engine::EngineConfig;
+    use anonrv_graph::generators::oriented_ring;
+
+    #[test]
+    fn the_walker_is_deterministic_and_seed_sensitive() {
+        let g = oriented_ring(8).unwrap();
+        let stic = crate::stic::Stic::new(0, 3, 2);
+        let a = SweepEngine::new(&g, &SweepWalker { seed: 0x5EED }, EngineConfig::batch(200));
+        let b = SweepEngine::new(&g, &SweepWalker { seed: 0x5EED }, EngineConfig::batch(200));
+        assert_eq!(a.simulate(&stic), b.simulate(&stic));
+        assert_eq!(SweepWalker { seed: 0x5EED }.program_key(), "sweep-walker-5eed");
+        assert_eq!(SweepWalker { seed: 10 }.program_key(), "sweep-walker-a");
+    }
+}

@@ -1,0 +1,757 @@
+//! The content-addressed on-disk plan cache.
+//!
+//! A [`Store`] is a directory of checksummed artifacts keyed by the
+//! [`canonical hash`](anonrv_graph::fingerprint) of the graph they were
+//! derived from (plus, where relevant, the *program key* and horizon of the
+//! recording).  Three artifact families cover everything a planned sweep
+//! computes:
+//!
+//! | artifact | key | skips on a warm hit |
+//! |---|---|---|
+//! | automorphism group / pair orbits | graph | planning (group search) |
+//! | trajectory timelines | graph + program key + horizon | every program execution |
+//! | plan outcome tables | graph + program key + plan | the whole sweep |
+//!
+//! Every load path is **fallible by design**: a missing file, a truncated
+//! file, a corrupted payload, a format-version mismatch or an identity
+//! mismatch (hash collision, renamed file) all surface as a plain cache
+//! miss, and the caller recomputes and overwrites.  The cache can therefore
+//! be deleted, copied between machines, or shared by concurrent shard
+//! processes (files are written atomically via rename) without any
+//! correctness risk — it only ever changes *when* work happens, never what
+//! the results are.
+//!
+//! ## Program keys
+//!
+//! Timelines and outcomes depend on the agent program, which Rust cannot
+//! introspect.  Callers pass a **program key** — a string that must uniquely
+//! identify the program *including its parameters* (e.g. `"walker-5eed"`,
+//! `"symm-rv-n12-d2-delta4"`).  Two different programs sharing a key is the
+//! one way to poison this cache; key discipline is the caller's contract,
+//! everything else is verified.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use anonrv_graph::{NodeId, PortGraph};
+use anonrv_plan::{Automorphisms, PairOrbits, PlannedSweep, SweepPlan};
+use anonrv_sim::{
+    AgentProgram, EngineConfig, Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineSeg,
+};
+
+use crate::codec::{fnv64, unframe, Dec, Enc, Kind};
+
+/// Where a value came from: loaded warm from the store, or computed cold
+/// (and then saved back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Served from a valid cache artifact; the computation was skipped.
+    Warm,
+    /// Recomputed (no artifact, or an artifact that failed an integrity or
+    /// identity gate) and written back to the store.
+    Cold,
+}
+
+impl Provenance {
+    /// `true` iff the value was served from the cache.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, Provenance::Warm)
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Provenance::Warm => "warm",
+            Provenance::Cold => "cold",
+        })
+    }
+}
+
+/// Warm/cold breakdown of preparing one planned sweep through a [`Store`]
+/// (what the experiment tables and the CLI surface as cache provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Whether the pair-orbit partition was loaded or computed.
+    pub orbits: Provenance,
+    /// Trajectory timelines preloaded from the store.
+    pub timeline_hits: usize,
+    /// Timelines that had to be recorded by executing the program.
+    pub timeline_misses: usize,
+}
+
+impl WarmStats {
+    /// Fill in [`WarmStats::timeline_misses`] after the sweep ran: every
+    /// timeline the engine recorded beyond the preloaded ones was a miss.
+    pub fn record_misses(&mut self, engine: &SweepEngine<'_>) {
+        self.timeline_misses = engine.cache().computed().saturating_sub(self.timeline_hits);
+    }
+}
+
+/// A content-addressed directory of planning artifacts.  See the module
+/// docs for the layout and the integrity model.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) the cache directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Store { root })
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Write `bytes` to `path` atomically (temp file + rename), so a
+    /// concurrent reader — another shard process — never observes a partial
+    /// artifact.
+    pub(crate) fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Run `f` under an exclusive advisory lock (a `create_new` lock file
+    /// next to the artifact), serialising read-merge-write sequences like
+    /// [`Store::persist_engine`] across processes so concurrent shards
+    /// cannot drop each other's contributions.
+    ///
+    /// Best-effort by design: a lock older than 60 s is treated as left
+    /// behind by a dead process and broken, and after ~5 s of waiting the
+    /// closure runs anyway — the artifact write itself stays atomic, so the
+    /// worst degradation is the pre-lock behaviour (a lost merge), never a
+    /// corrupt artifact or a deadlocked fleet.
+    fn with_lock<T>(&self, artifact: &Path, f: impl FnOnce() -> io::Result<T>) -> io::Result<T> {
+        let lock = artifact.with_extension("lock");
+        let mut attempts = 0;
+        let acquired = loop {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&lock) {
+                Ok(_) => break true,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&lock)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age.as_secs() >= 60);
+                    if stale {
+                        let _ = fs::remove_file(&lock);
+                        continue;
+                    }
+                    attempts += 1;
+                    if attempts >= 50 {
+                        break false; // proceed unlocked rather than hang
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Err(_) => break false, // unlockable filesystem: proceed
+            }
+        };
+        let result = f();
+        if acquired {
+            let _ = fs::remove_file(&lock);
+        }
+        result
+    }
+
+    // -- orbits ------------------------------------------------------------
+
+    fn orbits_path(&self, g: &PortGraph) -> PathBuf {
+        self.root.join(format!("orbits-{:032x}.anrv", g.canonical_hash()))
+    }
+
+    /// Load the pair-orbit partition of `g`, or `None` on any miss
+    /// (absent / corrupt / stale / foreign file).  A loaded group is fully
+    /// re-verified against `g` by
+    /// [`Automorphisms::from_permutations`] before it is trusted.
+    pub fn load_orbits(&self, g: &PortGraph) -> Option<PairOrbits> {
+        let bytes = fs::read(self.orbits_path(g)).ok()?;
+        let mut d = unframe(Kind::Orbits, &bytes)?;
+        if d.u128()? != g.canonical_hash() {
+            return None;
+        }
+        let n = d.usize()?;
+        if n != g.num_nodes() {
+            return None;
+        }
+        let k = d.usize()?;
+        let mut perms = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut p = Vec::with_capacity(n);
+            for _ in 0..n {
+                p.push(u32::try_from(d.u64()?).ok()?);
+            }
+            perms.push(p);
+        }
+        if !d.exhausted() {
+            return None;
+        }
+        let autos = Automorphisms::from_permutations(g, perms).ok()?;
+        Some(PairOrbits::from_automorphisms(autos))
+    }
+
+    /// Persist the pair-orbit partition of `g` (its automorphism
+    /// permutations — the partition is a deterministic function of the
+    /// group, rebuilt on load).  Returns the artifact path.
+    pub fn save_orbits(&self, g: &PortGraph, orbits: &PairOrbits) -> io::Result<PathBuf> {
+        let mut e = Enc::new();
+        e.u128(g.canonical_hash());
+        e.usize(g.num_nodes());
+        e.usize(orbits.group_order());
+        for p in orbits.automorphisms().permutations() {
+            for &img in p {
+                e.u64(img as u64);
+            }
+        }
+        let path = self.orbits_path(g);
+        self.write_atomic(&path, &e.into_frame(Kind::Orbits))?;
+        Ok(path)
+    }
+
+    /// The pair-orbit partition of `g`: warm from the store when a valid
+    /// artifact exists, otherwise computed and saved back.
+    pub fn orbits(&self, g: &PortGraph) -> (PairOrbits, Provenance) {
+        if let Some(orbits) = self.load_orbits(g) {
+            return (orbits, Provenance::Warm);
+        }
+        let orbits = PairOrbits::compute(g);
+        // a failed save leaves the cache cold but the result correct
+        let _ = self.save_orbits(g, &orbits);
+        (orbits, Provenance::Cold)
+    }
+
+    // -- timelines ---------------------------------------------------------
+
+    fn timelines_path(&self, g: &PortGraph, program_key: &str, horizon: Round) -> PathBuf {
+        let mut key = Vec::from(program_key.as_bytes());
+        key.extend_from_slice(&horizon.to_le_bytes());
+        self.root.join(format!("timelines-{:032x}-{:016x}.anrv", g.canonical_hash(), fnv64(&key)))
+    }
+
+    /// Load every recorded timeline of `(g, program_key, horizon)`, or
+    /// `None` on any miss.  Each timeline is structurally re-validated by
+    /// [`Timeline::from_segments`]; one bad entry rejects the whole file.
+    pub fn load_timelines(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        horizon: Round,
+    ) -> Option<Vec<(NodeId, Timeline)>> {
+        let bytes = fs::read(self.timelines_path(g, program_key, horizon)).ok()?;
+        let mut d = unframe(Kind::Timelines, &bytes)?;
+        if d.u128()? != g.canonical_hash() {
+            return None;
+        }
+        let n = d.usize()?;
+        if n != g.num_nodes() {
+            return None;
+        }
+        if d.str()? != program_key || d.u128()? != horizon {
+            return None;
+        }
+        let count = d.usize()?;
+        let mut seen = vec![false; n];
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = d.usize()?;
+            if start >= n || seen[start] {
+                return None;
+            }
+            seen[start] = true;
+            let nsegs = d.usize()?;
+            let mut segs = Vec::with_capacity(nsegs);
+            for _ in 0..nsegs {
+                let node = d.usize()?;
+                let s = d.u128()?;
+                let end = d.u128()?;
+                segs.push(TimelineSeg { node, start: s, end });
+            }
+            out.push((start, Timeline::from_segments(n, horizon, segs).ok()?));
+        }
+        d.exhausted().then_some(out)
+    }
+
+    /// Persist a set of recorded timelines.  Returns the artifact path.
+    pub fn save_timelines(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        horizon: Round,
+        timelines: &[(NodeId, &Timeline)],
+    ) -> io::Result<PathBuf> {
+        let mut e = Enc::new();
+        e.u128(g.canonical_hash());
+        e.usize(g.num_nodes());
+        e.str(program_key);
+        e.u128(horizon);
+        e.usize(timelines.len());
+        for (start, t) in timelines {
+            e.usize(*start);
+            e.usize(t.num_segments());
+            for seg in t.segments() {
+                e.usize(seg.node);
+                e.u128(seg.start);
+                e.u128(seg.end);
+            }
+        }
+        let path = self.timelines_path(g, program_key, horizon);
+        self.write_atomic(&path, &e.into_frame(Kind::Timelines))?;
+        Ok(path)
+    }
+
+    /// Preload a sweep engine's trajectory cache from the store.  Returns
+    /// the number of timelines installed; queries on those start nodes skip
+    /// program execution entirely.
+    pub fn warm_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> usize {
+        let cache = engine.cache();
+        let horizon = cache.horizon();
+        let Some(timelines) = self.load_timelines(cache.graph(), program_key, horizon) else {
+            return 0;
+        };
+        timelines.into_iter().filter(|(u, t)| cache.preload(*u, t.clone())).count()
+    }
+
+    /// Persist every timeline a sweep engine has recorded so far, merged
+    /// with whatever the store already holds for the same key (so shard
+    /// processes touching different classes accumulate one shared
+    /// artifact).  The read-merge-write sequence runs under an advisory
+    /// lock so concurrent shards cannot drop each other's contributions.
+    /// Returns the number of timelines in the written artifact.
+    pub fn persist_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> io::Result<usize> {
+        let cache = engine.cache();
+        let g = cache.graph();
+        let horizon = cache.horizon();
+        self.with_lock(&self.timelines_path(g, program_key, horizon), || {
+            let mut merged: Vec<Option<Timeline>> = vec![None; g.num_nodes()];
+            if let Some(existing) = self.load_timelines(g, program_key, horizon) {
+                for (u, t) in existing {
+                    merged[u] = Some(t);
+                }
+            }
+            for (u, t) in cache.computed_timelines() {
+                // freshly recorded timelines are authoritative (and
+                // identical, programs being deterministic)
+                merged[u] = Some(t.clone());
+            }
+            let owned: Vec<(NodeId, Timeline)> =
+                merged.into_iter().enumerate().filter_map(|(u, t)| t.map(|t| (u, t))).collect();
+            let borrowed: Vec<(NodeId, &Timeline)> = owned.iter().map(|(u, t)| (*u, t)).collect();
+            self.save_timelines(g, program_key, horizon, &borrowed)?;
+            Ok(borrowed.len())
+        })
+    }
+
+    /// Prepare a store-backed planned sweep in one call: pair orbits warm
+    /// or cold, trajectory timelines preloaded.  After running, call
+    /// [`WarmStats::record_misses`] with the sweep's engine and
+    /// [`Store::persist_engine`] to write newly recorded timelines back.
+    pub fn prepare_sweep<'a>(
+        &self,
+        graph: &'a PortGraph,
+        program: &'a dyn AgentProgram,
+        program_key: &str,
+        config: EngineConfig,
+    ) -> (PlannedSweep<'a>, WarmStats) {
+        let (orbits, orbit_prov) = self.orbits(graph);
+        let planned = PlannedSweep::from_orbits(orbits, graph, program, config);
+        let hits = self.warm_engine(planned.engine(), program_key);
+        (planned, WarmStats { orbits: orbit_prov, timeline_hits: hits, timeline_misses: 0 })
+    }
+
+    // -- plan outcome tables -----------------------------------------------
+
+    fn outcomes_key(&self, program_key: &str, plan: &SweepPlan) -> u64 {
+        let mut key = Vec::from(program_key.as_bytes());
+        key.extend_from_slice(&plan.horizon().to_le_bytes());
+        key.extend_from_slice(&(plan.deltas().len() as u64).to_le_bytes());
+        for &d in plan.deltas() {
+            key.extend_from_slice(&d.to_le_bytes());
+        }
+        key.extend_from_slice(&(plan.orbits().num_pair_classes() as u64).to_le_bytes());
+        fnv64(&key)
+    }
+
+    /// Filename stem shared by every artifact of one `(graph, program,
+    /// plan)` sweep, so outcome tables and their shards sort together.
+    pub(crate) fn plan_artifact_stem(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        plan: &SweepPlan,
+    ) -> String {
+        format!("{:032x}-{:016x}", g.canonical_hash(), self.outcomes_key(program_key, plan))
+    }
+
+    fn outcomes_path(&self, g: &PortGraph, program_key: &str, plan: &SweepPlan) -> PathBuf {
+        self.root.join(format!("outcomes-{}.anrv", self.plan_artifact_stem(g, program_key, plan)))
+    }
+
+    /// Load the full representative-outcome table of `(g, program_key,
+    /// plan)` — the result of a previous [`anonrv_plan::PlannedSweep::run`]
+    /// — or `None` on any miss.  A hit makes the whole sweep (planning,
+    /// recording *and* merging) unnecessary; wrap the table with
+    /// [`anonrv_plan::PlannedOutcomes::from_table`].
+    pub fn load_plan_outcomes(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        plan: &SweepPlan,
+    ) -> Option<Vec<SimOutcome>> {
+        let bytes = fs::read(self.outcomes_path(g, program_key, plan)).ok()?;
+        let mut d = unframe(Kind::Outcomes, &bytes)?;
+        decode_plan_identity(&mut d, g, program_key, plan)?;
+        let len = d.usize()?;
+        if len != plan.num_representative_queries() {
+            return None;
+        }
+        let mut table = Vec::with_capacity(len);
+        for _ in 0..len {
+            table.push(decode_outcome(&mut d)?);
+        }
+        d.exhausted().then_some(table)
+    }
+
+    /// Persist an executed plan's representative-outcome table
+    /// (class-major, δ-minor, as produced by
+    /// [`anonrv_plan::PlannedSweep::run`]).  Returns the artifact path.
+    pub fn save_plan_outcomes(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        plan: &SweepPlan,
+        table: &[SimOutcome],
+    ) -> io::Result<PathBuf> {
+        assert_eq!(
+            table.len(),
+            plan.num_representative_queries(),
+            "outcome table does not match the plan"
+        );
+        let mut e = Enc::new();
+        encode_plan_identity(&mut e, g, program_key, plan);
+        e.usize(table.len());
+        for o in table {
+            encode_outcome(&mut e, o);
+        }
+        let path = self.outcomes_path(g, program_key, plan);
+        self.write_atomic(&path, &e.into_frame(Kind::Outcomes))?;
+        Ok(path)
+    }
+}
+
+// -- shared payload pieces (also used by the shard files) -------------------
+
+/// Encode the identity of a `(graph, program, plan)` triple: what a loader
+/// verifies before trusting any cached outcome.
+pub(crate) fn encode_plan_identity(
+    e: &mut Enc,
+    g: &PortGraph,
+    program_key: &str,
+    plan: &SweepPlan,
+) {
+    e.u128(g.canonical_hash());
+    e.usize(g.num_nodes());
+    e.str(program_key);
+    e.u128(plan.horizon());
+    e.usize(plan.deltas().len());
+    for &d in plan.deltas() {
+        e.u128(d);
+    }
+    e.usize(plan.orbits().num_pair_classes());
+}
+
+/// Verify an encoded plan identity against the query; `None` on mismatch.
+pub(crate) fn decode_plan_identity(
+    d: &mut Dec<'_>,
+    g: &PortGraph,
+    program_key: &str,
+    plan: &SweepPlan,
+) -> Option<()> {
+    if d.u128()? != g.canonical_hash() || d.usize()? != g.num_nodes() {
+        return None;
+    }
+    if d.str()? != program_key || d.u128()? != plan.horizon() {
+        return None;
+    }
+    let ndeltas = d.usize()?;
+    if ndeltas != plan.deltas().len() {
+        return None;
+    }
+    for &delta in plan.deltas() {
+        if d.u128()? != delta {
+            return None;
+        }
+    }
+    (d.usize()? == plan.orbits().num_pair_classes()).then_some(())
+}
+
+/// Encode one [`SimOutcome`] exactly (every field, `u128`s included).
+pub(crate) fn encode_outcome(e: &mut Enc, o: &SimOutcome) {
+    let flags = u8::from(o.meeting.is_some())
+        | (u8::from(o.earlier_terminated) << 1)
+        | (u8::from(o.later_terminated) << 2);
+    e.u8(flags);
+    if let Some(m) = &o.meeting {
+        e.u128(m.global_round);
+        e.u128(m.later_round);
+        e.usize(m.node);
+    }
+    e.u64(o.earlier_moves);
+    e.u64(o.later_moves);
+    e.u128(o.horizon);
+}
+
+/// Decode one [`SimOutcome`]; `None` on malformed input.
+pub(crate) fn decode_outcome(d: &mut Dec<'_>) -> Option<SimOutcome> {
+    let flags = d.u8()?;
+    if flags & !0b111 != 0 {
+        return None;
+    }
+    let meeting = if flags & 1 != 0 {
+        Some(Meeting { global_round: d.u128()?, later_round: d.u128()?, node: d.usize()? })
+    } else {
+        None
+    };
+    Some(SimOutcome {
+        meeting,
+        earlier_moves: d.u64()?,
+        later_moves: d.u64()?,
+        earlier_terminated: flags & 0b10 != 0,
+        later_terminated: flags & 0b100 != 0,
+        horizon: d.u128()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{TempDir, Walker};
+    use anonrv_graph::generators::{oriented_ring, oriented_torus};
+    use anonrv_sim::Stic;
+
+    fn store_in(dir: &TempDir) -> Store {
+        Store::open(&dir.0).unwrap()
+    }
+
+    #[test]
+    fn orbits_round_trip_warm_after_cold() {
+        let dir = TempDir::new("orbits");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 4).unwrap();
+        let (cold, prov) = store.orbits(&g);
+        assert_eq!(prov, Provenance::Cold);
+        let (warm, prov) = store.orbits(&g);
+        assert_eq!(prov, Provenance::Warm);
+        assert_eq!(warm, cold);
+        // a different graph never sees the artifact
+        let other = oriented_ring(12).unwrap();
+        assert!(store.load_orbits(&other).is_none());
+    }
+
+    #[test]
+    fn corrupted_truncated_or_stale_orbit_files_fall_back_to_recompute() {
+        let dir = TempDir::new("orbit-corruption");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 3).unwrap();
+        let path = store.save_orbits(&g, &PairOrbits::compute(&g)).unwrap();
+        let good = fs::read(&path).unwrap();
+        assert!(store.load_orbits(&g).is_some());
+
+        // flip one payload byte: checksum gate
+        let mut corrupt = good.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        fs::write(&path, &corrupt).unwrap();
+        assert!(store.load_orbits(&g).is_none());
+
+        // truncate: length gate
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(store.load_orbits(&g).is_none());
+
+        // bump the format version: version gate
+        let mut stale = good.clone();
+        stale[8] = stale[8].wrapping_add(1);
+        fs::write(&path, &stale).unwrap();
+        assert!(store.load_orbits(&g).is_none());
+
+        // in every case `orbits` recovers by recomputing and rewriting
+        let (recovered, prov) = store.orbits(&g);
+        assert_eq!(prov, Provenance::Cold);
+        assert_eq!(recovered, PairOrbits::compute(&g));
+        assert_eq!(store.orbits(&g).1, Provenance::Warm);
+    }
+
+    #[test]
+    fn forged_but_well_framed_permutations_are_rejected_by_validation() {
+        let dir = TempDir::new("orbit-forgery");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 3).unwrap();
+        // hand-craft a frame whose payload passes every codec gate but whose
+        // permutations are not automorphisms of g
+        let mut e = Enc::new();
+        e.u128(g.canonical_hash());
+        e.usize(g.num_nodes());
+        e.usize(2);
+        for v in 0..g.num_nodes() {
+            e.u64(v as u64); // identity
+        }
+        for v in 0..g.num_nodes() {
+            e.u64(((v + 1) % g.num_nodes()) as u64); // index shift: not an automorphism
+        }
+        let path = dir.0.join(format!("orbits-{:032x}.anrv", g.canonical_hash()));
+        fs::write(&path, e.into_frame(Kind::Orbits)).unwrap();
+        assert!(store.load_orbits(&g).is_none());
+    }
+
+    #[test]
+    fn timelines_round_trip_and_warm_engines_answer_bit_identically() {
+        let dir = TempDir::new("timelines");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let key = "test-walker-5eed";
+
+        // cold engine: run a few queries, then persist what was recorded
+        let cold = SweepEngine::new(&g, &program, EngineConfig::batch(64));
+        let queries: Vec<Stic> =
+            vec![Stic::new(0, 5, 0), Stic::new(0, 5, 3), Stic::new(7, 2, 1), Stic::new(11, 3, 4)];
+        let cold_outcomes: Vec<SimOutcome> = queries.iter().map(|s| cold.simulate(s)).collect();
+        let persisted = store.persist_engine(&cold, key).unwrap();
+        assert_eq!(persisted, cold.cache().computed());
+        assert!(persisted > 0);
+
+        // warm engine: every persisted timeline preloads, outcomes match
+        let warm = SweepEngine::new(&g, &program, EngineConfig::batch(64));
+        let hits = store.warm_engine(&warm, key);
+        assert_eq!(hits, persisted);
+        let before = warm.cache().computed();
+        let warm_outcomes: Vec<SimOutcome> = queries.iter().map(|s| warm.simulate(s)).collect();
+        assert_eq!(warm_outcomes, cold_outcomes);
+        assert_eq!(warm.cache().computed(), before, "warm queries recorded nothing new");
+
+        // a different program key or horizon is a miss
+        let other = SweepEngine::new(&g, &program, EngineConfig::batch(64));
+        assert_eq!(store.warm_engine(&other, "different-key"), 0);
+        let other = SweepEngine::new(&g, &program, EngineConfig::batch(65));
+        assert_eq!(store.warm_engine(&other, key), 0);
+
+        // persisting again unions with what is on disk (here: no change)
+        let repersisted = store.persist_engine(&warm, key).unwrap();
+        assert_eq!(repersisted, persisted);
+    }
+
+    #[test]
+    fn concurrent_persists_union_instead_of_last_writer_wins() {
+        let dir = TempDir::new("concurrent-persist");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 3 };
+        let key = "test-walker-3";
+        // two "shard processes" record disjoint start nodes ...
+        let a = SweepEngine::new(&g, &program, EngineConfig::batch(64));
+        let b = SweepEngine::new(&g, &program, EngineConfig::batch(64));
+        a.simulate(&Stic::new(0, 1, 0));
+        b.simulate(&Stic::new(5, 6, 0));
+        // ... and persist concurrently: the lock serialises the merges, so
+        // both contributions survive in the shared artifact
+        std::thread::scope(|scope| {
+            let (store_a, store_b) = (&store, &store);
+            let ta = scope.spawn(move || store_a.persist_engine(&a, key).unwrap());
+            let tb = scope.spawn(move || store_b.persist_engine(&b, key).unwrap());
+            ta.join().unwrap();
+            tb.join().unwrap();
+        });
+        let persisted = store.load_timelines(&g, key, 64).expect("artifact readable");
+        let mut nodes: Vec<_> = persisted.iter().map(|(u, _)| *u).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 5, 6], "both shards' timelines must survive");
+        // the lock file is cleaned up after both persists
+        let leftovers: Vec<_> = fs::read_dir(&dir.0)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".lock"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale lock files: {leftovers:?}");
+    }
+
+    #[test]
+    fn plan_outcome_tables_round_trip_and_miss_on_plan_changes() {
+        let dir = TempDir::new("outcomes");
+        let store = store_in(&dir);
+        let g = oriented_ring(8).unwrap();
+        let program = Walker { seed: 7 };
+        let key = "test-walker-7";
+        let (planned, _) = store.prepare_sweep(&g, &program, key, EngineConfig::batch(100));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 5], 100);
+        let outcomes = planned.run(&plan);
+        store.save_plan_outcomes(&g, key, &plan, outcomes.table()).unwrap();
+        assert_eq!(store.load_plan_outcomes(&g, key, &plan).as_deref(), Some(outcomes.table()));
+        // a different delta grid, horizon or program key all miss
+        let other = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 6], 100);
+        assert!(store.load_plan_outcomes(&g, key, &other).is_none());
+        let other = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 5], 99);
+        assert!(store.load_plan_outcomes(&g, key, &other).is_none());
+        assert!(store.load_plan_outcomes(&g, "other-key", &plan).is_none());
+    }
+
+    #[test]
+    fn prepare_sweep_reports_warm_stats() {
+        let dir = TempDir::new("prepare");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 3).unwrap();
+        let program = Walker { seed: 42 };
+        let key = "test-walker-42";
+
+        let (cold, mut stats) = store.prepare_sweep(&g, &program, key, EngineConfig::batch(64));
+        assert_eq!(stats.orbits, Provenance::Cold);
+        assert_eq!(stats.timeline_hits, 0);
+        let plan = SweepPlan::from_orbits(cold.orbits().clone(), vec![0, 1, 2], 64);
+        let cold_outcomes = cold.run(&plan);
+        stats.record_misses(cold.engine());
+        assert_eq!(stats.timeline_misses, cold.engine().cache().computed());
+        store.persist_engine(cold.engine(), key).unwrap();
+
+        let (warm, mut stats) = store.prepare_sweep(&g, &program, key, EngineConfig::batch(64));
+        assert_eq!(stats.orbits, Provenance::Warm);
+        assert_eq!(stats.timeline_hits, cold.engine().cache().computed());
+        let warm_outcomes = warm.run(&plan);
+        stats.record_misses(warm.engine());
+        assert_eq!(stats.timeline_misses, 0, "a warm sweep records no new timeline");
+        assert_eq!(warm_outcomes.table(), cold_outcomes.table());
+    }
+
+    #[test]
+    fn outcome_codec_round_trips_every_field_shape() {
+        let samples = [
+            SimOutcome {
+                meeting: Some(Meeting { global_round: u128::MAX - 3, later_round: 7, node: 11 }),
+                earlier_moves: 5,
+                later_moves: u64::MAX,
+                earlier_terminated: true,
+                later_terminated: false,
+                horizon: u128::MAX,
+            },
+            SimOutcome {
+                meeting: None,
+                earlier_moves: 0,
+                later_moves: 0,
+                earlier_terminated: false,
+                later_terminated: true,
+                horizon: 64,
+            },
+        ];
+        for o in samples {
+            let mut e = Enc::new();
+            encode_outcome(&mut e, &o);
+            let bytes = e.into_frame(Kind::Outcomes);
+            let mut d = unframe(Kind::Outcomes, &bytes).unwrap();
+            assert_eq!(decode_outcome(&mut d), Some(o));
+            assert!(d.exhausted());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The on-disk frame and the primitive binary codec every store artifact
+//! shares.
+//!
+//! Each cache file is one *frame*:
+//!
+//! ```text
+//! magic "ANRVSTOR" (8) | format version u32 | kind u8 | payload length u64
+//! | payload bytes | FNV-1a-64 checksum of everything before it (u64)
+//! ```
+//!
+//! All integers are little-endian.  The frame gives every artifact the same
+//! three integrity gates, checked in order on load:
+//!
+//! 1. **magic + version** — a file written by a different format revision is
+//!    *invalidated* (treated as a miss, then overwritten by the recompute),
+//!    never partially interpreted;
+//! 2. **length** — a truncated or padded file can never cause a read past
+//!    the payload;
+//! 3. **checksum** — random corruption inside the payload is caught before
+//!    any value is decoded.
+//!
+//! Beyond the frame, every payload embeds the *identity* of what it caches
+//! (graph hash, program key, horizon, ...) and the loader verifies that
+//! identity against the query — a filename-hash collision therefore degrades
+//! to a miss, never to wrong data being served.  The codec is deliberately
+//! hand-rolled: the store's value types live in `anonrv-sim` / `anonrv-plan`
+//! (which stay serde-free), `u128` round counters need exact framing, and
+//! the whole format fits in this one auditable module.
+
+/// File magic: identifies an anonrv store artifact.
+pub(crate) const MAGIC: [u8; 8] = *b"ANRVSTOR";
+
+/// Current format version.  Bump on any layout change: old files then fail
+/// the version gate and are transparently recomputed and rewritten.
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+/// Artifact kind tags (one per payload layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Automorphism permutations (a [`anonrv_plan::PairOrbits`] seed).
+    Orbits = 1,
+    /// Recorded trajectory timelines of one `(graph, program, horizon)`.
+    Timelines = 2,
+    /// A full representative-outcome table of one executed sweep plan.
+    Outcomes = 3,
+    /// A partial outcome table produced by one shard of a sweep plan.
+    Shard = 4,
+}
+
+/// 64-bit FNV-1a over a byte slice (the frame checksum and the filename
+/// key hash).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Append-only payload encoder.
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    pub(crate) fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub(crate) fn u128(&mut self, x: u128) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Wrap the accumulated payload in a checksummed frame.
+    pub(crate) fn into_frame(self, kind: Kind) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.buf.len() + 29);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(kind as u8);
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        let checksum = fnv64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+}
+
+/// Bounds-checked payload decoder.  Every read returns `None` past the end,
+/// so a malformed payload can never panic the loader.
+pub(crate) struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        let slice = self.data.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn u128(&mut self) -> Option<u128> {
+        self.take(16).map(|s| u128::from_le_bytes(s.try_into().expect("16 bytes")))
+    }
+
+    pub(crate) fn usize(&mut self) -> Option<usize> {
+        self.u64().and_then(|x| usize::try_from(x).ok())
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub(crate) fn str(&mut self) -> Option<String> {
+        let len = self.usize()?;
+        // lengths beyond the remaining payload are malformed, not huge
+        if len > self.data.len() - self.pos {
+            return None;
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// `true` iff the whole payload was consumed (trailing garbage is
+    /// rejected by loaders that call this).
+    pub(crate) fn exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+/// Validate a frame of the expected `kind` and hand back its payload, or
+/// `None` when any integrity gate fails (magic, version, kind, length,
+/// checksum).
+pub(crate) fn unframe(kind: Kind, bytes: &[u8]) -> Option<Dec<'_>> {
+    // magic(8) + version(4) + kind(1) + len(8) .. payload .. checksum(8)
+    const HEADER: usize = 8 + 4 + 1 + 8;
+    if bytes.len() < HEADER + 8 {
+        return None;
+    }
+    if bytes[..8] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    if bytes[12] != kind as u8 {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes")) as usize;
+    if bytes.len() != HEADER + payload_len + 8 {
+        return None;
+    }
+    let body = &bytes[..HEADER + payload_len];
+    let stored = u64::from_le_bytes(bytes[HEADER + payload_len..].try_into().expect("8 bytes"));
+    if fnv64(body) != stored {
+        return None;
+    }
+    Some(Dec { data: &bytes[HEADER..HEADER + payload_len], pos: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u64(42);
+        e.u128(u128::MAX - 1);
+        e.str("walker-0x5eed");
+        e.into_frame(Kind::Orbits)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let bytes = sample_frame();
+        let mut d = unframe(Kind::Orbits, &bytes).expect("valid frame");
+        assert_eq!(d.u8(), Some(7));
+        assert_eq!(d.u64(), Some(42));
+        assert_eq!(d.u128(), Some(u128::MAX - 1));
+        assert_eq!(d.str().as_deref(), Some("walker-0x5eed"));
+        assert!(d.exhausted());
+    }
+
+    #[test]
+    fn every_integrity_gate_rejects() {
+        let good = sample_frame();
+        // wrong kind
+        assert!(unframe(Kind::Timelines, &good).is_none());
+        // bad magic
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(unframe(Kind::Orbits, &bad).is_none());
+        // version mismatch
+        let mut bad = good.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        assert!(unframe(Kind::Orbits, &bad).is_none());
+        // truncation (any prefix)
+        for cut in 0..good.len() {
+            assert!(unframe(Kind::Orbits, &good[..cut]).is_none(), "prefix {cut} accepted");
+        }
+        // trailing garbage
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(unframe(Kind::Orbits, &bad).is_none());
+        // single-byte corruption anywhere in the payload or checksum
+        for i in 21..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(unframe(Kind::Orbits, &bad).is_none(), "corrupt byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn decoder_reads_never_run_past_the_payload() {
+        let mut e = Enc::new();
+        e.u64(1);
+        let bytes = e.into_frame(Kind::Shard);
+        let mut d = unframe(Kind::Shard, &bytes).unwrap();
+        assert_eq!(d.u64(), Some(1));
+        assert_eq!(d.u64(), None);
+        assert_eq!(d.u8(), None);
+        assert_eq!(d.u128(), None);
+        assert!(d.str().is_none());
+        // a declared string length far beyond the payload is malformed
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_frame(Kind::Shard);
+        let mut d = unframe(Kind::Shard, &bytes).unwrap();
+        assert!(d.str().is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! # anonrv-store
+//!
+//! Persistence and sharding for planned sweeps: the layer that takes the
+//! in-process plan-then-execute pipeline of `anonrv-plan` / `anonrv-sim`
+//! **across runs and across processes**.
+//!
+//! Repeated sweeps over one graph used to re-derive everything from
+//! scratch — the automorphism group, the pair-orbit partition, every start
+//! node's trajectory timeline, every representative merge.  All of those are
+//! deterministic functions of `(graph, program, horizon)`, so they are
+//! cacheable; and the planner's representative work-list is embarrassingly
+//! parallel, so it is shardable.  This crate supplies both:
+//!
+//! * [`Store`] — a content-addressed on-disk cache (directory of
+//!   checksummed, versioned artifacts keyed by
+//!   [`PortGraph::canonical_hash`](anonrv_graph::PortGraph::canonical_hash))
+//!   holding serialized automorphism groups / [`PairOrbits`], recorded
+//!   wait-compressed [`Timeline`](anonrv_sim::Timeline)s, and full
+//!   representative-outcome tables.  Every load is integrity-checked
+//!   (magic, format version, length, checksum, embedded identity) and
+//!   falls back to recompute-and-overwrite on any mismatch — see
+//!   [`cache`] for the trust model and `codec.rs` for the frame layout.
+//! * [`ShardSpec`] / [`execute_shard`] / [`Store::merge_shards`] — a shard
+//!   executor that splits a [`SweepPlan`]'s `(class, δ)` work-list into
+//!   `--shards K --shard-index i` slices whose partial outcome files merge
+//!   deterministically into one table **bit-identical** to the unsharded
+//!   run — see [`shard`].
+//!
+//! On a warm cache an exhaustive all-pairs × δ-grid sweep skips planning
+//! and trajectory recording entirely (orbit + timeline artifacts), and
+//! skips even the merges when the exact plan was executed before (outcome
+//! artifact) — the `anonrv sweep` CLI command and the `store_timing`
+//! benchmark drive precisely this path.
+//!
+//! ## Cache round-trip
+//!
+//! ```
+//! use anonrv_graph::generators::oriented_torus;
+//! use anonrv_plan::{PlannedOutcomes, PlannedSweep, SweepPlan};
+//! use anonrv_sim::{EngineConfig, Navigator, Stop};
+//! use anonrv_store::{Provenance, Store};
+//!
+//! // a deterministic agent program (both agents run it)
+//! let clockwise = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+//!     loop {
+//!         nav.move_via(0)?;
+//!     }
+//! };
+//!
+//! let dir = std::env::temp_dir().join(format!("anonrv-store-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let store = Store::open(&dir).unwrap();
+//! let g = oriented_torus(3, 4).unwrap();
+//!
+//! // cold: the partition is computed and persisted
+//! let (orbits, prov) = store.orbits(&g);
+//! assert_eq!(prov, Provenance::Cold);
+//!
+//! // execute a small planned sweep and persist its outcome table
+//! let plan = SweepPlan::from_orbits(orbits.clone(), vec![0, 1, 2], 64);
+//! let planned = PlannedSweep::from_orbits(orbits, &g, &clockwise, EngineConfig::batch(64));
+//! let outcomes = planned.run(&plan);
+//! store.save_plan_outcomes(&g, "clockwise", &plan, outcomes.table()).unwrap();
+//!
+//! // warm: both the partition and the full table come back bit-identically,
+//! // with no planning, no program execution and no merging
+//! let (warm_orbits, prov) = store.orbits(&g);
+//! assert_eq!(prov, Provenance::Warm);
+//! let table = store.load_plan_outcomes(&g, "clockwise", &plan).unwrap();
+//! assert_eq!(table, outcomes.table());
+//! let warm = PlannedOutcomes::from_table(&plan, table).unwrap();
+//! assert_eq!(warm.get(5, 7, 1), outcomes.get(5, 7, 1));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
+//! [`PairOrbits`]: anonrv_plan::PairOrbits
+//! [`SweepPlan`]: anonrv_plan::SweepPlan
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod codec;
+pub mod shard;
+
+pub use cache::{Provenance, Store, WarmStats};
+pub use shard::{execute_shard, merge_shard_outcomes, ShardOutcomes, ShardSpec};
+
+/// Shared fixtures for the unit tests of this crate.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// The shared deterministic sweep-workload agent — the same
+    /// byte-for-byte program the benches and the CLI drive this store with.
+    pub(crate) use anonrv_sim::SweepWalker as Walker;
+
+    /// A unique, self-deleting scratch directory per test.
+    pub(crate) struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> Self {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "anonrv-store-test-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Record the persistent plan-cache perf numbers as BENCH_store.json (repo
+# root): the exhaustive sweep workload (all (u, v) pairs x delta in {0..4}
+# on oriented_torus(16, 16)) cold (empty cache), with warm timelines
+# (planning + trajectory recording skipped) and with warm outcomes
+# (everything skipped).  The binary also asserts that a 2-shard execute +
+# merge is bit-identical to the unsharded planned sweep before timing.
+#
+# Usage: scripts/record_store_bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_store.json}"
+cargo run --release -p anonrv-bench --bin store_timing -- "$OUT"

@@ -1,24 +1,50 @@
 //! # anonrv
 //!
 //! Umbrella crate for the reproduction of *Using Time to Break Symmetry:
-//! Universal Deterministic Anonymous Rendezvous* (Pelc & Yadav, SPAA 2019).
+//! Universal Deterministic Anonymous Rendezvous* (Pelc & Yadav, SPAA 2019),
+//! grown into a system that evaluates rendezvous workloads at scale:
+//! exhaustive all-pairs × delay tables, resumable across runs (persistent
+//! plan cache) and shardable across processes.
 //!
-//! The implementation lives in the focused sub-crates; this crate re-exports
-//! them under one roof so that downstream users (and the workspace-level
-//! integration tests and examples) need a single dependency:
+//! **Start with `ARCHITECTURE.md`** (at the repository root, and embedded
+//! at the end of this page) for the system-level picture — the
+//! three-engine simulation stack, the plan-then-execute pipeline, the
+//! store/shard layer and the data-flow diagram of an exhaustive sweep.
+//! This crate re-exports the focused sub-crates under one roof so that
+//! downstream users (and the workspace-level integration tests and
+//! examples) need a single dependency.
 //!
-//! * [`graph`] ([`anonrv_graph`]) — port-labelled graph substrate, the
-//!   view-equivalence partition, `Shrink`, and the flat product-space
-//!   [`anonrv_graph::pairspace`] engine;
+//! ## The layers, bottom up
+//!
+//! * [`graph`] ([`anonrv_graph`]) — the port-labelled graph substrate: every
+//!   generator used by the paper or the experiments, the view-equivalence
+//!   partition, `Shrink`, the flat product-space
+//!   [`anonrv_graph::pairspace`] engine, and the canonical structural hash
+//!   ([`anonrv_graph::fingerprint`]) the persistent cache keys by;
 //! * [`uxs`] ([`anonrv_uxs`]) — universal exploration sequences;
-//! * [`sim`] ([`anonrv_sim`]) — the two-agent round simulator (streaming and
-//!   lockstep engines);
-//! * [`core`] ([`anonrv_core`]) — the paper's algorithms and the feasibility
-//!   characterisation;
-//! * [`plan`] ([`anonrv_plan`]) — symmetry-reduced sweep planning: pair
-//!   orbits, representative queries and broadcastable outcomes;
-//! * [`experiments`] ([`anonrv_experiments`]) — the table/figure harnesses.
-
+//! * [`sim`] ([`anonrv_sim`]) — the two-agent round simulator: three
+//!   bit-identical engines (streaming for astronomical horizons, lockstep
+//!   for one-off calls, trajectory-memoized batch for sweeps);
+//! * [`core`] ([`anonrv_core`]) — the paper's algorithms (`SymmRV`,
+//!   `AsymmRV`, `UniversalRV`) and the exact feasibility characterisation;
+//! * [`plan`] ([`anonrv_plan`]) — symmetry-reduced sweep planning: the `n²`
+//!   ordered start pairs collapse onto automorphism orbits, one
+//!   representative runs per `(orbit, δ)`, and outcomes broadcast back
+//!   bit-identically;
+//! * [`store`] ([`anonrv_store`]) — persistence and sharding for planned
+//!   sweeps: a content-addressed on-disk cache (orbits, trajectory
+//!   timelines, outcome tables; integrity-checked, falling back to
+//!   recompute) and a shard executor whose partial results merge
+//!   deterministically into the unsharded table;
+//! * [`experiments`] ([`anonrv_experiments`]) — the table/figure harnesses,
+//!   including the `--exhaustive` uncapped sweeps.
+//!
+//! The `anonrv` CLI (`crates/cli`) fronts the same machinery; see
+//! `anonrv help`, in particular `anonrv sweep --cache-dir … --shards …
+//! --merge` for store-backed exhaustive sweeps.
+//!
+//! ---
+#![doc = include_str!("../ARCHITECTURE.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -27,4 +53,5 @@ pub use anonrv_experiments as experiments;
 pub use anonrv_graph as graph;
 pub use anonrv_plan as plan;
 pub use anonrv_sim as sim;
+pub use anonrv_store as store;
 pub use anonrv_uxs as uxs;

@@ -1,0 +1,180 @@
+//! Integration tests of the persistent plan cache + shard executor
+//! (`anonrv-store`) through the umbrella crate: cache correctness under
+//! corruption, truncation and format staleness; warm-vs-cold bit-identity;
+//! and the exhaustive sharded-merge-vs-unsharded differential on the 3×4
+//! torus.
+
+use anonrv::graph::generators::{oriented_ring, oriented_torus};
+use anonrv::plan::{PlannedOutcomes, PlannedSweep, SweepPlan};
+use anonrv::sim::{EngineConfig, Round, SimOutcome, Stic, SweepWalker};
+use anonrv::store::{execute_shard, Provenance, ShardSpec, Store};
+
+/// Unique, self-deleting scratch directory per test.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("anonrv-integration-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The shared deterministic sweep-workload agent (the exact program the
+/// benches and the `anonrv sweep` CLI drive the store with).
+fn walker() -> SweepWalker {
+    SweepWalker { seed: 0x5EED }
+}
+
+const KEY: &str = "sweep-walker-5eed";
+const HORIZON: Round = 64;
+
+fn deltas() -> Vec<Round> {
+    vec![0, 1, 2, 3, 4]
+}
+
+#[test]
+fn warm_and_cold_planned_sweeps_are_bit_identical_end_to_end() {
+    let dir = TempDir::new("warm-cold");
+    let store = Store::open(&dir.0).unwrap();
+    let g = oriented_torus(3, 4).unwrap();
+    let program = walker();
+
+    // cold: everything computed, everything persisted
+    let (cold, mut cold_stats) =
+        store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
+    assert_eq!(cold_stats.orbits, Provenance::Cold);
+    let plan = SweepPlan::from_orbits(cold.orbits().clone(), deltas(), HORIZON);
+    let cold_outcomes = cold.run(&plan);
+    cold_stats.record_misses(cold.engine());
+    assert!(cold_stats.timeline_misses > 0);
+    store.persist_engine(cold.engine(), KEY).unwrap();
+    store.save_plan_outcomes(&g, KEY, &plan, cold_outcomes.table()).unwrap();
+
+    // warm: planning and trajectory recording are skipped entirely ...
+    let (warm, mut warm_stats) =
+        store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
+    assert_eq!(warm_stats.orbits, Provenance::Warm);
+    assert_eq!(warm_stats.timeline_hits, cold.engine().cache().computed());
+    let warm_outcomes = warm.run(&plan);
+    warm_stats.record_misses(warm.engine());
+    assert_eq!(warm_stats.timeline_misses, 0, "warm run must not re-record");
+    assert_eq!(warm_outcomes.table(), cold_outcomes.table(), "warm/cold differential");
+
+    // ... and the persisted outcome table even skips the merges, while
+    // remaining bit-identical to direct simulation of every member STIC
+    let table = store.load_plan_outcomes(&g, KEY, &plan).expect("outcome artifact");
+    let restored = PlannedOutcomes::from_table(&plan, table).unwrap();
+    for u in g.nodes() {
+        for v in g.nodes() {
+            for (di, &delta) in plan.deltas().iter().enumerate() {
+                let direct = warm.engine().simulate(&Stic::new(u, v, delta));
+                assert_eq!(restored.get(u, v, di), direct, "({u}, {v}) delta {delta}");
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_truncated_and_stale_timeline_artifacts_fall_back_to_recompute() {
+    let dir = TempDir::new("fallback");
+    let store = Store::open(&dir.0).unwrap();
+    let g = oriented_ring(8).unwrap();
+    let program = walker();
+
+    let (cold, _) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
+    let plan = SweepPlan::from_orbits(cold.orbits().clone(), deltas(), HORIZON);
+    let reference = cold.run(&plan);
+    store.persist_engine(cold.engine(), KEY).unwrap();
+
+    let timeline_artifact = || {
+        let mut files: Vec<_> = std::fs::read_dir(&dir.0)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.file_name().unwrap().to_string_lossy().starts_with("timelines-"))
+            .collect();
+        assert_eq!(files.len(), 1, "exactly one timeline artifact expected");
+        files.pop().unwrap()
+    };
+    let path = timeline_artifact();
+    let good = std::fs::read(&path).unwrap();
+
+    let mutations: Vec<(&str, Vec<u8>)> = vec![
+        ("payload corruption", {
+            let mut bad = good.clone();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0x20;
+            bad
+        }),
+        ("truncation", good[..good.len() * 2 / 3].to_vec()),
+        ("format-version bump", {
+            let mut stale = good.clone();
+            stale[8] = stale[8].wrapping_add(1); // the version field
+            stale
+        }),
+    ];
+    for (what, bytes) in mutations {
+        std::fs::write(&path, &bytes).unwrap();
+        // the damaged artifact is a miss, never an error or wrong data
+        let (sweep, stats) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
+        assert_eq!(stats.timeline_hits, 0, "{what}: damaged artifact must not preload");
+        let outcomes = sweep.run(&plan);
+        assert_eq!(outcomes.table(), reference.table(), "{what}: outcomes must be unaffected");
+        // recompute-and-overwrite restores a loadable artifact
+        store.persist_engine(sweep.engine(), KEY).unwrap();
+        let (_, stats) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
+        assert!(stats.timeline_hits > 0, "{what}: artifact must be restored");
+        std::fs::write(&path, &good).unwrap();
+    }
+}
+
+#[test]
+fn exhaustive_sharded_merge_equals_the_unsharded_sweep_on_torus_3x4() {
+    let dir = TempDir::new("shard-differential");
+    let store = Store::open(&dir.0).unwrap();
+    let g = oriented_torus(3, 4).unwrap();
+    let program = walker();
+
+    // the unsharded reference: one process, no store
+    let reference_sweep = PlannedSweep::new(&g, &program, EngineConfig::batch(HORIZON));
+    let plan = SweepPlan::from_orbits(reference_sweep.orbits().clone(), deltas(), HORIZON);
+    let reference = reference_sweep.run(&plan);
+
+    for shards in [2usize, 3, 5] {
+        // each shard in its own engine, as separate processes would run
+        for index in 0..shards {
+            let (worker, _) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
+            let part = execute_shard(&worker, &plan, ShardSpec::new(shards, index).unwrap());
+            store.save_shard(&g, KEY, &plan, &part).unwrap();
+            store.persist_engine(worker.engine(), KEY).unwrap();
+        }
+        let merged = store.merge_shards(&g, KEY, &plan, shards).unwrap();
+        assert_eq!(merged, reference.table(), "{shards}-shard merge differential");
+
+        // ... and the merged table broadcasts to every member STIC
+        // bit-identically to direct simulation (the exhaustive check)
+        let outcomes = PlannedOutcomes::from_table(&plan, merged).unwrap();
+        let mut met = 0usize;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for (di, &delta) in plan.deltas().iter().enumerate() {
+                    let direct: SimOutcome =
+                        reference_sweep.engine().simulate(&Stic::new(u, v, delta));
+                    assert_eq!(outcomes.get(u, v, di), direct);
+                    met += usize::from(direct.met());
+                }
+            }
+        }
+        assert_eq!(outcomes.met_total(), met);
+    }
+
+    // a partial shard set refuses to merge
+    assert!(store.merge_shards(&g, KEY, &plan, 4).is_err());
+}
