@@ -1,15 +1,21 @@
 //! Emit `BENCH_store.json`: wall-clock timings of the persistent plan cache
 //! (`anonrv-store`) on the exhaustive sweep workload — **all** `(u, v)`
 //! ordered pairs × δ ∈ {0..4} on `oriented_torus(16, 16)` (327 680 STICs,
-//! horizon 256) — in three temperatures:
+//! horizon 256) — in four temperatures, all driven through the same
+//! [`SweepSession`] pipeline the CLI and the experiments use:
 //!
 //! * **cold** — empty cache: plan (automorphism group + pair orbits), record
 //!   every trajectory, merge every representative, persist everything;
 //! * **warm timelines** — orbits and trajectory timelines load from disk
 //!   (planning and program execution skipped), only the representative
 //!   merges run;
-//! * **warm outcomes** — the full outcome table loads from disk; planning,
-//!   trajectory recording *and* merging are all skipped.
+//! * **warm outcomes (exact hit)** — a table recorded at the requested
+//!   horizon loads from disk; planning, trajectory recording *and* merging
+//!   are all skipped;
+//! * **warm prefix hit** — the cache holds only a recording at 2× the
+//!   requested horizon; the table is served by prefix truncation (the
+//!   entries the prefix cannot determine re-merge through warm timelines —
+//!   zero program executions).
 //!
 //! A 2-shard execute + merge is also checked for bit-identity against the
 //! unsharded table before anything is timed, so a broken merge fails the
@@ -22,9 +28,9 @@ use std::time::Instant;
 
 use anonrv_bench::SweepWalker;
 use anonrv_graph::generators::oriented_torus;
-use anonrv_plan::{PlannedOutcomes, PlannedSweep, SweepPlan};
+use anonrv_plan::{PlannedSweep, SweepPlan};
 use anonrv_sim::{EngineConfig, Round};
-use anonrv_store::{execute_shard, ShardSpec, Store};
+use anonrv_store::{OutcomeProvenance, ShardSpec, Store, SweepSession};
 
 const HORIZON: Round = 256;
 const DELTAS: u32 = 5;
@@ -55,15 +61,20 @@ fn main() {
     let program_key = &program.program_key();
     let deltas: Vec<Round> = (0..DELTAS as Round).collect();
 
-    // one full cold pipeline: orbits + plan + run + persist everything
-    let cold_pipeline = |store: &Store| -> usize {
-        let (planned, _) =
-            store.prepare_sweep(&torus, &program, program_key, EngineConfig::batch(HORIZON));
-        let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), HORIZON);
-        let outcomes = planned.run(&plan);
-        store.persist_engine(planned.engine(), program_key).expect("persist timelines");
-        store.save_plan_outcomes(&torus, program_key, &plan, outcomes.table()).expect("persist");
-        outcomes.met_total()
+    // one full pipeline at `horizon` against `store`: session construction
+    // (orbit probe), outcome probe, execution of whatever the probes left,
+    // persistence — exactly what one `anonrv sweep` invocation does
+    let pipeline = |store: &Store, horizon: Round| -> (usize, OutcomeProvenance) {
+        let mut session = SweepSession::new(
+            Some(store),
+            &torus,
+            &program,
+            program_key,
+            EngineConfig::batch(horizon),
+        );
+        let plan = SweepPlan::from_orbits(session.orbits().clone(), deltas.clone(), horizon);
+        let (outcomes, provenance) = session.run_plan(&plan).expect("session pipeline");
+        (outcomes.met_total(), provenance)
     };
 
     // correctness guard before anything is timed: 2-shard merge must be
@@ -75,21 +86,27 @@ fn main() {
     {
         let shard_store = Store::open(dir.join("shard-check")).expect("open shard store");
         for index in 0..2 {
-            let (worker, _) = shard_store.prepare_sweep(
+            let mut worker = SweepSession::new(
+                Some(&shard_store),
                 &torus,
                 &program,
                 program_key,
                 EngineConfig::batch(HORIZON),
             );
-            let part = execute_shard(&worker, &reference_plan, ShardSpec::new(2, index).unwrap());
-            shard_store.save_shard(&torus, program_key, &reference_plan, &part).expect("save");
-            shard_store.persist_engine(worker.engine(), program_key).expect("persist");
+            worker
+                .run_shard(&reference_plan, ShardSpec::new(2, index).unwrap())
+                .expect("shard slice");
         }
-        let merged = shard_store
-            .merge_shards(&torus, program_key, &reference_plan, 2)
-            .expect("merge 2 shards");
+        let mut merger = SweepSession::new(
+            Some(&shard_store),
+            &torus,
+            &program,
+            program_key,
+            EngineConfig::batch(HORIZON),
+        );
+        let merged = merger.merge_shards(&reference_plan, 2).expect("merge 2 shards");
         assert_eq!(
-            merged,
+            merged.table(),
             reference.table(),
             "2-shard merge diverged from the unsharded planned sweep"
         );
@@ -101,7 +118,8 @@ fn main() {
         cold_iter += 1;
         let fresh = dir.join(format!("cold-{cold_iter}"));
         let store = Store::open(&fresh).expect("open cold store");
-        let met = cold_pipeline(&store);
+        let (met, provenance) = pipeline(&store, HORIZON);
+        assert_eq!(provenance, OutcomeProvenance::Cold);
         std::fs::remove_dir_all(&fresh).ok();
         met
     });
@@ -109,31 +127,48 @@ fn main() {
     // seed one persistent directory for the warm measurements
     let warm_dir = dir.join("warm");
     let store = Store::open(&warm_dir).expect("open warm store");
-    let met_cold = cold_pipeline(&store);
+    let (met_cold, provenance) = pipeline(&store, HORIZON);
+    assert_eq!(provenance, OutcomeProvenance::Cold);
     assert_eq!(met_cold, reference.met_total(), "store pipeline changed the outcome");
 
-    // warm outcomes: everything loads, nothing executes
+    // warm outcomes (exact hit): everything loads, nothing executes
     let warm_outcomes_s = time_median(15, || {
-        let (orbits, prov) = store.orbits(&torus);
-        assert!(prov.is_warm(), "orbit artifact went missing");
-        let plan = SweepPlan::from_orbits(orbits, deltas.clone(), HORIZON);
-        let table =
-            store.load_plan_outcomes(&torus, program_key, &plan).expect("warm outcome table");
-        let outcomes = PlannedOutcomes::from_table(&plan, table).expect("table matches plan");
-        assert_eq!(outcomes.met_total(), met_cold);
-        outcomes.met_total()
+        let (met, provenance) = pipeline(&store, HORIZON);
+        assert_eq!(provenance, OutcomeProvenance::WarmExact);
+        assert_eq!(met, met_cold);
+        met
     });
 
-    // warm timelines: planning and recording load, the merges re-run
+    // warm timelines: planning and recording load, the merges re-run (the
+    // store primitives under the session's cold path, without persistence)
     let warm_timelines_s = time_median(10, || {
-        let (planned, stats) =
-            store.prepare_sweep(&torus, &program, program_key, EngineConfig::batch(HORIZON));
-        assert!(stats.orbits.is_warm());
-        assert_eq!(stats.timeline_hits, n, "every timeline must preload");
+        let (orbits, prov) = store.orbits(&torus);
+        assert!(prov.is_warm(), "orbit artifact went missing");
+        let planned =
+            PlannedSweep::from_orbits(orbits, &torus, &program, EngineConfig::batch(HORIZON));
+        let warmed = store.warm_engine(planned.engine(), program_key);
+        assert_eq!(warmed.installed, n, "every timeline must preload");
         let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), HORIZON);
         let outcomes = planned.run(&plan);
         assert_eq!(outcomes.met_total(), met_cold);
         outcomes.met_total()
+    });
+
+    // warm prefix hit: the cache holds only a 2×-horizon recording; the
+    // requested horizon is served by prefix truncation + warm re-merges
+    let prefix_dir = dir.join("prefix");
+    let prefix_store = Store::open(&prefix_dir).expect("open prefix store");
+    let (met_long, provenance) = pipeline(&prefix_store, 2 * HORIZON);
+    assert_eq!(provenance, OutcomeProvenance::Cold);
+    assert!(met_long > 0, "the seeding sweep found no meetings");
+    let warm_prefix_s = time_median(10, || {
+        let (met, provenance) = pipeline(&prefix_store, HORIZON);
+        assert!(
+            matches!(provenance, OutcomeProvenance::WarmPrefix { recorded, .. } if recorded == 2 * HORIZON),
+            "expected a prefix hit, got {provenance:?}"
+        );
+        assert_eq!(met, met_cold, "prefix-served table diverged");
+        met
     });
 
     let num_stics = n * n * DELTAS as usize;
@@ -143,13 +178,18 @@ fn main() {
          \"stics\": {num_stics},\n  \
          \"meetings\": {met_cold},\n  \
          \"shard_merge_check\": \"2 shards, bit-identical\",\n  \
+         \"prefix_check\": \"horizon {HORIZON} served from a horizon-{} recording, bit-identical\",\n  \
          \"cold_seconds\": {cold_s:.6},\n  \
          \"warm_timelines_seconds\": {warm_timelines_s:.6},\n  \
          \"warm_outcomes_seconds\": {warm_outcomes_s:.6},\n  \
+         \"warm_prefix_seconds\": {warm_prefix_s:.6},\n  \
          \"warm_timelines_speedup\": {:.1},\n  \
-         \"warm_outcomes_speedup\": {:.1}\n}}\n",
+         \"warm_outcomes_speedup\": {:.1},\n  \
+         \"warm_prefix_speedup\": {:.1}\n}}\n",
+        2 * HORIZON,
         cold_s / warm_timelines_s,
         cold_s / warm_outcomes_s,
+        cold_s / warm_prefix_s,
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     print!("{json}");

@@ -9,9 +9,12 @@
 //! anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S]
 //!                 [--cache-dir DIR] [--shards K --shard-index I] [--merge]
 //!                                              exhaustive planned all-pairs sweep:
-//!                                              resumable (persistent plan cache),
+//!                                              resumable (persistent plan cache,
+//!                                              horizon-generic: longer recordings
+//!                                              serve shorter sweeps by prefix),
 //!                                              shardable across processes, merged
 //!                                              bit-identically
+//! anonrv cache    <dir> stats|gc               survey / compact a plan-cache dir
 //! anonrv figure1  [h]                          ASCII rendering of Q̂_h (default h = 2)
 //! ```
 //!
@@ -59,11 +62,16 @@ fn usage() -> &'static str {
      anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm] [--horizon H]\n  \
      anonrv orbits   <graph>\n  \
      anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S] [--cache-dir DIR]\n                  \
-     [--shards K --shard-index I] [--merge]\n  anonrv figure1  [h]\n\n\
+     [--shards K --shard-index I] [--merge]\n  anonrv cache    <dir> stats|gc\n  \
+     anonrv figure1  [h]\n\n\
      sweep: exhaustive all-pairs x delay-grid planned sweep (D = count `5` for {0..4} or list \
      `0,2,7`;\n  S = walker seed, decimal or 0x-hex); --cache-dir makes it resumable (orbits/\
-     timelines/outcomes\n  persist), --shards/--shard-index executes one slice, --merge \
-     reassembles the slices\n  bit-identically.\n\n\
+     timelines/outcomes\n  persist; recordings at a longer horizon serve shorter sweeps by \
+     prefix truncation),\n  --shards/--shard-index executes one slice, --merge reassembles the \
+     slices bit-identically.\n\n\
+     cache: stats surveys artifact counts/bytes per kind and recorded horizons; gc deletes\n  \
+     corrupt/stale frames, orphaned temp/lock files and shard partials superseded by a merged\n  \
+     table, reporting reclaimed bytes.\n\n\
      graphs: ring:8 path:5 star:4 complete:5 \
      hypercube:3 torus:3x4 grid:2x3 lollipop:4x2 caterpillar:4x2 double-tree:2x3 random:10x4x7 \
      circulant:12x1x3 qhat:4"
@@ -77,6 +85,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "simulate" => cmd_simulate(&args[1..]),
         "orbits" => cmd_orbits(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "cache" => cmd_cache(&args[1..]),
         "figure1" => cmd_figure1(&args[1..]),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(format!("unknown command '{other}'")),
@@ -362,10 +371,23 @@ fn parse_deltas(spec: &str) -> Result<Vec<Round>, String> {
     }
 }
 
+/// The timelines phrase of a cache report line (`"3 warm (2 by prefix) / 5
+/// recorded"`).
+fn timelines_phrase(stats: &anonrv_store::SessionStats) -> String {
+    if stats.timeline_prefix_hits > 0 {
+        format!(
+            "{} warm ({} by prefix) / {} recorded",
+            stats.timeline_hits, stats.timeline_prefix_hits, stats.timeline_misses
+        )
+    } else {
+        format!("{} warm / {} recorded", stats.timeline_hits, stats.timeline_misses)
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<String, String> {
-    use anonrv_plan::{PlannedOutcomes, PlannedSweep, SweepPlan};
+    use anonrv_plan::SweepPlan;
     use anonrv_sim::EngineConfig;
-    use anonrv_store::{execute_shard, Provenance, ShardSpec, Store};
+    use anonrv_store::{table_fingerprint, OutcomeProvenance, ShardSpec, Store, SweepSession};
 
     let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
     let deltas = parse_deltas(flag_value(args, "--deltas").unwrap_or("5"))?;
@@ -397,12 +419,11 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
     let program_key = program.program_key();
     let n = g.num_nodes();
 
-    // the plan (pair orbits + grid) is shared by every mode
-    let (orbits, orbit_prov) = match &store {
-        Some(store) => store.orbits(&g),
-        None => (anonrv_plan::PairOrbits::compute(&g), Provenance::Cold),
-    };
-    let plan = SweepPlan::from_orbits(orbits.clone(), deltas.clone(), horizon);
+    // one session drives every mode: plan → cache-probe → execute →
+    // record → broadcast, all inside `anonrv_store::SweepSession`
+    let mut session =
+        SweepSession::new(store.as_ref(), &g, &program, &program_key, EngineConfig::batch(horizon));
+    let plan = SweepPlan::from_orbits(session.orbits().clone(), deltas.clone(), horizon);
     let classes = plan.orbits().num_pair_classes();
     let mut out = format!(
         "graph: {n} nodes, {} edges (hash {:032x})\nplan: {} ordered pairs -> {classes} classes \
@@ -416,55 +437,38 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
 
     if merge {
         // -- merge mode: reassemble partial shard artifacts -----------------
-        let store = store.as_ref().ok_or("--merge requires --cache-dir")?;
+        if store.is_none() {
+            return Err("--merge requires --cache-dir".to_string());
+        }
         let shards = shards.ok_or("--merge requires --shards")?;
-        let table = store.merge_shards(&g, &program_key, &plan, shards)?;
-        let outcomes = PlannedOutcomes::from_table(&plan, table)?;
-        store
-            .save_plan_outcomes(&g, &program_key, &plan, outcomes.table())
-            .map_err(|e| format!("cannot persist merged outcomes: {e}"))?;
+        let outcomes = session.merge_shards(&plan, shards)?;
         out.push_str(&format!(
-            "mode: merge of {shards} shard(s)\nmeetings: {} of {} member STICs\nmerged outcome \
-             table persisted; subsequent `anonrv sweep` runs are warm",
+            "mode: merge of {shards} shard(s)\nmeetings: {} of {} member STICs\noutcome table \
+             fingerprint: {:016x}\nmerged outcome table persisted; subsequent `anonrv sweep` \
+             runs are warm",
             outcomes.met_total(),
             plan.num_member_queries(),
+            table_fingerprint(outcomes.table()),
         ));
         return Ok(out);
     }
 
-    // build the executor on the orbits loaded above (they are not re-read
-    // or re-verified) and preload timelines when a store is present; the
-    // orbit provenance reported is that of the single load at the top
-    let build_sweep = |orbits: anonrv_plan::PairOrbits| {
-        let planned = PlannedSweep::from_orbits(orbits, &g, &program, EngineConfig::batch(horizon));
-        let hits = store.as_ref().map_or(0, |s| s.warm_engine(planned.engine(), &program_key));
-        let stats =
-            anonrv_store::WarmStats { orbits: orbit_prov, timeline_hits: hits, timeline_misses: 0 };
-        (planned, stats)
-    };
-
     if let Some(shards) = shards {
         // -- shard mode: execute one slice ----------------------------------
-        let store = store.as_ref().ok_or("--shards requires --cache-dir (shards meet there)")?;
+        if store.is_none() {
+            return Err("--shards requires --cache-dir (shards meet there)".to_string());
+        }
         let index = shard_index.ok_or("--shards requires --shard-index")?;
         let spec = ShardSpec::new(shards, index)?;
-        let (planned, mut stats) = build_sweep(orbits);
-        let part = execute_shard(&planned, &plan, spec);
-        stats.record_misses(planned.engine());
-        store
-            .save_shard(&g, &program_key, &plan, &part)
-            .map_err(|e| format!("cannot persist shard: {e}"))?;
-        store
-            .persist_engine(planned.engine(), &program_key)
-            .map_err(|e| format!("cannot persist timelines: {e}"))?;
+        let part = session.run_shard(&plan, spec)?;
+        let stats = session.stats();
         out.push_str(&format!(
             "mode: shard {spec}\nclasses executed: {} of {classes}\ncache: orbits {}, \
-             timelines {} warm / {} recorded\nshard artifact persisted; run every \
-             shard, then `--merge --shards {shards}`",
+             timelines {}\nshard artifact persisted; run every shard, then `--merge --shards \
+             {shards}`",
             part.classes.len(),
             stats.orbits,
-            stats.timeline_hits,
-            stats.timeline_misses,
+            timelines_phrase(&stats),
         ));
         return Ok(out);
     }
@@ -473,42 +477,77 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
     }
 
     // -- full mode: one process executes (or warm-loads) the whole plan -----
-    if let Some(store) = &store {
-        if let Some(table) = store.load_plan_outcomes(&g, &program_key, &plan) {
-            let outcomes = PlannedOutcomes::from_table(&plan, table)?;
-            out.push_str(&format!(
-                "mode: full sweep\ncache: outcomes warm (planning, trajectory recording and \
-                 merging all skipped)\nmeetings: {} of {} member STICs",
-                outcomes.met_total(),
-                plan.num_member_queries(),
-            ));
-            return Ok(out);
+    let (outcomes, provenance) = session.run_plan(&plan)?;
+    let stats = session.stats();
+    let cache_line = match (&store, provenance) {
+        (None, _) => "disabled (pass --cache-dir to make sweeps resumable)".to_string(),
+        (Some(_), OutcomeProvenance::WarmExact) => {
+            "outcomes warm (planning, trajectory recording and merging all skipped)".to_string()
         }
-    }
-    let (planned, mut stats) = build_sweep(orbits);
-    let outcomes = planned.run(&plan);
-    stats.record_misses(planned.engine());
-    if let Some(store) = &store {
-        store
-            .persist_engine(planned.engine(), &program_key)
-            .map_err(|e| format!("cannot persist timelines: {e}"))?;
-        store
-            .save_plan_outcomes(&g, &program_key, &plan, outcomes.table())
-            .map_err(|e| format!("cannot persist outcomes: {e}"))?;
-    }
+        (Some(_), OutcomeProvenance::WarmPrefix { recorded, remerged }) => format!(
+            "outcomes warm-prefix (recorded at horizon {recorded}, served at {horizon}: \
+             {remerged} of {} representative merges re-run from warm timelines, {} program \
+             executions)",
+            plan.num_representative_queries(),
+            stats.timeline_misses,
+        ),
+        (Some(_), OutcomeProvenance::Cold) => format!(
+            "orbits {}, timelines {}, outcomes cold (persisted)",
+            stats.orbits,
+            timelines_phrase(&stats),
+        ),
+    };
     out.push_str(&format!(
-        "mode: full sweep\ncache: {}\nmeetings: {} of {} member STICs",
-        match &store {
-            Some(_) => format!(
-                "orbits {}, timelines {} warm / {} recorded, outcomes cold (persisted)",
-                stats.orbits, stats.timeline_hits, stats.timeline_misses
-            ),
-            None => "disabled (pass --cache-dir to make sweeps resumable)".to_string(),
-        },
+        "mode: full sweep\ncache: {cache_line}\nmeetings: {} of {} member STICs\noutcome table \
+         fingerprint: {:016x}",
         outcomes.met_total(),
         plan.num_member_queries(),
+        table_fingerprint(outcomes.table()),
     ));
     Ok(out)
+}
+
+fn cmd_cache(args: &[String]) -> Result<String, String> {
+    use anonrv_store::Store;
+
+    let dir = args.first().ok_or("missing <dir>")?;
+    let action = args.get(1).map(String::as_str).ok_or("missing action (stats|gc)")?;
+    let store = Store::open(dir).map_err(|e| format!("cannot open cache dir: {e}"))?;
+    match action {
+        "stats" => {
+            let s = store.stats().map_err(|e| format!("cannot survey cache dir: {e}"))?;
+            let row = |kind: &str, k: anonrv_store::KindStats| {
+                format!("  {kind:<10} {:>6} file(s)  {:>12} bytes\n", k.files, k.bytes)
+            };
+            let mut out = format!("cache dir: {dir}\n");
+            out.push_str(&row("orbits", s.orbits));
+            out.push_str(&row("timelines", s.timelines));
+            out.push_str(&row("outcomes", s.outcomes));
+            out.push_str(&row("shards", s.shards));
+            out.push_str(&row("invalid", s.invalid));
+            out.push_str(&row("other", s.other));
+            out.push_str(&format!(
+                "total: {} bytes\ntimeline entries: {}\nrecorded horizons: {}",
+                s.total_bytes(),
+                s.timeline_entries,
+                if s.recorded_horizons.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    s.recorded_horizons.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(", ")
+                },
+            ));
+            Ok(out)
+        }
+        "gc" => {
+            let r = store.gc().map_err(|e| format!("cannot compact cache dir: {e}"))?;
+            Ok(format!(
+                "cache dir: {dir}\nremoved {} file(s), reclaimed {} bytes\n  corrupt/stale: {}\n  \
+                 superseded shard partials: {}\n  orphaned temp files: {}\n  stale lock files: {}",
+                r.removed_files, r.reclaimed_bytes, r.corrupt, r.superseded, r.temp, r.locks,
+            ))
+        }
+        other => Err(format!("unknown cache action '{other}' (stats|gc)")),
+    }
 }
 
 fn cmd_figure1(args: &[String]) -> Result<String, String> {
@@ -645,6 +684,102 @@ mod tests {
 
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn sweep_at_a_smaller_horizon_is_a_prefix_hit_bit_identical_to_a_cold_run() {
+        let dir =
+            std::env::temp_dir().join(format!("anonrv-cli-prefix-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = dir.to_string_lossy().to_string();
+        let line = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("{prefix} in {s}"))
+                .to_string()
+        };
+
+        // populate the cache at horizon 128 ...
+        let long = run(&argv(&[
+            "sweep",
+            "torus:3x4",
+            "--deltas",
+            "3",
+            "--horizon",
+            "128",
+            "--cache-dir",
+            &cache,
+        ]))
+        .unwrap();
+        assert!(long.contains("outcomes cold (persisted)"), "{long}");
+
+        // ... then sweep at 48: prefix hit, zero program executions
+        let short_args =
+            ["sweep", "torus:3x4", "--deltas", "3", "--horizon", "48", "--cache-dir", &cache];
+        let short = run(&argv(&short_args)).unwrap();
+        assert!(short.contains("outcomes warm-prefix (recorded at horizon 128"), "{short}");
+        assert!(short.contains("0 program executions"), "{short}");
+
+        // bit-identical to a cold horizon-48 run (fingerprint + meetings)
+        let cold = run(&argv(&["sweep", "torus:3x4", "--deltas", "3", "--horizon", "48"])).unwrap();
+        assert_eq!(
+            line(&short, "outcome table fingerprint:"),
+            line(&cold, "outcome table fingerprint:"),
+            "prefix-served table diverged from the cold run"
+        );
+        assert_eq!(line(&short, "meetings:"), line(&cold, "meetings:"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_subcommand_surveys_and_compacts_a_populated_directory() {
+        let dir =
+            std::env::temp_dir().join(format!("anonrv-cli-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = dir.to_string_lossy().to_string();
+        let base = ["sweep", "ring:8", "--deltas", "2", "--horizon", "32", "--cache-dir", &cache];
+
+        // populate via a 2-shard run plus its merge (the merge supersedes
+        // the partials), then plant one corrupt artifact
+        for index in 0..2 {
+            let mut argv_: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+            argv_.extend([
+                "--shards".to_string(),
+                "2".to_string(),
+                "--shard-index".to_string(),
+                index.to_string(),
+            ]);
+            run(&argv_).unwrap();
+        }
+        let mut argv_: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        argv_.extend(["--shards".to_string(), "2".to_string(), "--merge".to_string()]);
+        run(&argv_).unwrap();
+        std::fs::write(dir.join("outcomes-0000.anrv"), b"garbage").unwrap();
+
+        let stats = run(&argv(&["cache", &cache, "stats"])).unwrap();
+        assert!(stats.contains("orbits          1 file(s)"), "{stats}");
+        assert!(stats.contains("timelines       1 file(s)"), "{stats}");
+        assert!(stats.contains("outcomes        1 file(s)"), "{stats}");
+        assert!(stats.contains("shards          2 file(s)"), "{stats}");
+        assert!(stats.contains("invalid         1 file(s)"), "{stats}");
+        assert!(stats.contains("recorded horizons: 32"), "{stats}");
+
+        let gc = run(&argv(&["cache", &cache, "gc"])).unwrap();
+        assert!(gc.contains("removed 3 file(s)"), "{gc}");
+        assert!(gc.contains("corrupt/stale: 1"), "{gc}");
+        assert!(gc.contains("superseded shard partials: 2"), "{gc}");
+
+        // the survivors still serve a fully warm sweep
+        let warm = run(&argv(&base)).unwrap();
+        assert!(warm.contains("outcomes warm"), "{warm}");
+
+        // argument validation
+        assert!(run(&argv(&["cache", &cache])).is_err());
+        assert!(run(&argv(&["cache", &cache, "defrag"])).is_err());
+        assert!(run(&argv(&["cache"])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -16,8 +16,9 @@
 
 use anonrv_core::asymm_rv::AsymmRv;
 use anonrv_core::label::{LabelScheme, TrailSignature};
-use anonrv_plan::{PairOrbits, PlannedSweep};
+use anonrv_plan::PairOrbits;
 use anonrv_sim::{EngineConfig, Stic};
+use anonrv_store::{Provenance, SweepSession};
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{compression_note, fmt_opt_rounds, fmt_rounds, PlanCompression, Table};
@@ -71,11 +72,12 @@ pub struct AsymmOutcome {
 /// Run the experiment and return the raw outcome.
 ///
 /// `AsymmRV` is one program per delay *budget* (δ = 0 and δ = 1 share budget
-/// 1), so each budget gets one [`PlannedSweep`]: the workload's pair-orbit
-/// partition (computed once per instance — most of these families are rigid,
-/// where planning degrades to a no-op) collapses equivalent cases, the
-/// trajectory cache is shared by every verified pair and every delay mapping
-/// to the budget, and rayon fans out over the representative merges.
+/// 1), so each budget gets one in-memory [`SweepSession`]: the workload's
+/// pair-orbit partition (computed once per instance — most of these families
+/// are rigid, where planning degrades to a no-op) collapses equivalent
+/// cases, the trajectory cache is shared by every verified pair and every
+/// delay mapping to the budget, and rayon fans out over the representative
+/// merges.
 pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
     let workloads = nonsymmetric_workloads(config.scale);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
@@ -119,18 +121,17 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
             let Some(max_horizon) = cases.iter().map(|c| c.horizon).max() else {
                 continue; // no verified pairs on this instance
             };
-            let planned = PlannedSweep::with_orbits(
+            let mut session = SweepSession::with_orbits(
+                None,
                 &orbits,
+                Provenance::Cold,
                 &w.graph,
                 &program,
+                "",
                 EngineConfig::with_horizon(max_horizon),
             );
-            let (batch, exec) = run_cases_planned(&cases, &planned, &oracle);
-            instance.executed += exec.executed;
-            instance.answered += exec.answered;
-            // in-memory run: every recorded timeline is a cold recording
-            instance.cache_misses += planned.engine().cache().computed();
-            records.extend(batch);
+            records.extend(run_cases_planned(&cases, &mut session, &oracle));
+            instance.absorb(&session.stats());
         }
         plan_stats.push(instance);
     }

@@ -21,8 +21,8 @@
 use anonrv_core::feasibility::{symmetric_trajectories_never_meet, FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::universal_rv::UniversalRv;
-use anonrv_plan::PlannedSweep;
 use anonrv_sim::{simulate, EngineConfig, Round, Stic};
+use anonrv_store::SweepSession;
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{compression_note, fmt_rounds, PlanCompression, Table};
@@ -216,11 +216,11 @@ pub fn collect(config: &InfeasibleConfig) -> Vec<InfeasibleRecord> {
 /// pair-orbit planning statistics of the simulated part.
 ///
 /// The simulated part runs the *same* `UniversalRV` program on every gated
-/// STIC of a workload, so one [`PlannedSweep`] per workload (built at the
-/// largest gated horizon) collapses view-equivalent gated STICs onto one
-/// representative each and records each canonical start node's trajectory
-/// once; rayon fans out over the representative merges and, separately,
-/// over the analytic checks.
+/// STIC of a workload, so one in-memory [`SweepSession`] per workload
+/// (built at the largest gated horizon) collapses view-equivalent gated
+/// STICs onto one representative each and records each canonical start
+/// node's trajectory once; rayon fans out over the representative merges
+/// and, separately, over the analytic checks.
 pub fn collect_with_stats(
     config: &InfeasibleConfig,
 ) -> (Vec<InfeasibleRecord>, Vec<PlanCompression>) {
@@ -267,9 +267,10 @@ pub fn collect_with_stats(
         let mut sims: Vec<Option<(bool, Round)>> = vec![None; cases.len()];
         if !gated.is_empty() {
             let max_horizon = gated.iter().map(|&(_, (_, h))| h).max().expect("gated is non-empty");
-            let sweep = PlannedSweep::new(&w.graph, &algo, EngineConfig::with_horizon(max_horizon));
+            let mut sweep =
+                SweepSession::in_memory(&w.graph, &algo, EngineConfig::with_horizon(max_horizon));
             let queries: Vec<(Stic, Round)> = gated.iter().map(|&(_, q)| q).collect();
-            let (outcomes, exec) = sweep.simulate_many_counted(&queries);
+            let outcomes = sweep.simulate_cases(&queries);
             for (&(i, (_, h)), outcome) in gated.iter().zip(outcomes) {
                 sims[i] = Some((!outcome.met(), h));
             }
@@ -278,10 +279,7 @@ pub fn collect_with_stats(
                 w.n() * w.n(),
                 sweep.orbits().num_pair_classes(),
             );
-            instance.executed = exec.executed;
-            instance.answered = exec.answered;
-            // in-memory run: every recorded timeline is a cold recording
-            instance.cache_misses = sweep.engine().cache().computed();
+            instance.absorb(&sweep.stats());
             stats.push(instance);
         }
         let work: Vec<_> = cases.into_iter().zip(sims).collect();

@@ -169,6 +169,10 @@ pub struct PlanCompression {
     /// Trajectory timelines served warm from the persistent plan cache
     /// (`anonrv-store`); always 0 for in-memory runs without a cache dir.
     pub cache_hits: usize,
+    /// The subset of [`PlanCompression::cache_hits`] served by **prefix
+    /// truncation** of a recording made at a longer horizon (exact-horizon
+    /// hits are `cache_hits - cache_prefix_hits`).
+    pub cache_prefix_hits: usize,
     /// Trajectory timelines recorded cold by executing the agent program.
     pub cache_misses: usize,
     /// Shard provenance when the instance was produced by one slice of a
@@ -196,8 +200,25 @@ impl PlanCompression {
             executed: 0,
             answered: 0,
             cache_hits: 0,
+            cache_prefix_hits: 0,
             cache_misses: 0,
             shard: None,
+        }
+    }
+
+    /// Fold a [`SweepSession`](anonrv_store::SweepSession)'s statistics into
+    /// this instance's accumulator — the one bridge between the
+    /// orchestration layer's [`SessionStats`](anonrv_store::SessionStats)
+    /// and the report tables, so the experiments cannot each count
+    /// differently.
+    pub fn absorb(&mut self, stats: &anonrv_store::SessionStats) {
+        self.executed += stats.executed;
+        self.answered += stats.answered;
+        self.cache_hits += stats.timeline_hits;
+        self.cache_prefix_hits += stats.timeline_prefix_hits;
+        self.cache_misses += stats.timeline_misses;
+        if let Some((index, shards)) = stats.shard {
+            self.shard = Some(ShardProvenance { index, shards });
         }
     }
 
@@ -206,10 +227,19 @@ impl PlanCompression {
         self.pairs as f64 / self.classes as f64
     }
 
-    /// The cache provenance rendered for the note column
-    /// (`"cache 3w/5c"` = 3 timelines warm, 5 recorded cold).
+    /// The cache provenance rendered for the note column: `"cache 3w/5c"` =
+    /// 3 timelines warm, 5 recorded cold; prefix-served hits annotate the
+    /// warm count (`"cache 3w(2p)/5c"` = 2 of the 3 by prefix truncation of
+    /// a longer recording).
     pub fn cache_column(&self) -> String {
-        format!("cache {}w/{}c", self.cache_hits, self.cache_misses)
+        if self.cache_prefix_hits > 0 {
+            format!(
+                "cache {}w({}p)/{}c",
+                self.cache_hits, self.cache_prefix_hits, self.cache_misses
+            )
+        } else {
+            format!("cache {}w/{}c", self.cache_hits, self.cache_misses)
+        }
     }
 
     /// The shard provenance rendered for the note column (`"shard 0/2"`, or
@@ -329,6 +359,7 @@ mod tests {
         ring.executed = 6;
         ring.answered = 24;
         ring.cache_hits = 5;
+        ring.cache_prefix_hits = 2;
         ring.cache_misses = 3;
         ring.shard = Some(ShardProvenance { index: 0, shards: 2 });
         let mut torus = PlanCompression::new("torus-3x4", 144, 12);
@@ -341,7 +372,9 @@ mod tests {
         assert!(note.contains("10 representative simulations for 40 STICs"), "{note}");
         assert!(note.contains("timelines: 5 warm / 15 recorded"), "{note}");
         assert!(
-            note.contains("ring-8: 64 pairs -> 8 orbits (8.0x), 6/24 sims, cache 5w/3c, shard 0/2"),
+            note.contains(
+                "ring-8: 64 pairs -> 8 orbits (8.0x), 6/24 sims, cache 5w(2p)/3c, shard 0/2"
+            ),
             "{note}"
         );
         assert!(
@@ -350,6 +383,35 @@ mod tests {
             ),
             "{note}"
         );
+    }
+
+    #[test]
+    fn absorb_folds_session_stats_into_the_accumulator() {
+        use anonrv_store::{Provenance, SessionStats};
+        let mut instance = PlanCompression::new("torus-3x4", 144, 12);
+        instance.absorb(&SessionStats {
+            orbits: Provenance::Warm,
+            timeline_hits: 4,
+            timeline_prefix_hits: 3,
+            timeline_misses: 2,
+            executed: 7,
+            answered: 20,
+            outcome: None,
+            shard: Some((1, 2)),
+        });
+        instance.absorb(&SessionStats {
+            orbits: Provenance::Warm,
+            timeline_hits: 1,
+            timeline_prefix_hits: 0,
+            timeline_misses: 0,
+            executed: 1,
+            answered: 4,
+            outcome: None,
+            shard: None,
+        });
+        assert_eq!((instance.executed, instance.answered), (8, 24));
+        assert_eq!(instance.cache_column(), "cache 5w(3p)/2c");
+        assert_eq!(instance.shard_column(), "shard 1/2");
     }
 
     #[test]

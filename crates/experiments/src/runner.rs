@@ -16,11 +16,16 @@
 //!   via [`run_case_with_engine`] — the sweeps group their cases by
 //!   `(graph, program, horizon)`, build one engine per group, and fan rayon
 //!   over the cached-timeline merges;
-//! * on top of both, **planning** collapses view-equivalent cases before any
-//!   simulation runs: [`run_cases_planned`] routes a case batch through a
-//!   [`PlannedSweep`], which executes one representative per `(pair orbit,
-//!   δ, horizon)` group and broadcasts the (bit-identical) outcome to every
-//!   member case.
+//! * on top of both, **planning and persistence** collapse view-equivalent
+//!   cases before any simulation runs: [`run_cases_planned`] routes a case
+//!   batch through a [`SweepSession`] — the single orchestrator of
+//!   `anonrv-store` — which canonicalises onto one representative per
+//!   `(pair orbit, δ, horizon)` group, preloads trajectory timelines from a
+//!   persistent store when the session has one (longer recordings serve by
+//!   prefix truncation), broadcasts the (bit-identical) outcome to every
+//!   member case, and persists what it recorded.  The session's
+//!   [`anonrv_store::SessionStats`] feed the report compression notes via
+//!   [`crate::report::PlanCompression::absorb`].
 //!
 //! The oracle-less, engine-less [`run_case`] stays as a convenience for
 //! one-off cases.
@@ -30,8 +35,8 @@ use serde::{Deserialize, Serialize};
 
 use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_graph::{NodeId, PortGraph};
-use anonrv_plan::{ExecStats, PlannedSweep};
 use anonrv_sim::{simulate, AgentProgram, Round, Stic, SweepEngine};
+use anonrv_store::SweepSession;
 
 /// One simulated STIC and its outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -124,25 +129,26 @@ pub fn run_case_with_engine(
     record_outcome(case, engine.program().name(), oracle, outcome)
 }
 
-/// Run a batch of cases through a planned sweep: one representative
+/// Run a batch of cases through a [`SweepSession`]: one representative
 /// simulation per `(pair orbit, δ, horizon)` group, broadcast to every
 /// member case (outcomes are bit-identical to simulating each case; see
-/// `anonrv_plan`).  Classification stays per-case through the O(1) oracle.
-/// Returns the records in case order plus the execution statistics the
-/// reports surface as compression notes.
+/// `anonrv_plan`), with store-backed sessions preloading and persisting
+/// trajectory timelines around the batch.  Classification stays per-case
+/// through the O(1) oracle.  Returns the records in case order; read the
+/// session's [`SweepSession::stats`] afterwards for the compression notes.
 pub fn run_cases_planned(
     cases: &[Case<'_>],
-    planned: &PlannedSweep<'_>,
+    session: &mut SweepSession<'_>,
     oracle: &FeasibilityOracle,
-) -> (Vec<RunRecord>, ExecStats) {
+) -> Vec<RunRecord> {
     let queries: Vec<(Stic, Round)> = cases.iter().map(|c| (c.stic, c.horizon)).collect();
-    let (outcomes, stats) = planned.simulate_many_counted(&queries);
-    let records = cases
+    let outcomes = session.simulate_cases(&queries);
+    let algorithm = session.planned().program().name().to_string();
+    cases
         .iter()
         .zip(outcomes)
-        .map(|(case, outcome)| record_outcome(case, planned.program().name(), oracle, outcome))
-        .collect();
-    (records, stats)
+        .map(|(case, outcome)| record_outcome(case, &algorithm, oracle, outcome))
+        .collect()
 }
 
 fn record_outcome(
@@ -348,7 +354,6 @@ mod tests {
 
     #[test]
     fn planned_batch_matches_per_case_engine_records() {
-        use anonrv_plan::PlannedSweep;
         use anonrv_sim::EngineConfig;
         let g = oriented_ring(6).unwrap();
         let program = AlwaysPortZero;
@@ -365,10 +370,11 @@ mod tests {
                 })
             })
             .collect();
-        let planned = PlannedSweep::new(&g, &program, EngineConfig::with_horizon(80));
+        let mut session = SweepSession::in_memory(&g, &program, EngineConfig::with_horizon(80));
         let engine = SweepEngine::new(&g, &program, EngineConfig::with_horizon(80));
-        let (records, stats) = run_cases_planned(&cases, &planned, &oracle);
+        let records = run_cases_planned(&cases, &mut session, &oracle);
         assert_eq!(records.len(), cases.len());
+        let stats = session.stats();
         assert_eq!(stats.answered, cases.len());
         assert!(stats.executed <= cases.len());
         for (case, record) in cases.iter().zip(&records) {

@@ -25,8 +25,8 @@ use anonrv_core::universal_rv::UniversalRv;
 use anonrv_graph::generators::{circulant, oriented_ring};
 use anonrv_graph::shrink::shrink;
 use anonrv_graph::PortGraph;
-use anonrv_plan::PlannedSweep;
 use anonrv_sim::{EngineConfig, Round, Stic};
+use anonrv_store::SweepSession;
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{compression_note, fmt_opt_rounds, fmt_rounds, PlanCompression, Table};
@@ -161,10 +161,10 @@ pub fn collect(config: &ScalingConfig) -> Vec<ScalingRecord> {
 ///
 /// `UniversalRV` takes no parameters, so all points sharing one instance
 /// run the same program on the same graph: each `(family, n)` gets one
-/// [`PlannedSweep`] at the largest completion bound among its points — the
-/// starting pair is canonicalised onto its pair-orbit representative, the
-/// trajectory cache records each canonical start node once, and every point
-/// is answered at its own bound.
+/// in-memory [`SweepSession`] at the largest completion bound among its
+/// points — the starting pair is canonicalised onto its pair-orbit
+/// representative, the trajectory cache records each canonical start node
+/// once, and every point is answered at its own bound.
 pub fn collect_with_stats(config: &ScalingConfig) -> (Vec<ScalingRecord>, Vec<PlanCompression>) {
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
     let scheme = TrailSignature::new(uxs);
@@ -192,14 +192,11 @@ pub fn collect_with_stats(config: &ScalingConfig) -> (Vec<ScalingRecord>, Vec<Pl
             })
             .collect();
         let max_horizon = queries.iter().map(|&(_, h)| h).max().expect("size groups are non-empty");
-        let sweep = PlannedSweep::new(&g, &algo, EngineConfig::with_horizon(max_horizon));
-        let (outcomes, exec) = sweep.simulate_many_counted(&queries);
+        let mut sweep = SweepSession::in_memory(&g, &algo, EngineConfig::with_horizon(max_horizon));
+        let outcomes = sweep.simulate_cases(&queries);
         let mut instance =
             PlanCompression::new(family.label(*n), n * n, sweep.orbits().num_pair_classes());
-        instance.executed = exec.executed;
-        instance.answered = exec.answered;
-        // in-memory run: every recorded timeline is a cold recording
-        instance.cache_misses = sweep.engine().cache().computed();
+        instance.absorb(&sweep.stats());
         stats.push(instance);
         for (&i, (&(_, horizon), outcome)) in group.iter().zip(queries.iter().zip(outcomes)) {
             let point = config.points[i].clone();

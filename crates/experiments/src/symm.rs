@@ -11,9 +11,9 @@
 
 use anonrv_core::bounds::symm_rv_bound;
 use anonrv_core::symm_rv::SymmRv;
-use anonrv_plan::{PairOrbits, PlannedSweep};
+use anonrv_plan::PairOrbits;
 use anonrv_sim::{EngineConfig, Stic};
-use anonrv_store::Store;
+use anonrv_store::{Provenance, Store, SweepSession};
 use anonrv_uxs::{LengthRule, PseudorandomUxs, UxsProvider};
 
 use crate::report::{
@@ -88,16 +88,28 @@ pub fn collect(config: &SymmConfig) -> Vec<RunRecord> {
     collect_with_stats(config).0
 }
 
+/// A stable cache-key fragment for a [`LengthRule`] (part of the store
+/// program key, so it must distinguish every parameterisation and never
+/// change format gratuitously).
+fn uxs_rule_key(rule: &LengthRule) -> String {
+    match rule {
+        LengthRule::Cubic { c, min_len } => format!("cubic-{c}-{min_len}"),
+        LengthRule::Quadratic { c, min_len } => format!("quad-{c}-{min_len}"),
+        LengthRule::Fixed(len) => format!("fixed-{len}"),
+    }
+}
+
 /// Run the experiment and return the raw records plus the per-instance
 /// pair-orbit planning statistics.
 ///
 /// `SymmRV(n, d, δ)` is one deterministic program per `(d, δ)` parameter
 /// pair, so the sweep groups its cases by `(Shrink, δ)`: every group runs
-/// through one [`PlannedSweep`] — the workload's pair-orbit partition
-/// (computed once per instance) collapses view-equivalent cases onto one
-/// representative each, the underlying trajectory cache records each
-/// canonical start node's walk once, and rayon fans out over the
-/// representative merges before the outcomes are broadcast back.
+/// through one [`SweepSession`] sharing the instance's pair-orbit partition
+/// (probed or computed once) — the partition collapses view-equivalent
+/// cases onto one representative each, the session preloads trajectory
+/// timelines from the store (and persists new recordings back), and rayon
+/// fans out over the representative merges before the outcomes are
+/// broadcast back.
 pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompression>) {
     let workloads = symmetric_workloads(config.scale);
     let uxs = PseudorandomUxs::with_rule(config.uxs_rule);
@@ -130,9 +142,9 @@ pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompr
                 .flat_map(|p| symmetric_delays(p.shrink).into_iter().map(|d| (p.shrink, d))),
         );
         let oracle = anonrv_core::FeasibilityOracle::new(&w.graph);
-        let orbits = match &store {
-            Some(store) => store.orbits(&w.graph).0,
-            None => PairOrbits::compute(&w.graph),
+        let (orbits, orbits_prov) = match &store {
+            Some(store) => store.orbits(&w.graph),
+            None => (PairOrbits::compute(&w.graph), Provenance::Cold),
         };
         let mut instance = PlanCompression::new(w.label.clone(), n * n, orbits.num_pair_classes());
         for (shrink, delta) in groups {
@@ -142,16 +154,24 @@ pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompr
             let bound = symm_rv_bound(n, shrink, delta, m);
             let horizon = bound.saturating_add(delta).saturating_add(1);
             let program = SymmRv::new(n, shrink, delta, &uxs);
-            let planned = PlannedSweep::with_orbits(
+            // the program key pins every parameter the program closes over,
+            // the UXS length rule included — two configs differing only in
+            // `uxs_rule` run different programs and must never share
+            // timelines (the store verifies everything else, but program
+            // identity is exactly the caller's contract)
+            let program_key = format!(
+                "symm-rv-n{n}-d{shrink}-delta{delta}-uxs{}",
+                uxs_rule_key(&config.uxs_rule)
+            );
+            let mut session = SweepSession::with_orbits(
+                store.as_ref(),
                 &orbits,
+                orbits_prov,
                 &w.graph,
                 &program,
+                &program_key,
                 EngineConfig::with_horizon(horizon),
             );
-            // the program key pins every parameter the program closes over
-            let program_key = format!("symm-rv-n{n}-d{shrink}-delta{delta}");
-            let hits =
-                store.as_ref().map_or(0, |store| store.warm_engine(planned.engine(), &program_key));
             let cases: Vec<Case<'_>> = group
                 .iter()
                 .map(|p| Case {
@@ -163,16 +183,8 @@ pub fn collect_with_stats(config: &SymmConfig) -> (Vec<RunRecord>, Vec<PlanCompr
                     bound: Some(bound),
                 })
                 .collect();
-            let (batch, exec) = run_cases_planned(&cases, &planned, &oracle);
-            instance.executed += exec.executed;
-            instance.answered += exec.answered;
-            instance.cache_hits += hits;
-            instance.cache_misses += planned.engine().cache().computed().saturating_sub(hits);
-            if let Some(store) = &store {
-                // a failed write leaves the cache cold but the run correct
-                let _ = store.persist_engine(planned.engine(), &program_key);
-            }
-            records.extend(batch);
+            records.extend(run_cases_planned(&cases, &mut session, &oracle));
+            instance.absorb(&session.stats());
         }
         stats.push(instance);
     }

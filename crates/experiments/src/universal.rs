@@ -17,8 +17,8 @@ use anonrv_core::feasibility::{FeasibilityOracle, SticClass};
 use anonrv_core::label::TrailSignature;
 use anonrv_core::pairing::phase_of;
 use anonrv_core::universal_rv::UniversalRv;
-use anonrv_plan::PlannedSweep;
 use anonrv_sim::{EngineConfig, Round, Stic};
+use anonrv_store::SweepSession;
 use anonrv_uxs::{LengthRule, PseudorandomUxs};
 
 use crate::report::{compression_note, fmt_opt_rounds, fmt_rounds, PlanCompression, Table};
@@ -230,12 +230,12 @@ pub fn collect(config: &UniversalConfig) -> Vec<UniversalRecord> {
 /// pair-orbit planning statistics.
 ///
 /// `UniversalRV` takes no parameters, so every STIC of one instance runs
-/// the *same* program: the sweep builds one [`PlannedSweep`] per instance at
-/// the largest planned horizon — the pair-orbit partition collapses
-/// view-equivalent `(pair, δ, horizon)` cases onto one representative each,
-/// the trajectory cache records each canonical start node once, and rayon
-/// fans out over the representative merges (each case capped at its own,
-/// possibly smaller, horizon).
+/// the *same* program: the sweep opens one in-memory [`SweepSession`] per
+/// instance at the largest planned horizon — the pair-orbit partition
+/// collapses view-equivalent `(pair, δ, horizon)` cases onto one
+/// representative each, the trajectory cache records each canonical start
+/// node once, and rayon fans out over the representative merges (each case
+/// capped at its own, possibly smaller, horizon).
 pub fn collect_with_stats(
     config: &UniversalConfig,
 ) -> (Vec<UniversalRecord>, Vec<PlanCompression>) {
@@ -258,17 +258,15 @@ pub fn collect_with_stats(
             group.iter().map(|p| (Stic::new(p.u, p.v, p.delta), case_horizon(&algo, p))).collect();
         let max_horizon =
             queries.iter().map(|&(_, h)| h).max().expect("instance groups are non-empty");
-        let sweep = PlannedSweep::new(graph, &algo, EngineConfig::with_horizon(max_horizon));
-        let (outcomes, exec) = sweep.simulate_many_counted(&queries);
+        let mut sweep =
+            SweepSession::in_memory(graph, &algo, EngineConfig::with_horizon(max_horizon));
+        let outcomes = sweep.simulate_cases(&queries);
         let mut instance = PlanCompression::new(
             group[0].label.clone(),
             graph.num_nodes() * graph.num_nodes(),
             sweep.orbits().num_pair_classes(),
         );
-        instance.executed = exec.executed;
-        instance.answered = exec.answered;
-        // in-memory run: every recorded timeline is a cold recording
-        instance.cache_misses = sweep.engine().cache().computed();
+        instance.absorb(&sweep.stats());
         stats.push(instance);
         records.extend(group.iter().zip(queries.iter().zip(outcomes)).map(
             |(p, (&(_, horizon), outcome))| UniversalRecord {

@@ -172,6 +172,79 @@ impl<'p> PlannedOutcomes<'p> {
     pub fn met_total(&self) -> usize {
         self.table.iter().filter(|o| o.met()).count() * self.plan.orbits().class_size()
     }
+
+    /// Serve this table at a **smaller** horizon: `plan` must describe the
+    /// same orbits and δ-grid with `plan.horizon() <=` this table's horizon,
+    /// and the result is bit-identical to executing `plan` cold.
+    ///
+    /// Programs propagate `Stop`, so a horizon-`h` run is an exact prefix of
+    /// this table's longer run.  That determines most entries from the table
+    /// alone: a delay beyond `h` is a no-show, and a meeting at global round
+    /// `<= h` happened identically in the prefix (every other outcome field
+    /// is a function of the run up to the meeting).  The one thing a prefix
+    /// *cannot* be read off for is the move/termination totals of a pair
+    /// that has **not** met by `h` — those are totals *at* `h`, which only
+    /// the trajectories know — so such entries are resolved through
+    /// `remerge`, called with the class's representative STIC.  A caller
+    /// holding warm cached timelines answers `remerge` with two timeline
+    /// merges and zero program executions (see `anonrv-store`).
+    pub fn truncate<'q>(
+        &self,
+        plan: &'q SweepPlan,
+        mut remerge: impl FnMut(&Stic) -> SimOutcome,
+    ) -> Result<PlannedOutcomes<'q>, String> {
+        validate_truncation(self.plan, plan)?;
+        let h = plan.horizon();
+        let ndeltas = plan.deltas().len();
+        let table = self
+            .table
+            .iter()
+            .enumerate()
+            .map(|(slot, o)| match prefix_determined(o, plan.deltas()[slot % ndeltas], h) {
+                Some(truncated) => truncated,
+                None => {
+                    let (r, c) = plan.orbits().representative(slot / ndeltas);
+                    remerge(&Stic::new(r, c, plan.deltas()[slot % ndeltas]))
+                }
+            })
+            .collect();
+        Ok(PlannedOutcomes { plan, table })
+    }
+}
+
+/// Check that `plan` is a valid truncation target of `full`: the same
+/// partition and δ-grid at a horizon the recorded table covers.
+fn validate_truncation(full: &SweepPlan, plan: &SweepPlan) -> Result<(), String> {
+    if plan.orbits() != full.orbits() {
+        return Err("cannot truncate onto a different graph / partition".into());
+    }
+    if plan.deltas() != full.deltas() {
+        return Err("cannot truncate onto a different delay grid".into());
+    }
+    if plan.horizon() > full.horizon() {
+        return Err(format!(
+            "cannot extend a horizon-{} table to {}",
+            full.horizon(),
+            plan.horizon()
+        ));
+    }
+    Ok(())
+}
+
+/// The horizon-`h` outcome a longer-horizon entry determines by the prefix
+/// property alone, or `None` when only the trajectories know (no meeting by
+/// `h`: the move/termination totals are totals *at* `h`).
+fn prefix_determined(o: &SimOutcome, delta: Round, h: Round) -> Option<SimOutcome> {
+    if delta > h {
+        // the later agent never appears within the horizon
+        return Some(SimOutcome::no_show(h));
+    }
+    match &o.meeting {
+        // the meeting is in the prefix; every other field is a function of
+        // the run up to it
+        Some(m) if m.global_round <= h => Some(SimOutcome { horizon: h, ..*o }),
+        _ => None,
+    }
 }
 
 /// Execution statistics of a planned query batch: how many representative
@@ -402,6 +475,45 @@ impl<'a> PlannedSweep<'a> {
         per_class.into_iter().flatten().collect()
     }
 
+    /// Serve a longer-horizon outcome table at `plan`'s smaller horizon —
+    /// [`PlannedOutcomes::truncate`] with the undetermined entries
+    /// re-merged **in parallel** (rayon) through this sweep's trajectory
+    /// cache, which on a warm cache costs timeline merges only, never a
+    /// program execution.  Returns the truncated table and the number of
+    /// entries that had to re-merge.
+    pub fn serve_prefix<'p>(
+        &self,
+        full: &PlannedOutcomes<'_>,
+        plan: &'p SweepPlan,
+    ) -> Result<(PlannedOutcomes<'p>, usize), String> {
+        validate_truncation(full.plan(), plan)?;
+        let h = plan.horizon();
+        let ndeltas = plan.deltas().len().max(1);
+        // resolve the undetermined slots up front, fanning rayon out over
+        // the merges exactly as a cold `run` would
+        let jobs: Vec<Stic> = full
+            .table()
+            .iter()
+            .enumerate()
+            .filter(|(slot, o)| prefix_determined(o, plan.deltas()[slot % ndeltas], h).is_none())
+            .map(|(slot, _)| {
+                let (r, c) = plan.orbits().representative(slot / ndeltas);
+                Stic::new(r, c, plan.deltas()[slot % ndeltas])
+            })
+            .collect();
+        let resolved: Vec<SimOutcome> =
+            jobs.par_iter().map(|stic| self.engine.simulate_capped(stic, h)).collect();
+        // `truncate` visits slots in order, so the resolved outcomes drain
+        // in lockstep with its remerge calls
+        let mut drain = jobs.iter().zip(resolved);
+        let outcomes = full.truncate(plan, |stic| {
+            let (expected, outcome) = drain.next().expect("one resolved outcome per remerge");
+            debug_assert_eq!(stic, expected, "remerge order diverged from the job list");
+            outcome
+        })?;
+        Ok((outcomes, jobs.len()))
+    }
+
     /// Validate the broadcast on a deterministic sample: every
     /// `sample_every`-th non-representative member query of the plan's grid
     /// is re-simulated *directly* through the underlying engine (no
@@ -548,6 +660,47 @@ mod tests {
         }
         // from_table rejects a mis-sized table
         assert!(PlannedOutcomes::from_table(&plan, vec![]).is_err());
+    }
+
+    #[test]
+    fn truncated_tables_are_bit_identical_to_cold_runs_at_the_smaller_horizon() {
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let deltas: Vec<Round> = vec![0, 2, 5, 40];
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let full_plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), 64);
+        let full = planned.run(&full_plan);
+        for h in [0 as Round, 1, 3, 10, 30, 64] {
+            let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), h);
+            let mut remerged = 0usize;
+            let served = full
+                .truncate(&plan, |stic| {
+                    remerged += 1;
+                    planned.engine().simulate_capped(stic, h)
+                })
+                .unwrap();
+            let cold = planned.run(&plan);
+            assert_eq!(served.table(), cold.table(), "horizon {h}");
+            // prefix-determined entries never hit the remerge callback
+            let undetermined = full
+                .table()
+                .iter()
+                .enumerate()
+                .filter(|(slot, o)| {
+                    let delta = deltas[slot % deltas.len()];
+                    delta <= h && o.meeting.is_none_or(|m| m.global_round > h)
+                })
+                .count();
+            assert_eq!(remerged, undetermined, "horizon {h}: remerge call count");
+        }
+        // refusals: longer horizon, different grid, different partition
+        let longer = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), 65);
+        assert!(full.truncate(&longer, |_| unreachable!()).is_err());
+        let other_grid = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 10);
+        assert!(full.truncate(&other_grid, |_| unreachable!()).is_err());
+        let other_graph = oriented_ring(12).unwrap();
+        let foreign = SweepPlan::new(&other_graph, deltas, 10);
+        assert!(full.truncate(&foreign, |_| unreachable!()).is_err());
     }
 
     #[test]

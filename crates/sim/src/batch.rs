@@ -281,6 +281,45 @@ impl Timeline {
         self.recorded_horizon
     }
 
+    /// The exact prefix of this timeline up to a smaller local `horizon`:
+    /// **bit-identical** — segments included — to recording the same program
+    /// fresh at `horizon`, because programs propagate [`Stop`] and a
+    /// truncated run is therefore a prefix of the longer one (see the module
+    /// docs).  This is what lets a persistent store record timelines once at
+    /// the largest horizon ever requested and serve every smaller one.
+    ///
+    /// # Panics
+    /// Panics if `horizon` exceeds the recorded horizon (a longer run cannot
+    /// be synthesised from a shorter recording).
+    pub fn truncate(&self, horizon: Round) -> Timeline {
+        assert!(
+            horizon <= self.recorded_horizon,
+            "cannot extend a horizon-{} recording to {horizon}",
+            self.recorded_horizon
+        );
+        if horizon == self.recorded_horizon {
+            return self.clone();
+        }
+        if self.terminated && self.finite_end <= horizon + 1 {
+            // the program ended by itself within the smaller horizon: the
+            // truncated run is the whole run (tail included)
+            let mut t = self.clone();
+            t.recorded_horizon = horizon;
+            return t;
+        }
+        // the run is cut at `horizon`: a segment opened by a move at local
+        // round `horizon` (start = horizon + 1) never happens, and the
+        // segment covering `horizon` ends at horizon + 1 exactly as a
+        // horizon-cut wait records it
+        let keep = self.segs.partition_point(|s| s.start <= horizon);
+        let mut segs: Vec<Seg> = self.segs[..keep].to_vec();
+        let last = segs.last_mut().expect("the initial segment starts at round 0");
+        last.end = last.end.min(horizon + 1);
+        let finite_end = last.end;
+        let total_moves = (segs.len() - 1) as u64;
+        Self::assemble(self.num_graph_nodes(), horizon, segs, finite_end, total_moves, false, None)
+    }
+
     /// Node count of the graph the timeline was recorded on.
     pub fn num_graph_nodes(&self) -> usize {
         self.occ_starts.len() - 1
@@ -1055,6 +1094,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn truncate_is_bit_identical_to_a_cold_recording_at_the_smaller_horizon() {
+        let g = oriented_torus(3, 4).unwrap();
+        for lifetime in [None, Some(4), Some(9)] {
+            let program = ScriptedStepper { lifetime };
+            for start in [0usize, 5, 11] {
+                let long = Timeline::record(&g, &program, start, 40);
+                for horizon in [0 as Round, 1, 2, 7, 15, 39, 40] {
+                    let truncated = long.truncate(horizon);
+                    let cold = Timeline::record(&g, &program, start, horizon);
+                    assert_eq!(
+                        truncated.segments().collect::<Vec<_>>(),
+                        cold.segments().collect::<Vec<_>>(),
+                        "start {start} lifetime {lifetime:?} horizon {horizon}: segments diverged"
+                    );
+                    assert_eq!(truncated.recorded_horizon(), horizon);
+                    assert_eq!(truncated.terminated(), cold.terminated());
+                    assert_eq!(truncated.total_moves(), cold.total_moves());
+                    // and the truncated timeline answers merges identically
+                    let other = Timeline::record(&g, &program, (start + 3) % g.num_nodes(), 40);
+                    for delta in [0 as Round, 1, 5] {
+                        if delta > horizon {
+                            continue;
+                        }
+                        let stic = Stic::new(start, (start + 3) % g.num_nodes(), delta);
+                        assert_eq!(
+                            merge_timelines(&truncated, &other, &stic, horizon),
+                            merge_timelines(&cold, &other, &stic, horizon),
+                            "merge diverged on {stic} at horizon {horizon}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend")]
+    fn truncate_refuses_to_extend_a_recording() {
+        let g = oriented_ring(5).unwrap();
+        let t = Timeline::record(&g, &mover(), 0, 10);
+        let _ = t.truncate(11);
     }
 
     #[test]

@@ -138,9 +138,9 @@ pub struct SimOutcome {
 impl SimOutcome {
     /// The outcome of a simulation in which the later agent never even
     /// appeared within the horizon (`delay > horizon`): no meeting, no
-    /// observed work.  Shared by every engine so the convention cannot
-    /// drift.
-    pub(crate) fn no_show(horizon: Round) -> Self {
+    /// observed work.  Shared by every engine — and by the plan layer's
+    /// outcome-table truncation — so the convention cannot drift.
+    pub fn no_show(horizon: Round) -> Self {
         SimOutcome {
             meeting: None,
             earlier_moves: 0,
@@ -410,15 +410,32 @@ fn coordinate(rx_a: Receiver<Msg>, rx_b: Receiver<Msg>, stic: &Stic, horizon: Ro
     a.absorb_leading_waits();
     b.absorb_leading_waits();
 
-    let mut meeting = None;
     loop {
         // overlap of the two current segments
         let lo = a.seg_start.max(b.seg_start);
         let hi = a.seg_end.min(b.seg_end);
         if lo < hi && a.node == b.node && lo <= horizon {
-            meeting =
-                Some(Meeting { global_round: lo, later_round: lo - stic.delay, node: a.node });
-            break;
+            // Counters are taken from the cursor state *at the meeting* —
+            // not from the agents' final `Done` totals, which describe the
+            // whole run and race ahead of the meeting round for programs
+            // that finish quickly: every consumed move opened a segment at
+            // or before this one, and an agent counts as terminated only
+            // when the meeting lands on its parked-forever tail (exactly
+            // the lockstep/batch convention, keeping the engines
+            // bit-identical).  Dropping the cursors afterwards unblocks and
+            // interrupts the agents if they are still running.
+            return SimOutcome {
+                meeting: Some(Meeting {
+                    global_round: lo,
+                    later_round: lo - stic.delay,
+                    node: a.node,
+                }),
+                earlier_moves: a.consumed_moves,
+                later_moves: b.consumed_moves,
+                earlier_terminated: a.seg_end == INFINITY,
+                later_terminated: b.seg_end == INFINITY,
+                horizon,
+            };
         }
         if lo > horizon {
             break;
@@ -433,13 +450,13 @@ fn coordinate(rx_a: Receiver<Msg>, rx_b: Receiver<Msg>, stic: &Stic, horizon: Ro
         }
     }
 
-    // Settle the per-agent counters, then drop the receivers (unblocking and
-    // interrupting the agents if they are still running).
+    // No meeting: settle the per-agent counters, then drop the receivers
+    // (unblocking and interrupting the agents if they are still running).
     let (a_moves, a_term) = drain(a);
     let (b_moves, b_term) = drain(b);
 
     SimOutcome {
-        meeting,
+        meeting: None,
         earlier_moves: a_moves,
         later_moves: b_moves,
         earlier_terminated: a_term,
@@ -815,6 +832,39 @@ mod tests {
         assert_eq!(m.global_round, 7);
         assert_eq!(m.later_round, 0);
         assert_eq!(m.node, 3);
+    }
+
+    #[test]
+    fn meeting_before_a_quick_termination_reports_identical_flags_on_every_engine() {
+        // the program waits 4 rounds then stops; with delay 3 the agents
+        // meet at global round 3, *before* the earlier agent terminates at
+        // round 4 — the streaming coordinator must not leak the agent's
+        // final Done{terminated} into a meeting that precedes it
+        let wait_then_stop = |nav: &mut dyn Navigator| -> Result<(), Stop> {
+            nav.wait(4)?;
+            Ok(())
+        };
+        let g = oriented_ring(5).unwrap();
+        let stic = Stic::new(0, 0, 3);
+        let reference =
+            simulate_with(&g, &wait_then_stop, &wait_then_stop, &stic, EngineConfig::lockstep(59));
+        assert_eq!(reference.meeting.map(|m| m.global_round), Some(3));
+        assert!(!reference.earlier_terminated, "the earlier agent is still mid-wait");
+        assert!(!reference.later_terminated);
+        for config in [EngineConfig::streaming(59), EngineConfig::batch(59)] {
+            let out = simulate_with(&g, &wait_then_stop, &wait_then_stop, &stic, config);
+            assert_eq!(out, reference, "{:?} diverged", config.mode);
+        }
+        // whereas a meeting ON the parked-forever tail keeps the flag set
+        let stic = Stic::new(0, 0, 6);
+        let reference =
+            simulate_with(&g, &wait_then_stop, &wait_then_stop, &stic, EngineConfig::lockstep(59));
+        assert_eq!(reference.meeting.map(|m| m.global_round), Some(6));
+        assert!(reference.earlier_terminated, "the earlier agent parked at round 4");
+        for config in [EngineConfig::streaming(59), EngineConfig::batch(59)] {
+            let out = simulate_with(&g, &wait_then_stop, &wait_then_stop, &stic, config);
+            assert_eq!(out, reference, "{:?} diverged", config.mode);
+        }
     }
 
     /// Deterministic pseudo-random walker: each round takes port

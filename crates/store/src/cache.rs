@@ -2,15 +2,28 @@
 //!
 //! A [`Store`] is a directory of checksummed artifacts keyed by the
 //! [`canonical hash`](anonrv_graph::fingerprint) of the graph they were
-//! derived from (plus, where relevant, the *program key* and horizon of the
-//! recording).  Three artifact families cover everything a planned sweep
-//! computes:
+//! derived from (plus, where relevant, the *program key* of the recording).
+//! Three artifact families cover everything a planned sweep computes:
 //!
 //! | artifact | key | skips on a warm hit |
 //! |---|---|---|
 //! | automorphism group / pair orbits | graph | planning (group search) |
-//! | trajectory timelines | graph + program key + horizon | every program execution |
-//! | plan outcome tables | graph + program key + plan | the whole sweep |
+//! | trajectory timelines | graph + program key | every program execution |
+//! | plan outcome tables | graph + program key + δ-grid | the whole sweep |
+//!
+//! ## Horizon-generic keying
+//!
+//! Horizons are deliberately **not** part of any artifact key: they are
+//! recorded *inside* the frame (per timeline entry, and once per outcome
+//! table).  Programs propagate `Stop`, so a horizon-`h` run is an exact
+//! prefix of a horizon-`H >= h` run — which makes one recording at the
+//! largest horizon ever requested serve every smaller one, bit-identically,
+//! by prefix truncation ([`Timeline::truncate`],
+//! [`anonrv_plan::PlannedOutcomes::truncate`]).  Lookups therefore hit
+//! whenever `recorded >= needed`; writes supersede shorter recordings in
+//! place (a longer recording replaces a shorter one, never the reverse); and
+//! [`Store::gc`] garbage-collects frames that can no longer serve anything
+//! (corrupt, version-stale, or shard partials superseded by a merged table).
 //!
 //! Every load path is **fallible by design**: a missing file, a truncated
 //! file, a corrupted payload, a format-version mismatch or an identity
@@ -35,10 +48,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use anonrv_graph::{NodeId, PortGraph};
-use anonrv_plan::{Automorphisms, PairOrbits, PlannedSweep, SweepPlan};
-use anonrv_sim::{
-    AgentProgram, EngineConfig, Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineSeg,
-};
+use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan};
+use anonrv_sim::{Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineSeg};
 
 use crate::codec::{fnv64, unframe, Dec, Enc, Kind};
 
@@ -69,24 +80,16 @@ impl std::fmt::Display for Provenance {
     }
 }
 
-/// Warm/cold breakdown of preparing one planned sweep through a [`Store`]
-/// (what the experiment tables and the CLI surface as cache provenance).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WarmStats {
-    /// Whether the pair-orbit partition was loaded or computed.
-    pub orbits: Provenance,
-    /// Trajectory timelines preloaded from the store.
-    pub timeline_hits: usize,
-    /// Timelines that had to be recorded by executing the program.
-    pub timeline_misses: usize,
-}
-
-impl WarmStats {
-    /// Fill in [`WarmStats::timeline_misses`] after the sweep ran: every
-    /// timeline the engine recorded beyond the preloaded ones was a miss.
-    pub fn record_misses(&mut self, engine: &SweepEngine<'_>) {
-        self.timeline_misses = engine.cache().computed().saturating_sub(self.timeline_hits);
-    }
+/// How many timelines a [`Store::warm_engine`] call installed, and how many
+/// of those were served by prefix truncation of a longer recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmedTimelines {
+    /// Timelines installed into the engine's trajectory cache.
+    pub installed: usize,
+    /// The subset recorded at a horizon strictly above the engine's and
+    /// served by [`Timeline::truncate`] (exact-horizon hits are
+    /// `installed - prefix`).
+    pub prefix: usize,
 }
 
 /// A content-addressed directory of planning artifacts.  See the module
@@ -228,22 +231,24 @@ impl Store {
 
     // -- timelines ---------------------------------------------------------
 
-    fn timelines_path(&self, g: &PortGraph, program_key: &str, horizon: Round) -> PathBuf {
-        let mut key = Vec::from(program_key.as_bytes());
-        key.extend_from_slice(&horizon.to_le_bytes());
-        self.root.join(format!("timelines-{:032x}-{:016x}.anrv", g.canonical_hash(), fnv64(&key)))
+    fn timelines_path(&self, g: &PortGraph, program_key: &str) -> PathBuf {
+        self.root.join(format!(
+            "timelines-{:032x}-{:016x}.anrv",
+            g.canonical_hash(),
+            fnv64(program_key.as_bytes())
+        ))
     }
 
-    /// Load every recorded timeline of `(g, program_key, horizon)`, or
-    /// `None` on any miss.  Each timeline is structurally re-validated by
-    /// [`Timeline::from_segments`]; one bad entry rejects the whole file.
+    /// Load every recorded timeline of `(g, program_key)` — each carrying
+    /// its **own** recorded horizon — or `None` on any miss.  Each timeline
+    /// is structurally re-validated by [`Timeline::from_segments`]; one bad
+    /// entry rejects the whole file.
     pub fn load_timelines(
         &self,
         g: &PortGraph,
         program_key: &str,
-        horizon: Round,
     ) -> Option<Vec<(NodeId, Timeline)>> {
-        let bytes = fs::read(self.timelines_path(g, program_key, horizon)).ok()?;
+        let bytes = fs::read(self.timelines_path(g, program_key)).ok()?;
         let mut d = unframe(Kind::Timelines, &bytes)?;
         if d.u128()? != g.canonical_hash() {
             return None;
@@ -252,7 +257,7 @@ impl Store {
         if n != g.num_nodes() {
             return None;
         }
-        if d.str()? != program_key || d.u128()? != horizon {
+        if d.str()? != program_key {
             return None;
         }
         let count = d.usize()?;
@@ -264,6 +269,7 @@ impl Store {
                 return None;
             }
             seen[start] = true;
+            let horizon = d.u128()?;
             let nsegs = d.usize()?;
             let mut segs = Vec::with_capacity(nsegs);
             for _ in 0..nsegs {
@@ -277,22 +283,22 @@ impl Store {
         d.exhausted().then_some(out)
     }
 
-    /// Persist a set of recorded timelines.  Returns the artifact path.
+    /// Persist a set of recorded timelines, each at its own recorded
+    /// horizon.  Returns the artifact path.
     pub fn save_timelines(
         &self,
         g: &PortGraph,
         program_key: &str,
-        horizon: Round,
         timelines: &[(NodeId, &Timeline)],
     ) -> io::Result<PathBuf> {
         let mut e = Enc::new();
         e.u128(g.canonical_hash());
         e.usize(g.num_nodes());
         e.str(program_key);
-        e.u128(horizon);
         e.usize(timelines.len());
         for (start, t) in timelines {
             e.usize(*start);
+            e.u128(t.recorded_horizon());
             e.usize(t.num_segments());
             for seg in t.segments() {
                 e.usize(seg.node);
@@ -300,75 +306,83 @@ impl Store {
                 e.u128(seg.end);
             }
         }
-        let path = self.timelines_path(g, program_key, horizon);
+        let path = self.timelines_path(g, program_key);
         self.write_atomic(&path, &e.into_frame(Kind::Timelines))?;
         Ok(path)
     }
 
-    /// Preload a sweep engine's trajectory cache from the store.  Returns
-    /// the number of timelines installed; queries on those start nodes skip
-    /// program execution entirely.
-    pub fn warm_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> usize {
+    /// Preload a sweep engine's trajectory cache from the store.  Every
+    /// stored timeline whose recorded horizon covers the engine's is
+    /// installed — truncated to the engine horizon by
+    /// [`Timeline::truncate`] when recorded longer, which is exact (and
+    /// byte-identical to a cold recording at that horizon) because truncated
+    /// runs are prefixes.  Queries on installed start nodes skip program
+    /// execution entirely.
+    pub fn warm_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> WarmedTimelines {
         let cache = engine.cache();
         let horizon = cache.horizon();
-        let Some(timelines) = self.load_timelines(cache.graph(), program_key, horizon) else {
-            return 0;
+        let Some(timelines) = self.load_timelines(cache.graph(), program_key) else {
+            return WarmedTimelines::default();
         };
-        timelines.into_iter().filter(|(u, t)| cache.preload(*u, t.clone())).count()
+        let mut warmed = WarmedTimelines::default();
+        for (u, t) in timelines {
+            if t.recorded_horizon() < horizon {
+                continue; // too short to stand in for a fresh recording
+            }
+            let prefix = t.recorded_horizon() > horizon;
+            let t = if prefix { t.truncate(horizon) } else { t };
+            if cache.preload(u, t) {
+                warmed.installed += 1;
+                warmed.prefix += usize::from(prefix);
+            }
+        }
+        warmed
     }
 
     /// Persist every timeline a sweep engine has recorded so far, merged
     /// with whatever the store already holds for the same key (so shard
     /// processes touching different classes accumulate one shared
-    /// artifact).  The read-merge-write sequence runs under an advisory
-    /// lock so concurrent shards cannot drop each other's contributions.
-    /// Returns the number of timelines in the written artifact.
+    /// artifact).  Per start node the **longer** recording wins — a fresh
+    /// recording supersedes a shorter one on disk in place, and a longer
+    /// recording on disk is never clobbered by a shorter in-memory one
+    /// (both are prefixes of the same run, so nothing is ever lost).  The
+    /// read-merge-write sequence runs under an advisory lock so concurrent
+    /// shards cannot drop each other's contributions.  Returns the number
+    /// of timelines in the written artifact.
     pub fn persist_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> io::Result<usize> {
         let cache = engine.cache();
         let g = cache.graph();
-        let horizon = cache.horizon();
-        self.with_lock(&self.timelines_path(g, program_key, horizon), || {
+        self.with_lock(&self.timelines_path(g, program_key), || {
             let mut merged: Vec<Option<Timeline>> = vec![None; g.num_nodes()];
-            if let Some(existing) = self.load_timelines(g, program_key, horizon) {
+            if let Some(existing) = self.load_timelines(g, program_key) {
                 for (u, t) in existing {
                     merged[u] = Some(t);
                 }
             }
             for (u, t) in cache.computed_timelines() {
-                // freshly recorded timelines are authoritative (and
-                // identical, programs being deterministic)
-                merged[u] = Some(t.clone());
+                // keep the longer recording; at equal horizons the contents
+                // are identical (programs being deterministic)
+                let keep_fresh = merged[u]
+                    .as_ref()
+                    .is_none_or(|old| old.recorded_horizon() <= t.recorded_horizon());
+                if keep_fresh {
+                    merged[u] = Some(t.clone());
+                }
             }
             let owned: Vec<(NodeId, Timeline)> =
                 merged.into_iter().enumerate().filter_map(|(u, t)| t.map(|t| (u, t))).collect();
             let borrowed: Vec<(NodeId, &Timeline)> = owned.iter().map(|(u, t)| (*u, t)).collect();
-            self.save_timelines(g, program_key, horizon, &borrowed)?;
+            self.save_timelines(g, program_key, &borrowed)?;
             Ok(borrowed.len())
         })
     }
 
-    /// Prepare a store-backed planned sweep in one call: pair orbits warm
-    /// or cold, trajectory timelines preloaded.  After running, call
-    /// [`WarmStats::record_misses`] with the sweep's engine and
-    /// [`Store::persist_engine`] to write newly recorded timelines back.
-    pub fn prepare_sweep<'a>(
-        &self,
-        graph: &'a PortGraph,
-        program: &'a dyn AgentProgram,
-        program_key: &str,
-        config: EngineConfig,
-    ) -> (PlannedSweep<'a>, WarmStats) {
-        let (orbits, orbit_prov) = self.orbits(graph);
-        let planned = PlannedSweep::from_orbits(orbits, graph, program, config);
-        let hits = self.warm_engine(planned.engine(), program_key);
-        (planned, WarmStats { orbits: orbit_prov, timeline_hits: hits, timeline_misses: 0 })
-    }
-
     // -- plan outcome tables -----------------------------------------------
 
+    /// Filename key of one `(program, δ-grid, partition)` sweep family —
+    /// horizons deliberately excluded (see the module docs).
     fn outcomes_key(&self, program_key: &str, plan: &SweepPlan) -> u64 {
         let mut key = Vec::from(program_key.as_bytes());
-        key.extend_from_slice(&plan.horizon().to_le_bytes());
         key.extend_from_slice(&(plan.deltas().len() as u64).to_le_bytes());
         for &d in plan.deltas() {
             key.extend_from_slice(&d.to_le_bytes());
@@ -377,8 +391,8 @@ impl Store {
         fnv64(&key)
     }
 
-    /// Filename stem shared by every artifact of one `(graph, program,
-    /// plan)` sweep, so outcome tables and their shards sort together.
+    /// Filename stem shared by the outcome table and the shard partials of
+    /// one `(graph, program, δ-grid)` sweep family, so they sort together.
     pub(crate) fn plan_artifact_stem(
         &self,
         g: &PortGraph,
@@ -392,34 +406,29 @@ impl Store {
         self.root.join(format!("outcomes-{}.anrv", self.plan_artifact_stem(g, program_key, plan)))
     }
 
-    /// Load the full representative-outcome table of `(g, program_key,
-    /// plan)` — the result of a previous [`anonrv_plan::PlannedSweep::run`]
-    /// — or `None` on any miss.  A hit makes the whole sweep (planning,
-    /// recording *and* merging) unnecessary; wrap the table with
-    /// [`anonrv_plan::PlannedOutcomes::from_table`].
+    /// Load the representative-outcome table of `(g, program_key, plan)` —
+    /// the result of a previous [`anonrv_plan::PlannedSweep::run`] at a
+    /// horizon of **at least** `plan.horizon()` — or `None` on any miss.
+    /// Returns the table together with the horizon it was recorded at:
+    /// equal to `plan.horizon()` on an exact hit, larger on a prefix hit
+    /// (truncate it down with [`anonrv_plan::PlannedOutcomes::truncate`]).
     pub fn load_plan_outcomes(
         &self,
         g: &PortGraph,
         program_key: &str,
         plan: &SweepPlan,
-    ) -> Option<Vec<SimOutcome>> {
+    ) -> Option<(Vec<SimOutcome>, Round)> {
         let bytes = fs::read(self.outcomes_path(g, program_key, plan)).ok()?;
-        let mut d = unframe(Kind::Outcomes, &bytes)?;
-        decode_plan_identity(&mut d, g, program_key, plan)?;
-        let len = d.usize()?;
-        if len != plan.num_representative_queries() {
-            return None;
-        }
-        let mut table = Vec::with_capacity(len);
-        for _ in 0..len {
-            table.push(decode_outcome(&mut d)?);
-        }
-        d.exhausted().then_some(table)
+        let (table, recorded) = decode_outcomes_payload(&bytes, g, program_key, plan)?;
+        (recorded >= plan.horizon()).then_some((table, recorded))
     }
 
     /// Persist an executed plan's representative-outcome table
     /// (class-major, δ-minor, as produced by
-    /// [`anonrv_plan::PlannedSweep::run`]).  Returns the artifact path.
+    /// [`anonrv_plan::PlannedSweep::run`]), recorded at `plan.horizon()`.
+    /// A table already on disk at a **longer** horizon is left in place (it
+    /// serves this plan by prefix truncation); a shorter one is superseded.
+    /// Returns the artifact path.
     pub fn save_plan_outcomes(
         &self,
         g: &PortGraph,
@@ -432,22 +441,342 @@ impl Store {
             plan.num_representative_queries(),
             "outcome table does not match the plan"
         );
-        let mut e = Enc::new();
-        encode_plan_identity(&mut e, g, program_key, plan);
-        e.usize(table.len());
-        for o in table {
-            encode_outcome(&mut e, o);
-        }
         let path = self.outcomes_path(g, program_key, plan);
-        self.write_atomic(&path, &e.into_frame(Kind::Outcomes))?;
+        self.with_lock(&path, || {
+            if let Ok(bytes) = fs::read(&path) {
+                if let Some((_, recorded)) = decode_outcomes_payload(&bytes, g, program_key, plan) {
+                    if recorded >= plan.horizon() {
+                        return Ok(()); // the disk already serves this horizon
+                    }
+                }
+            }
+            let mut e = Enc::new();
+            encode_plan_identity(&mut e, g, program_key, plan);
+            e.u128(plan.horizon());
+            e.usize(table.len());
+            for o in table {
+                encode_outcome(&mut e, o);
+            }
+            self.write_atomic(&path, &e.into_frame(Kind::Outcomes))
+        })?;
         Ok(path)
     }
+
+    // -- stats and compaction ----------------------------------------------
+
+    /// Aggregate statistics of the cache directory: artifact counts and
+    /// bytes per kind, plus every recorded horizon found inside the frames
+    /// (what `anonrv cache stats` prints).
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let mut stats = CacheStats::default();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = entry.metadata()?.len();
+            let Some(kind) = kind_of_filename(&name) else {
+                stats.other.add(bytes);
+                continue;
+            };
+            let contents = fs::read(entry.path()).unwrap_or_default();
+            let Some(payload) = peek_payload(kind, &contents) else {
+                stats.invalid.add(bytes);
+                continue;
+            };
+            match kind {
+                Kind::Orbits => stats.orbits.add(bytes),
+                Kind::Timelines => {
+                    stats.timelines.add(bytes);
+                    if let Some(horizons) = peek_timeline_horizons(payload) {
+                        stats.timeline_entries += horizons.len();
+                        stats.recorded_horizons.extend(horizons);
+                    }
+                }
+                Kind::Outcomes => {
+                    stats.outcomes.add(bytes);
+                    if let Some((_, recorded)) = peek_table_identity(payload) {
+                        stats.recorded_horizons.push(recorded);
+                    }
+                }
+                Kind::Shard => {
+                    stats.shards.add(bytes);
+                    if let Some((_, horizon)) = peek_table_identity(payload) {
+                        stats.recorded_horizons.push(horizon);
+                    }
+                }
+            }
+        }
+        stats.recorded_horizons.sort_unstable();
+        stats.recorded_horizons.dedup();
+        Ok(stats)
+    }
+
+    /// Compact the cache directory: delete frames that can no longer serve
+    /// anything — corrupt or format-stale artifacts, orphaned temp files,
+    /// stale lock files, and shard partials superseded by a merged outcome
+    /// table recorded at a horizon covering theirs.  Returns what was
+    /// reclaimed.  Valid artifacts and foreign files (anything the store
+    /// did not name itself) are never touched, so `gc` is always safe to
+    /// run, including next to live shard processes (in-flight temp and
+    /// lock files younger than 60 s are left alone).
+    pub fn gc(&self) -> io::Result<GcReport> {
+        self.gc_with_min_age(std::time::Duration::from_secs(60))
+    }
+
+    /// [`Store::gc`] with an explicit staleness threshold for temp and lock
+    /// files (tests shrink it to zero; operators want the 60 s default so a
+    /// live writer's in-flight files survive).
+    pub fn gc_with_min_age(&self, min_age: std::time::Duration) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let mut shards: Vec<(PathBuf, u64, PlanIdentity, Round)> = Vec::new();
+        let mut merged: Vec<(PlanIdentity, Round)> = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = entry.metadata()?.len();
+            // only the store's OWN side files are eligible: the advisory
+            // locks and atomic-write temps it derives from its artifact
+            // names.  Anything else — an operator's notes, another tool's
+            // staging files — is foreign and left alone, exactly like
+            // unrecognised `.anrv`-less files below.
+            let own_prefix = ["orbits-", "timelines-", "outcomes-", "shard-"]
+                .iter()
+                .any(|p| name.starts_with(p));
+            if own_prefix && (name.ends_with(".lock") || name.contains(".tmp")) {
+                let old_enough = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age >= min_age);
+                if old_enough {
+                    let class = if name.ends_with(".lock") { GcClass::Lock } else { GcClass::Temp };
+                    report.remove(&path, bytes, class);
+                }
+                continue;
+            }
+            let Some(kind) = kind_of_filename(&name) else {
+                continue; // not one of ours: leave it alone
+            };
+            let contents = fs::read(&path).unwrap_or_default();
+            let Some(payload) = peek_payload(kind, &contents) else {
+                report.remove(&path, bytes, GcClass::Corrupt);
+                continue;
+            };
+            match kind {
+                Kind::Outcomes => {
+                    if let Some(identity) = peek_table_identity(payload) {
+                        merged.push(identity);
+                    }
+                }
+                Kind::Shard => match peek_table_identity(payload) {
+                    Some((identity, horizon)) => shards.push((path, bytes, identity, horizon)),
+                    None => report.remove(&path, bytes, GcClass::Corrupt),
+                },
+                Kind::Orbits | Kind::Timelines => {}
+            }
+        }
+        // a shard partial is superseded once a merged table of the same
+        // identity covers its horizon
+        for (path, bytes, identity, horizon) in shards {
+            if merged.iter().any(|(id, recorded)| *id == identity && *recorded >= horizon) {
+                report.remove(&path, bytes, GcClass::Superseded);
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Per-kind artifact tally of [`Store::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindStats {
+    /// Number of files.
+    pub files: usize,
+    /// Total size in bytes.
+    pub bytes: u64,
+}
+
+impl KindStats {
+    fn add(&mut self, bytes: u64) {
+        self.files += 1;
+        self.bytes += bytes;
+    }
+}
+
+/// What [`Store::stats`] reports about a cache directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Automorphism-group / pair-orbit artifacts.
+    pub orbits: KindStats,
+    /// Trajectory-timeline artifacts.
+    pub timelines: KindStats,
+    /// Merged representative-outcome tables.
+    pub outcomes: KindStats,
+    /// Shard partial tables.
+    pub shards: KindStats,
+    /// Artifacts whose frame failed an integrity gate (corrupt / stale).
+    pub invalid: KindStats,
+    /// Files in the directory that are not store artifacts (locks, temps,
+    /// anything foreign).
+    pub other: KindStats,
+    /// Total timelines recorded across all timeline artifacts.
+    pub timeline_entries: usize,
+    /// Every distinct recorded horizon found inside valid frames, sorted.
+    pub recorded_horizons: Vec<Round>,
+}
+
+impl CacheStats {
+    /// Total bytes across every file the scan saw.
+    pub fn total_bytes(&self) -> u64 {
+        self.orbits.bytes
+            + self.timelines.bytes
+            + self.outcomes.bytes
+            + self.shards.bytes
+            + self.invalid.bytes
+            + self.other.bytes
+    }
+}
+
+/// What a [`Store::gc`] pass reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Files deleted.
+    pub removed_files: usize,
+    /// Bytes reclaimed.
+    pub reclaimed_bytes: u64,
+    /// Corrupt or format-stale artifacts removed.
+    pub corrupt: usize,
+    /// Shard partials superseded by a merged outcome table.
+    pub superseded: usize,
+    /// Orphaned temp files removed.
+    pub temp: usize,
+    /// Stale lock files removed.
+    pub locks: usize,
+}
+
+/// Why [`Store::gc`] removed a file.
+enum GcClass {
+    Corrupt,
+    Superseded,
+    Temp,
+    Lock,
+}
+
+impl GcReport {
+    fn remove(&mut self, path: &Path, bytes: u64, class: GcClass) {
+        if fs::remove_file(path).is_ok() {
+            self.removed_files += 1;
+            self.reclaimed_bytes += bytes;
+            match class {
+                GcClass::Corrupt => self.corrupt += 1,
+                GcClass::Superseded => self.superseded += 1,
+                GcClass::Temp => self.temp += 1,
+                GcClass::Lock => self.locks += 1,
+            }
+        }
+    }
+}
+
+/// The artifact kind a store filename claims to be.
+fn kind_of_filename(name: &str) -> Option<Kind> {
+    if !name.ends_with(".anrv") {
+        return None;
+    }
+    if name.starts_with("orbits-") {
+        Some(Kind::Orbits)
+    } else if name.starts_with("timelines-") {
+        Some(Kind::Timelines)
+    } else if name.starts_with("outcomes-") {
+        Some(Kind::Outcomes)
+    } else if name.starts_with("shard-") {
+        Some(Kind::Shard)
+    } else {
+        None
+    }
+}
+
+/// Frame-validate `bytes` as `kind` and hand back the payload slice (the
+/// graph-independent half of a load, shared by stats and gc).
+fn peek_payload(kind: Kind, bytes: &[u8]) -> Option<&[u8]> {
+    unframe(kind, bytes).map(|d| d.into_payload())
+}
+
+/// The recorded horizon of every timeline entry in a timelines payload.
+fn peek_timeline_horizons(payload: &[u8]) -> Option<Vec<Round>> {
+    let mut d = Dec::over(payload);
+    let _hash = d.u128()?;
+    let _n = d.usize()?;
+    let _key = d.str()?;
+    let count = d.usize()?;
+    let mut horizons = Vec::with_capacity(count);
+    for _ in 0..count {
+        let _start = d.usize()?;
+        horizons.push(d.u128()?);
+        let nsegs = d.usize()?;
+        for _ in 0..nsegs {
+            let _node = d.usize()?;
+            let _s = d.u128()?;
+            let _e = d.u128()?;
+        }
+    }
+    Some(horizons)
+}
+
+/// The plan identity and recorded horizon of an outcomes or shard payload
+/// (both lead with the identity followed by the horizon).
+fn peek_table_identity(payload: &[u8]) -> Option<(PlanIdentity, Round)> {
+    let mut d = Dec::over(payload);
+    let identity = decode_plan_identity_raw(&mut d)?;
+    let horizon = d.u128()?;
+    Some((identity, horizon))
+}
+
+/// Decode and identity-check a full outcomes payload against a query;
+/// `None` on any gate failure.  Returns the table and its recorded horizon
+/// (the `recorded >= needed` comparison is the caller's).
+fn decode_outcomes_payload(
+    bytes: &[u8],
+    g: &PortGraph,
+    program_key: &str,
+    plan: &SweepPlan,
+) -> Option<(Vec<SimOutcome>, Round)> {
+    let mut d = unframe(Kind::Outcomes, bytes)?;
+    decode_plan_identity(&mut d, g, program_key, plan)?;
+    let recorded = d.u128()?;
+    let len = d.usize()?;
+    if len != plan.num_representative_queries() {
+        return None;
+    }
+    let mut table = Vec::with_capacity(len);
+    for _ in 0..len {
+        table.push(decode_outcome(&mut d)?);
+    }
+    d.exhausted().then_some((table, recorded))
 }
 
 // -- shared payload pieces (also used by the shard files) -------------------
 
+/// The horizon-free identity of a `(graph, program, δ-grid, partition)`
+/// sweep family, as embedded in outcome and shard payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PlanIdentity {
+    hash: u128,
+    n: usize,
+    program_key: String,
+    deltas: Vec<Round>,
+    num_classes: usize,
+}
+
 /// Encode the identity of a `(graph, program, plan)` triple: what a loader
-/// verifies before trusting any cached outcome.
+/// verifies before trusting any cached outcome.  The plan's horizon is
+/// **not** part of the identity — it is recorded separately, so longer
+/// recordings can serve shorter queries by prefix truncation.
 pub(crate) fn encode_plan_identity(
     e: &mut Enc,
     g: &PortGraph,
@@ -457,12 +786,26 @@ pub(crate) fn encode_plan_identity(
     e.u128(g.canonical_hash());
     e.usize(g.num_nodes());
     e.str(program_key);
-    e.u128(plan.horizon());
     e.usize(plan.deltas().len());
     for &d in plan.deltas() {
         e.u128(d);
     }
     e.usize(plan.orbits().num_pair_classes());
+}
+
+/// Decode an encoded plan identity without a query to compare against
+/// (stats / gc); `None` on malformed input.
+pub(crate) fn decode_plan_identity_raw(d: &mut Dec<'_>) -> Option<PlanIdentity> {
+    let hash = d.u128()?;
+    let n = d.usize()?;
+    let program_key = d.str()?;
+    let ndeltas = d.usize()?;
+    let mut deltas = Vec::with_capacity(ndeltas);
+    for _ in 0..ndeltas {
+        deltas.push(d.u128()?);
+    }
+    let num_classes = d.usize()?;
+    Some(PlanIdentity { hash, n, program_key, deltas, num_classes })
 }
 
 /// Verify an encoded plan identity against the query; `None` on mismatch.
@@ -472,22 +815,13 @@ pub(crate) fn decode_plan_identity(
     program_key: &str,
     plan: &SweepPlan,
 ) -> Option<()> {
-    if d.u128()? != g.canonical_hash() || d.usize()? != g.num_nodes() {
-        return None;
-    }
-    if d.str()? != program_key || d.u128()? != plan.horizon() {
-        return None;
-    }
-    let ndeltas = d.usize()?;
-    if ndeltas != plan.deltas().len() {
-        return None;
-    }
-    for &delta in plan.deltas() {
-        if d.u128()? != delta {
-            return None;
-        }
-    }
-    (d.usize()? == plan.orbits().num_pair_classes()).then_some(())
+    let identity = decode_plan_identity_raw(d)?;
+    (identity.hash == g.canonical_hash()
+        && identity.n == g.num_nodes()
+        && identity.program_key == program_key
+        && identity.deltas == plan.deltas()
+        && identity.num_classes == plan.orbits().num_pair_classes())
+    .then_some(())
 }
 
 /// Encode one [`SimOutcome`] exactly (every field, `u128`s included).
@@ -527,12 +861,25 @@ pub(crate) fn decode_outcome(d: &mut Dec<'_>) -> Option<SimOutcome> {
     })
 }
 
+/// FNV-1a-64 fingerprint of an outcome table under the store's exact
+/// encoding — the cheap bit-identity check the CLI prints and CI diffs
+/// (two tables share a fingerprint iff their encodings are byte-identical).
+pub fn table_fingerprint(table: &[SimOutcome]) -> u64 {
+    let mut e = Enc::new();
+    e.usize(table.len());
+    for o in table {
+        encode_outcome(&mut e, o);
+    }
+    fnv64(e.payload())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::{TempDir, Walker};
     use anonrv_graph::generators::{oriented_ring, oriented_torus};
-    use anonrv_sim::Stic;
+    use anonrv_plan::PlannedSweep;
+    use anonrv_sim::{EngineConfig, Stic};
 
     fn store_in(dir: &TempDir) -> Store {
         Store::open(&dir.0).unwrap()
@@ -625,24 +972,67 @@ mod tests {
         assert_eq!(persisted, cold.cache().computed());
         assert!(persisted > 0);
 
-        // warm engine: every persisted timeline preloads, outcomes match
+        // warm engine at the same horizon: every timeline is an exact hit
         let warm = SweepEngine::new(&g, &program, EngineConfig::batch(64));
-        let hits = store.warm_engine(&warm, key);
-        assert_eq!(hits, persisted);
+        let warmed = store.warm_engine(&warm, key);
+        assert_eq!((warmed.installed, warmed.prefix), (persisted, 0));
         let before = warm.cache().computed();
         let warm_outcomes: Vec<SimOutcome> = queries.iter().map(|s| warm.simulate(s)).collect();
         assert_eq!(warm_outcomes, cold_outcomes);
         assert_eq!(warm.cache().computed(), before, "warm queries recorded nothing new");
 
-        // a different program key or horizon is a miss
+        // a *smaller* horizon is a prefix hit on every stored timeline ...
+        let shorter = SweepEngine::new(&g, &program, EngineConfig::batch(20));
+        let warmed = store.warm_engine(&shorter, key);
+        assert_eq!((warmed.installed, warmed.prefix), (persisted, persisted));
+        for stic in &queries {
+            let direct = SweepEngine::new(&g, &program, EngineConfig::batch(20)).simulate(stic);
+            assert_eq!(shorter.simulate(stic), direct, "prefix-served {stic} diverged");
+        }
+        // ... while a larger horizon and a different program key are misses
+        let longer = SweepEngine::new(&g, &program, EngineConfig::batch(65));
+        assert_eq!(store.warm_engine(&longer, key), WarmedTimelines::default());
         let other = SweepEngine::new(&g, &program, EngineConfig::batch(64));
-        assert_eq!(store.warm_engine(&other, "different-key"), 0);
-        let other = SweepEngine::new(&g, &program, EngineConfig::batch(65));
-        assert_eq!(store.warm_engine(&other, key), 0);
+        assert_eq!(store.warm_engine(&other, "different-key"), WarmedTimelines::default());
 
         // persisting again unions with what is on disk (here: no change)
         let repersisted = store.persist_engine(&warm, key).unwrap();
         assert_eq!(repersisted, persisted);
+    }
+
+    #[test]
+    fn longer_recordings_supersede_shorter_ones_in_place_and_never_vice_versa() {
+        let dir = TempDir::new("timeline-supersede");
+        let store = store_in(&dir);
+        let g = oriented_ring(8).unwrap();
+        let program = Walker { seed: 7 };
+        let key = "test-walker-7";
+
+        // a short recording of node 0 lands on disk
+        let short = SweepEngine::new(&g, &program, EngineConfig::batch(10));
+        short.simulate(&Stic::new(0, 1, 0));
+        store.persist_engine(&short, key).unwrap();
+        let horizon_of = |u: NodeId| {
+            store
+                .load_timelines(&g, key)
+                .unwrap()
+                .into_iter()
+                .find(|(node, _)| *node == u)
+                .map(|(_, t)| t.recorded_horizon())
+        };
+        assert_eq!(horizon_of(0), Some(10));
+
+        // a longer recording supersedes it in place (same artifact file)
+        let long = SweepEngine::new(&g, &program, EngineConfig::batch(100));
+        long.simulate(&Stic::new(0, 2, 1));
+        store.persist_engine(&long, key).unwrap();
+        assert_eq!(horizon_of(0), Some(100));
+        assert_eq!(horizon_of(2), Some(100));
+
+        // re-persisting the short engine does NOT claw the horizon back
+        store.persist_engine(&short, key).unwrap();
+        assert_eq!(horizon_of(0), Some(100), "a shorter recording must never supersede");
+        assert_eq!(horizon_of(1), Some(10), "nodes only the short engine touched persist");
     }
 
     #[test]
@@ -666,7 +1056,7 @@ mod tests {
             ta.join().unwrap();
             tb.join().unwrap();
         });
-        let persisted = store.load_timelines(&g, key, 64).expect("artifact readable");
+        let persisted = store.load_timelines(&g, key).expect("artifact readable");
         let mut nodes: Vec<_> = persisted.iter().map(|(u, _)| *u).collect();
         nodes.sort_unstable();
         assert_eq!(nodes, vec![0, 1, 5, 6], "both shards' timelines must survive");
@@ -680,53 +1070,142 @@ mod tests {
     }
 
     #[test]
-    fn plan_outcome_tables_round_trip_and_miss_on_plan_changes() {
+    fn plan_outcome_tables_round_trip_prefix_serve_and_miss_on_plan_changes() {
         let dir = TempDir::new("outcomes");
         let store = store_in(&dir);
         let g = oriented_ring(8).unwrap();
         let program = Walker { seed: 7 };
         let key = "test-walker-7";
-        let (planned, _) = store.prepare_sweep(&g, &program, key, EngineConfig::batch(100));
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(100));
         let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 5], 100);
         let outcomes = planned.run(&plan);
         store.save_plan_outcomes(&g, key, &plan, outcomes.table()).unwrap();
-        assert_eq!(store.load_plan_outcomes(&g, key, &plan).as_deref(), Some(outcomes.table()));
-        // a different delta grid, horizon or program key all miss
+        assert_eq!(
+            store.load_plan_outcomes(&g, key, &plan),
+            Some((outcomes.table().to_vec(), 100))
+        );
+        // a *smaller* horizon is served by the same artifact (prefix hit)
+        let shorter = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 5], 40);
+        assert_eq!(
+            store.load_plan_outcomes(&g, key, &shorter),
+            Some((outcomes.table().to_vec(), 100))
+        );
+        // saving the shorter table leaves the longer recording in place
+        let shorter_outcomes = planned.run(&shorter);
+        store.save_plan_outcomes(&g, key, &shorter, shorter_outcomes.table()).unwrap();
+        assert_eq!(
+            store.load_plan_outcomes(&g, key, &plan),
+            Some((outcomes.table().to_vec(), 100)),
+            "a shorter write must not supersede a longer recording"
+        );
+        // while a longer one supersedes in place
+        let longer = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 5], 100);
+        let longer_outcomes = planned.run(&longer);
+        store.save_plan_outcomes(&g, key, &longer, longer_outcomes.table()).unwrap();
+        // a larger horizon than anything recorded, a different delta grid
+        // and a different program key all miss
+        let beyond = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 5], 101);
+        assert!(store.load_plan_outcomes(&g, key, &beyond).is_none());
         let other = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 6], 100);
-        assert!(store.load_plan_outcomes(&g, key, &other).is_none());
-        let other = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 5], 99);
         assert!(store.load_plan_outcomes(&g, key, &other).is_none());
         assert!(store.load_plan_outcomes(&g, "other-key", &plan).is_none());
     }
 
     #[test]
-    fn prepare_sweep_reports_warm_stats() {
-        let dir = TempDir::new("prepare");
+    fn stats_and_gc_survey_and_compact_a_populated_cache() {
+        let dir = TempDir::new("stats-gc");
         let store = store_in(&dir);
-        let g = oriented_torus(3, 3).unwrap();
-        let program = Walker { seed: 42 };
-        let key = "test-walker-42";
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let key = "test-walker-5eed";
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 64);
 
-        let (cold, mut stats) = store.prepare_sweep(&g, &program, key, EngineConfig::batch(64));
-        assert_eq!(stats.orbits, Provenance::Cold);
-        assert_eq!(stats.timeline_hits, 0);
-        let plan = SweepPlan::from_orbits(cold.orbits().clone(), vec![0, 1, 2], 64);
-        let cold_outcomes = cold.run(&plan);
-        stats.record_misses(cold.engine());
-        assert_eq!(stats.timeline_misses, cold.engine().cache().computed());
-        store.persist_engine(cold.engine(), key).unwrap();
+        // populate: orbits, timelines, two shard partials, the merged table
+        store.save_orbits(&g, planned.orbits()).unwrap();
+        for index in 0..2 {
+            let spec = crate::ShardSpec::new(2, index).unwrap();
+            let classes = spec.classes(plan.orbits().num_pair_classes());
+            let table = planned.run_classes(&plan, &classes);
+            let part = crate::ShardOutcomes { spec, classes, table };
+            store.save_shard(&g, key, &plan, &part).unwrap();
+        }
+        store.persist_engine(planned.engine(), key).unwrap();
+        let merged = store.merge_shards(&g, key, &plan, 2).unwrap();
+        store.save_plan_outcomes(&g, key, &plan, &merged).unwrap();
+        // plus: a corrupt artifact, an orphan temp file, a stale lock — and
+        // two FOREIGN files that merely look temp/lock-like, which gc must
+        // never touch (an operator's notes, another tool's staging)
+        let corrupt_path = dir.0.join("outcomes-feedfeedfeedfeed.anrv");
+        fs::write(&corrupt_path, b"not a frame").unwrap();
+        fs::write(dir.0.join("orbits-dead.anrv.tmp42"), b"leftover").unwrap();
+        fs::write(dir.0.join("outcomes-beef.anrv.lock"), b"").unwrap();
+        fs::write(dir.0.join("notes.tmp"), b"operator notes").unwrap();
+        fs::write(dir.0.join("rsync-staging.lock"), b"").unwrap();
 
-        let (warm, mut stats) = store.prepare_sweep(&g, &program, key, EngineConfig::batch(64));
-        assert_eq!(stats.orbits, Provenance::Warm);
-        assert_eq!(stats.timeline_hits, cold.engine().cache().computed());
-        let warm_outcomes = warm.run(&plan);
-        stats.record_misses(warm.engine());
-        assert_eq!(stats.timeline_misses, 0, "a warm sweep records no new timeline");
-        assert_eq!(warm_outcomes.table(), cold_outcomes.table());
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.orbits.files, 1);
+        assert_eq!(stats.timelines.files, 1);
+        assert_eq!(stats.outcomes.files, 1);
+        assert_eq!(stats.shards.files, 2);
+        assert_eq!(stats.invalid.files, 1);
+        assert_eq!(stats.other.files, 4, "temp + lock + foreign files are surveyed as other");
+        assert_eq!(stats.timeline_entries, planned.engine().cache().computed());
+        assert_eq!(stats.recorded_horizons, vec![64]);
+        assert!(stats.total_bytes() > 0);
+
+        // gc: corrupt + superseded shards + own temp/lock go; valid artifacts
+        // and foreign files stay
+        let report = store.gc_with_min_age(std::time::Duration::ZERO).unwrap();
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.superseded, 2, "merged table supersedes both partials");
+        assert_eq!(report.temp, 1);
+        assert_eq!(report.locks, 1);
+        assert_eq!(report.removed_files, 5);
+        assert!(report.reclaimed_bytes > 0);
+        let after = store.stats().unwrap();
+        assert_eq!(after.shards.files, 0);
+        assert_eq!(after.invalid.files, 0);
+        assert_eq!(after.other.files, 2, "foreign temp/lock-like files must survive gc");
+        assert!(dir.0.join("notes.tmp").exists());
+        assert!(dir.0.join("rsync-staging.lock").exists());
+        assert_eq!(after.orbits.files + after.timelines.files + after.outcomes.files, 3);
+        // the surviving artifacts still serve
+        assert!(store.load_orbits(&g).is_some());
+        assert_eq!(store.load_plan_outcomes(&g, key, &plan), Some((merged, 64)));
+        // a second pass finds nothing to do
+        assert_eq!(store.gc_with_min_age(std::time::Duration::ZERO).unwrap().removed_files, 0);
     }
 
     #[test]
-    fn outcome_codec_round_trips_every_field_shape() {
+    fn gc_keeps_shards_that_no_merged_table_covers() {
+        let dir = TempDir::new("gc-live-shards");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 3).unwrap();
+        let program = Walker { seed: 1 };
+        let key = "test-walker-1";
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(32));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 32);
+        let spec = crate::ShardSpec::new(2, 0).unwrap();
+        let classes = spec.classes(plan.orbits().num_pair_classes());
+        let table = planned.run_classes(&plan, &classes);
+        store.save_shard(&g, key, &plan, &crate::ShardOutcomes { spec, classes, table }).unwrap();
+        // no merged table yet: the partial is live work, not garbage
+        assert_eq!(store.gc_with_min_age(std::time::Duration::ZERO).unwrap().removed_files, 0);
+        assert!(store.load_shard(&g, key, &plan, spec).is_some());
+        // a merged table at a *shorter* horizon does not cover it either
+        let shorter = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 16);
+        let shorter_table = planned.run(&shorter);
+        store.save_plan_outcomes(&g, key, &shorter, shorter_table.table()).unwrap();
+        assert_eq!(store.gc_with_min_age(std::time::Duration::ZERO).unwrap().superseded, 0);
+        // one at the same horizon does
+        let full = planned.run(&plan);
+        store.save_plan_outcomes(&g, key, &plan, full.table()).unwrap();
+        assert_eq!(store.gc_with_min_age(std::time::Duration::ZERO).unwrap().superseded, 1);
+    }
+
+    #[test]
+    fn outcome_codec_round_trips_every_field_shape_and_fingerprints_differ() {
         let samples = [
             SimOutcome {
                 meeting: Some(Meeting { global_round: u128::MAX - 3, later_round: 7, node: 11 }),
@@ -753,5 +1232,8 @@ mod tests {
             assert_eq!(decode_outcome(&mut d), Some(o));
             assert!(d.exhausted());
         }
+        assert_eq!(table_fingerprint(&samples), table_fingerprint(samples.as_ref()));
+        assert_ne!(table_fingerprint(&samples), table_fingerprint(&samples[..1]));
+        assert_ne!(table_fingerprint(&samples[..1]), table_fingerprint(&samples[1..]));
     }
 }

@@ -32,7 +32,10 @@ pub(crate) const MAGIC: [u8; 8] = *b"ANRVSTOR";
 
 /// Current format version.  Bump on any layout change: old files then fail
 /// the version gate and are transparently recomputed and rewritten.
-pub(crate) const FORMAT_VERSION: u32 = 1;
+/// Version 2: horizon-generic keying — timelines carry a per-entry recorded
+/// horizon, outcome/shard payloads embed theirs after the (horizon-free)
+/// plan identity.
+pub(crate) const FORMAT_VERSION: u32 = 2;
 
 /// Artifact kind tags (one per payload layout).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +92,11 @@ impl Enc {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// The raw payload accumulated so far (fingerprinting without framing).
+    pub(crate) fn payload(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Wrap the accumulated payload in a checksummed frame.
     pub(crate) fn into_frame(self, kind: Kind) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.buf.len() + 29);
@@ -111,6 +119,17 @@ pub(crate) struct Dec<'a> {
 }
 
 impl<'a> Dec<'a> {
+    /// Decode over a bare (already unframed) payload slice.
+    pub(crate) fn over(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    /// The full payload this decoder reads (hand-off between the framing
+    /// gate and payload-peeking helpers).
+    pub(crate) fn into_payload(self) -> &'a [u8] {
+        self.data
+    }
+
     fn take(&mut self, len: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(len)?;
         let slice = self.data.get(self.pos..end)?;

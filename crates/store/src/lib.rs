@@ -1,75 +1,81 @@
 //! # anonrv-store
 //!
-//! Persistence and sharding for planned sweeps: the layer that takes the
-//! in-process plan-then-execute pipeline of `anonrv-plan` / `anonrv-sim`
-//! **across runs and across processes**.
+//! Persistence, sharding and **orchestration** for planned sweeps: the layer
+//! that takes the in-process plan-then-execute pipeline of `anonrv-plan` /
+//! `anonrv-sim` across runs, across processes — and behind one API.
 //!
 //! Repeated sweeps over one graph used to re-derive everything from
 //! scratch — the automorphism group, the pair-orbit partition, every start
 //! node's trajectory timeline, every representative merge.  All of those are
 //! deterministic functions of `(graph, program, horizon)`, so they are
-//! cacheable; and the planner's representative work-list is embarrassingly
-//! parallel, so it is shardable.  This crate supplies both:
+//! cacheable; the planner's representative work-list is embarrassingly
+//! parallel, so it is shardable; and because programs propagate `Stop`, a
+//! horizon-`h` run is an exact prefix of a horizon-`H >= h` run, so one
+//! recording serves **every smaller horizon** bit-identically.  This crate
+//! supplies all three:
 //!
 //! * [`Store`] — a content-addressed on-disk cache (directory of
 //!   checksummed, versioned artifacts keyed by
 //!   [`PortGraph::canonical_hash`](anonrv_graph::PortGraph::canonical_hash))
 //!   holding serialized automorphism groups / [`PairOrbits`], recorded
 //!   wait-compressed [`Timeline`](anonrv_sim::Timeline)s, and full
-//!   representative-outcome tables.  Every load is integrity-checked
-//!   (magic, format version, length, checksum, embedded identity) and
-//!   falls back to recompute-and-overwrite on any mismatch — see
-//!   [`cache`] for the trust model and `codec.rs` for the frame layout.
-//! * [`ShardSpec`] / [`execute_shard`] / [`Store::merge_shards`] — a shard
-//!   executor that splits a [`SweepPlan`]'s `(class, δ)` work-list into
-//!   `--shards K --shard-index i` slices whose partial outcome files merge
-//!   deterministically into one table **bit-identical** to the unsharded
-//!   run — see [`shard`].
+//!   representative-outcome tables.  Horizons live *inside* the frames, not
+//!   in the keys: lookups hit whenever `recorded >= needed` (served by
+//!   prefix truncation), writes supersede shorter recordings in place, and
+//!   [`Store::gc`] compacts what can no longer serve anything.  Every load
+//!   is integrity-checked (magic, format version, length, checksum,
+//!   embedded identity) and falls back to recompute-and-overwrite on any
+//!   mismatch — see [`cache`] for the trust model and `codec.rs` for the
+//!   frame layout.
+//! * [`SweepSession`] — the one orchestrator every front-end drives (the
+//!   CLI `sweep`/`cache` commands, the experiment harness, the benchmark
+//!   binaries): plan → cache-probe → execute-representatives → record →
+//!   broadcast, with pluggable shard slicing and uniform [`SessionStats`]
+//!   reporting — see [`session`].
+//! * [`ShardSpec`] / [`Store::merge_shards`] — the shard persistence:
+//!   `--shards K --shard-index i` slices of a [`SweepPlan`]'s `(class, δ)`
+//!   work-list whose partial outcome files merge deterministically into one
+//!   table **bit-identical** to the unsharded run — see [`shard`].
 //!
 //! On a warm cache an exhaustive all-pairs × δ-grid sweep skips planning
-//! and trajectory recording entirely (orbit + timeline artifacts), and
-//! skips even the merges when the exact plan was executed before (outcome
-//! artifact) — the `anonrv sweep` CLI command and the `store_timing`
-//! benchmark drive precisely this path.
+//! and trajectory recording entirely, and skips even the merges when a
+//! table recorded at the same (or any larger) horizon exists — the `anonrv
+//! sweep` CLI command and the `store_timing` benchmark drive precisely
+//! these paths.
 //!
-//! ## Cache round-trip
+//! ## Session round-trip
 //!
 //! ```
 //! use anonrv_graph::generators::oriented_torus;
-//! use anonrv_plan::{PlannedOutcomes, PlannedSweep, SweepPlan};
-//! use anonrv_sim::{EngineConfig, Navigator, Stop};
-//! use anonrv_store::{Provenance, Store};
-//!
-//! // a deterministic agent program (both agents run it)
-//! let clockwise = |nav: &mut dyn Navigator| -> Result<(), Stop> {
-//!     loop {
-//!         nav.move_via(0)?;
-//!     }
-//! };
+//! use anonrv_plan::SweepPlan;
+//! use anonrv_sim::{EngineConfig, SweepWalker};
+//! use anonrv_store::{OutcomeProvenance, Store, SweepSession};
 //!
 //! let dir = std::env::temp_dir().join(format!("anonrv-store-doc-{}", std::process::id()));
 //! # std::fs::remove_dir_all(&dir).ok();
 //! let store = Store::open(&dir).unwrap();
 //! let g = oriented_torus(3, 4).unwrap();
+//! let program = SweepWalker { seed: 0x5EED };
+//! let key = program.program_key();
 //!
-//! // cold: the partition is computed and persisted
-//! let (orbits, prov) = store.orbits(&g);
-//! assert_eq!(prov, Provenance::Cold);
+//! // cold: plan, execute the representatives, persist everything
+//! let mut session = SweepSession::new(Some(&store), &g, &program, &key, EngineConfig::batch(64));
+//! let plan = SweepPlan::from_orbits(session.orbits().clone(), vec![0, 1, 2], 64);
+//! let (outcomes, provenance) = session.run_plan(&plan).unwrap();
+//! assert_eq!(provenance, OutcomeProvenance::Cold);
 //!
-//! // execute a small planned sweep and persist its outcome table
-//! let plan = SweepPlan::from_orbits(orbits.clone(), vec![0, 1, 2], 64);
-//! let planned = PlannedSweep::from_orbits(orbits, &g, &clockwise, EngineConfig::batch(64));
-//! let outcomes = planned.run(&plan);
-//! store.save_plan_outcomes(&g, "clockwise", &plan, outcomes.table()).unwrap();
-//!
-//! // warm: both the partition and the full table come back bit-identically,
-//! // with no planning, no program execution and no merging
-//! let (warm_orbits, prov) = store.orbits(&g);
-//! assert_eq!(prov, Provenance::Warm);
-//! let table = store.load_plan_outcomes(&g, "clockwise", &plan).unwrap();
-//! assert_eq!(table, outcomes.table());
-//! let warm = PlannedOutcomes::from_table(&plan, table).unwrap();
-//! assert_eq!(warm.get(5, 7, 1), outcomes.get(5, 7, 1));
+//! // warm, smaller horizon: the recorded table serves by prefix truncation —
+//! // bit-identical to a cold horizon-20 sweep, with zero program executions
+//! let mut warm = SweepSession::new(Some(&store), &g, &program, &key, EngineConfig::batch(20));
+//! let small = SweepPlan::from_orbits(warm.orbits().clone(), vec![0, 1, 2], 20);
+//! let (served, provenance) = warm.run_plan(&small).unwrap();
+//! assert!(matches!(provenance, OutcomeProvenance::WarmPrefix { recorded: 64, .. }));
+//! assert_eq!(warm.stats().timeline_misses, 0);
+//! let cold20 = SweepSession::in_memory(&g, &program, EngineConfig::batch(20))
+//!     .run_plan(&small)
+//!     .unwrap()
+//!     .0;
+//! assert_eq!(served.table(), cold20.table());
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 //!
@@ -81,10 +87,14 @@
 
 pub mod cache;
 mod codec;
+pub mod session;
 pub mod shard;
 
-pub use cache::{Provenance, Store, WarmStats};
-pub use shard::{execute_shard, merge_shard_outcomes, ShardOutcomes, ShardSpec};
+pub use cache::{
+    table_fingerprint, CacheStats, GcReport, KindStats, Provenance, Store, WarmedTimelines,
+};
+pub use session::{OutcomeProvenance, SessionStats, SweepSession};
+pub use shard::{merge_shard_outcomes, ShardOutcomes, ShardSpec};
 
 /// Shared fixtures for the unit tests of this crate.
 #[cfg(test)]

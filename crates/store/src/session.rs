@@ -1,0 +1,507 @@
+//! The single sweep orchestrator every front-end drives.
+//!
+//! Before this module, the plan → cache-probe → execute → record →
+//! broadcast pipeline was hand-assembled three times — in the CLI `sweep`
+//! command, in the experiment runner, and in the shard executor — and the
+//! three copies drifted apart in what they probed, what they persisted and
+//! what they reported.  A [`SweepSession`] owns the whole flow once:
+//!
+//! ```text
+//!   plan        orbits: store probe (verified load) or compute, save back
+//!   cache-probe outcome table: exact hit / prefix hit / miss;
+//!               trajectory timelines: preload (prefix-truncated) on first use
+//!   execute     only what the probes left: representative merges (and, cold,
+//!               the representative recordings)
+//!   record      timelines + outcome tables persisted back, superseding
+//!               shorter recordings in place
+//!   broadcast   PlannedOutcomes serve any member STIC bit-identically
+//!   report      SessionStats → the experiment tables' compression notes
+//! ```
+//!
+//! Shard slicing is pluggable rather than a separate pipeline:
+//! [`SweepSession::run_shard`] executes one [`ShardSpec`] slice of the same
+//! plan, and [`SweepSession::merge_shards`] reassembles the partials — both
+//! over the same probe/record machinery as the full
+//! [`SweepSession::run_plan`].
+//!
+//! A session without a store ([`SweepSession::in_memory`]) is the
+//! experiments' in-process mode: same pipeline, no persistence.
+//!
+//! ## Horizon genericity
+//!
+//! The store records horizons inside its frames, not in its keys, so a
+//! session asking for horizon `h` is served by any recording at `H >= h`:
+//! timelines preload through [`Timeline::truncate`] and outcome tables
+//! through [`PlannedOutcomes::truncate`] — both exact, because `Stop`
+//! propagation makes the `h`-run a bit-identical prefix of the `H`-run.  A
+//! prefix outcome hit re-runs only the merges the prefix alone cannot
+//! determine, through warm timelines: **zero program executions**.
+//!
+//! [`Timeline::truncate`]: anonrv_sim::Timeline::truncate
+
+use anonrv_graph::PortGraph;
+use anonrv_plan::{PairOrbits, PlannedOutcomes, PlannedSweep, SweepPlan};
+use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine};
+
+use crate::cache::{Provenance, Store};
+use crate::shard::{ShardOutcomes, ShardSpec};
+
+/// How a [`SweepSession::run_plan`] call obtained its outcome table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeProvenance {
+    /// Executed (and, with a store, persisted): no usable table on disk.
+    Cold,
+    /// Loaded from a table recorded at exactly the requested horizon —
+    /// planning, recording and merging all skipped.
+    WarmExact,
+    /// Loaded from a table recorded at a longer horizon and truncated down;
+    /// `remerged` entries were re-derived from warm cached timelines (no
+    /// program execution).
+    WarmPrefix {
+        /// The horizon the serving table was recorded at.
+        recorded: Round,
+        /// Entries the prefix alone could not determine (re-merged warm).
+        remerged: usize,
+    },
+}
+
+impl std::fmt::Display for OutcomeProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutcomeProvenance::Cold => f.write_str("cold"),
+            OutcomeProvenance::WarmExact => f.write_str("warm"),
+            OutcomeProvenance::WarmPrefix { recorded, remerged } => {
+                write!(f, "warm-prefix (recorded at horizon {recorded}, {remerged} re-merged)")
+            }
+        }
+    }
+}
+
+/// A snapshot of everything a session has probed and executed so far — the
+/// single source the CLI and the experiment compression notes report from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Whether the pair-orbit partition was loaded or computed.
+    pub orbits: Provenance,
+    /// Trajectory timelines preloaded from the store.
+    pub timeline_hits: usize,
+    /// The subset of [`SessionStats::timeline_hits`] served by prefix
+    /// truncation of a longer recording.
+    pub timeline_prefix_hits: usize,
+    /// Timelines recorded cold by executing the agent program.
+    pub timeline_misses: usize,
+    /// Representative simulations (recordings or merges) executed.
+    pub executed: usize,
+    /// Member queries answered.
+    pub answered: usize,
+    /// Provenance of the last [`SweepSession::run_plan`] /
+    /// [`SweepSession::merge_shards`] outcome table, if any ran.
+    pub outcome: Option<OutcomeProvenance>,
+    /// `(index, shards)` when this session executed a shard slice.
+    pub shard: Option<(usize, usize)>,
+}
+
+/// One sweep workload of a `(graph, program)` pair, orchestrated end to
+/// end.  See the module docs for the pipeline and `anonrv-store`'s crate
+/// docs for the persistence model.
+pub struct SweepSession<'a> {
+    store: Option<&'a Store>,
+    graph: &'a PortGraph,
+    program_key: String,
+    planned: PlannedSweep<'a>,
+    orbits_provenance: Provenance,
+    warmed: bool,
+    timeline_hits: usize,
+    timeline_prefix_hits: usize,
+    executed: usize,
+    answered: usize,
+    outcome: Option<OutcomeProvenance>,
+    shard: Option<(usize, usize)>,
+}
+
+impl<'a> SweepSession<'a> {
+    /// Open a session: probe (or compute and save back) the pair-orbit
+    /// partition and set up the planned executor.  Trajectory timelines are
+    /// preloaded lazily, on the first call that actually executes — a
+    /// session that ends up fully served by a warm outcome table never
+    /// touches them.
+    ///
+    /// `program_key` must uniquely identify `program` *including its
+    /// parameters* (see the crate docs); it is unused without a store.
+    pub fn new(
+        store: Option<&'a Store>,
+        graph: &'a PortGraph,
+        program: &'a dyn AgentProgram,
+        program_key: impl Into<String>,
+        config: EngineConfig,
+    ) -> Self {
+        let (orbits, provenance) = match store {
+            Some(store) => store.orbits(graph),
+            None => (PairOrbits::compute(graph), Provenance::Cold),
+        };
+        let planned = PlannedSweep::from_orbits(orbits, graph, program, config);
+        Self::assemble(store, graph, program_key.into(), planned, provenance)
+    }
+
+    /// Open a session over a partition the caller already holds (sweeps
+    /// sharing one graph reuse it across programs and parameter groups
+    /// without recomputing or re-probing).  `orbits_provenance` is whatever
+    /// the caller's own probe reported.
+    pub fn with_orbits(
+        store: Option<&'a Store>,
+        orbits: &'a PairOrbits,
+        orbits_provenance: Provenance,
+        graph: &'a PortGraph,
+        program: &'a dyn AgentProgram,
+        program_key: impl Into<String>,
+        config: EngineConfig,
+    ) -> Self {
+        let planned = PlannedSweep::with_orbits(orbits, graph, program, config);
+        Self::assemble(store, graph, program_key.into(), planned, orbits_provenance)
+    }
+
+    /// A storeless session: the experiments' in-process mode — same
+    /// pipeline and statistics, no persistence.
+    pub fn in_memory(
+        graph: &'a PortGraph,
+        program: &'a dyn AgentProgram,
+        config: EngineConfig,
+    ) -> Self {
+        Self::new(None, graph, program, "", config)
+    }
+
+    fn assemble(
+        store: Option<&'a Store>,
+        graph: &'a PortGraph,
+        program_key: String,
+        planned: PlannedSweep<'a>,
+        orbits_provenance: Provenance,
+    ) -> Self {
+        SweepSession {
+            store,
+            graph,
+            program_key,
+            planned,
+            orbits_provenance,
+            warmed: false,
+            timeline_hits: 0,
+            timeline_prefix_hits: 0,
+            executed: 0,
+            answered: 0,
+            outcome: None,
+            shard: None,
+        }
+    }
+
+    /// The planned executor (orbit canonicalisation over the sweep engine).
+    pub fn planned(&self) -> &PlannedSweep<'a> {
+        &self.planned
+    }
+
+    /// The underlying sweep engine.
+    pub fn engine(&self) -> &SweepEngine<'a> {
+        self.planned.engine()
+    }
+
+    /// The pair-orbit partition queries are canonicalised through.
+    pub fn orbits(&self) -> &PairOrbits {
+        self.planned.orbits()
+    }
+
+    /// The graph this session sweeps.
+    pub fn graph(&self) -> &'a PortGraph {
+        self.graph
+    }
+
+    /// The snapshot the CLI and the compression notes report from.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            orbits: self.orbits_provenance,
+            timeline_hits: self.timeline_hits,
+            timeline_prefix_hits: self.timeline_prefix_hits,
+            timeline_misses: self
+                .planned
+                .engine()
+                .cache()
+                .computed()
+                .saturating_sub(self.timeline_hits),
+            executed: self.executed,
+            answered: self.answered,
+            outcome: self.outcome,
+            shard: self.shard,
+        }
+    }
+
+    /// Preload the engine's trajectory cache from the store, once, before
+    /// the first execution (lazily so warm-outcome sessions skip the IO).
+    fn ensure_warm(&mut self) {
+        if self.warmed {
+            return;
+        }
+        self.warmed = true;
+        if let Some(store) = self.store {
+            let warmed = store.warm_engine(self.planned.engine(), &self.program_key);
+            self.timeline_hits = warmed.installed;
+            self.timeline_prefix_hits = warmed.prefix;
+        }
+    }
+
+    /// `true` when the engine holds timelines the store has not seen —
+    /// everything beyond the preloaded ones was recorded by this session.
+    fn has_new_recordings(&self) -> bool {
+        self.planned.engine().cache().computed() > self.timeline_hits
+    }
+
+    /// Persist every timeline recorded so far (best effort: a failed write
+    /// leaves the cache cold but the results correct).  A session that
+    /// recorded nothing new skips the read-merge-write round trip.
+    fn persist_timelines_soft(&self) {
+        if let Some(store) = self.store {
+            if self.has_new_recordings() {
+                let _ = store.persist_engine(self.planned.engine(), &self.program_key);
+            }
+        }
+    }
+
+    fn persist_timelines(&self) -> Result<(), String> {
+        if let Some(store) = self.store {
+            if self.has_new_recordings() {
+                store
+                    .persist_engine(self.planned.engine(), &self.program_key)
+                    .map_err(|e| format!("cannot persist timelines: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Answer a batch of `(stic, horizon)` queries — the experiment
+    /// harness's entry point: one representative simulation per distinct
+    /// `(pair class, δ, horizon)` group, broadcast back in input order
+    /// (each bit-identical to simulating the member directly).  Newly
+    /// recorded timelines persist back to the store, best-effort.
+    pub fn simulate_cases(&mut self, queries: &[(Stic, Round)]) -> Vec<SimOutcome> {
+        self.ensure_warm();
+        let (outcomes, exec) = self.planned.simulate_many_counted(queries);
+        self.executed += exec.executed;
+        self.answered += exec.answered;
+        self.persist_timelines_soft();
+        outcomes
+    }
+
+    /// Execute a whole plan through the probe → execute → record pipeline.
+    /// Returns the broadcastable outcome table and how it was obtained
+    /// (exact warm hit, prefix hit, or cold execution; see
+    /// [`OutcomeProvenance`]).  The plan must share this session's
+    /// partition, δ-grid order and a horizon within the engine's.
+    pub fn run_plan<'p>(
+        &mut self,
+        plan: &'p SweepPlan,
+    ) -> Result<(PlannedOutcomes<'p>, OutcomeProvenance), String> {
+        if let Some(store) = self.store {
+            if let Some((table, recorded)) =
+                store.load_plan_outcomes(self.graph, &self.program_key, plan)
+            {
+                if recorded == plan.horizon() {
+                    let outcomes = PlannedOutcomes::from_table(plan, table)?;
+                    let provenance = OutcomeProvenance::WarmExact;
+                    self.answered += plan.num_member_queries();
+                    self.outcome = Some(provenance);
+                    return Ok((outcomes, provenance));
+                }
+                // prefix hit: truncate the longer table; entries the prefix
+                // alone cannot determine re-merge (rayon) through warm
+                // timelines
+                self.ensure_warm();
+                let recorded_plan =
+                    SweepPlan::from_orbits(plan.orbits().clone(), plan.deltas().to_vec(), recorded);
+                let full = PlannedOutcomes::from_table(&recorded_plan, table)?;
+                let (outcomes, remerged) = self.planned.serve_prefix(&full, plan)?;
+                // self-heal: a re-merge over a missing timeline recorded it
+                self.persist_timelines()?;
+                let provenance = OutcomeProvenance::WarmPrefix { recorded, remerged };
+                self.executed += remerged;
+                self.answered += plan.num_member_queries();
+                self.outcome = Some(provenance);
+                return Ok((outcomes, provenance));
+            }
+        }
+        // cold: execute the representatives, persist everything
+        self.ensure_warm();
+        let outcomes = self.planned.run(plan);
+        self.executed += plan.num_representative_queries();
+        self.answered += plan.num_member_queries();
+        self.persist_timelines()?;
+        if let Some(store) = self.store {
+            store
+                .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
+                .map_err(|e| format!("cannot persist outcomes: {e}"))?;
+        }
+        self.outcome = Some(OutcomeProvenance::Cold);
+        Ok((outcomes, OutcomeProvenance::Cold))
+    }
+
+    /// Execute one shard slice of `plan` — the classes `spec` selects —
+    /// persisting the partial table and the recorded timelines into the
+    /// store (shards meet there; see [`crate::shard`]).  Concatenating
+    /// every slice via [`SweepSession::merge_shards`] reproduces
+    /// [`SweepSession::run_plan`]'s cold table bit-identically.
+    pub fn run_shard(
+        &mut self,
+        plan: &SweepPlan,
+        spec: ShardSpec,
+    ) -> Result<ShardOutcomes, String> {
+        self.ensure_warm();
+        let classes = spec.classes(plan.orbits().num_pair_classes());
+        let table = self.planned.run_classes(plan, &classes);
+        let part = ShardOutcomes { spec, classes, table };
+        self.executed += part.classes.len() * plan.deltas().len();
+        self.answered += part.classes.len() * plan.deltas().len() * plan.orbits().class_size();
+        self.shard = Some((spec.index(), spec.shards()));
+        if let Some(store) = self.store {
+            store
+                .save_shard(self.graph, &self.program_key, plan, &part)
+                .map_err(|e| format!("cannot persist shard: {e}"))?;
+        }
+        self.persist_timelines()?;
+        Ok(part)
+    }
+
+    /// Reassemble the `shards` partial artifacts of `plan` into the full
+    /// outcome table — bit-identical to an unsharded run — and persist it,
+    /// so subsequent sessions hit the merged table directly.
+    pub fn merge_shards<'p>(
+        &mut self,
+        plan: &'p SweepPlan,
+        shards: usize,
+    ) -> Result<PlannedOutcomes<'p>, String> {
+        let store = self.store.ok_or("merging shards requires a store")?;
+        let table = store.merge_shards(self.graph, &self.program_key, plan, shards)?;
+        let outcomes = PlannedOutcomes::from_table(plan, table)?;
+        store
+            .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
+            .map_err(|e| format!("cannot persist merged outcomes: {e}"))?;
+        self.answered += plan.num_member_queries();
+        self.outcome = Some(OutcomeProvenance::Cold);
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{TempDir, Walker};
+    use anonrv_graph::generators::oriented_torus;
+
+    const KEY: &str = "test-walker-5eed";
+
+    fn walker() -> Walker {
+        Walker { seed: 0x5EED }
+    }
+
+    #[test]
+    fn full_pipeline_cold_then_exact_then_prefix() {
+        let dir = TempDir::new("session-pipeline");
+        let store = Store::open(&dir.0).unwrap();
+        let g = oriented_torus(3, 4).unwrap();
+        let program = walker();
+        let deltas: Vec<Round> = vec![0, 1, 2];
+
+        // cold: everything executes and persists
+        let mut cold = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(cold.orbits().clone(), deltas.clone(), 64);
+        let (cold_outcomes, prov) = cold.run_plan(&plan).unwrap();
+        assert_eq!(prov, OutcomeProvenance::Cold);
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.orbits, Provenance::Cold);
+        assert!(cold_stats.timeline_misses > 0);
+        assert_eq!(cold_stats.executed, plan.num_representative_queries());
+
+        // exact hit: nothing executes, not even timeline preloading
+        let mut warm = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let (warm_outcomes, prov) = warm.run_plan(&plan).unwrap();
+        assert_eq!(prov, OutcomeProvenance::WarmExact);
+        assert_eq!(warm_outcomes.table(), cold_outcomes.table());
+        let warm_stats = warm.stats();
+        assert_eq!(warm_stats.orbits, Provenance::Warm);
+        assert_eq!((warm_stats.executed, warm_stats.timeline_misses), (0, 0));
+
+        // prefix hit at a smaller horizon: zero recordings, every timeline
+        // a prefix hit, outcomes bit-identical to a cold in-memory run
+        let mut prefix =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(20));
+        let small = SweepPlan::from_orbits(prefix.orbits().clone(), deltas.clone(), 20);
+        let (served, prov) = prefix.run_plan(&small).unwrap();
+        let OutcomeProvenance::WarmPrefix { recorded, remerged } = prov else {
+            panic!("expected a prefix hit, got {prov:?}");
+        };
+        assert_eq!(recorded, 64);
+        let stats = prefix.stats();
+        assert_eq!(stats.timeline_misses, 0, "a prefix hit must not record");
+        assert_eq!(stats.timeline_prefix_hits, stats.timeline_hits);
+        assert_eq!(stats.executed, remerged);
+        let reference = SweepSession::in_memory(&g, &program, EngineConfig::batch(20))
+            .run_plan(&small)
+            .unwrap()
+            .0;
+        assert_eq!(served.table(), reference.table(), "prefix-hit differential");
+    }
+
+    #[test]
+    fn sharded_sessions_merge_bit_identically_to_the_unsharded_run() {
+        let dir = TempDir::new("session-shards");
+        let store = Store::open(&dir.0).unwrap();
+        let g = oriented_torus(3, 4).unwrap();
+        let program = walker();
+        let deltas: Vec<Round> = vec![0, 1, 2, 3, 4];
+
+        let reference_session = &mut SweepSession::in_memory(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(reference_session.orbits().clone(), deltas, 64);
+        let reference = reference_session.run_plan(&plan).unwrap().0;
+
+        for index in 0..3usize {
+            let mut worker =
+                SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+            let spec = ShardSpec::new(3, index).unwrap();
+            let part = worker.run_shard(&plan, spec).unwrap();
+            assert_eq!(part.classes, spec.classes(12));
+            assert_eq!(worker.stats().shard, Some((index, 3)));
+        }
+        let mut merger =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let merged = merger.merge_shards(&plan, 3).unwrap();
+        assert_eq!(merged.table(), reference.table(), "3-shard session merge diverged");
+
+        // the persisted merge now serves an exact warm hit
+        let mut warm = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let (_, prov) = warm.run_plan(&plan).unwrap();
+        assert_eq!(prov, OutcomeProvenance::WarmExact);
+        // merging with a wrong shard count still fails loudly
+        assert!(merger.merge_shards(&plan, 5).is_err());
+    }
+
+    #[test]
+    fn in_memory_sessions_report_cold_stats_and_answer_case_batches() {
+        let g = oriented_torus(3, 3).unwrap();
+        let program = walker();
+        let mut session = SweepSession::in_memory(&g, &program, EngineConfig::batch(50));
+        let queries: Vec<(Stic, Round)> =
+            vec![(Stic::new(0, 5, 1), 50), (Stic::new(1, 3, 1), 50), (Stic::new(0, 5, 1), 30)];
+        let outcomes = session.simulate_cases(&queries);
+        assert_eq!(outcomes.len(), 3);
+        for (i, (stic, horizon)) in queries.iter().enumerate() {
+            assert_eq!(
+                outcomes[i],
+                session.engine().simulate_capped(stic, *horizon),
+                "case {i} diverged"
+            );
+        }
+        let stats = session.stats();
+        assert_eq!(stats.orbits, Provenance::Cold);
+        assert_eq!(stats.answered, 3);
+        // (0,5) and (1,3) are translates: one class, two (δ, horizon) groups
+        assert_eq!(stats.executed, 2);
+        assert_eq!(stats.timeline_hits, 0);
+        assert!(stats.timeline_misses > 0);
+        assert!(session.merge_shards(&SweepPlan::new(&g, vec![0], 10), 1).is_err());
+    }
+}

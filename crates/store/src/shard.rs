@@ -1,23 +1,31 @@
-//! Sharded execution of planned sweeps.
+//! Sharded persistence of planned sweeps.
 //!
 //! A [`SweepPlan`]'s work-list — one representative STIC per `(pair class,
 //! δ)` — is embarrassingly parallel: each class's outcomes are the merge of
 //! two deterministic timelines and depend on nothing outside the class.
-//! This module splits that work-list across *processes* (or machines
-//! sharing a directory): `--shards K --shard-index i` executes the classes
-//! `c` with `c mod K == i` ([`ShardSpec::classes`]), writes one partial
-//! outcome artifact, and [`Store::merge_shards`] reassembles the `K`
-//! partial tables into the exact table a single-process
-//! [`PlannedSweep::run`] produces — **bit-identical**, because assembly is
-//! pure index arithmetic (`table[class · |δ| + di]`) over outcomes that were
-//! each computed by the same deterministic merge regardless of which
-//! process ran them.
+//! This module is the *persistence* half of splitting that work-list across
+//! processes (or machines sharing a directory): `--shards K --shard-index i`
+//! selects the classes `c mod K == i` ([`ShardSpec::classes`]), a
+//! [`crate::SweepSession::run_shard`] executes the slice and writes one
+//! partial outcome artifact here, and [`Store::merge_shards`] reassembles
+//! the `K` partial tables into the exact table a single-process
+//! [`anonrv_plan::PlannedSweep::run`] produces — **bit-identical**, because
+//! assembly is pure index arithmetic (`table[class · |δ| + di]`) over
+//! outcomes that were each computed by the same deterministic merge
+//! regardless of which process ran them.
 //!
 //! Round-robin assignment (rather than contiguous ranges) balances the
 //! shards under the one systematic cost gradient classes have: classes
 //! sharing a first-coordinate orbit appear consecutively, and their
 //! representative timelines are recorded on first touch, so interleaving
 //! spreads both the recording and the merging evenly.
+//!
+//! Unlike the merged outcome tables (which serve smaller horizons by prefix
+//! truncation), shard partials are keyed to their **exact** horizon: mixing
+//! slices executed at different horizons into one merge would be a
+//! correctness trap, so a partial from a different horizon is simply a
+//! miss.  Once a merged table covering a shard's horizon exists, the
+//! partial is superseded and [`Store::gc`] reclaims it.
 //!
 //! The merge refuses to produce a table unless every class is covered
 //! exactly once by mutually consistent shards — a missing shard, a
@@ -28,7 +36,7 @@ use std::io;
 use std::path::PathBuf;
 
 use anonrv_graph::PortGraph;
-use anonrv_plan::{PlannedSweep, SweepPlan};
+use anonrv_plan::SweepPlan;
 use anonrv_sim::SimOutcome;
 
 use crate::cache::{
@@ -92,19 +100,6 @@ pub struct ShardOutcomes {
     pub table: Vec<SimOutcome>,
 }
 
-/// Execute one shard of `plan` through `planned`: runs only this slice's
-/// representative queries (rayon over the slice's classes within the
-/// process).
-pub fn execute_shard(
-    planned: &PlannedSweep<'_>,
-    plan: &SweepPlan,
-    spec: ShardSpec,
-) -> ShardOutcomes {
-    let classes = spec.classes(plan.orbits().num_pair_classes());
-    let table = planned.run_classes(plan, &classes);
-    ShardOutcomes { spec, classes, table }
-}
-
 impl Store {
     fn shard_path(
         &self,
@@ -113,9 +108,16 @@ impl Store {
         plan: &SweepPlan,
         spec: ShardSpec,
     ) -> PathBuf {
-        // reuse the outcomes key so all artifacts of one sweep sort together
+        // reuse the outcomes stem so all artifacts of one sweep sort
+        // together; the horizon is part of the name (unlike merged tables,
+        // partials are exact-horizon — see the module docs)
         let stem = self.plan_artifact_stem(g, program_key, plan);
-        self.root().join(format!("shard-{stem}-{}of{}.anrv", spec.index(), spec.shards()))
+        self.root().join(format!(
+            "shard-{stem}-h{:x}-{}of{}.anrv",
+            plan.horizon(),
+            spec.index(),
+            spec.shards()
+        ))
     }
 
     /// Persist one shard's partial outcomes.  Returns the artifact path.
@@ -133,6 +135,7 @@ impl Store {
         );
         let mut e = Enc::new();
         encode_plan_identity(&mut e, g, program_key, plan);
+        e.u128(plan.horizon());
         e.usize(outcomes.spec.shards());
         e.usize(outcomes.spec.index());
         e.usize(outcomes.classes.len());
@@ -148,7 +151,8 @@ impl Store {
     }
 
     /// Load one shard's partial outcomes, or `None` on any miss (absent /
-    /// corrupt / stale / produced for a different plan).
+    /// corrupt / stale / produced for a different plan or **horizon** —
+    /// shard partials never serve by prefix, see the module docs).
     pub fn load_shard(
         &self,
         g: &PortGraph,
@@ -159,6 +163,9 @@ impl Store {
         let bytes = std::fs::read(self.shard_path(g, program_key, plan, spec)).ok()?;
         let mut d = unframe(Kind::Shard, &bytes)?;
         decode_plan_identity(&mut d, g, program_key, plan)?;
+        if d.u128()? != plan.horizon() {
+            return None;
+        }
         if d.usize()? != spec.shards() || d.usize()? != spec.index() {
             return None;
         }
@@ -181,8 +188,9 @@ impl Store {
 
     /// Merge the `shards` partial artifacts of `(g, program_key, plan)`
     /// into the full representative-outcome table — bit-identical to an
-    /// unsharded [`PlannedSweep::run`] (see the module docs).  Fails with a
-    /// description naming the first missing or inconsistent shard.
+    /// unsharded [`anonrv_plan::PlannedSweep::run`] (see the module docs).
+    /// Fails with a description naming the first missing or inconsistent
+    /// shard.
     pub fn merge_shards(
         &self,
         g: &PortGraph,
@@ -238,8 +246,18 @@ pub fn merge_shard_outcomes(
 mod tests {
     use super::*;
     use crate::testutil::{TempDir, Walker};
+    use crate::SweepSession;
     use anonrv_graph::generators::oriented_torus;
+    use anonrv_plan::PlannedSweep;
     use anonrv_sim::EngineConfig;
+
+    /// A shard slice executed in-process (the persistence-free half of
+    /// [`SweepSession::run_shard`], for tests of the pure merge).
+    fn slice(planned: &PlannedSweep<'_>, plan: &SweepPlan, spec: ShardSpec) -> ShardOutcomes {
+        let classes = spec.classes(plan.orbits().num_pair_classes());
+        let table = planned.run_classes(plan, &classes);
+        ShardOutcomes { spec, classes, table }
+    }
 
     #[test]
     fn shard_specs_validate_and_partition_the_classes() {
@@ -273,13 +291,13 @@ mod tests {
         let reference = planned.run(&plan);
 
         for shards in [2usize, 3] {
-            // each "process": its own engine, its own partial artifact
+            // each "process": its own session, its own partial artifact
             for index in 0..shards {
-                let (worker, _) = store.prepare_sweep(&g, &program, key, EngineConfig::batch(64));
-                let part = execute_shard(&worker, &plan, ShardSpec::new(shards, index).unwrap());
-                assert_eq!(part.classes, ShardSpec::new(shards, index).unwrap().classes(12));
-                store.save_shard(&g, key, &plan, &part).unwrap();
-                store.persist_engine(worker.engine(), key).unwrap();
+                let mut worker =
+                    SweepSession::new(Some(&store), &g, &program, key, EngineConfig::batch(64));
+                let spec = ShardSpec::new(shards, index).unwrap();
+                let part = worker.run_shard(&plan, spec).unwrap();
+                assert_eq!(part.classes, spec.classes(12));
             }
             let merged = store.merge_shards(&g, key, &plan, shards).unwrap();
             assert_eq!(merged, reference.table(), "{shards}-shard merge diverged");
@@ -295,8 +313,8 @@ mod tests {
         let program = Walker { seed: 1 };
         let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(32));
         let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 32);
-        let a = execute_shard(&planned, &plan, ShardSpec::new(2, 0).unwrap());
-        let b = execute_shard(&planned, &plan, ShardSpec::new(2, 1).unwrap());
+        let a = slice(&planned, &plan, ShardSpec::new(2, 0).unwrap());
+        let b = slice(&planned, &plan, ShardSpec::new(2, 1).unwrap());
         // complete coverage merges
         let merged = merge_shard_outcomes(&plan, &[a.clone(), b.clone()]).unwrap();
         assert_eq!(merged.len(), plan.num_representative_queries());
@@ -314,7 +332,7 @@ mod tests {
     }
 
     #[test]
-    fn shard_artifacts_are_rejected_for_a_different_plan() {
+    fn shard_artifacts_are_rejected_for_a_different_plan_or_horizon() {
         let dir = TempDir::new("shard-identity");
         let store = Store::open(&dir.0).unwrap();
         let g = oriented_torus(3, 3).unwrap();
@@ -323,13 +341,16 @@ mod tests {
         let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(32));
         let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 32);
         let spec = ShardSpec::new(2, 0).unwrap();
-        let part = execute_shard(&planned, &plan, spec);
+        let part = slice(&planned, &plan, spec);
         let path = store.save_shard(&g, key, &plan, &part).unwrap();
         assert!(store.load_shard(&g, key, &plan, spec).is_some());
         // same file, interrogated under a different plan identity: miss
         let other_plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2], 32);
         assert!(store.load_shard(&g, key, &other_plan, spec).is_none());
         assert!(store.load_shard(&g, "other-key", &plan, spec).is_none());
+        // a different horizon is a miss too: partials never serve by prefix
+        let other_horizon = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 16);
+        assert!(store.load_shard(&g, key, &other_horizon, spec).is_none());
         // corruption is caught by the frame
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;

@@ -31,17 +31,24 @@
 //!   ordered start pairs collapse onto automorphism orbits, one
 //!   representative runs per `(orbit, δ)`, and outcomes broadcast back
 //!   bit-identically;
-//! * [`store`] ([`anonrv_store`]) — persistence and sharding for planned
-//!   sweeps: a content-addressed on-disk cache (orbits, trajectory
-//!   timelines, outcome tables; integrity-checked, falling back to
-//!   recompute) and a shard executor whose partial results merge
-//!   deterministically into the unsharded table;
+//! * [`store`] ([`anonrv_store`]) — persistence, sharding and
+//!   orchestration for planned sweeps: a content-addressed, *horizon-
+//!   generic* on-disk cache (orbits, trajectory timelines, outcome
+//!   tables; horizons recorded inside the frames, so one recording at the
+//!   largest horizon serves every smaller one by exact prefix truncation;
+//!   integrity-checked, falling back to recompute; compactable via
+//!   [`anonrv_store::Store::gc`]), shard persistence whose partial
+//!   results merge deterministically into the unsharded table, and the
+//!   [`anonrv_store::SweepSession`] pipeline (plan → cache-probe →
+//!   execute → record → broadcast) that the CLI, the experiment harness
+//!   and the benchmarks all drive;
 //! * [`experiments`] ([`anonrv_experiments`]) — the table/figure harnesses,
 //!   including the `--exhaustive` uncapped sweeps.
 //!
 //! The `anonrv` CLI (`crates/cli`) fronts the same machinery; see
 //! `anonrv help`, in particular `anonrv sweep --cache-dir … --shards …
-//! --merge` for store-backed exhaustive sweeps.
+//! --merge` for store-backed exhaustive sweeps and `anonrv cache <dir>
+//! stats|gc` for surveying and compacting a cache directory.
 //!
 //! ---
 #![doc = include_str!("../ARCHITECTURE.md")]

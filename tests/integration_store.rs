@@ -1,13 +1,13 @@
-//! Integration tests of the persistent plan cache + shard executor
-//! (`anonrv-store`) through the umbrella crate: cache correctness under
-//! corruption, truncation and format staleness; warm-vs-cold bit-identity;
-//! and the exhaustive sharded-merge-vs-unsharded differential on the 3×4
-//! torus.
+//! Integration tests of the persistent plan cache, the shard persistence
+//! and the `SweepSession` orchestrator (`anonrv-store`) through the
+//! umbrella crate: cache correctness under corruption, truncation and
+//! format staleness; warm-vs-cold and prefix-vs-cold bit-identity; and the
+//! exhaustive sharded-merge-vs-unsharded differential on the 3×4 torus.
 
 use anonrv::graph::generators::{oriented_ring, oriented_torus};
-use anonrv::plan::{PlannedOutcomes, PlannedSweep, SweepPlan};
+use anonrv::plan::SweepPlan;
 use anonrv::sim::{EngineConfig, Round, SimOutcome, Stic, SweepWalker};
-use anonrv::store::{execute_shard, Provenance, ShardSpec, Store};
+use anonrv::store::{OutcomeProvenance, Provenance, ShardSpec, Store, SweepSession};
 
 /// Unique, self-deleting scratch directory per test.
 struct TempDir(std::path::PathBuf);
@@ -48,38 +48,75 @@ fn warm_and_cold_planned_sweeps_are_bit_identical_end_to_end() {
     let program = walker();
 
     // cold: everything computed, everything persisted
-    let (cold, mut cold_stats) =
-        store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
-    assert_eq!(cold_stats.orbits, Provenance::Cold);
+    let mut cold = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
+    assert_eq!(cold.stats().orbits, Provenance::Cold);
     let plan = SweepPlan::from_orbits(cold.orbits().clone(), deltas(), HORIZON);
-    let cold_outcomes = cold.run(&plan);
-    cold_stats.record_misses(cold.engine());
-    assert!(cold_stats.timeline_misses > 0);
-    store.persist_engine(cold.engine(), KEY).unwrap();
-    store.save_plan_outcomes(&g, KEY, &plan, cold_outcomes.table()).unwrap();
+    let (cold_outcomes, provenance) = cold.run_plan(&plan).unwrap();
+    assert_eq!(provenance, OutcomeProvenance::Cold);
+    assert!(cold.stats().timeline_misses > 0);
 
-    // warm: planning and trajectory recording are skipped entirely ...
-    let (warm, mut warm_stats) =
-        store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
-    assert_eq!(warm_stats.orbits, Provenance::Warm);
-    assert_eq!(warm_stats.timeline_hits, cold.engine().cache().computed());
-    let warm_outcomes = warm.run(&plan);
-    warm_stats.record_misses(warm.engine());
-    assert_eq!(warm_stats.timeline_misses, 0, "warm run must not re-record");
+    // warm at the same horizon: the whole sweep is skipped ...
+    let mut warm = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
+    assert_eq!(warm.stats().orbits, Provenance::Warm);
+    let (warm_outcomes, provenance) = warm.run_plan(&plan).unwrap();
+    assert_eq!(provenance, OutcomeProvenance::WarmExact);
+    assert_eq!(warm.stats().timeline_misses, 0, "warm run must not re-record");
     assert_eq!(warm_outcomes.table(), cold_outcomes.table(), "warm/cold differential");
 
-    // ... and the persisted outcome table even skips the merges, while
-    // remaining bit-identical to direct simulation of every member STIC
-    let table = store.load_plan_outcomes(&g, KEY, &plan).expect("outcome artifact");
-    let restored = PlannedOutcomes::from_table(&plan, table).unwrap();
+    // ... while remaining bit-identical to direct simulation of every
+    // member STIC
     for u in g.nodes() {
         for v in g.nodes() {
             for (di, &delta) in plan.deltas().iter().enumerate() {
                 let direct = warm.engine().simulate(&Stic::new(u, v, delta));
-                assert_eq!(restored.get(u, v, di), direct, "({u}, {v}) delta {delta}");
+                assert_eq!(warm_outcomes.get(u, v, di), direct, "({u}, {v}) delta {delta}");
             }
         }
     }
+}
+
+#[test]
+fn heterogeneous_horizons_are_served_by_one_recording_with_zero_simulations() {
+    let dir = TempDir::new("prefix");
+    let store = Store::open(&dir.0).unwrap();
+    let g = oriented_torus(3, 4).unwrap();
+    let program = walker();
+
+    // populate once, at the largest horizon of the mixed workload
+    let mut seed =
+        SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(4 * HORIZON));
+    let big = SweepPlan::from_orbits(seed.orbits().clone(), deltas(), 4 * HORIZON);
+    seed.run_plan(&big).unwrap();
+
+    // every smaller horizon is served from that one recording: zero
+    // program executions, bit-identical to a cold in-memory run
+    for h in [0 as Round, 1, HORIZON / 2, HORIZON, 4 * HORIZON - 1] {
+        let mut session =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(h));
+        let plan = SweepPlan::from_orbits(session.orbits().clone(), deltas(), h);
+        let (served, provenance) = session.run_plan(&plan).unwrap();
+        assert!(
+            matches!(provenance, OutcomeProvenance::WarmPrefix { recorded, .. } if recorded == 4 * HORIZON),
+            "horizon {h}: expected a prefix hit, got {provenance:?}"
+        );
+        let stats = session.stats();
+        assert_eq!(stats.timeline_misses, 0, "horizon {h}: a prefix hit must not record");
+        assert_eq!(
+            stats.timeline_prefix_hits, stats.timeline_hits,
+            "horizon {h}: every preload is a prefix hit"
+        );
+        let reference = SweepSession::in_memory(&g, &program, EngineConfig::batch(h))
+            .run_plan(&plan)
+            .unwrap()
+            .0;
+        assert_eq!(served.table(), reference.table(), "horizon {h}: prefix differential");
+    }
+
+    // and the exact horizon still short-circuits everything
+    let mut exact =
+        SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(4 * HORIZON));
+    let (_, provenance) = exact.run_plan(&big).unwrap();
+    assert_eq!(provenance, OutcomeProvenance::WarmExact);
 }
 
 #[test]
@@ -89,10 +126,9 @@ fn corrupted_truncated_and_stale_timeline_artifacts_fall_back_to_recompute() {
     let g = oriented_ring(8).unwrap();
     let program = walker();
 
-    let (cold, _) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
+    let mut cold = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
     let plan = SweepPlan::from_orbits(cold.orbits().clone(), deltas(), HORIZON);
-    let reference = cold.run(&plan);
-    store.persist_engine(cold.engine(), KEY).unwrap();
+    let reference = cold.run_plan(&plan).unwrap().0.table().to_vec();
 
     let timeline_artifact = || {
         let mut files: Vec<_> = std::fs::read_dir(&dir.0)
@@ -102,6 +138,13 @@ fn corrupted_truncated_and_stale_timeline_artifacts_fall_back_to_recompute() {
             .collect();
         assert_eq!(files.len(), 1, "exactly one timeline artifact expected");
         files.pop().unwrap()
+    };
+    let outcomes_artifact = || {
+        std::fs::read_dir(&dir.0)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("outcomes-"))
+            .expect("outcome artifact")
     };
     let path = timeline_artifact();
     let good = std::fs::read(&path).unwrap();
@@ -122,17 +165,58 @@ fn corrupted_truncated_and_stale_timeline_artifacts_fall_back_to_recompute() {
     ];
     for (what, bytes) in mutations {
         std::fs::write(&path, &bytes).unwrap();
+        // the outcome table would mask the timeline probe: remove it so the
+        // session has to go through the timelines
+        std::fs::remove_file(outcomes_artifact()).unwrap();
         // the damaged artifact is a miss, never an error or wrong data
-        let (sweep, stats) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
-        assert_eq!(stats.timeline_hits, 0, "{what}: damaged artifact must not preload");
-        let outcomes = sweep.run(&plan);
-        assert_eq!(outcomes.table(), reference.table(), "{what}: outcomes must be unaffected");
-        // recompute-and-overwrite restores a loadable artifact
-        store.persist_engine(sweep.engine(), KEY).unwrap();
-        let (_, stats) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
-        assert!(stats.timeline_hits > 0, "{what}: artifact must be restored");
+        let mut session =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
+        let (outcomes, provenance) = session.run_plan(&plan).unwrap();
+        assert_eq!(provenance, OutcomeProvenance::Cold, "{what}: damaged artifact must miss");
+        assert_eq!(session.stats().timeline_hits, 0, "{what}: damaged artifact must not preload");
+        assert_eq!(outcomes.table(), reference, "{what}: outcomes must be unaffected");
+        // recompute-and-overwrite restored a loadable artifact
+        assert!(store.load_timelines(&g, KEY).is_some(), "{what}: artifact must be restored");
         std::fs::write(&path, &good).unwrap();
     }
+}
+
+#[test]
+fn a_damaged_superseding_frame_degrades_to_recompute_never_a_stale_answer() {
+    let dir = TempDir::new("superseded-damage");
+    let store = Store::open(&dir.0).unwrap();
+    let g = oriented_ring(8).unwrap();
+    let program = walker();
+
+    // a short recording lands first, then a longer one supersedes it in
+    // place (same artifact files — nothing of the short run remains)
+    let mut short = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(16));
+    let short_plan = SweepPlan::from_orbits(short.orbits().clone(), deltas(), 16);
+    let short_reference = short.run_plan(&short_plan).unwrap().0.table().to_vec();
+    let mut long = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
+    let long_plan = SweepPlan::from_orbits(long.orbits().clone(), deltas(), HORIZON);
+    long.run_plan(&long_plan).unwrap();
+
+    // damage every superseding artifact (timelines + outcomes)
+    for entry in std::fs::read_dir(&dir.0).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.starts_with("timelines-") || name.starts_with("outcomes-") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+    }
+
+    // a horizon-16 session must NOT be served the pre-supersession short
+    // answer (it is gone) nor the damaged frame: it recomputes, and the
+    // result is bit-identical to the original cold horizon-16 run
+    let mut session = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(16));
+    let (outcomes, provenance) = session.run_plan(&short_plan).unwrap();
+    assert_eq!(provenance, OutcomeProvenance::Cold, "damage must degrade to recompute");
+    assert_eq!(session.stats().timeline_hits, 0);
+    assert_eq!(outcomes.table(), short_reference, "recompute differential");
 }
 
 #[test]
@@ -143,38 +227,42 @@ fn exhaustive_sharded_merge_equals_the_unsharded_sweep_on_torus_3x4() {
     let program = walker();
 
     // the unsharded reference: one process, no store
-    let reference_sweep = PlannedSweep::new(&g, &program, EngineConfig::batch(HORIZON));
-    let plan = SweepPlan::from_orbits(reference_sweep.orbits().clone(), deltas(), HORIZON);
-    let reference = reference_sweep.run(&plan);
+    let mut reference_session = SweepSession::in_memory(&g, &program, EngineConfig::batch(HORIZON));
+    let plan = SweepPlan::from_orbits(reference_session.orbits().clone(), deltas(), HORIZON);
+    let reference = reference_session.run_plan(&plan).unwrap().0;
 
     for shards in [2usize, 3, 5] {
-        // each shard in its own engine, as separate processes would run
+        // each shard in its own session, as separate processes would run
         for index in 0..shards {
-            let (worker, _) = store.prepare_sweep(&g, &program, KEY, EngineConfig::batch(HORIZON));
-            let part = execute_shard(&worker, &plan, ShardSpec::new(shards, index).unwrap());
-            store.save_shard(&g, KEY, &plan, &part).unwrap();
-            store.persist_engine(worker.engine(), KEY).unwrap();
+            let mut worker =
+                SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
+            let part = worker.run_shard(&plan, ShardSpec::new(shards, index).unwrap()).unwrap();
+            assert_eq!(worker.stats().shard, Some((index, shards)));
+            assert_eq!(part.table.len(), part.classes.len() * plan.deltas().len());
         }
-        let merged = store.merge_shards(&g, KEY, &plan, shards).unwrap();
-        assert_eq!(merged, reference.table(), "{shards}-shard merge differential");
+        let mut merger =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
+        let merged = merger.merge_shards(&plan, shards).unwrap();
+        assert_eq!(merged.table(), reference.table(), "{shards}-shard merge differential");
 
         // ... and the merged table broadcasts to every member STIC
         // bit-identically to direct simulation (the exhaustive check)
-        let outcomes = PlannedOutcomes::from_table(&plan, merged).unwrap();
         let mut met = 0usize;
         for u in g.nodes() {
             for v in g.nodes() {
                 for (di, &delta) in plan.deltas().iter().enumerate() {
                     let direct: SimOutcome =
-                        reference_sweep.engine().simulate(&Stic::new(u, v, delta));
-                    assert_eq!(outcomes.get(u, v, di), direct);
+                        reference_session.engine().simulate(&Stic::new(u, v, delta));
+                    assert_eq!(merged.get(u, v, di), direct);
                     met += usize::from(direct.met());
                 }
             }
         }
-        assert_eq!(outcomes.met_total(), met);
+        assert_eq!(merged.met_total(), met);
     }
 
     // a partial shard set refuses to merge
-    assert!(store.merge_shards(&g, KEY, &plan, 4).is_err());
+    let mut merger =
+        SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(HORIZON));
+    assert!(merger.merge_shards(&plan, 4).is_err());
 }
