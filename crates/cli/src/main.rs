@@ -491,6 +491,11 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
             plan.num_representative_queries(),
             stats.timeline_misses,
         ),
+        (Some(_), OutcomeProvenance::WarmExtend { recorded, extended }) => format!(
+            "outcomes warm-extend (recorded at horizon {recorded}, served at {horizon}: \
+             {extended} of {} representative merges resumed at the recorded horizon)",
+            plan.num_representative_queries(),
+        ),
         (Some(_), OutcomeProvenance::Cold) => format!(
             "orbits {}, timelines {}, outcomes cold (persisted)",
             stats.orbits,

@@ -17,7 +17,7 @@ use std::borrow::Cow;
 use rayon::prelude::*;
 
 use anonrv_graph::{NodeId, PortGraph};
-use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine};
+use anonrv_sim::{AgentProgram, EngineConfig, MergeScratch, Round, SimOutcome, Stic, SweepEngine};
 
 use crate::orbits::PairOrbits;
 
@@ -225,6 +225,25 @@ fn validate_truncation(full: &SweepPlan, plan: &SweepPlan) -> Result<(), String>
         return Err(format!(
             "cannot extend a horizon-{} table to {}",
             full.horizon(),
+            plan.horizon()
+        ));
+    }
+    Ok(())
+}
+
+/// Check that `plan` is a valid extension target of `prior`: the same
+/// partition and δ-grid at a horizon at least the recorded one.
+fn validate_extension(prior: &SweepPlan, plan: &SweepPlan) -> Result<(), String> {
+    if plan.orbits() != prior.orbits() {
+        return Err("cannot extend onto a different graph / partition".into());
+    }
+    if plan.deltas() != prior.deltas() {
+        return Err("cannot extend onto a different delay grid".into());
+    }
+    if plan.horizon() < prior.horizon() {
+        return Err(format!(
+            "cannot extend a horizon-{} table down to {}",
+            prior.horizon(),
             plan.horizon()
         ));
     }
@@ -461,15 +480,17 @@ impl<'a> PlannedSweep<'a> {
             .par_iter()
             .map(|&class| {
                 let (r, c) = self.orbits.representative(class);
-                // one delta-sweep pass per class resolves the whole δ-grid
-                if plan.horizon() == self.engine.config().horizon {
-                    self.engine.simulate_deltas(r, c, plan.deltas())
-                } else {
-                    plan.deltas()
-                        .iter()
-                        .map(|&d| self.engine.simulate_capped(&Stic::new(r, c, d), plan.horizon()))
-                        .collect()
-                }
+                // one delta-sweep pass per class resolves the whole δ-grid:
+                // the occupancy cursors and scratch buffers are shared
+                // across the class's delays (see `merge_timelines_deltas`)
+                let mut scratch = MergeScratch::new();
+                self.engine.simulate_deltas_capped_with(
+                    &mut scratch,
+                    r,
+                    c,
+                    plan.deltas(),
+                    plan.horizon(),
+                )
             })
             .collect();
         per_class.into_iter().flatten().collect()
@@ -479,8 +500,12 @@ impl<'a> PlannedSweep<'a> {
     /// [`PlannedOutcomes::truncate`] with the undetermined entries
     /// re-merged **in parallel** (rayon) through this sweep's trajectory
     /// cache, which on a warm cache costs timeline merges only, never a
-    /// program execution.  Returns the truncated table and the number of
-    /// entries that had to re-merge.
+    /// program execution.  The undetermined slots arrive class-major, so
+    /// each class's surviving delays form one contiguous run; every run is
+    /// resolved through a single delta-sweep pass (shared occupancy cursors
+    /// and scratch, see `merge_timelines_deltas`) rather than one
+    /// independent merge per slot.  Returns the truncated table and the
+    /// number of entries that had to re-merge.
     pub fn serve_prefix<'p>(
         &self,
         full: &PlannedOutcomes<'_>,
@@ -489,8 +514,7 @@ impl<'a> PlannedSweep<'a> {
         validate_truncation(full.plan(), plan)?;
         let h = plan.horizon();
         let ndeltas = plan.deltas().len().max(1);
-        // resolve the undetermined slots up front, fanning rayon out over
-        // the merges exactly as a cold `run` would
+        // the undetermined slots, in slot (class-major, δ-minor) order
         let jobs: Vec<Stic> = full
             .table()
             .iter()
@@ -501,8 +525,26 @@ impl<'a> PlannedSweep<'a> {
                 Stic::new(r, c, plan.deltas()[slot % ndeltas])
             })
             .collect();
-        let resolved: Vec<SimOutcome> =
-            jobs.par_iter().map(|stic| self.engine.simulate_capped(stic, h)).collect();
+        // group the contiguous per-pair runs, then fan rayon out over the
+        // groups: one delta-sweep pass resolves a pair's whole surviving
+        // δ-grid, exactly as a cold `run_classes` would
+        let mut groups: Vec<(NodeId, NodeId, Vec<Round>)> = Vec::new();
+        for stic in &jobs {
+            match groups.last_mut() {
+                Some((r, c, deltas)) if *r == stic.earlier && *c == stic.later => {
+                    deltas.push(stic.delay);
+                }
+                _ => groups.push((stic.earlier, stic.later, vec![stic.delay])),
+            }
+        }
+        let per_group: Vec<Vec<SimOutcome>> = groups
+            .par_iter()
+            .map(|(r, c, deltas)| {
+                let mut scratch = MergeScratch::new();
+                self.engine.simulate_deltas_capped_with(&mut scratch, *r, *c, deltas, h)
+            })
+            .collect();
+        let resolved: Vec<SimOutcome> = per_group.into_iter().flatten().collect();
         // `truncate` visits slots in order, so the resolved outcomes drain
         // in lockstep with its remerge calls
         let mut drain = jobs.iter().zip(resolved);
@@ -512,6 +554,45 @@ impl<'a> PlannedSweep<'a> {
             outcome
         })?;
         Ok((outcomes, jobs.len()))
+    }
+
+    /// Extend a **shorter**-horizon outcome table to `plan`'s larger horizon
+    /// without restarting any merge from round zero: `prior` must describe
+    /// the same partition and δ-grid at `prior.plan().horizon() <=
+    /// plan.horizon()`, and every entry must be exact at that horizon (the
+    /// contract a checksummed store table satisfies).  Entries that already
+    /// met are final by stop-propagation and are served in O(1); unmet
+    /// entries resume their merge at the recorded horizon through
+    /// [`SweepEngine::simulate_extend`], fanned out with rayon.  The result
+    /// is bit-identical to executing `plan` cold.  Returns the extended
+    /// table and the number of entries that needed a resumed merge.
+    pub fn extend_table<'p>(
+        &self,
+        prior: &PlannedOutcomes<'_>,
+        plan: &'p SweepPlan,
+    ) -> Result<(PlannedOutcomes<'p>, usize), String> {
+        validate_extension(prior.plan(), plan)?;
+        assert!(
+            plan.horizon() <= self.engine.config().horizon,
+            "plan horizon exceeds the engine horizon"
+        );
+        let h = plan.horizon();
+        let ndeltas = plan.deltas().len().max(1);
+        let table: Vec<SimOutcome> = (0..prior.table().len())
+            .into_par_iter()
+            .map(|slot| {
+                let (r, c) = plan.orbits().representative(slot / ndeltas);
+                let stic = Stic::new(r, c, plan.deltas()[slot % ndeltas]);
+                self.engine.simulate_extend(&stic, &prior.table()[slot], h)
+            })
+            .collect();
+        let extended = prior
+            .table()
+            .iter()
+            .enumerate()
+            .filter(|(slot, o)| o.meeting.is_none() && plan.deltas()[slot % ndeltas] <= h)
+            .count();
+        Ok((PlannedOutcomes::from_table(plan, table)?, extended))
     }
 
     /// Validate the broadcast on a deterministic sample: every
@@ -701,6 +782,46 @@ mod tests {
         let other_graph = oriented_ring(12).unwrap();
         let foreign = SweepPlan::new(&other_graph, deltas, 10);
         assert!(full.truncate(&foreign, |_| unreachable!()).is_err());
+    }
+
+    #[test]
+    fn extended_tables_are_bit_identical_to_cold_runs_at_the_larger_horizon() {
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let deltas: Vec<Round> = vec![0, 2, 5, 40];
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        for recorded in [0 as Round, 1, 3, 10, 30, 64] {
+            let prior_plan =
+                SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), recorded);
+            let prior = planned.run(&prior_plan);
+            for h in [recorded, 40, 64] {
+                if h < recorded {
+                    continue;
+                }
+                let plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), h);
+                let (served, extended) = planned.extend_table(&prior, &plan).unwrap();
+                let cold = planned.run(&plan);
+                assert_eq!(served.table(), cold.table(), "{recorded} -> {h}");
+                // met priors are final and never count as resumed merges
+                let unmet = prior
+                    .table()
+                    .iter()
+                    .enumerate()
+                    .filter(|(slot, o)| o.meeting.is_none() && deltas[slot % deltas.len()] <= h)
+                    .count();
+                assert_eq!(extended, unmet, "{recorded} -> {h}: resumed-merge count");
+            }
+        }
+        // refusals: smaller horizon, different grid, different partition
+        let prior_plan = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), 30);
+        let prior = planned.run(&prior_plan);
+        let shorter = SweepPlan::from_orbits(planned.orbits().clone(), deltas.clone(), 10);
+        assert!(planned.extend_table(&prior, &shorter).is_err());
+        let other_grid = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 64);
+        assert!(planned.extend_table(&prior, &other_grid).is_err());
+        let other_graph = oriented_ring(12).unwrap();
+        let foreign = SweepPlan::new(&other_graph, deltas, 64);
+        assert!(planned.extend_table(&prior, &foreign).is_err());
     }
 
     #[test]

@@ -16,13 +16,25 @@
 //! * [`TrajectoryCache`] — per `(graph, program, horizon)` store of lazily
 //!   recorded [`Timeline`]s, one per start node, thread-safe (`OnceLock`
 //!   slots) so rayon sweeps can fan out over merges directly;
-//! * [`merge_timelines`] — meeting detection over two cached timelines: the
-//!   later agent's segments are swept in time order and each is resolved
-//!   against the earlier timeline's per-node *occupancy-interval index*
-//!   (sorted visit intervals per node, built once at record time), so a
-//!   query costs `O(segments(later) · log)` with early exit as soon as the
-//!   running best meeting round can no longer be beaten — the common
-//!   "agents meet fast" case touches only a prefix of the timeline;
+//! * [`merge_timelines`] — meeting detection over two cached timelines as a
+//!   branch-light **two-cursor sort-merge** over the flat `starts`/`nodes`
+//!   arrays: the intersection windows of the two segment sequences are
+//!   visited in increasing time order, so the first equal-node window *is*
+//!   the earliest meeting and a query costs `O(segments(earlier) +
+//!   segments(later))` with no binary probes;
+//! * [`merge_timelines_deltas`] / [`merge_timelines_deltas_with`] — a whole
+//!   δ-sweep of one pair in one pass over the later timeline, probing the
+//!   earlier timeline's per-node *occupancy-interval index* (CSR over
+//!   struct-of-arrays interval bounds, built once at record time) through
+//!   monotone per-node cursors held in a reusable [`MergeScratch`];
+//! * [`merge_timelines_extend`] — the incremental mode: extend an exact
+//!   horizon-`h` outcome to `H >= h` by resuming the sort-merge at the
+//!   segments still open at `h` instead of restarting, which is what serves
+//!   a stored outcome table recorded at a smaller horizon;
+//! * `merge_timelines_reference` / `merge_timelines_deltas_reference` —
+//!   the retained pre-kernel merges (binary occupancy probes), compiled only
+//!   under `cfg(test)` or the `ref-oracle` feature as the oracle the
+//!   differential suites pin the kernels against;
 //! * [`SweepEngine`] — the sweep-facing façade: an [`EngineConfig`] plus a
 //!   cache; [`EngineMode::Auto`] and [`EngineMode::Batch`] answer from the
 //!   cache (constructing a `SweepEngine` *is* the caller's signal that
@@ -103,16 +115,6 @@ impl EventSink for RecordSink {
     fn finish(&mut self) {}
 }
 
-/// One entry of the per-node occupancy-interval index: a visit interval
-/// plus the index of the segment realising it.  Entries carry the interval
-/// bounds inline so a lookup never chases back into the segment array.
-#[derive(Debug, Clone, Copy)]
-struct OccEntry {
-    start: Round,
-    end: Round,
-    seg: u32,
-}
-
 /// One stop of a timeline in its public, serialisable form: the agent sits
 /// at `node` during the local rounds `[start, end)`.  This is the exact
 /// information [`Timeline::from_segments`] needs to rebuild a timeline —
@@ -131,36 +133,58 @@ pub struct TimelineSeg {
 
 /// A start node's full position timeline under one `(graph, program,
 /// horizon)` triple, in the agent's *local* rounds (round 0 = its start),
-/// plus the per-node occupancy-interval index used by [`merge_timelines`].
+/// stored as **flat struct-of-arrays** plus the per-node occupancy-interval
+/// index used by the merge kernels.
+///
+/// Everything else a merge needs is *positional* and derived on the fly:
+/// segment `i` occupies `nodes[i]` during `[starts[i], starts[i + 1])`
+/// (contiguity makes every end its successor's start, so one dense array
+/// with a trailing sentinel carries both bounds); a terminated run is
+/// recognisable by its `INFINITY` sentinel; and because every segment after
+/// the first (tail excepted) is opened by exactly one edge traversal, move
+/// counts are `min(i, total_moves)`.  These six arrays are also the exact
+/// v3 on-disk payload ([`Timeline::from_parts`] rebuilds a timeline from
+/// them without re-running the counting sort).
 #[derive(Debug, Clone)]
 pub struct Timeline {
-    /// Contiguous segments from local round 0; the final entry is the
-    /// infinite parked-forever tail when the program terminated by itself.
-    segs: Vec<Seg>,
     /// The local horizon the run was recorded (or reconstructed) at; queries
     /// through this timeline are exact for any horizon `<=` this.
     recorded_horizon: Round,
-    /// Hot copy of the segment starts plus one sentinel (the last segment's
-    /// end), so the merge sweep reads `starts[j] .. starts[j + 1]` from one
-    /// dense array: contiguity makes every segment's end its successor's
-    /// start.
+    /// Segment starts plus one sentinel (the last segment's end; `INFINITY`
+    /// when the program terminated and parks forever), length `nsegs + 1`.
     starts: Vec<Round>,
-    /// Hot copy of the segment nodes (same indexing as `segs`).
+    /// Per-segment nodes, length `nsegs`.
     nodes: Vec<u32>,
-    /// End of the last *finite* segment — one past the last local round the
-    /// recorded run actually executed.
-    finite_end: Round,
-    /// Full-run edge-traversal total.
-    total_moves: u64,
-    /// The program terminated by itself (rather than hitting the horizon).
-    terminated: bool,
-    /// Index of the infinite tail segment, if any.
-    tail_index: Option<usize>,
-    /// CSR offsets into `occ`, one slice per node (length `n + 1`).
+    /// CSR offsets into the occupancy arrays, one slice per node (length
+    /// `n + 1`).
     occ_starts: Vec<u32>,
-    /// Visit intervals grouped by node, each group sorted by `start` (and,
-    /// intervals being disjoint, by `end`).
-    occ: Vec<OccEntry>,
+    /// Occupancy-interval starts, grouped by node; each group is sorted by
+    /// start (and, intervals being disjoint, by end).
+    occ_start: Vec<Round>,
+    /// Occupancy-interval ends, same indexing as `occ_start`.
+    occ_end: Vec<Round>,
+    /// Index of the segment realising each occupancy interval.
+    occ_seg: Vec<u32>,
+}
+
+/// Owned flat arrays to rebuild a [`Timeline`] from without re-indexing —
+/// the exact decoded form of the v3 on-disk timeline payload (see
+/// [`Timeline::from_parts`]; the borrowed counterparts are the
+/// [`Timeline::starts`]-family accessors).
+#[derive(Debug, Clone)]
+pub struct TimelineParts {
+    /// Segment starts plus the trailing sentinel (length `nsegs + 1`).
+    pub starts: Vec<Round>,
+    /// Per-segment nodes (length `nsegs`).
+    pub nodes: Vec<u32>,
+    /// CSR offsets of the per-node occupancy index (length `n + 1`).
+    pub occ_starts: Vec<u32>,
+    /// Occupancy-interval starts, grouped by node (length `nsegs`).
+    pub occ_start: Vec<Round>,
+    /// Occupancy-interval ends (length `nsegs`).
+    pub occ_end: Vec<Round>,
+    /// Segment index realising each occupancy interval (length `nsegs`).
+    pub occ_seg: Vec<u32>,
 }
 
 impl Timeline {
@@ -177,29 +201,24 @@ impl Timeline {
         let terminated = program.run(&mut nav).is_ok();
         let total_moves = nav.moves();
         let record = nav.into_sink();
-        let mut segs = record.segs;
+        let segs = record.segs;
         let finite_end = segs.last().expect("timeline starts non-empty").end;
-        let mut tail_index = None;
+        let mut starts: Vec<Round> = Vec::with_capacity(segs.len() + 2);
+        starts.extend(segs.iter().map(|s| s.start));
+        let mut nodes: Vec<u32> = segs.iter().map(|s| s.node as u32).collect();
+        starts.push(finite_end);
         if terminated {
             // the program ended by itself: it stays at its final node forever
-            let last = *segs.last().expect("timeline starts non-empty");
-            tail_index = Some(segs.len());
-            segs.push(Seg {
-                node: last.node,
-                start: finite_end,
-                end: INFINITY,
-                moves_before: total_moves,
-            });
+            nodes.push(*nodes.last().expect("timeline starts non-empty"));
+            starts.push(INFINITY);
         }
-        Self::assemble(
-            g.num_nodes(),
-            horizon,
-            segs,
-            finite_end,
+        debug_assert_eq!(
             total_moves,
-            terminated,
-            tail_index,
-        )
+            (nodes.len() - 1 - usize::from(terminated)) as u64,
+            "move counts are positional: every segment after the first (tail excepted) \
+             is opened by exactly one traversal"
+        );
+        Self::assemble(g.num_nodes(), horizon, starts, nodes)
     }
 
     /// Rebuild a timeline from its serialisable segment list, validating
@@ -253,27 +272,21 @@ impl Timeline {
                 "finite timeline end {finite_end} exceeds the recorded horizon {horizon}"
             ));
         }
-        // every segment after the first (tail excepted) is opened by exactly
-        // one edge traversal, so move counts are positional
-        let total_moves = (finite_count - 1) as u64;
-        let tail_index = terminated.then_some(segs.len() - 1);
-        let segs: Vec<Seg> = segs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| Seg {
-                node: s.node,
-                start: s.start,
-                end: s.end,
-                moves_before: (i as u64).min(total_moves),
-            })
-            .collect();
-        Ok(Self::assemble(n, horizon, segs, finite_end, total_moves, terminated, tail_index))
+        let mut starts: Vec<Round> = Vec::with_capacity(segs.len() + 1);
+        starts.extend(segs.iter().map(|s| s.start));
+        starts.push(segs.last().expect("checked non-empty").end);
+        let nodes: Vec<u32> = segs.iter().map(|s| s.node as u32).collect();
+        Ok(Self::assemble(n, horizon, starts, nodes))
     }
 
     /// The serialisable segment list (the exact input
     /// [`Timeline::from_segments`] rebuilds this timeline from).
     pub fn segments(&self) -> impl Iterator<Item = TimelineSeg> + '_ {
-        self.segs.iter().map(|s| TimelineSeg { node: s.node, start: s.start, end: s.end })
+        (0..self.nodes.len()).map(move |i| TimelineSeg {
+            node: self.nodes[i] as usize,
+            start: self.starts[i],
+            end: self.starts[i + 1],
+        })
     }
 
     /// The local horizon this timeline was recorded (or reconstructed) at.
@@ -300,7 +313,7 @@ impl Timeline {
         if horizon == self.recorded_horizon {
             return self.clone();
         }
-        if self.terminated && self.finite_end <= horizon + 1 {
+        if self.terminated() && self.finite_end() <= horizon + 1 {
             // the program ended by itself within the smaller horizon: the
             // truncated run is the whole run (tail included)
             let mut t = self.clone();
@@ -311,13 +324,11 @@ impl Timeline {
         // round `horizon` (start = horizon + 1) never happens, and the
         // segment covering `horizon` ends at horizon + 1 exactly as a
         // horizon-cut wait records it
-        let keep = self.segs.partition_point(|s| s.start <= horizon);
-        let mut segs: Vec<Seg> = self.segs[..keep].to_vec();
-        let last = segs.last_mut().expect("the initial segment starts at round 0");
-        last.end = last.end.min(horizon + 1);
-        let finite_end = last.end;
-        let total_moves = (segs.len() - 1) as u64;
-        Self::assemble(self.num_graph_nodes(), horizon, segs, finite_end, total_moves, false, None)
+        let keep = self.starts[..self.nodes.len()].partition_point(|&s| s <= horizon);
+        let mut starts: Vec<Round> = self.starts[..keep + 1].to_vec();
+        starts[keep] = starts[keep].min(horizon + 1);
+        let nodes: Vec<u32> = self.nodes[..keep].to_vec();
+        Self::assemble(self.num_graph_nodes(), horizon, starts, nodes)
     }
 
     /// Node count of the graph the timeline was recorded on.
@@ -325,74 +336,211 @@ impl Timeline {
         self.occ_starts.len() - 1
     }
 
-    /// Build the hot sweep arrays and the per-node occupancy index from a
-    /// validated segment list (shared by [`Timeline::record`] and
-    /// [`Timeline::from_segments`]).
-    fn assemble(
-        n: usize,
-        recorded_horizon: Round,
-        segs: Vec<Seg>,
-        finite_end: Round,
-        total_moves: u64,
-        terminated: bool,
-        tail_index: Option<usize>,
-    ) -> Self {
-        assert!(segs.len() <= u32::MAX as usize, "timeline exceeds the index width");
-
-        // hot sweep arrays: starts with the trailing sentinel, and nodes
-        let mut starts: Vec<Round> = segs.iter().map(|s| s.start).collect();
-        starts.push(segs.last().expect("timeline starts non-empty").end);
-        let nodes: Vec<u32> = segs.iter().map(|s| s.node as u32).collect();
+    /// Build the per-node occupancy index from validated `starts`/`nodes`
+    /// arrays (shared by [`Timeline::record`], [`Timeline::from_segments`]
+    /// and [`Timeline::truncate`]).
+    fn assemble(n: usize, recorded_horizon: Round, starts: Vec<Round>, nodes: Vec<u32>) -> Self {
+        let nsegs = nodes.len();
+        assert!(nsegs <= u32::MAX as usize, "timeline exceeds the index width");
+        debug_assert_eq!(starts.len(), nsegs + 1);
 
         // per-node occupancy index (counting sort into CSR layout)
         let mut occ_starts = vec![0u32; n + 1];
-        for s in &segs {
-            occ_starts[s.node + 1] += 1;
+        for &u in &nodes {
+            occ_starts[u as usize + 1] += 1;
         }
         for i in 0..n {
             occ_starts[i + 1] += occ_starts[i];
         }
         let mut cursor = occ_starts.clone();
-        let mut occ = vec![OccEntry { start: 0, end: 0, seg: 0 }; segs.len()];
-        for (i, s) in segs.iter().enumerate() {
-            occ[cursor[s.node] as usize] = OccEntry { start: s.start, end: s.end, seg: i as u32 };
-            cursor[s.node] += 1;
+        let mut occ_start = vec![0 as Round; nsegs];
+        let mut occ_end = vec![0 as Round; nsegs];
+        let mut occ_seg = vec![0u32; nsegs];
+        for (i, &u) in nodes.iter().enumerate() {
+            let c = cursor[u as usize] as usize;
+            occ_start[c] = starts[i];
+            occ_end[c] = starts[i + 1];
+            occ_seg[c] = i as u32;
+            cursor[u as usize] += 1;
         }
 
-        Timeline {
-            segs,
-            recorded_horizon,
+        Timeline { recorded_horizon, starts, nodes, occ_starts, occ_start, occ_end, occ_seg }
+    }
+
+    /// Rebuild a timeline from its flat v3 arrays **without re-indexing**:
+    /// the arrays are installed as-is after a cheap `O(n + nsegs)` structural
+    /// validation, so a warm load skips both the per-segment decode and the
+    /// counting sort [`Timeline::from_segments`] pays.  The occupancy index
+    /// is accepted only in the exact canonical form the counting sort
+    /// produces (per-node groups in segment order with matching interval
+    /// bounds), which makes the result bit-identical to
+    /// `from_segments(n, horizon, self.segments())`.
+    ///
+    /// Errors describe the first violated invariant; a cache treats any
+    /// error as a miss and falls back to re-recording.  (Byte-level
+    /// corruption is the store frame checksum's job — this validation only
+    /// guards the structural invariants the merge kernels rely on.)
+    pub fn from_parts(n: usize, horizon: Round, parts: TimelineParts) -> Result<Self, String> {
+        let TimelineParts { starts, nodes, occ_starts, occ_start, occ_end, occ_seg } = parts;
+        let nsegs = nodes.len();
+        if nsegs == 0 {
+            return Err("a timeline has at least its initial segment".into());
+        }
+        if nsegs > u32::MAX as usize {
+            return Err("timeline exceeds the index width".into());
+        }
+        if starts.len() != nsegs + 1 {
+            return Err("the start array carries one sentinel past the segments".into());
+        }
+        if starts[0] != 0 {
+            return Err("the first segment must start at local round 0".into());
+        }
+        for i in 0..nsegs {
+            if starts[i] >= starts[i + 1] {
+                return Err(format!("segment {i}: empty or inverted interval"));
+            }
+            if (nodes[i] as usize) >= n {
+                return Err(format!("segment {i}: node {} out of range (n = {n})", nodes[i]));
+            }
+        }
+        let terminated = starts[nsegs] == INFINITY;
+        if terminated {
+            if nsegs < 2 {
+                return Err("a terminated run records a finite segment before its tail".into());
+            }
+            if nodes[nsegs - 1] != nodes[nsegs - 2] {
+                return Err("the parked-forever tail must stay on the final node".into());
+            }
+        }
+        let finite_end = if terminated { starts[nsegs - 1] } else { starts[nsegs] };
+        if finite_end > horizon.saturating_add(1) {
+            return Err(format!(
+                "finite timeline end {finite_end} exceeds the recorded horizon {horizon}"
+            ));
+        }
+        // the occupancy index must be exactly the counting-sort CSR
+        // `assemble` builds: group sizes sum to nsegs and entries within a
+        // group are distinct segments of that node in increasing order, so
+        // together the groups cover every segment exactly once
+        if occ_starts.len() != n + 1 || occ_starts[0] != 0 || occ_starts[n] as usize != nsegs {
+            return Err("occupancy index shape does not match the segments".into());
+        }
+        if occ_start.len() != nsegs || occ_end.len() != nsegs || occ_seg.len() != nsegs {
+            return Err("occupancy arrays must have one entry per segment".into());
+        }
+        for u in 0..n {
+            let (s, e) = (occ_starts[u] as usize, occ_starts[u + 1] as usize);
+            if s > e || e > nsegs {
+                return Err("occupancy offsets must be nondecreasing".into());
+            }
+            let mut prev: Option<u32> = None;
+            for k in s..e {
+                let seg = occ_seg[k] as usize;
+                if seg >= nsegs || nodes[seg] as usize != u {
+                    return Err(format!(
+                        "occupancy entry {k}: segment {seg} is not a visit to node {u}"
+                    ));
+                }
+                if prev.is_some_and(|p| p >= occ_seg[k]) {
+                    return Err(format!("occupancy entries of node {u} must be in segment order"));
+                }
+                if occ_start[k] != starts[seg] || occ_end[k] != starts[seg + 1] {
+                    return Err(format!(
+                        "occupancy entry {k}: interval does not match segment {seg}"
+                    ));
+                }
+                prev = Some(occ_seg[k]);
+            }
+        }
+        Ok(Timeline {
+            recorded_horizon: horizon,
             starts,
             nodes,
-            finite_end,
-            total_moves,
-            terminated,
-            tail_index,
             occ_starts,
-            occ,
-        }
+            occ_start,
+            occ_end,
+            occ_seg,
+        })
     }
 
     /// Number of recorded segments (including the infinite tail, if any).
     pub fn num_segments(&self) -> usize {
-        self.segs.len()
+        self.nodes.len()
     }
 
-    /// `true` iff the program terminated by itself within the horizon.
+    /// `true` iff the program terminated by itself within the horizon
+    /// (recognisable by the `INFINITY` sentinel of the parked-forever tail).
     pub fn terminated(&self) -> bool {
-        self.terminated
+        *self.starts.last().expect("timeline starts non-empty") == INFINITY
     }
 
-    /// Full-run edge-traversal total.
+    /// Full-run edge-traversal total: every segment after the first (tail
+    /// excepted) is opened by exactly one traversal, so the count is
+    /// positional.
     pub fn total_moves(&self) -> u64 {
-        self.total_moves
+        (self.nodes.len() - 1 - usize::from(self.terminated())) as u64
+    }
+
+    /// End of the last *finite* segment — one past the last local round the
+    /// recorded run actually executed.
+    fn finite_end(&self) -> Round {
+        let nsegs = self.nodes.len();
+        if self.terminated() {
+            self.starts[nsegs - 1]
+        } else {
+            self.starts[nsegs]
+        }
+    }
+
+    /// Index of the infinite tail segment, if any.
+    #[inline]
+    fn tail_index(&self) -> Option<usize> {
+        self.terminated().then(|| self.nodes.len() - 1)
+    }
+
+    /// Edge traversals completed at rounds `<= starts[i]` (the move that
+    /// opened segment `i` included) — positional, see [`Self::total_moves`].
+    #[inline]
+    fn moves_before(&self, i: usize) -> u64 {
+        (i as u64).min(self.total_moves())
+    }
+
+    /// Segment starts plus the trailing sentinel (v3 payload array).
+    pub fn starts(&self) -> &[Round] {
+        &self.starts
+    }
+
+    /// Per-segment nodes (v3 payload array).
+    pub fn seg_nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// CSR offsets of the per-node occupancy index (v3 payload array).
+    pub fn occ_starts(&self) -> &[u32] {
+        &self.occ_starts
+    }
+
+    /// Occupancy-interval starts, grouped by node (v3 payload array).
+    pub fn occ_interval_starts(&self) -> &[Round] {
+        &self.occ_start
+    }
+
+    /// Occupancy-interval ends, grouped by node (v3 payload array).
+    pub fn occ_interval_ends(&self) -> &[Round] {
+        &self.occ_end
+    }
+
+    /// Segment index realising each occupancy interval (v3 payload array).
+    pub fn occ_segs(&self) -> &[u32] {
+        &self.occ_seg
     }
 
     /// Index of the segment occupying `local` (which must be covered: below
     /// [`Self::finite_end`], or anywhere when the timeline has a tail).
     fn seg_at(&self, local: Round) -> usize {
-        let idx = self.segs.partition_point(|s| s.end <= local);
-        debug_assert!(idx < self.segs.len(), "round {local} beyond the recorded timeline");
+        let nsegs = self.nodes.len();
+        let idx = self.starts[1..=nsegs].partition_point(|&end| end <= local);
+        debug_assert!(idx < nsegs, "round {local} beyond the recorded timeline");
         idx
     }
 
@@ -400,10 +548,10 @@ impl Timeline {
     /// horizon `cap <=` the recorded horizon — exact because programs
     /// propagate `Stop`, making the truncated run a prefix of this one.
     fn totals_up_to(&self, cap: Round) -> (u64, bool) {
-        if cap >= self.finite_end - 1 {
-            (self.total_moves, self.terminated)
+        if cap >= self.finite_end() - 1 {
+            (self.total_moves(), self.terminated())
         } else {
-            (self.segs[self.seg_at(cap)].moves_before, false)
+            (self.moves_before(self.seg_at(cap)), false)
         }
     }
 
@@ -411,13 +559,19 @@ impl Timeline {
     /// occupancy-interval index finds the first interval at `node` ending
     /// after `lo` in one binary search (intervals per node are disjoint, so
     /// sorted by `start` *and* by `end`).  Returns the segment index and the
-    /// first shared round.
+    /// first shared round.  (The sort-merge kernels track this implicitly
+    /// with monotone cursors; the binary probe survives for the reference
+    /// oracle.)
+    #[cfg(any(test, feature = "ref-oracle"))]
     #[inline]
     fn first_visit(&self, node: NodeId, lo: Round, hi: Round) -> Option<(usize, Round)> {
-        let list = &self.occ[self.occ_starts[node] as usize..self.occ_starts[node + 1] as usize];
-        let k = list.partition_point(|entry| entry.end <= lo);
-        let entry = list.get(k)?;
-        (entry.start < hi).then(|| (entry.seg as usize, entry.start.max(lo)))
+        let s = self.occ_starts[node] as usize;
+        let e = self.occ_starts[node + 1] as usize;
+        let k = s + self.occ_end[s..e].partition_point(|&end| end <= lo);
+        if k == e {
+            return None;
+        }
+        (self.occ_start[k] < hi).then(|| (self.occ_seg[k] as usize, self.occ_start[k].max(lo)))
     }
 }
 
@@ -429,7 +583,335 @@ impl Timeline {
 /// Both timelines must have been recorded with a local horizon of at least
 /// `horizon` (the cache horizon); the merge clips them down to the query,
 /// which is exact because truncated runs are prefixes (see the module docs).
+///
+/// The kernel is a branch-light two-cursor sort-merge over the flat
+/// `starts`/`nodes` arrays (see `merge_forward`): `O(segments(earlier) +
+/// segments(later))` with no binary probes, and the first equal-node window
+/// it finds **is** the earliest meeting because the intersection windows are
+/// visited in increasing time order.
 pub fn merge_timelines(
+    earlier: &Timeline,
+    later: &Timeline,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    if stic.delay > horizon {
+        // the later agent never even appears within the horizon
+        return SimOutcome::no_show(horizon);
+    }
+    merge_forward(earlier, later, stic.delay, 0, 0, horizon)
+}
+
+/// The two-cursor sweep behind [`merge_timelines`] and
+/// [`merge_timelines_extend`]: advance cursors `i` (earlier) and `j`
+/// (later) through the segment arrays, comparing the earlier segment's
+/// global interval `[sa[i], sa[i+1])` against the later segment's
+/// delay-shifted, horizon-clipped interval; the nonempty intersections are
+/// visited in strictly increasing time order, so the first one whose nodes
+/// agree yields the earliest meeting.  The per-step cursor advance is a
+/// pair of flag additions — no data-dependent branch beyond the meeting
+/// test itself.
+fn merge_forward(
+    earlier: &Timeline,
+    later: &Timeline,
+    delay: Round,
+    mut i: usize,
+    mut j: usize,
+    horizon: Round,
+) -> SimOutcome {
+    // the later agent's run is truncated at this local round
+    let later_cap = horizon - delay;
+    let cap1 = later_cap.saturating_add(1);
+    let na = earlier.nodes.len();
+    let nb = later.nodes.len();
+    let sa = earlier.starts.as_slice();
+    let sb = later.starts.as_slice();
+    while i < na && j < nb {
+        let b_start = sb[j];
+        if b_start > later_cap {
+            break;
+        }
+        let a_hi = sa[i + 1];
+        // clip the later window at the cap *before* shifting: b_start <=
+        // later_cap keeps the shift overflow-free and bounds meetings by
+        // the horizon (hi <= horizon + 1)
+        let b_hi = sb[j + 1].min(cap1).saturating_add(delay);
+        let lo = sa[i].max(b_start + delay);
+        let hi = a_hi.min(b_hi);
+        if lo < hi && earlier.nodes[i] == later.nodes[j] {
+            return SimOutcome {
+                meeting: Some(Meeting {
+                    global_round: lo,
+                    later_round: lo - delay,
+                    node: earlier.nodes[i] as usize,
+                }),
+                earlier_moves: earlier.moves_before(i),
+                later_moves: later.moves_before(j),
+                earlier_terminated: earlier.tail_index() == Some(i),
+                later_terminated: later.tail_index() == Some(j),
+                horizon,
+            };
+        }
+        i += usize::from(a_hi <= b_hi);
+        j += usize::from(b_hi <= a_hi);
+    }
+    let (earlier_moves, earlier_terminated) = earlier.totals_up_to(horizon);
+    let (later_moves, later_terminated) = later.totals_up_to(later_cap);
+    SimOutcome {
+        meeting: None,
+        earlier_moves,
+        later_moves,
+        earlier_terminated,
+        later_terminated,
+        horizon,
+    }
+}
+
+/// Extend a horizon-`prior.horizon` merge result of the same
+/// `(earlier, later, stic)` triple to a larger `horizon` **without
+/// restarting**: a met outcome is final (only the reporting horizon
+/// changes), and an unmet one resumes the sort-merge at the segments still
+/// open at the already-answered horizon — the prior outcome being exact
+/// there guarantees no equal-node window opens at or before it.
+/// Bit-identical to `merge_timelines(earlier, later, stic, horizon)`.
+pub fn merge_timelines_extend(
+    earlier: &Timeline,
+    later: &Timeline,
+    stic: &Stic,
+    prior: &SimOutcome,
+    horizon: Round,
+) -> SimOutcome {
+    assert!(
+        prior.horizon <= horizon,
+        "cannot extend a horizon-{} outcome down to {horizon}",
+        prior.horizon
+    );
+    if prior.meeting.is_some() {
+        return SimOutcome { horizon, ..*prior };
+    }
+    if stic.delay > horizon {
+        return SimOutcome::no_show(horizon);
+    }
+    if stic.delay > prior.horizon {
+        // the prior run never placed the later agent: nothing to resume from
+        return merge_timelines(earlier, later, stic, horizon);
+    }
+    let h = prior.horizon;
+    let na = earlier.nodes.len();
+    let nb = later.nodes.len();
+    // resume at the segments still open at `h`: every skipped pair's
+    // intersection closes at or before `h`, where the (exact) prior outcome
+    // already ruled out a meeting
+    let i = earlier.starts[1..=na].partition_point(|&end| end <= h);
+    let j = later.starts[1..=nb].partition_point(|&end| end <= h - stic.delay);
+    let out = merge_forward(earlier, later, stic.delay, i, j, horizon);
+    debug_assert!(
+        out.meeting.is_none_or(|m| m.global_round > h),
+        "a meeting at or before the prior horizon contradicts the prior outcome"
+    );
+    out
+}
+
+/// Reusable scratch space for [`merge_timelines_deltas_with`]: the per-node
+/// occupancy cursors that replace the old per-segment binary probes.  One
+/// scratch serves any number of consecutive merges (sweeps keep one per
+/// pair group, so a pair's whole δ-grid shares it); after the first few
+/// calls it never allocates again.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// Per-node cursor into the earlier timeline's occupancy arrays,
+    /// re-seeded from its CSR offsets at the start of every merge.
+    cursors: Vec<u32>,
+}
+
+impl MergeScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MergeScratch::default()
+    }
+}
+
+/// Merge two cached timelines for a whole **delay sweep** of one `(u, v)`
+/// pair: one pass over the later timeline resolves every `δ` in `deltas` at
+/// once, returning outcomes in input order, each bit-identical to
+/// [`merge_timelines`] at that delay.  Allocates its scratch internally;
+/// sweeps that merge many pairs should hold a [`MergeScratch`] and call
+/// [`merge_timelines_deltas_with`].
+pub fn merge_timelines_deltas(
+    earlier: &Timeline,
+    later: &Timeline,
+    deltas: &[Round],
+    horizon: Round,
+) -> Vec<SimOutcome> {
+    merge_timelines_deltas_with(&mut MergeScratch::new(), earlier, later, deltas, horizon)
+}
+
+/// [`merge_timelines_deltas`] with caller-owned scratch space.
+///
+/// This is the sweep workloads' inner loop: all of a pair's delays share
+/// the occupancy lookups and the later-timeline sweep, so `k` delays cost
+/// about one merge instead of `k`.  The earlier timeline is probed through
+/// **monotone per-node cursors** (seeded from its CSR offsets, advanced
+/// only forward as the later sweep's lower bound grows), so the whole
+/// sweep is `O(segments(later) + occupancy entries touched)` with no
+/// per-segment binary search.
+pub fn merge_timelines_deltas_with(
+    scratch: &mut MergeScratch,
+    earlier: &Timeline,
+    later: &Timeline,
+    deltas: &[Round],
+    horizon: Round,
+) -> Vec<SimOutcome> {
+    // the fast path needs ascending delays; reorder through a sorted copy
+    // otherwise (sweeps pass ascending delay lists, so this never triggers
+    // on the hot path)
+    if !deltas.windows(2).all(|w| w[0] <= w[1]) {
+        let mut order: Vec<usize> = (0..deltas.len()).collect();
+        order.sort_by_key(|&i| deltas[i]);
+        let sorted: Vec<Round> = order.iter().map(|&i| deltas[i]).collect();
+        let outcomes = merge_timelines_deltas_with(scratch, earlier, later, &sorted, horizon);
+        let mut out = vec![outcomes[0]; deltas.len()];
+        for (k, &i) in order.iter().enumerate() {
+            out[i] = outcomes[k];
+        }
+        return out;
+    }
+
+    let horizon1 = horizon.saturating_add(1);
+    // delays beyond the horizon sit at the tail and are never swept
+    let active = deltas.partition_point(|&d| d <= horizon);
+
+    // per-active-delay best meeting: (meeting round, earlier seg, later seg)
+    let mut best: Vec<(Round, usize, usize)> = vec![(INFINITY, 0, 0); active];
+    if active > 0 {
+        let delta_min = deltas[0];
+        let delta_max = deltas[active - 1];
+        let n = earlier.num_graph_nodes();
+        // seed the per-node cursors at each occupancy group's start; the
+        // probe threshold `b_start + delta_min` only grows over the sweep,
+        // so every cursor advances monotonically (amortised linear)
+        scratch.cursors.clear();
+        scratch.cursors.extend_from_slice(&earlier.occ_starts[..n]);
+        // the later sweep may stop once every delay's window is closed:
+        // segment j is useful for delay δ only while start + δ < min(best_lo,
+        // horizon + 1)
+        let stop_at = |best: &[(Round, usize, usize)]| -> Round {
+            deltas[..active]
+                .iter()
+                .zip(best)
+                .map(|(&d, &(lo, ..))| lo.min(horizon1).saturating_sub(d))
+                .max()
+                .expect("active is non-zero")
+        };
+        let mut stop = stop_at(&best);
+        for jb in 0..later.nodes.len() {
+            let b_start = later.starts[jb];
+            if b_start >= stop {
+                break;
+            }
+            let node = later.nodes[jb] as usize;
+            let e = earlier.occ_starts[node + 1] as usize;
+            let mut c = scratch.cursors[node] as usize;
+            let threshold = b_start + delta_min;
+            while c < e && earlier.occ_end[c] <= threshold {
+                c += 1;
+            }
+            scratch.cursors[node] = c as u32;
+            if c == e {
+                continue; // the earlier agent never gets here again
+            }
+            let b_end = later.starts[jb + 1];
+            // An earlier visit `[occ_start, occ_end)` overlaps this (parked)
+            // later segment under delay δ iff
+            //   occ_end > b_start + δ  and  occ_start < b_end + δ,
+            // i.e. for δ in [(occ_start+1) − b_end, occ_end − b_start);
+            // the horizon additionally caps δ ≤ horizon − b_start.  Each
+            // entry is charged once for the whole delay range instead of
+            // being re-probed per delay.
+            // delta_cap > 0: b_start <= horizon here
+            let delta_cap = horizon1 - b_start;
+            // a useful entry must satisfy occ_start < b_end + δ for some
+            // valid δ *and* occ_start <= horizon (a meeting round never
+            // exceeds the horizon); entries are sorted by start, so the
+            // first one beyond either bound ends the scan
+            let entry_stop = b_end.saturating_add(delta_max.min(delta_cap - 1)).min(horizon1);
+            let mut updated = false;
+            for k in c..e {
+                let e_start = earlier.occ_start[k];
+                if e_start >= entry_stop {
+                    break;
+                }
+                let d_lo = (e_start + 1).saturating_sub(b_end).max(delta_min);
+                // d_hi is exclusive
+                let d_hi = (earlier.occ_end[k] - b_start).min(delta_cap);
+                // the active delays inside [d_lo, d_hi) — a handful, so a
+                // linear scan beats binary search
+                for (slot, &delta) in deltas[..active].iter().enumerate() {
+                    if delta >= d_hi {
+                        break;
+                    }
+                    if delta < d_lo {
+                        continue;
+                    }
+                    let at = e_start.max(b_start + delta);
+                    if at < best[slot].0 {
+                        best[slot] = (at, earlier.occ_seg[k] as usize, jb);
+                        updated = true;
+                    }
+                }
+            }
+            if updated {
+                stop = stop_at(&best);
+            }
+        }
+    }
+
+    // assemble outcomes in input order
+    deltas
+        .iter()
+        .enumerate()
+        .map(|(slot, &delta)| {
+            if slot >= active {
+                // the later agent never even appears within the horizon
+                return SimOutcome::no_show(horizon);
+            }
+            let (at, si, jb) = best[slot];
+            if at < INFINITY {
+                SimOutcome {
+                    meeting: Some(Meeting {
+                        global_round: at,
+                        later_round: at - delta,
+                        node: earlier.nodes[si] as usize,
+                    }),
+                    earlier_moves: earlier.moves_before(si),
+                    later_moves: later.moves_before(jb),
+                    earlier_terminated: earlier.tail_index() == Some(si),
+                    later_terminated: later.tail_index() == Some(jb),
+                    horizon,
+                }
+            } else {
+                let (earlier_moves, earlier_terminated) = earlier.totals_up_to(horizon);
+                let (later_moves, later_terminated) = later.totals_up_to(horizon - delta);
+                SimOutcome {
+                    meeting: None,
+                    earlier_moves,
+                    later_moves,
+                    earlier_terminated,
+                    later_terminated,
+                    horizon,
+                }
+            }
+        })
+        .collect()
+}
+
+/// The retained pre-kernel [`merge_timelines`]: sweeps the later agent's
+/// segments and resolves each against the earlier timeline's occupancy
+/// index with a **binary probe** per segment.  Kept solely as the reference
+/// oracle the differential suites pin the sort-merge kernel against
+/// (`ref-oracle` feature, always on under `cfg(test)`).
+#[cfg(any(test, feature = "ref-oracle"))]
+pub fn merge_timelines_reference(
     earlier: &Timeline,
     later: &Timeline,
     stic: &Stic,
@@ -447,8 +929,6 @@ pub fn merge_timelines(
     // parked interval, so the earliest meeting inside it is the earlier
     // agent's first visit to that node within the (global) window.  Stop as
     // soon as the next window opens at or after the best meeting so far.
-    // The sweep runs over the hot `starts`/`nodes` arrays and the packed
-    // occupancy entries only — `segs` is touched once, on a meeting.
     let mut best_lo = INFINITY;
     let mut best: Option<(usize, usize)> = None;
     let cap1 = later_cap.saturating_add(1);
@@ -475,12 +955,12 @@ pub fn merge_timelines(
             meeting: Some(Meeting {
                 global_round: at,
                 later_round: at - delay,
-                node: earlier.segs[si].node,
+                node: earlier.nodes[si] as usize,
             }),
-            earlier_moves: earlier.segs[si].moves_before,
-            later_moves: later.segs[jb].moves_before,
-            earlier_terminated: earlier.tail_index == Some(si),
-            later_terminated: later.tail_index == Some(jb),
+            earlier_moves: earlier.moves_before(si),
+            later_moves: later.moves_before(jb),
+            earlier_terminated: earlier.tail_index() == Some(si),
+            later_terminated: later.tail_index() == Some(jb),
             horizon,
         },
         None => {
@@ -498,29 +978,22 @@ pub fn merge_timelines(
     }
 }
 
-/// Merge two cached timelines for a whole **delay sweep** of one `(u, v)`
-/// pair: one pass over the later timeline resolves every `δ` in `deltas` at
-/// once, returning outcomes in input order, each bit-identical to
-/// [`merge_timelines`] at that delay.
-///
-/// This is the sweep workloads' inner loop: all of a pair's delays share the
-/// occupancy lookups and the later-timeline sweep, so `k` delays cost about
-/// one merge instead of `k` (the per-node index is probed once per later
-/// segment and the probe cursor only nudges forward across delays).
-pub fn merge_timelines_deltas(
+/// The retained pre-kernel [`merge_timelines_deltas`]: identical δ-interval
+/// arithmetic, but every later segment re-probes the occupancy index with a
+/// binary search instead of the monotone cursors.  Reference oracle for the
+/// differential suites (`ref-oracle` feature, always on under `cfg(test)`).
+#[cfg(any(test, feature = "ref-oracle"))]
+pub fn merge_timelines_deltas_reference(
     earlier: &Timeline,
     later: &Timeline,
     deltas: &[Round],
     horizon: Round,
 ) -> Vec<SimOutcome> {
-    // the fast path needs ascending delays; reorder through a sorted copy
-    // otherwise (sweeps pass ascending delay lists, so this never triggers
-    // on the hot path)
     if !deltas.windows(2).all(|w| w[0] <= w[1]) {
         let mut order: Vec<usize> = (0..deltas.len()).collect();
         order.sort_by_key(|&i| deltas[i]);
         let sorted: Vec<Round> = order.iter().map(|&i| deltas[i]).collect();
-        let outcomes = merge_timelines_deltas(earlier, later, &sorted, horizon);
+        let outcomes = merge_timelines_deltas_reference(earlier, later, &sorted, horizon);
         let mut out = vec![outcomes[0]; deltas.len()];
         for (k, &i) in order.iter().enumerate() {
             out[i] = outcomes[k];
@@ -529,19 +1002,11 @@ pub fn merge_timelines_deltas(
     }
 
     let horizon1 = horizon.saturating_add(1);
-    // delays beyond the horizon sit at the tail and are never swept
     let active = deltas.partition_point(|&d| d <= horizon);
-
-    // per-active-delay best meeting: (meeting round, earlier seg, later seg)
     let mut best: Vec<(Round, usize, usize)> = vec![(INFINITY, 0, 0); active];
     if active > 0 {
         let delta_min = deltas[0];
         let delta_max = deltas[active - 1];
-        let occ_starts = earlier.occ_starts.as_slice();
-        let occ = earlier.occ.as_slice();
-        // the later sweep may stop once every delay's window is closed:
-        // segment j is useful for delay δ only while start + δ < min(best_lo,
-        // horizon + 1)
         let stop_at = |best: &[(Round, usize, usize)]| -> Round {
             deltas[..active]
                 .iter()
@@ -557,36 +1022,23 @@ pub fn merge_timelines_deltas(
                 break;
             }
             let node = later.nodes[jb] as usize;
-            let s = occ_starts[node] as usize;
-            let e = occ_starts[node + 1] as usize;
+            let s = earlier.occ_starts[node] as usize;
+            let e = earlier.occ_starts[node + 1] as usize;
             if s == e {
                 continue; // the earlier agent never visits this node at all
             }
-            let list = &occ[s..e];
             let b_end = later.starts[jb + 1];
-            // An earlier visit `[entry.start, entry.end)` overlaps this
-            // (parked) later segment under delay δ iff
-            //   entry.end > b_start + δ  and  entry.start < b_end + δ,
-            // i.e. for δ in [(entry.start+1) − b_end, entry.end − b_start);
-            // the horizon additionally caps δ ≤ horizon − b_start.  Each
-            // entry is charged once for the whole delay range instead of
-            // being re-probed per delay.
-            let delta_cap = horizon1 - b_start; // > 0: b_start <= horizon here
-            let k = list.partition_point(|entry| entry.end <= b_start + delta_min);
-            // a useful entry must satisfy entry.start < b_end + δ for some
-            // valid δ *and* entry.start <= horizon (a meeting round never
-            // exceeds the horizon); entries are sorted by start, so the
-            // first one beyond either bound ends the scan
+            let delta_cap = horizon1 - b_start;
+            let k = s + earlier.occ_end[s..e].partition_point(|&end| end <= b_start + delta_min);
             let entry_stop = b_end.saturating_add(delta_max.min(delta_cap - 1)).min(horizon1);
             let mut updated = false;
-            for entry in &list[k..] {
-                if entry.start >= entry_stop {
+            for kk in k..e {
+                let e_start = earlier.occ_start[kk];
+                if e_start >= entry_stop {
                     break;
                 }
-                let d_lo = (entry.start + 1).saturating_sub(b_end).max(delta_min);
-                let d_hi = (entry.end - b_start).min(delta_cap); // exclusive
-                                                                 // the active delays inside [d_lo, d_hi) — a handful, so a
-                                                                 // linear scan beats binary search
+                let d_lo = (e_start + 1).saturating_sub(b_end).max(delta_min);
+                let d_hi = (earlier.occ_end[kk] - b_start).min(delta_cap);
                 for (slot, &delta) in deltas[..active].iter().enumerate() {
                     if delta >= d_hi {
                         break;
@@ -594,9 +1046,9 @@ pub fn merge_timelines_deltas(
                     if delta < d_lo {
                         continue;
                     }
-                    let at = entry.start.max(b_start + delta);
+                    let at = e_start.max(b_start + delta);
                     if at < best[slot].0 {
-                        best[slot] = (at, entry.seg as usize, jb);
+                        best[slot] = (at, earlier.occ_seg[kk] as usize, jb);
                         updated = true;
                     }
                 }
@@ -607,13 +1059,11 @@ pub fn merge_timelines_deltas(
         }
     }
 
-    // assemble outcomes in input order
     deltas
         .iter()
         .enumerate()
         .map(|(slot, &delta)| {
             if slot >= active {
-                // the later agent never even appears within the horizon
                 return SimOutcome::no_show(horizon);
             }
             let (at, si, jb) = best[slot];
@@ -622,12 +1072,12 @@ pub fn merge_timelines_deltas(
                     meeting: Some(Meeting {
                         global_round: at,
                         later_round: at - delta,
-                        node: earlier.segs[si].node,
+                        node: earlier.nodes[si] as usize,
                     }),
-                    earlier_moves: earlier.segs[si].moves_before,
-                    later_moves: later.segs[jb].moves_before,
-                    earlier_terminated: earlier.tail_index == Some(si),
-                    later_terminated: later.tail_index == Some(jb),
+                    earlier_moves: earlier.moves_before(si),
+                    later_moves: later.moves_before(jb),
+                    earlier_terminated: earlier.tail_index() == Some(si),
+                    later_terminated: later.tail_index() == Some(jb),
                     horizon,
                 }
             } else {
@@ -754,18 +1204,84 @@ impl<'a> TrajectoryCache<'a> {
         merge_timelines(self.timeline(stic.earlier), self.timeline(stic.later), stic, horizon)
     }
 
+    /// Extend a previously computed outcome of `stic` (exact at
+    /// `prior.horizon`) to a larger `horizon <= self.horizon()` without
+    /// restarting the merge (see [`merge_timelines_extend`]); bit-identical
+    /// to `simulate_capped(stic, horizon)`.  A met prior outcome is served
+    /// without touching (or recording) any timeline.
+    pub fn simulate_extend(&self, stic: &Stic, prior: &SimOutcome, horizon: Round) -> SimOutcome {
+        assert!(
+            horizon <= self.horizon,
+            "query horizon {horizon} exceeds the cache horizon {}",
+            self.horizon
+        );
+        assert!(
+            prior.horizon <= horizon,
+            "cannot extend a horizon-{} outcome down to {horizon}",
+            prior.horizon
+        );
+        assert!(stic.earlier < self.graph.num_nodes(), "earlier start node out of range");
+        assert!(stic.later < self.graph.num_nodes(), "later start node out of range");
+        if prior.meeting.is_some() {
+            // a meeting is final: only the reporting horizon changes
+            return SimOutcome { horizon, ..*prior };
+        }
+        if stic.delay > horizon {
+            return SimOutcome::no_show(horizon);
+        }
+        merge_timelines_extend(
+            self.timeline(stic.earlier),
+            self.timeline(stic.later),
+            stic,
+            prior,
+            horizon,
+        )
+    }
+
     /// Simulate one `(u, v)` pair under **every** delay in `deltas` in a
     /// single pass over the cached timelines (see
     /// [`merge_timelines_deltas`]); outcome `i` is bit-identical to
     /// `simulate(&Stic::new(u, v, deltas[i]))`.
     pub fn simulate_deltas(&self, u: NodeId, v: NodeId, deltas: &[Round]) -> Vec<SimOutcome> {
+        self.simulate_deltas_capped(u, v, deltas, self.horizon)
+    }
+
+    /// [`TrajectoryCache::simulate_deltas`] at `horizon <= self.horizon()`
+    /// (exact for any smaller horizon because truncated runs are prefixes);
+    /// outcome `i` is bit-identical to
+    /// `simulate_capped(&Stic::new(u, v, deltas[i]), horizon)`.
+    pub fn simulate_deltas_capped(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        deltas: &[Round],
+        horizon: Round,
+    ) -> Vec<SimOutcome> {
+        self.simulate_deltas_capped_with(&mut MergeScratch::new(), u, v, deltas, horizon)
+    }
+
+    /// [`TrajectoryCache::simulate_deltas_capped`] with caller-owned scratch
+    /// space (rayon sweeps keep one [`MergeScratch`] per worker thread).
+    pub fn simulate_deltas_capped_with(
+        &self,
+        scratch: &mut MergeScratch,
+        u: NodeId,
+        v: NodeId,
+        deltas: &[Round],
+        horizon: Round,
+    ) -> Vec<SimOutcome> {
+        assert!(
+            horizon <= self.horizon,
+            "query horizon {horizon} exceeds the cache horizon {}",
+            self.horizon
+        );
         assert!(u < self.graph.num_nodes(), "earlier start node out of range");
         assert!(v < self.graph.num_nodes(), "later start node out of range");
-        if deltas.iter().all(|&d| d > self.horizon) {
+        if deltas.iter().all(|&d| d > horizon) {
             // answered without recording any timeline, like `simulate_capped`
-            return deltas.iter().map(|_| SimOutcome::no_show(self.horizon)).collect();
+            return deltas.iter().map(|_| SimOutcome::no_show(horizon)).collect();
         }
-        merge_timelines_deltas(self.timeline(u), self.timeline(v), deltas, self.horizon)
+        merge_timelines_deltas_with(scratch, self.timeline(u), self.timeline(v), deltas, horizon)
     }
 }
 
@@ -830,11 +1346,55 @@ impl<'a> SweepEngine<'a> {
     /// modes simulate each delay separately.  Outcome `i` is bit-identical
     /// to `simulate(&Stic::new(u, v, deltas[i]))`.
     pub fn simulate_deltas(&self, u: NodeId, v: NodeId, deltas: &[Round]) -> Vec<SimOutcome> {
+        self.simulate_deltas_capped(u, v, deltas, self.config.horizon)
+    }
+
+    /// [`SweepEngine::simulate_deltas`] at `horizon <= config.horizon`;
+    /// outcome `i` is bit-identical to
+    /// `simulate_capped(&Stic::new(u, v, deltas[i]), horizon)`.
+    pub fn simulate_deltas_capped(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        deltas: &[Round],
+        horizon: Round,
+    ) -> Vec<SimOutcome> {
+        self.simulate_deltas_capped_with(&mut MergeScratch::new(), u, v, deltas, horizon)
+    }
+
+    /// [`SweepEngine::simulate_deltas_capped`] with caller-owned scratch
+    /// space (ignored by the pinned per-call modes).
+    pub fn simulate_deltas_capped_with(
+        &self,
+        scratch: &mut MergeScratch,
+        u: NodeId,
+        v: NodeId,
+        deltas: &[Round],
+        horizon: Round,
+    ) -> Vec<SimOutcome> {
         match self.config.mode {
-            EngineMode::Auto | EngineMode::Batch => self.cache.simulate_deltas(u, v, deltas),
-            EngineMode::Streaming | EngineMode::Lockstep => {
-                deltas.iter().map(|&delta| self.simulate(&Stic::new(u, v, delta))).collect()
+            EngineMode::Auto | EngineMode::Batch => {
+                self.cache.simulate_deltas_capped_with(scratch, u, v, deltas, horizon)
             }
+            EngineMode::Streaming | EngineMode::Lockstep => deltas
+                .iter()
+                .map(|&delta| self.simulate_capped(&Stic::new(u, v, delta), horizon))
+                .collect(),
+        }
+    }
+
+    /// Extend a previously computed outcome of `stic` (exact at
+    /// `prior.horizon`) to `horizon <= config.horizon` — bit-identical to
+    /// `simulate_capped(stic, horizon)`.  The batch path resumes the merge
+    /// where the prior horizon left off
+    /// ([`TrajectoryCache::simulate_extend`]); pinned per-call modes
+    /// recompute from scratch, as they have no merge to resume.
+    pub fn simulate_extend(&self, stic: &Stic, prior: &SimOutcome, horizon: Round) -> SimOutcome {
+        match self.config.mode {
+            EngineMode::Auto | EngineMode::Batch => {
+                self.cache.simulate_extend(stic, prior, horizon)
+            }
+            EngineMode::Streaming | EngineMode::Lockstep => self.simulate_capped(stic, horizon),
         }
     }
 }
@@ -904,7 +1464,7 @@ mod tests {
         assert_eq!(t.num_segments(), 4);
         assert!(t.terminated());
         assert_eq!(t.total_moves(), 2);
-        assert_eq!(t.finite_end, 8);
+        assert_eq!(t.finite_end(), 8);
         assert_eq!(t.first_visit(1, 0, 100), Some((1, 1)));
         assert_eq!(t.first_visit(2, 0, 8), Some((2, 7)));
         assert_eq!(t.first_visit(2, 8, 100), Some((3, 8))); // the tail
@@ -1219,5 +1779,168 @@ mod tests {
         assert_eq!(batch, reference);
         assert!(batch.earlier_terminated);
         assert_eq!(batch.meeting.unwrap().node, 2);
+    }
+
+    #[test]
+    fn sort_merge_kernel_matches_the_reference_oracle() {
+        let g = oriented_torus(3, 4).unwrap();
+        let n = g.num_nodes();
+        for (lifetime, horizon) in [(None, 48 as Round), (Some(7), 30)] {
+            let program = ScriptedStepper { lifetime };
+            let timelines: Vec<Timeline> =
+                (0..n).map(|u| Timeline::record(&g, &program, u, horizon)).collect();
+            for u in 0..n {
+                for v in [0usize, 5, 11] {
+                    for delta in [0 as Round, 1, 3, 9, horizon, horizon + 1] {
+                        let stic = Stic::new(u, v, delta);
+                        for h in [0 as Round, 1, horizon / 2, horizon] {
+                            assert_eq!(
+                                merge_timelines(&timelines[u], &timelines[v], &stic, h),
+                                merge_timelines_reference(&timelines[u], &timelines[v], &stic, h),
+                                "kernel vs reference on {stic} at horizon {h}"
+                            );
+                        }
+                    }
+                    let deltas: Vec<Round> = vec![0, 2, 5, 11, horizon + 1];
+                    let mut scratch = MergeScratch::new();
+                    assert_eq!(
+                        merge_timelines_deltas_with(
+                            &mut scratch,
+                            &timelines[u],
+                            &timelines[v],
+                            &deltas,
+                            horizon
+                        ),
+                        merge_timelines_deltas_reference(
+                            &timelines[u],
+                            &timelines[v],
+                            &deltas,
+                            horizon
+                        ),
+                        "delta kernel vs reference on ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extending_a_merge_matches_a_full_merge_at_the_larger_horizon() {
+        let g = oriented_torus(3, 4).unwrap();
+        let n = g.num_nodes();
+        let full: Round = 60;
+        for lifetime in [None, Some(6)] {
+            let program = ScriptedStepper { lifetime };
+            let timelines: Vec<Timeline> =
+                (0..n).map(|u| Timeline::record(&g, &program, u, full)).collect();
+            for u in 0..n {
+                for v in [0usize, 4, 11] {
+                    for delta in [0 as Round, 1, 5, 20] {
+                        let stic = Stic::new(u, v, delta);
+                        for h in [0 as Round, 1, 4, 15, 33, full] {
+                            let prior = merge_timelines(&timelines[u], &timelines[v], &stic, h);
+                            for target in [h, (h + full) / 2, full] {
+                                let extended = merge_timelines_extend(
+                                    &timelines[u],
+                                    &timelines[v],
+                                    &stic,
+                                    &prior,
+                                    target,
+                                );
+                                let direct =
+                                    merge_timelines(&timelines[u], &timelines[v], &stic, target);
+                                assert_eq!(
+                                    extended, direct,
+                                    "extend {h} -> {target} diverged on {stic}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_extend_reuses_met_outcomes_without_recording() {
+        let g = oriented_ring(6).unwrap();
+        let program = mover();
+        let reference = TrajectoryCache::new(&g, &program, 100);
+        let stic = Stic::new(0, 3, 3);
+        let prior = reference.simulate_capped(&stic, 50);
+        assert!(prior.met(), "the ring movers meet within 50 rounds");
+        // a met prior is served without touching any timeline
+        let cache = TrajectoryCache::new(&g, &program, 100);
+        let extended = cache.simulate_extend(&stic, &prior, 100);
+        assert_eq!(extended, reference.simulate_capped(&stic, 100));
+        assert_eq!(cache.computed(), 0, "met outcomes must not record timelines");
+        // an unmet prior resumes the merge (recording on demand)
+        let unmet = reference.simulate_capped(&Stic::new(0, 0, 99), 99);
+        assert!(!unmet.met());
+        let resumed = cache.simulate_extend(&Stic::new(0, 0, 99), &unmet, 100);
+        assert_eq!(resumed, reference.simulate_capped(&Stic::new(0, 0, 99), 100));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_corrupt_indexes() {
+        let g = oriented_torus(3, 4).unwrap();
+        for lifetime in [None, Some(9)] {
+            let program = ScriptedStepper { lifetime };
+            for start in [0usize, 5, 11] {
+                let original = Timeline::record(&g, &program, start, 40);
+                let parts = || TimelineParts {
+                    starts: original.starts().to_vec(),
+                    nodes: original.seg_nodes().to_vec(),
+                    occ_starts: original.occ_starts().to_vec(),
+                    occ_start: original.occ_interval_starts().to_vec(),
+                    occ_end: original.occ_interval_ends().to_vec(),
+                    occ_seg: original.occ_segs().to_vec(),
+                };
+                let rebuilt = Timeline::from_parts(g.num_nodes(), 40, parts()).unwrap();
+                assert_eq!(
+                    rebuilt.segments().collect::<Vec<_>>(),
+                    original.segments().collect::<Vec<_>>()
+                );
+                assert_eq!(rebuilt.total_moves(), original.total_moves());
+                assert_eq!(rebuilt.terminated(), original.terminated());
+                // ... and the occupancy index is installed bit-identically
+                assert_eq!(rebuilt.occ_starts(), original.occ_starts());
+                assert_eq!(rebuilt.occ_segs(), original.occ_segs());
+                let other = Timeline::record(&g, &program, (start + 1) % g.num_nodes(), 40);
+                for delta in [0 as Round, 2, 6] {
+                    let stic = Stic::new(start, (start + 1) % g.num_nodes(), delta);
+                    assert_eq!(
+                        merge_timelines(&rebuilt, &other, &stic, 40),
+                        merge_timelines(&original, &other, &stic, 40),
+                        "rebuilt-from-parts timeline diverged on {stic}"
+                    );
+                }
+
+                // a swapped occupancy pair is caught (order violated)
+                if original.num_segments() >= 3 {
+                    let mut bad = parts();
+                    bad.occ_seg.swap(0, 1);
+                    bad.occ_start.swap(0, 1);
+                    bad.occ_end.swap(0, 1);
+                    assert!(Timeline::from_parts(g.num_nodes(), 40, bad).is_err());
+                }
+                // an interval that disagrees with its segment is caught
+                let mut bad = parts();
+                bad.occ_end[0] += 1;
+                assert!(Timeline::from_parts(g.num_nodes(), 40, bad).is_err());
+                // truncated occupancy arrays are caught
+                let mut bad = parts();
+                bad.occ_seg.pop();
+                assert!(Timeline::from_parts(g.num_nodes(), 40, bad).is_err());
+                // a mis-shapen CSR is caught
+                let mut bad = parts();
+                *bad.occ_starts.last_mut().unwrap() += 1;
+                assert!(Timeline::from_parts(g.num_nodes(), 40, bad).is_err());
+                // a non-canonical start array is caught
+                let mut bad = parts();
+                bad.starts[0] += 1;
+                assert!(Timeline::from_parts(g.num_nodes(), 40, bad).is_err());
+            }
+        }
     }
 }

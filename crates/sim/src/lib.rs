@@ -58,9 +58,12 @@ pub mod trace;
 pub mod workload;
 
 pub use batch::{
-    merge_timelines, merge_timelines_deltas, simulate_batch, SweepEngine, Timeline, TimelineSeg,
+    merge_timelines, merge_timelines_deltas, merge_timelines_deltas_with, merge_timelines_extend,
+    simulate_batch, MergeScratch, SweepEngine, Timeline, TimelineParts, TimelineSeg,
     TrajectoryCache,
 };
+#[cfg(feature = "ref-oracle")]
+pub use batch::{merge_timelines_deltas_reference, merge_timelines_reference};
 pub use engine::{simulate, simulate_with, EngineConfig, EngineMode, Meeting, SimOutcome};
 pub use navigator::{AgentProgram, Event, EventSink, GraphNavigator, Navigator, Stop};
 pub use stic::{Round, Stic};

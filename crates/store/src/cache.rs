@@ -25,6 +25,27 @@
 //! [`Store::gc`] garbage-collects frames that can no longer serve anything
 //! (corrupt, version-stale, or shard partials superseded by a merged table).
 //!
+//! ## Flat v3 payloads
+//!
+//! Since format version 3 the heavy payloads are stored the way the batch
+//! engine consumes them.  A timeline entry is the *assembled*
+//! struct-of-arrays representation of [`Timeline`] — segment boundaries,
+//! segment nodes and the per-node occupancy CSR index — written as
+//! 16-aligned flat arrays, so a load is one `fs::read` plus one bulk copy
+//! per array straight into [`Timeline::from_parts`]: no per-segment decode
+//! loop and **no re-indexing** (the occupancy index that used to be rebuilt
+//! by a counting sort on every open ships inside the frame and is only
+//! shape-validated).  Outcome tables likewise store one flat column per
+//! [`SimOutcome`] field.  Serving a shorter horizon no longer copies
+//! either: [`Store::warm_engine`] installs the longer recording as-is and
+//! the merge kernels clip at query time, which is exact because truncated
+//! runs are prefixes.  Timeline payloads also lead with a summary of their
+//! distinct recorded horizons, so [`Store::stats`] and [`Store::gc`] can
+//! survey a directory from bounded prefix reads (64 KiB per file) instead
+//! of pulling every payload off disk; a file small enough to fit in the
+//! prefix is still fully checksum-verified, a larger one is header- and
+//! identity-gated and left for its load path to verify.
+//!
 //! Every load path is **fallible by design**: a missing file, a truncated
 //! file, a corrupted payload, a format-version mismatch or an identity
 //! mismatch (hash collision, renamed file) all surface as a plain cache
@@ -49,9 +70,9 @@ use std::path::{Path, PathBuf};
 
 use anonrv_graph::{NodeId, PortGraph};
 use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan};
-use anonrv_sim::{Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineSeg};
+use anonrv_sim::{Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineParts};
 
-use crate::codec::{fnv64, unframe, Dec, Enc, Kind};
+use crate::codec::{fnv64, peek_frame, unframe, Dec, Enc, Kind};
 
 /// Where a value came from: loaded warm from the store, or computed cold
 /// (and then saved back).
@@ -86,9 +107,9 @@ impl std::fmt::Display for Provenance {
 pub struct WarmedTimelines {
     /// Timelines installed into the engine's trajectory cache.
     pub installed: usize,
-    /// The subset recorded at a horizon strictly above the engine's and
-    /// served by [`Timeline::truncate`] (exact-horizon hits are
-    /// `installed - prefix`).
+    /// The subset recorded at a horizon strictly above the engine's,
+    /// installed as-is and clipped per query by the merge kernels
+    /// (exact-horizon hits are `installed - prefix`).
     pub prefix: usize,
 }
 
@@ -240,9 +261,11 @@ impl Store {
     }
 
     /// Load every recorded timeline of `(g, program_key)` — each carrying
-    /// its **own** recorded horizon — or `None` on any miss.  Each timeline
-    /// is structurally re-validated by [`Timeline::from_segments`]; one bad
-    /// entry rejects the whole file.
+    /// its **own** recorded horizon — or `None` on any miss.  The v3 layout
+    /// stores each entry as the engine's assembled flat arrays, so decoding
+    /// is one bulk copy per array into [`Timeline::from_parts`], which
+    /// shape-validates the shipped occupancy index instead of rebuilding
+    /// it; one bad entry rejects the whole file.
     pub fn load_timelines(
         &self,
         g: &PortGraph,
@@ -261,30 +284,39 @@ impl Store {
             return None;
         }
         let count = d.usize()?;
+        let num_horizons = d.usize()?;
+        let summary = d.u128_vec(num_horizons)?;
         let mut seen = vec![false; n];
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
-            let start = d.usize()?;
+            let start = usize::try_from(d.u64()?).ok()?;
             if start >= n || seen[start] {
                 return None;
             }
             seen[start] = true;
             let horizon = d.u128()?;
             let nsegs = d.usize()?;
-            let mut segs = Vec::with_capacity(nsegs);
-            for _ in 0..nsegs {
-                let node = d.usize()?;
-                let s = d.u128()?;
-                let end = d.u128()?;
-                segs.push(TimelineSeg { node, start: s, end });
-            }
-            out.push((start, Timeline::from_segments(n, horizon, segs).ok()?));
+            let parts = TimelineParts {
+                starts: d.u128_vec(nsegs.checked_add(1)?)?,
+                nodes: d.u32_vec(nsegs)?,
+                occ_starts: d.u32_vec(n.checked_add(1)?)?,
+                occ_start: d.u128_vec(nsegs)?,
+                occ_end: d.u128_vec(nsegs)?,
+                occ_seg: d.u32_vec(nsegs)?,
+            };
+            out.push((start, Timeline::from_parts(n, horizon, parts).ok()?));
+        }
+        // the up-front horizon summary (what bounded-prefix stats report)
+        // must agree with the entries themselves
+        if summary != distinct_horizons(out.iter().map(|(_, t)| t.recorded_horizon())) {
+            return None;
         }
         d.exhausted().then_some(out)
     }
 
     /// Persist a set of recorded timelines, each at its own recorded
-    /// horizon.  Returns the artifact path.
+    /// horizon, as flat v3 struct-of-arrays entries.  Returns the artifact
+    /// path.
     pub fn save_timelines(
         &self,
         g: &PortGraph,
@@ -296,15 +328,19 @@ impl Store {
         e.usize(g.num_nodes());
         e.str(program_key);
         e.usize(timelines.len());
+        let summary = distinct_horizons(timelines.iter().map(|(_, t)| t.recorded_horizon()));
+        e.usize(summary.len());
+        e.u128_slice(&summary);
         for (start, t) in timelines {
-            e.usize(*start);
+            e.u64(*start as u64);
             e.u128(t.recorded_horizon());
             e.usize(t.num_segments());
-            for seg in t.segments() {
-                e.usize(seg.node);
-                e.u128(seg.start);
-                e.u128(seg.end);
-            }
+            e.u128_slice(t.starts());
+            e.u32_slice(t.seg_nodes());
+            e.u32_slice(t.occ_starts());
+            e.u128_slice(t.occ_interval_starts());
+            e.u128_slice(t.occ_interval_ends());
+            e.u32_slice(t.occ_segs());
         }
         let path = self.timelines_path(g, program_key);
         self.write_atomic(&path, &e.into_frame(Kind::Timelines))?;
@@ -313,11 +349,11 @@ impl Store {
 
     /// Preload a sweep engine's trajectory cache from the store.  Every
     /// stored timeline whose recorded horizon covers the engine's is
-    /// installed — truncated to the engine horizon by
-    /// [`Timeline::truncate`] when recorded longer, which is exact (and
-    /// byte-identical to a cold recording at that horizon) because truncated
-    /// runs are prefixes.  Queries on installed start nodes skip program
-    /// execution entirely.
+    /// installed **as-is** — a recording longer than the engine horizon is
+    /// not copied down, because the merge kernels clip every query at its
+    /// own horizon, which is exact (and bit-identical to a cold recording
+    /// at that horizon) because truncated runs are prefixes.  Queries on
+    /// installed start nodes skip program execution entirely.
     pub fn warm_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> WarmedTimelines {
         let cache = engine.cache();
         let horizon = cache.horizon();
@@ -330,7 +366,6 @@ impl Store {
                 continue; // too short to stand in for a fresh recording
             }
             let prefix = t.recorded_horizon() > horizon;
-            let t = if prefix { t.truncate(horizon) } else { t };
             if cache.preload(u, t) {
                 warmed.installed += 1;
                 warmed.prefix += usize::from(prefix);
@@ -418,9 +453,23 @@ impl Store {
         program_key: &str,
         plan: &SweepPlan,
     ) -> Option<(Vec<SimOutcome>, Round)> {
-        let bytes = fs::read(self.outcomes_path(g, program_key, plan)).ok()?;
-        let (table, recorded) = decode_outcomes_payload(&bytes, g, program_key, plan)?;
+        let (table, recorded) = self.load_plan_outcomes_any(g, program_key, plan)?;
         (recorded >= plan.horizon()).then_some((table, recorded))
+    }
+
+    /// Like [`Store::load_plan_outcomes`], but **without** the
+    /// `recorded >= plan.horizon()` gate: a table recorded at a *shorter*
+    /// horizon is returned too.  This is what the warm-extend path feeds to
+    /// [`anonrv_sim::SweepEngine::simulate_extend`] — a shorter recording
+    /// is not a miss, it is a resumable prefix of the requested sweep.
+    pub fn load_plan_outcomes_any(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        plan: &SweepPlan,
+    ) -> Option<(Vec<SimOutcome>, Round)> {
+        let bytes = fs::read(self.outcomes_path(g, program_key, plan)).ok()?;
+        decode_outcomes_payload(&bytes, g, program_key, plan)
     }
 
     /// Persist an executed plan's representative-outcome table
@@ -453,10 +502,7 @@ impl Store {
             let mut e = Enc::new();
             encode_plan_identity(&mut e, g, program_key, plan);
             e.u128(plan.horizon());
-            e.usize(table.len());
-            for o in table {
-                encode_outcome(&mut e, o);
-            }
+            encode_outcome_table(&mut e, table);
             self.write_atomic(&path, &e.into_frame(Kind::Outcomes))
         })?;
         Ok(path)
@@ -480,8 +526,8 @@ impl Store {
                 stats.other.add(bytes);
                 continue;
             };
-            let contents = fs::read(entry.path()).unwrap_or_default();
-            let Some(payload) = peek_payload(kind, &contents) else {
+            let (prefix, file_len) = read_prefix(&entry.path(), PEEK_PREFIX).unwrap_or_default();
+            let Some(mut d) = peek_prefix_frame(kind, &prefix, file_len) else {
                 stats.invalid.add(bytes);
                 continue;
             };
@@ -489,20 +535,20 @@ impl Store {
                 Kind::Orbits => stats.orbits.add(bytes),
                 Kind::Timelines => {
                     stats.timelines.add(bytes);
-                    if let Some(horizons) = peek_timeline_horizons(payload) {
-                        stats.timeline_entries += horizons.len();
+                    if let Some((count, horizons)) = peek_timeline_horizons(&mut d) {
+                        stats.timeline_entries += count;
                         stats.recorded_horizons.extend(horizons);
                     }
                 }
                 Kind::Outcomes => {
                     stats.outcomes.add(bytes);
-                    if let Some((_, recorded)) = peek_table_identity(payload) {
+                    if let Some((_, recorded)) = peek_table_identity(&mut d) {
                         stats.recorded_horizons.push(recorded);
                     }
                 }
                 Kind::Shard => {
                     stats.shards.add(bytes);
-                    if let Some((_, horizon)) = peek_table_identity(payload) {
+                    if let Some((_, horizon)) = peek_table_identity(&mut d) {
                         stats.recorded_horizons.push(horizon);
                     }
                 }
@@ -517,7 +563,11 @@ impl Store {
     /// anything — corrupt or format-stale artifacts, orphaned temp files,
     /// stale lock files, and shard partials superseded by a merged outcome
     /// table recorded at a horizon covering theirs.  Returns what was
-    /// reclaimed.  Valid artifacts and foreign files (anything the store
+    /// reclaimed.  The survey works from bounded prefix reads: a file
+    /// small enough to fit in the prefix is fully checksum-verified, a
+    /// larger one is gated on its header and identity only (deep payload
+    /// corruption in a big artifact is caught — and overwritten — by its
+    /// load path, so leaving it to that is safe).  Valid artifacts and foreign files (anything the store
     /// did not name itself) are never touched, so `gc` is always safe to
     /// run, including next to live shard processes (in-flight temp and
     /// lock files younger than 60 s are left alone).
@@ -564,18 +614,18 @@ impl Store {
             let Some(kind) = kind_of_filename(&name) else {
                 continue; // not one of ours: leave it alone
             };
-            let contents = fs::read(&path).unwrap_or_default();
-            let Some(payload) = peek_payload(kind, &contents) else {
+            let (prefix, file_len) = read_prefix(&path, PEEK_PREFIX).unwrap_or_default();
+            let Some(mut d) = peek_prefix_frame(kind, &prefix, file_len) else {
                 report.remove(&path, bytes, GcClass::Corrupt);
                 continue;
             };
             match kind {
                 Kind::Outcomes => {
-                    if let Some(identity) = peek_table_identity(payload) {
+                    if let Some(identity) = peek_table_identity(&mut d) {
                         merged.push(identity);
                     }
                 }
-                Kind::Shard => match peek_table_identity(payload) {
+                Kind::Shard => match peek_table_identity(&mut d) {
                     Some((identity, horizon)) => shards.push((path, bytes, identity, horizon)),
                     None => report.remove(&path, bytes, GcClass::Corrupt),
                 },
@@ -701,38 +751,52 @@ fn kind_of_filename(name: &str) -> Option<Kind> {
     }
 }
 
-/// Frame-validate `bytes` as `kind` and hand back the payload slice (the
-/// graph-independent half of a load, shared by stats and gc).
-fn peek_payload(kind: Kind, bytes: &[u8]) -> Option<&[u8]> {
-    unframe(kind, bytes).map(|d| d.into_payload())
+/// How much of each file the [`Store::stats`] / [`Store::gc`] surveys pull
+/// off disk.  Every peek they need — the frame header, the artifact
+/// identity, the timelines horizon summary, the table horizon — lives
+/// within the first few hundred bytes of a payload, so 64 KiB is generous.
+const PEEK_PREFIX: usize = 64 * 1024;
+
+/// Read up to `max` bytes of `path`, plus the file's total length.
+fn read_prefix(path: &Path, max: usize) -> io::Result<(Vec<u8>, u64)> {
+    use std::io::Read;
+    let f = fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    let mut buf = Vec::with_capacity(usize::try_from(len).unwrap_or(max).min(max));
+    f.take(max as u64).read_to_end(&mut buf)?;
+    Ok((buf, len))
 }
 
-/// The recorded horizon of every timeline entry in a timelines payload.
-fn peek_timeline_horizons(payload: &[u8]) -> Option<Vec<Round>> {
-    let mut d = Dec::over(payload);
+/// Survey gate shared by stats and gc: frame-validate what a bounded
+/// prefix read saw.  A file that fit entirely in the prefix goes through
+/// [`unframe`] — full checksum verification for free; a larger one is
+/// gated on its header and declared length only, handing back a decoder
+/// over the payload prefix (peeks past it degrade to `None`, and deep
+/// payload corruption is left for the load path's checksum to catch).
+fn peek_prefix_frame(kind: Kind, prefix: &[u8], file_len: u64) -> Option<Dec<'_>> {
+    if prefix.len() as u64 == file_len {
+        unframe(kind, prefix)
+    } else {
+        peek_frame(kind, prefix, file_len)
+    }
+}
+
+/// The entry count and distinct-horizon summary a v3 timelines payload
+/// leads with.
+fn peek_timeline_horizons(d: &mut Dec<'_>) -> Option<(usize, Vec<Round>)> {
     let _hash = d.u128()?;
     let _n = d.usize()?;
     let _key = d.str()?;
     let count = d.usize()?;
-    let mut horizons = Vec::with_capacity(count);
-    for _ in 0..count {
-        let _start = d.usize()?;
-        horizons.push(d.u128()?);
-        let nsegs = d.usize()?;
-        for _ in 0..nsegs {
-            let _node = d.usize()?;
-            let _s = d.u128()?;
-            let _e = d.u128()?;
-        }
-    }
-    Some(horizons)
+    let num_horizons = d.usize()?;
+    let horizons = d.u128_vec(num_horizons)?;
+    Some((count, horizons))
 }
 
 /// The plan identity and recorded horizon of an outcomes or shard payload
 /// (both lead with the identity followed by the horizon).
-fn peek_table_identity(payload: &[u8]) -> Option<(PlanIdentity, Round)> {
-    let mut d = Dec::over(payload);
-    let identity = decode_plan_identity_raw(&mut d)?;
+fn peek_table_identity(d: &mut Dec<'_>) -> Option<(PlanIdentity, Round)> {
+    let identity = decode_plan_identity_raw(d)?;
     let horizon = d.u128()?;
     Some((identity, horizon))
 }
@@ -749,15 +813,21 @@ fn decode_outcomes_payload(
     let mut d = unframe(Kind::Outcomes, bytes)?;
     decode_plan_identity(&mut d, g, program_key, plan)?;
     let recorded = d.u128()?;
-    let len = d.usize()?;
-    if len != plan.num_representative_queries() {
+    let table = decode_outcome_table(&mut d)?;
+    if table.len() != plan.num_representative_queries() {
         return None;
     }
-    let mut table = Vec::with_capacity(len);
-    for _ in 0..len {
-        table.push(decode_outcome(&mut d)?);
-    }
     d.exhausted().then_some((table, recorded))
+}
+
+/// The sorted distinct horizons of a timeline set — the up-front summary a
+/// timelines payload leads with, so `stats` can survey horizons from a
+/// bounded prefix read.
+fn distinct_horizons(horizons: impl Iterator<Item = Round>) -> Vec<Round> {
+    let mut hs: Vec<Round> = horizons.collect();
+    hs.sort_unstable();
+    hs.dedup();
+    hs
 }
 
 // -- shared payload pieces (also used by the shard files) -------------------
@@ -840,7 +910,10 @@ pub(crate) fn encode_outcome(e: &mut Enc, o: &SimOutcome) {
     e.u128(o.horizon);
 }
 
-/// Decode one [`SimOutcome`]; `None` on malformed input.
+/// Decode one [`SimOutcome`]; `None` on malformed input.  The inverse of
+/// [`encode_outcome`], kept as a round-trip oracle for the fingerprint
+/// encoding (on-disk tables decode through [`decode_outcome_table`]).
+#[cfg(test)]
 pub(crate) fn decode_outcome(d: &mut Dec<'_>) -> Option<SimOutcome> {
     let flags = d.u8()?;
     if flags & !0b111 != 0 {
@@ -861,9 +934,89 @@ pub(crate) fn decode_outcome(d: &mut Dec<'_>) -> Option<SimOutcome> {
     })
 }
 
-/// FNV-1a-64 fingerprint of an outcome table under the store's exact
+/// Encode a whole outcome table as flat v3 struct-of-arrays columns: a
+/// length, then one aligned array per [`SimOutcome`] field (meeting fields
+/// zero-filled where the flag bit is off, so every table has exactly one
+/// encoding).  Shared by the merged-table and shard-partial payloads.
+pub(crate) fn encode_outcome_table(e: &mut Enc, table: &[SimOutcome]) {
+    let len = table.len();
+    e.usize(len);
+    let mut flags = Vec::with_capacity(len);
+    let mut global_round = Vec::with_capacity(len);
+    let mut later_round = Vec::with_capacity(len);
+    let mut node = Vec::with_capacity(len);
+    let mut earlier_moves = Vec::with_capacity(len);
+    let mut later_moves = Vec::with_capacity(len);
+    let mut horizon = Vec::with_capacity(len);
+    for o in table {
+        flags.push(
+            u8::from(o.meeting.is_some())
+                | (u8::from(o.earlier_terminated) << 1)
+                | (u8::from(o.later_terminated) << 2),
+        );
+        let m = o.meeting.as_ref();
+        global_round.push(m.map_or(0, |m| m.global_round));
+        later_round.push(m.map_or(0, |m| m.later_round));
+        node.push(m.map_or(0, |m| m.node as u64));
+        earlier_moves.push(o.earlier_moves);
+        later_moves.push(o.later_moves);
+        horizon.push(o.horizon);
+    }
+    e.u8_slice(&flags);
+    e.u128_slice(&global_round);
+    e.u128_slice(&later_round);
+    e.u64_slice(&node);
+    e.u64_slice(&earlier_moves);
+    e.u64_slice(&later_moves);
+    e.u128_slice(&horizon);
+}
+
+/// Decode a [`encode_outcome_table`] column block; `None` on malformed
+/// input (bad flag bits, or meeting fields not zero-filled where the flag
+/// is off).
+pub(crate) fn decode_outcome_table(d: &mut Dec<'_>) -> Option<Vec<SimOutcome>> {
+    let len = d.usize()?;
+    let flags = d.u8_vec(len)?;
+    let global_round = d.u128_vec(len)?;
+    let later_round = d.u128_vec(len)?;
+    let node = d.u64_vec(len)?;
+    let earlier_moves = d.u64_vec(len)?;
+    let later_moves = d.u64_vec(len)?;
+    let horizon = d.u128_vec(len)?;
+    let mut table = Vec::with_capacity(len);
+    for i in 0..len {
+        if flags[i] & !0b111 != 0 {
+            return None;
+        }
+        let meeting = if flags[i] & 1 != 0 {
+            Some(Meeting {
+                global_round: global_round[i],
+                later_round: later_round[i],
+                node: usize::try_from(node[i]).ok()?,
+            })
+        } else {
+            if global_round[i] != 0 || later_round[i] != 0 || node[i] != 0 {
+                return None;
+            }
+            None
+        };
+        table.push(SimOutcome {
+            meeting,
+            earlier_moves: earlier_moves[i],
+            later_moves: later_moves[i],
+            earlier_terminated: flags[i] & 0b10 != 0,
+            later_terminated: flags[i] & 0b100 != 0,
+            horizon: horizon[i],
+        });
+    }
+    Some(table)
+}
+
+/// FNV-1a-64 fingerprint of an outcome table under a canonical per-entry
 /// encoding — the cheap bit-identity check the CLI prints and CI diffs
 /// (two tables share a fingerprint iff their encodings are byte-identical).
+/// Deliberately **not** the on-disk column layout, so fingerprints stay
+/// comparable across format versions.
 pub fn table_fingerprint(table: &[SimOutcome]) -> u64 {
     let mut e = Enc::new();
     e.usize(table.len());
@@ -1067,6 +1220,44 @@ mod tests {
             .filter(|name| name.ends_with(".lock"))
             .collect();
         assert!(leftovers.is_empty(), "stale lock files: {leftovers:?}");
+    }
+
+    #[test]
+    fn older_format_versions_miss_and_a_fresh_write_supersedes_them() {
+        let dir = TempDir::new("format-version");
+        let store = store_in(&dir);
+        let g = oriented_ring(6).unwrap();
+        let program = Walker { seed: 9 };
+        let key = "test-walker-9";
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(50));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 50);
+        let outcomes = planned.run(&plan);
+        store.save_plan_outcomes(&g, key, &plan, outcomes.table()).unwrap();
+        store.persist_engine(planned.engine(), key).unwrap();
+
+        // rewrite every artifact as a **checksum-valid older version**: the
+        // version gate alone must turn them into misses (a v2 payload laid
+        // out under v3 rules would decode garbage)
+        for entry in fs::read_dir(&dir.0).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+            let body = bytes.len() - 8;
+            let sum = fnv64(&bytes[..body]).to_le_bytes();
+            bytes[body..].copy_from_slice(&sum);
+            fs::write(&path, bytes).unwrap();
+        }
+        assert!(store.load_plan_outcomes(&g, key, &plan).is_none());
+        let served = SweepEngine::new(&g, &program, EngineConfig::batch(50));
+        assert_eq!(store.warm_engine(&served, key).installed, 0);
+        // the survey classifies them as invalid rather than refusing to run
+        assert_eq!(store.stats().unwrap().invalid.files, 2);
+
+        // the recompute path supersedes the stale files in place
+        store.save_plan_outcomes(&g, key, &plan, outcomes.table()).unwrap();
+        store.persist_engine(planned.engine(), key).unwrap();
+        assert_eq!(store.load_plan_outcomes(&g, key, &plan), Some((outcomes.table().to_vec(), 50)));
+        assert!(store.load_timelines(&g, key).is_some());
     }
 
     #[test]

@@ -4,12 +4,18 @@
 //! Each cache file is one *frame*:
 //!
 //! ```text
-//! magic "ANRVSTOR" (8) | format version u32 | kind u8 | payload length u64
-//! | payload bytes | FNV-1a-64 checksum of everything before it (u64)
+//! magic "ANRVSTOR" (8) | format version u32 | kind u8 | reserved (11)
+//! | payload length u64 | payload bytes
+//! | FNV-1a-64 checksum of everything before it (u64)
 //! ```
 //!
-//! All integers are little-endian.  The frame gives every artifact the same
-//! three integrity gates, checked in order on load:
+//! All integers are little-endian.  The header is exactly 32 bytes, so a
+//! payload offset that is a multiple of 16 is also a 16-aligned *file*
+//! offset: the v3 payloads place their flat `u128`/`u64`/`u32` arrays on
+//! 16-byte boundaries ([`Enc::align16`]/[`Dec::align16`]) and move them
+//! with the bulk array codecs below — one `extend_from_slice`-style copy
+//! per array instead of a per-element decode loop.  The frame gives every
+//! artifact the same three integrity gates, checked in order on load:
 //!
 //! 1. **magic + version** — a file written by a different format revision is
 //!    *invalidated* (treated as a miss, then overwritten by the recompute),
@@ -35,7 +41,23 @@ pub(crate) const MAGIC: [u8; 8] = *b"ANRVSTOR";
 /// Version 2: horizon-generic keying — timelines carry a per-entry recorded
 /// horizon, outcome/shard payloads embed theirs after the (horizon-free)
 /// plan identity.
-pub(crate) const FORMAT_VERSION: u32 = 2;
+/// Version 3: flat-array payloads — the header widens to 32 bytes so the
+/// payload starts 16-aligned, timeline entries store their segment and
+/// occupancy arrays as alignment-padded struct-of-arrays blocks (decoded by
+/// one bulk copy each, no per-segment loop or re-indexing on load), outcome
+/// tables store one flat column per field, and timeline payloads carry an
+/// up-front `(start, horizon)` directory so `stats` can peek recorded
+/// horizons from a bounded prefix read.
+pub(crate) const FORMAT_VERSION: u32 = 3;
+
+/// Frame header size: magic(8) + version(4) + kind(1) + reserved(11) +
+/// payload length(8).  The 11 reserved zero bytes pad the header to 32 so
+/// 16-aligned payload offsets are 16-aligned file offsets.
+pub(crate) const HEADER: usize = 32;
+
+/// Alignment of the flat arrays inside v3 payloads (the widest element,
+/// `u128`).
+pub(crate) const ALIGN: usize = 16;
 
 /// Artifact kind tags (one per payload layout).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +114,44 @@ impl Enc {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Zero-pad to the next [`ALIGN`] boundary (relative to the payload
+    /// start, which the 32-byte header keeps 16-aligned in the file).
+    pub(crate) fn align16(&mut self) {
+        let pad = self.buf.len().next_multiple_of(ALIGN) - self.buf.len();
+        self.buf.resize(self.buf.len() + pad, 0);
+    }
+
+    /// An aligned flat `u128` array (no length prefix: callers frame counts
+    /// themselves so directories stay at fixed offsets).
+    pub(crate) fn u128_slice(&mut self, xs: &[u128]) {
+        self.align16();
+        for &x in xs {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// An aligned flat `u64` array.
+    pub(crate) fn u64_slice(&mut self, xs: &[u64]) {
+        self.align16();
+        for &x in xs {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// An aligned flat `u32` array.
+    pub(crate) fn u32_slice(&mut self, xs: &[u32]) {
+        self.align16();
+        for &x in xs {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// An aligned flat byte array.
+    pub(crate) fn u8_slice(&mut self, xs: &[u8]) {
+        self.align16();
+        self.buf.extend_from_slice(xs);
+    }
+
     /// The raw payload accumulated so far (fingerprinting without framing).
     pub(crate) fn payload(&self) -> &[u8] {
         &self.buf
@@ -99,10 +159,11 @@ impl Enc {
 
     /// Wrap the accumulated payload in a checksummed frame.
     pub(crate) fn into_frame(self, kind: Kind) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.buf.len() + 29);
+        let mut out = Vec::with_capacity(HEADER + self.buf.len() + 8);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         out.push(kind as u8);
+        out.extend_from_slice(&[0u8; 11]);
         out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.buf);
         let checksum = fnv64(&out);
@@ -119,17 +180,6 @@ pub(crate) struct Dec<'a> {
 }
 
 impl<'a> Dec<'a> {
-    /// Decode over a bare (already unframed) payload slice.
-    pub(crate) fn over(data: &'a [u8]) -> Self {
-        Dec { data, pos: 0 }
-    }
-
-    /// The full payload this decoder reads (hand-off between the framing
-    /// gate and payload-peeking helpers).
-    pub(crate) fn into_payload(self) -> &'a [u8] {
-        self.data
-    }
-
     fn take(&mut self, len: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(len)?;
         let slice = self.data.get(self.pos..end)?;
@@ -137,6 +187,9 @@ impl<'a> Dec<'a> {
         Some(slice)
     }
 
+    /// Only the test-side inverse of [`Enc::u8`] reads scalar bytes now:
+    /// the v3 payloads move byte columns with [`Dec::u8_vec`].
+    #[cfg(test)]
     pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
     }
@@ -164,6 +217,55 @@ impl<'a> Dec<'a> {
         String::from_utf8(bytes.to_vec()).ok()
     }
 
+    /// Skip the zero padding [`Enc::align16`] wrote.  Rejects non-zero pad
+    /// bytes so every payload has exactly one valid encoding.
+    pub(crate) fn align16(&mut self) -> Option<()> {
+        let pad = self.pos.next_multiple_of(ALIGN) - self.pos;
+        self.take(pad)?.iter().all(|&b| b == 0).then_some(())
+    }
+
+    /// A bulk-copied aligned `u128` array of exactly `len` elements.
+    pub(crate) fn u128_vec(&mut self, len: usize) -> Option<Vec<u128>> {
+        self.align16()?;
+        let bytes = self.take(len.checked_mul(16)?)?;
+        Some(
+            bytes
+                .chunks_exact(16)
+                .map(|c| u128::from_le_bytes(c.try_into().expect("16 bytes")))
+                .collect(),
+        )
+    }
+
+    /// A bulk-copied aligned `u64` array of exactly `len` elements.
+    pub(crate) fn u64_vec(&mut self, len: usize) -> Option<Vec<u64>> {
+        self.align16()?;
+        let bytes = self.take(len.checked_mul(8)?)?;
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect(),
+        )
+    }
+
+    /// A bulk-copied aligned `u32` array of exactly `len` elements.
+    pub(crate) fn u32_vec(&mut self, len: usize) -> Option<Vec<u32>> {
+        self.align16()?;
+        let bytes = self.take(len.checked_mul(4)?)?;
+        Some(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        )
+    }
+
+    /// A bulk-copied aligned byte array of exactly `len` elements.
+    pub(crate) fn u8_vec(&mut self, len: usize) -> Option<Vec<u8>> {
+        self.align16()?;
+        Some(self.take(len)?.to_vec())
+    }
+
     /// `true` iff the whole payload was consumed (trailing garbage is
     /// rejected by loaders that call this).
     pub(crate) fn exhausted(&self) -> bool {
@@ -175,22 +277,7 @@ impl<'a> Dec<'a> {
 /// `None` when any integrity gate fails (magic, version, kind, length,
 /// checksum).
 pub(crate) fn unframe(kind: Kind, bytes: &[u8]) -> Option<Dec<'_>> {
-    // magic(8) + version(4) + kind(1) + len(8) .. payload .. checksum(8)
-    const HEADER: usize = 8 + 4 + 1 + 8;
-    if bytes.len() < HEADER + 8 {
-        return None;
-    }
-    if bytes[..8] != MAGIC {
-        return None;
-    }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
-        return None;
-    }
-    if bytes[12] != kind as u8 {
-        return None;
-    }
-    let payload_len = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes")) as usize;
+    let payload_len = check_header(kind, bytes)?;
     if bytes.len() != HEADER + payload_len + 8 {
         return None;
     }
@@ -200,6 +287,41 @@ pub(crate) fn unframe(kind: Kind, bytes: &[u8]) -> Option<Dec<'_>> {
         return None;
     }
     Some(Dec { data: &bytes[HEADER..HEADER + payload_len], pos: 0 })
+}
+
+/// Validate only the fixed-size header fields (magic, version, kind,
+/// reserved) and return the declared payload length.  `bytes` may be an
+/// arbitrary prefix of the file.
+fn check_header(kind: Kind, bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < HEADER || bytes[..8] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION || bytes[12] != kind as u8 {
+        return None;
+    }
+    if bytes[13..24].iter().any(|&b| b != 0) {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    usize::try_from(payload_len).ok()
+}
+
+/// Header-gate a *prefix* of a frame against the full on-disk file length
+/// and hand back a decoder over whatever part of the payload the prefix
+/// holds.  The checksum is **not** verified (the trailer may be outside the
+/// prefix): reads that run past the prefix return `None` as usual, so this
+/// serves bounded-prefix identity peeks (`Store::stats`, `Store::gc`)
+/// without pulling whole payloads off disk.  Full integrity checking still
+/// requires [`unframe`] over the complete file.
+pub(crate) fn peek_frame(kind: Kind, prefix: &[u8], file_len: u64) -> Option<Dec<'_>> {
+    let payload_len = check_header(kind, prefix)?;
+    let framed = (HEADER as u64).checked_add(payload_len as u64)?.checked_add(8)?;
+    if file_len != framed {
+        return None;
+    }
+    let avail = prefix.len().min(HEADER + payload_len);
+    Some(Dec { data: &prefix[HEADER..avail], pos: 0 })
 }
 
 #[cfg(test)]
@@ -247,12 +369,70 @@ mod tests {
         let mut bad = good.clone();
         bad.push(0);
         assert!(unframe(Kind::Orbits, &bad).is_none());
-        // single-byte corruption anywhere in the payload or checksum
-        for i in 21..good.len() {
+        // single-byte corruption anywhere past the magic — reserved bytes,
+        // length, payload and checksum are all covered (by the reserved-zero
+        // gate, the length gate or the checksum)
+        for i in 8..good.len() {
             let mut bad = good.clone();
             bad[i] ^= 0x40;
             assert!(unframe(Kind::Orbits, &bad).is_none(), "corrupt byte {i} accepted");
         }
+    }
+
+    #[test]
+    fn aligned_bulk_arrays_round_trip() {
+        let wide = vec![0u128, 7, u128::MAX];
+        let mid = vec![3u64, 1 << 40];
+        let narrow = vec![9u32, 8, 7, 6, 5];
+        let bytes = vec![0xAAu8, 0xBB];
+        let mut e = Enc::new();
+        e.u8(1); // misalign on purpose
+        e.u128_slice(&wide);
+        e.u8(2);
+        e.u64_slice(&mid);
+        e.u32_slice(&narrow);
+        e.u8_slice(&bytes);
+        // every array starts on a 16-byte payload offset
+        let frame = e.into_frame(Kind::Timelines);
+        let mut d = unframe(Kind::Timelines, &frame).expect("valid frame");
+        assert_eq!(d.u8(), Some(1));
+        assert_eq!(d.u128_vec(wide.len()).as_deref(), Some(&wide[..]));
+        assert_eq!(d.u8(), Some(2));
+        assert_eq!(d.u64_vec(mid.len()).as_deref(), Some(&mid[..]));
+        assert_eq!(d.u32_vec(narrow.len()).as_deref(), Some(&narrow[..]));
+        assert_eq!(d.u8_vec(bytes.len()).as_deref(), Some(&bytes[..]));
+        assert!(d.exhausted());
+        // a length that overruns the payload is malformed, not a panic
+        let mut d = unframe(Kind::Timelines, &frame).unwrap();
+        assert!(d.u128_vec(usize::MAX).is_none());
+        // non-zero padding bytes are rejected (offset 33 = first pad byte
+        // after the misaligning u8 at payload offset 0)
+        let mut bad = frame.clone();
+        bad[HEADER + 1] = 0xFF;
+        let body_end = bad.len() - 8;
+        let sum = fnv64(&bad[..body_end]).to_le_bytes();
+        bad[body_end..].copy_from_slice(&sum);
+        let mut d = unframe(Kind::Timelines, &bad).expect("checksum refreshed");
+        assert_eq!(d.u8(), Some(1));
+        assert!(d.u128_vec(wide.len()).is_none());
+    }
+
+    #[test]
+    fn peeking_a_prefix_gates_the_header_and_file_length() {
+        let frame = sample_frame();
+        let len = frame.len() as u64;
+        // a generous prefix exposes the leading payload fields
+        let mut d = peek_frame(Kind::Orbits, &frame[..HEADER + 9], len).expect("peek");
+        assert_eq!(d.u8(), Some(7));
+        assert_eq!(d.u64(), Some(42));
+        // reads past the prefix degrade to None, not to garbage
+        assert_eq!(d.u128(), None);
+        // too-short prefix, wrong kind, and a file length that disagrees
+        // with the declared payload length are all rejected
+        assert!(peek_frame(Kind::Orbits, &frame[..HEADER - 1], len).is_none());
+        assert!(peek_frame(Kind::Shard, &frame, len).is_none());
+        assert!(peek_frame(Kind::Orbits, &frame, len + 1).is_none());
+        assert!(peek_frame(Kind::Orbits, &frame, len - 1).is_none());
     }
 
     #[test]

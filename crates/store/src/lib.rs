@@ -20,13 +20,25 @@
 //!   holding serialized automorphism groups / [`PairOrbits`], recorded
 //!   wait-compressed [`Timeline`](anonrv_sim::Timeline)s, and full
 //!   representative-outcome tables.  Horizons live *inside* the frames, not
-//!   in the keys: lookups hit whenever `recorded >= needed` (served by
-//!   prefix truncation), writes supersede shorter recordings in place, and
-//!   [`Store::gc`] compacts what can no longer serve anything.  Every load
-//!   is integrity-checked (magic, format version, length, checksum,
-//!   embedded identity) and falls back to recompute-and-overwrite on any
-//!   mismatch — see [`cache`] for the trust model and `codec.rs` for the
-//!   frame layout.
+//!   in the keys: a lookup hits whenever `recorded >= needed` (longer
+//!   recordings serve as-is — the merge kernels clip per query), a shorter
+//!   table **extends** up instead of restarting, writes supersede shorter
+//!   recordings in place, and [`Store::gc`] compacts what can no longer
+//!   serve anything.  Every load is integrity-checked (magic, format
+//!   version, length, checksum, embedded identity) and falls back to
+//!   recompute-and-overwrite on any mismatch — see [`cache`] for the trust
+//!   model and `codec.rs` for the frame layout.
+//!
+//!   Format version 3 frames are **zero-copy-shaped**: a 32-byte header, a
+//!   payload of 16-aligned little-endian flat arrays in the engines' own
+//!   struct-of-arrays layout (timeline segment columns + occupancy CSR;
+//!   one column per outcome field), and one trailing checksum amortised
+//!   over the whole frame.  Loading is a single `fs::read` plus bulk
+//!   column decodes straight into
+//!   [`Timeline::from_parts`](anonrv_sim::Timeline::from_parts) — no
+//!   per-entry re-indexing — and [`Store::stats`] / [`Store::gc`] survey a
+//!   cache directory from a bounded 64 KiB prefix per file, never loading
+//!   the arrays.
 //! * [`SweepSession`] — the one orchestrator every front-end drives (the
 //!   CLI `sweep`/`cache` commands, the experiment harness, the benchmark
 //!   binaries): plan → cache-probe → execute-representatives → record →

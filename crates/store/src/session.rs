@@ -8,8 +8,9 @@
 //!
 //! ```text
 //!   plan        orbits: store probe (verified load) or compute, save back
-//!   cache-probe outcome table: exact hit / prefix hit / miss;
-//!               trajectory timelines: preload (prefix-truncated) on first use
+//!   cache-probe outcome table: exact hit / prefix hit / extend hit / miss;
+//!               trajectory timelines: preload (served as-is; the merge
+//!               kernels clip at each query's horizon) on first use
 //!   execute     only what the probes left: representative merges (and, cold,
 //!               the representative recordings)
 //!   record      timelines + outcome tables persisted back, superseding
@@ -31,13 +32,16 @@
 //!
 //! The store records horizons inside its frames, not in its keys, so a
 //! session asking for horizon `h` is served by any recording at `H >= h`:
-//! timelines preload through [`Timeline::truncate`] and outcome tables
-//! through [`PlannedOutcomes::truncate`] — both exact, because `Stop`
-//! propagation makes the `h`-run a bit-identical prefix of the `H`-run.  A
-//! prefix outcome hit re-runs only the merges the prefix alone cannot
-//! determine, through warm timelines: **zero program executions**.
-//!
-//! [`Timeline::truncate`]: anonrv_sim::Timeline::truncate
+//! timelines preload **as-is** (the merge kernels clip at each query's
+//! horizon) and outcome tables truncate through
+//! [`PlannedOutcomes::truncate`] — both exact, because `Stop` propagation
+//! makes the `h`-run a bit-identical prefix of the `H`-run.  A prefix
+//! outcome hit re-runs only the merges the prefix alone cannot determine,
+//! through warm timelines: **zero program executions**.  The opposite
+//! direction is served too: a table recorded at `H < h` is **extended** up
+//! ([`anonrv_plan::PlannedSweep::extend_table`]) — met entries are final by
+//! stop-propagation and cost O(1), only the unmet ones resume their merge
+//! at the recorded horizon.
 
 use anonrv_graph::PortGraph;
 use anonrv_plan::{PairOrbits, PlannedOutcomes, PlannedSweep, SweepPlan};
@@ -63,6 +67,15 @@ pub enum OutcomeProvenance {
         /// Entries the prefix alone could not determine (re-merged warm).
         remerged: usize,
     },
+    /// Loaded from a table recorded at a **shorter** horizon and extended
+    /// up: met entries are final by stop-propagation and served in O(1);
+    /// only the unmet ones resumed their merge at the recorded horizon.
+    WarmExtend {
+        /// The horizon the serving table was recorded at.
+        recorded: Round,
+        /// Unmet entries whose merge resumed at the recorded horizon.
+        extended: usize,
+    },
 }
 
 impl std::fmt::Display for OutcomeProvenance {
@@ -72,6 +85,9 @@ impl std::fmt::Display for OutcomeProvenance {
             OutcomeProvenance::WarmExact => f.write_str("warm"),
             OutcomeProvenance::WarmPrefix { recorded, remerged } => {
                 write!(f, "warm-prefix (recorded at horizon {recorded}, {remerged} re-merged)")
+            }
+            OutcomeProvenance::WarmExtend { recorded, extended } => {
+                write!(f, "warm-extend (recorded at horizon {recorded}, {extended} extended)")
             }
         }
     }
@@ -290,7 +306,7 @@ impl<'a> SweepSession<'a> {
 
     /// Execute a whole plan through the probe → execute → record pipeline.
     /// Returns the broadcastable outcome table and how it was obtained
-    /// (exact warm hit, prefix hit, or cold execution; see
+    /// (exact warm hit, prefix hit, extend hit, or cold execution; see
     /// [`OutcomeProvenance`]).  The plan must share this session's
     /// partition, δ-grid order and a horizon within the engine's.
     pub fn run_plan<'p>(
@@ -299,7 +315,7 @@ impl<'a> SweepSession<'a> {
     ) -> Result<(PlannedOutcomes<'p>, OutcomeProvenance), String> {
         if let Some(store) = self.store {
             if let Some((table, recorded)) =
-                store.load_plan_outcomes(self.graph, &self.program_key, plan)
+                store.load_plan_outcomes_any(self.graph, &self.program_key, plan)
             {
                 if recorded == plan.horizon() {
                     let outcomes = PlannedOutcomes::from_table(plan, table)?;
@@ -308,18 +324,35 @@ impl<'a> SweepSession<'a> {
                     self.outcome = Some(provenance);
                     return Ok((outcomes, provenance));
                 }
-                // prefix hit: truncate the longer table; entries the prefix
-                // alone cannot determine re-merge (rayon) through warm
-                // timelines
-                self.ensure_warm();
                 let recorded_plan =
                     SweepPlan::from_orbits(plan.orbits().clone(), plan.deltas().to_vec(), recorded);
-                let full = PlannedOutcomes::from_table(&recorded_plan, table)?;
-                let (outcomes, remerged) = self.planned.serve_prefix(&full, plan)?;
-                // self-heal: a re-merge over a missing timeline recorded it
+                self.ensure_warm();
+                if recorded > plan.horizon() {
+                    // prefix hit: truncate the longer table; entries the
+                    // prefix alone cannot determine re-merge (rayon)
+                    // through warm timelines
+                    let full = PlannedOutcomes::from_table(&recorded_plan, table)?;
+                    let (outcomes, remerged) = self.planned.serve_prefix(&full, plan)?;
+                    // self-heal: a re-merge over a missing timeline recorded it
+                    self.persist_timelines()?;
+                    let provenance = OutcomeProvenance::WarmPrefix { recorded, remerged };
+                    self.executed += remerged;
+                    self.answered += plan.num_member_queries();
+                    self.outcome = Some(provenance);
+                    return Ok((outcomes, provenance));
+                }
+                // extend hit: the stored table is shorter; met entries are
+                // final by stop-propagation, unmet entries resume their
+                // merge at the recorded horizon (rayon) and the superseding
+                // table persists back
+                let prior = PlannedOutcomes::from_table(&recorded_plan, table)?;
+                let (outcomes, extended) = self.planned.extend_table(&prior, plan)?;
                 self.persist_timelines()?;
-                let provenance = OutcomeProvenance::WarmPrefix { recorded, remerged };
-                self.executed += remerged;
+                store
+                    .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
+                    .map_err(|e| format!("cannot persist outcomes: {e}"))?;
+                let provenance = OutcomeProvenance::WarmExtend { recorded, extended };
+                self.executed += extended;
                 self.answered += plan.num_member_queries();
                 self.outcome = Some(provenance);
                 return Ok((outcomes, provenance));
@@ -444,6 +477,54 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(served.table(), reference.table(), "prefix-hit differential");
+    }
+
+    #[test]
+    fn extend_hits_resume_merges_and_supersede_the_shorter_table() {
+        let dir = TempDir::new("session-extend");
+        let store = Store::open(&dir.0).unwrap();
+        let g = oriented_torus(3, 4).unwrap();
+        let program = walker();
+        let deltas: Vec<Round> = vec![0, 1, 2];
+
+        // seed a *short* table
+        let mut seed = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(12));
+        let short_plan = SweepPlan::from_orbits(seed.orbits().clone(), deltas.clone(), 12);
+        let (short_outcomes, prov) = seed.run_plan(&short_plan).unwrap();
+        assert_eq!(prov, OutcomeProvenance::Cold);
+
+        // ask for a longer horizon: the short table extends up instead of
+        // the session restarting every merge from round zero
+        let mut session =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let long_plan = SweepPlan::from_orbits(session.orbits().clone(), deltas.clone(), 64);
+        let (served, prov) = session.run_plan(&long_plan).unwrap();
+        let OutcomeProvenance::WarmExtend { recorded, extended } = prov else {
+            panic!("expected an extend hit, got {prov:?}");
+        };
+        assert_eq!(recorded, 12);
+        let unmet = short_outcomes.table().iter().filter(|o| o.meeting.is_none()).count();
+        assert_eq!(extended, unmet, "only unmet entries resume their merge");
+        assert_eq!(session.stats().executed, extended);
+        let reference = SweepSession::in_memory(&g, &program, EngineConfig::batch(64))
+            .run_plan(&long_plan)
+            .unwrap()
+            .0;
+        assert_eq!(served.table(), reference.table(), "extend-hit differential");
+
+        // the superseding table persisted: the long horizon is now an exact
+        // hit, and the short one still serves as a prefix hit
+        let mut warm = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let (_, prov) = warm.run_plan(&long_plan).unwrap();
+        assert_eq!(prov, OutcomeProvenance::WarmExact);
+        let mut prefix =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(12));
+        let (again, prov) = prefix.run_plan(&short_plan).unwrap();
+        assert!(
+            matches!(prov, OutcomeProvenance::WarmPrefix { recorded: 64, .. }),
+            "expected a prefix hit off the superseding table, got {prov:?}"
+        );
+        assert_eq!(again.table(), short_outcomes.table(), "round trip diverged");
     }
 
     #[test]

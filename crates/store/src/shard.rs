@@ -40,7 +40,7 @@ use anonrv_plan::SweepPlan;
 use anonrv_sim::SimOutcome;
 
 use crate::cache::{
-    decode_outcome, decode_plan_identity, encode_outcome, encode_plan_identity, Store,
+    decode_outcome_table, decode_plan_identity, encode_outcome_table, encode_plan_identity, Store,
 };
 use crate::codec::{unframe, Enc, Kind};
 
@@ -142,9 +142,7 @@ impl Store {
         for &c in &outcomes.classes {
             e.usize(c);
         }
-        for o in &outcomes.table {
-            encode_outcome(&mut e, o);
-        }
+        encode_outcome_table(&mut e, &outcomes.table);
         let path = self.shard_path(g, program_key, plan, outcomes.spec);
         self.write_atomic(&path, &e.into_frame(Kind::Shard))?;
         Ok(path)
@@ -179,9 +177,9 @@ impl Store {
             }
             classes.push(c);
         }
-        let mut table = Vec::with_capacity(count * plan.deltas().len());
-        for _ in 0..count * plan.deltas().len() {
-            table.push(decode_outcome(&mut d)?);
+        let table = decode_outcome_table(&mut d)?;
+        if table.len() != count * plan.deltas().len() {
+            return None;
         }
         d.exhausted().then_some(ShardOutcomes { spec, classes, table })
     }

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Record the persistent plan-cache perf numbers as BENCH_store.json (repo
 # root): the exhaustive sweep workload (all (u, v) pairs x delta in {0..4}
-# on oriented_torus(16, 16)) in four temperatures, all through the
-# SweepSession pipeline — cold (empty cache), warm timelines (planning +
-# trajectory recording skipped, merges re-run), warm outcomes (exact hit:
-# everything skipped) and warm prefix hit (only a 2x-horizon recording on
-# disk; served by prefix truncation + warm re-merges, zero program
-# executions).  The binary also asserts that a 2-shard execute + merge is
-# bit-identical to the unsharded planned sweep, and that the prefix-served
-# table is bit-identical to the cold one, before timing.
+# on oriented_torus(64, 64), 83.9M member STICs) in four temperatures, all
+# through the SweepSession pipeline — cold (empty cache), warm timelines
+# (planning + trajectory recording skipped, merges re-run), warm outcomes
+# (exact hit: everything skipped) and warm prefix hit (only a 2x-horizon
+# recording on disk; served by prefix truncation + warm re-merges, zero
+# program executions).  The agent is the deliberately expensive walker
+# (a hash-mix burn per action), so trajectory recording dominates the cold
+# run and the warm ratios measure the gap a real algorithm would see.  The
+# binary also asserts that a 2-shard execute + merge is bit-identical to
+# the unsharded planned sweep, and that the prefix-served table is
+# bit-identical to the cold one, before timing.
 #
 # Usage: scripts/record_store_bench.sh [output.json]
 set -euo pipefail

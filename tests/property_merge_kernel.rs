@@ -1,0 +1,158 @@
+//! Differential property tests of the **timeline-merge kernels**: the
+//! branch-light sort-merge ([`merge_timelines`]), the shared-pass delay
+//! sweep ([`merge_timelines_deltas_with`]) and the resumable extension
+//! ([`merge_timelines_extend`]) are each pinned bit-identical to
+//!
+//! * the retained pre-kernel **reference oracles** (binary-probe
+//!   implementations kept under the `ref-oracle` feature), and
+//! * the **Lockstep and Streaming engines**, which never touch timelines
+//!   at all.
+//!
+//! Everything the warm store serves flows through these kernels, so these
+//! differentials are what lets the zero-copy paths claim exactness.
+//!
+//! [`merge_timelines`]: anonrv::sim::merge_timelines
+//! [`merge_timelines_deltas_with`]: anonrv::sim::merge_timelines_deltas_with
+//! [`merge_timelines_extend`]: anonrv::sim::merge_timelines_extend
+
+use proptest::prelude::*;
+
+use anonrv::graph::generators::{oriented_ring, random_connected};
+use anonrv::sim::{
+    merge_timelines, merge_timelines_deltas_reference, merge_timelines_deltas_with,
+    merge_timelines_extend, merge_timelines_reference, simulate_with, AgentProgram, EngineConfig,
+    MergeScratch, Navigator, Round, Stic, Stop, Timeline,
+};
+
+/// Deterministic scripted agent (same idiom as the engine property tests):
+/// a seeded LCG decides each round between moving through a pseudo-random
+/// port and short waits, optionally terminating after a bounded number of
+/// actions.
+struct ScriptedWalker {
+    seed: u64,
+    lifetime: Option<u64>,
+}
+
+impl AgentProgram for ScriptedWalker {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        let mut state = self.seed | 1;
+        let mut actions = 0u64;
+        loop {
+            if let Some(lifetime) = self.lifetime {
+                if actions >= lifetime {
+                    return Ok(());
+                }
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            if roll.is_multiple_of(4) {
+                nav.wait((roll % 9 + 1) as Round)?;
+            } else {
+                nav.move_via(roll as usize % nav.degree())?;
+            }
+            actions += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sort-merge kernel against the binary-probe reference oracle and
+    /// both timeline-free engines, over random connected graphs.
+    #[test]
+    fn merge_kernel_matches_reference_and_both_engines(
+        n in 2usize..10,
+        extra in 0usize..5,
+        graph_seed in 0u64..200,
+        walker_seed in 0u64..1_000,
+        lifetime_sel in 0u64..80,
+        horizon in 0u64..200,
+        u_sel in 0usize..10,
+        v_sel in 0usize..10,
+        delay in 0u64..220, // sometimes beyond the horizon: no-show path
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, graph_seed).expect("valid generator parameters");
+        let lifetime = (lifetime_sel < 40).then_some(lifetime_sel + 1);
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let horizon = horizon as Round;
+        let stic = Stic::new(u_sel % n, v_sel % n, delay as Round);
+
+        let earlier = Timeline::record(&g, &program, stic.earlier, horizon);
+        let later = Timeline::record(&g, &program, stic.later, horizon);
+        let merged = merge_timelines(&earlier, &later, &stic, horizon);
+
+        let oracle = merge_timelines_reference(&earlier, &later, &stic, horizon);
+        prop_assert_eq!(merged, oracle, "{} kernel vs reference", stic);
+        for config in [EngineConfig::lockstep(horizon), EngineConfig::streaming(horizon)] {
+            let direct = simulate_with(&g, &program, &program, &stic, config);
+            prop_assert_eq!(merged, direct, "{} kernel vs engine", stic);
+        }
+    }
+
+    /// The shared-pass delay sweep against the reference sweep oracle and
+    /// against one independent kernel merge per delay — including unsorted,
+    /// duplicated and beyond-horizon delays, with one scratch reused across
+    /// every case (the sweep sessions' usage pattern).
+    #[test]
+    fn delta_sweep_matches_reference_and_per_delay_merges(
+        ring in 3usize..9,
+        walker_seed in 0u64..1_000,
+        lifetime_sel in 0u64..60,
+        horizon in 0u64..160,
+        raw_deltas in proptest::collection::vec(0u64..180, 0..12),
+    ) {
+        let g = oriented_ring(ring).expect("valid ring");
+        let lifetime = (lifetime_sel < 30).then_some(lifetime_sel + 1);
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let horizon = horizon as Round;
+        let deltas: Vec<Round> = raw_deltas.iter().map(|&d| d as Round).collect();
+
+        let earlier = Timeline::record(&g, &program, 0, horizon);
+        let later = Timeline::record(&g, &program, 1 % ring, horizon);
+        let mut scratch = MergeScratch::new();
+        let swept = merge_timelines_deltas_with(&mut scratch, &earlier, &later, &deltas, horizon);
+
+        let oracle = merge_timelines_deltas_reference(&earlier, &later, &deltas, horizon);
+        prop_assert_eq!(&swept, &oracle, "sweep vs reference");
+        for (i, &delta) in deltas.iter().enumerate() {
+            let stic = Stic::new(0, 1 % ring, delta);
+            let single = merge_timelines(&earlier, &later, &stic, horizon);
+            prop_assert_eq!(swept[i], single, "{} sweep slot vs independent merge", stic);
+        }
+    }
+
+    /// Extension resumes instead of restarting, bit-identically: merging at
+    /// `h`, then extending the outcome to `H >= h`, equals merging at `H`
+    /// directly — for every `(h, H)` cut of one recorded pair, met or not.
+    #[test]
+    fn extension_is_bit_identical_to_a_direct_merge_at_the_larger_horizon(
+        n in 2usize..10,
+        extra in 0usize..5,
+        graph_seed in 0u64..200,
+        walker_seed in 0u64..1_000,
+        lifetime_sel in 0u64..80,
+        long_horizon in 0u64..160,
+        short_frac in 0u64..101,
+        delay in 0u64..180,
+    ) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = random_connected(n, extra, graph_seed).expect("valid generator parameters");
+        let lifetime = (lifetime_sel < 40).then_some(lifetime_sel + 1);
+        let program = ScriptedWalker { seed: walker_seed, lifetime };
+        let long_horizon = long_horizon as Round;
+        let short = (short_frac as Round * long_horizon) / 100; // <= long
+        let stic = Stic::new(0, (1 + graph_seed as usize) % n, delay as Round);
+
+        let earlier = Timeline::record(&g, &program, stic.earlier, long_horizon);
+        let later = Timeline::record(&g, &program, stic.later, long_horizon);
+        let prior = merge_timelines(&earlier, &later, &stic, short);
+        let extended = merge_timelines_extend(&earlier, &later, &stic, &prior, long_horizon);
+        let direct = merge_timelines(&earlier, &later, &stic, long_horizon);
+        prop_assert_eq!(extended, direct, "{} extended {} -> {}", stic, short, long_horizon);
+        // extending to the same horizon is the identity
+        let same = merge_timelines_extend(&earlier, &later, &stic, &prior, short);
+        prop_assert_eq!(same, prior, "{} self-extension", stic);
+    }
+}
