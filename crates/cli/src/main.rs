@@ -8,13 +8,19 @@
 //! anonrv orbits   <graph>                      view-equivalence classes of the graph
 //! anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S]
 //!                 [--cache-dir DIR] [--shards K --shard-index I] [--merge]
+//!                 [--shards K --supervised]
 //!                                              exhaustive planned all-pairs sweep:
 //!                                              resumable (persistent plan cache,
 //!                                              horizon-generic: longer recordings
 //!                                              serve shorter sweeps by prefix),
 //!                                              shardable across processes, merged
-//!                                              bit-identically
-//! anonrv cache    <dir> stats|gc               survey / compact a plan-cache dir
+//!                                              bit-identically; --supervised runs
+//!                                              every shard in-process with
+//!                                              retry/backoff over the store's
+//!                                              missing-shard probe
+//! anonrv cache    <dir> stats|gc|fsck [--repair]
+//!                                              survey / compact / deep-verify a
+//!                                              plan-cache dir
 //! anonrv figure1  [h]                          ASCII rendering of Q̂_h (default h = 2)
 //! ```
 //!
@@ -62,16 +68,20 @@ fn usage() -> &'static str {
      anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm] [--horizon H]\n  \
      anonrv orbits   <graph>\n  \
      anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S] [--cache-dir DIR]\n                  \
-     [--shards K --shard-index I] [--merge]\n  anonrv cache    <dir> stats|gc\n  \
+     [--shards K --shard-index I] [--merge] [--shards K --supervised]\n  \
+     anonrv cache    <dir> stats|gc|fsck [--repair]\n  \
      anonrv figure1  [h]\n\n\
      sweep: exhaustive all-pairs x delay-grid planned sweep (D = count `5` for {0..4} or list \
      `0,2,7`;\n  S = walker seed, decimal or 0x-hex); --cache-dir makes it resumable (orbits/\
      timelines/outcomes\n  persist; recordings at a longer horizon serve shorter sweeps by \
      prefix truncation),\n  --shards/--shard-index executes one slice, --merge reassembles the \
-     slices bit-identically.\n\n\
-     cache: stats surveys artifact counts/bytes per kind and recorded horizons; gc deletes\n  \
-     corrupt/stale frames, orphaned temp/lock files and shard partials superseded by a merged\n  \
-     table, reporting reclaimed bytes.\n\n\
+     slices bit-identically,\n  --shards/--supervised runs every slice in-process with bounded \
+     retry + backoff, re-running\n  only slices whose artifact is missing, then merges.\n\n\
+     cache: stats surveys artifact counts/bytes per kind (quarantined frames included) and\n  \
+     recorded horizons; gc deletes corrupt/stale frames, orphaned temp/lock files and shard\n  \
+     partials superseded by a merged table, reporting reclaimed bytes; fsck reads every frame\n  \
+     in full (end-to-end checksum + structural payload verification) and lists a per-artifact\n  \
+     verdict — with --repair, corrupt frames move to quarantine/ with a reason sidecar.\n\n\
      graphs: ring:8 path:5 star:4 complete:5 \
      hypercube:3 torus:3x4 grid:2x3 lollipop:4x2 caterpillar:4x2 double-tree:2x3 random:10x4x7 \
      circulant:12x1x3 qhat:4"
@@ -387,7 +397,9 @@ fn timelines_phrase(stats: &anonrv_store::SessionStats) -> String {
 fn cmd_sweep(args: &[String]) -> Result<String, String> {
     use anonrv_plan::SweepPlan;
     use anonrv_sim::EngineConfig;
-    use anonrv_store::{table_fingerprint, OutcomeProvenance, ShardSpec, Store, SweepSession};
+    use anonrv_store::{
+        table_fingerprint, OutcomeProvenance, ShardSpec, Store, SuperviseConfig, SweepSession,
+    };
 
     let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
     let deltas = parse_deltas(flag_value(args, "--deltas").unwrap_or("5"))?;
@@ -412,6 +424,7 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
         None => None,
     };
     let merge = args.iter().any(|a| a == "--merge");
+    let supervised = args.iter().any(|a| a == "--supervised");
 
     let program = anonrv_sim::SweepWalker { seed };
     // the canonical walker key: benchmark-recorded artifacts warm CLI
@@ -434,6 +447,38 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
         plan.orbits().compression(),
         deltas.len(),
     );
+
+    if supervised {
+        // -- supervised mode: run every slice with retry/backoff, then merge
+        if merge {
+            return Err("--supervised already merges; drop --merge".to_string());
+        }
+        if shard_index.is_some() {
+            return Err("--supervised runs every shard; drop --shard-index".to_string());
+        }
+        if store.is_none() {
+            return Err(
+                "--supervised requires --cache-dir (shard artifacts meet there)".to_string()
+            );
+        }
+        let shards = shards.ok_or("--supervised requires --shards")?;
+        let (outcomes, report) =
+            session.run_sharded_supervised(&plan, shards, SuperviseConfig::default())?;
+        out.push_str(&format!(
+            "mode: supervised sweep over {shards} shard(s)\nsupervisor: {} attempt(s), {} \
+             shard(s) retried, {} timed out, {} already present\nmeetings: {} of {} member \
+             STICs\noutcome table fingerprint: {:016x}\nmerged outcome table persisted; \
+             subsequent `anonrv sweep` runs are warm",
+            report.attempts,
+            report.retried.len(),
+            report.timed_out,
+            report.already_present,
+            outcomes.met_total(),
+            plan.num_member_queries(),
+            table_fingerprint(outcomes.table()),
+        ));
+        return Ok(out);
+    }
 
     if merge {
         // -- merge mode: reassemble partial shard artifacts -----------------
@@ -516,7 +561,7 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
     use anonrv_store::Store;
 
     let dir = args.first().ok_or("missing <dir>")?;
-    let action = args.get(1).map(String::as_str).ok_or("missing action (stats|gc)")?;
+    let action = args.get(1).map(String::as_str).ok_or("missing action (stats|gc|fsck)")?;
     let store = Store::open(dir).map_err(|e| format!("cannot open cache dir: {e}"))?;
     match action {
         "stats" => {
@@ -530,6 +575,7 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
             out.push_str(&row("outcomes", s.outcomes));
             out.push_str(&row("shards", s.shards));
             out.push_str(&row("invalid", s.invalid));
+            out.push_str(&row("quarantined", s.quarantined));
             out.push_str(&row("other", s.other));
             out.push_str(&format!(
                 "total: {} bytes\ntimeline entries: {}\nrecorded horizons: {}",
@@ -551,7 +597,33 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
                 r.removed_files, r.reclaimed_bytes, r.corrupt, r.superseded, r.temp, r.locks,
             ))
         }
-        other => Err(format!("unknown cache action '{other}' (stats|gc)")),
+        "fsck" => {
+            let repair = args.iter().any(|a| a == "--repair");
+            let r = store.fsck(repair).map_err(|e| format!("cannot fsck cache dir: {e}"))?;
+            let mut out = format!("cache dir: {dir}\n");
+            if r.entries.is_empty() {
+                out.push_str("  (no artifacts)\n");
+            }
+            for e in &r.entries {
+                out.push_str(&format!(
+                    "  {:<28} {:>10} bytes  {}{}\n",
+                    e.name,
+                    e.bytes,
+                    e.verdict,
+                    if e.quarantined { "  -> quarantined" } else { "" },
+                ));
+            }
+            out.push_str(&format!(
+                "checked {} artifact(s): {} valid, {} stale, {} corrupt, {} quarantined",
+                r.entries.len(),
+                r.valid,
+                r.stale,
+                r.corrupt,
+                r.quarantined,
+            ));
+            Ok(out)
+        }
+        other => Err(format!("unknown cache action '{other}' (stats|gc|fsck)")),
     }
 }
 
@@ -783,6 +855,114 @@ mod tests {
         assert!(run(&argv(&["cache", &cache])).is_err());
         assert!(run(&argv(&["cache", &cache, "defrag"])).is_err());
         assert!(run(&argv(&["cache"])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn supervised_sweep_runs_every_shard_and_matches_the_plain_run() {
+        let dir =
+            std::env::temp_dir().join(format!("anonrv-cli-supervised-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = dir.to_string_lossy().to_string();
+        let base = ["sweep", "torus:3x4", "--deltas", "3", "--horizon", "64"];
+        let line = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("{prefix} in {s}"))
+                .to_string()
+        };
+
+        // storeless run: the bit-identity reference
+        let plain = run(&argv(&base)).unwrap();
+
+        // one command executes all three slices and merges them
+        let mut sup: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        sup.extend([
+            "--cache-dir".to_string(),
+            cache.clone(),
+            "--shards".to_string(),
+            "3".to_string(),
+            "--supervised".to_string(),
+        ]);
+        let supervised = run(&sup).unwrap();
+        assert!(supervised.contains("mode: supervised sweep over 3 shard(s)"), "{supervised}");
+        assert!(supervised.contains("0 shard(s) retried"), "{supervised}");
+        assert_eq!(line(&supervised, "meetings:"), line(&plain, "meetings:"));
+        assert_eq!(
+            line(&supervised, "outcome table fingerprint:"),
+            line(&plain, "outcome table fingerprint:"),
+            "supervised merge must be bit-identical to the plain run"
+        );
+
+        // the merged table persisted: a plain store-backed run is warm
+        let mut warm: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        warm.extend(["--cache-dir".to_string(), cache.clone()]);
+        let warm_out = run(&warm).unwrap();
+        assert!(warm_out.contains("outcomes warm"), "{warm_out}");
+
+        // flag validation: needs a store and a shard count, excludes the
+        // single-slice and manual-merge flags
+        assert!(run(&argv(&["sweep", "ring:6", "--shards", "2", "--supervised"])).is_err());
+        let mut no_shards: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        no_shards.extend(["--cache-dir".to_string(), cache.clone(), "--supervised".to_string()]);
+        assert!(run(&no_shards).is_err());
+        let mut with_index = sup.clone();
+        with_index.extend(["--shard-index".to_string(), "0".to_string()]);
+        assert!(run(&with_index).is_err());
+        let mut with_merge = sup.clone();
+        with_merge.push("--merge".to_string());
+        assert!(run(&with_merge).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_subcommand_verifies_and_repairs_a_populated_directory() {
+        let dir = std::env::temp_dir().join(format!("anonrv-cli-fsck-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = dir.to_string_lossy().to_string();
+        let base = ["sweep", "ring:8", "--deltas", "2", "--horizon", "32", "--cache-dir", &cache];
+        run(&argv(&base)).unwrap();
+
+        // a pristine cache: every artifact valid, nothing moved
+        let clean = run(&argv(&["cache", &cache, "fsck"])).unwrap();
+        assert!(clean.contains("0 corrupt"), "{clean}");
+        assert!(!clean.contains("CORRUPT"), "{clean}");
+
+        // flip one byte deep inside the largest artifact: the 64 KiB-prefix
+        // survey can miss it, the full-checksum fsck must not
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "anrv"))
+            .max_by_key(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+            .expect("an artifact to corrupt");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let found = run(&argv(&["cache", &cache, "fsck"])).unwrap();
+        assert!(found.contains("1 corrupt"), "{found}");
+        assert!(found.contains("CORRUPT"), "{found}");
+        assert!(found.contains("0 quarantined"), "{found}");
+        assert!(victim.exists(), "plain fsck must not move files");
+
+        let repaired = run(&argv(&["cache", &cache, "fsck", "--repair"])).unwrap();
+        assert!(repaired.contains("1 quarantined"), "{repaired}");
+        assert!(repaired.contains("-> quarantined"), "{repaired}");
+        assert!(!victim.exists(), "--repair moves the corrupt frame aside");
+
+        // the quarantined frame surfaces in stats, and the cache still
+        // serves: the damaged kind just recomputes
+        let stats = run(&argv(&["cache", &cache, "stats"])).unwrap();
+        assert!(
+            stats.lines().any(|l| l.contains("quarantined") && l.contains("1 file(s)")),
+            "{stats}"
+        );
+        run(&argv(&base)).unwrap();
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -67,12 +67,25 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use anonrv_graph::{NodeId, PortGraph};
 use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan};
 use anonrv_sim::{Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineParts};
 
-use crate::codec::{fnv64, peek_frame, unframe, Dec, Enc, Kind};
+use crate::codec::{fnv64, peek_frame, unframe, unframe_checked, Dec, Enc, FrameFailure, Kind};
+use crate::fault;
+
+/// Process-local monotonic counter distinguishing this process's transient
+/// files (atomic-write temps, lock takeovers) from each other *and* from a
+/// previous incarnation's: container restarts recycle PIDs on a shared
+/// cache directory, so a bare-PID suffix can collide with debris left by a
+/// dead process.
+static TRANSIENT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn transient_suffix() -> String {
+    format!("{}-{}", std::process::id(), TRANSIENT_COUNTER.fetch_add(1, Ordering::Relaxed))
+}
 
 /// Where a value came from: loaded warm from the store, or computed cold
 /// (and then saved back).
@@ -133,13 +146,48 @@ impl Store {
         &self.root
     }
 
-    /// Write `bytes` to `path` atomically (temp file + rename), so a
-    /// concurrent reader — another shard process — never observes a partial
-    /// artifact.
+    /// Write `bytes` to `path` atomically *and* crash-consistently: temp
+    /// file, `sync_all`, rename, with the parent directory fsynced around
+    /// the rename.  A concurrent reader — another shard process — never
+    /// observes a partial artifact, and a `kill -9` (or power loss) at any
+    /// point leaves either the old artifact or the new one, never a torn
+    /// frame under the artifact's name; the worst debris is an orphaned
+    /// temp file, which [`Store::gc`] reclaims.
+    ///
+    /// Failpoints: `store.write_tmp` (the temp-file write; supports
+    /// torn-write) and `store.rename` (the publishing rename).
     pub(crate) fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, path)
+        use std::io::Write;
+        let tmp = path.with_extension(format!("tmp{}", transient_suffix()));
+        let mut f = fs::File::create(&tmp)?;
+        match fault::check("store.write_tmp") {
+            None => f.write_all(bytes)?,
+            Some(fault::Action::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                f.write_all(bytes)?;
+            }
+            Some(fault::Action::IoError) => {
+                return Err(io::Error::other("injected fault at store.write_tmp"));
+            }
+            Some(fault::Action::TornWrite(n)) => {
+                // the crash made it to disk partially: persist the torn
+                // prefix, then fail as the dying process would
+                f.write_all(&bytes[..n.min(bytes.len())])?;
+                let _ = f.sync_all();
+                return Err(io::Error::other("injected torn write at store.write_tmp"));
+            }
+            Some(fault::Action::Abort) => {
+                let _ = f.write_all(&bytes[..bytes.len() / 2]);
+                let _ = f.sync_all();
+                std::process::abort();
+            }
+        }
+        f.sync_all()?;
+        sync_dir(&self.root);
+        fault::hit_io("store.rename")?;
+        fs::rename(&tmp, path)?;
+        sync_dir(&self.root);
+        Ok(())
     }
 
     /// Run `f` under an exclusive advisory lock (a `create_new` lock file
@@ -148,16 +196,31 @@ impl Store {
     /// cannot drop each other's contributions.
     ///
     /// Best-effort by design: a lock older than 60 s is treated as left
-    /// behind by a dead process and broken, and after ~5 s of waiting the
-    /// closure runs anyway — the artifact write itself stays atomic, so the
-    /// worst degradation is the pre-lock behaviour (a lost merge), never a
+    /// behind by a dead process and broken (via a single-winner atomic
+    /// takeover — see below), and after ~5 s of waiting the closure runs
+    /// anyway — the artifact write itself stays atomic, so the worst
+    /// degradation is the pre-lock behaviour (a lost merge), never a
     /// corrupt artifact or a deadlocked fleet.
+    ///
+    /// Failpoint: `lock.acquire` (fires after the lock file is created; an
+    /// injected error releases the lock before propagating, an abort leaves
+    /// it behind as the stale-lock debris a dead holder would).
     fn with_lock<T>(&self, artifact: &Path, f: impl FnOnce() -> io::Result<T>) -> io::Result<T> {
         let lock = artifact.with_extension("lock");
         let mut attempts = 0;
         let acquired = loop {
             match fs::OpenOptions::new().write(true).create_new(true).open(&lock) {
-                Ok(_) => break true,
+                Ok(mut file) => {
+                    // identify the holder, so a stale lock names its dead
+                    // owner in post-mortems instead of being an empty file
+                    use std::io::Write;
+                    let _ = write!(file, "pid {} at unix {}", std::process::id(), unix_now());
+                    if let Err(e) = fault::hit_io("lock.acquire") {
+                        let _ = fs::remove_file(&lock);
+                        return Err(e);
+                    }
+                    break true;
+                }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                     let stale = fs::metadata(&lock)
                         .and_then(|m| m.modified())
@@ -165,7 +228,20 @@ impl Store {
                         .and_then(|t| t.elapsed().ok())
                         .is_some_and(|age| age.as_secs() >= 60);
                     if stale {
-                        let _ = fs::remove_file(&lock);
+                        // Takeover must be single-winner.  Deleting the
+                        // stale lock directly lets two waiters both
+                        // "succeed": B's remove can land *after* A has
+                        // already removed the stale lock and created a
+                        // fresh one, silently admitting B alongside A.  A
+                        // rename is atomic — exactly one waiter moves the
+                        // carcass aside and deletes it, every loser's
+                        // rename fails, and all of them re-race through
+                        // `create_new` above, which admits exactly one.
+                        let takeover =
+                            lock.with_extension(format!("takeover-{}.lock", transient_suffix()));
+                        if fs::rename(&lock, &takeover).is_ok() {
+                            let _ = fs::remove_file(&takeover);
+                        }
                         continue;
                     }
                     attempts += 1;
@@ -184,6 +260,86 @@ impl Store {
         result
     }
 
+    // -- reading and quarantine --------------------------------------------
+
+    /// The `quarantine/` subdirectory corrupt frames are moved into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Read an artifact's bytes, or `None` when absent (or an injected read
+    /// fault fires — an I/O error on read is a miss like any other).
+    ///
+    /// Failpoint: `store.read_frame`.
+    pub(crate) fn read_artifact(&self, path: &Path) -> Option<Vec<u8>> {
+        match fault::check("store.read_frame") {
+            None => {}
+            Some(fault::Action::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms))
+            }
+            Some(fault::Action::Abort) => std::process::abort(),
+            Some(fault::Action::IoError) | Some(fault::Action::TornWrite(_)) => return None,
+        }
+        fs::read(path).ok()
+    }
+
+    /// Frame-gate freshly read artifact bytes.  A **corruption-class**
+    /// failure (bad magic, wrong kind, truncation, checksum mismatch) moves
+    /// the file into [`Store::quarantine_dir`] with a reason sidecar —
+    /// visible in `cache stats` / `fsck` instead of being silently
+    /// overwritten by the recompute, so *recurring* corruption (a failing
+    /// disk, a hostile writer) surfaces.  A version-stale frame is left in
+    /// place: that is the expected after-image of a format bump, and the
+    /// recompute supersedes it under the same name.  Either way the caller
+    /// sees a plain miss.
+    pub(crate) fn gate_frame<'b>(
+        &self,
+        path: &Path,
+        kind: Kind,
+        bytes: &'b [u8],
+    ) -> Option<Dec<'b>> {
+        match unframe_checked(kind, bytes) {
+            Ok(d) => Some(d),
+            Err(failure) => {
+                if failure.is_corruption() {
+                    let _ = self.quarantine(path, failure.label());
+                }
+                None
+            }
+        }
+    }
+
+    /// Move a damaged artifact into `quarantine/`, writing a `.reason`
+    /// sidecar naming the failure, the original path and when it was
+    /// caught.  Name collisions (the same artifact corrupted repeatedly)
+    /// get a numeric suffix rather than overwriting older evidence.
+    pub(crate) fn quarantine(&self, path: &Path, reason: &str) -> io::Result<PathBuf> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir)?;
+        let name = path
+            .file_name()
+            .ok_or_else(|| io::Error::other("quarantine of a pathless file"))?
+            .to_string_lossy()
+            .into_owned();
+        let mut dest = qdir.join(&name);
+        let mut n = 1;
+        while dest.exists() {
+            dest = qdir.join(format!("{name}.{n}"));
+            n += 1;
+        }
+        fs::rename(path, &dest)?;
+        let sidecar = PathBuf::from(format!("{}.reason", dest.display()));
+        let _ = fs::write(
+            &sidecar,
+            format!(
+                "reason: {reason}\noriginal: {}\nquarantined-at-unix: {}\n",
+                path.display(),
+                unix_now()
+            ),
+        );
+        Ok(dest)
+    }
+
     // -- orbits ------------------------------------------------------------
 
     fn orbits_path(&self, g: &PortGraph) -> PathBuf {
@@ -195,8 +351,9 @@ impl Store {
     /// re-verified against `g` by
     /// [`Automorphisms::from_permutations`] before it is trusted.
     pub fn load_orbits(&self, g: &PortGraph) -> Option<PairOrbits> {
-        let bytes = fs::read(self.orbits_path(g)).ok()?;
-        let mut d = unframe(Kind::Orbits, &bytes)?;
+        let path = self.orbits_path(g);
+        let bytes = self.read_artifact(&path)?;
+        let mut d = self.gate_frame(&path, Kind::Orbits, &bytes)?;
         if d.u128()? != g.canonical_hash() {
             return None;
         }
@@ -271,8 +428,9 @@ impl Store {
         g: &PortGraph,
         program_key: &str,
     ) -> Option<Vec<(NodeId, Timeline)>> {
-        let bytes = fs::read(self.timelines_path(g, program_key)).ok()?;
-        let mut d = unframe(Kind::Timelines, &bytes)?;
+        let path = self.timelines_path(g, program_key);
+        let bytes = self.read_artifact(&path)?;
+        let mut d = self.gate_frame(&path, Kind::Timelines, &bytes)?;
         if d.u128()? != g.canonical_hash() {
             return None;
         }
@@ -468,8 +626,10 @@ impl Store {
         program_key: &str,
         plan: &SweepPlan,
     ) -> Option<(Vec<SimOutcome>, Round)> {
-        let bytes = fs::read(self.outcomes_path(g, program_key, plan)).ok()?;
-        decode_outcomes_payload(&bytes, g, program_key, plan)
+        let path = self.outcomes_path(g, program_key, plan);
+        let bytes = self.read_artifact(&path)?;
+        let d = self.gate_frame(&path, Kind::Outcomes, &bytes)?;
+        decode_outcomes_body(d, g, program_key, plan)
     }
 
     /// Persist an executed plan's representative-outcome table
@@ -551,6 +711,17 @@ impl Store {
                     if let Some((_, horizon)) = peek_table_identity(&mut d) {
                         stats.recorded_horizons.push(horizon);
                     }
+                }
+            }
+        }
+        // quarantined frames live one level down, next to their `.reason`
+        // sidecars (which are bookkeeping, not counted)
+        if let Ok(entries) = fs::read_dir(self.quarantine_dir()) {
+            for entry in entries {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if entry.file_type()?.is_file() && !name.ends_with(".reason") {
+                    stats.quarantined.add(entry.metadata()?.len());
                 }
             }
         }
@@ -641,6 +812,67 @@ impl Store {
         }
         Ok(report)
     }
+
+    /// Full-depth integrity scan: every artifact is read **in full**,
+    /// checksum-verified end to end, and its payload structurally decoded —
+    /// unlike the bounded 64 KiB prefix surveys of [`Store::stats`] /
+    /// [`Store::gc`], which trust the load paths to catch deep payload
+    /// damage lazily.  `fsck` finds it eagerly, before anything is served.
+    ///
+    /// Per artifact the verdict is [`FsckVerdict::Valid`] (frame and
+    /// payload sound), [`FsckVerdict::Stale`] (a well-formed frame of
+    /// another format version — a plain miss that the next write
+    /// supersedes, and that [`Store::gc`] reclaims) or
+    /// [`FsckVerdict::Corrupt`] (damaged bytes).  With `repair`, corrupt
+    /// frames move into `quarantine/` with a reason sidecar; stale frames
+    /// are left for gc — they are an expected after-image of a format bump,
+    /// not evidence of damage.  Structural verification is identity-free
+    /// (no graph needed): permutations must be bijections, timeline entries
+    /// must reassemble through the same shape validation the loader uses,
+    /// tables must match their declared class/δ geometry.
+    pub fn fsck(&self, repair: bool) -> io::Result<FsckReport> {
+        let mut report = FsckReport::default();
+        let mut found: Vec<(PathBuf, String, u64, Kind)> = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(kind) = kind_of_filename(&name) else {
+                continue;
+            };
+            found.push((entry.path(), name, entry.metadata()?.len(), kind));
+        }
+        found.sort_by(|a, b| a.1.cmp(&b.1));
+        for (path, name, bytes, kind) in found {
+            let verdict = match fs::read(&path) {
+                Err(e) => FsckVerdict::Corrupt(format!("unreadable: {e}")),
+                Ok(data) => match unframe_checked(kind, &data) {
+                    Err(FrameFailure::Version) => FsckVerdict::Stale,
+                    Err(failure) => FsckVerdict::Corrupt(failure.label().to_string()),
+                    Ok(mut d) => match verify_payload(kind, &mut d) {
+                        Ok(()) => FsckVerdict::Valid,
+                        Err(reason) => FsckVerdict::Corrupt(reason),
+                    },
+                },
+            };
+            let mut quarantined = false;
+            match &verdict {
+                FsckVerdict::Valid => report.valid += 1,
+                FsckVerdict::Stale => report.stale += 1,
+                FsckVerdict::Corrupt(reason) => {
+                    report.corrupt += 1;
+                    if repair && self.quarantine(&path, reason).is_ok() {
+                        quarantined = true;
+                        report.quarantined += 1;
+                    }
+                }
+            }
+            report.entries.push(FsckEntry { name, bytes, verdict, quarantined });
+        }
+        Ok(report)
+    }
 }
 
 /// Per-kind artifact tally of [`Store::stats`].
@@ -675,6 +907,11 @@ pub struct CacheStats {
     /// Files in the directory that are not store artifacts (locks, temps,
     /// anything foreign).
     pub other: KindStats,
+    /// Frames the read path (or `fsck --repair`) moved into `quarantine/`
+    /// after a corruption-class integrity failure.  A non-zero count that
+    /// keeps growing means something is damaging artifacts *recurringly* —
+    /// a failing disk, a hostile writer — rather than a one-off glitch.
+    pub quarantined: KindStats,
     /// Total timelines recorded across all timeline artifacts.
     pub timeline_entries: usize,
     /// Every distinct recorded horizon found inside valid frames, sorted.
@@ -690,6 +927,7 @@ impl CacheStats {
             + self.shards.bytes
             + self.invalid.bytes
             + self.other.bytes
+            + self.quarantined.bytes
     }
 }
 
@@ -733,6 +971,165 @@ impl GcReport {
     }
 }
 
+/// One artifact's verdict in a [`Store::fsck`] scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckVerdict {
+    /// Frame and payload fully verified.
+    Valid,
+    /// A well-formed frame of a different format version: serves nothing,
+    /// damages nothing — superseded by the next write, reclaimed by gc.
+    Stale,
+    /// Damaged bytes; the string names the first gate that failed.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for FsckVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsckVerdict::Valid => f.write_str("valid"),
+            FsckVerdict::Stale => f.write_str("stale"),
+            FsckVerdict::Corrupt(reason) => write!(f, "CORRUPT ({reason})"),
+        }
+    }
+}
+
+/// One artifact's line in a [`FsckReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckEntry {
+    /// The artifact's filename.
+    pub name: String,
+    /// Its size in bytes.
+    pub bytes: u64,
+    /// What the full-depth verification concluded.
+    pub verdict: FsckVerdict,
+    /// `true` when a `--repair` pass moved it into `quarantine/`.
+    pub quarantined: bool,
+}
+
+/// What a [`Store::fsck`] scan found (and, with repair, did).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FsckReport {
+    /// Per-artifact verdicts, sorted by filename.
+    pub entries: Vec<FsckEntry>,
+    /// Artifacts that verified end to end.
+    pub valid: usize,
+    /// Version-stale artifacts (left in place; gc's job).
+    pub stale: usize,
+    /// Damaged artifacts found.
+    pub corrupt: usize,
+    /// Damaged artifacts moved into `quarantine/` (repair mode only).
+    pub quarantined: usize,
+}
+
+/// Structural full-depth verification of one payload, identity-free —
+/// [`Store::fsck`] runs without knowing which graph produced an artifact,
+/// so it checks everything internal: geometry, bijectivity, shape
+/// invariants, exact payload consumption.
+fn verify_payload(kind: Kind, d: &mut Dec<'_>) -> Result<(), String> {
+    let truncated = || "payload-truncated".to_string();
+    match kind {
+        Kind::Orbits => {
+            d.u128().ok_or_else(truncated)?;
+            let n = d.usize().ok_or_else(truncated)?;
+            let k = d.usize().ok_or_else(truncated)?;
+            // a forged count must not drive allocations below
+            if k > 0 && n > d.remaining() / 8 {
+                return Err("orbit-count-overruns-payload".into());
+            }
+            for _ in 0..k {
+                let mut seen = vec![false; n];
+                for _ in 0..n {
+                    let img = d.u64().ok_or_else(truncated)?;
+                    let img = usize::try_from(img).ok().filter(|&i| i < n && !seen[i]);
+                    match img {
+                        Some(i) => seen[i] = true,
+                        None => return Err("orbit-permutation-not-a-bijection".into()),
+                    }
+                }
+            }
+        }
+        Kind::Timelines => {
+            d.u128().ok_or_else(truncated)?;
+            let n = d.usize().ok_or_else(truncated)?;
+            d.str().ok_or_else(|| "program-key-malformed".to_string())?;
+            let count = d.usize().ok_or_else(truncated)?;
+            let num_horizons = d.usize().ok_or_else(truncated)?;
+            let summary = d.u128_vec(num_horizons).ok_or_else(truncated)?;
+            if count > 0 && n.checked_mul(4).is_none_or(|b| b > d.remaining()) {
+                return Err("node-count-overruns-payload".into());
+            }
+            let mut seen = vec![false; if count > 0 { n } else { 0 }];
+            let mut horizons = Vec::with_capacity(count.min(d.remaining()));
+            for _ in 0..count {
+                let start = d.u64().ok_or_else(truncated)?;
+                match usize::try_from(start).ok().filter(|&u| u < n && !seen[u]) {
+                    Some(u) => seen[u] = true,
+                    None => return Err("timeline-start-node-invalid".into()),
+                }
+                let horizon = d.u128().ok_or_else(truncated)?;
+                let nsegs = d.usize().ok_or_else(truncated)?;
+                let parts = TimelineParts {
+                    starts: d
+                        .u128_vec(nsegs.checked_add(1).ok_or_else(truncated)?)
+                        .ok_or_else(truncated)?,
+                    nodes: d.u32_vec(nsegs).ok_or_else(truncated)?,
+                    occ_starts: d
+                        .u32_vec(n.checked_add(1).ok_or_else(truncated)?)
+                        .ok_or_else(truncated)?,
+                    occ_start: d.u128_vec(nsegs).ok_or_else(truncated)?,
+                    occ_end: d.u128_vec(nsegs).ok_or_else(truncated)?,
+                    occ_seg: d.u32_vec(nsegs).ok_or_else(truncated)?,
+                };
+                Timeline::from_parts(n, horizon, parts)
+                    .map_err(|e| format!("timeline-shape-invalid: {e}"))?;
+                horizons.push(horizon);
+            }
+            if summary != distinct_horizons(horizons.into_iter()) {
+                return Err("horizon-summary-disagrees-with-entries".into());
+            }
+        }
+        Kind::Outcomes => {
+            let identity =
+                decode_plan_identity_raw(d).ok_or_else(|| "plan-identity-malformed".to_string())?;
+            d.u128().ok_or_else(truncated)?;
+            let table =
+                decode_outcome_table(d).ok_or_else(|| "outcome-table-malformed".to_string())?;
+            if table.len() != identity.num_classes * identity.deltas.len() {
+                return Err("outcome-table-geometry-mismatch".into());
+            }
+        }
+        Kind::Shard => {
+            let identity =
+                decode_plan_identity_raw(d).ok_or_else(|| "plan-identity-malformed".to_string())?;
+            d.u128().ok_or_else(truncated)?;
+            let shards = d.usize().ok_or_else(truncated)?;
+            let index = d.usize().ok_or_else(truncated)?;
+            if shards == 0 || index >= shards {
+                return Err("shard-spec-invalid".into());
+            }
+            let count = d.usize().ok_or_else(truncated)?;
+            if count > d.remaining() / 8 {
+                return Err("class-count-overruns-payload".into());
+            }
+            for _ in 0..count {
+                let c = d.usize().ok_or_else(truncated)?;
+                if c >= identity.num_classes {
+                    return Err("shard-class-out-of-range".into());
+                }
+            }
+            let table =
+                decode_outcome_table(d).ok_or_else(|| "outcome-table-malformed".to_string())?;
+            if table.len() != count * identity.deltas.len() {
+                return Err("shard-table-geometry-mismatch".into());
+            }
+        }
+    }
+    if !d.exhausted() {
+        return Err("payload-trailing-garbage".into());
+    }
+    Ok(())
+}
+
 /// The artifact kind a store filename claims to be.
 fn kind_of_filename(name: &str) -> Option<Kind> {
     if !name.ends_with(".anrv") {
@@ -756,6 +1153,24 @@ fn kind_of_filename(name: &str) -> Option<Kind> {
 /// identity, the timelines horizon summary, the table horizon — lives
 /// within the first few hundred bytes of a payload, so 64 KiB is generous.
 const PEEK_PREFIX: usize = 64 * 1024;
+
+/// Fsync a directory, so the entries a preceding rename/create published
+/// survive a crash.  Best-effort: some filesystems refuse directory
+/// handles, and an unsyncable directory must not fail the write that the
+/// artifact-file `sync_all` already hardened.
+fn sync_dir(dir: &Path) {
+    if let Ok(f) = fs::File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+/// Seconds since the Unix epoch (lock-holder stamps, quarantine sidecars).
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
 
 /// Read up to `max` bytes of `path`, plus the file's total length.
 fn read_prefix(path: &Path, max: usize) -> io::Result<(Vec<u8>, u64)> {
@@ -810,7 +1225,18 @@ fn decode_outcomes_payload(
     program_key: &str,
     plan: &SweepPlan,
 ) -> Option<(Vec<SimOutcome>, Round)> {
-    let mut d = unframe(Kind::Outcomes, bytes)?;
+    let d = unframe(Kind::Outcomes, bytes)?;
+    decode_outcomes_body(d, g, program_key, plan)
+}
+
+/// The payload half of [`decode_outcomes_payload`], over an already
+/// frame-gated decoder (the load path gates — and quarantines — first).
+fn decode_outcomes_body(
+    mut d: Dec<'_>,
+    g: &PortGraph,
+    program_key: &str,
+    plan: &SweepPlan,
+) -> Option<(Vec<SimOutcome>, Round)> {
     decode_plan_identity(&mut d, g, program_key, plan)?;
     let recorded = d.u128()?;
     let table = decode_outcome_table(&mut d)?;
@@ -870,6 +1296,10 @@ pub(crate) fn decode_plan_identity_raw(d: &mut Dec<'_>) -> Option<PlanIdentity> 
     let n = d.usize()?;
     let program_key = d.str()?;
     let ndeltas = d.usize()?;
+    // a forged count must not drive the allocation below
+    if ndeltas > d.remaining() / 16 {
+        return None;
+    }
     let mut deltas = Vec::with_capacity(ndeltas);
     for _ in 0..ndeltas {
         deltas.push(d.u128()?);
@@ -1393,6 +1823,167 @@ mod tests {
         let full = planned.run(&plan);
         store.save_plan_outcomes(&g, key, &plan, full.table()).unwrap();
         assert_eq!(store.gc_with_min_age(std::time::Duration::ZERO).unwrap().superseded, 1);
+    }
+
+    #[test]
+    fn corruption_quarantines_with_a_reason_while_version_stale_stays_put() {
+        let dir = TempDir::new("quarantine");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 3).unwrap();
+        let path = store.save_orbits(&g, &PairOrbits::compute(&g)).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        // corruption: the load degrades to a miss and the frame moves aside
+        let mut corrupt = good.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        fs::write(&path, &corrupt).unwrap();
+        assert!(store.load_orbits(&g).is_none());
+        assert!(!path.exists(), "the corrupt frame must move to quarantine/");
+        let moved: Vec<PathBuf> = fs::read_dir(store.quarantine_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        let frame = moved
+            .iter()
+            .find(|p| p.extension().is_some_and(|x| x == "anrv"))
+            .expect("quarantined frame");
+        assert_eq!(fs::read(frame).unwrap(), corrupt, "quarantine must preserve the evidence");
+        let sidecar = moved
+            .iter()
+            .find(|p| p.to_string_lossy().ends_with(".reason"))
+            .expect("reason sidecar");
+        let reason = fs::read_to_string(sidecar).unwrap();
+        assert!(reason.contains("checksum-mismatch"), "{reason}");
+        assert_eq!(store.stats().unwrap().quarantined.files, 1);
+
+        // recompute-and-overwrite heals the cache
+        let (recovered, prov) = store.orbits(&g);
+        assert_eq!(prov, Provenance::Cold);
+        assert_eq!(recovered, PairOrbits::compute(&g));
+
+        // version-stale: superseded in place, never quarantined
+        let mut stale = fs::read(&path).unwrap();
+        stale[8] = stale[8].wrapping_add(1);
+        fs::write(&path, &stale).unwrap();
+        assert!(store.load_orbits(&g).is_none());
+        assert!(path.exists(), "a version-stale frame is not corruption");
+        assert_eq!(store.stats().unwrap().quarantined.files, 1, "still just the one");
+    }
+
+    #[test]
+    fn stale_lock_takeover_admits_exactly_one_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = TempDir::new("lock-race");
+        let store = store_in(&dir);
+        let artifact = dir.0.join("timelines-cafe.anrv");
+        let lock = artifact.with_extension("lock");
+        // plant the lock a long-dead process left behind
+        fs::write(&lock, b"pid 999999 at unix 0").unwrap();
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(120);
+        fs::File::options().write(true).open(&lock).unwrap().set_modified(old).unwrap();
+
+        let inside = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let entered = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    store
+                        .with_lock(&artifact, || {
+                            let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            inside.fetch_sub(1, Ordering::SeqCst);
+                            entered.fetch_add(1, Ordering::SeqCst);
+                            Ok(())
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(entered.load(Ordering::SeqCst), 8, "every waiter eventually runs");
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "two holders overlapped: the takeover double-admitted"
+        );
+        assert!(!lock.exists(), "the last holder cleans up");
+        let leftovers: Vec<String> = fs::read_dir(&dir.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("takeover"))
+            .collect();
+        assert!(leftovers.is_empty(), "takeover debris survived: {leftovers:?}");
+    }
+
+    #[test]
+    fn fsck_verdicts_cover_valid_stale_and_corrupt_and_repair_quarantines() {
+        let dir = TempDir::new("fsck");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let key = "test-walker-5eed";
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(32));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 32);
+        let orbits_path = store.save_orbits(&g, planned.orbits()).unwrap();
+        let outcomes = planned.run(&plan);
+        store.persist_engine(planned.engine(), key).unwrap();
+        let outcomes_path = store.save_plan_outcomes(&g, key, &plan, outcomes.table()).unwrap();
+
+        // pristine: every artifact checks out, nothing moves
+        let clean = store.fsck(false).unwrap();
+        assert_eq!((clean.valid, clean.stale, clean.corrupt, clean.quarantined), (3, 0, 0, 0));
+        assert!(clean.entries.iter().all(|e| e.verdict == FsckVerdict::Valid));
+
+        // flip one byte deep in the outcomes payload, bump the version byte
+        // of the orbits frame: one corrupt, one stale
+        let mut bytes = fs::read(&outcomes_path).unwrap();
+        let at = bytes.len() - 20;
+        bytes[at] ^= 0x01;
+        fs::write(&outcomes_path, &bytes).unwrap();
+        let mut stale = fs::read(&orbits_path).unwrap();
+        stale[8] = stale[8].wrapping_add(1);
+        fs::write(&orbits_path, &stale).unwrap();
+
+        let found = store.fsck(false).unwrap();
+        assert_eq!((found.valid, found.stale, found.corrupt, found.quarantined), (1, 1, 1, 0));
+        assert!(outcomes_path.exists(), "a plain fsck must not move files");
+        let corrupt_entry =
+            found.entries.iter().find(|e| matches!(e.verdict, FsckVerdict::Corrupt(_))).unwrap();
+        assert!(!corrupt_entry.quarantined);
+
+        // --repair: the corrupt frame moves aside, the stale one stays for
+        // gc (it is the expected after-image of a format bump, not damage)
+        let repaired = store.fsck(true).unwrap();
+        assert_eq!((repaired.corrupt, repaired.quarantined), (1, 1));
+        assert!(!outcomes_path.exists(), "repair quarantines corruption");
+        assert!(orbits_path.exists(), "repair leaves version-stale frames in place");
+        assert_eq!(store.stats().unwrap().quarantined.files, 1);
+
+        // a forged frame — well-framed but with trailing garbage — is
+        // structural corruption only a full-depth verify catches
+        let mut e = Enc::new();
+        e.u128(g.canonical_hash());
+        e.usize(g.num_nodes());
+        e.usize(0);
+        e.u64(0xDEAD); // trailing garbage after a valid empty group
+        fs::write(
+            dir.0.join("orbits-0000000000000000000000000000feed.anrv"),
+            e.into_frame(Kind::Orbits),
+        )
+        .unwrap();
+        let forged = store.fsck(false).unwrap();
+        assert!(
+            forged.entries.iter().any(|e| match &e.verdict {
+                FsckVerdict::Corrupt(reason) => reason.contains("trailing-garbage"),
+                _ => false,
+            }),
+            "{:?}",
+            forged.entries
+        );
     }
 
     #[test]

@@ -271,40 +271,107 @@ impl<'a> Dec<'a> {
     pub(crate) fn exhausted(&self) -> bool {
         self.pos == self.data.len()
     }
+
+    /// Bytes left to read — the bound decoders check *declared* element
+    /// counts against before allocating, so a forged count can never cost
+    /// more memory than the payload it rode in on.
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+/// Why a frame failed validation — the distinction the read path's
+/// quarantine policy turns on: a [`FrameFailure::Version`] mismatch is an
+/// *expected* miss (an artifact written by another format revision, left in
+/// place for the recompute to supersede), while every other failure means
+/// the bytes on disk are damaged and worth preserving for inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameFailure {
+    /// Missing or wrong file magic (not a store frame at all, or the
+    /// header itself was overwritten).
+    Magic,
+    /// A well-formed frame of a different format version.
+    Version,
+    /// The kind byte disagrees with what the filename claims.
+    Kind,
+    /// Non-zero reserved header bytes.
+    Reserved,
+    /// The file length disagrees with the declared payload length
+    /// (truncation or trailing garbage).
+    Length,
+    /// The trailing FNV-64 checksum does not match the frame body.
+    Checksum,
+}
+
+impl FrameFailure {
+    /// `true` when the failure indicates damaged bytes (quarantine-worthy)
+    /// rather than a version-stale artifact (a plain miss).
+    pub(crate) fn is_corruption(&self) -> bool {
+        !matches!(self, FrameFailure::Version)
+    }
+
+    /// A short stable label for reason sidecars and fsck listings.
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            FrameFailure::Magic => "bad-magic",
+            FrameFailure::Version => "version-mismatch",
+            FrameFailure::Kind => "kind-mismatch",
+            FrameFailure::Reserved => "reserved-bytes",
+            FrameFailure::Length => "length-mismatch",
+            FrameFailure::Checksum => "checksum-mismatch",
+        }
+    }
 }
 
 /// Validate a frame of the expected `kind` and hand back its payload, or
 /// `None` when any integrity gate fails (magic, version, kind, length,
 /// checksum).
 pub(crate) fn unframe(kind: Kind, bytes: &[u8]) -> Option<Dec<'_>> {
-    let payload_len = check_header(kind, bytes)?;
+    unframe_checked(kind, bytes).ok()
+}
+
+/// [`unframe`] with a classified failure: which integrity gate rejected the
+/// frame, so the caller can distinguish corruption from version staleness.
+pub(crate) fn unframe_checked(kind: Kind, bytes: &[u8]) -> Result<Dec<'_>, FrameFailure> {
+    let payload_len = check_header_checked(kind, bytes)?;
     if bytes.len() != HEADER + payload_len + 8 {
-        return None;
+        return Err(FrameFailure::Length);
     }
     let body = &bytes[..HEADER + payload_len];
     let stored = u64::from_le_bytes(bytes[HEADER + payload_len..].try_into().expect("8 bytes"));
     if fnv64(body) != stored {
-        return None;
+        return Err(FrameFailure::Checksum);
     }
-    Some(Dec { data: &bytes[HEADER..HEADER + payload_len], pos: 0 })
+    Ok(Dec { data: &bytes[HEADER..HEADER + payload_len], pos: 0 })
 }
 
 /// Validate only the fixed-size header fields (magic, version, kind,
 /// reserved) and return the declared payload length.  `bytes` may be an
 /// arbitrary prefix of the file.
 fn check_header(kind: Kind, bytes: &[u8]) -> Option<usize> {
-    if bytes.len() < HEADER || bytes[..8] != MAGIC {
-        return None;
+    check_header_checked(kind, bytes).ok()
+}
+
+/// [`check_header`] with a classified failure.
+fn check_header_checked(kind: Kind, bytes: &[u8]) -> Result<usize, FrameFailure> {
+    if bytes.len() < HEADER {
+        return Err(FrameFailure::Length);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(FrameFailure::Magic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION || bytes[12] != kind as u8 {
-        return None;
+    if version != FORMAT_VERSION {
+        return Err(FrameFailure::Version);
+    }
+    if bytes[12] != kind as u8 {
+        return Err(FrameFailure::Kind);
     }
     if bytes[13..24].iter().any(|&b| b != 0) {
-        return None;
+        return Err(FrameFailure::Reserved);
     }
     let payload_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
-    usize::try_from(payload_len).ok()
+    usize::try_from(payload_len).map_err(|_| FrameFailure::Length)
 }
 
 /// Header-gate a *prefix* of a frame against the full on-disk file length

@@ -55,6 +55,50 @@
 //! sweep` CLI command and the `store_timing` benchmark drive precisely
 //! these paths.
 //!
+//! ## Failure model & recovery
+//!
+//! The store assumes processes die without warning — `kill -9`, OOM, power
+//! loss — at **any** instruction, and is engineered so that no such death
+//! costs correctness; at worst it costs recomputation.  The machinery, and
+//! how it is tested (see `ARCHITECTURE.md` for the operational view):
+//!
+//! * **Crash-consistent writes.**  Every artifact write is temp file →
+//!   `sync_all` → rename, with the parent directory fsynced around the
+//!   rename: after a crash the artifact name holds either the old frame or
+//!   the new one, never a torn hybrid.  The only debris a death leaves is
+//!   an orphaned temp (suffix `".tmp<pid>-<counter>"`, the counter guarding
+//!   against PID recycling across container restarts) or a stale lock,
+//!   both reclaimed by [`Store::gc`].
+//! * **Quarantine.**  A frame that fails a **corruption-class** integrity
+//!   gate on read (bad magic, wrong kind, truncation, checksum mismatch)
+//!   is moved to the `quarantine/` subdirectory with a `.reason` sidecar
+//!   and the load degrades to a miss → recompute-and-overwrite.  A
+//!   version-stale frame is *not* quarantined — it is the expected
+//!   after-image of a format bump, superseded in place.  `cache stats`
+//!   surfaces the quarantined count, so recurring corruption (a failing
+//!   disk) is visible instead of being silently recomputed around;
+//!   [`Store::fsck`] (`anonrv cache <dir> fsck [--repair]`) finds deep
+//!   damage eagerly, full-checksum, and optionally quarantines it.
+//! * **Lock protocol.**  The advisory artifact lock is a `create_new` file
+//!   stamped with its holder's PID + timestamp.  A lock older than 60 s is
+//!   presumed dead and broken by **atomic rename takeover**: exactly one
+//!   waiter wins the rename, removes the carcass, and every waiter
+//!   re-races `create_new` — two waiters can never both admit themselves.
+//! * **Shard supervision.**  [`SweepSession::run_sharded_supervised`]
+//!   executes all `K` slices, re-probes [`Store::missing_shards`] (the
+//!   artifacts on disk are the ground truth), and re-runs only the gaps
+//!   with bounded retries and exponential backoff ([`SuperviseConfig`]) —
+//!   safe because every slice is deterministic and bit-identical.  Panics
+//!   in a slice are isolated; stragglers past the per-shard deadline are
+//!   counted ([`SuperviseReport`]).
+//! * **Deterministic fault injection.**  Every one of these paths is
+//!   exercised by the [`fault`] failpoint registry
+//!   (`ANONRV_FAILPOINTS="site=action[:count][@skip]"`): named sites at
+//!   each I/O boundary, counter-scheduled io-error / torn-write / delay /
+//!   abort actions, zero cost when disabled.  The `crash_recovery`
+//!   integration harness re-execs itself with an abort armed at each write
+//!   site in turn and asserts the survivors converge bit-identically.
+//!
 //! ## Session round-trip
 //!
 //! ```
@@ -99,13 +143,17 @@
 
 pub mod cache;
 mod codec;
+pub mod fault;
 pub mod session;
 pub mod shard;
 
 pub use cache::{
-    table_fingerprint, CacheStats, GcReport, KindStats, Provenance, Store, WarmedTimelines,
+    table_fingerprint, CacheStats, FsckEntry, FsckReport, FsckVerdict, GcReport, KindStats,
+    Provenance, Store, WarmedTimelines,
 };
-pub use session::{OutcomeProvenance, SessionStats, SweepSession};
+pub use session::{
+    OutcomeProvenance, SessionStats, SuperviseConfig, SuperviseReport, SweepSession,
+};
 pub use shard::{merge_shard_outcomes, ShardOutcomes, ShardSpec};
 
 /// Shared fixtures for the unit tests of this crate.

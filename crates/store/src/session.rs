@@ -43,11 +43,14 @@
 //! stop-propagation and cost O(1), only the unmet ones resume their merge
 //! at the recorded horizon.
 
+use std::time::{Duration, Instant};
+
 use anonrv_graph::PortGraph;
 use anonrv_plan::{PairOrbits, PlannedOutcomes, PlannedSweep, SweepPlan};
 use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine};
 
 use crate::cache::{Provenance, Store};
+use crate::fault;
 use crate::shard::{ShardOutcomes, ShardSpec};
 
 /// How a [`SweepSession::run_plan`] call obtained its outcome table.
@@ -383,6 +386,7 @@ impl<'a> SweepSession<'a> {
         plan: &SweepPlan,
         spec: ShardSpec,
     ) -> Result<ShardOutcomes, String> {
+        fault::hit_io("shard.execute").map_err(|e| e.to_string())?;
         self.ensure_warm();
         let classes = spec.classes(plan.orbits().num_pair_classes());
         let table = self.planned.run_classes(plan, &classes);
@@ -417,6 +421,139 @@ impl<'a> SweepSession<'a> {
         self.outcome = Some(OutcomeProvenance::Cold);
         Ok(outcomes)
     }
+
+    /// Execute **all** `shards` slices of `plan` under supervision, then
+    /// merge: the fault-tolerant single-host form of the shard pipeline.
+    ///
+    /// The supervisor's ground truth is the store, not its own
+    /// bookkeeping: each round it probes [`Store::missing_shards`] and
+    /// dispatches exactly the gaps — so slices another process already
+    /// persisted are never re-run, a slice whose executor "succeeded" but
+    /// whose artifact failed its integrity gates *is* re-run, and retries
+    /// are always safe because every shard outcome is a deterministic,
+    /// bit-identical function of `(graph, program, plan, spec)`.  Failed
+    /// slices (errors or panics — a panicking executor is isolated, not
+    /// fatal) retry with exponential backoff up to
+    /// [`SuperviseConfig::max_attempts`]; an attempt that overruns
+    /// [`SuperviseConfig::shard_deadline`] is counted as a straggler in
+    /// [`SuperviseReport::timed_out`].  The deadline is observational —
+    /// in-process slices cannot be pre-empted mid-merge; true kills belong
+    /// to the subprocess workers the daemon direction adds — but a
+    /// completed-late slice still persisted a correct artifact, so it is
+    /// kept, not discarded.  Once no shard is missing, the partials merge
+    /// exactly as [`SweepSession::merge_shards`] would.
+    pub fn run_sharded_supervised<'p>(
+        &mut self,
+        plan: &'p SweepPlan,
+        shards: usize,
+        config: SuperviseConfig,
+    ) -> Result<(PlannedOutcomes<'p>, SuperviseReport), String> {
+        let store = self.store.ok_or("supervised sharding requires a store")?;
+        ShardSpec::new(shards, 0)?;
+        if config.max_attempts == 0 {
+            return Err("supervisor max_attempts must be at least 1".into());
+        }
+        let mut report = SuperviseReport { shards, ..Default::default() };
+        let mut attempts = vec![0usize; shards];
+        let mut last_error: Vec<Option<String>> = vec![None; shards];
+        let mut first_probe = true;
+        loop {
+            let missing = store.missing_shards(self.graph, &self.program_key, plan, shards)?;
+            if first_probe {
+                report.already_present = shards - missing.len();
+                first_probe = false;
+            }
+            if missing.is_empty() {
+                break;
+            }
+            for index in missing {
+                if attempts[index] >= config.max_attempts {
+                    let why = last_error[index].as_deref().unwrap_or("artifact never appeared");
+                    return Err(format!(
+                        "shard {index}/{shards} still missing after {} attempt(s): {why}",
+                        attempts[index]
+                    ));
+                }
+                if attempts[index] > 0 {
+                    // exponential backoff between retries of the same slice
+                    let exp = u32::try_from(attempts[index] - 1).unwrap_or(u32::MAX);
+                    std::thread::sleep(
+                        config.base_backoff.saturating_mul(2u32.saturating_pow(exp.min(16))),
+                    );
+                }
+                attempts[index] += 1;
+                report.attempts += 1;
+                let spec = ShardSpec::new(shards, index).expect("index < shards");
+                let started = Instant::now();
+                // a panicking slice must not take the supervisor down with
+                // it: isolate, record, and let the retry policy decide
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.run_shard(plan, spec)
+                }));
+                if started.elapsed() > config.shard_deadline {
+                    report.timed_out += 1;
+                }
+                match outcome {
+                    Ok(Ok(_)) => last_error[index] = None,
+                    Ok(Err(e)) => last_error[index] = Some(e),
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".into());
+                        last_error[index] = Some(format!("shard executor panicked: {msg}"));
+                    }
+                }
+            }
+        }
+        report.retried = (0..shards).filter(|&i| attempts[i] > 1).collect();
+        let outcomes = self.merge_shards(plan, shards)?;
+        Ok((outcomes, report))
+    }
+}
+
+/// Retry policy of [`SweepSession::run_sharded_supervised`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// Executions attempted per shard before the supervisor gives up
+    /// (must be at least 1).
+    pub max_attempts: usize,
+    /// Backoff before the first retry of a slice; doubles per further
+    /// retry of the same slice.
+    pub base_backoff: Duration,
+    /// Wall-clock budget per attempt; an attempt that overruns is counted
+    /// in [`SuperviseReport::timed_out`] (observational — see
+    /// [`SweepSession::run_sharded_supervised`]).
+    pub shard_deadline: Duration,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            shard_deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a [`SweepSession::run_sharded_supervised`] call did to converge.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SuperviseReport {
+    /// The shard count supervised.
+    pub shards: usize,
+    /// Total slice executions attempted (equals `shards -
+    /// already_present` on a disturbance-free run).
+    pub attempts: usize,
+    /// Shard indices that needed more than one attempt, ascending.
+    pub retried: Vec<usize>,
+    /// Attempts that overran the per-shard deadline (stragglers).
+    pub timed_out: usize,
+    /// Shards whose artifact the first probe already found on disk —
+    /// work a previous (possibly crashed) run left behind and this one
+    /// did not repeat.
+    pub already_present: usize,
 }
 
 #[cfg(test)]
@@ -558,6 +695,84 @@ mod tests {
         assert_eq!(prov, OutcomeProvenance::WarmExact);
         // merging with a wrong shard count still fails loudly
         assert!(merger.merge_shards(&plan, 5).is_err());
+    }
+
+    #[test]
+    fn supervised_runs_converge_skip_present_work_and_validate_their_config() {
+        let dir = TempDir::new("session-supervised");
+        let store = Store::open(&dir.0).unwrap();
+        let g = oriented_torus(3, 4).unwrap();
+        let program = walker();
+        let deltas: Vec<Round> = vec![0, 1, 2];
+
+        let reference_session = &mut SweepSession::in_memory(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(reference_session.orbits().clone(), deltas, 64);
+        let reference = reference_session.run_plan(&plan).unwrap().0;
+
+        // pre-run one slice: the probe must find it and not repeat the work
+        let mut early = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        early.run_shard(&plan, ShardSpec::new(3, 1).unwrap()).unwrap();
+
+        let mut session =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let (merged, report) =
+            session.run_sharded_supervised(&plan, 3, SuperviseConfig::default()).unwrap();
+        assert_eq!(merged.table(), reference.table(), "supervised merge diverged");
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.already_present, 1);
+        assert_eq!(report.attempts, 2, "only the two missing slices execute");
+        assert!(report.retried.is_empty());
+        assert_eq!(report.timed_out, 0);
+
+        // a second supervised run finds every slice present and just merges
+        let mut again = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let (_, report) =
+            again.run_sharded_supervised(&plan, 3, SuperviseConfig::default()).unwrap();
+        assert_eq!((report.already_present, report.attempts), (3, 0));
+
+        // config and mode validation
+        assert!(session.run_sharded_supervised(&plan, 0, SuperviseConfig::default()).is_err());
+        let bad = SuperviseConfig { max_attempts: 0, ..SuperviseConfig::default() };
+        assert!(session.run_sharded_supervised(&plan, 3, bad).is_err());
+        let mut memless = SweepSession::in_memory(&g, &program, EngineConfig::batch(64));
+        assert!(memless.run_sharded_supervised(&plan, 3, SuperviseConfig::default()).is_err());
+    }
+
+    #[test]
+    fn supervised_retries_heal_injected_persist_failures_bit_identically() {
+        let dir = TempDir::new("session-supervised-retry");
+        let store = Store::open(&dir.0).unwrap();
+        let g = oriented_torus(3, 4).unwrap();
+        let program = walker();
+        let deltas: Vec<Round> = vec![0, 1, 2];
+
+        let reference_session = &mut SweepSession::in_memory(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(reference_session.orbits().clone(), deltas, 64);
+        let reference = reference_session.run_plan(&plan).unwrap().0;
+
+        // the first persist of shard 0 dies; the supervisor must retry
+        // exactly that slice and still converge bit-identically
+        let guard = crate::fault::scoped("shard.persist=io-error:1");
+        let config = SuperviseConfig {
+            base_backoff: std::time::Duration::from_millis(1),
+            ..SuperviseConfig::default()
+        };
+        let mut session =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let (merged, report) = session.run_sharded_supervised(&plan, 2, config).unwrap();
+        drop(guard);
+        assert_eq!(merged.table(), reference.table(), "healed merge diverged");
+        assert_eq!(report.retried, vec![0]);
+        assert_eq!(report.attempts, 3, "two first attempts plus one retry");
+
+        // exhausted retries surface the last underlying error
+        let guard = crate::fault::scoped("shard.execute=io-error");
+        let mut doomed =
+            SweepSession::new(Some(&store), &g, &program, "other-key", EngineConfig::batch(64));
+        let err = doomed.run_sharded_supervised(&plan, 2, config).unwrap_err();
+        drop(guard);
+        assert!(err.contains("still missing after 3 attempt(s)"), "{err}");
+        assert!(err.contains("injected fault at shard.execute"), "{err}");
     }
 
     #[test]

@@ -42,7 +42,8 @@ use anonrv_sim::SimOutcome;
 use crate::cache::{
     decode_outcome_table, decode_plan_identity, encode_outcome_table, encode_plan_identity, Store,
 };
-use crate::codec::{unframe, Enc, Kind};
+use crate::codec::{Enc, Kind};
+use crate::fault;
 
 /// One slice of a sharded sweep: this process is shard `index` of `shards`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +144,7 @@ impl Store {
             e.usize(c);
         }
         encode_outcome_table(&mut e, &outcomes.table);
+        fault::hit_io("shard.persist")?;
         let path = self.shard_path(g, program_key, plan, outcomes.spec);
         self.write_atomic(&path, &e.into_frame(Kind::Shard))?;
         Ok(path)
@@ -158,8 +160,9 @@ impl Store {
         plan: &SweepPlan,
         spec: ShardSpec,
     ) -> Option<ShardOutcomes> {
-        let bytes = std::fs::read(self.shard_path(g, program_key, plan, spec)).ok()?;
-        let mut d = unframe(Kind::Shard, &bytes)?;
+        let path = self.shard_path(g, program_key, plan, spec);
+        let bytes = self.read_artifact(&path)?;
+        let mut d = self.gate_frame(&path, Kind::Shard, &bytes)?;
         decode_plan_identity(&mut d, g, program_key, plan)?;
         if d.u128()? != plan.horizon() {
             return None;
@@ -182,6 +185,29 @@ impl Store {
             return None;
         }
         d.exhausted().then_some(ShardOutcomes { spec, classes, table })
+    }
+
+    /// The shard indices of a `K`-way split whose partial artifact is
+    /// missing or unloadable — the probe [`crate::SweepSession`]'s
+    /// supervisor re-dispatches from, and the ground truth a retry loop
+    /// should trust over any in-memory bookkeeping (an artifact that fails
+    /// its integrity gates *is* a missing shard, whatever the executor
+    /// reported).  An empty result means [`Store::merge_shards`] will
+    /// succeed, barring concurrent deletion.
+    pub fn missing_shards(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        plan: &SweepPlan,
+        shards: usize,
+    ) -> Result<Vec<usize>, String> {
+        ShardSpec::new(shards, 0)?; // validate the count once
+        Ok((0..shards)
+            .filter(|&index| {
+                let spec = ShardSpec::new(shards, index).expect("index < shards");
+                self.load_shard(g, program_key, plan, spec).is_none()
+            })
+            .collect())
     }
 
     /// Merge the `shards` partial artifacts of `(g, program_key, plan)`
