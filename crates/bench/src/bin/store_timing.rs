@@ -27,6 +27,19 @@
 //! unsharded table (on a smaller torus, to keep the guard cheap) before
 //! anything is timed, so a broken merge fails the benchmark loudly.
 //!
+//! Two telemetry-derived sections ride along (see `anonrv-obs`):
+//!
+//! * **`phase_seconds`** — the seeding cold run executes under a
+//!   metrics-only pipeline, and the `span.session.*.us` histograms break
+//!   its wall time into plan / probe / execute / record / persist;
+//! * **`telemetry_overhead_pct`** — the warm-outcomes measurement is
+//!   repeated with the metrics pipeline installed; the delta against the
+//!   plain (telemetry-off) median bounds the cost of the instrumentation,
+//!   and the zero-cost contract says it stays within noise.
+//!
+//! Every *timed* number except that overhead row runs with telemetry off,
+//! so BENCH_store.json's temperatures keep meaning what they always did.
+//!
 //! Usage: `cargo run --release -p anonrv-bench --bin store_timing
 //! [output.json]` (default output: `BENCH_store.json`).
 
@@ -131,12 +144,30 @@ fn main() {
         met
     });
 
-    // seed one persistent directory for the warm measurements
+    // seed one persistent directory for the warm measurements — under a
+    // metrics-only telemetry pipeline, so the session's spans break the
+    // cold pipeline's wall time into phases (µs histograms; see anonrv-obs)
     let warm_dir = dir.join("warm");
     let store = Store::open(&warm_dir).expect("open warm store");
-    let (met_cold, provenance) = pipeline(&store, HORIZON);
-    assert_eq!(provenance, OutcomeProvenance::Cold);
-    assert!(met_cold > 0, "the workload found no meetings");
+    let (met_cold, phases) = {
+        let guard = anonrv_obs::install(anonrv_obs::ObsConfig::metrics_only())
+            .expect("install telemetry pipeline");
+        let (met, provenance) = pipeline(&store, HORIZON);
+        assert_eq!(provenance, OutcomeProvenance::Cold);
+        assert!(met > 0, "the workload found no meetings");
+        let snap = anonrv_obs::snapshot();
+        let phase_s = |phase: &str| {
+            snap.histogram(&format!("span.session.{phase}.us"))
+                .map(|h| h.sum as f64 / 1e6)
+                .unwrap_or(0.0)
+        };
+        let phases: Vec<(&str, f64)> = ["plan", "probe", "execute", "record", "persist"]
+            .iter()
+            .map(|&p| (p, phase_s(p)))
+            .collect();
+        drop(guard); // telemetry back off before anything below is timed
+        (met, phases)
+    };
 
     // warm outcomes (exact hit): everything loads, nothing executes
     let warm_outcomes_s = time_median(15, || {
@@ -145,6 +176,21 @@ fn main() {
         assert_eq!(met, met_cold);
         met
     });
+
+    // the same measurement with the metrics pipeline installed: the delta
+    // against the plain median above bounds the instrumentation cost (the
+    // disabled-path cost — one relaxed atomic load per site — is below it)
+    let warm_outcomes_obs_s = {
+        let _guard = anonrv_obs::install(anonrv_obs::ObsConfig::metrics_only())
+            .expect("install telemetry pipeline");
+        time_median(15, || {
+            let (met, provenance) = pipeline(&store, HORIZON);
+            assert_eq!(provenance, OutcomeProvenance::WarmExact);
+            assert_eq!(met, met_cold);
+            met
+        })
+    };
+    let telemetry_overhead_pct = (warm_outcomes_obs_s / warm_outcomes_s - 1.0) * 100.0;
 
     // warm timelines: planning and recording load, the merges re-run (the
     // store primitives under the session's cold path, without persistence)
@@ -179,6 +225,11 @@ fn main() {
     });
 
     let num_stics = n * n * DELTAS as usize;
+    let phase_json = phases
+        .iter()
+        .map(|(name, secs)| format!("\"{name}\": {secs:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"instance\": \"oriented_torus(64, 64)\",\n  \
          \"program\": \"expensive-walker (cost {COST} hash mixes per action)\",\n  \
@@ -188,8 +239,11 @@ fn main() {
          \"shard_merge_check\": \"2 shards, bit-identical\",\n  \
          \"prefix_check\": \"horizon {HORIZON} served from a horizon-{} recording, bit-identical\",\n  \
          \"cold_seconds\": {cold_s:.6},\n  \
+         \"phase_seconds\": {{{phase_json}}},\n  \
          \"warm_timelines_seconds\": {warm_timelines_s:.6},\n  \
          \"warm_outcomes_seconds\": {warm_outcomes_s:.6},\n  \
+         \"warm_outcomes_with_metrics_seconds\": {warm_outcomes_obs_s:.6},\n  \
+         \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n  \
          \"warm_prefix_seconds\": {warm_prefix_s:.6},\n  \
          \"warm_timelines_speedup\": {:.1},\n  \
          \"warm_outcomes_speedup\": {:.1},\n  \

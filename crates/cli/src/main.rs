@@ -9,6 +9,7 @@
 //! anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S]
 //!                 [--cache-dir DIR] [--shards K --shard-index I] [--merge]
 //!                 [--shards K --supervised]
+//!                 [--report text|json] [--trace-out FILE]
 //!                                              exhaustive planned all-pairs sweep:
 //!                                              resumable (persistent plan cache,
 //!                                              horizon-generic: longer recordings
@@ -17,10 +18,15 @@
 //!                                              bit-identically; --supervised runs
 //!                                              every shard in-process with
 //!                                              retry/backoff over the store's
-//!                                              missing-shard probe
-//! anonrv cache    <dir> stats|gc|fsck [--repair]
+//!                                              missing-shard probe; --report json
+//!                                              emits one schema-versioned report
+//!                                              (anonrv.report/v1) on stdout and
+//!                                              --trace-out writes a JSONL span/
+//!                                              event trace (anonrv.trace/v1)
+//! anonrv cache    <dir> stats|gc|fsck [--repair] [--json]
 //!                                              survey / compact / deep-verify a
-//!                                              plan-cache dir
+//!                                              plan-cache dir (--json: the same
+//!                                              data as an anonrv.report/v1 object)
 //! anonrv figure1  [h]                          ASCII rendering of Q̂_h (default h = 2)
 //! ```
 //!
@@ -68,15 +74,19 @@ fn usage() -> &'static str {
      anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm] [--horizon H]\n  \
      anonrv orbits   <graph>\n  \
      anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S] [--cache-dir DIR]\n                  \
-     [--shards K --shard-index I] [--merge] [--shards K --supervised]\n  \
-     anonrv cache    <dir> stats|gc|fsck [--repair]\n  \
+     [--shards K --shard-index I] [--merge] [--shards K --supervised]\n                  \
+     [--report text|json] [--trace-out FILE]\n  \
+     anonrv cache    <dir> stats|gc|fsck [--repair] [--json]\n  \
      anonrv figure1  [h]\n\n\
      sweep: exhaustive all-pairs x delay-grid planned sweep (D = count `5` for {0..4} or list \
      `0,2,7`;\n  S = walker seed, decimal or 0x-hex); --cache-dir makes it resumable (orbits/\
      timelines/outcomes\n  persist; recordings at a longer horizon serve shorter sweeps by \
      prefix truncation),\n  --shards/--shard-index executes one slice, --merge reassembles the \
      slices bit-identically,\n  --shards/--supervised runs every slice in-process with bounded \
-     retry + backoff, re-running\n  only slices whose artifact is missing, then merges.\n\n\
+     retry + backoff, re-running\n  only slices whose artifact is missing, then merges.\n  \
+     --report json prints one anonrv.report/v1 JSON object (plan, provenance, session stats,\n  \
+     supervisor attempt rows, metrics snapshot, outcome-table fingerprint) instead of text;\n  \
+     --trace-out FILE streams every timing span and structured event as anonrv.trace/v1 JSONL.\n\n\
      cache: stats surveys artifact counts/bytes per kind (quarantined frames included) and\n  \
      recorded horizons; gc deletes corrupt/stale frames, orphaned temp/lock files and shard\n  \
      partials superseded by a merged table, reporting reclaimed bytes; fsck reads every frame\n  \
@@ -395,13 +405,16 @@ fn timelines_phrase(stats: &anonrv_store::SessionStats) -> String {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<String, String> {
+    use anonrv_obs as obs;
+    use anonrv_obs::json::Value;
     use anonrv_plan::SweepPlan;
     use anonrv_sim::EngineConfig;
     use anonrv_store::{
         table_fingerprint, OutcomeProvenance, ShardSpec, Store, SuperviseConfig, SweepSession,
     };
 
-    let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
+    let spec_arg = args.first().ok_or("missing <graph>")?;
+    let g = parse_graph(spec_arg)?;
     let deltas = parse_deltas(flag_value(args, "--deltas").unwrap_or("5"))?;
     let horizon: Round = flag_value(args, "--horizon")
         .unwrap_or("256")
@@ -425,6 +438,27 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
     };
     let merge = args.iter().any(|a| a == "--merge");
     let supervised = args.iter().any(|a| a == "--supervised");
+    let report_json = match flag_value(args, "--report") {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("bad --report value '{other}' (text|json)")),
+    };
+    let trace_out = flag_value(args, "--trace-out");
+
+    // `--report json` / `--trace-out` install a telemetry pipeline for the
+    // duration of this sweep; without them every instrumentation site in the
+    // stack stays a single relaxed atomic load (see anonrv-obs)
+    let _obs = match (report_json, trace_out) {
+        (false, None) => None,
+        (_, Some(path)) => Some(
+            obs::install(obs::ObsConfig::trace_file(path))
+                .map_err(|e| format!("cannot create --trace-out file: {e}"))?,
+        ),
+        (true, None) => Some(
+            obs::install(obs::ObsConfig::metrics_only())
+                .map_err(|e| format!("cannot install telemetry: {e}"))?,
+        ),
+    };
 
     let program = anonrv_sim::SweepWalker { seed };
     // the canonical walker key: benchmark-recorded artifacts warm CLI
@@ -448,6 +482,55 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
         deltas.len(),
     );
 
+    // Assemble one `anonrv.report/v1` object: the shared prefix (schema,
+    // command, graph, plan, mode), the caller's mode-specific members, then
+    // the session stats and the full metrics snapshot.  The shape contract
+    // lives in `anonrv_obs::report::validate_report`, which `report_check`
+    // and CI enforce.
+    let round_json =
+        |r: Round| u64::try_from(r).map(Value::Uint).unwrap_or_else(|_| Value::Str(r.to_string()));
+    let finish_json =
+        |mode: &str, extra: Vec<(String, Value)>, stats: &anonrv_store::SessionStats| -> String {
+            let mut members: Vec<(String, Value)> = vec![
+                ("schema".into(), Value::from(obs::report::REPORT_SCHEMA)),
+                ("command".into(), Value::from("sweep")),
+                (
+                    "graph".into(),
+                    obs::json::obj([
+                        ("spec", Value::from(spec_arg.as_str())),
+                        ("nodes", Value::from(n)),
+                        ("edges", Value::from(g.num_edges())),
+                        ("hash", Value::from(format!("{:032x}", g.canonical_hash()))),
+                    ]),
+                ),
+                (
+                    "plan".into(),
+                    obs::json::obj([
+                        ("ordered_pairs", Value::from(n * n)),
+                        ("classes", Value::from(classes)),
+                        ("compression", Value::from(plan.orbits().compression())),
+                        ("deltas", Value::Arr(deltas.iter().map(|&d| round_json(d)).collect())),
+                        ("horizon", round_json(horizon)),
+                    ]),
+                ),
+                ("mode".into(), Value::from(mode)),
+            ];
+            members.extend(extra);
+            members.push((
+                "session".into(),
+                obs::json::obj([
+                    ("orbits", Value::from(stats.orbits.to_string())),
+                    ("timeline_hits", Value::from(stats.timeline_hits)),
+                    ("timeline_prefix_hits", Value::from(stats.timeline_prefix_hits)),
+                    ("timeline_misses", Value::from(stats.timeline_misses)),
+                    ("executed", Value::from(stats.executed)),
+                    ("answered", Value::from(stats.answered)),
+                ]),
+            ));
+            members.push(("metrics".into(), obs::snapshot().to_json()));
+            Value::Obj(members).to_string()
+        };
+
     if supervised {
         // -- supervised mode: run every slice with retry/backoff, then merge
         if merge {
@@ -464,15 +547,72 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
         let shards = shards.ok_or("--supervised requires --shards")?;
         let (outcomes, report) =
             session.run_sharded_supervised(&plan, shards, SuperviseConfig::default())?;
+        if report_json {
+            // per-attempt rows: the same `ShardAttempt` records the text
+            // mode prints and the `supervisor.attempt` trace events carry
+            let rows: Vec<Value> = report
+                .attempts_log
+                .iter()
+                .map(|r| {
+                    obs::json::obj([
+                        ("shard", Value::from(r.shard)),
+                        ("attempt", Value::from(r.attempt)),
+                        ("backoff_ms", Value::from(r.backoff_ms)),
+                        ("elapsed_ms", Value::from(r.elapsed_ms)),
+                        ("timed_out", Value::from(r.timed_out)),
+                        ("outcome", Value::from(r.outcome())),
+                        ("error", Value::from(r.error.clone())),
+                    ])
+                })
+                .collect();
+            let supervisor = obs::json::obj([
+                ("shards", Value::from(report.shards)),
+                ("attempts", Value::from(report.attempts)),
+                ("retried", Value::Arr(report.retried.iter().map(|&i| Value::from(i)).collect())),
+                ("timed_out", Value::from(report.timed_out)),
+                ("already_present", Value::from(report.already_present)),
+                ("rows", Value::Arr(rows)),
+            ]);
+            let stats = session.stats();
+            return Ok(finish_json(
+                "supervised",
+                vec![
+                    ("meetings".into(), Value::from(outcomes.met_total())),
+                    ("member_stics".into(), Value::from(plan.num_member_queries())),
+                    (
+                        "table_fingerprint".into(),
+                        Value::from(format!("{:016x}", table_fingerprint(outcomes.table()))),
+                    ),
+                    ("supervisor".into(), supervisor),
+                ],
+                &stats,
+            ));
+        }
         out.push_str(&format!(
             "mode: supervised sweep over {shards} shard(s)\nsupervisor: {} attempt(s), {} \
-             shard(s) retried, {} timed out, {} already present\nmeetings: {} of {} member \
-             STICs\noutcome table fingerprint: {:016x}\nmerged outcome table persisted; \
-             subsequent `anonrv sweep` runs are warm",
+             shard(s) retried, {} timed out, {} already present\n",
             report.attempts,
             report.retried.len(),
             report.timed_out,
             report.already_present,
+        ));
+        for r in &report.attempts_log {
+            out.push_str(&format!(
+                "  shard {} attempt {}: {} ({} ms elapsed, {} ms backoff){}\n",
+                r.shard,
+                r.attempt,
+                r.outcome(),
+                r.elapsed_ms,
+                r.backoff_ms,
+                match &r.error {
+                    Some(e) => format!(" — {e}"),
+                    None => String::new(),
+                },
+            ));
+        }
+        out.push_str(&format!(
+            "meetings: {} of {} member STICs\noutcome table fingerprint: {:016x}\nmerged \
+             outcome table persisted; subsequent `anonrv sweep` runs are warm",
             outcomes.met_total(),
             plan.num_member_queries(),
             table_fingerprint(outcomes.table()),
@@ -487,6 +627,22 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
         }
         let shards = shards.ok_or("--merge requires --shards")?;
         let outcomes = session.merge_shards(&plan, shards)?;
+        if report_json {
+            let stats = session.stats();
+            return Ok(finish_json(
+                "merge",
+                vec![
+                    ("shards".into(), Value::from(shards)),
+                    ("meetings".into(), Value::from(outcomes.met_total())),
+                    ("member_stics".into(), Value::from(plan.num_member_queries())),
+                    (
+                        "table_fingerprint".into(),
+                        Value::from(format!("{:016x}", table_fingerprint(outcomes.table()))),
+                    ),
+                ],
+                &stats,
+            ));
+        }
         out.push_str(&format!(
             "mode: merge of {shards} shard(s)\nmeetings: {} of {} member STICs\noutcome table \
              fingerprint: {:016x}\nmerged outcome table persisted; subsequent `anonrv sweep` \
@@ -507,6 +663,32 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
         let spec = ShardSpec::new(shards, index)?;
         let part = session.run_shard(&plan, spec)?;
         let stats = session.stats();
+        if report_json {
+            // a shard report fingerprints (and counts meetings over) its
+            // own partial table — the slice is the deliverable here
+            let met = part.table.iter().filter(|o| o.met()).count() * plan.orbits().class_size();
+            let members = part.classes.len() * plan.deltas().len() * plan.orbits().class_size();
+            return Ok(finish_json(
+                "shard",
+                vec![
+                    ("meetings".into(), Value::from(met)),
+                    ("member_stics".into(), Value::from(members)),
+                    (
+                        "table_fingerprint".into(),
+                        Value::from(format!("{:016x}", table_fingerprint(&part.table))),
+                    ),
+                    (
+                        "shard".into(),
+                        obs::json::obj([
+                            ("index", Value::from(spec.index())),
+                            ("shards", Value::from(spec.shards())),
+                            ("classes_executed", Value::from(part.classes.len())),
+                        ]),
+                    ),
+                ],
+                &stats,
+            ));
+        }
         out.push_str(&format!(
             "mode: shard {spec}\nclasses executed: {} of {classes}\ncache: orbits {}, \
              timelines {}\nshard artifact persisted; run every shard, then `--merge --shards \
@@ -524,6 +706,36 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
     // -- full mode: one process executes (or warm-loads) the whole plan -----
     let (outcomes, provenance) = session.run_plan(&plan)?;
     let stats = session.stats();
+    if report_json {
+        let prov = match provenance {
+            OutcomeProvenance::Cold => obs::json::obj([("kind", Value::from("cold"))]),
+            OutcomeProvenance::WarmExact => obs::json::obj([("kind", Value::from("warm_exact"))]),
+            OutcomeProvenance::WarmPrefix { recorded, remerged } => obs::json::obj([
+                ("kind", Value::from("warm_prefix")),
+                ("recorded", round_json(recorded)),
+                ("remerged", Value::from(remerged)),
+            ]),
+            OutcomeProvenance::WarmExtend { recorded, extended } => obs::json::obj([
+                ("kind", Value::from("warm_extend")),
+                ("recorded", round_json(recorded)),
+                ("extended", Value::from(extended)),
+            ]),
+        };
+        return Ok(finish_json(
+            "full",
+            vec![
+                ("cached".into(), Value::from(store.is_some())),
+                ("provenance".into(), prov),
+                ("meetings".into(), Value::from(outcomes.met_total())),
+                ("member_stics".into(), Value::from(plan.num_member_queries())),
+                (
+                    "table_fingerprint".into(),
+                    Value::from(format!("{:016x}", table_fingerprint(outcomes.table()))),
+                ),
+            ],
+            &stats,
+        ));
+    }
     let cache_line = match (&store, provenance) {
         (None, _) => "disabled (pass --cache-dir to make sweeps resumable)".to_string(),
         (Some(_), OutcomeProvenance::WarmExact) => {
@@ -557,15 +769,58 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Wrap one cache action's payload as an `anonrv.report/v1` object
+/// (`command` is `cache-stats` / `cache-gc` / `cache-fsck`; the payload
+/// sits under the action-named key the validator requires).
+fn cache_report_json(action: &str, dir: &str, body: anonrv_obs::json::Value) -> String {
+    use anonrv_obs::json::Value;
+    Value::Obj(vec![
+        ("schema".into(), Value::from(anonrv_obs::report::REPORT_SCHEMA)),
+        ("command".into(), Value::from(format!("cache-{action}"))),
+        ("dir".into(), Value::from(dir)),
+        (action.into(), body),
+    ])
+    .to_string()
+}
+
 fn cmd_cache(args: &[String]) -> Result<String, String> {
+    use anonrv_obs::json::{obj, Value};
     use anonrv_store::Store;
 
     let dir = args.first().ok_or("missing <dir>")?;
     let action = args.get(1).map(String::as_str).ok_or("missing action (stats|gc|fsck)")?;
+    let json_out = args.iter().any(|a| a == "--json");
     let store = Store::open(dir).map_err(|e| format!("cannot open cache dir: {e}"))?;
     match action {
         "stats" => {
             let s = store.stats().map_err(|e| format!("cannot survey cache dir: {e}"))?;
+            if json_out {
+                let kind = |k: anonrv_store::KindStats| {
+                    obj([("files", Value::from(k.files)), ("bytes", Value::from(k.bytes))])
+                };
+                let horizons: Vec<Value> = s
+                    .recorded_horizons
+                    .iter()
+                    .map(|&h| {
+                        u64::try_from(h)
+                            .map(Value::Uint)
+                            .unwrap_or_else(|_| Value::Str(h.to_string()))
+                    })
+                    .collect();
+                let body = obj([
+                    ("orbits", kind(s.orbits)),
+                    ("timelines", kind(s.timelines)),
+                    ("outcomes", kind(s.outcomes)),
+                    ("shards", kind(s.shards)),
+                    ("invalid", kind(s.invalid)),
+                    ("quarantined", kind(s.quarantined)),
+                    ("other", kind(s.other)),
+                    ("total_bytes", Value::from(s.total_bytes())),
+                    ("timeline_entries", Value::from(s.timeline_entries)),
+                    ("recorded_horizons", Value::Arr(horizons)),
+                ]);
+                return Ok(cache_report_json("stats", dir, body));
+            }
             let row = |kind: &str, k: anonrv_store::KindStats| {
                 format!("  {kind:<10} {:>6} file(s)  {:>12} bytes\n", k.files, k.bytes)
             };
@@ -591,6 +846,17 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
         }
         "gc" => {
             let r = store.gc().map_err(|e| format!("cannot compact cache dir: {e}"))?;
+            if json_out {
+                let body = obj([
+                    ("removed_files", Value::from(r.removed_files)),
+                    ("reclaimed_bytes", Value::from(r.reclaimed_bytes)),
+                    ("corrupt", Value::from(r.corrupt)),
+                    ("superseded", Value::from(r.superseded)),
+                    ("temp", Value::from(r.temp)),
+                    ("locks", Value::from(r.locks)),
+                ]);
+                return Ok(cache_report_json("gc", dir, body));
+            }
             Ok(format!(
                 "cache dir: {dir}\nremoved {} file(s), reclaimed {} bytes\n  corrupt/stale: {}\n  \
                  superseded shard partials: {}\n  orphaned temp files: {}\n  stale lock files: {}",
@@ -600,6 +866,30 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
         "fsck" => {
             let repair = args.iter().any(|a| a == "--repair");
             let r = store.fsck(repair).map_err(|e| format!("cannot fsck cache dir: {e}"))?;
+            if json_out {
+                let entries: Vec<Value> = r
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        obj([
+                            ("name", Value::from(e.name.as_str())),
+                            ("bytes", Value::from(e.bytes)),
+                            ("verdict", Value::from(e.verdict.to_string())),
+                            ("quarantined", Value::from(e.quarantined)),
+                        ])
+                    })
+                    .collect();
+                let body = obj([
+                    ("repair", Value::from(repair)),
+                    ("checked", Value::from(r.entries.len())),
+                    ("valid", Value::from(r.valid)),
+                    ("stale", Value::from(r.stale)),
+                    ("corrupt", Value::from(r.corrupt)),
+                    ("quarantined", Value::from(r.quarantined)),
+                    ("entries", Value::Arr(entries)),
+                ]);
+                return Ok(cache_report_json("fsck", dir, body));
+            }
             let mut out = format!("cache dir: {dir}\n");
             if r.entries.is_empty() {
                 out.push_str("  (no artifacts)\n");
@@ -913,6 +1203,81 @@ mod tests {
         let mut with_merge = sup.clone();
         with_merge.push("--merge".to_string());
         assert!(run(&with_merge).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_report_and_trace_validate_and_match_the_text_run() {
+        let dir =
+            std::env::temp_dir().join(format!("anonrv-cli-report-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("cache").to_string_lossy().to_string();
+        let trace = dir.join("trace.jsonl").to_string_lossy().to_string();
+        let base = ["sweep", "torus:3x4", "--deltas", "3", "--horizon", "64"];
+
+        // the acceptance command: supervised sweep, JSON report, JSONL trace
+        let mut sup: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        sup.extend([
+            "--cache-dir".to_string(),
+            cache.clone(),
+            "--shards".to_string(),
+            "2".to_string(),
+            "--supervised".to_string(),
+            "--report".to_string(),
+            "json".to_string(),
+            "--trace-out".to_string(),
+            trace.clone(),
+        ]);
+        let report = run(&sup).unwrap();
+        let v = anonrv_obs::json::parse(&report).unwrap();
+        let summary = anonrv_obs::report::validate_report(&v).unwrap();
+        assert_eq!(summary.command, "sweep");
+        assert_eq!(summary.mode.as_deref(), Some("supervised"));
+        assert!(summary.supervisor_rows >= 2, "one row per shard attempt");
+
+        // the fingerprint matches a plain (storeless, text) run of the
+        // same sweep bit for bit
+        let plain = run(&argv(&base)).unwrap();
+        let fp = summary.table_fingerprint.unwrap();
+        assert!(plain.contains(&format!("outcome table fingerprint: {fp}")), "{plain}");
+
+        // the trace validates: header first, well-formed nesting, and the
+        // supervisor emitted its per-attempt events (other concurrent
+        // tests may add theirs while the pipeline is installed, so >=)
+        let content = std::fs::read_to_string(&trace).unwrap();
+        let ts = anonrv_obs::report::validate_trace(&content).unwrap();
+        assert!(ts.spans > 0, "spans reached the trace");
+        assert!(ts.event_count("supervisor.attempt") >= summary.supervisor_rows as u64);
+
+        // a warm full-mode report validates too, and carries provenance
+        let mut warm: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        warm.extend([
+            "--cache-dir".to_string(),
+            cache.clone(),
+            "--report".to_string(),
+            "json".to_string(),
+        ]);
+        let warm_report = run(&warm).unwrap();
+        let wv = anonrv_obs::json::parse(&warm_report).unwrap();
+        let ws = anonrv_obs::report::validate_report(&wv).unwrap();
+        assert_eq!(ws.mode.as_deref(), Some("full"));
+        assert_eq!(ws.table_fingerprint.as_deref(), Some(fp.as_str()));
+        assert_eq!(wv.get("provenance").unwrap().get("kind").unwrap().as_str(), Some("warm_exact"));
+
+        // machine-readable cache reports validate against the same schema
+        for action in ["stats", "gc", "fsck"] {
+            let out = run(&argv(&["cache", &cache, action, "--json"])).unwrap();
+            let cv = anonrv_obs::json::parse(&out).unwrap();
+            let cs = anonrv_obs::report::validate_report(&cv).unwrap();
+            assert_eq!(cs.command, format!("cache-{action}"));
+        }
+
+        // flag validation: an unknown --report value is rejected
+        let mut bad: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        bad.extend(["--report".to_string(), "xml".to_string()]);
+        assert!(run(&bad).is_err());
 
         std::fs::remove_dir_all(&dir).ok();
     }

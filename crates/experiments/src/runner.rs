@@ -141,6 +141,8 @@ pub fn run_cases_planned(
     session: &mut SweepSession<'_>,
     oracle: &FeasibilityOracle,
 ) -> Vec<RunRecord> {
+    let _span = anonrv_obs::span("experiment.cases");
+    anonrv_obs::counter_add("experiment.cases", cases.len() as u64);
     let queries: Vec<(Stic, Round)> = cases.iter().map(|c| (c.stic, c.horizon)).collect();
     let outcomes = session.simulate_cases(&queries);
     let algorithm = session.planned().program().name().to_string();

@@ -1,0 +1,79 @@
+//! `report_check` — validate `anonrv` machine-readable artifacts.
+//!
+//! ```text
+//! report_check <report.json | -> [--trace FILE] [--print-fingerprint]
+//! ```
+//!
+//! Reads one `anonrv.report/v1` JSON report from the given file (or stdin
+//! when the path is `-`), validates it, optionally validates an
+//! `anonrv.trace/v1` JSONL trace alongside it, and exits non-zero with a
+//! diagnostic on stderr if anything is malformed.  `--print-fingerprint`
+//! echoes the report's outcome-table fingerprint on stdout so CI can diff
+//! observed and plain runs.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use anonrv_obs::{json, report};
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut report_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut print_fingerprint = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(args.next().ok_or("--trace requires a file argument")?);
+            }
+            "--print-fingerprint" => print_fingerprint = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: report_check <report.json | -> [--trace FILE] [--print-fingerprint]"
+                );
+                return Ok(());
+            }
+            other if report_path.is_none() => report_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let report_path = report_path.ok_or("usage: report_check <report.json | -> [--trace FILE]")?;
+    let content = if report_path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&report_path).map_err(|e| format!("{report_path}: {e}"))?
+    };
+    let value = json::parse(&content).map_err(|e| format!("{report_path}: {e}"))?;
+    let summary = report::validate_report(&value)?;
+    eprintln!(
+        "report ok: command={} mode={} supervisor_rows={}",
+        summary.command,
+        summary.mode.as_deref().unwrap_or("-"),
+        summary.supervisor_rows,
+    );
+    if let Some(trace_path) = trace_path {
+        let trace =
+            std::fs::read_to_string(&trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+        let ts = report::validate_trace(&trace)?;
+        eprintln!("trace ok: {} span(s), {} event(s)", ts.spans, ts.events);
+    }
+    if print_fingerprint {
+        let fp = summary
+            .table_fingerprint
+            .ok_or("--print-fingerprint: report has no table_fingerprint")?;
+        println!("{fp}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("report_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The lock-cheap metrics registry: named atomic counters, gauges and
+//! log-bucketed histograms, snapshotted at end of run.
+//!
+//! ## Concurrency model
+//!
+//! Recording is wait-free after the first touch of a name: every metric is
+//! a set of atomics behind an `Arc`, and the name → metric map is an
+//! `RwLock<HashMap>` taken for **read** on the hot path (writers appear
+//! only on the first recording of a new name).  Counters are exact under
+//! arbitrary concurrency (plain `fetch_add`); histograms never tear — each
+//! observation lands in exactly one bucket and the snapshot derives the
+//! total count from the bucket sum, so a reader can at worst see an
+//! observation's bucket before its byte-sum, never a half-written value.
+//!
+//! ## The zero-cost contract
+//!
+//! Nothing in this module runs when telemetry is disabled: the crate-level
+//! entry points ([`crate::counter_add`] and friends) check one relaxed
+//! atomic and return before touching the registry.  See the crate docs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::json::{self, Value};
+
+/// Number of histogram buckets: bucket `k` holds values whose bit length is
+/// `k` (i.e. `v` in `[2^(k-1), 2^k)`), bucket 0 holds exactly `{0}`, and
+/// bucket 64 tops out at `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram: 65 power-of-two buckets plus sum/min/max.
+///
+/// `record` is three-to-four relaxed atomic RMWs; there is no lock to
+/// tear, and the snapshot's `count` is the sum of the bucket counts, so it
+/// always equals the number of fully recorded bucket increments.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `k`.
+fn bucket_upper(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (k, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((bucket_upper(k), c));
+                count += c;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations (derived from the buckets, never torn).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The inclusive upper bound of the bucket containing quantile `q`
+    /// (`0.0..=1.0`) — a log-resolution approximation, exact enough for
+    /// p50/p90/p99 reporting.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(upper, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn to_json(&self) -> Value {
+        json::obj([
+            ("count", Value::Uint(self.count)),
+            ("sum", Value::Uint(self.sum)),
+            ("min", Value::Uint(self.min)),
+            ("max", Value::Uint(self.max)),
+            (
+                "buckets",
+                Value::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(le, c)| Value::Arr(vec![Value::Uint(le), Value::Uint(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The process-wide named-metric registry.  Obtain it through
+/// [`registry`]; recording normally goes through the crate-level
+/// enabled-gated entry points instead.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+/// Fetch (or create) a named slot in one of the maps.  Fast path: a read
+/// lock and a hash lookup; the write lock is taken only the first time a
+/// name is seen.
+fn slot<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("metrics registry poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    let mut w = map.write().expect("metrics registry poisoned");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// Add `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        slot(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        slot(&self.gauges, name).store(value, Ordering::Relaxed);
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        slot(&self.histograms, name).record(value);
+    }
+
+    /// Drop every metric (a fresh [`crate::install`] starts from zero).
+    pub(crate) fn clear(&self) {
+        self.counters.write().expect("metrics registry poisoned").clear();
+        self.gauges.write().expect("metrics registry poisoned").clear();
+        self.histograms.write().expect("metrics registry poisoned").clear();
+    }
+
+    /// Snapshot every metric, names sorted, values read relaxed.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, u64)> = self
+            .gauges
+            .read()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// The process-wide registry (created on first use, lives forever; its
+/// *contents* reset on each [`crate::install`]).
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// An end-of-run view of every metric, renderable as text or JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Look up one histogram's snapshot, if it was ever observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The JSON form embedded in `--report json` output (schema documented
+    /// in [`crate::report`]).
+    pub fn to_json(&self) -> Value {
+        json::obj([
+            (
+                "counters",
+                Value::Obj(
+                    self.counters.iter().map(|(k, v)| (k.clone(), Value::Uint(*v))).collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Value::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Value::Uint(*v))).collect()),
+            ),
+            (
+                "histograms",
+                Value::Obj(self.histograms.iter().map(|(k, v)| (k.clone(), v.to_json())).collect()),
+            ),
+        ])
+    }
+
+    /// A human-readable rendering (the CLI's non-JSON metrics view).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:<42} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("  {name:<42} {value} (gauge)\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {name:<42} n={} sum={} min={} p50<={} p99<={} max={}\n",
+                h.count,
+                h.sum,
+                h.min,
+                h.quantile_upper(0.50),
+                h.quantile_upper(0.99),
+                h.max,
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("  (no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histograms_aggregate_and_quantile() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 5, 9, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1016);
+        assert_eq!((s.min, s.max), (0, 1000));
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 6);
+        assert_eq!(s.quantile_upper(0.5), 1);
+        assert_eq!(s.quantile_upper(1.0), 1000);
+        let empty = Histogram::default().snapshot();
+        assert_eq!((empty.count, empty.quantile_upper(0.5)), (0, 0));
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let r = Registry::default();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        r.gauge_set("g", 9);
+        r.gauge_set("g", 4);
+        r.observe("h", 7);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("b"), 1);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauges, vec![("g".to_string(), 4)]);
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+        assert!(s.histogram("absent").is_none());
+        // snapshots serialize and read back
+        let v = s.to_json();
+        assert_eq!(v.get("counters").unwrap().get("a").unwrap().as_u64(), Some(5));
+        assert!(s.to_text().contains("a"));
+        r.clear();
+        assert!(r.snapshot().counters.is_empty());
+    }
+}

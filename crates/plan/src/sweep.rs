@@ -476,6 +476,10 @@ impl<'a> PlannedSweep<'a> {
             plan.horizon() <= self.engine.config().horizon,
             "plan horizon exceeds the engine horizon"
         );
+        anonrv_obs::counter_add(
+            "plan.representatives",
+            (classes.len() * plan.deltas().len()) as u64,
+        );
         let per_class: Vec<Vec<SimOutcome>> = classes
             .par_iter()
             .map(|&class| {
@@ -553,6 +557,7 @@ impl<'a> PlannedSweep<'a> {
             debug_assert_eq!(stic, expected, "remerge order diverged from the job list");
             outcome
         })?;
+        anonrv_obs::counter_add("plan.remerges", jobs.len() as u64);
         Ok((outcomes, jobs.len()))
     }
 
@@ -592,6 +597,7 @@ impl<'a> PlannedSweep<'a> {
             .enumerate()
             .filter(|(slot, o)| o.meeting.is_none() && plan.deltas()[slot % ndeltas] <= h)
             .count();
+        anonrv_obs::counter_add("plan.extends", extended as u64);
         Ok((PlannedOutcomes::from_table(plan, table)?, extended))
     }
 

@@ -218,6 +218,11 @@ impl Timeline {
             "move counts are positional: every segment after the first (tail excepted) \
              is opened by exactly one traversal"
         );
+        if anonrv_obs::enabled() {
+            anonrv_obs::counter_add("record.timelines", 1);
+            anonrv_obs::counter_add("record.segments", nodes.len() as u64);
+            anonrv_obs::counter_add("record.moves", total_moves);
+        }
         Self::assemble(g.num_nodes(), horizon, starts, nodes)
     }
 
@@ -595,6 +600,11 @@ pub fn merge_timelines(
     stic: &Stic,
     horizon: Round,
 ) -> SimOutcome {
+    if anonrv_obs::enabled() {
+        anonrv_obs::counter_add("merge.calls", 1);
+        // upper bound: the two-cursor sweep visits at most every segment
+        anonrv_obs::counter_add("merge.segments", (earlier.nodes.len() + later.nodes.len()) as u64);
+    }
     if stic.delay > horizon {
         // the later agent never even appears within the horizon
         return SimOutcome::no_show(horizon);
@@ -686,6 +696,7 @@ pub fn merge_timelines_extend(
         "cannot extend a horizon-{} outcome down to {horizon}",
         prior.horizon
     );
+    anonrv_obs::counter_add("merge.extend.calls", 1);
     if prior.meeting.is_some() {
         return SimOutcome { horizon, ..*prior };
     }
@@ -775,6 +786,15 @@ pub fn merge_timelines_deltas_with(
             out[i] = outcomes[k];
         }
         return out;
+    }
+
+    if anonrv_obs::enabled() {
+        anonrv_obs::counter_add("merge.delta_passes", 1);
+        anonrv_obs::counter_add("merge.deltas", deltas.len() as u64);
+        anonrv_obs::counter_add("merge.segments", (earlier.nodes.len() + later.nodes.len()) as u64);
+        if scratch.cursors.capacity() > 0 {
+            anonrv_obs::counter_add("merge.scratch_reuse", 1);
+        }
     }
 
     let horizon1 = horizon.saturating_add(1);

@@ -70,6 +70,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use anonrv_graph::{NodeId, PortGraph};
+use anonrv_obs as obs;
 use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan};
 use anonrv_sim::{Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineParts};
 
@@ -158,6 +159,9 @@ impl Store {
     /// torn-write) and `store.rename` (the publishing rename).
     pub(crate) fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         use std::io::Write;
+        let _write_span = obs::span("store.write");
+        obs::counter_add("store.write.count", 1);
+        obs::observe("store.write.bytes", bytes.len() as u64);
         let tmp = path.with_extension(format!("tmp{}", transient_suffix()));
         let mut f = fs::File::create(&tmp)?;
         match fault::check("store.write_tmp") {
@@ -207,6 +211,7 @@ impl Store {
     /// it behind as the stale-lock debris a dead holder would).
     fn with_lock<T>(&self, artifact: &Path, f: impl FnOnce() -> io::Result<T>) -> io::Result<T> {
         let lock = artifact.with_extension("lock");
+        let wait_start = obs::enabled().then(std::time::Instant::now);
         let mut attempts = 0;
         let acquired = loop {
             match fs::OpenOptions::new().write(true).create_new(true).open(&lock) {
@@ -241,6 +246,7 @@ impl Store {
                             lock.with_extension(format!("takeover-{}.lock", transient_suffix()));
                         if fs::rename(&lock, &takeover).is_ok() {
                             let _ = fs::remove_file(&takeover);
+                            obs::counter_add("store.lock.takeover", 1);
                         }
                         continue;
                     }
@@ -253,6 +259,16 @@ impl Store {
                 Err(_) => break false, // unlockable filesystem: proceed
             }
         };
+        if let Some(t0) = wait_start {
+            obs::observe(
+                "store.lock.wait.us",
+                t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            );
+        }
+        obs::counter_add(
+            if acquired { "store.lock.acquired" } else { "store.lock.unlocked_proceed" },
+            1,
+        );
         let result = f();
         if acquired {
             let _ = fs::remove_file(&lock);
@@ -280,7 +296,14 @@ impl Store {
             Some(fault::Action::Abort) => std::process::abort(),
             Some(fault::Action::IoError) | Some(fault::Action::TornWrite(_)) => return None,
         }
-        fs::read(path).ok()
+        let bytes = fs::read(path).ok();
+        if obs::enabled() {
+            obs::counter_add("store.read.count", 1);
+            if let Some(bytes) = &bytes {
+                obs::observe("store.read.bytes", bytes.len() as u64);
+            }
+        }
+        bytes
     }
 
     /// Frame-gate freshly read artifact bytes.  A **corruption-class**
@@ -328,6 +351,13 @@ impl Store {
             n += 1;
         }
         fs::rename(path, &dest)?;
+        if obs::enabled() {
+            obs::counter_add("store.quarantine.count", 1);
+            obs::event(
+                "store.quarantine",
+                &[("file", obs::Field::from(name.as_str())), ("reason", obs::Field::from(reason))],
+            );
+        }
         let sidecar = PathBuf::from(format!("{}.reason", dest.display()));
         let _ = fs::write(
             &sidecar,
@@ -810,6 +840,11 @@ impl Store {
                 report.remove(&path, bytes, GcClass::Superseded);
             }
         }
+        if obs::enabled() {
+            obs::counter_add("store.gc.runs", 1);
+            obs::counter_add("store.gc.removed_files", report.removed_files as u64);
+            obs::counter_add("store.gc.reclaimed_bytes", report.reclaimed_bytes);
+        }
         Ok(report)
     }
 
@@ -870,6 +905,10 @@ impl Store {
                 }
             }
             report.entries.push(FsckEntry { name, bytes, verdict, quarantined });
+        }
+        if obs::enabled() {
+            obs::counter_add("store.fsck.runs", 1);
+            obs::counter_add("store.fsck.corrupt", report.corrupt as u64);
         }
         Ok(report)
     }

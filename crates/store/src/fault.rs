@@ -193,13 +193,33 @@ pub fn check(site: &str) -> Option<Action> {
         plan.skip -= 1;
         return None;
     }
-    match &mut plan.remaining {
+    let fired = match &mut plan.remaining {
         Some(0) => None,
         Some(n) => {
             *n -= 1;
             Some(plan.action)
         }
         None => Some(plan.action),
+    };
+    drop(reg);
+    if let Some(action) = fired {
+        note_trip(site, action);
+    }
+    fired
+}
+
+/// Surface a firing failpoint to telemetry, so fault-injection runs can
+/// assert their trips against the armed schedule.
+fn note_trip(site: &str, action: Action) {
+    if anonrv_obs::enabled() {
+        anonrv_obs::counter_add(&format!("fault.trip.{site}"), 1);
+        anonrv_obs::event(
+            "fault.trip",
+            &[
+                ("site", anonrv_obs::Field::from(site)),
+                ("action", anonrv_obs::Field::from(format!("{action:?}"))),
+            ],
+        );
     }
 }
 

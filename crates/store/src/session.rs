@@ -43,9 +43,11 @@
 //! stop-propagation and cost O(1), only the unmet ones resume their merge
 //! at the recorded horizon.
 
+use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 use anonrv_graph::PortGraph;
+use anonrv_obs as obs;
 use anonrv_plan::{PairOrbits, PlannedOutcomes, PlannedSweep, SweepPlan};
 use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine};
 
@@ -136,6 +138,9 @@ pub struct SweepSession<'a> {
     answered: usize,
     outcome: Option<OutcomeProvenance>,
     shard: Option<(usize, usize)>,
+    /// Timeline misses already flushed into the metrics registry (misses
+    /// accrue inside the engine cache; the session delta-flushes them).
+    reported_misses: Cell<usize>,
 }
 
 impl<'a> SweepSession<'a> {
@@ -154,10 +159,18 @@ impl<'a> SweepSession<'a> {
         program_key: impl Into<String>,
         config: EngineConfig,
     ) -> Self {
+        let _plan_span = obs::span("session.plan");
         let (orbits, provenance) = match store {
             Some(store) => store.orbits(graph),
             None => (PairOrbits::compute(graph), Provenance::Cold),
         };
+        obs::counter_add(
+            match provenance {
+                Provenance::Warm => "session.orbits.warm",
+                Provenance::Cold => "session.orbits.cold",
+            },
+            1,
+        );
         let planned = PlannedSweep::from_orbits(orbits, graph, program, config);
         Self::assemble(store, graph, program_key.into(), planned, provenance)
     }
@@ -209,6 +222,7 @@ impl<'a> SweepSession<'a> {
             answered: 0,
             outcome: None,
             shard: None,
+            reported_misses: Cell::new(0),
         }
     }
 
@@ -259,9 +273,48 @@ impl<'a> SweepSession<'a> {
         }
         self.warmed = true;
         if let Some(store) = self.store {
+            let _warm_span = obs::span("session.warm");
             let warmed = store.warm_engine(self.planned.engine(), &self.program_key);
             self.timeline_hits = warmed.installed;
             self.timeline_prefix_hits = warmed.prefix;
+            obs::counter_add("session.timeline.hits", warmed.installed as u64);
+            obs::counter_add("session.timeline.prefix_hits", warmed.prefix as u64);
+        }
+    }
+
+    /// Delta-flush timeline misses (cold recordings accrued inside the
+    /// engine cache since the last flush) into the metrics registry.
+    fn flush_timeline_metrics(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let misses = self.planned.engine().cache().computed().saturating_sub(self.timeline_hits);
+        let delta = misses.saturating_sub(self.reported_misses.get());
+        if delta > 0 {
+            obs::counter_add("session.timeline.misses", delta as u64);
+            self.reported_misses.set(misses);
+        }
+    }
+
+    /// Count this run's table provenance and broadcast volume into the
+    /// session stats and, when telemetry is on, the metrics registry.
+    fn note_outcome(&mut self, provenance: OutcomeProvenance, executed: usize, answered: usize) {
+        self.executed += executed;
+        self.answered += answered;
+        self.outcome = Some(provenance);
+        if obs::enabled() {
+            obs::counter_add(
+                match provenance {
+                    OutcomeProvenance::Cold => "session.outcome.cold",
+                    OutcomeProvenance::WarmExact => "session.outcome.warm_exact",
+                    OutcomeProvenance::WarmPrefix { .. } => "session.outcome.warm_prefix",
+                    OutcomeProvenance::WarmExtend { .. } => "session.outcome.warm_extend",
+                },
+                1,
+            );
+            obs::counter_add("session.executed", executed as u64);
+            obs::counter_add("session.answered", answered as u64);
+            self.flush_timeline_metrics();
         }
     }
 
@@ -275,16 +328,20 @@ impl<'a> SweepSession<'a> {
     /// leaves the cache cold but the results correct).  A session that
     /// recorded nothing new skips the read-merge-write round trip.
     fn persist_timelines_soft(&self) {
+        self.flush_timeline_metrics();
         if let Some(store) = self.store {
             if self.has_new_recordings() {
+                let _record_span = obs::span("session.record");
                 let _ = store.persist_engine(self.planned.engine(), &self.program_key);
             }
         }
     }
 
     fn persist_timelines(&self) -> Result<(), String> {
+        self.flush_timeline_metrics();
         if let Some(store) = self.store {
             if self.has_new_recordings() {
+                let _record_span = obs::span("session.record");
                 store
                     .persist_engine(self.planned.engine(), &self.program_key)
                     .map_err(|e| format!("cannot persist timelines: {e}"))?;
@@ -299,10 +356,13 @@ impl<'a> SweepSession<'a> {
     /// (each bit-identical to simulating the member directly).  Newly
     /// recorded timelines persist back to the store, best-effort.
     pub fn simulate_cases(&mut self, queries: &[(Stic, Round)]) -> Vec<SimOutcome> {
+        let _broadcast_span = obs::span("session.broadcast");
         self.ensure_warm();
         let (outcomes, exec) = self.planned.simulate_many_counted(queries);
         self.executed += exec.executed;
         self.answered += exec.answered;
+        obs::counter_add("session.executed", exec.executed as u64);
+        obs::counter_add("session.answered", exec.answered as u64);
         self.persist_timelines_soft();
         outcomes
     }
@@ -317,14 +377,14 @@ impl<'a> SweepSession<'a> {
         plan: &'p SweepPlan,
     ) -> Result<(PlannedOutcomes<'p>, OutcomeProvenance), String> {
         if let Some(store) = self.store {
-            if let Some((table, recorded)) =
-                store.load_plan_outcomes_any(self.graph, &self.program_key, plan)
-            {
+            let probe_span = obs::span("session.probe");
+            let probed = store.load_plan_outcomes_any(self.graph, &self.program_key, plan);
+            drop(probe_span);
+            if let Some((table, recorded)) = probed {
                 if recorded == plan.horizon() {
                     let outcomes = PlannedOutcomes::from_table(plan, table)?;
                     let provenance = OutcomeProvenance::WarmExact;
-                    self.answered += plan.num_member_queries();
-                    self.outcome = Some(provenance);
+                    self.note_outcome(provenance, 0, plan.num_member_queries());
                     return Ok((outcomes, provenance));
                 }
                 let recorded_plan =
@@ -335,13 +395,13 @@ impl<'a> SweepSession<'a> {
                     // prefix alone cannot determine re-merge (rayon)
                     // through warm timelines
                     let full = PlannedOutcomes::from_table(&recorded_plan, table)?;
+                    let execute_span = obs::span("session.execute");
                     let (outcomes, remerged) = self.planned.serve_prefix(&full, plan)?;
+                    drop(execute_span);
                     // self-heal: a re-merge over a missing timeline recorded it
                     self.persist_timelines()?;
                     let provenance = OutcomeProvenance::WarmPrefix { recorded, remerged };
-                    self.executed += remerged;
-                    self.answered += plan.num_member_queries();
-                    self.outcome = Some(provenance);
+                    self.note_outcome(provenance, remerged, plan.num_member_queries());
                     return Ok((outcomes, provenance));
                 }
                 // extend hit: the stored table is shorter; met entries are
@@ -349,30 +409,38 @@ impl<'a> SweepSession<'a> {
                 // merge at the recorded horizon (rayon) and the superseding
                 // table persists back
                 let prior = PlannedOutcomes::from_table(&recorded_plan, table)?;
+                let execute_span = obs::span("session.execute");
                 let (outcomes, extended) = self.planned.extend_table(&prior, plan)?;
+                drop(execute_span);
                 self.persist_timelines()?;
-                store
-                    .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
-                    .map_err(|e| format!("cannot persist outcomes: {e}"))?;
+                {
+                    let _persist_span = obs::span("session.persist");
+                    store
+                        .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
+                        .map_err(|e| format!("cannot persist outcomes: {e}"))?;
+                }
                 let provenance = OutcomeProvenance::WarmExtend { recorded, extended };
-                self.executed += extended;
-                self.answered += plan.num_member_queries();
-                self.outcome = Some(provenance);
+                self.note_outcome(provenance, extended, plan.num_member_queries());
                 return Ok((outcomes, provenance));
             }
         }
         // cold: execute the representatives, persist everything
         self.ensure_warm();
+        let execute_span = obs::span("session.execute");
         let outcomes = self.planned.run(plan);
-        self.executed += plan.num_representative_queries();
-        self.answered += plan.num_member_queries();
+        drop(execute_span);
         self.persist_timelines()?;
         if let Some(store) = self.store {
+            let _persist_span = obs::span("session.persist");
             store
                 .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
                 .map_err(|e| format!("cannot persist outcomes: {e}"))?;
         }
-        self.outcome = Some(OutcomeProvenance::Cold);
+        self.note_outcome(
+            OutcomeProvenance::Cold,
+            plan.num_representative_queries(),
+            plan.num_member_queries(),
+        );
         Ok((outcomes, OutcomeProvenance::Cold))
     }
 
@@ -389,12 +457,19 @@ impl<'a> SweepSession<'a> {
         fault::hit_io("shard.execute").map_err(|e| e.to_string())?;
         self.ensure_warm();
         let classes = spec.classes(plan.orbits().num_pair_classes());
+        let execute_span = obs::span("session.execute");
         let table = self.planned.run_classes(plan, &classes);
+        drop(execute_span);
         let part = ShardOutcomes { spec, classes, table };
-        self.executed += part.classes.len() * plan.deltas().len();
-        self.answered += part.classes.len() * plan.deltas().len() * plan.orbits().class_size();
+        let executed = part.classes.len() * plan.deltas().len();
+        let answered = executed * plan.orbits().class_size();
+        self.executed += executed;
+        self.answered += answered;
+        obs::counter_add("session.executed", executed as u64);
+        obs::counter_add("session.answered", answered as u64);
         self.shard = Some((spec.index(), spec.shards()));
         if let Some(store) = self.store {
+            let _persist_span = obs::span("session.persist");
             store
                 .save_shard(self.graph, &self.program_key, plan, &part)
                 .map_err(|e| format!("cannot persist shard: {e}"))?;
@@ -412,13 +487,17 @@ impl<'a> SweepSession<'a> {
         shards: usize,
     ) -> Result<PlannedOutcomes<'p>, String> {
         let store = self.store.ok_or("merging shards requires a store")?;
+        let merge_span = obs::span("session.merge");
         let table = store.merge_shards(self.graph, &self.program_key, plan, shards)?;
         let outcomes = PlannedOutcomes::from_table(plan, table)?;
-        store
-            .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
-            .map_err(|e| format!("cannot persist merged outcomes: {e}"))?;
-        self.answered += plan.num_member_queries();
-        self.outcome = Some(OutcomeProvenance::Cold);
+        drop(merge_span);
+        {
+            let _persist_span = obs::span("session.persist");
+            store
+                .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
+                .map_err(|e| format!("cannot persist merged outcomes: {e}"))?;
+        }
+        self.note_outcome(OutcomeProvenance::Cold, 0, plan.num_member_queries());
         Ok(outcomes)
     }
 
@@ -453,6 +532,7 @@ impl<'a> SweepSession<'a> {
         if config.max_attempts == 0 {
             return Err("supervisor max_attempts must be at least 1".into());
         }
+        let _supervisor_span = obs::span("supervisor.run");
         let mut report = SuperviseReport { shards, ..Default::default() };
         let mut attempts = vec![0usize; shards];
         let mut last_error: Vec<Option<String>> = vec![None; shards];
@@ -474,12 +554,12 @@ impl<'a> SweepSession<'a> {
                         attempts[index]
                     ));
                 }
+                let mut backoff = Duration::ZERO;
                 if attempts[index] > 0 {
                     // exponential backoff between retries of the same slice
                     let exp = u32::try_from(attempts[index] - 1).unwrap_or(u32::MAX);
-                    std::thread::sleep(
-                        config.base_backoff.saturating_mul(2u32.saturating_pow(exp.min(16))),
-                    );
+                    backoff = config.base_backoff.saturating_mul(2u32.saturating_pow(exp.min(16)));
+                    std::thread::sleep(backoff);
                 }
                 attempts[index] += 1;
                 report.attempts += 1;
@@ -490,21 +570,58 @@ impl<'a> SweepSession<'a> {
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     self.run_shard(plan, spec)
                 }));
-                if started.elapsed() > config.shard_deadline {
+                let elapsed = started.elapsed();
+                let timed_out = elapsed > config.shard_deadline;
+                if timed_out {
                     report.timed_out += 1;
                 }
-                match outcome {
-                    Ok(Ok(_)) => last_error[index] = None,
-                    Ok(Err(e)) => last_error[index] = Some(e),
+                let mut panicked = false;
+                last_error[index] = match outcome {
+                    Ok(Ok(_)) => None,
+                    Ok(Err(e)) => Some(e),
                     Err(panic) => {
+                        panicked = true;
                         let msg = panic
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
                             .or_else(|| panic.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "opaque panic payload".into());
-                        last_error[index] = Some(format!("shard executor panicked: {msg}"));
+                        Some(format!("shard executor panicked: {msg}"))
                     }
+                };
+                let row = ShardAttempt {
+                    shard: index,
+                    attempt: attempts[index],
+                    backoff_ms: u64::try_from(backoff.as_millis()).unwrap_or(u64::MAX),
+                    elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+                    timed_out,
+                    error: last_error[index].clone(),
+                };
+                if obs::enabled() {
+                    obs::counter_add("supervisor.attempts", 1);
+                    if row.attempt > 1 {
+                        obs::counter_add("supervisor.retries", 1);
+                    }
+                    if row.timed_out {
+                        obs::counter_add("supervisor.timeouts", 1);
+                    }
+                    if panicked {
+                        obs::counter_add("supervisor.panics", 1);
+                    }
+                    obs::event(
+                        "supervisor.attempt",
+                        &[
+                            ("shard", obs::Field::from(row.shard)),
+                            ("attempt", obs::Field::from(row.attempt)),
+                            ("backoff_ms", obs::Field::from(row.backoff_ms)),
+                            ("elapsed_ms", obs::Field::from(row.elapsed_ms)),
+                            ("timed_out", obs::Field::from(row.timed_out)),
+                            ("outcome", obs::Field::from(row.outcome())),
+                            ("error", obs::Field::from(row.error.clone().unwrap_or_default())),
+                        ],
+                    );
                 }
+                report.attempts_log.push(row);
             }
         }
         report.retried = (0..shards).filter(|&i| attempts[i] > 1).collect();
@@ -538,6 +655,40 @@ impl Default for SuperviseConfig {
     }
 }
 
+/// One supervised slice execution — the structured row behind both the
+/// CLI's per-attempt text lines and the `--report json` supervisor
+/// section (each row is also emitted as a `supervisor.attempt` obs
+/// event with identical fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAttempt {
+    /// The shard index dispatched.
+    pub shard: usize,
+    /// 1-based attempt ordinal for this shard.
+    pub attempt: usize,
+    /// Backoff slept before this attempt (zero on a first attempt).
+    pub backoff_ms: u64,
+    /// Wall-clock duration of the attempt.
+    pub elapsed_ms: u64,
+    /// Whether the attempt overran [`SuperviseConfig::shard_deadline`].
+    pub timed_out: bool,
+    /// The failure (error or isolated panic), `None` on success.
+    pub error: Option<String>,
+}
+
+impl ShardAttempt {
+    /// The row's outcome label: `error` when the attempt failed,
+    /// `timeout` when it succeeded but overran the deadline, else `ok`.
+    pub fn outcome(&self) -> &'static str {
+        if self.error.is_some() {
+            "error"
+        } else if self.timed_out {
+            "timeout"
+        } else {
+            "ok"
+        }
+    }
+}
+
 /// What a [`SweepSession::run_sharded_supervised`] call did to converge.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SuperviseReport {
@@ -554,6 +705,9 @@ pub struct SuperviseReport {
     /// work a previous (possibly crashed) run left behind and this one
     /// did not repeat.
     pub already_present: usize,
+    /// Every attempt in dispatch order — one [`ShardAttempt`] per slice
+    /// execution, the single source both report renderings draw from.
+    pub attempts_log: Vec<ShardAttempt>,
 }
 
 #[cfg(test)]
@@ -723,6 +877,8 @@ mod tests {
         assert_eq!(report.attempts, 2, "only the two missing slices execute");
         assert!(report.retried.is_empty());
         assert_eq!(report.timed_out, 0);
+        assert_eq!(report.attempts_log.len(), report.attempts);
+        assert!(report.attempts_log.iter().all(|row| row.outcome() == "ok" && row.attempt == 1));
 
         // a second supervised run finds every slice present and just merges
         let mut again = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
@@ -764,6 +920,12 @@ mod tests {
         assert_eq!(merged.table(), reference.table(), "healed merge diverged");
         assert_eq!(report.retried, vec![0]);
         assert_eq!(report.attempts, 3, "two first attempts plus one retry");
+        let shard0: Vec<_> = report.attempts_log.iter().filter(|r| r.shard == 0).collect();
+        assert_eq!(shard0.len(), 2, "the injected failure costs shard 0 one retry");
+        assert_eq!((shard0[0].attempt, shard0[0].outcome()), (1, "error"));
+        assert!(shard0[0].error.as_deref().unwrap().contains("injected fault"));
+        assert_eq!((shard0[1].attempt, shard0[1].outcome()), (2, "ok"));
+        assert!(shard0[1].backoff_ms >= 1, "a retry waits out its backoff");
 
         // exhausted retries surface the last underlying error
         let guard = crate::fault::scoped("shard.execute=io-error");

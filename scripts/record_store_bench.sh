@@ -13,6 +13,12 @@
 # the unsharded planned sweep, and that the prefix-served table is
 # bit-identical to the cold one, before timing.
 #
+# Telemetry (anonrv-obs) contributes two extra sections: phase_seconds
+# breaks the seeding cold run into plan/probe/execute/record/persist from
+# the session's span histograms, and telemetry_overhead_pct re-times the
+# warm-outcomes run with the metrics pipeline installed to bound the
+# instrumentation cost (every other timed number runs with telemetry off).
+#
 # Usage: scripts/record_store_bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -43,7 +43,13 @@
 //!   execute → record → broadcast) that the CLI, the experiment harness
 //!   and the benchmarks all drive;
 //! * [`experiments`] ([`anonrv_experiments`]) — the table/figure harnesses,
-//!   including the `--exhaustive` uncapped sweeps.
+//!   including the `--exhaustive` uncapped sweeps;
+//! * [`obs`] ([`anonrv_obs`]) — dependency-free structured telemetry
+//!   threaded through all of the above: a lock-cheap metrics registry,
+//!   explicit timing spans and events with pluggable JSONL sinks, and the
+//!   schema-versioned report/trace validation behind `anonrv sweep
+//!   --report json` / `--trace-out` (off by default; one relaxed atomic
+//!   load per site when disabled).
 //!
 //! The `anonrv` CLI (`crates/cli`) fronts the same machinery; see
 //! `anonrv help`, in particular `anonrv sweep --cache-dir … --shards …
@@ -58,6 +64,7 @@
 pub use anonrv_core as core;
 pub use anonrv_experiments as experiments;
 pub use anonrv_graph as graph;
+pub use anonrv_obs as obs;
 pub use anonrv_plan as plan;
 pub use anonrv_sim as sim;
 pub use anonrv_store as store;
