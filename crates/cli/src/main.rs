@@ -720,6 +720,11 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
                 ("recorded", round_json(recorded)),
                 ("extended", Value::from(extended)),
             ]),
+            OutcomeProvenance::Symbolic { detected } => obs::json::obj([
+                ("kind", Value::from("symbolic")),
+                ("detected", Value::from(detected)),
+                ("unrolled_rounds", Value::from(0usize)),
+            ]),
         };
         return Ok(finish_json(
             "full",
@@ -737,6 +742,13 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
         ));
     }
     let cache_line = match (&store, provenance) {
+        // the symbolic line prints with or without a store: the closed-form
+        // cycle merges run in-process either way, and the horizon being
+        // beyond the unroll cap is the headline
+        (_, OutcomeProvenance::Symbolic { detected }) => format!(
+            "outcomes symbolic ({detected} of {n} cycle structures detected, 0 unrolled rounds{})",
+            if store.is_some() { "; timelines persisted" } else { "" },
+        ),
         (None, _) => "disabled (pass --cache-dir to make sweeps resumable)".to_string(),
         (Some(_), OutcomeProvenance::WarmExact) => {
             "outcomes warm (planning, trajectory recording and merging all skipped)".to_string()
@@ -810,6 +822,7 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
                 let body = obj([
                     ("orbits", kind(s.orbits)),
                     ("timelines", kind(s.timelines)),
+                    ("symbolic", kind(s.symbolic)),
                     ("outcomes", kind(s.outcomes)),
                     ("shards", kind(s.shards)),
                     ("invalid", kind(s.invalid)),
@@ -817,6 +830,7 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
                     ("other", kind(s.other)),
                     ("total_bytes", Value::from(s.total_bytes())),
                     ("timeline_entries", Value::from(s.timeline_entries)),
+                    ("symbolic_entries", Value::from(s.symbolic_entries)),
                     ("recorded_horizons", Value::Arr(horizons)),
                 ]);
                 return Ok(cache_report_json("stats", dir, body));
@@ -827,15 +841,17 @@ fn cmd_cache(args: &[String]) -> Result<String, String> {
             let mut out = format!("cache dir: {dir}\n");
             out.push_str(&row("orbits", s.orbits));
             out.push_str(&row("timelines", s.timelines));
+            out.push_str(&row("symbolic", s.symbolic));
             out.push_str(&row("outcomes", s.outcomes));
             out.push_str(&row("shards", s.shards));
             out.push_str(&row("invalid", s.invalid));
             out.push_str(&row("quarantined", s.quarantined));
             out.push_str(&row("other", s.other));
             out.push_str(&format!(
-                "total: {} bytes\ntimeline entries: {}\nrecorded horizons: {}",
+                "total: {} bytes\ntimeline entries: {}\nsymbolic entries: {}\nrecorded horizons: {}",
                 s.total_bytes(),
                 s.timeline_entries,
+                s.symbolic_entries,
                 if s.recorded_horizons.is_empty() {
                     "(none)".to_string()
                 } else {

@@ -102,7 +102,15 @@ pub fn collect(config: &AsymmConfig) -> AsymmOutcome {
         for budget in distinct_in_order(deltas.iter().map(|&d| d.max(1))) {
             let program = AsymmRv::new(n, budget, &scheme, &uxs);
             let bound = program.full_duration();
-            let horizon_of = |delta: u128| bound.saturating_add(delta).saturating_add(1);
+            // exact horizons: symbolic serving removed the unroll ceiling,
+            // so a silently saturated sum would misreport the bound the
+            // suite claims to verify — overflow must be loud, not clamped
+            let horizon_of = |delta: u128| {
+                bound
+                    .checked_add(delta)
+                    .and_then(|h| h.checked_add(1))
+                    .expect("exact AsymmRV horizon overflows Round")
+            };
             let cases: Vec<Case<'_>> = deltas
                 .iter()
                 .copied()

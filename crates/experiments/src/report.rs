@@ -394,6 +394,7 @@ mod tests {
             timeline_hits: 4,
             timeline_prefix_hits: 3,
             timeline_misses: 2,
+            symbolic_timelines: 0,
             executed: 7,
             answered: 20,
             outcome: None,
@@ -404,6 +405,7 @@ mod tests {
             timeline_hits: 1,
             timeline_prefix_hits: 0,
             timeline_misses: 0,
+            symbolic_timelines: 0,
             executed: 1,
             answered: 4,
             outcome: None,

@@ -60,6 +60,7 @@ use anonrv_graph::{NodeId, PortGraph};
 use crate::engine::{simulate_with, EngineConfig, EngineMode, Meeting, SimOutcome};
 use crate::navigator::{AgentProgram, Event, EventSink, GraphNavigator, Stop};
 use crate::stic::{Round, Stic};
+use crate::symbolic::{detect_symbolic, merge_symbolic, SymbolicTimeline};
 
 const INFINITY: Round = Round::MAX;
 
@@ -145,7 +146,7 @@ pub struct TimelineSeg {
 /// counts are `min(i, total_moves)`.  These six arrays are also the exact
 /// v3 on-disk payload ([`Timeline::from_parts`] rebuilds a timeline from
 /// them without re-running the counting sort).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timeline {
     /// The local horizon the run was recorded (or reconstructed) at; queries
     /// through this timeline are exact for any horizon `<=` this.
@@ -171,7 +172,7 @@ pub struct Timeline {
 /// the exact decoded form of the v3 on-disk timeline payload (see
 /// [`Timeline::from_parts`]; the borrowed counterparts are the
 /// [`Timeline::starts`]-family accessors).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimelineParts {
     /// Segment starts plus the trailing sentinel (length `nsegs + 1`).
     pub starts: Vec<Round>,
@@ -1125,13 +1126,26 @@ pub struct TrajectoryCache<'a> {
     program: &'a dyn AgentProgram,
     horizon: Round,
     slots: Vec<OnceLock<Timeline>>,
+    /// Per-start symbolic (prefix + cycle) timelines, detected lazily for
+    /// finite-state programs; `Some(None)` caches a failed detection so the
+    /// budgeted search runs at most once per start.
+    symbolic: Vec<OnceLock<Option<SymbolicTimeline>>>,
 }
+
+/// Largest horizon the batch engine resolves by explicit unrolling.  Queries
+/// beyond this cap route through the symbolic (prefix + cycle) path when the
+/// program exposes a [`FiniteStateProgram`](crate::navigator::FiniteStateProgram)
+/// view — closed-form cycle merges whose cost is independent of the horizon —
+/// and only fall back to explicit recording when no symbolic form exists.
+/// Everything at or below the cap takes the explicit path unchanged.
+pub const UNROLL_CAP: Round = 1 << 22;
 
 impl<'a> TrajectoryCache<'a> {
     /// Create an empty cache; no trajectory is computed until queried.
     pub fn new(graph: &'a PortGraph, program: &'a dyn AgentProgram, horizon: Round) -> Self {
         let slots = (0..graph.num_nodes()).map(|_| OnceLock::new()).collect();
-        TrajectoryCache { graph, program, horizon, slots }
+        let symbolic = (0..graph.num_nodes()).map(|_| OnceLock::new()).collect();
+        TrajectoryCache { graph, program, horizon, slots, symbolic }
     }
 
     /// The cache horizon: every query must use a horizon `<=` this.
@@ -1172,6 +1186,12 @@ impl<'a> TrajectoryCache<'a> {
         self.slots.iter().enumerate().filter_map(|(u, slot)| slot.get().map(|t| (u, t)))
     }
 
+    /// `true` when `start` already holds an explicit timeline (recorded or
+    /// preloaded), without recording one.
+    pub fn has_timeline(&self, start: NodeId) -> bool {
+        self.slots[start].get().is_some()
+    }
+
     /// Install a previously recorded timeline for `start` (a warm persistent
     /// cache restoring trajectories from disk), so later queries skip the
     /// program execution entirely.
@@ -1200,6 +1220,65 @@ impl<'a> TrajectoryCache<'a> {
         }
     }
 
+    /// The symbolic (prefix + cycle) timeline of `start`, detecting it on
+    /// first use.  `None` when the program has no finite-state view or the
+    /// budgeted cycle detection did not converge; the failure is cached, so
+    /// the search runs at most once per start.
+    pub fn symbolic_timeline(&self, start: NodeId) -> Option<&SymbolicTimeline> {
+        assert!(start < self.graph.num_nodes(), "start node out of range");
+        let fs = self.program.finite_state()?;
+        self.symbolic[start].get_or_init(|| detect_symbolic(self.graph, fs, start)).as_ref()
+    }
+
+    /// The already-detected symbolic timeline of `start`, without running a
+    /// detection.
+    pub fn get_symbolic(&self, start: NodeId) -> Option<&SymbolicTimeline> {
+        self.symbolic[start].get().and_then(|s| s.as_ref())
+    }
+
+    /// Number of start nodes holding a symbolic timeline (detected or
+    /// preloaded) so far.
+    pub fn computed_symbolic(&self) -> usize {
+        self.symbolic.iter().filter(|s| s.get().is_some_and(|o| o.is_some())).count()
+    }
+
+    /// Every held `(start node, symbolic timeline)` pair, in node order —
+    /// what a persistent store serialises after a symbolic sweep.
+    pub fn computed_symbolic_timelines(
+        &self,
+    ) -> impl Iterator<Item = (NodeId, &SymbolicTimeline)> + '_ {
+        self.symbolic
+            .iter()
+            .enumerate()
+            .filter_map(|(u, slot)| slot.get().and_then(|o| o.as_ref()).map(|s| (u, s)))
+    }
+
+    /// Install a previously detected symbolic timeline for `start` (a warm
+    /// persistent cache restoring cycle structure from disk), so later
+    /// symbolic queries skip the detection entirely.  Returns `false` —
+    /// leaving the cache untouched — on a graph-size mismatch or an already
+    /// populated slot; rejection is not an error, the node simply falls back
+    /// to detection on first use.
+    pub fn preload_symbolic(&self, start: NodeId, symbolic: SymbolicTimeline) -> bool {
+        if start >= self.graph.num_nodes() || symbolic.num_graph_nodes() != self.graph.num_nodes() {
+            return false;
+        }
+        self.symbolic[start].set(Some(symbolic)).is_ok()
+    }
+
+    /// Resolve one STIC through the symbolic path at an arbitrary `horizon`
+    /// (no cache-horizon cap: the closed-form cycle merge never unrolls).
+    /// `None` when either start lacks a symbolic timeline; the result is
+    /// bit-identical to the explicit `simulate_capped` at the same horizon.
+    pub fn simulate_symbolic(&self, stic: &Stic, horizon: Round) -> Option<SimOutcome> {
+        if stic.delay > horizon {
+            return Some(SimOutcome::no_show(horizon));
+        }
+        let earlier = self.symbolic_timeline(stic.earlier)?;
+        let later = self.symbolic_timeline(stic.later)?;
+        Some(merge_symbolic(earlier, later, stic, horizon))
+    }
+
     /// Simulate one STIC at the cache horizon.
     pub fn simulate(&self, stic: &Stic) -> SimOutcome {
         self.simulate_capped(stic, self.horizon)
@@ -1220,6 +1299,11 @@ impl<'a> TrajectoryCache<'a> {
             // answered without touching (or recording) any timeline,
             // mirroring the other engines' early return
             return SimOutcome::no_show(horizon);
+        }
+        if horizon > UNROLL_CAP {
+            if let Some(outcome) = self.simulate_symbolic(stic, horizon) {
+                return outcome;
+            }
         }
         merge_timelines(self.timeline(stic.earlier), self.timeline(stic.later), stic, horizon)
     }
@@ -1248,6 +1332,13 @@ impl<'a> TrajectoryCache<'a> {
         }
         if stic.delay > horizon {
             return SimOutcome::no_show(horizon);
+        }
+        if horizon > UNROLL_CAP {
+            // extending an unmet outcome is bit-identical to a full merge,
+            // so the closed-form path can serve it without any timeline
+            if let Some(outcome) = self.simulate_symbolic(stic, horizon) {
+                return outcome;
+            }
         }
         merge_timelines_extend(
             self.timeline(stic.earlier),
@@ -1300,6 +1391,15 @@ impl<'a> TrajectoryCache<'a> {
         if deltas.iter().all(|&d| d > horizon) {
             // answered without recording any timeline, like `simulate_capped`
             return deltas.iter().map(|_| SimOutcome::no_show(horizon)).collect();
+        }
+        if horizon > UNROLL_CAP && self.program.finite_state().is_some() {
+            let symbolic: Option<Vec<SimOutcome>> = deltas
+                .iter()
+                .map(|&delta| self.simulate_symbolic(&Stic::new(u, v, delta), horizon))
+                .collect();
+            if let Some(outcomes) = symbolic {
+                return outcomes;
+            }
         }
         merge_timelines_deltas_with(scratch, self.timeline(u), self.timeline(v), deltas, horizon)
     }

@@ -41,6 +41,15 @@
 //!   [`EngineMode::Auto`] (the default) picks lockstep for per-call horizons
 //!   up to `2¹⁶`, streaming beyond, and the batch path whenever the caller
 //!   signals sweep reuse by constructing a [`SweepEngine`];
+//! * beyond the unroll cap ([`UNROLL_CAP`], `2²²` rounds) the batch engine
+//!   stops unrolling entirely and goes **symbolic** ([`symbolic`]): Brent
+//!   cycle detection on the walker's full finite state
+//!   ([`FiniteStateProgram`]) yields a [`SymbolicTimeline`]
+//!   (`prefix + cycle^∞` in the same flat segment columns), and
+//!   [`merge_symbolic`] resolves any horizon — `2^40` and far beyond — by
+//!   closed-form cycle alignment, bit-identical to the explicit kernels
+//!   (differentially property-tested) with exact move totals and zero
+//!   unrolled rounds;
 //! * [`trace::record_trace`] materialises a single agent's run-length-encoded
 //!   position trace for tests and analysis.
 //!
@@ -54,18 +63,23 @@ pub mod batch;
 pub mod engine;
 pub mod navigator;
 pub mod stic;
+pub mod symbolic;
 pub mod trace;
 pub mod workload;
 
 pub use batch::{
     merge_timelines, merge_timelines_deltas, merge_timelines_deltas_with, merge_timelines_extend,
     simulate_batch, MergeScratch, SweepEngine, Timeline, TimelineParts, TimelineSeg,
-    TrajectoryCache,
+    TrajectoryCache, UNROLL_CAP,
 };
 #[cfg(feature = "ref-oracle")]
 pub use batch::{merge_timelines_deltas_reference, merge_timelines_reference};
 pub use engine::{simulate, simulate_with, EngineConfig, EngineMode, Meeting, SimOutcome};
-pub use navigator::{AgentProgram, Event, EventSink, GraphNavigator, Navigator, Stop};
+pub use navigator::{
+    drive_finite_state, AgentProgram, Event, EventSink, FiniteStateProgram, GraphNavigator,
+    Navigator, StepAction, StepDecision, Stop,
+};
 pub use stic::{Round, Stic};
+pub use symbolic::{detect_symbolic, merge_symbolic, SymbolicTail, SymbolicTimeline};
 pub use trace::{record_trace, PositionTrace, Segment, TraceStats};
 pub use workload::SweepWalker;

@@ -91,6 +91,82 @@ pub trait AgentProgram: Sync {
     fn name(&self) -> &str {
         "agent-program"
     }
+
+    /// The finite-state view of this program, when it has one.  Programs
+    /// whose complete decision state fits a `u64` fingerprint (see
+    /// [`FiniteStateProgram`]) return `Some(self)` here, which unlocks
+    /// cycle detection and symbolic (prefix + cycle) timelines in the batch
+    /// engine; everything else inherits the `None` default and is always
+    /// simulated explicitly.
+    fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+        None
+    }
+}
+
+/// One decision of a [`FiniteStateProgram`]: the action to perform plus the
+/// successor machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepDecision {
+    /// What the agent does this decision.
+    pub action: StepAction,
+    /// The machine state after taking the decision.
+    pub next: u64,
+}
+
+/// The action component of a [`StepDecision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAction {
+    /// Stay at the current node for the given number of rounds.
+    Wait(Round),
+    /// Move through the given port (one round).
+    Move(Port),
+    /// Terminate; the agent stays at its final node forever.
+    Halt,
+}
+
+/// A deterministic agent program in *explicit machine-state* form: the
+/// entire per-decision state is a `u64`, and the next decision is a pure
+/// function of `(state, degree, entry port)` — exactly the observations the
+/// model grants at a decision boundary.  Note `local_time` is deliberately
+/// absent: a finite-state program cannot consult its clock, which is what
+/// makes its configuration sequence `(state, node, entry port)` on a finite
+/// graph eventually periodic and therefore cycle-detectable (the wait
+/// counter of a mid-wait agent is implicitly zero at every decision
+/// boundary, so it never enters the configuration).
+///
+/// Implementors must also implement [`AgentProgram`] by delegating to
+/// [`drive_finite_state`], which guarantees the closure-style execution is
+/// bit-identical to the state-machine view the symbolic engine analyses.
+pub trait FiniteStateProgram: AgentProgram {
+    /// The machine state before the first decision.
+    fn initial_state(&self) -> u64;
+
+    /// The decision taken in machine state `state` at a node of degree
+    /// `degree`, entered by `entry_port` (`None` before the first move).
+    fn decide(&self, state: u64, degree: usize, entry_port: Option<Port>) -> StepDecision;
+}
+
+/// Execute a [`FiniteStateProgram`] through a navigator by repeatedly
+/// applying [`FiniteStateProgram::decide`] — the canonical
+/// [`AgentProgram::run`] body for finite-state programs, shared so the
+/// closure-style run and the symbolic cycle detector replay the exact same
+/// decision sequence.
+pub fn drive_finite_state(
+    program: &dyn FiniteStateProgram,
+    nav: &mut dyn Navigator,
+) -> Result<(), Stop> {
+    let mut state = program.initial_state();
+    loop {
+        let decision = program.decide(state, nav.degree(), nav.entry_port());
+        match decision.action {
+            StepAction::Wait(rounds) => nav.wait(rounds)?,
+            StepAction::Move(port) => {
+                nav.move_via(port)?;
+            }
+            StepAction::Halt => return Ok(()),
+        }
+        state = decision.next;
+    }
 }
 
 impl<F> AgentProgram for F

@@ -1,0 +1,1158 @@
+//! Symbolic (prefix + cycle) timelines: exact rendezvous at astronomical
+//! horizons.
+//!
+//! A deterministic [`FiniteStateProgram`] on a finite port graph has a
+//! finite configuration space — `(machine state, node, entry port)` at a
+//! decision boundary (the wait counter of a mid-wait agent is implicitly
+//! zero there, so it never enters the configuration) — and its
+//! configuration sequence is therefore *eventually periodic*: after a
+//! preperiod of μ decisions it repeats with some minimal period λ.  In
+//! round space that makes the walker's position timeline `prefix · cycle^∞`,
+//! which this module detects once per start node ([`detect_symbolic`],
+//! Brent's algorithm on the configuration sequence) and stores as a
+//! [`SymbolicTimeline`]: the explicit segments of the preperiod plus the
+//! segments of one cycle, in the same flat [`TimelineParts`] arrays the
+//! explicit engine serialises.
+//!
+//! ## Cycle cuts land on move boundaries
+//!
+//! Move counts in a [`Timeline`] are *positional* (every segment after the
+//! first is opened by exactly one traversal), so unrolling cycle copies must
+//! reproduce the explicit recording's segmentation exactly.  A cut in the
+//! middle of a wait-coalesced segment would split it at every copy seam and
+//! corrupt the counters, so detection normalises the cut forward to the
+//! first configuration opened by a **move** decision: every seam between
+//! copies is then a genuine traversal landing, and wait runs never span
+//! copies.  A cycle containing no move at all degenerates to a *parked*
+//! tail (the walker never moves again) and a program that halts degenerates
+//! to a *terminated* tail — both carry period 0 and materialise to the
+//! explicit representation's parked-forever conventions.
+//!
+//! ## Closed-form merge algebra
+//!
+//! [`merge_symbolic`] resolves a STIC at any horizon without unrolling.
+//! Shift the later agent by δ; let `p` be the global round from which both
+//! agents are inside their periodic tails (`P = max(p_a, p_b + δ)`) and
+//! `L = lcm(T_a, T_b)` the alignment period of the two cycles (the CRT-style
+//! alignment: the joint pair state at global rounds `t` and `t + L` is
+//! identical for every `t ≥ P`).  Then the window `[0, P + L)` decides
+//! everything:
+//!
+//! * a first intersection of the two occupancy sequences inside the window
+//!   is the exact meeting at **every** horizon beyond it;
+//! * no intersection inside the window proves there is none at any horizon
+//!   (any meeting at `t ≥ P` maps to one at `P + (t − P) mod L < P + L` by
+//!   periodicity);
+//! * unmet move totals at a huge horizon `h` are closed-form: prefix moves
+//!   plus `⌊(h − p)/T⌋` full cycles of moves plus the partial-cycle count
+//!   ([`SymbolicTimeline::totals_up_to`]).
+//!
+//! So a merge materialises at most `min(horizon, P + L)` rounds of explicit
+//! timeline and hands them to the explicit [`merge_timelines`] kernel —
+//! which is also what pins the symbolic path bit-identical to the explicit
+//! engines on unrollable horizons (the differential property suite) and
+//! makes it trivially identical on the window itself.
+//!
+//! ## Delay reduction: astronomical δ, not just astronomical horizons
+//!
+//! `P = max(p_a, p_b + δ)` grows with the delay, so a raw astronomical δ
+//! would drag the window — and the materialisation — back up to `O(δ)`.
+//! The earlier agent alone fills the gap `[0, δ)`, and past its own
+//! preperiod it is periodic: shifting the whole merge **back by `k · T_a`
+//! rounds** (any `k` with `δ − k·T_a ≥ p_a`) bijects the meetings.  The
+//! merge therefore first reduces `δ` to `δ′ = p_a + ((δ − p_a) mod T_a)`
+//! and solves at `(δ′, horizon − k·T_a)`; mapping back is closed-form —
+//! the meeting's global round shifts forward by `k·T_a` (node and the later
+//! agent's local round are untouched) and the earlier agent's move total
+//! grows by exactly `k` cycles' worth of moves.  After reduction every
+//! window quantity is bounded by the *detected* structure
+//! (`p_a + T_a + p_b + lcm`), independent of both horizon and delay.
+
+use anonrv_graph::{NodeId, Port, PortGraph};
+
+use crate::batch::{merge_timelines, Timeline, TimelineParts, TimelineSeg};
+use crate::engine::{Meeting, SimOutcome};
+use crate::navigator::{drive_finite_state, FiniteStateProgram, Navigator, StepAction, Stop};
+use crate::stic::{Round, Stic};
+
+/// Budget (in decisions) for the cycle search; detection that does not
+/// converge within it returns `None` and the caller falls back to explicit
+/// simulation.  Bounds both time and the replay's segment memory.
+const DETECT_BUDGET: u64 = 1 << 21;
+
+/// Local horizon used to record the explicit run of a program that halts
+/// during detection (large enough for any terminating run the budget
+/// admits; a run that is horizon-cut even here fails detection instead).
+const DETECT_HORIZON: Round = 1 << 60;
+
+/// How a [`SymbolicTimeline`]'s infinite tail behaves after its preperiod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolicTail {
+    /// The walker repeats a cycle of segments (period > 0) forever.
+    Cycle,
+    /// The walker never moves again: it waits at one node forever (period
+    /// 0, but the program keeps running).
+    Parked,
+    /// The program halted; the agent stays parked at its final node forever
+    /// (period 0, explicit `INFINITY` tail conventions apply).
+    Terminated,
+}
+
+impl SymbolicTail {
+    /// Stable on-disk code of the tail kind.
+    pub fn code(self) -> u8 {
+        match self {
+            SymbolicTail::Cycle => 0,
+            SymbolicTail::Parked => 1,
+            SymbolicTail::Terminated => 2,
+        }
+    }
+
+    /// Inverse of [`SymbolicTail::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(SymbolicTail::Cycle),
+            1 => Some(SymbolicTail::Parked),
+            2 => Some(SymbolicTail::Terminated),
+            _ => None,
+        }
+    }
+}
+
+/// One start node's timeline in `prefix · cycle^∞` form: the explicit
+/// segments of the preperiod plus the segments of one cycle (rebased to
+/// local round 0), both in the canonical flat [`TimelineParts`] arrays.
+/// Detected once per start by [`detect_symbolic`]; exact at **every**
+/// horizon ([`SymbolicTimeline::materialize`] reproduces the explicit
+/// recording bit-identically, [`merge_symbolic`] resolves STICs without
+/// unrolling).
+///
+/// Representation per tail kind (see [`SymbolicTail`]):
+///
+/// * `Cycle` — `prefix` covers local rounds `[0, preperiod)`, `cycle`
+///   covers `[0, period)` with its first segment opened by a move (the
+///   move-boundary cut normalisation);
+/// * `Parked` — `prefix` covers `[0, preperiod)`, `cycle` is a single
+///   `[0, 1)` marker segment carrying the parked node, `period == 0`;
+/// * `Terminated` — `prefix` is the *full* explicit run including its
+///   `INFINITY` tail, `preperiod` is its finite end, `cycle` is empty,
+///   `period == 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicTimeline {
+    n: usize,
+    preperiod: Round,
+    period: Round,
+    tail: SymbolicTail,
+    prefix: TimelineParts,
+    cycle: TimelineParts,
+}
+
+impl SymbolicTimeline {
+    /// Rebuild a symbolic timeline from its serialised form, validating
+    /// every structural invariant [`detect_symbolic`] guarantees (shape,
+    /// contiguity, canonical occupancy index, tail conventions).  Errors
+    /// describe the first violated invariant; a persistent cache treats any
+    /// error as a miss and falls back to re-detection.
+    pub fn from_raw(
+        n: usize,
+        preperiod: Round,
+        period: Round,
+        tail: SymbolicTail,
+        prefix: TimelineParts,
+        cycle: TimelineParts,
+    ) -> Result<Self, String> {
+        if n == 0 {
+            return Err("a symbolic timeline needs a non-empty graph".into());
+        }
+        match tail {
+            SymbolicTail::Cycle => {
+                if period == 0 {
+                    return Err("a cyclic tail has a positive period".into());
+                }
+                if period == INFINITY {
+                    return Err("a cyclic tail has a finite period".into());
+                }
+                validate_parts(n, &prefix, preperiod)?;
+                validate_parts(n, &cycle, period)?;
+                if cycle.nodes.is_empty() {
+                    return Err("a cyclic tail carries at least one segment".into());
+                }
+            }
+            SymbolicTail::Parked => {
+                if period != 0 {
+                    return Err("a parked tail has period 0".into());
+                }
+                validate_parts(n, &prefix, preperiod)?;
+                if cycle.nodes.len() != 1 || cycle.starts != [0, 1] {
+                    return Err("a parked tail carries exactly its [0, 1) marker segment".into());
+                }
+                validate_parts(n, &cycle, 1)?;
+            }
+            SymbolicTail::Terminated => {
+                if period != 0 {
+                    return Err("a terminated tail has period 0".into());
+                }
+                if !cycle.nodes.is_empty() || cycle.starts != [0] {
+                    return Err("a terminated tail carries no cycle segments".into());
+                }
+                let nsegs = prefix.nodes.len();
+                if nsegs < 2 || prefix.starts.get(nsegs - 1) != Some(&preperiod) {
+                    return Err(
+                        "a terminated prefix ends its finite run exactly at the preperiod".into()
+                    );
+                }
+                let t = Timeline::from_parts(n, preperiod, prefix.clone())?;
+                if !t.terminated() {
+                    return Err("a terminated prefix carries the INFINITY tail".into());
+                }
+            }
+        }
+        Ok(SymbolicTimeline { n, preperiod, period, tail, prefix, cycle })
+    }
+
+    /// Node count of the graph the timeline was detected on.
+    pub fn num_graph_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// First local round of the periodic (or parked/terminated) tail; for a
+    /// terminated run, the finite end of the explicit recording.
+    pub fn preperiod(&self) -> Round {
+        self.preperiod
+    }
+
+    /// Rounds per cycle (0 for parked/terminated tails).
+    pub fn period(&self) -> Round {
+        self.period
+    }
+
+    /// The tail kind.
+    pub fn tail(&self) -> SymbolicTail {
+        self.tail
+    }
+
+    /// The prefix arrays (serialisation surface).
+    pub fn prefix(&self) -> &TimelineParts {
+        &self.prefix
+    }
+
+    /// The cycle arrays (serialisation surface).
+    pub fn cycle(&self) -> &TimelineParts {
+        &self.cycle
+    }
+
+    /// The global round from which the walker is inside its periodic tail
+    /// (every position at `t >= aligned_from()` repeats with
+    /// [`Self::alignment_period`]).
+    fn aligned_from(&self) -> Round {
+        self.preperiod
+    }
+
+    /// The period the tail repeats with in round space: the cycle length,
+    /// or 1 for parked/terminated tails (a constant sequence has period 1).
+    fn alignment_period(&self) -> Round {
+        match self.tail {
+            SymbolicTail::Cycle => self.period,
+            SymbolicTail::Parked | SymbolicTail::Terminated => 1,
+        }
+    }
+
+    /// The explicit [`Timeline`] of this run at local `horizon` —
+    /// **bit-identical**, segments included, to recording the program fresh
+    /// at that horizon (pinned by the unit and property suites).  Cost is
+    /// `O(prefix + unrolled cycle segments)`, so callers cap the horizon
+    /// (merges use the alignment window); an astronomical horizon is never
+    /// materialised, only resolved by [`merge_symbolic`].
+    pub fn materialize(&self, horizon: Round) -> Timeline {
+        if self.tail == SymbolicTail::Terminated {
+            let finite_end = self.preperiod;
+            return if horizon.saturating_add(1) >= finite_end {
+                // the run completes within the horizon: the recording is
+                // horizon-independent beyond its finite end
+                Timeline::from_parts(self.n, horizon, self.prefix.clone())
+                    .expect("validated terminated prefix rebuilds")
+            } else {
+                Timeline::from_parts(self.n, finite_end, self.prefix.clone())
+                    .expect("validated terminated prefix rebuilds")
+                    .truncate(horizon)
+            };
+        }
+        let mut segs: Vec<TimelineSeg> = Vec::new();
+        for i in 0..self.prefix.nodes.len() {
+            let start = self.prefix.starts[i];
+            if start > horizon {
+                break;
+            }
+            segs.push(TimelineSeg {
+                node: self.prefix.nodes[i] as usize,
+                start,
+                end: self.prefix.starts[i + 1].min(horizon + 1),
+            });
+        }
+        match self.tail {
+            SymbolicTail::Parked => {
+                if self.preperiod <= horizon {
+                    segs.push(TimelineSeg {
+                        node: self.cycle.nodes[0] as usize,
+                        start: self.preperiod,
+                        end: horizon + 1,
+                    });
+                }
+            }
+            SymbolicTail::Cycle => {
+                let mut base = self.preperiod;
+                'copies: while base <= horizon {
+                    for i in 0..self.cycle.nodes.len() {
+                        let start = base + self.cycle.starts[i];
+                        if start > horizon {
+                            break 'copies;
+                        }
+                        segs.push(TimelineSeg {
+                            node: self.cycle.nodes[i] as usize,
+                            start,
+                            end: (base + self.cycle.starts[i + 1]).min(horizon + 1),
+                        });
+                    }
+                    base += self.period;
+                }
+            }
+            SymbolicTail::Terminated => unreachable!("handled above"),
+        }
+        Timeline::from_segments(self.n, horizon, segs)
+            .expect("symbolic materialisation preserves timeline invariants")
+    }
+
+    /// `(moves, terminated)` of the explicit run truncated at local horizon
+    /// `cap` — the closed-form counterpart of `Timeline::totals_up_to`,
+    /// exact at any `cap` (full cycles contribute `⌊(cap − p)/T⌋ · λ` moves
+    /// without unrolling).
+    pub fn totals_up_to(&self, cap: Round) -> (u64, bool) {
+        match self.tail {
+            SymbolicTail::Terminated => {
+                if cap >= self.preperiod - 1 {
+                    ((self.prefix.nodes.len() - 2) as u64, true)
+                } else {
+                    (seg_index_at(&self.prefix, cap) as u64, false)
+                }
+            }
+            SymbolicTail::Parked => {
+                if cap >= self.preperiod {
+                    (self.prefix.nodes.len() as u64, false)
+                } else {
+                    (seg_index_at(&self.prefix, cap) as u64, false)
+                }
+            }
+            SymbolicTail::Cycle => {
+                if cap < self.preperiod {
+                    (seg_index_at(&self.prefix, cap) as u64, false)
+                } else {
+                    let full = (cap - self.preperiod) / self.period;
+                    let rem = (cap - self.preperiod) % self.period;
+                    let idx = self.prefix.nodes.len() as u128
+                        + full * self.cycle.nodes.len() as u128
+                        + seg_index_at(&self.cycle, rem) as u128;
+                    (u64::try_from(idx).unwrap_or(u64::MAX), false)
+                }
+            }
+        }
+    }
+}
+
+const INFINITY: Round = Round::MAX;
+
+/// Index of the segment of `parts` occupying local round `local` (which
+/// must be covered by the segments).
+fn seg_index_at(parts: &TimelineParts, local: Round) -> usize {
+    let nsegs = parts.nodes.len();
+    parts.starts[1..=nsegs].partition_point(|&end| end <= local)
+}
+
+/// Validate one prefix/cycle array block: shape, contiguity (strictly
+/// increasing starts), node range, the expected sentinel, and the canonical
+/// counting-sort occupancy index.  An empty block is the canonical empty
+/// form (`starts == [0]`).
+fn validate_parts(n: usize, parts: &TimelineParts, sentinel: Round) -> Result<(), String> {
+    let nsegs = parts.nodes.len();
+    if parts.starts.len() != nsegs + 1 {
+        return Err("the start array carries one sentinel past the segments".into());
+    }
+    if parts.starts[0] != 0 {
+        return Err("the first segment must start at local round 0".into());
+    }
+    if nsegs == 0 && sentinel != 0 {
+        return Err("an empty block covers no rounds".into());
+    }
+    if parts.starts[nsegs] != sentinel {
+        return Err(format!(
+            "block sentinel {} does not cover the declared {sentinel} rounds",
+            parts.starts[nsegs]
+        ));
+    }
+    for i in 0..nsegs {
+        if parts.starts[i] >= parts.starts[i + 1] {
+            return Err(format!("segment {i}: empty or inverted interval"));
+        }
+        if (parts.nodes[i] as usize) >= n {
+            return Err(format!("segment {i}: node {} out of range (n = {n})", parts.nodes[i]));
+        }
+    }
+    let canonical = canonical_parts(n, parts.starts.clone(), parts.nodes.clone());
+    if canonical != *parts {
+        return Err("occupancy index is not in canonical counting-sort form".into());
+    }
+    Ok(())
+}
+
+/// Build canonical [`TimelineParts`] from `starts`/`nodes` by the same
+/// counting sort the explicit `Timeline::assemble` runs.
+fn canonical_parts(n: usize, starts: Vec<Round>, nodes: Vec<u32>) -> TimelineParts {
+    let nsegs = nodes.len();
+    let mut occ_starts = vec![0u32; n + 1];
+    for &u in &nodes {
+        occ_starts[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        occ_starts[i + 1] += occ_starts[i];
+    }
+    let mut cursor = occ_starts.clone();
+    let mut occ_start = vec![0 as Round; nsegs];
+    let mut occ_end = vec![0 as Round; nsegs];
+    let mut occ_seg = vec![0u32; nsegs];
+    for (i, &u) in nodes.iter().enumerate() {
+        let c = cursor[u as usize] as usize;
+        occ_start[c] = starts[i];
+        occ_end[c] = starts[i + 1];
+        occ_seg[c] = i as u32;
+        cursor[u as usize] += 1;
+    }
+    TimelineParts { starts, nodes, occ_starts, occ_start, occ_end, occ_seg }
+}
+
+/// One decision-boundary configuration of a finite-state walker: everything
+/// the next decision can depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Config {
+    state: u64,
+    node: NodeId,
+    entry: Option<Port>,
+}
+
+/// Outcome of advancing a configuration by one decision.
+enum Advance {
+    /// The decision consumed `rounds` rounds and yielded the successor
+    /// configuration; `moved` is true for a traversal decision.
+    Go { next: Config, rounds: Round, moved: bool },
+    /// The program halted.
+    Halt,
+}
+
+/// Detect the `prefix · cycle^∞` structure of `program` started at `start`:
+/// Brent's cycle search on the configuration sequence, the move-boundary
+/// cut normalisation, and one replay to harvest the segment arrays (see the
+/// module docs).  Returns `None` when the budgeted search does not converge
+/// (the caller falls back to explicit simulation); programs that halt
+/// within the budget come back as terminated symbolic timelines.
+pub fn detect_symbolic(
+    g: &PortGraph,
+    program: &dyn FiniteStateProgram,
+    start: NodeId,
+) -> Option<SymbolicTimeline> {
+    let n = g.num_nodes();
+    assert!(start < n, "start node out of range");
+    let advance = |cfg: Config| -> Advance {
+        let decision = program.decide(cfg.state, g.degree(cfg.node), cfg.entry);
+        match decision.action {
+            StepAction::Wait(rounds) => {
+                Advance::Go { next: Config { state: decision.next, ..cfg }, rounds, moved: false }
+            }
+            StepAction::Move(port) => {
+                let (to, entry) = g.succ(cfg.node, port);
+                Advance::Go {
+                    next: Config { state: decision.next, node: to, entry: Some(entry) },
+                    rounds: 1,
+                    moved: true,
+                }
+            }
+            StepAction::Halt => Advance::Halt,
+        }
+    };
+    let step = |cfg: Config| -> Option<Config> {
+        match advance(cfg) {
+            Advance::Go { next, .. } => Some(next),
+            Advance::Halt => None,
+        }
+    };
+    let terminated_fallback = || -> Option<SymbolicTimeline> {
+        // the program halts: record the explicit run once (through the
+        // canonical finite-state driver, so it is bit-identical to the
+        // program's own `run`) and keep it whole as the prefix
+        let runner =
+            |nav: &mut dyn Navigator| -> Result<(), Stop> { drive_finite_state(program, nav) };
+        let t = Timeline::record(g, &runner, start, DETECT_HORIZON);
+        if !t.terminated() {
+            return None;
+        }
+        let nsegs = t.num_segments();
+        let finite_end = t.starts()[nsegs - 1];
+        let prefix = TimelineParts {
+            starts: t.starts().to_vec(),
+            nodes: t.seg_nodes().to_vec(),
+            occ_starts: t.occ_starts().to_vec(),
+            occ_start: t.occ_interval_starts().to_vec(),
+            occ_end: t.occ_interval_ends().to_vec(),
+            occ_seg: t.occ_segs().to_vec(),
+        };
+        Some(SymbolicTimeline {
+            n,
+            preperiod: finite_end,
+            period: 0,
+            tail: SymbolicTail::Terminated,
+            prefix,
+            cycle: TimelineParts {
+                starts: vec![0],
+                nodes: vec![],
+                occ_starts: vec![0; n + 1],
+                occ_start: vec![],
+                occ_end: vec![],
+                occ_seg: vec![],
+            },
+        })
+    };
+
+    let cfg0 = Config { state: program.initial_state(), node: start, entry: None };
+
+    // Brent: minimal period λ of the configuration sequence
+    let mut budget = DETECT_BUDGET;
+    let mut power: u64 = 1;
+    let mut lam: u64 = 1;
+    let mut tortoise = cfg0;
+    let mut hare = match step(cfg0) {
+        Some(c) => c,
+        None => return terminated_fallback(),
+    };
+    while tortoise != hare {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        if power == lam {
+            tortoise = hare;
+            power = power.checked_mul(2)?;
+            lam = 0;
+        }
+        hare = match step(hare) {
+            Some(c) => c,
+            None => return terminated_fallback(),
+        };
+        lam += 1;
+    }
+
+    // minimal preperiod μ: advance one pointer λ steps, then walk both
+    // (the sequence is infinite from here on: a halt would have surfaced
+    // before any configuration could repeat)
+    let mut mu: u64 = 0;
+    tortoise = cfg0;
+    hare = cfg0;
+    for _ in 0..lam {
+        hare = step(hare)?;
+    }
+    while tortoise != hare {
+        tortoise = step(tortoise)?;
+        hare = step(hare)?;
+        mu += 1;
+    }
+
+    // Move-boundary cut normalisation.  A cut at decision index m is valid
+    // when *every* copy seam round(m + k·λ), k ≥ 0, is opened by a move —
+    // i.e. decision m − 1 is a move (prefix boundary; vacuous at m = 0) and
+    // decision m + λ − 1 is a move (the periodic seam: decisions at indices
+    // ≥ μ repeat with period λ, so one check covers all k ≥ 1).  Scan one
+    // period for the decision kinds; absent any move the tail is parked.
+    let mut cfg = cfg0;
+    let mut last_prefix_move = false; // was decision μ − 1 a move?
+    for _ in 0..mu {
+        match advance(cfg) {
+            Advance::Go { next, moved, .. } => {
+                cfg = next;
+                last_prefix_move = moved;
+            }
+            Advance::Halt => unreachable!("halting runs never reach the cycle phase"),
+        }
+    }
+    let mut first_cycle_move: Option<u64> = None; // smallest j ∈ [μ, μ+λ) with a move
+    let mut last_cycle_move = false; // is decision μ + λ − 1 a move?
+    let mut probe = cfg;
+    for j in 0..lam {
+        match advance(probe) {
+            Advance::Go { next, moved, .. } => {
+                if moved && first_cycle_move.is_none() {
+                    first_cycle_move = Some(mu + j);
+                }
+                last_cycle_move = moved;
+                probe = next;
+            }
+            Advance::Halt => unreachable!("halting runs never reach the cycle phase"),
+        }
+    }
+
+    // one replay of decisions [0, cut + λ), building segments exactly like
+    // the recording sink does (waits coalesce, moves open segments),
+    // tracking the round reached at the cut index
+    let replay = |decisions: u64, mark: u64| -> (Vec<TimelineSeg>, Round) {
+        let mut cfg = cfg0;
+        let mut time: Round = 0;
+        let mut mark_time: Round = 0;
+        let mut segs: Vec<TimelineSeg> = vec![TimelineSeg { node: start, start: 0, end: 1 }];
+        for idx in 0..decisions {
+            if idx == mark {
+                mark_time = time;
+            }
+            match advance(cfg) {
+                Advance::Go { next, rounds, moved } => {
+                    if moved {
+                        time += 1;
+                        segs.push(TimelineSeg { node: next.node, start: time, end: time + 1 });
+                    } else {
+                        time += rounds;
+                        segs.last_mut().expect("non-empty").end = time + 1;
+                    }
+                    cfg = next;
+                }
+                Advance::Halt => unreachable!("halting runs never reach the cycle phase"),
+            }
+        }
+        if decisions == mark {
+            mark_time = time;
+        }
+        (segs, mark_time)
+    };
+
+    match first_cycle_move {
+        None => {
+            // no move inside the cycle: the walker parks forever at its
+            // current node after its last move (decisions ≥ μ never move)
+            let (segs, _) = replay(mu, mu);
+            let parked = *segs.last().expect("non-empty");
+            let prefix_segs = &segs[..segs.len() - 1];
+            let preperiod = parked.start;
+            let (starts, nodes) = split_arrays(prefix_segs, 0, preperiod);
+            let prefix = canonical_parts(n, starts, nodes);
+            let cycle = canonical_parts(n, vec![0, 1], vec![parked.node as u32]);
+            Some(SymbolicTimeline {
+                n,
+                preperiod,
+                period: 0,
+                tail: SymbolicTail::Parked,
+                prefix,
+                cycle,
+            })
+        }
+        Some(j) => {
+            // earliest valid cut: m = μ when both seam decisions are moves,
+            // else right after the first in-cycle move (decision j is
+            // periodic, so every later seam repeats it)
+            let mu_cut_valid = last_cycle_move && (mu == 0 || last_prefix_move);
+            let m = if mu_cut_valid { mu } else { j + 1 };
+            let (mut segs, cut_time) = replay(m + lam, m);
+            // the final replayed decision (a move, by cut validity) opened
+            // the first segment of the *next* copy; drop it — its start is
+            // the end of the cycle's last segment
+            let overshoot = segs.pop().expect("replay ends on a move landing");
+            let period = overshoot.start - cut_time;
+            if period == 0 {
+                // a cycle of zero-duration waits makes no progress in round
+                // space; explicit simulation would diverge too — give up
+                return None;
+            }
+            let cut_seg = segs.partition_point(|s| s.start < cut_time);
+            debug_assert!(
+                segs.get(cut_seg).is_some_and(|s| s.start == cut_time),
+                "the cut lands on a move-opened segment boundary"
+            );
+            debug_assert_eq!(
+                overshoot.node, segs[cut_seg].node,
+                "one period later the walker re-enters the cycle's first node"
+            );
+            let (pre_starts, pre_nodes) = split_arrays(&segs[..cut_seg], 0, cut_time);
+            let (cyc_starts, cyc_nodes) = split_arrays(&segs[cut_seg..], cut_time, period);
+            Some(SymbolicTimeline {
+                n,
+                preperiod: cut_time,
+                period,
+                tail: SymbolicTail::Cycle,
+                prefix: canonical_parts(n, pre_starts, pre_nodes),
+                cycle: canonical_parts(n, cyc_starts, cyc_nodes),
+            })
+        }
+    }
+}
+
+/// Rebase a slice of contiguous segments by `-offset` into flat
+/// `starts`/`nodes` arrays with the given sentinel (total covered rounds).
+fn split_arrays(segs: &[TimelineSeg], offset: Round, sentinel: Round) -> (Vec<Round>, Vec<u32>) {
+    let mut starts: Vec<Round> = Vec::with_capacity(segs.len() + 1);
+    let mut nodes: Vec<u32> = Vec::with_capacity(segs.len());
+    for s in segs {
+        starts.push(s.start - offset);
+        nodes.push(s.node as u32);
+    }
+    starts.push(sentinel);
+    (starts, nodes)
+}
+
+/// Greatest common divisor (Euclid).
+fn gcd(a: Round, b: Round) -> Round {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple, saturating (a saturated alignment window simply
+/// falls back to explicit materialisation at the requested horizon).
+fn lcm(a: Round, b: Round) -> Round {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+/// Resolve one STIC from two symbolic timelines at **any** horizon —
+/// bit-identical to the explicit `merge_timelines` over fresh recordings at
+/// the same horizon, with cost independent of the horizon (see the module
+/// docs for the alignment-window algebra).
+pub fn merge_symbolic(
+    earlier: &SymbolicTimeline,
+    later: &SymbolicTimeline,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    debug_assert_eq!(earlier.n, later.n, "timelines of one graph");
+    if stic.delay > horizon {
+        return SimOutcome::no_show(horizon);
+    }
+    // Delay reduction (see the module docs): once the earlier agent is past
+    // its own preperiod, shifting the merge back by whole earlier-cycles
+    // bijects the meetings, so an astronomical δ reduces to
+    // `δ′ ∈ [p_a, p_a + T_a)` before any window is sized.  Without this the
+    // alignment window — and the materialisation — would grow with δ.
+    let mu_a = earlier.aligned_from();
+    let lam_a = earlier.alignment_period();
+    let shift = match stic.delay.checked_sub(mu_a) {
+        Some(excess) if lam_a > 0 => (excess / lam_a).saturating_mul(lam_a),
+        _ => 0,
+    };
+    if shift > 0 {
+        let reduced = Stic { delay: stic.delay - shift, ..*stic };
+        let probe = merge_aligned(earlier, later, &reduced, horizon - shift);
+        // Map back: the meeting (if any) moves forward by `shift` global
+        // rounds on the same node at the same later-agent local round, and
+        // the earlier agent walks `shift / T_a` extra cycles — each worth
+        // one move per cycle segment (the move-boundary cut guarantees it).
+        // Everything the later agent sees is untouched.
+        let cycle_moves = match earlier.tail {
+            SymbolicTail::Cycle => earlier.cycle.nodes.len() as u128,
+            SymbolicTail::Parked | SymbolicTail::Terminated => 0,
+        };
+        let extra = (shift / lam_a) * cycle_moves;
+        let earlier_moves =
+            u64::try_from(u128::from(probe.earlier_moves) + extra).unwrap_or(u64::MAX);
+        return SimOutcome {
+            meeting: probe.meeting.map(|m| Meeting { global_round: m.global_round + shift, ..m }),
+            earlier_moves,
+            horizon,
+            ..probe
+        };
+    }
+    merge_aligned(earlier, later, stic, horizon)
+}
+
+/// [`merge_symbolic`] after delay reduction: `δ < p_a + T_a` (or the earlier
+/// timeline is degenerate), so the alignment window below is bounded by the
+/// detected cycle structure alone.
+fn merge_aligned(
+    earlier: &SymbolicTimeline,
+    later: &SymbolicTimeline,
+    stic: &Stic,
+    horizon: Round,
+) -> SimOutcome {
+    let aligned = earlier.aligned_from().max(later.aligned_from().saturating_add(stic.delay));
+    let align_period = lcm(earlier.alignment_period(), later.alignment_period());
+    let window = aligned.saturating_add(align_period);
+    if horizon <= window {
+        // small enough to decide exactly on materialised prefixes
+        let me = earlier.materialize(horizon);
+        let ml = later.materialize(horizon);
+        return merge_timelines(&me, &ml, stic, horizon);
+    }
+    if anonrv_obs::enabled() {
+        anonrv_obs::counter_add("symbolic.merges", 1);
+    }
+    let me = earlier.materialize(window);
+    let ml = later.materialize(window);
+    let probe = merge_timelines(&me, &ml, stic, window);
+    if probe.meeting.is_some() {
+        // a meeting inside the window is the first meeting at every larger
+        // horizon; only the reporting horizon changes
+        return SimOutcome { horizon, ..probe };
+    }
+    // the joint pair state is periodic with period `align_period` from
+    // `aligned`, and [aligned, window) covers one full period with no
+    // intersection: there is no meeting at any horizon.  Report the exact
+    // closed-form move totals.
+    let (earlier_moves, earlier_terminated) = earlier.totals_up_to(horizon);
+    let (later_moves, later_terminated) = later.totals_up_to(horizon - stic.delay);
+    SimOutcome {
+        meeting: None,
+        earlier_moves,
+        later_moves,
+        earlier_terminated,
+        later_terminated,
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{TrajectoryCache, UNROLL_CAP};
+    use crate::navigator::{drive_finite_state, AgentProgram, StepDecision};
+    use crate::workload::SweepWalker;
+    use anonrv_graph::generators::{circulant, oriented_ring};
+
+    /// Always traverse port 0; machine state is constant.
+    struct Rotor;
+
+    impl FiniteStateProgram for Rotor {
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn decide(&self, _state: u64, _degree: usize, _entry: Option<Port>) -> StepDecision {
+            StepDecision { action: StepAction::Move(0), next: 0 }
+        }
+    }
+
+    impl AgentProgram for Rotor {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            drive_finite_state(self, nav)
+        }
+        fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+            Some(self)
+        }
+    }
+
+    /// Alternate `Wait(2)` and `Move(0)` (two machine states).
+    struct WaitMover;
+
+    impl FiniteStateProgram for WaitMover {
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn decide(&self, state: u64, _degree: usize, _entry: Option<Port>) -> StepDecision {
+            if state == 0 {
+                StepDecision { action: StepAction::Wait(2), next: 1 }
+            } else {
+                StepDecision { action: StepAction::Move(0), next: 0 }
+            }
+        }
+    }
+
+    impl AgentProgram for WaitMover {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            drive_finite_state(self, nav)
+        }
+        fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+            Some(self)
+        }
+    }
+
+    /// Traverse port 0 `k` times, then wait forever (parked tail).
+    struct KThenPark(u64);
+
+    impl FiniteStateProgram for KThenPark {
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn decide(&self, state: u64, _degree: usize, _entry: Option<Port>) -> StepDecision {
+            if state < self.0 {
+                StepDecision { action: StepAction::Move(0), next: state + 1 }
+            } else {
+                StepDecision { action: StepAction::Wait(5), next: self.0 }
+            }
+        }
+    }
+
+    impl AgentProgram for KThenPark {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            drive_finite_state(self, nav)
+        }
+        fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+            Some(self)
+        }
+    }
+
+    /// Traverse port 0 `k` times, then halt (terminated tail).
+    struct KThenHalt(u64);
+
+    impl FiniteStateProgram for KThenHalt {
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn decide(&self, state: u64, _degree: usize, _entry: Option<Port>) -> StepDecision {
+            if state < self.0 {
+                StepDecision { action: StepAction::Move(0), next: state + 1 }
+            } else {
+                StepDecision { action: StepAction::Halt, next: state }
+            }
+        }
+    }
+
+    impl AgentProgram for KThenHalt {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            drive_finite_state(self, nav)
+        }
+        fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+            Some(self)
+        }
+    }
+
+    #[test]
+    fn rotor_cycle_on_rings_is_exactly_minimal() {
+        // A constant-state port-0 walker on an oriented ring of n nodes has
+        // full-state period exactly n rounds.  The only pre-periodic
+        // configuration is the start (its entry port is `None`, every later
+        // configuration carries `Some(port)`), and the cut lands on the move
+        // boundary right after it: preperiod exactly 1.
+        for n in [3usize, 5, 8, 12] {
+            let g = oriented_ring(n).unwrap();
+            let s = detect_symbolic(&g, &Rotor, 0).expect("rotor cycles");
+            assert_eq!(s.tail(), SymbolicTail::Cycle);
+            assert_eq!(s.preperiod(), 1, "ring {n}");
+            assert_eq!(s.period(), n as Round, "ring {n}");
+            assert_eq!(s.cycle().nodes.len(), n, "one segment per ring node");
+        }
+    }
+
+    #[test]
+    fn wait_mover_cycle_on_circulants_is_exactly_minimal() {
+        // Wait(2)+Move(0) spends exactly 3 rounds per node, so the
+        // closed-form full-state period on an n-circulant is 3n rounds; the
+        // two entry-port-less start configurations make the preperiod
+        // exactly one visit (3 rounds).
+        for n in [4usize, 6, 9] {
+            let g = circulant(n, &[1, 2]).unwrap();
+            let s = detect_symbolic(&g, &WaitMover, 0).expect("wait-mover cycles");
+            assert_eq!(s.tail(), SymbolicTail::Cycle);
+            assert_eq!(s.preperiod(), 3, "circulant {n}");
+            assert_eq!(s.period(), 3 * n as Round, "circulant {n}");
+            assert_eq!(s.cycle().nodes.len(), n, "one segment per node visit");
+        }
+    }
+
+    #[test]
+    fn parked_and_terminated_tails_are_detected() {
+        let g = oriented_ring(5).unwrap();
+        let parked = detect_symbolic(&g, &KThenPark(3), 0).expect("parked detects");
+        assert_eq!(parked.tail(), SymbolicTail::Parked);
+        assert_eq!(parked.preperiod(), 3, "parks right after its third move");
+        assert_eq!(parked.period(), 0);
+
+        let halted = detect_symbolic(&g, &KThenHalt(3), 0).expect("halted detects");
+        assert_eq!(halted.tail(), SymbolicTail::Terminated);
+        assert_eq!(halted.period(), 0);
+        let t = halted.materialize(100);
+        assert!(t.terminated());
+        assert_eq!(t.total_moves(), 3);
+    }
+
+    #[test]
+    fn materialisation_is_bit_identical_to_cold_recording() {
+        // A cycle detected once serves *any* horizon: materialising the
+        // symbolic timeline at h is segment-for-segment identical to
+        // recording the program fresh at h (and hence to
+        // `Timeline::truncate`, which is pinned against fresh recordings).
+        let horizons: &[Round] = &[0, 1, 2, 3, 5, 17, 99, 256, 1000, 4999];
+        let g = oriented_ring(8).unwrap();
+        let programs: &[&dyn FiniteStateProgram] =
+            &[&SweepWalker { seed: 0x5EED }, &Rotor, &WaitMover, &KThenPark(3), &KThenHalt(3)];
+        for &program in programs {
+            let agent: &dyn AgentProgram =
+                &(|nav: &mut dyn Navigator| drive_finite_state(program, nav));
+            for start in 0..g.num_nodes() {
+                let s = detect_symbolic(&g, program, start).expect("detection converges");
+                for &h in horizons {
+                    assert_eq!(
+                        s.materialize(h),
+                        Timeline::record(&g, agent, start, h),
+                        "start {start}, horizon {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_merge_matches_explicit_on_unrollable_horizons() {
+        let g = oriented_ring(8).unwrap();
+        let walker = SweepWalker { seed: 0x5EED };
+        let cache = TrajectoryCache::new(&g, &walker, 60_000);
+        for u in 0..8 {
+            for v in 0..8 {
+                for delta in 0..4 as Round {
+                    let stic = Stic::new(u, v, delta);
+                    for h in [0 as Round, 1, 7, 64, 257, 9999, 60_000] {
+                        let explicit = cache.simulate_capped(&stic, h);
+                        let symbolic =
+                            cache.simulate_symbolic(&stic, h).expect("walker is finite-state");
+                        assert_eq!(explicit, symbolic, "({u}, {v}, {delta}) at {h}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn astronomical_horizons_resolve_without_unrolling() {
+        let g = oriented_ring(8).unwrap();
+        let walker = SweepWalker { seed: 0x5EED };
+        let huge: Round = 1 << 40;
+        assert!(huge > UNROLL_CAP);
+        let cache = TrajectoryCache::new(&g, &walker, huge);
+        let small = TrajectoryCache::new(&g, &walker, 60_000);
+        for u in 0..8 {
+            for v in 0..8 {
+                let stic = Stic::new(u, v, 2);
+                let big = cache.simulate_capped(&stic, huge);
+                assert_eq!(big.horizon, huge);
+                let probe = small.simulate_capped(&stic, 60_000);
+                match probe.meeting {
+                    Some(m) => {
+                        // an early meeting is final at every horizon
+                        assert_eq!(big.meeting, Some(m), "({u}, {v})");
+                    }
+                    None => assert_eq!(big.meeting, None, "({u}, {v})"),
+                }
+            }
+        }
+        // no explicit timeline was ever recorded at the astronomical horizon
+        assert_eq!(cache.computed(), 0);
+        assert_eq!(cache.computed_symbolic(), 8);
+    }
+
+    #[test]
+    fn large_delays_reduce_and_match_the_explicit_kernel() {
+        // Delay reduction is pinned differentially: at any δ the symbolic
+        // merge must stay bit-identical to the explicit kernel over fresh
+        // materialisations — including δ large enough that the merge shifts
+        // back by many full earlier-cycles, and including the parked /
+        // terminated degenerate tails whose alignment period is 1.
+        let h: Round = 60_000;
+        let g = oriented_ring(8).unwrap();
+        let programs: &[&dyn FiniteStateProgram] =
+            &[&SweepWalker { seed: 0x5EED }, &WaitMover, &KThenPark(3), &KThenHalt(3)];
+        for &program in programs {
+            let tls: Vec<SymbolicTimeline> = (0..8)
+                .map(|s| detect_symbolic(&g, program, s).expect("detection converges"))
+                .collect();
+            for (u, v) in [(0usize, 3usize), (2, 2), (5, 1)] {
+                let me = tls[u].materialize(h);
+                let ml = tls[v].materialize(h);
+                for delta in [0 as Round, 1, 7, 97, 1_000, 12_345, 59_999, 60_000] {
+                    let stic = Stic::new(u, v, delta);
+                    let explicit = merge_timelines(&me, &ml, &stic, h);
+                    let symbolic = merge_symbolic(&tls[u], &tls[v], &stic, h);
+                    assert_eq!(explicit, symbolic, "({u}, {v}, {delta})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn astronomical_delays_resolve_without_unrolling() {
+        // δ ~ 2^40: without delay reduction the alignment window itself
+        // grows with the delay and the merge would unroll 2^40 rounds.  On
+        // an oriented ring two rotors keep the constant separation
+        // `(v − u − δ) mod n`, so the closed form decides every residue:
+        // they meet exactly at global round δ iff `δ ≡ v − u (mod n)`, and
+        // never otherwise.  The met cases are pinned against an explicit
+        // small-δ control shifted by the closed-form offset.
+        let n = 8usize;
+        let g = oriented_ring(n).unwrap();
+        let tls: Vec<SymbolicTimeline> =
+            (0..n).map(|s| detect_symbolic(&g, &Rotor, s).expect("rotor cycles")).collect();
+        let h: Round = (1 << 40) + 16;
+        for (u, v) in [(0usize, 3usize), (1, 6), (4, 4)] {
+            let residue = (v + n - u) as Round % n as Round;
+            let small_delta = residue;
+            let control = merge_timelines(
+                &tls[u].materialize(64),
+                &tls[v].materialize(64),
+                &Stic::new(u, v, small_delta),
+                64,
+            );
+            let control_meet = control.meeting.expect("aligned control run meets");
+            for r in 0..n as Round {
+                let delta: Round = (1 << 40) + r; // 2^40 ≡ 0 (mod 8)
+                let out = merge_symbolic(&tls[u], &tls[v], &Stic::new(u, v, delta), h);
+                assert_eq!(out.horizon, h);
+                if r == residue {
+                    let m = out.meeting.expect("aligned rotors meet at the delay round");
+                    assert_eq!(m.global_round, delta, "({u}, {v}, +{r})");
+                    assert_eq!(m.later_round, control_meet.later_round);
+                    assert_eq!(m.node, control_meet.node, "δ ≡ δ_small (mod n)");
+                    assert_eq!(
+                        u128::from(out.earlier_moves),
+                        u128::from(control.earlier_moves) + (delta - small_delta),
+                        "the rotor moves once per round of extra delay"
+                    );
+                    assert_eq!(out.later_moves, control.later_moves);
+                } else {
+                    assert!(!out.met(), "({u}, {v}, +{r}): separation is constant and nonzero");
+                    assert_eq!(u128::from(out.earlier_moves), h, "one move per round up to h");
+                    assert_eq!(u128::from(out.later_moves), h - delta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_round_trips_and_rejects_tampering() {
+        let g = oriented_ring(6).unwrap();
+        let s = detect_symbolic(&g, &SweepWalker { seed: 7 }, 1).expect("detection converges");
+        let rebuilt = SymbolicTimeline::from_raw(
+            s.num_graph_nodes(),
+            s.preperiod(),
+            s.period(),
+            s.tail(),
+            s.prefix().clone(),
+            s.cycle().clone(),
+        )
+        .expect("round-trips");
+        assert_eq!(rebuilt, s);
+
+        let mut bad_cycle = s.cycle().clone();
+        bad_cycle.nodes[0] = (bad_cycle.nodes[0] + 1) % 6;
+        assert!(SymbolicTimeline::from_raw(
+            s.num_graph_nodes(),
+            s.preperiod(),
+            s.period(),
+            s.tail(),
+            s.prefix().clone(),
+            bad_cycle,
+        )
+        .is_err());
+
+        assert!(SymbolicTimeline::from_raw(
+            s.num_graph_nodes(),
+            s.preperiod(),
+            s.period() + 1,
+            s.tail(),
+            s.prefix().clone(),
+            s.cycle().clone(),
+        )
+        .is_err());
+    }
+}

@@ -9,11 +9,29 @@
 //! just as importantly for the persistent plan cache, the same canonical
 //! [`SweepWalker::program_key`]: artifacts recorded by the benchmarks warm
 //! the CLI's sweeps and vice versa.
+//!
+//! The walker is a [`FiniteStateProgram`]: its machine state is a 12-bit
+//! full-period LCG, so its configuration sequence on any finite graph is
+//! eventually periodic with a short period and the batch engine can detect
+//! the cycle and serve astronomical horizons symbolically (see
+//! [`crate::symbolic`]).  Crucially the state evolution is
+//! observation-independent — `decide` never reads the degree or entry port
+//! when advancing the state — so the walker spends a *constant* number of
+//! rounds per full pass over its 4096 states, and per-node periods are
+//! small multiples of that constant.
 
-use crate::navigator::{AgentProgram, Navigator, Stop};
+use crate::navigator::{
+    drive_finite_state, AgentProgram, FiniteStateProgram, Navigator, StepAction, StepDecision, Stop,
+};
 use crate::stic::Round;
 
-/// The deterministic sweep-workload agent: a seeded LCG mixing
+/// Number of bits of walker machine state: 4096 states, visited in a single
+/// full-period orbit by the truncated LCG below.
+const STATE_BITS: u32 = 12;
+/// Mask selecting the machine state bits.
+const STATE_MASK: u64 = (1 << STATE_BITS) - 1;
+
+/// The deterministic sweep-workload agent: a seeded bounded-state LCG mixing
 /// pseudo-random moves with short waits.  The seed is a constant of the
 /// program (both agents share it), so differently seeded walkers are
 /// different programs — [`SweepWalker::program_key`] embeds the seed for
@@ -30,24 +48,44 @@ impl SweepWalker {
     pub fn program_key(&self) -> String {
         format!("sweep-walker-{:x}", self.seed)
     }
+
+    /// Decorrelate the raw 12-bit LCG state into a roll with well-mixed low
+    /// bits (the LCG's own low bits alternate with period 2).
+    fn scramble(state: u64) -> u64 {
+        state.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33
+    }
+}
+
+impl FiniteStateProgram for SweepWalker {
+    fn initial_state(&self) -> u64 {
+        (self.seed | 1) & STATE_MASK
+    }
+
+    fn decide(&self, state: u64, degree: usize, _entry_port: Option<usize>) -> StepDecision {
+        // Full period over 2^12 states: multiplier ≡ 1 (mod 4), odd increment.
+        let next =
+            state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) & STATE_MASK;
+        let roll = Self::scramble(next);
+        let action = if roll.is_multiple_of(4) {
+            StepAction::Wait((roll % 7 + 1) as Round)
+        } else {
+            StepAction::Move(roll as usize % degree)
+        };
+        StepDecision { action, next }
+    }
 }
 
 impl AgentProgram for SweepWalker {
     fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
-        let mut state = self.seed | 1;
-        loop {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let roll = state >> 33;
-            if roll.is_multiple_of(4) {
-                nav.wait((roll % 7 + 1) as Round)?;
-            } else {
-                nav.move_via(roll as usize % nav.degree())?;
-            }
-        }
+        drive_finite_state(self, nav)
     }
 
     fn name(&self) -> &str {
         "sweep-walker"
+    }
+
+    fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+        Some(self)
     }
 }
 
@@ -67,5 +105,35 @@ mod tests {
         assert_eq!(a.simulate(&stic), b.simulate(&stic));
         assert_eq!(SweepWalker { seed: 0x5EED }.program_key(), "sweep-walker-5eed");
         assert_eq!(SweepWalker { seed: 10 }.program_key(), "sweep-walker-a");
+    }
+
+    #[test]
+    fn run_matches_the_finite_state_view() {
+        // The closure-style `run` must be the canonical finite-state driver:
+        // replaying `decide` by hand yields the same recorded timeline.
+        let g = oriented_ring(6).unwrap();
+        let walker = SweepWalker { seed: 0x5EED };
+        let driven = crate::batch::Timeline::record(&g, &walker, 2, 300);
+        let replayed = crate::batch::Timeline::record(
+            &g,
+            &(|nav: &mut dyn Navigator| {
+                let fs: &dyn FiniteStateProgram = &walker;
+                let mut state = fs.initial_state();
+                loop {
+                    let d = fs.decide(state, nav.degree(), nav.entry_port());
+                    match d.action {
+                        StepAction::Wait(r) => nav.wait(r)?,
+                        StepAction::Move(p) => {
+                            nav.move_via(p)?;
+                        }
+                        StepAction::Halt => return Ok(()),
+                    }
+                    state = d.next;
+                }
+            }),
+            2,
+            300,
+        );
+        assert_eq!(driven, replayed);
     }
 }

@@ -72,7 +72,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use anonrv_graph::{NodeId, PortGraph};
 use anonrv_obs as obs;
 use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan};
-use anonrv_sim::{Meeting, Round, SimOutcome, SweepEngine, Timeline, TimelineParts};
+use anonrv_sim::{
+    Meeting, Round, SimOutcome, SweepEngine, SymbolicTail, SymbolicTimeline, Timeline,
+    TimelineParts, UNROLL_CAP,
+};
 
 use crate::codec::{fnv64, peek_frame, unframe, unframe_checked, Dec, Enc, FrameFailure, Kind};
 use crate::fault;
@@ -125,6 +128,12 @@ pub struct WarmedTimelines {
     /// installed as-is and clipped per query by the merge kernels
     /// (exact-horizon hits are `installed - prefix`).
     pub prefix: usize,
+    /// Symbolic (prefix + cycle) timelines installed into the engine's
+    /// trajectory cache.  A symbolic timeline is horizon-free, so it serves
+    /// every query horizon; at engine horizons within the unroll cap it is
+    /// additionally materialised into an explicit timeline (counted in
+    /// `installed` above) so the explicit merge path is warm too.
+    pub symbolic: usize,
 }
 
 /// A content-addressed directory of planning artifacts.  See the module
@@ -545,18 +554,36 @@ impl Store {
     pub fn warm_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> WarmedTimelines {
         let cache = engine.cache();
         let horizon = cache.horizon();
-        let Some(timelines) = self.load_timelines(cache.graph(), program_key) else {
-            return WarmedTimelines::default();
-        };
         let mut warmed = WarmedTimelines::default();
-        for (u, t) in timelines {
-            if t.recorded_horizon() < horizon {
-                continue; // too short to stand in for a fresh recording
+        if let Some(timelines) = self.load_timelines(cache.graph(), program_key) {
+            for (u, t) in timelines {
+                if t.recorded_horizon() < horizon {
+                    continue; // too short to stand in for a fresh recording
+                }
+                let prefix = t.recorded_horizon() > horizon;
+                if cache.preload(u, t) {
+                    warmed.installed += 1;
+                    warmed.prefix += usize::from(prefix);
+                }
             }
-            let prefix = t.recorded_horizon() > horizon;
-            if cache.preload(u, t) {
-                warmed.installed += 1;
-                warmed.prefix += usize::from(prefix);
+        }
+        // Symbolic timelines are horizon-free, so they warm *every* engine:
+        // beyond the unroll cap the queries route through the closed-form
+        // cycle merge directly; within it the symbolic artifact supersedes
+        // an absent (or too-short) explicit recording by materialising the
+        // engine-horizon prefix — exact, and free of program execution.
+        if let Some(symbolics) = self.load_symbolic_timelines(cache.graph(), program_key) {
+            for (u, s) in symbolics {
+                let materialized = (horizon <= UNROLL_CAP && !cache.has_timeline(u))
+                    .then(|| s.materialize(horizon));
+                if cache.preload_symbolic(u, s) {
+                    warmed.symbolic += 1;
+                }
+                if let Some(t) = materialized {
+                    if cache.preload(u, t) {
+                        warmed.installed += 1;
+                    }
+                }
             }
         }
         warmed
@@ -575,6 +602,14 @@ impl Store {
     pub fn persist_engine(&self, engine: &SweepEngine<'_>, program_key: &str) -> io::Result<usize> {
         let cache = engine.cache();
         let g = cache.graph();
+        if cache.computed_symbolic() > 0 {
+            self.persist_symbolic(engine, program_key)?;
+        }
+        if cache.computed() == 0 {
+            // a purely symbolic sweep recorded no explicit timelines; skip
+            // the read-merge-write round trip on the explicit artifact
+            return Ok(0);
+        }
         self.with_lock(&self.timelines_path(g, program_key), || {
             let mut merged: Vec<Option<Timeline>> = vec![None; g.num_nodes()];
             if let Some(existing) = self.load_timelines(g, program_key) {
@@ -596,6 +631,123 @@ impl Store {
                 merged.into_iter().enumerate().filter_map(|(u, t)| t.map(|t| (u, t))).collect();
             let borrowed: Vec<(NodeId, &Timeline)> = owned.iter().map(|(u, t)| (*u, t)).collect();
             self.save_timelines(g, program_key, &borrowed)?;
+            Ok(borrowed.len())
+        })
+    }
+
+    // -- symbolic timelines ------------------------------------------------
+
+    fn symbolic_path(&self, g: &PortGraph, program_key: &str) -> PathBuf {
+        self.root.join(format!(
+            "symbolic-{:032x}-{:016x}.anrv",
+            g.canonical_hash(),
+            fnv64(program_key.as_bytes())
+        ))
+    }
+
+    /// Load every symbolic (prefix + cycle) timeline of `(g, program_key)`,
+    /// or `None` on any miss.  Each entry is revalidated through
+    /// [`SymbolicTimeline::from_raw`] — the same structural gates detection
+    /// guarantees — so a corrupted-but-well-framed entry degrades to a
+    /// recompute, never to wrong cycle structure being served.
+    pub fn load_symbolic_timelines(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+    ) -> Option<Vec<(NodeId, SymbolicTimeline)>> {
+        let path = self.symbolic_path(g, program_key);
+        let bytes = self.read_artifact(&path)?;
+        let mut d = self.gate_frame(&path, Kind::SymbolicTimelines, &bytes)?;
+        if d.u128()? != g.canonical_hash() {
+            return None;
+        }
+        let n = d.usize()?;
+        if n != g.num_nodes() {
+            return None;
+        }
+        if d.str()? != program_key {
+            return None;
+        }
+        let count = d.usize()?;
+        let mut seen = vec![false; n];
+        let mut out = Vec::with_capacity(count.min(d.remaining()));
+        for _ in 0..count {
+            let start = usize::try_from(d.u64()?).ok()?;
+            if start >= n || seen[start] {
+                return None;
+            }
+            seen[start] = true;
+            let tail = SymbolicTail::from_code(d.u8()?)?;
+            let preperiod = d.u128()?;
+            let period = d.u128()?;
+            let prefix = decode_parts(&mut d, n)?;
+            let cycle = decode_parts(&mut d, n)?;
+            let s = SymbolicTimeline::from_raw(n, preperiod, period, tail, prefix, cycle).ok()?;
+            out.push((start, s));
+        }
+        d.exhausted().then_some(out)
+    }
+
+    /// Persist a set of symbolic timelines as one `SymbolicTimelines`
+    /// frame: per entry the tail kind, the `(preperiod, period)` pair and
+    /// the prefix and cycle [`TimelineParts`] as v3-style flat-array
+    /// blocks.  Returns the artifact path.
+    pub fn save_symbolic_timelines(
+        &self,
+        g: &PortGraph,
+        program_key: &str,
+        timelines: &[(NodeId, &SymbolicTimeline)],
+    ) -> io::Result<PathBuf> {
+        let mut e = Enc::new();
+        e.u128(g.canonical_hash());
+        e.usize(g.num_nodes());
+        e.str(program_key);
+        e.usize(timelines.len());
+        for (start, s) in timelines {
+            e.u64(*start as u64);
+            e.u8(s.tail().code());
+            e.u128(s.preperiod());
+            e.u128(s.period());
+            encode_parts(&mut e, s.prefix());
+            encode_parts(&mut e, s.cycle());
+        }
+        let path = self.symbolic_path(g, program_key);
+        self.write_atomic(&path, &e.into_frame(Kind::SymbolicTimelines))?;
+        Ok(path)
+    }
+
+    /// Persist every symbolic timeline a sweep engine has detected so far,
+    /// merged with whatever the store already holds for the same key.  A
+    /// symbolic timeline is horizon-free (it already serves every horizon),
+    /// so there is no longest-wins comparison: per start node an existing
+    /// on-disk entry is kept as-is (detection being deterministic, a fresh
+    /// one is identical) and only absent nodes are added.  Runs under the
+    /// same advisory-lock discipline as [`Store::persist_engine`].  Returns
+    /// the number of entries in the written artifact.
+    pub fn persist_symbolic(
+        &self,
+        engine: &SweepEngine<'_>,
+        program_key: &str,
+    ) -> io::Result<usize> {
+        let cache = engine.cache();
+        let g = cache.graph();
+        self.with_lock(&self.symbolic_path(g, program_key), || {
+            let mut merged: Vec<Option<SymbolicTimeline>> = vec![None; g.num_nodes()];
+            if let Some(existing) = self.load_symbolic_timelines(g, program_key) {
+                for (u, s) in existing {
+                    merged[u] = Some(s);
+                }
+            }
+            for (u, s) in cache.computed_symbolic_timelines() {
+                if merged[u].is_none() {
+                    merged[u] = Some(s.clone());
+                }
+            }
+            let owned: Vec<(NodeId, SymbolicTimeline)> =
+                merged.into_iter().enumerate().filter_map(|(u, s)| s.map(|s| (u, s))).collect();
+            let borrowed: Vec<(NodeId, &SymbolicTimeline)> =
+                owned.iter().map(|(u, s)| (*u, s)).collect();
+            self.save_symbolic_timelines(g, program_key, &borrowed)?;
             Ok(borrowed.len())
         })
     }
@@ -742,6 +894,12 @@ impl Store {
                         stats.recorded_horizons.push(horizon);
                     }
                 }
+                Kind::SymbolicTimelines => {
+                    stats.symbolic.add(bytes);
+                    if let Some(count) = peek_symbolic_count(&mut d) {
+                        stats.symbolic_entries += count;
+                    }
+                }
             }
         }
         // quarantined frames live one level down, next to their `.reason`
@@ -796,7 +954,7 @@ impl Store {
             // names.  Anything else — an operator's notes, another tool's
             // staging files — is foreign and left alone, exactly like
             // unrecognised `.anrv`-less files below.
-            let own_prefix = ["orbits-", "timelines-", "outcomes-", "shard-"]
+            let own_prefix = ["orbits-", "timelines-", "outcomes-", "shard-", "symbolic-"]
                 .iter()
                 .any(|p| name.starts_with(p));
             if own_prefix && (name.ends_with(".lock") || name.contains(".tmp")) {
@@ -830,7 +988,7 @@ impl Store {
                     Some((identity, horizon)) => shards.push((path, bytes, identity, horizon)),
                     None => report.remove(&path, bytes, GcClass::Corrupt),
                 },
-                Kind::Orbits | Kind::Timelines => {}
+                Kind::Orbits | Kind::Timelines | Kind::SymbolicTimelines => {}
             }
         }
         // a shard partial is superseded once a merged table of the same
@@ -937,6 +1095,8 @@ pub struct CacheStats {
     pub orbits: KindStats,
     /// Trajectory-timeline artifacts.
     pub timelines: KindStats,
+    /// Symbolic (prefix + cycle) timeline artifacts.
+    pub symbolic: KindStats,
     /// Merged representative-outcome tables.
     pub outcomes: KindStats,
     /// Shard partial tables.
@@ -953,6 +1113,8 @@ pub struct CacheStats {
     pub quarantined: KindStats,
     /// Total timelines recorded across all timeline artifacts.
     pub timeline_entries: usize,
+    /// Total symbolic timelines across all symbolic artifacts.
+    pub symbolic_entries: usize,
     /// Every distinct recorded horizon found inside valid frames, sorted.
     pub recorded_horizons: Vec<Round>,
 }
@@ -962,6 +1124,7 @@ impl CacheStats {
     pub fn total_bytes(&self) -> u64 {
         self.orbits.bytes
             + self.timelines.bytes
+            + self.symbolic.bytes
             + self.outcomes.bytes
             + self.shards.bytes
             + self.invalid.bytes
@@ -1127,6 +1290,31 @@ fn verify_payload(kind: Kind, d: &mut Dec<'_>) -> Result<(), String> {
                 return Err("horizon-summary-disagrees-with-entries".into());
             }
         }
+        Kind::SymbolicTimelines => {
+            d.u128().ok_or_else(truncated)?;
+            let n = d.usize().ok_or_else(truncated)?;
+            d.str().ok_or_else(|| "program-key-malformed".to_string())?;
+            let count = d.usize().ok_or_else(truncated)?;
+            if count > 0 && n.checked_mul(4).is_none_or(|b| b > d.remaining()) {
+                return Err("node-count-overruns-payload".into());
+            }
+            let mut seen = vec![false; if count > 0 { n } else { 0 }];
+            for _ in 0..count {
+                let start = d.u64().ok_or_else(truncated)?;
+                match usize::try_from(start).ok().filter(|&u| u < n && !seen[u]) {
+                    Some(u) => seen[u] = true,
+                    None => return Err("symbolic-start-node-invalid".into()),
+                }
+                let tail = SymbolicTail::from_code(d.u8().ok_or_else(truncated)?)
+                    .ok_or_else(|| "symbolic-tail-code-invalid".to_string())?;
+                let preperiod = d.u128().ok_or_else(truncated)?;
+                let period = d.u128().ok_or_else(truncated)?;
+                let prefix = decode_parts(d, n).ok_or_else(truncated)?;
+                let cycle = decode_parts(d, n).ok_or_else(truncated)?;
+                SymbolicTimeline::from_raw(n, preperiod, period, tail, prefix, cycle)
+                    .map_err(|e| format!("symbolic-shape-invalid: {e}"))?;
+            }
+        }
         Kind::Outcomes => {
             let identity =
                 decode_plan_identity_raw(d).ok_or_else(|| "plan-identity-malformed".to_string())?;
@@ -1182,6 +1370,8 @@ fn kind_of_filename(name: &str) -> Option<Kind> {
         Some(Kind::Outcomes)
     } else if name.starts_with("shard-") {
         Some(Kind::Shard)
+    } else if name.starts_with("symbolic-") {
+        Some(Kind::SymbolicTimelines)
     } else {
         None
     }
@@ -1245,6 +1435,15 @@ fn peek_timeline_horizons(d: &mut Dec<'_>) -> Option<(usize, Vec<Round>)> {
     let num_horizons = d.usize()?;
     let horizons = d.u128_vec(num_horizons)?;
     Some((count, horizons))
+}
+
+/// The entry count a symbolic-timelines payload leads with (after its
+/// graph/program identity), for the bounded-prefix stats survey.
+fn peek_symbolic_count(d: &mut Dec<'_>) -> Option<usize> {
+    let _hash = d.u128()?;
+    let _n = d.usize()?;
+    let _key = d.str()?;
+    d.usize()
 }
 
 /// The plan identity and recorded horizon of an outcomes or shard payload
@@ -1361,6 +1560,34 @@ pub(crate) fn decode_plan_identity(
         && identity.deltas == plan.deltas()
         && identity.num_classes == plan.orbits().num_pair_classes())
     .then_some(())
+}
+
+/// Encode one [`TimelineParts`] block (prefix or cycle half of a symbolic
+/// entry) as v3-style aligned flat arrays: a segment count, then the six
+/// columns in the same order the explicit timeline entries use.
+pub(crate) fn encode_parts(e: &mut Enc, parts: &TimelineParts) {
+    e.usize(parts.nodes.len());
+    e.u128_slice(&parts.starts);
+    e.u32_slice(&parts.nodes);
+    e.u32_slice(&parts.occ_starts);
+    e.u128_slice(&parts.occ_start);
+    e.u128_slice(&parts.occ_end);
+    e.u32_slice(&parts.occ_seg);
+}
+
+/// Decode an [`encode_parts`] block for an `n`-node graph; `None` on
+/// malformed input.  Shape and occupancy validation is the caller's
+/// ([`SymbolicTimeline::from_raw`]).
+pub(crate) fn decode_parts(d: &mut Dec<'_>, n: usize) -> Option<TimelineParts> {
+    let nsegs = d.usize()?;
+    Some(TimelineParts {
+        starts: d.u128_vec(nsegs.checked_add(1)?)?,
+        nodes: d.u32_vec(nsegs)?,
+        occ_starts: d.u32_vec(n.checked_add(1)?)?,
+        occ_start: d.u128_vec(nsegs)?,
+        occ_end: d.u128_vec(nsegs)?,
+        occ_seg: d.u32_vec(nsegs)?,
+    })
 }
 
 /// Encode one [`SimOutcome`] exactly (every field, `u128`s included).

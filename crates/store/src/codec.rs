@@ -48,7 +48,18 @@ pub(crate) const MAGIC: [u8; 8] = *b"ANRVSTOR";
 /// tables store one flat column per field, and timeline payloads carry an
 /// up-front `(start, horizon)` directory so `stats` can peek recorded
 /// horizons from a bounded prefix read.
-pub(crate) const FORMAT_VERSION: u32 = 3;
+/// Version 4: symbolic timeline artifacts — a new
+/// [`Kind::SymbolicTimelines`] frame stores each start node's
+/// `prefix · cycle^∞` decomposition as two v3-style flat-array blocks
+/// (prefix and cycle columns).  No existing payload layout changed, so
+/// readers accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]: v3
+/// explicit frames keep loading verbatim.
+pub(crate) const FORMAT_VERSION: u32 = 4;
+
+/// Oldest format version readers still accept.  Versions 3 and 4 share
+/// every payload layout (v4 only *adds* the symbolic artifact kind), so a
+/// v3 frame is served as-is rather than treated as stale.
+pub(crate) const MIN_FORMAT_VERSION: u32 = 3;
 
 /// Frame header size: magic(8) + version(4) + kind(1) + reserved(11) +
 /// payload length(8).  The 11 reserved zero bytes pad the header to 32 so
@@ -70,6 +81,10 @@ pub(crate) enum Kind {
     Outcomes = 3,
     /// A partial outcome table produced by one shard of a sweep plan.
     Shard = 4,
+    /// Symbolic (prefix + cycle) timelines of one `(graph, program)` pair —
+    /// horizon-free: one detection serves *every* horizon, so these
+    /// supersede explicit timeline recordings under the longest-wins rule.
+    SymbolicTimelines = 5,
 }
 
 /// 64-bit FNV-1a over a byte slice (the frame checksum and the filename
@@ -187,9 +202,9 @@ impl<'a> Dec<'a> {
         Some(slice)
     }
 
-    /// Only the test-side inverse of [`Enc::u8`] reads scalar bytes now:
-    /// the v3 payloads move byte columns with [`Dec::u8_vec`].
-    #[cfg(test)]
+    /// The inverse of [`Enc::u8`] — an unaligned scalar byte.  The v3
+    /// payloads move byte *columns* with [`Dec::u8_vec`]; the symbolic
+    /// entries read their tail-kind code through this.
     pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
     }
@@ -361,7 +376,7 @@ fn check_header_checked(kind: Kind, bytes: &[u8]) -> Result<usize, FrameFailure>
         return Err(FrameFailure::Magic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(FrameFailure::Version);
     }
     if bytes[12] != kind as u8 {

@@ -18,18 +18,28 @@
 //!   checksummed, versioned artifacts keyed by
 //!   [`PortGraph::canonical_hash`](anonrv_graph::PortGraph::canonical_hash))
 //!   holding serialized automorphism groups / [`PairOrbits`], recorded
-//!   wait-compressed [`Timeline`](anonrv_sim::Timeline)s, and full
-//!   representative-outcome tables.  Horizons live *inside* the frames, not
+//!   wait-compressed [`Timeline`](anonrv_sim::Timeline)s, detected
+//!   [`SymbolicTimeline`](anonrv_sim::SymbolicTimeline)s (the
+//!   `symbolic-*` v4 kind: per start node a prefix and a cycle in the
+//!   same flat-array columns, shape-re-validated through
+//!   [`SymbolicTimeline::from_raw`](anonrv_sim::SymbolicTimeline::from_raw)
+//!   on load), and full representative-outcome tables.  Horizons live
+//!   *inside* the frames, not
 //!   in the keys: a lookup hits whenever `recorded >= needed` (longer
 //!   recordings serve as-is — the merge kernels clip per query), a shorter
 //!   table **extends** up instead of restarting, writes supersede shorter
 //!   recordings in place, and [`Store::gc`] compacts what can no longer
-//!   serve anything.  Every load is integrity-checked (magic, format
+//!   serve anything.  Symbolic artifacts take the longest-wins rule to
+//!   its limit: they are **horizon-free** — one detection serves every
+//!   horizon, superseding explicit frames for any horizon they cannot
+//!   reach, and warming engines beyond the unroll cap where explicit
+//!   recordings cannot exist at all.  Every load is integrity-checked
+//!   (magic, format
 //!   version, length, checksum, embedded identity) and falls back to
 //!   recompute-and-overwrite on any mismatch — see [`cache`] for the trust
 //!   model and `codec.rs` for the frame layout.
 //!
-//!   Format version 3 frames are **zero-copy-shaped**: a 32-byte header, a
+//!   Format version 4 frames are **zero-copy-shaped**: a 32-byte header, a
 //!   payload of 16-aligned little-endian flat arrays in the engines' own
 //!   struct-of-arrays layout (timeline segment columns + occupancy CSR;
 //!   one column per outcome field), and one trailing checksum amortised
@@ -38,7 +48,9 @@
 //!   [`Timeline::from_parts`](anonrv_sim::Timeline::from_parts) — no
 //!   per-entry re-indexing — and [`Store::stats`] / [`Store::gc`] survey a
 //!   cache directory from a bounded 64 KiB prefix per file, never loading
-//!   the arrays.
+//!   the arrays.  Version 4 only *adds* the symbolic kind; readers accept
+//!   versions `3..=4`, so v3 frames keep loading verbatim while versions
+//!   outside the range stay plain (non-quarantined) misses.
 //! * [`SweepSession`] — the one orchestrator every front-end drives (the
 //!   CLI `sweep`/`cache` commands, the experiment harness, the benchmark
 //!   binaries): plan → cache-probe → execute-representatives → record →

@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 use anonrv_graph::PortGraph;
 use anonrv_obs as obs;
 use anonrv_plan::{PairOrbits, PlannedOutcomes, PlannedSweep, SweepPlan};
-use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine};
+use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine, UNROLL_CAP};
 
 use crate::cache::{Provenance, Store};
 use crate::fault;
@@ -81,6 +81,14 @@ pub enum OutcomeProvenance {
         /// Unmet entries whose merge resumed at the recorded horizon.
         extended: usize,
     },
+    /// Executed through the symbolic (prefix + cycle) path: the plan's
+    /// horizon exceeds the unroll cap, so outcomes were resolved by
+    /// closed-form cycle merges — zero rounds unrolled, exact at any
+    /// horizon (see `anonrv_sim::symbolic`).
+    Symbolic {
+        /// Start nodes whose cycle structure was detected (or preloaded).
+        detected: usize,
+    },
 }
 
 impl std::fmt::Display for OutcomeProvenance {
@@ -93,6 +101,9 @@ impl std::fmt::Display for OutcomeProvenance {
             }
             OutcomeProvenance::WarmExtend { recorded, extended } => {
                 write!(f, "warm-extend (recorded at horizon {recorded}, {extended} extended)")
+            }
+            OutcomeProvenance::Symbolic { detected } => {
+                write!(f, "symbolic ({detected} cycle structures, 0 unrolled rounds)")
             }
         }
     }
@@ -111,6 +122,9 @@ pub struct SessionStats {
     pub timeline_prefix_hits: usize,
     /// Timelines recorded cold by executing the agent program.
     pub timeline_misses: usize,
+    /// Symbolic (prefix + cycle) timelines the engine holds — detected this
+    /// session or preloaded from the store.
+    pub symbolic_timelines: usize,
     /// Representative simulations (recordings or merges) executed.
     pub executed: usize,
     /// Member queries answered.
@@ -134,6 +148,7 @@ pub struct SweepSession<'a> {
     warmed: bool,
     timeline_hits: usize,
     timeline_prefix_hits: usize,
+    symbolic_hits: usize,
     executed: usize,
     answered: usize,
     outcome: Option<OutcomeProvenance>,
@@ -218,6 +233,7 @@ impl<'a> SweepSession<'a> {
             warmed: false,
             timeline_hits: 0,
             timeline_prefix_hits: 0,
+            symbolic_hits: 0,
             executed: 0,
             answered: 0,
             outcome: None,
@@ -258,6 +274,7 @@ impl<'a> SweepSession<'a> {
                 .cache()
                 .computed()
                 .saturating_sub(self.timeline_hits),
+            symbolic_timelines: self.planned.engine().cache().computed_symbolic(),
             executed: self.executed,
             answered: self.answered,
             outcome: self.outcome,
@@ -277,8 +294,10 @@ impl<'a> SweepSession<'a> {
             let warmed = store.warm_engine(self.planned.engine(), &self.program_key);
             self.timeline_hits = warmed.installed;
             self.timeline_prefix_hits = warmed.prefix;
+            self.symbolic_hits = warmed.symbolic;
             obs::counter_add("session.timeline.hits", warmed.installed as u64);
             obs::counter_add("session.timeline.prefix_hits", warmed.prefix as u64);
+            obs::counter_add("session.symbolic.hits", warmed.symbolic as u64);
         }
     }
 
@@ -309,6 +328,7 @@ impl<'a> SweepSession<'a> {
                     OutcomeProvenance::WarmExact => "session.outcome.warm_exact",
                     OutcomeProvenance::WarmPrefix { .. } => "session.outcome.warm_prefix",
                     OutcomeProvenance::WarmExtend { .. } => "session.outcome.warm_extend",
+                    OutcomeProvenance::Symbolic { .. } => "session.outcome.symbolic",
                 },
                 1,
             );
@@ -321,7 +341,8 @@ impl<'a> SweepSession<'a> {
     /// `true` when the engine holds timelines the store has not seen —
     /// everything beyond the preloaded ones was recorded by this session.
     fn has_new_recordings(&self) -> bool {
-        self.planned.engine().cache().computed() > self.timeline_hits
+        let cache = self.planned.engine().cache();
+        cache.computed() > self.timeline_hits || cache.computed_symbolic() > self.symbolic_hits
     }
 
     /// Persist every timeline recorded so far (best effort: a failed write
@@ -436,12 +457,16 @@ impl<'a> SweepSession<'a> {
                 .save_plan_outcomes(self.graph, &self.program_key, plan, outcomes.table())
                 .map_err(|e| format!("cannot persist outcomes: {e}"))?;
         }
-        self.note_outcome(
-            OutcomeProvenance::Cold,
-            plan.num_representative_queries(),
-            plan.num_member_queries(),
-        );
-        Ok((outcomes, OutcomeProvenance::Cold))
+        let detected = self.planned.engine().cache().computed_symbolic();
+        let provenance = if plan.horizon() > UNROLL_CAP && detected > 0 {
+            // beyond the unroll cap the engine routed every representative
+            // through the closed-form cycle merge: no explicit unrolling
+            OutcomeProvenance::Symbolic { detected }
+        } else {
+            OutcomeProvenance::Cold
+        };
+        self.note_outcome(provenance, plan.num_representative_queries(), plan.num_member_queries());
+        Ok((outcomes, provenance))
     }
 
     /// Execute one shard slice of `plan` — the classes `spec` selects —

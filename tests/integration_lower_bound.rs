@@ -1,12 +1,19 @@
-//! Cross-crate integration tests for the Section 4 lower bound (Theorem 4.1).
+//! Cross-crate integration tests for the Section 4 lower bound (Theorem 4.1),
+//! including the astronomical-horizon regime the symbolic timeline path
+//! opens up: exact meeting rounds at `2^40`-scale horizons, pinned against
+//! closed-form predictions on an oriented ring.
 
 use anonrv_core::lower_bound::{
     check_schedule_explicit, check_schedule_symbolic, ObliviousSchedule, ObliviousStep,
 };
 use anonrv_experiments::lower_bound_exp::{self, LowerBoundConfig};
 use anonrv_graph::distance::distance;
-use anonrv_graph::generators::{qh_hat, qh_tree, z_set, Cardinal};
+use anonrv_graph::generators::{oriented_ring, qh_hat, qh_tree, z_set, Cardinal};
 use anonrv_graph::symmetry::OrbitPartition;
+use anonrv_sim::{
+    drive_finite_state, AgentProgram, FiniteStateProgram, Navigator, Round, StepAction,
+    StepDecision, Stic, Stop, TrajectoryCache,
+};
 
 #[test]
 fn the_lower_bound_experiment_is_consistent_for_k_up_to_six() {
@@ -78,6 +85,95 @@ fn schedules_with_stays_behave_identically_in_both_checkers() {
         let symbolic = check_schedule_symbolic(k, &schedule);
         assert_eq!(explicit.times, symbolic.times, "word {word}");
     }
+}
+
+/// A memoryless rotor: always leave by port 0.  On an oriented ring, port
+/// 0 is the successor edge, so the agent's position at local round `t` is
+/// `start + t (mod n)` — every rendezvous question about two rotors has a
+/// closed-form answer, which is what makes the astronomical assertions
+/// below predictions rather than replays.
+struct Rotor;
+
+impl FiniteStateProgram for Rotor {
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn decide(&self, _state: u64, _degree: usize, _entry_port: Option<usize>) -> StepDecision {
+        StepDecision { action: StepAction::Move(0), next: 0 }
+    }
+}
+
+impl AgentProgram for Rotor {
+    fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+        drive_finite_state(self, nav)
+    }
+
+    fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+        Some(self)
+    }
+}
+
+/// Exact rendezvous at an astronomical horizon, pinned by closed form: on
+/// an oriented ring-`n`, two rotors at `u` and `v` with delay δ keep the
+/// constant separation `(v - u - δ) mod n`, so they meet **iff**
+/// `δ ≡ v - u (mod n)` — at the exact global round the later agent
+/// appears — and never otherwise.  The symbolic path must report those
+/// exact rounds and exact move totals at `2^40`-scale horizons without
+/// unrolling a single round, in exact agreement with a small-horizon
+/// explicit control run shifted by the closed-form offset.
+#[test]
+fn astronomical_meeting_rounds_match_the_closed_form_on_a_ring() {
+    let n = 8usize;
+    let g = oriented_ring(n).unwrap();
+    let program = Rotor;
+    let big: Round = (1 << 40) + 16;
+    let cache = TrajectoryCache::new(&g, &program, big);
+
+    // small-horizon explicit control: δ = 3 ≡ v - u (mod 8) meets exactly
+    // when the later agent appears
+    let (u, v) = (0usize, 3usize);
+    let small_delta: Round = 3;
+    let small =
+        TrajectoryCache::new(&g, &program, 64).simulate_capped(&Stic::new(u, v, small_delta), 64);
+    let small_meet = small.meeting.expect("control run must meet");
+    assert_eq!(small_meet.global_round, small_delta);
+
+    // the astronomical delay keeps the same residue: 2^40 ≡ 0 (mod 8)
+    let big_delta: Round = (1 << 40) + 3;
+    let outcome = cache.simulate_capped(&Stic::new(u, v, big_delta), big);
+    let meet = outcome.meeting.expect("aligned rotors must meet at the delay round");
+    // closed form: the meeting is at the later agent's arrival round,
+    // exactly — not a round later, not saturated to any cap
+    assert_eq!(meet.global_round, big_delta);
+    assert_eq!(meet.later_round, small_meet.later_round);
+    assert_eq!(
+        meet.node as Round,
+        (u as Round + big_delta) % n as Round,
+        "the meeting node is the rotor's closed-form position at the delay round"
+    );
+    // the rotor moves every round: the move totals at the two meetings
+    // differ by exactly the delay difference
+    assert_eq!(
+        outcome.earlier_moves as u128,
+        small.earlier_moves as u128 + (big_delta - small_delta)
+    );
+    assert_eq!(outcome.later_moves, small.later_moves);
+
+    // misaligned residue: δ = 1 ≢ 3 (mod 8) — the separation is constant
+    // and nonzero, so there is no meeting at *any* horizon; the outcome at
+    // 2^40 must be exactly "unmet", with exact move totals
+    let unmet = cache.simulate_capped(&Stic::new(u, v, 1), big);
+    assert!(!unmet.met(), "misaligned rotors can never meet");
+    let unmet_small =
+        TrajectoryCache::new(&g, &program, 64).simulate_capped(&Stic::new(u, v, 1), 64);
+    assert!(!unmet_small.met());
+    assert_eq!(unmet.earlier_moves as u128, unmet_small.earlier_moves as u128 + (big - 64));
+    assert_eq!(unmet.later_moves as u128, unmet_small.later_moves as u128 + (big - 64));
+
+    // and none of it unrolled: every outcome above came from cycle algebra
+    assert_eq!(cache.computed(), 0, "astronomical outcomes must not record explicit timelines");
+    assert_eq!(cache.computed_symbolic(), 2, "only the two queried starts are detected");
 }
 
 #[test]
