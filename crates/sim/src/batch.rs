@@ -1163,11 +1163,18 @@ impl<'a> TrajectoryCache<'a> {
         self.program
     }
 
-    /// The timeline of the agent started at `start`, recording it on first
-    /// use.
+    /// The timeline of the agent started at `start`, produced on first use:
+    /// materialised from the node's symbolic (prefix + cycle) timeline when
+    /// one is already held (warm-loaded or previously detected) —
+    /// bit-identical to a fresh recording and free of program execution —
+    /// and recorded by running the program otherwise.  Laziness is the
+    /// point: a store warming thousands of symbolic entries pays nothing
+    /// here until a node's explicit path is actually queried.
     pub fn timeline(&self, start: NodeId) -> &Timeline {
-        self.slots[start]
-            .get_or_init(|| Timeline::record(self.graph, self.program, start, self.horizon))
+        self.slots[start].get_or_init(|| match self.get_symbolic(start) {
+            Some(s) => s.materialize(self.horizon),
+            None => Timeline::record(self.graph, self.program, start, self.horizon),
+        })
     }
 
     /// Number of start nodes whose timeline has been recorded so far.
@@ -1267,16 +1274,20 @@ impl<'a> TrajectoryCache<'a> {
     }
 
     /// Resolve one STIC through the symbolic path at an arbitrary `horizon`
-    /// (no cache-horizon cap: the closed-form cycle merge never unrolls).
-    /// `None` when either start lacks a symbolic timeline; the result is
-    /// bit-identical to the explicit `simulate_capped` at the same horizon.
+    /// (no cache-horizon cap: the closed-form cycle merge never unrolls
+    /// past its bounded alignment window).  `None` when either start lacks
+    /// a symbolic timeline, or when the merge declines because resolving
+    /// exactly would exceed [`crate::symbolic::MERGE_SEG_CAP`] segments per
+    /// side (the caller falls back to the explicit path); a returned
+    /// outcome is bit-identical to the explicit `simulate_capped` at the
+    /// same horizon.
     pub fn simulate_symbolic(&self, stic: &Stic, horizon: Round) -> Option<SimOutcome> {
         if stic.delay > horizon {
             return Some(SimOutcome::no_show(horizon));
         }
         let earlier = self.symbolic_timeline(stic.earlier)?;
         let later = self.symbolic_timeline(stic.later)?;
-        Some(merge_symbolic(earlier, later, stic, horizon))
+        merge_symbolic(earlier, later, stic, horizon)
     }
 
     /// Simulate one STIC at the cache horizon.

@@ -121,10 +121,13 @@ pub struct SimOutcome {
     /// The meeting, if one happened within the horizon.
     pub meeting: Option<Meeting>,
     /// Edge traversals of the earlier agent observed up to the meeting /
-    /// horizon.
+    /// horizon.  Closed-form symbolic merges can evaluate this at horizons
+    /// past `2^64` moves; the counter then **saturates at `u64::MAX`**
+    /// (see `SymbolicTimeline::totals_up_to`) — meeting rounds and horizons
+    /// are [`Round`]-wide and never saturate.
     pub earlier_moves: u64,
     /// Edge traversals of the later agent observed up to the meeting /
-    /// horizon.
+    /// horizon (saturating at `u64::MAX`, like `earlier_moves`).
     pub later_moves: u64,
     /// Whether the earlier agent's program terminated by itself (only
     /// meaningful when no meeting interrupted it).

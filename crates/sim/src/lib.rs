@@ -48,8 +48,11 @@
 //!   (`prefix + cycle^∞` in the same flat segment columns), and
 //!   [`merge_symbolic`] resolves any horizon — `2^40` and far beyond — by
 //!   closed-form cycle alignment, bit-identical to the explicit kernels
-//!   (differentially property-tested) with exact move totals and zero
-//!   unrolled rounds;
+//!   (differentially property-tested) with exact meeting rounds, move
+//!   totals that saturate only past `u64::MAX` traversals, and zero
+//!   unrolled rounds; a merge whose alignment window would cost more than
+//!   [`MERGE_SEG_CAP`] materialised segments declines (the caller falls
+//!   back to the explicit path) instead of unrolling;
 //! * [`trace::record_trace`] materialises a single agent's run-length-encoded
 //!   position trace for tests and analysis.
 //!
@@ -80,6 +83,8 @@ pub use navigator::{
     Navigator, StepAction, StepDecision, Stop,
 };
 pub use stic::{Round, Stic};
-pub use symbolic::{detect_symbolic, merge_symbolic, SymbolicTail, SymbolicTimeline};
+pub use symbolic::{
+    detect_symbolic, merge_symbolic, SymbolicTail, SymbolicTimeline, MERGE_SEG_CAP,
+};
 pub use trace::{record_trace, PositionTrace, Segment, TraceStats};
 pub use workload::SweepWalker;

@@ -45,13 +45,29 @@
 //!   periodicity);
 //! * unmet move totals at a huge horizon `h` are closed-form: prefix moves
 //!   plus `⌊(h − p)/T⌋` full cycles of moves plus the partial-cycle count
-//!   ([`SymbolicTimeline::totals_up_to`]).
+//!   ([`SymbolicTimeline::totals_up_to`]; the reported counters saturate at
+//!   `u64::MAX` — see that method's docs).
 //!
 //! So a merge materialises at most `min(horizon, P + L)` rounds of explicit
 //! timeline and hands them to the explicit [`merge_timelines`] kernel —
 //! which is also what pins the symbolic path bit-identical to the explicit
 //! engines on unrollable horizons (the differential property suite) and
 //! makes it trivially identical on the window itself.
+//!
+//! ## Bounded materialisation: oversized windows decline, never unroll
+//!
+//! The alignment window is bounded by the *detected* structure, not by a
+//! constant: two programs with long wait-based cycles can make
+//! `L = lcm(T_a, T_b)` — or, via saturation, the whole window —
+//! astronomically large, and "materialise the window" would then be exactly
+//! the unbounded unroll this module exists to avoid.  Every materialisation
+//! [`merge_symbolic`] performs is therefore gated by its **segment cost**
+//! (closed-form, [`SymbolicTimeline`]'s cycle structure makes it O(1) to
+//! predict): when either side would expand to more than [`MERGE_SEG_CAP`]
+//! segments, the merge returns `None` and the caller falls back to the
+//! explicit engines — bounded memory, never an OOM or a silent hang.  The
+//! gate is on segments rather than rounds, so sparse timelines (huge waits,
+//! few moves) still resolve symbolically at any horizon.
 //!
 //! ## Delay reduction: astronomical δ, not just astronomical horizons
 //!
@@ -325,7 +341,12 @@ impl SymbolicTimeline {
     /// `(moves, terminated)` of the explicit run truncated at local horizon
     /// `cap` — the closed-form counterpart of `Timeline::totals_up_to`,
     /// exact at any `cap` (full cycles contribute `⌊(cap − p)/T⌋ · λ` moves
-    /// without unrolling).
+    /// without unrolling) **up to the width of the counter**: move totals
+    /// are reported as `u64` across every engine and outcome table, so a
+    /// run that accumulates more than `2^64 − 1` moves (a cycling walker
+    /// needs a horizon beyond ~`2^64` rounds for that) reports exactly
+    /// `u64::MAX`, the documented saturation sentinel.  Meeting rounds and
+    /// horizons are unaffected — they are [`Round`]-wide and stay exact.
     pub fn totals_up_to(&self, cap: Round) -> (u64, bool) {
         match self.tail {
             SymbolicTail::Terminated => {
@@ -352,6 +373,27 @@ impl SymbolicTimeline {
                         + full * self.cycle.nodes.len() as u128
                         + seg_index_at(&self.cycle, rem) as u128;
                     (u64::try_from(idx).unwrap_or(u64::MAX), false)
+                }
+            }
+        }
+    }
+
+    /// Upper bound on the explicit segments [`Self::materialize`] would
+    /// produce at local `horizon` — closed-form (no unrolling) and
+    /// saturating.  This is the cost gate [`merge_symbolic`] applies before
+    /// materialising an alignment window: prediction must stay O(1) even
+    /// when the answer is astronomical.
+    fn materialized_segments(&self, horizon: Round) -> u128 {
+        let prefix = self.prefix.nodes.len() as u128;
+        match self.tail {
+            SymbolicTail::Terminated => prefix,
+            SymbolicTail::Parked => prefix + 1,
+            SymbolicTail::Cycle => {
+                if horizon < self.preperiod {
+                    prefix
+                } else {
+                    let copies = (horizon - self.preperiod) / self.period + 1;
+                    prefix.saturating_add(copies.saturating_mul(self.cycle.nodes.len() as u128))
                 }
             }
         }
@@ -720,19 +762,32 @@ fn lcm(a: Round, b: Round) -> Round {
     (a / gcd(a, b)).saturating_mul(b)
 }
 
+/// Largest number of explicit segments [`merge_symbolic`] will materialise
+/// per side before declining (see the module docs): the same order of work
+/// the explicit engines accept at the unroll cap, so a declined merge hands
+/// the caller a problem no harder than the one it already handles.
+pub const MERGE_SEG_CAP: u128 = 1 << 22;
+
 /// Resolve one STIC from two symbolic timelines at **any** horizon —
 /// bit-identical to the explicit `merge_timelines` over fresh recordings at
 /// the same horizon, with cost independent of the horizon (see the module
 /// docs for the alignment-window algebra).
+///
+/// Returns `None` — never a wrong or truncated outcome — when resolving
+/// exactly would require materialising more than [`MERGE_SEG_CAP`] segments
+/// on either side (an alignment window blown up by long or saturated cycle
+/// `lcm`s); the caller falls back to the explicit path.  Move counters in
+/// the returned outcome saturate at `u64::MAX`
+/// ([`SymbolicTimeline::totals_up_to`]); everything else is exact.
 pub fn merge_symbolic(
     earlier: &SymbolicTimeline,
     later: &SymbolicTimeline,
     stic: &Stic,
     horizon: Round,
-) -> SimOutcome {
+) -> Option<SimOutcome> {
     debug_assert_eq!(earlier.n, later.n, "timelines of one graph");
     if stic.delay > horizon {
-        return SimOutcome::no_show(horizon);
+        return Some(SimOutcome::no_show(horizon));
     }
     // Delay reduction (see the module docs): once the earlier agent is past
     // its own preperiod, shifting the merge back by whole earlier-cycles
@@ -747,7 +802,7 @@ pub fn merge_symbolic(
     };
     if shift > 0 {
         let reduced = Stic { delay: stic.delay - shift, ..*stic };
-        let probe = merge_aligned(earlier, later, &reduced, horizon - shift);
+        let probe = merge_aligned(earlier, later, &reduced, horizon - shift)?;
         // Map back: the meeting (if any) moves forward by `shift` global
         // rounds on the same node at the same later-agent local round, and
         // the earlier agent walks `shift / T_a` extra cycles — each worth
@@ -758,35 +813,45 @@ pub fn merge_symbolic(
             SymbolicTail::Parked | SymbolicTail::Terminated => 0,
         };
         let extra = (shift / lam_a) * cycle_moves;
-        let earlier_moves =
-            u64::try_from(u128::from(probe.earlier_moves) + extra).unwrap_or(u64::MAX);
-        return SimOutcome {
+        let earlier_moves = u64::try_from(u128::from(probe.earlier_moves).saturating_add(extra))
+            .unwrap_or(u64::MAX);
+        return Some(SimOutcome {
             meeting: probe.meeting.map(|m| Meeting { global_round: m.global_round + shift, ..m }),
             earlier_moves,
             horizon,
             ..probe
-        };
+        });
     }
     merge_aligned(earlier, later, stic, horizon)
 }
 
 /// [`merge_symbolic`] after delay reduction: `δ < p_a + T_a` (or the earlier
 /// timeline is degenerate), so the alignment window below is bounded by the
-/// detected cycle structure alone.
+/// detected cycle structure alone — which can still be astronomically large
+/// (long or saturated cycle `lcm`s), hence the [`MERGE_SEG_CAP`] gate on
+/// every materialisation: `None` means "too expensive to resolve exactly",
+/// never a truncated answer.
 fn merge_aligned(
     earlier: &SymbolicTimeline,
     later: &SymbolicTimeline,
     stic: &Stic,
     horizon: Round,
-) -> SimOutcome {
+) -> Option<SimOutcome> {
     let aligned = earlier.aligned_from().max(later.aligned_from().saturating_add(stic.delay));
     let align_period = lcm(earlier.alignment_period(), later.alignment_period());
     let window = aligned.saturating_add(align_period);
+    // everything below materialises both sides at `min(horizon, window)`
+    let probe_horizon = horizon.min(window);
+    if earlier.materialized_segments(probe_horizon) > MERGE_SEG_CAP
+        || later.materialized_segments(probe_horizon) > MERGE_SEG_CAP
+    {
+        return None;
+    }
     if horizon <= window {
         // small enough to decide exactly on materialised prefixes
         let me = earlier.materialize(horizon);
         let ml = later.materialize(horizon);
-        return merge_timelines(&me, &ml, stic, horizon);
+        return Some(merge_timelines(&me, &ml, stic, horizon));
     }
     if anonrv_obs::enabled() {
         anonrv_obs::counter_add("symbolic.merges", 1);
@@ -797,22 +862,22 @@ fn merge_aligned(
     if probe.meeting.is_some() {
         // a meeting inside the window is the first meeting at every larger
         // horizon; only the reporting horizon changes
-        return SimOutcome { horizon, ..probe };
+        return Some(SimOutcome { horizon, ..probe });
     }
     // the joint pair state is periodic with period `align_period` from
     // `aligned`, and [aligned, window) covers one full period with no
     // intersection: there is no meeting at any horizon.  Report the exact
-    // closed-form move totals.
+    // (saturating, see `totals_up_to`) closed-form move totals.
     let (earlier_moves, earlier_terminated) = earlier.totals_up_to(horizon);
     let (later_moves, later_terminated) = later.totals_up_to(horizon - stic.delay);
-    SimOutcome {
+    Some(SimOutcome {
         meeting: None,
         earlier_moves,
         later_moves,
         earlier_terminated,
         later_terminated,
         horizon,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -886,6 +951,57 @@ mod tests {
     }
 
     impl AgentProgram for KThenPark {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            drive_finite_state(self, nav)
+        }
+        fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+            Some(self)
+        }
+    }
+
+    /// Cycle through `k` machine states, moving on port 0 every decision:
+    /// the configuration period on an n-ring is `lcm(k, n)` rounds at one
+    /// segment per round — the densest possible cycle, used to blow the
+    /// alignment window's segment cost past [`MERGE_SEG_CAP`].
+    struct ModRotor(u64);
+
+    impl FiniteStateProgram for ModRotor {
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn decide(&self, state: u64, _degree: usize, _entry: Option<Port>) -> StepDecision {
+            StepDecision { action: StepAction::Move(0), next: (state + 1) % self.0 }
+        }
+    }
+
+    impl AgentProgram for ModRotor {
+        fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
+            drive_finite_state(self, nav)
+        }
+        fn finite_state(&self) -> Option<&dyn FiniteStateProgram> {
+            Some(self)
+        }
+    }
+
+    /// Alternate `Wait(w)` and `Move(0)` for an astronomical `w`: the
+    /// period on an n-ring is `n·(w + 1)` rounds in only `2n` segments —
+    /// maximally sparse cycles whose pairwise `lcm` saturates [`Round`].
+    struct SlowRotor(Round);
+
+    impl FiniteStateProgram for SlowRotor {
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn decide(&self, state: u64, _degree: usize, _entry: Option<Port>) -> StepDecision {
+            if state == 0 {
+                StepDecision { action: StepAction::Wait(self.0), next: 1 }
+            } else {
+                StepDecision { action: StepAction::Move(0), next: 0 }
+            }
+        }
+    }
+
+    impl AgentProgram for SlowRotor {
         fn run(&self, nav: &mut dyn Navigator) -> Result<(), Stop> {
             drive_finite_state(self, nav)
         }
@@ -1063,7 +1179,8 @@ mod tests {
                 for delta in [0 as Round, 1, 7, 97, 1_000, 12_345, 59_999, 60_000] {
                     let stic = Stic::new(u, v, delta);
                     let explicit = merge_timelines(&me, &ml, &stic, h);
-                    let symbolic = merge_symbolic(&tls[u], &tls[v], &stic, h);
+                    let symbolic = merge_symbolic(&tls[u], &tls[v], &stic, h)
+                        .expect("window fits the segment cap");
                     assert_eq!(explicit, symbolic, "({u}, {v}, {delta})");
                 }
             }
@@ -1096,7 +1213,8 @@ mod tests {
             let control_meet = control.meeting.expect("aligned control run meets");
             for r in 0..n as Round {
                 let delta: Round = (1 << 40) + r; // 2^40 ≡ 0 (mod 8)
-                let out = merge_symbolic(&tls[u], &tls[v], &Stic::new(u, v, delta), h);
+                let out = merge_symbolic(&tls[u], &tls[v], &Stic::new(u, v, delta), h)
+                    .expect("window fits the segment cap");
                 assert_eq!(out.horizon, h);
                 if r == residue {
                     let m = out.meeting.expect("aligned rotors meet at the delay round");
@@ -1116,6 +1234,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn oversized_alignment_windows_decline_instead_of_unrolling() {
+        // Two dense rotors with near-coprime ~1000-state cycles: the
+        // alignment window is lcm(8·1021, 8·1019) ≈ 8.3M rounds at one
+        // segment per round, past MERGE_SEG_CAP.  Beyond the window the
+        // merge must *decline* — never unroll millions of segments at an
+        // astronomical horizon — and within explicit reach it stays exact.
+        let g = oriented_ring(8).unwrap();
+        let a = detect_symbolic(&g, &ModRotor(1021), 0).expect("dense rotor cycles");
+        let b = detect_symbolic(&g, &ModRotor(1019), 3).expect("dense rotor cycles");
+        assert!(
+            lcm(a.alignment_period(), b.alignment_period()) > MERGE_SEG_CAP as Round,
+            "the construction must actually overflow the cap"
+        );
+        let stic = Stic::new(0, 3, 1);
+        assert_eq!(merge_symbolic(&a, &b, &stic, 1 << 40), None, "oversized window must decline");
+
+        let h: Round = 50_000;
+        let explicit = merge_timelines(&a.materialize(h), &b.materialize(h), &stic, h);
+        let bounded = merge_symbolic(&a, &b, &stic, h).expect("within the segment cap");
+        assert_eq!(bounded, explicit, "unrollable horizons stay exact");
+    }
+
+    #[test]
+    fn saturated_windows_with_sparse_segments_still_resolve_exactly() {
+        // Wait-based periods near 2^80 make the cycle lcm saturate Round —
+        // the alignment window degenerates to Round::MAX — but one cycle is
+        // only 6 segments, so the segment-cost gate admits an *exact*
+        // materialised merge at a 2^90 horizon (and the explicit recorder,
+        // which coalesces waits, can pin it differentially: ~2^10 decisions
+        // cover the whole horizon).
+        let g = oriented_ring(3).unwrap();
+        let slow_a = SlowRotor(1 << 80);
+        let slow_b = SlowRotor((1 << 80) + 6);
+        let a = detect_symbolic(&g, &slow_a, 0).expect("sparse rotor cycles");
+        let b = detect_symbolic(&g, &slow_b, 1).expect("sparse rotor cycles");
+        assert_eq!(
+            lcm(a.alignment_period(), b.alignment_period()),
+            Round::MAX,
+            "the construction must actually saturate the alignment lcm"
+        );
+        let h: Round = 1 << 90;
+        let stic = Stic::new(0, 1, 2);
+        let out = merge_symbolic(&a, &b, &stic, h).expect("sparse sides fit the segment cap");
+        let agent_a: &dyn AgentProgram = &slow_a;
+        let agent_b: &dyn AgentProgram = &slow_b;
+        let explicit = merge_timelines(
+            &Timeline::record(&g, agent_a, 0, h),
+            &Timeline::record(&g, agent_b, 1, h),
+            &stic,
+            h,
+        );
+        assert_eq!(out, explicit, "saturated-window merge must stay bit-identical");
     }
 
     #[test]

@@ -41,12 +41,25 @@ pub struct SweepWalker {
     pub seed: u64,
 }
 
+/// Behaviour version of the walker, embedded in
+/// [`SweepWalker::program_key`].  Persisted artifacts (timelines, outcome
+/// tables) are keyed by the program; if the decision sequence ever changes
+/// — state width, scrambling, the action mapping — under an unchanged key,
+/// artifacts recorded by the *old* walker would be served as warm hits for
+/// the new one, silently diverging from cold runs.  Bump this whenever the
+/// walker's behaviour changes so stale artifacts become plain misses.
+/// (v2: the 64-bit LCG walk became the 12-bit masked-state orbit with the
+/// scrambled roll.)
+const WALKER_BEHAVIOR_VERSION: u32 = 2;
+
 impl SweepWalker {
     /// The canonical persistent-cache program key of this walker
-    /// (`"sweep-walker-<seed in hex>"`).  Every store-backed consumer must
-    /// use this key so their artifacts warm each other.
+    /// (`"sweep-walker-v2-<seed in hex>"`).  Every store-backed consumer
+    /// must use this key so their artifacts warm each other.  The `v2`
+    /// component is `WALKER_BEHAVIOR_VERSION`: it invalidates artifacts
+    /// recorded by behaviourally different earlier walkers.
     pub fn program_key(&self) -> String {
-        format!("sweep-walker-{:x}", self.seed)
+        format!("sweep-walker-v{WALKER_BEHAVIOR_VERSION}-{:x}", self.seed)
     }
 
     /// Decorrelate the raw 12-bit LCG state into a roll with well-mixed low
@@ -103,8 +116,8 @@ mod tests {
         let a = SweepEngine::new(&g, &SweepWalker { seed: 0x5EED }, EngineConfig::batch(200));
         let b = SweepEngine::new(&g, &SweepWalker { seed: 0x5EED }, EngineConfig::batch(200));
         assert_eq!(a.simulate(&stic), b.simulate(&stic));
-        assert_eq!(SweepWalker { seed: 0x5EED }.program_key(), "sweep-walker-5eed");
-        assert_eq!(SweepWalker { seed: 10 }.program_key(), "sweep-walker-a");
+        assert_eq!(SweepWalker { seed: 0x5EED }.program_key(), "sweep-walker-v2-5eed");
+        assert_eq!(SweepWalker { seed: 10 }.program_key(), "sweep-walker-v2-a");
     }
 
     #[test]

@@ -74,7 +74,7 @@ use anonrv_obs as obs;
 use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan};
 use anonrv_sim::{
     Meeting, Round, SimOutcome, SweepEngine, SymbolicTail, SymbolicTimeline, Timeline,
-    TimelineParts, UNROLL_CAP,
+    TimelineParts,
 };
 
 use crate::codec::{fnv64, peek_frame, unframe, unframe_checked, Dec, Enc, FrameFailure, Kind};
@@ -130,9 +130,10 @@ pub struct WarmedTimelines {
     pub prefix: usize,
     /// Symbolic (prefix + cycle) timelines installed into the engine's
     /// trajectory cache.  A symbolic timeline is horizon-free, so it serves
-    /// every query horizon; at engine horizons within the unroll cap it is
-    /// additionally materialised into an explicit timeline (counted in
-    /// `installed` above) so the explicit merge path is warm too.
+    /// every query horizon; on the explicit merge path (engine horizons
+    /// within the unroll cap) the trajectory cache materialises its
+    /// engine-horizon prefix lazily on the node's first query — never
+    /// counted in `installed`, which only covers explicit frames.
     pub symbolic: usize,
 }
 
@@ -570,19 +571,16 @@ impl Store {
         // Symbolic timelines are horizon-free, so they warm *every* engine:
         // beyond the unroll cap the queries route through the closed-form
         // cycle merge directly; within it the symbolic artifact supersedes
-        // an absent (or too-short) explicit recording by materialising the
-        // engine-horizon prefix — exact, and free of program execution.
+        // an absent (or too-short) explicit recording — the trajectory
+        // cache materialises the engine-horizon prefix **lazily, on the
+        // first explicit-path query of the node** (exact, and free of
+        // program execution; see `TrajectoryCache::timeline`).  Warm time
+        // therefore stays proportional to the artifact, not to
+        // `nodes × horizon` of unrolled segments nobody may ever query.
         if let Some(symbolics) = self.load_symbolic_timelines(cache.graph(), program_key) {
             for (u, s) in symbolics {
-                let materialized = (horizon <= UNROLL_CAP && !cache.has_timeline(u))
-                    .then(|| s.materialize(horizon));
                 if cache.preload_symbolic(u, s) {
                     warmed.symbolic += 1;
-                }
-                if let Some(t) = materialized {
-                    if cache.preload(u, t) {
-                        warmed.installed += 1;
-                    }
                 }
             }
         }

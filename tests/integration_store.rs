@@ -33,7 +33,7 @@ fn walker() -> SweepWalker {
     SweepWalker { seed: 0x5EED }
 }
 
-const KEY: &str = "sweep-walker-5eed";
+const KEY: &str = "sweep-walker-v2-5eed";
 const HORIZON: Round = 64;
 
 fn deltas() -> Vec<Round> {
