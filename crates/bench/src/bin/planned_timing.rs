@@ -6,6 +6,11 @@
 //! planned side includes computing the orbit partition from scratch every
 //! iteration, so the recorded ratio is the honest end-to-end planning win.
 //!
+//! A second, `million_node` section records the implicit orbit planner
+//! streaming the same shape of workload over `oriented_torus(1024, 1024)`
+//! — 2^40 ordered pairs per delay, answered through closed-form group
+//! arithmetic with bounded memory and no materialised outcome table.
+//!
 //! Usage: `cargo run --release -p anonrv-bench --bin planned_timing
 //! [output.json]` (default output: `BENCH_planned.json`).
 
@@ -13,11 +18,13 @@ use std::time::Instant;
 
 use anonrv_bench::{sweep_batch_engine, sweep_planned_engine, SweepWalker};
 use anonrv_graph::generators::oriented_torus;
-use anonrv_plan::PairOrbits;
-use anonrv_sim::Round;
+use anonrv_plan::{PairOrbits, PlannedSweep, SweepPlan};
+use anonrv_sim::{EngineConfig, Round};
 
 const HORIZON: Round = 256;
 const DELTAS: u32 = 5;
+const GIANT_HORIZON: Round = 64;
+const GIANT_DELTAS: u32 = 2;
 
 /// Median wall time of `runs` executions, in seconds.
 fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -50,6 +57,28 @@ fn main() {
     let batch_s = time_median(5, || sweep_batch_engine(&torus, &program, DELTAS, HORIZON));
     let speedup = batch_s / planned_s;
 
+    // the million-node row: the implicit orbit planner streams all-pairs
+    // work on oriented_torus(1024, 1024) — 2^40 ordered pairs per delay —
+    // without materialising a permutation, a pair table or the outcome table
+    let giant = oriented_torus(1024, 1024).unwrap();
+    let giant_deltas: Vec<Round> = (0..GIANT_DELTAS as Round).collect();
+    let giant_planned = PlannedSweep::new(&giant, &program, EngineConfig::batch(GIANT_HORIZON));
+    assert!(
+        giant_planned.orbits().is_implicit(),
+        "torus generators must stamp the closed-form group"
+    );
+    let giant_plan =
+        SweepPlan::from_orbits(giant_planned.orbits().clone(), giant_deltas, GIANT_HORIZON);
+    let mut giant_met = 0usize;
+    let giant_s = time_median(3, || {
+        let stats = giant_planned.run_streamed(&giant_plan, 4096, |_, _| {}).expect("streamed");
+        giant_met = stats.met_total;
+        stats
+    });
+    let giant_n = giant.num_nodes();
+    let giant_stics = giant_n * giant_n * GIANT_DELTAS as usize;
+    let giant_classes = giant_planned.orbits().num_pair_classes();
+
     let num_stics = n * n * DELTAS as usize;
     let classes = orbits.num_pair_classes();
     let compression = orbits.compression();
@@ -63,7 +92,14 @@ fn main() {
          \"planned_sweep_seconds\": {planned_s:.6},\n  \
          \"planning_only_seconds\": {planning_s:.6},\n  \
          \"batch_sweep_seconds\": {batch_s:.6},\n  \
-         \"planned_speedup\": {speedup:.1}\n}}\n"
+         \"planned_speedup\": {speedup:.1},\n  \
+         \"million_node\": {{\n    \
+         \"instance\": \"oriented_torus(1024, 1024)\",\n    \
+         \"workload\": \"all (u, v) pairs x delta in 0..{GIANT_DELTAS}, horizon {GIANT_HORIZON}, streamed\",\n    \
+         \"stics\": {giant_stics},\n    \
+         \"meetings\": {giant_met},\n    \
+         \"pair_classes\": {giant_classes},\n    \
+         \"streamed_sweep_seconds\": {giant_s:.6}\n  }}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     print!("{json}");

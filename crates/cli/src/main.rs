@@ -5,10 +5,14 @@
 //! anonrv feasible <graph> <u> <v> <delta>      Corollary 3.1 classification of a STIC
 //! anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm]
 //!                                              run a rendezvous algorithm on the STIC
-//! anonrv orbits   <graph>                      view-equivalence classes of the graph
+//! anonrv orbits   <graph> [--json]             view-equivalence classes, symmetry
+//!                                              group descriptor (closed form on
+//!                                              stamped families — million-node
+//!                                              tori answer without enumerating
+//!                                              a single permutation)
 //! anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S]
 //!                 [--cache-dir DIR] [--shards K --shard-index I] [--merge]
-//!                 [--shards K --supervised]
+//!                 [--shards K --supervised] [--stream [--chunk C]]
 //!                 [--report text|json] [--trace-out FILE]
 //!                                              exhaustive planned all-pairs sweep:
 //!                                              resumable (persistent plan cache,
@@ -22,7 +26,13 @@
 //!                                              emits one schema-versioned report
 //!                                              (anonrv.report/v1) on stdout and
 //!                                              --trace-out writes a JSONL span/
-//!                                              event trace (anonrv.trace/v1)
+//!                                              event trace (anonrv.trace/v1);
+//!                                              --stream runs the implicit orbit
+//!                                              planner: chunks of (class, δ)
+//!                                              entries visit a fingerprinter
+//!                                              instead of materialising the
+//!                                              table, so all-pairs sweeps scale
+//!                                              to million-node stamped graphs
 //! anonrv cache    <dir> stats|gc|fsck [--repair] [--json]
 //!                                              survey / compact / deep-verify a
 //!                                              plan-cache dir (--json: the same
@@ -72,10 +82,10 @@ fn main() -> ExitCode {
 fn usage() -> &'static str {
     "usage:\n  anonrv shrink   <graph> <u> <v>\n  anonrv feasible <graph> <u> <v> <delta>\n  \
      anonrv simulate <graph> <u> <v> <delta> [--algo universal|symm|asymm] [--horizon H]\n  \
-     anonrv orbits   <graph>\n  \
+     anonrv orbits   <graph> [--json]\n  \
      anonrv sweep    <graph> [--deltas D] [--horizon H] [--seed S] [--cache-dir DIR]\n                  \
      [--shards K --shard-index I] [--merge] [--shards K --supervised]\n                  \
-     [--report text|json] [--trace-out FILE]\n  \
+     [--stream [--chunk C]] [--report text|json] [--trace-out FILE]\n  \
      anonrv cache    <dir> stats|gc|fsck [--repair] [--json]\n  \
      anonrv figure1  [h]\n\n\
      sweep: exhaustive all-pairs x delay-grid planned sweep (D = count `5` for {0..4} or list \
@@ -84,6 +94,9 @@ fn usage() -> &'static str {
      prefix truncation),\n  --shards/--shard-index executes one slice, --merge reassembles the \
      slices bit-identically,\n  --shards/--supervised runs every slice in-process with bounded \
      retry + backoff, re-running\n  only slices whose artifact is missing, then merges.\n  \
+     --stream executes the plan through the implicit orbit planner (stamped vertex-transitive\n  \
+     graphs only): chunks of C classes (default 1024) stream through a fingerprinter with\n  \
+     bounded memory — the path that completes all-pairs sweeps on torus:1024x1024.\n  \
      --report json prints one anonrv.report/v1 JSON object (plan, provenance, session stats,\n  \
      supervisor attempt rows, metrics snapshot, outcome-table fingerprint) instead of text;\n  \
      --trace-out FILE streams every timing span and structured event as anonrv.trace/v1 JSONL.\n\n\
@@ -324,29 +337,93 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
     ))
 }
 
+/// Node count above which `anonrv orbits` stops materialising the
+/// per-class node listing: a stamped million-node torus answers from its
+/// closed-form group descriptor alone, never running the O(n log n)
+/// refinement or printing a million-entry class.
+const ORBIT_LISTING_CAP: usize = 4096;
+
 fn cmd_orbits(args: &[String]) -> Result<String, String> {
-    let g = parse_graph(args.first().ok_or("missing <graph>")?)?;
-    let partition = OrbitPartition::compute(&g);
-    let classes = partition.classes();
-    let mut out = format!(
-        "graph: {} nodes, {} edges\nview-equivalence classes: {}\n",
-        g.num_nodes(),
-        g.num_edges(),
-        classes.len()
-    );
-    for (i, class) in classes.iter().enumerate() {
-        out.push_str(&format!("  class {i}: {class:?}\n"));
+    use anonrv_obs::json::{obj, Value};
+
+    let spec_arg = args.first().ok_or("missing <graph>")?;
+    let g = parse_graph(spec_arg)?;
+    let json_out = args.iter().any(|a| a == "--json");
+    let n = g.num_nodes();
+
+    // The pair-orbit view first: on stamped families (rings, tori,
+    // hypercubes, circulants) this verifies the closed-form group in
+    // O(n·Δ) without materialising a single permutation, so giant specs
+    // (`torus:1024x1024`) answer in seconds.
+    let orbits = anonrv_plan::PairOrbits::compute(&g);
+    let group = orbits.group();
+
+    // A closed-form group is transitive by construction: one node class.
+    // Small graphs (and every explicit-fallback graph, whose group
+    // enumeration already cost more) keep the refinement partition.
+    let partition = if group.is_implicit() && n > ORBIT_LISTING_CAP {
+        None
+    } else {
+        Some(OrbitPartition::compute(&g))
+    };
+    let num_node_classes = partition.as_ref().map_or(1, |p| p.classes().len());
+
+    if json_out {
+        let report = Value::Obj(vec![
+            ("schema".into(), Value::from(anonrv_obs::report::REPORT_SCHEMA)),
+            ("command".into(), Value::from("orbits")),
+            (
+                "graph".into(),
+                obj([
+                    ("spec", Value::from(spec_arg.as_str())),
+                    ("nodes", Value::from(n)),
+                    ("edges", Value::from(g.num_edges())),
+                    ("hash", Value::from(format!("{:032x}", g.canonical_hash()))),
+                ]),
+            ),
+            (
+                "orbits".into(),
+                obj([
+                    ("family", Value::from(group.family())),
+                    ("implicit", Value::from(group.is_implicit())),
+                    ("generators", Value::from(group.generator_description())),
+                    ("group_order", Value::from(orbits.group_order())),
+                    ("node_classes", Value::from(num_node_classes)),
+                    ("pair_classes", Value::from(orbits.num_pair_classes())),
+                    ("ordered_pairs", Value::from(n * n)),
+                    ("compression", Value::from(orbits.compression())),
+                ]),
+            ),
+        ]);
+        return Ok(report.to_string());
     }
-    out.push_str(if classes.len() == 1 {
+
+    let mut out = format!(
+        "graph: {n} nodes, {} edges\nview-equivalence classes: {num_node_classes}\n",
+        g.num_edges(),
+    );
+    match &partition {
+        Some(p) if n <= ORBIT_LISTING_CAP => {
+            for (i, class) in p.classes().iter().enumerate() {
+                out.push_str(&format!("  class {i}: {class:?}\n"));
+            }
+        }
+        _ => out
+            .push_str(&format!("  (class listing suppressed beyond {ORBIT_LISTING_CAP} nodes)\n")),
+    }
+    out.push_str(if num_node_classes == 1 {
         "all nodes are pairwise symmetric\n"
-    } else if classes.len() == g.num_nodes() {
+    } else if num_node_classes == n {
         "no two nodes are symmetric\n"
     } else {
         "the graph has both symmetric and nonsymmetric pairs\n"
     });
-    // pair-orbit view: what the sweep planner collapses all-pairs workloads to
-    let n = g.num_nodes();
-    let orbits = anonrv_plan::PairOrbits::compute(&g);
+    out.push_str(&format!(
+        "symmetry group: {} {}\ngenerators: {}\n",
+        group.family(),
+        if group.is_implicit() { "(implicit, closed form)" } else { "(BFS-enumerated)" },
+        group.generator_description(),
+    ));
     out.push_str(&format!(
         "automorphism group order: {}\npair orbits (ordered pairs): {} of {} (compression {:.1}x)",
         orbits.group_order(),
@@ -438,6 +515,14 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
     };
     let merge = args.iter().any(|a| a == "--merge");
     let supervised = args.iter().any(|a| a == "--supervised");
+    let stream = args.iter().any(|a| a == "--stream");
+    let chunk: usize = match flag_value(args, "--chunk") {
+        Some(s) => match s.parse() {
+            Ok(c) if c > 0 => c,
+            _ => return Err("bad --chunk value (classes per streamed chunk, >= 1)".to_string()),
+        },
+        None => 1024,
+    };
     let report_json = match flag_value(args, "--report") {
         None | Some("text") => false,
         Some("json") => true,
@@ -530,6 +615,54 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
             members.push(("metrics".into(), obs::snapshot().to_json()));
             Value::Obj(members).to_string()
         };
+
+    if stream {
+        // -- streamed mode: the implicit orbit planner, nothing materialised
+        if merge || supervised || shards.is_some() || shard_index.is_some() {
+            return Err("--stream is a single-process mode; drop --shards/--shard-index/--merge/\
+                 --supervised"
+                .to_string());
+        }
+        let summary = session.run_streamed(&plan, chunk)?;
+        let stats = session.stats();
+        if report_json {
+            return Ok(finish_json(
+                "streamed",
+                vec![
+                    ("meetings".into(), Value::from(summary.met_total)),
+                    ("member_stics".into(), Value::from(summary.answered)),
+                    (
+                        "table_fingerprint".into(),
+                        Value::from(format!("{:016x}", summary.fingerprint)),
+                    ),
+                    (
+                        "stream".into(),
+                        obs::json::obj([
+                            ("classes", Value::from(summary.classes)),
+                            ("entries", Value::from(summary.entries)),
+                            ("chunk_classes", Value::from(chunk)),
+                        ]),
+                    ),
+                ],
+                &stats,
+            ));
+        }
+        out.push_str(&format!(
+            "mode: streamed sweep ({} classes in chunks of {chunk}; outcome table never \
+             materialised)\ncache: {}\nmeetings: {} of {} member STICs\noutcome table \
+             fingerprint: {:016x}",
+            summary.classes,
+            if store.is_some() {
+                "timelines persisted (streamed tables are fingerprinted, not stored)"
+            } else {
+                "disabled (pass --cache-dir to persist the representative timeline)"
+            },
+            summary.met_total,
+            summary.answered,
+            summary.fingerprint,
+        ));
+        return Ok(out);
+    }
 
     if supervised {
         // -- supervised mode: run every slice with retry/backoff, then merge
@@ -1007,6 +1140,75 @@ mod tests {
         assert!(rigid.contains("automorphism group order: 1"), "{rigid}");
         let fig = run(&argv(&["figure1"])).unwrap();
         assert!(fig.contains("17 nodes"), "{fig}");
+    }
+
+    #[test]
+    fn orbits_reports_the_implicit_group_descriptor() {
+        // stamped families answer from the closed-form group
+        let ring = run(&argv(&["orbits", "ring:5"])).unwrap();
+        assert!(ring.contains("symmetry group: cyclic (implicit, closed form)"), "{ring}");
+        assert!(ring.contains("generators: rotation v -> v+1 (mod 5)"), "{ring}");
+        let torus = run(&argv(&["orbits", "torus:3x4"])).unwrap();
+        assert!(torus.contains("symmetry group: torus (implicit, closed form)"), "{torus}");
+        assert!(torus.contains("automorphism group order: 12"), "{torus}");
+        // asymmetric graphs fall back to the BFS enumeration
+        let rigid = run(&argv(&["orbits", "lollipop:3x2"])).unwrap();
+        assert!(rigid.contains("symmetry group: explicit (BFS-enumerated)"), "{rigid}");
+
+        // --json emits a validating anonrv.report/v1 object
+        let report = run(&argv(&["orbits", "torus:3x4", "--json"])).unwrap();
+        let v = anonrv_obs::json::parse(&report).unwrap();
+        let summary = anonrv_obs::report::validate_report(&v).unwrap();
+        assert_eq!(summary.command, "orbits");
+        let orbits = v.get("orbits").unwrap();
+        assert_eq!(orbits.get("family").unwrap().as_str(), Some("torus"));
+        assert_eq!(orbits.get("group_order").unwrap().as_u64(), Some(12));
+        assert_eq!(orbits.get("pair_classes").unwrap().as_u64(), Some(12));
+        assert_eq!(orbits.get("node_classes").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn streamed_sweep_matches_the_full_run_bit_for_bit() {
+        let base = ["sweep", "torus:3x4", "--deltas", "3", "--horizon", "64"];
+        let line = |s: &str, prefix: &str| {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("{prefix} in {s}"))
+                .to_string()
+        };
+        let full = run(&argv(&base)).unwrap();
+
+        // streaming never materialises the table, yet fingerprints and
+        // meeting counts match the materialised run exactly
+        let mut streamed_args: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        streamed_args.extend(["--stream".to_string(), "--chunk".to_string(), "2".to_string()]);
+        let streamed = run(&streamed_args).unwrap();
+        assert!(streamed.contains("mode: streamed sweep"), "{streamed}");
+        assert_eq!(
+            line(&streamed, "outcome table fingerprint:"),
+            line(&full, "outcome table fingerprint:")
+        );
+        assert_eq!(line(&streamed, "meetings:"), line(&full, "meetings:"));
+
+        // the JSON report validates under mode `streamed` with the same
+        // fingerprint
+        let mut json_args = streamed_args.clone();
+        json_args.extend(["--report".to_string(), "json".to_string()]);
+        let report = run(&json_args).unwrap();
+        let v = anonrv_obs::json::parse(&report).unwrap();
+        let summary = anonrv_obs::report::validate_report(&v).unwrap();
+        assert_eq!(summary.mode.as_deref(), Some("streamed"));
+        let fp = summary.table_fingerprint.unwrap();
+        assert!(full.contains(&format!("outcome table fingerprint: {fp}")), "{full}");
+
+        // flag validation: streaming is single-process and needs an
+        // implicit group
+        let mut with_shards = streamed_args.clone();
+        with_shards.extend(["--shards".to_string(), "2".to_string()]);
+        assert!(run(&with_shards).is_err());
+        let explicit = run(&argv(&["sweep", "lollipop:3x2", "--stream"]));
+        assert!(explicit.unwrap_err().contains("implicit"), "explicit partitions cannot stream");
+        assert!(run(&argv(&["sweep", "ring:6", "--stream", "--chunk", "0"])).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::builder::PortGraphBuilder;
 use crate::error::GraphError;
-use crate::graph::PortGraph;
+use crate::graph::{PortGraph, SymmetryHint};
 use crate::Result;
 
 /// The two-node graph from the paper's introduction (delay 3 example).
@@ -25,7 +25,7 @@ pub fn oriented_ring(n: usize) -> Result<PortGraph> {
         let j = (i + 1) % n;
         b.add_edge(i, 0, j, 1)?;
     }
-    b.build()
+    Ok(b.build()?.with_symmetry_hint(SymmetryHint::Cyclic))
 }
 
 /// Ring on `n ≥ 3` nodes with a per-node orientation choice: if
@@ -125,7 +125,7 @@ pub fn hypercube(d: usize) -> Result<PortGraph> {
             }
         }
     }
-    b.build()
+    Ok(b.build()?.with_symmetry_hint(SymmetryHint::Hypercube { dim: d as u32 }))
 }
 
 /// Lollipop graph: a complete graph on `clique ≥ 3` nodes with a path of
@@ -206,7 +206,8 @@ pub fn circulant(n: usize, shifts: &[usize]) -> Result<PortGraph> {
             }
         }
     }
-    b.build()
+    // the port convention is translation-invariant, so the n rotations act
+    Ok(b.build()?.with_symmetry_hint(SymmetryHint::Cyclic))
 }
 
 /// An `n`-cycle (oriented ports) with one extra chord between nodes `0` and

@@ -2,7 +2,7 @@
 
 use crate::builder::PortGraphBuilder;
 use crate::error::GraphError;
-use crate::graph::PortGraph;
+use crate::graph::{PortGraph, SymmetryHint};
 use crate::Result;
 
 /// Oriented torus with `rows × cols` nodes (`rows, cols ≥ 3`).
@@ -31,7 +31,7 @@ pub fn oriented_torus(rows: usize, cols: usize) -> Result<PortGraph> {
             b.add_edge(id(i, j), 2, id((i + 1) % rows, j), 3)?;
         }
     }
-    b.build()
+    Ok(b.build()?.with_symmetry_hint(SymmetryHint::Torus { rows, cols }))
 }
 
 /// Rectangular grid (no wrap-around) with `rows × cols ≥ 2` nodes.  Ports at

@@ -12,6 +12,35 @@ pub type NodeId = usize;
 /// `0, 1, ..., d - 1`.
 pub type Port = usize;
 
+/// A compact, *unverified* claim that a graph belongs to a structured family
+/// whose automorphism group has a closed form.  Generators stamp the matching
+/// hint at construction time; [`crate::group::SymmetryGroup::from_hint`]
+/// verifies every generator the hint implies against the actual graph before
+/// any code trusts it, so a wrong hint costs a fallback to the explicit BFS
+/// computation — never a wrong answer.
+///
+/// This is also the on-disk descriptor the persistent plan cache serialises
+/// for implicit groups (a few bytes instead of an `|Aut|·n` permutation
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymmetryHint {
+    /// Oriented ring / uniformly-oriented circulant: the `n` rotations
+    /// `v ↦ (v + k) mod n`.
+    Cyclic,
+    /// Oriented torus: the `rows · cols` translations.
+    Torus {
+        /// Torus height.
+        rows: usize,
+        /// Torus width.
+        cols: usize,
+    },
+    /// Hypercube with dimension-indexed ports: the `2^dim` XOR-translations.
+    Hypercube {
+        /// Hypercube dimension.
+        dim: u32,
+    },
+}
+
 /// A simple, finite, undirected, connected, port-labelled graph.
 ///
 /// For every node `v` and every port `p < deg(v)` the graph stores the pair
@@ -22,12 +51,25 @@ pub type Port = usize;
 ///
 /// The structure is immutable after construction; use
 /// [`crate::builder::PortGraphBuilder`] or one of the [`crate::generators`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct PortGraph {
     /// `adj[v][p] = (neighbour, remote_port)`.
     adj: Vec<Box<[(NodeId, Port)]>>,
     /// Number of edges, cached.
     m: usize,
+    /// Optional closed-form symmetry claim stamped by the generators; an
+    /// advisory annotation, *not* part of the graph's identity (see the
+    /// manual [`PartialEq`] below) and always verified before use.
+    symmetry: Option<SymmetryHint>,
+}
+
+/// Equality is purely structural (adjacency); the symmetry hint is advisory
+/// metadata, so a generator-built torus and a hand-built copy of the same
+/// port assignment compare equal.
+impl PartialEq for PortGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.adj == other.adj && self.m == other.m
+    }
 }
 
 impl PortGraph {
@@ -35,9 +77,25 @@ impl PortGraph {
     /// builder and the generators; performs full validation.
     pub(crate) fn from_adjacency(adj: Vec<Box<[(NodeId, Port)]>>) -> Result<Self> {
         let m: usize = adj.iter().map(|l| l.len()).sum::<usize>() / 2;
-        let g = PortGraph { adj, m };
+        let g = PortGraph { adj, m, symmetry: None };
         g.validate()?;
         Ok(g)
+    }
+
+    /// Stamp a closed-form symmetry claim.  Generator-internal: the hint is
+    /// trusted nowhere — [`crate::group::SymmetryGroup::from_hint`] verifies
+    /// it against the actual adjacency before producing an implicit group.
+    pub(crate) fn with_symmetry_hint(mut self, hint: SymmetryHint) -> Self {
+        self.symmetry = Some(hint);
+        self
+    }
+
+    /// The closed-form symmetry claim stamped by the generator that built
+    /// this graph, if any.  Advisory: verify through
+    /// [`crate::group::SymmetryGroup::from_hint`] before use.
+    #[inline]
+    pub fn symmetry_hint(&self) -> Option<SymmetryHint> {
+        self.symmetry
     }
 
     /// Number of nodes (the paper's *size* `n`).

@@ -22,6 +22,13 @@
 //! * [`symmetry`] — the view-equivalence partition computed by
 //!   port-respecting colour refinement (two nodes are *symmetric* iff they
 //!   have equal views);
+//! * [`group`] — port-preserving automorphism groups, either explicit
+//!   (BFS-computed permutation tables, [`group::Automorphisms`]) or
+//!   **implicit** ([`group::SymmetryGroup`]): closed-form O(1) group actions
+//!   for the structured families (ring/circulant rotations, torus
+//!   translations, hypercube XOR-translations), verified generator-by-
+//!   generator against the actual graph so million-node instances plan
+//!   without ever materialising an `|Aut|·n` table;
 //! * [`quotient`] — the quotient (minimal base) graph of the view
 //!   equivalence;
 //! * [`shrink`] — the paper's `Shrink(u, v)` quantity (Definition 3.1);
@@ -58,6 +65,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod generators;
 pub mod graph;
+pub mod group;
 pub mod pairspace;
 pub mod quotient;
 pub mod render;
@@ -68,7 +76,8 @@ pub mod view;
 
 pub use builder::PortGraphBuilder;
 pub use error::GraphError;
-pub use graph::{NodeId, Port, PortGraph};
+pub use graph::{NodeId, Port, PortGraph, SymmetryHint};
+pub use group::{Automorphisms, SymmetryGroup};
 
 /// Convenient `Result` alias used across the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -3,10 +3,10 @@
 //! Two schema-versioned artifact families exist:
 //!
 //! - **Reports** (`anonrv.report/v1`): one JSON object on stdout from
-//!   `anonrv sweep --report json` and `anonrv cache <dir>
-//!   stats|gc|fsck --json`.  Every report carries `"schema"` and
-//!   `"command"`; the per-command required keys are documented on
-//!   [`validate_report`].
+//!   `anonrv sweep --report json`, `anonrv orbits <graph> --json` and
+//!   `anonrv cache <dir> stats|gc|fsck --json`.  Every report carries
+//!   `"schema"` and `"command"`; the per-command required keys are
+//!   documented on [`validate_report`].
 //! - **Traces** (`anonrv.trace/v1`): the JSONL stream written by
 //!   `--trace-out FILE`; record shapes are documented in [`crate::trace`].
 //!
@@ -23,10 +23,11 @@ pub const TRACE_SCHEMA: &str = "anonrv.trace/v1";
 /// What a validated report said about itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReportSummary {
-    /// The `"command"` field: `sweep`, `cache-stats`, `cache-gc` or
-    /// `cache-fsck`.
+    /// The `"command"` field: `sweep`, `orbits`, `cache-stats`, `cache-gc`
+    /// or `cache-fsck`.
     pub command: String,
-    /// Sweep mode (`full` / `shard` / `merge` / `supervised`), sweeps only.
+    /// Sweep mode (`full` / `shard` / `merge` / `supervised` / `streamed`),
+    /// sweeps only.
     pub mode: Option<String>,
     /// The 16-hex-digit outcome-table fingerprint, when the command
     /// produced one.
@@ -118,11 +119,14 @@ fn check_supervisor(v: &Value) -> Result<usize, String> {
 /// Required for every report: `schema` (must equal [`REPORT_SCHEMA`]) and
 /// `command`.  Per command:
 ///
-/// - `sweep`: `mode`, `meetings`, `member_stics`, `table_fingerprint`
+/// - `sweep`: `mode` (`full` / `shard` / `merge` / `supervised` /
+///   `streamed`), `meetings`, `member_stics`, `table_fingerprint`
 ///   (16 lowercase hex digits), `session` (object), `metrics` (object
 ///   with `counters`/`gauges`/`histograms`; histogram bucket counts must
 ///   sum to `count`).  Supervised mode additionally requires a
 ///   `supervisor` object whose `rows` are well-formed attempt records.
+/// - `orbits`: `graph` (object) plus an `orbits` object carrying the
+///   symmetry descriptor (`family`, `group_order`, `pair_classes`).
 /// - `cache-stats` / `cache-gc` / `cache-fsck`: `dir` plus a
 ///   command-named object (`stats` / `gc` / `fsck`).
 pub fn validate_report(v: &Value) -> Result<ReportSummary, String> {
@@ -140,7 +144,7 @@ pub fn validate_report(v: &Value) -> Result<ReportSummary, String> {
     match command.as_str() {
         "sweep" => {
             let mode = need_str(v, "mode", "sweep report")?;
-            if !["full", "shard", "merge", "supervised"].contains(&mode) {
+            if !["full", "shard", "merge", "supervised", "streamed"].contains(&mode) {
                 return Err(format!("sweep report: unknown mode `{mode}`"));
             }
             need_u64(v, "meetings", "sweep report")?;
@@ -155,6 +159,13 @@ pub fn validate_report(v: &Value) -> Result<ReportSummary, String> {
             }
             summary.mode = Some(mode.to_string());
             summary.table_fingerprint = Some(fp.to_string());
+        }
+        "orbits" => {
+            need_obj(v, "graph", "orbits report")?;
+            let orbits = need_obj(v, "orbits", "orbits report")?;
+            need_str(orbits, "family", "orbits report")?;
+            need_u64(orbits, "group_order", "orbits report")?;
+            need_u64(orbits, "pair_classes", "orbits report")?;
         }
         "cache-stats" | "cache-gc" | "cache-fsck" => {
             need_str(v, "dir", &command)?;

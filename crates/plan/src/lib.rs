@@ -63,6 +63,23 @@
 //! so an all-pairs × δ-grid sweep executes 256× fewer merges on top of the
 //! trajectory-memoized batch engine.
 //!
+//! ## Implicit groups and streaming (million-node graphs)
+//!
+//! On the stamped structured families (ring, circulant, torus, hypercube)
+//! [`PairOrbits`] runs in **implicit mode**: the closed-form
+//! [`SymmetryGroup`] from `anonrv-graph` answers `class_of`, the canonical
+//! maps and the witnessing automorphism in O(1) arithmetic, so nothing
+//! `n`- or `n²`-sized is ever allocated — under a free transitive group
+//! every ordered pair is equivalent to exactly one `(0, d)` and the class
+//! *is* the difference `d`.  [`PlannedSweep::run_streamed`] then walks the
+//! `(class, δ)` work-list in bounded chunks, folding meeting counts and a
+//! running table fingerprint instead of materialising the outcome table:
+//! the all-pairs sweep on `oriented_torus(1024, 1024)` — 2²⁰ classes,
+//! 2.2 × 10¹² member STICs — completes in seconds inside a 2 GiB cap.
+//! Unstamped graphs keep the explicit BFS path unchanged; the two modes
+//! are pinned pointwise-equal and bit-identical in execution by
+//! `tests/property_implicit_orbits.rs`.
+//!
 //! ## Beyond one process
 //!
 //! A plan's `(class, δ)` work-list is embarrassingly parallel and every
@@ -79,6 +96,7 @@
 //! [`PlannedOutcomes::from_table`]: sweep::PlannedOutcomes::from_table
 //! [`PlannedOutcomes::table`]: sweep::PlannedOutcomes::table
 //! [`PlannedSweep::run_classes`]: sweep::PlannedSweep::run_classes
+//! [`PlannedSweep::run_streamed`]: sweep::PlannedSweep::run_streamed
 //! [`PlannedSweep::from_orbits`]: sweep::PlannedSweep::from_orbits
 
 #![forbid(unsafe_code)]
@@ -87,5 +105,7 @@
 pub mod orbits;
 pub mod sweep;
 
-pub use orbits::{Automorphisms, PairOrbits};
-pub use sweep::{ExecStats, PlannedOutcomes, PlannedSweep, SweepPlan, ValidationReport};
+pub use orbits::{Automorphisms, PairOrbits, SymmetryGroup};
+pub use sweep::{
+    ExecStats, PlannedOutcomes, PlannedSweep, StreamStats, SweepPlan, ValidationReport,
+};

@@ -1,5 +1,8 @@
 //! Orbits of ordered node pairs under the port-preserving automorphism
-//! group, with explicit canonicalisation witnesses.
+//! group, with canonicalisation witnesses — **explicit** (per-node `π_u`
+//! tables) for arbitrary graphs, or **implicit** (closed-form group
+//! arithmetic, no tables at all) when the graph carries a verified
+//! [`SymmetryGroup`] family.
 //!
 //! The construction leans on two structural facts about connected
 //! port-labelled graphs:
@@ -17,10 +20,30 @@
 //! Freeness is what makes the pair partition cheap: the canonical form of
 //! `(u, v)` is `(rep(u), π_u(v))` where `π_u` is the unique automorphism
 //! with `π_u(u) = rep(u)`, so [`PairOrbits::class_of`] is two array lookups
-//! and no `n²` table is ever materialised.  The node view-equivalence
-//! partition ([`OrbitPartition`], colour refinement) serves as the candidate
-//! filter: `φ(base) = w` is only possible when `w` has the same view as
-//! `base`.
+//! and no `n²` table is ever materialised.
+//!
+//! # Implicit mode: million-node planning
+//!
+//! When the group is one of the closed-form [`SymmetryGroup`] families
+//! (torus translations, ring/circulant rotations, hypercube
+//! XOR-translations — all vertex-transitive and verified
+//! generator-by-generator against the actual graph before use), even the
+//! *witness arrays* disappear.  Transitivity puts every node in one orbit
+//! with representative `0`; the unique automorphism carrying `u` to `0` is
+//! the group inverse of element `u` (elements are indexed by the image of
+//! node `0`), so
+//!
+//! * `class_of(u, v)   = apply(inverse(u), v)`   — O(1) arithmetic,
+//! * `representative(c) = (0, c)`,
+//! * `to_canonical(u, x) = apply(inverse(u), x)`, `from_canonical(u, x) =
+//!   apply(u, x)`,
+//! * `members(c)` enumerates `(k, apply(k, c))` for `k` in `0..n` lazily,
+//!
+//! and the whole structure is a few machine words regardless of `n` — no
+//! per-node `π_u` tables, no `|Aut|·n` permutation store, no `n²` anything.
+//! Element indexing coincides with the BFS scan order of the explicit
+//! computation, so implicit and explicit partitions of the same graph agree
+//! class-ID-for-class-ID (pinned by `tests/property_implicit_orbits.rs`).
 //!
 //! # Design note: why pair-graph refinement is unsound (and orbits are not)
 //!
@@ -64,196 +87,28 @@
 //! refinement for a coarser compression, route it through the asynchronous
 //! (independent-moves) pair product instead — see ROADMAP.md.
 
-use anonrv_graph::symmetry::OrbitPartition;
 use anonrv_graph::{NodeId, PortGraph};
+
+pub use anonrv_graph::group::{Automorphisms, SymmetryGroup};
 
 const UNSET: u32 = u32::MAX;
 
-/// The full port-preserving automorphism group of a connected port-labelled
-/// graph, as explicit permutations (the first entry is the identity).
+/// The explicit canonicalisation tables: per-node orbit representatives and
+/// the index of the witnessing automorphism.  Only materialised for
+/// [`SymmetryGroup::Explicit`] groups — implicit families derive all four
+/// maps from closed-form arithmetic.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Automorphisms {
-    n: usize,
-    /// `perms[k][v]` = image of `v` under automorphism `k`; `perms[0]` is
-    /// the identity.
-    perms: Vec<Vec<u32>>,
-    /// Inverse permutations, same indexing.
-    inv: Vec<Vec<u32>>,
-}
-
-impl Automorphisms {
-    /// Compute the group of `g` by rigid propagation from node `0` to every
-    /// view-equivalent candidate image.
-    pub fn compute(g: &PortGraph) -> Self {
-        let n = g.num_nodes();
-        assert!(n > 0, "automorphisms of the empty graph are not defined");
-        assert!(n <= u32::MAX as usize, "node count exceeds the index width");
-        let partition = OrbitPartition::compute(g);
-        let base = 0;
-        let mut perms = Vec::new();
-        for w in 0..n {
-            if partition.class_of(w) != partition.class_of(base) {
-                continue;
-            }
-            if let Some(phi) = propagate(g, base, w) {
-                perms.push(phi);
-            }
-        }
-        debug_assert!(perms[0].iter().enumerate().all(|(v, &x)| v == x as usize));
-        let inv = perms
-            .iter()
-            .map(|p| {
-                let mut inv = vec![0u32; n];
-                for (v, &x) in p.iter().enumerate() {
-                    inv[x as usize] = v as u32;
-                }
-                inv
-            })
-            .collect();
-        Automorphisms { n, perms, inv }
-    }
-
-    /// Rebuild the group from explicit permutations (the deserialisation
-    /// path of the persistent plan cache), verifying **every** claimed
-    /// permutation against `g` before accepting it.
-    ///
-    /// The checks are exactly the guarantees [`Automorphisms::compute`]
-    /// establishes: the first entry is the identity, every entry is a
-    /// bijection on `0..n`, every entry preserves `succ` with matching entry
-    /// ports (a genuine port-preserving automorphism), no entry appears
-    /// twice, and the collection is the *full* group (same order as a fresh
-    /// candidate scan would find — checked cheaply through freeness: the
-    /// images of node 0 under a valid set are pairwise distinct, so
-    /// distinctness plus validity suffice for group membership, and
-    /// completeness is the caller's contract, re-verified by the caller's
-    /// checksum).  Cost is `O(k·n·Δ)` — the same as one propagation per
-    /// surviving candidate, without the colour-refinement preparation.
-    ///
-    /// Errors name the first violated invariant; cache loaders treat any
-    /// error as a miss and fall back to [`Automorphisms::compute`].
-    pub fn from_permutations(g: &PortGraph, perms: Vec<Vec<u32>>) -> Result<Self, String> {
-        let n = g.num_nodes();
-        assert!(n > 0, "automorphisms of the empty graph are not defined");
-        if perms.is_empty() {
-            return Err("the group contains at least the identity".into());
-        }
-        let mut images_of_base = vec![false; n];
-        for (k, p) in perms.iter().enumerate() {
-            if p.len() != n {
-                return Err(format!("permutation {k}: length {} != n = {n}", p.len()));
-            }
-            let mut seen = vec![false; n];
-            for (v, &img) in p.iter().enumerate() {
-                let img = img as usize;
-                if img >= n {
-                    return Err(format!("permutation {k}: image {img} out of range"));
-                }
-                if seen[img] {
-                    return Err(format!("permutation {k}: image {img} repeated (not a bijection)"));
-                }
-                seen[img] = true;
-                if g.degree(v) != g.degree(img) {
-                    return Err(format!("permutation {k}: degree mismatch at node {v}"));
-                }
-                for port in 0..g.degree(v) {
-                    let (w, q) = g.succ(v, port);
-                    let (w2, q2) = g.succ(img, port);
-                    if q != q2 || w2 != p[w] as usize {
-                        return Err(format!(
-                            "permutation {k}: succ not preserved at node {v} port {port}"
-                        ));
-                    }
-                }
-            }
-            if k == 0 && p.iter().enumerate().any(|(v, &img)| v != img as usize) {
-                return Err("the first permutation must be the identity".into());
-            }
-            // freeness: distinct automorphisms differ at node 0
-            let base_img = p[0] as usize;
-            if images_of_base[base_img] {
-                return Err(format!("permutation {k}: duplicate group element"));
-            }
-            images_of_base[base_img] = true;
-        }
-        let inv = perms
-            .iter()
-            .map(|p| {
-                let mut inv = vec![0u32; n];
-                for (v, &x) in p.iter().enumerate() {
-                    inv[x as usize] = v as u32;
-                }
-                inv
-            })
-            .collect();
-        Ok(Automorphisms { n, perms, inv })
-    }
-
-    /// Number of nodes of the underlying graph.
-    pub fn num_nodes(&self) -> usize {
-        self.n
-    }
-
-    /// Order of the group (`1` for rigid graphs).  By freeness it divides
-    /// the node count.
-    pub fn order(&self) -> usize {
-        self.perms.len()
-    }
-
-    /// Image of `v` under automorphism `k`.
-    #[inline]
-    pub fn apply(&self, k: usize, v: NodeId) -> NodeId {
-        self.perms[k][v] as usize
-    }
-
-    /// Image of `v` under the inverse of automorphism `k`.
-    #[inline]
-    pub fn apply_inv(&self, k: usize, v: NodeId) -> NodeId {
-        self.inv[k][v] as usize
-    }
-
-    /// The permutations themselves (the identity first).
-    pub fn permutations(&self) -> impl Iterator<Item = &[u32]> + '_ {
-        self.perms.iter().map(|p| p.as_slice())
-    }
-}
-
-/// Grow the unique automorphism with `φ(base) = w`, or refute it.  One BFS
-/// over the graph: every edge is checked for matching far ports and the
-/// image assignment is checked for injectivity, so a `Some` result is a
-/// genuine port-preserving automorphism.
-fn propagate(g: &PortGraph, base: NodeId, w: NodeId) -> Option<Vec<u32>> {
-    if g.degree(base) != g.degree(w) {
-        return None;
-    }
-    let n = g.num_nodes();
-    let mut phi = vec![UNSET; n];
-    let mut image_used = vec![false; n];
-    phi[base] = w as u32;
-    image_used[w] = true;
-    let mut stack = vec![base];
-    while let Some(v) = stack.pop() {
-        let fv = phi[v] as usize;
-        for p in 0..g.degree(v) {
-            let (a, q) = g.succ(v, p);
-            let (b, q2) = g.succ(fv, p);
-            if q != q2 {
-                return None;
-            }
-            if phi[a] == UNSET {
-                if g.degree(a) != g.degree(b) || image_used[b] {
-                    return None;
-                }
-                phi[a] = b as u32;
-                image_used[b] = true;
-                stack.push(a);
-            } else if phi[a] as usize != b {
-                return None;
-            }
-        }
-    }
-    // connectivity makes the map total; `image_used` made it injective
-    debug_assert!(phi.iter().all(|&x| x != UNSET));
-    Some(phi)
+struct Witness {
+    /// Smallest image of each node under the group (its orbit
+    /// representative).
+    node_rep: Vec<u32>,
+    /// Dense index of each orbit-representative node (`UNSET` elsewhere).
+    rep_dense: Vec<u32>,
+    /// Dense index → representative node.
+    node_reps: Vec<u32>,
+    /// `canon[a]` = index of the unique automorphism with
+    /// `apply(canon[a], a) = node_rep[a]`.
+    canon: Vec<u32>,
 }
 
 /// The partition of all `n²` **ordered** node pairs into orbits of the
@@ -267,54 +122,77 @@ fn propagate(g: &PortGraph, base: NodeId, w: NodeId) -> Option<Vec<u32>> {
 /// `u` there.  Every class therefore contains exactly one pair whose first
 /// coordinate is an orbit representative, and that pair *is* the class
 /// representative.
+///
+/// Built on an implicit [`SymmetryGroup`] (see
+/// [`PairOrbits::is_implicit`]), the same queries are answered by O(1)
+/// closed-form arithmetic with **no stored tables**, which is what lets
+/// million-node vertex-transitive instances plan on one machine; the class
+/// numbering is identical either way.
+///
+/// Note that equality (`PartialEq`) is *representational*: an implicit
+/// partition and the explicit partition of the same graph define the same
+/// classes but compare unequal.  Consumers that only need partition
+/// compatibility (e.g. outcome-table reuse) key on
+/// [`PairOrbits::num_pair_classes`] plus the graph's canonical hash instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairOrbits {
     n: usize,
-    autos: Automorphisms,
-    /// Smallest image of each node under the group (its orbit
-    /// representative).
-    node_rep: Vec<u32>,
-    /// Dense index of each orbit-representative node (`UNSET` elsewhere).
-    rep_dense: Vec<u32>,
-    /// Dense index → representative node.
-    node_reps: Vec<u32>,
-    /// `canon[a]` = index of the unique automorphism with
-    /// `perms[canon[a]][a] = node_rep[a]`.
-    canon: Vec<u32>,
+    group: SymmetryGroup,
+    witness: Option<Witness>,
 }
 
 impl PairOrbits {
-    /// Compute the pair-orbit partition of `g`.
+    /// Compute the pair-orbit partition of `g`: closed-form (implicit) when
+    /// the graph carries a verified symmetry family, explicit BFS otherwise.
     pub fn compute(g: &PortGraph) -> Self {
-        Self::from_automorphisms(Automorphisms::compute(g))
+        Self::from_group(SymmetryGroup::of(g))
+    }
+
+    /// Compute the explicit (BFS permutation-table) partition of `g`,
+    /// ignoring any implicit family — the oracle the differential suites
+    /// pin implicit partitions against.
+    pub fn compute_explicit(g: &PortGraph) -> Self {
+        Self::from_group(SymmetryGroup::explicit(g))
     }
 
     /// Build the partition from a precomputed automorphism group.
     pub fn from_automorphisms(autos: Automorphisms) -> Self {
-        let n = autos.num_nodes();
-        let mut node_rep = vec![0u32; n];
-        let mut canon = vec![0u32; n];
-        for a in 0..n {
-            let (mut best, mut best_k) = (autos.perms[0][a], 0usize);
-            for k in 1..autos.order() {
-                let img = autos.perms[k][a];
-                if img < best {
-                    best = img;
-                    best_k = k;
+        Self::from_group(SymmetryGroup::Explicit(autos))
+    }
+
+    /// Build the partition from a symmetry group in either representation.
+    pub fn from_group(group: SymmetryGroup) -> Self {
+        let n = group.num_nodes();
+        let witness = group.automorphisms().map(|autos| {
+            let mut node_rep = vec![0u32; n];
+            let mut canon = vec![0u32; n];
+            for a in 0..n {
+                let (mut best, mut best_k) = (autos.apply(0, a), 0usize);
+                for k in 1..autos.order() {
+                    let img = autos.apply(k, a);
+                    if img < best {
+                        best = img;
+                        best_k = k;
+                    }
+                }
+                node_rep[a] = best as u32;
+                canon[a] = best_k as u32;
+            }
+            let mut rep_dense = vec![UNSET; n];
+            let mut node_reps = Vec::new();
+            for v in 0..n {
+                if node_rep[v] as usize == v {
+                    rep_dense[v] = node_reps.len() as u32;
+                    node_reps.push(v as u32);
                 }
             }
-            node_rep[a] = best;
-            canon[a] = best_k as u32;
-        }
-        let mut rep_dense = vec![UNSET; n];
-        let mut node_reps = Vec::new();
-        for v in 0..n {
-            if node_rep[v] as usize == v {
-                rep_dense[v] = node_reps.len() as u32;
-                node_reps.push(v as u32);
-            }
-        }
-        PairOrbits { n, autos, node_rep, rep_dense, node_reps, canon }
+            Witness { node_rep, rep_dense, node_reps, canon }
+        });
+        debug_assert!(
+            witness.is_some() || group.is_transitive(),
+            "implicit families are vertex-transitive by construction"
+        );
+        PairOrbits { n, group, witness }
     }
 
     /// Number of nodes of the underlying graph.
@@ -322,30 +200,45 @@ impl PairOrbits {
         self.n
     }
 
-    /// The automorphism group the partition is built on.
-    pub fn automorphisms(&self) -> &Automorphisms {
-        &self.autos
+    /// The symmetry group the partition is built on.
+    pub fn group(&self) -> &SymmetryGroup {
+        &self.group
+    }
+
+    /// The explicit automorphism table, when the partition was built on one
+    /// (`None` in implicit mode — nothing is materialised there).
+    pub fn automorphisms(&self) -> Option<&Automorphisms> {
+        self.group.automorphisms()
+    }
+
+    /// `true` when every query is answered by closed-form arithmetic with no
+    /// stored permutations or witness tables.
+    pub fn is_implicit(&self) -> bool {
+        self.witness.is_none()
     }
 
     /// Order of the automorphism group — by freeness also the size of
     /// *every* node orbit and every pair class.
     pub fn group_order(&self) -> usize {
-        self.autos.order()
+        self.group.order()
     }
 
     /// Number of node orbits (`n / group_order`).
     pub fn num_node_orbits(&self) -> usize {
-        self.node_reps.len()
+        match &self.witness {
+            Some(w) => w.node_reps.len(),
+            None => 1,
+        }
     }
 
     /// Number of ordered-pair classes (`n² / group_order`).
     pub fn num_pair_classes(&self) -> usize {
-        self.node_reps.len() * self.n
+        self.num_node_orbits() * self.n
     }
 
     /// Size of every pair class (uniform, by freeness of the action).
     pub fn class_size(&self) -> usize {
-        self.autos.order()
+        self.group.order()
     }
 
     /// The compression ratio `n² / num_pair_classes` (= the group order).
@@ -356,11 +249,27 @@ impl PairOrbits {
     /// Orbit representative (smallest image) of node `u`.
     #[inline]
     pub fn node_representative(&self, u: NodeId) -> NodeId {
-        self.node_rep[u] as usize
+        match &self.witness {
+            Some(w) => w.node_rep[u] as usize,
+            None => 0,
+        }
+    }
+
+    /// Index of the unique automorphism carrying `u` to its orbit
+    /// representative (`π_u`).
+    #[inline]
+    fn canon_of(&self, u: NodeId) -> usize {
+        match &self.witness {
+            Some(w) => w.canon[u] as usize,
+            // transitive: rep(u) = 0, and the element carrying u to 0 is
+            // the group inverse of element u
+            None => self.group.inverse(u),
+        }
     }
 
     /// Class identifier of the ordered pair `(u, v)`, in
-    /// `0..num_pair_classes` — two array lookups, no `n²` table.
+    /// `0..num_pair_classes` — two array lookups (explicit mode) or pure
+    /// arithmetic (implicit mode), no `n²` table either way.
     ///
     /// Pairs related by an automorphism share a class (and therefore share
     /// every rendezvous outcome); unrelated pairs never do:
@@ -383,22 +292,29 @@ impl PairOrbits {
     /// ```
     #[inline]
     pub fn class_of(&self, u: NodeId, v: NodeId) -> usize {
-        let k = self.canon[u] as usize;
-        self.rep_dense[self.node_rep[u] as usize] as usize * self.n
-            + self.autos.perms[k][v] as usize
+        match &self.witness {
+            Some(w) => {
+                let k = w.canon[u] as usize;
+                w.rep_dense[w.node_rep[u] as usize] as usize * self.n + self.group.apply(k, v)
+            }
+            None => self.group.apply(self.group.inverse(u), v),
+        }
     }
 
     /// The canonical representative pair of a class.
     #[inline]
     pub fn representative(&self, class: usize) -> (NodeId, NodeId) {
-        (self.node_reps[class / self.n] as usize, class % self.n)
+        match &self.witness {
+            Some(w) => (w.node_reps[class / self.n] as usize, class % self.n),
+            None => (0, class),
+        }
     }
 
     /// All member pairs of a class (each exactly once, the representative
-    /// among them).
+    /// among them), enumerated lazily from the group action.
     pub fn members(&self, class: usize) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         let (r, c) = self.representative(class);
-        self.autos.perms.iter().map(move |p| (p[r] as usize, p[c] as usize))
+        (0..self.group.order()).map(move |k| (self.group.apply(k, r), self.group.apply(k, c)))
     }
 
     /// `true` iff `(u, v)` and `(u2, v2)` lie in the same pair orbit.
@@ -410,7 +326,7 @@ impl PairOrbits {
     /// class representative (`π_u`, the witnessing automorphism).
     #[inline]
     pub fn to_canonical(&self, u: NodeId, x: NodeId) -> NodeId {
-        self.autos.apply(self.canon[u] as usize, x)
+        self.group.apply(self.canon_of(u), x)
     }
 
     /// Map a node of the canonical world back into `(u, ·)`'s world
@@ -418,7 +334,11 @@ impl PairOrbits {
     /// meeting nodes bit-identically.
     #[inline]
     pub fn from_canonical(&self, u: NodeId, x: NodeId) -> NodeId {
-        self.autos.apply_inv(self.canon[u] as usize, x)
+        match &self.witness {
+            Some(w) => self.group.apply_inv(w.canon[u] as usize, x),
+            // π_u = (element u)⁻¹, so π_u⁻¹ = element u
+            None => self.group.apply(u, x),
+        }
     }
 }
 
@@ -426,64 +346,9 @@ impl PairOrbits {
 mod tests {
     use super::*;
     use anonrv_graph::generators::{
-        hypercube, lollipop, oriented_ring, oriented_torus, path, qh_hat, random_connected,
+        circulant, hypercube, lollipop, oriented_ring, oriented_torus, qh_hat,
         symmetric_double_tree,
     };
-
-    fn assert_group(g: &PortGraph, expected_order: usize) -> Automorphisms {
-        let autos = Automorphisms::compute(g);
-        assert_eq!(autos.order(), expected_order, "group order");
-        let n = g.num_nodes();
-        for k in 0..autos.order() {
-            // genuine port-preserving automorphism
-            for v in 0..n {
-                for p in 0..g.degree(v) {
-                    let (w, q) = g.succ(v, p);
-                    let (w2, q2) = g.succ(autos.apply(k, v), p);
-                    assert_eq!(w2, autos.apply(k, w));
-                    assert_eq!(q2, q);
-                }
-                assert_eq!(autos.apply_inv(k, autos.apply(k, v)), v);
-            }
-            // freeness: only the identity has a fixed point
-            if k != 0 {
-                assert!((0..n).all(|v| autos.apply(k, v) != v), "non-identity with fixed point");
-            }
-        }
-        autos
-    }
-
-    #[test]
-    fn ring_group_is_the_rotations() {
-        assert_group(&oriented_ring(9).unwrap(), 9);
-    }
-
-    #[test]
-    fn torus_group_is_the_translations() {
-        assert_group(&oriented_torus(3, 4).unwrap(), 12);
-    }
-
-    #[test]
-    fn hypercube_group_is_the_bit_translations() {
-        assert_group(&hypercube(3).unwrap(), 8);
-    }
-
-    #[test]
-    fn double_tree_group_contains_the_mirror() {
-        let (g, mirror) = symmetric_double_tree(2, 2).unwrap();
-        let autos = assert_group(&g, 2);
-        let k = 1;
-        for v in g.nodes() {
-            assert_eq!(autos.apply(k, v), mirror[v]);
-        }
-    }
-
-    #[test]
-    fn rigid_graphs_have_the_trivial_group() {
-        assert_group(&lollipop(4, 3).unwrap(), 1);
-        assert_group(&path(5).unwrap(), 1);
-        assert_group(&random_connected(10, 5, 3).unwrap(), 1);
-    }
 
     #[test]
     fn pair_classes_partition_all_ordered_pairs() {
@@ -491,37 +356,69 @@ mod tests {
             oriented_ring(7).unwrap(),
             oriented_torus(3, 4).unwrap(),
             hypercube(3).unwrap(),
+            circulant(10, &[1, 3]).unwrap(),
             symmetric_double_tree(2, 2).unwrap().0,
             lollipop(4, 3).unwrap(),
             qh_hat(2).unwrap().graph,
         ] {
             let n = g.num_nodes();
-            let orbits = PairOrbits::compute(&g);
-            assert_eq!(orbits.num_pair_classes() * orbits.class_size(), n * n);
-            let mut seen = vec![0usize; n * n];
-            for class in 0..orbits.num_pair_classes() {
-                let (r, c) = orbits.representative(class);
-                assert_eq!(orbits.class_of(r, c), class, "representative is self-canonical");
-                for (a, b) in orbits.members(class) {
-                    assert_eq!(orbits.class_of(a, b), class);
-                    seen[a * n + b] += 1;
+            for orbits in [PairOrbits::compute(&g), PairOrbits::compute_explicit(&g)] {
+                assert_eq!(orbits.num_pair_classes() * orbits.class_size(), n * n);
+                let mut seen = vec![0usize; n * n];
+                for class in 0..orbits.num_pair_classes() {
+                    let (r, c) = orbits.representative(class);
+                    assert_eq!(orbits.class_of(r, c), class, "representative is self-canonical");
+                    for (a, b) in orbits.members(class) {
+                        assert_eq!(orbits.class_of(a, b), class);
+                        seen[a * n + b] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s == 1), "every ordered pair in exactly one class");
+            }
+        }
+    }
+
+    /// Implicit partitions agree with the explicit oracle **class-ID for
+    /// class-ID** on every query (the full differential suite lives in
+    /// `tests/property_implicit_orbits.rs`).
+    #[test]
+    fn implicit_partition_matches_explicit_class_for_class() {
+        for g in [
+            oriented_ring(8).unwrap(),
+            oriented_torus(3, 5).unwrap(),
+            hypercube(4).unwrap(),
+            circulant(8, &[1, 4]).unwrap(),
+        ] {
+            let implicit = PairOrbits::compute(&g);
+            let explicit = PairOrbits::compute_explicit(&g);
+            assert!(implicit.is_implicit(), "generator hint did not verify");
+            assert!(!explicit.is_implicit());
+            assert!(implicit.automorphisms().is_none());
+            assert_eq!(implicit.num_pair_classes(), explicit.num_pair_classes());
+            assert_eq!(implicit.group_order(), explicit.group_order());
+            for u in g.nodes() {
+                assert_eq!(implicit.node_representative(u), explicit.node_representative(u));
+                for v in g.nodes() {
+                    assert_eq!(implicit.class_of(u, v), explicit.class_of(u, v));
+                    assert_eq!(implicit.to_canonical(u, v), explicit.to_canonical(u, v));
+                    assert_eq!(implicit.from_canonical(u, v), explicit.from_canonical(u, v));
                 }
             }
-            assert!(seen.iter().all(|&s| s == 1), "every ordered pair in exactly one class");
         }
     }
 
     #[test]
     fn canonical_maps_witness_the_class() {
         let g = oriented_torus(4, 4).unwrap();
-        let orbits = PairOrbits::compute(&g);
-        for u in g.nodes() {
-            for v in g.nodes() {
-                let (r, c) = orbits.representative(orbits.class_of(u, v));
-                assert_eq!(orbits.to_canonical(u, u), r);
-                assert_eq!(orbits.to_canonical(u, v), c);
-                assert_eq!(orbits.from_canonical(u, r), u);
-                assert_eq!(orbits.from_canonical(u, c), v);
+        for orbits in [PairOrbits::compute(&g), PairOrbits::compute_explicit(&g)] {
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let (r, c) = orbits.representative(orbits.class_of(u, v));
+                    assert_eq!(orbits.to_canonical(u, u), r);
+                    assert_eq!(orbits.to_canonical(u, v), c);
+                    assert_eq!(orbits.from_canonical(u, r), u);
+                    assert_eq!(orbits.from_canonical(u, c), v);
+                }
             }
         }
     }
@@ -530,52 +427,39 @@ mod tests {
     fn torus_16x16_compresses_all_pairs_to_256_classes() {
         let g = oriented_torus(16, 16).unwrap();
         let orbits = PairOrbits::compute(&g);
+        assert!(orbits.is_implicit());
         assert_eq!(orbits.group_order(), 256);
         assert_eq!(orbits.num_pair_classes(), 256);
         assert_eq!(orbits.compression(), 256.0);
     }
 
+    /// The implicit structure is O(1)-sized: a million-node torus partition
+    /// is built instantly and answers canonical-map queries without any
+    /// `|Aut|·n` or `n²` storage.
     #[test]
-    fn from_permutations_round_trips_and_rejects_forgeries() {
+    fn million_node_torus_partition_is_constant_size() {
+        let group = SymmetryGroup::Torus { rows: 1024, cols: 1024 };
+        let orbits = PairOrbits::from_group(group);
+        let n = 1024 * 1024;
+        assert_eq!(orbits.num_pair_classes(), n);
+        assert_eq!(orbits.class_size(), n);
+        let (u, v) = (123_456, 987_654);
+        let class = orbits.class_of(u, v);
+        let (r, c) = orbits.representative(class);
+        assert_eq!((r, c), (0, class));
+        assert_eq!(orbits.to_canonical(u, u), 0);
+        assert_eq!(orbits.to_canonical(u, v), class);
+        assert_eq!(orbits.from_canonical(u, class), v);
+        assert_eq!(orbits.class_of(r, c), class);
+    }
+
+    #[test]
+    fn rebuilt_groups_yield_identical_partitions() {
         let g = oriented_torus(3, 4).unwrap();
         let autos = Automorphisms::compute(&g);
         let perms: Vec<Vec<u32>> = autos.permutations().map(|p| p.to_vec()).collect();
-        let rebuilt = Automorphisms::from_permutations(&g, perms.clone()).unwrap();
-        assert_eq!(rebuilt, autos);
-        // pair orbits built on the rebuilt group are identical too
+        let rebuilt = Automorphisms::from_permutations(&g, perms).unwrap();
         assert_eq!(PairOrbits::from_automorphisms(rebuilt), PairOrbits::from_automorphisms(autos));
-
-        // empty set
-        assert!(Automorphisms::from_permutations(&g, vec![]).is_err());
-        // identity not first
-        let mut reordered = perms.clone();
-        reordered.swap(0, 1);
-        assert!(Automorphisms::from_permutations(&g, reordered).is_err());
-        // wrong length
-        let mut truncated = perms.clone();
-        truncated[1].pop();
-        assert!(Automorphisms::from_permutations(&g, truncated).is_err());
-        // image out of range
-        let mut oob = perms.clone();
-        oob[1][3] = 99;
-        assert!(Automorphisms::from_permutations(&g, oob).is_err());
-        // not a bijection
-        let mut dup = perms.clone();
-        dup[1][3] = dup[1][4];
-        assert!(Automorphisms::from_permutations(&g, dup).is_err());
-        // a bijection that is not an automorphism (swap two images)
-        let mut forged = perms.clone();
-        forged[1].swap(3, 4);
-        assert!(Automorphisms::from_permutations(&g, forged).is_err());
-        // duplicate group element
-        let mut doubled = perms.clone();
-        doubled.push(perms[1].clone());
-        assert!(Automorphisms::from_permutations(&g, doubled).is_err());
-        // valid permutations of a *different* graph are rejected against g
-        let other = oriented_torus(4, 3).unwrap();
-        let foreign: Vec<Vec<u32>> =
-            Automorphisms::compute(&other).permutations().map(|p| p.to_vec()).collect();
-        assert!(Automorphisms::from_permutations(&g, foreign).is_err());
     }
 
     /// The module-level counterexample: on the oriented 8-ring, `(0, 2)` and
@@ -589,9 +473,10 @@ mod tests {
         let g = oriented_ring(8).unwrap();
         assert_eq!(anonrv_graph::shrink::shrink(&g, 0, 2), Some(2));
         assert_eq!(anonrv_graph::shrink::shrink(&g, 0, 6), Some(2));
-        let orbits = PairOrbits::compute(&g);
-        assert!(!orbits.are_equivalent(0, 2, 0, 6));
-        // ...while genuinely rotated pairs collapse
-        assert!(orbits.are_equivalent(0, 2, 3, 5));
+        for orbits in [PairOrbits::compute(&g), PairOrbits::compute_explicit(&g)] {
+            assert!(!orbits.are_equivalent(0, 2, 0, 6));
+            // ...while genuinely rotated pairs collapse
+            assert!(orbits.are_equivalent(0, 2, 3, 5));
+        }
     }
 }

@@ -17,7 +17,10 @@ use std::borrow::Cow;
 use rayon::prelude::*;
 
 use anonrv_graph::{NodeId, PortGraph};
-use anonrv_sim::{AgentProgram, EngineConfig, MergeScratch, Round, SimOutcome, Stic, SweepEngine};
+use anonrv_sim::{
+    merge_timelines_deltas_mapped, AgentProgram, EngineConfig, EngineMode, MergeScratch, Round,
+    SimOutcome, Stic, SweepEngine, UNROLL_CAP,
+};
 
 use crate::orbits::PairOrbits;
 
@@ -276,6 +279,24 @@ pub struct ExecStats {
     pub answered: usize,
 }
 
+/// Aggregate statistics of a streamed plan execution
+/// ([`PlannedSweep::run_streamed`]) — the summary that survives when the
+/// outcome table itself is never materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Pair classes executed (one mapped delta-sweep pass each).
+    pub classes: usize,
+    /// `(class, δ)` outcome entries produced and streamed.
+    pub entries: usize,
+    /// Entries whose representative met within the horizon.
+    pub met_entries: usize,
+    /// Member STICs those entries answer (`entries × class_size`).
+    pub answered: usize,
+    /// Member STICs that meet (`met_entries × class_size` — every member of
+    /// a met class meets, by the orbit soundness argument).
+    pub met_total: usize,
+}
+
 /// Result of [`PlannedSweep::validate_sample`].
 #[derive(Debug, Clone)]
 pub struct ValidationReport {
@@ -476,10 +497,12 @@ impl<'a> PlannedSweep<'a> {
             plan.horizon() <= self.engine.config().horizon,
             "plan horizon exceeds the engine horizon"
         );
-        anonrv_obs::counter_add(
-            "plan.representatives",
-            (classes.len() * plan.deltas().len()) as u64,
-        );
+        if anonrv_obs::enabled() {
+            anonrv_obs::counter_add(
+                "plan.representatives",
+                (classes.len() * plan.deltas().len()) as u64,
+            );
+        }
         let per_class: Vec<Vec<SimOutcome>> = classes
             .par_iter()
             .map(|&class| {
@@ -498,6 +521,109 @@ impl<'a> PlannedSweep<'a> {
             })
             .collect();
         per_class.into_iter().flatten().collect()
+    }
+
+    /// Execute a whole plan **without ever materialising the outcome
+    /// table**: stream class-major, δ-minor outcome chunks to `visit` and
+    /// return only aggregate [`StreamStats`].
+    ///
+    /// This is the million-node path.  It requires an *implicit* orbit
+    /// partition ([`PairOrbits::is_implicit`]), whose group is regular: node
+    /// 0 represents every node class and class `c` is represented by the
+    /// pair `(0, c)`.  Vertex-transitivity then gives `timeline(c) =
+    /// φ_c(timeline(0))` — the recorded trajectory from any start `c` is the
+    /// node 0 trajectory with every node mapped through the group element
+    /// `φ_c` (the agent observes only degree, entry port and clock, all
+    /// `φ`-invariant).  So instead of recording `n` timelines the sweep
+    /// records **one** and answers class `c` by merging `timeline(0)`
+    /// against *itself* with the later agent's nodes read through
+    /// `φ_c` ([`merge_timelines_deltas_mapped`]) — bit-identical to the
+    /// materialised merge (differentially pinned in `anonrv-sim`), with
+    /// `O(|timeline(0)| + chunk · |δ|)` live memory instead of
+    /// `O(n · |timeline|)` cache plus an `n · |δ|` table.
+    ///
+    /// `visit(base, outcomes)` receives each chunk's first class index and
+    /// its `(class, δ)` outcomes in the exact slot order of
+    /// [`PlannedSweep::run`]; concatenating the chunks reproduces the full
+    /// table bit-identically.  `chunk_classes` bounds peak memory
+    /// (`chunk_classes × |δ|` outcomes live at once).
+    ///
+    /// Errors (rather than silently falling back) when the partition is
+    /// explicit, when the plan does not match this sweep, or when the
+    /// horizon needs the symbolic engine (`> UNROLL_CAP`) — callers decide
+    /// the fallback policy.
+    pub fn run_streamed<F>(
+        &self,
+        plan: &SweepPlan,
+        chunk_classes: usize,
+        mut visit: F,
+    ) -> Result<StreamStats, String>
+    where
+        F: FnMut(usize, &[SimOutcome]),
+    {
+        if plan.orbits() != self.orbits() {
+            return Err("plan was built for a different graph / partition".into());
+        }
+        if plan.horizon() > self.engine.config().horizon {
+            return Err("plan horizon exceeds the engine horizon".into());
+        }
+        if plan.horizon() > UNROLL_CAP {
+            return Err(format!(
+                "streamed execution unrolls timelines explicitly; horizon {} exceeds the \
+                 unroll cap 2^{} (use the symbolic path)",
+                plan.horizon(),
+                UNROLL_CAP.trailing_zeros()
+            ));
+        }
+        if !self.orbits.is_implicit() {
+            return Err("streamed execution needs an implicit (closed-form, transitive) symmetry \
+                 group; this sweep's partition is explicit — use `run` / `run_classes`"
+                .into());
+        }
+        if !matches!(self.engine.config().mode, EngineMode::Auto | EngineMode::Batch) {
+            return Err("streamed execution requires the batch engine (mode Auto or Batch)".into());
+        }
+        let group = self.orbits.group().clone();
+        let chunk = chunk_classes.max(1);
+        let num_classes = self.orbits.num_pair_classes();
+        let ndeltas = plan.deltas().len();
+        // the one and only recorded trajectory: every class merges this
+        // timeline against its φ_c-mapped self
+        let t0 = self.engine.cache().timeline(0);
+        let mut stats = StreamStats::default();
+        let class_size = self.orbits.class_size();
+        let mut buf: Vec<SimOutcome> = Vec::with_capacity(chunk * ndeltas);
+        let mut base = 0;
+        while base < num_classes {
+            let hi = (base + chunk).min(num_classes);
+            let per_class: Vec<Vec<SimOutcome>> = (base..hi)
+                .into_par_iter()
+                .map(|class| {
+                    merge_timelines_deltas_mapped(
+                        t0,
+                        t0,
+                        |v| group.apply(class, v),
+                        plan.deltas(),
+                        plan.horizon(),
+                    )
+                })
+                .collect();
+            buf.clear();
+            for outcomes in per_class {
+                buf.extend(outcomes);
+            }
+            stats.classes += hi - base;
+            stats.entries += buf.len();
+            stats.met_entries += buf.iter().filter(|o| o.meeting.is_some()).count();
+            visit(base, &buf);
+            base = hi;
+        }
+        stats.answered = stats.entries * class_size;
+        stats.met_total = stats.met_entries * class_size;
+        if anonrv_obs::enabled() {
+            anonrv_obs::counter_add("plan.representatives", stats.entries as u64);
+        }
+        Ok(stats)
     }
 
     /// Serve a longer-horizon outcome table at `plan`'s smaller horizon —
@@ -747,6 +873,62 @@ mod tests {
         }
         // from_table rejects a mis-sized table
         assert!(PlannedOutcomes::from_table(&plan, vec![]).is_err());
+    }
+
+    #[test]
+    fn run_streamed_chunks_concatenate_to_the_full_table() {
+        for g in [oriented_torus(3, 4).unwrap(), oriented_ring(8).unwrap()] {
+            let program = Walker { seed: 0x5EED };
+            let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+            assert!(planned.orbits().is_implicit(), "generator should stamp an implicit group");
+            let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 2, 3, 40], 64);
+            let full = planned.run(&plan);
+            for chunk in [1usize, 2, 5, 100] {
+                let mut table = Vec::new();
+                let mut bases = Vec::new();
+                let stats = planned
+                    .run_streamed(&plan, chunk, |base, outcomes| {
+                        bases.push((base, outcomes.len()));
+                        table.extend_from_slice(outcomes);
+                    })
+                    .unwrap();
+                assert_eq!(table, full.table(), "chunk size {chunk} diverged");
+                assert_eq!(stats.classes, planned.orbits().num_pair_classes());
+                assert_eq!(stats.entries, full.table().len());
+                assert_eq!(
+                    stats.met_entries,
+                    full.table().iter().filter(|o| o.meeting.is_some()).count()
+                );
+                // the implicit groups here are regular: class size = n
+                assert_eq!(stats.answered, g.num_nodes() * g.num_nodes() * plan.deltas().len());
+                assert_eq!(stats.met_total, stats.met_entries * g.num_nodes());
+                // chunks arrive in class order, each δ-complete
+                let mut expect_base = 0;
+                for &(base, len) in &bases {
+                    assert_eq!(base, expect_base);
+                    assert_eq!(len % plan.deltas().len(), 0);
+                    expect_base += len / plan.deltas().len();
+                }
+                assert_eq!(expect_base, stats.classes);
+            }
+        }
+    }
+
+    #[test]
+    fn run_streamed_refuses_unsupported_configurations() {
+        let g = oriented_ring(6).unwrap();
+        let program = Walker { seed: 3 };
+        // explicit partition: no closed-form action to stream through
+        let explicit = PairOrbits::compute_explicit(&g);
+        let planned = PlannedSweep::with_orbits(&explicit, &g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(explicit.clone(), vec![0, 1], 64);
+        let err = planned.run_streamed(&plan, 4, |_, _| {}).unwrap_err();
+        assert!(err.contains("implicit"), "{err}");
+        // plan horizon above the engine horizon
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1], 128);
+        let err = planned.run_streamed(&plan, 4, |_, _| {}).unwrap_err();
+        assert!(err.contains("exceeds the engine horizon"), "{err}");
     }
 
     #[test]

@@ -697,7 +697,9 @@ pub fn merge_timelines_extend(
         "cannot extend a horizon-{} outcome down to {horizon}",
         prior.horizon
     );
-    anonrv_obs::counter_add("merge.extend.calls", 1);
+    if anonrv_obs::enabled() {
+        anonrv_obs::counter_add("merge.extend.calls", 1);
+    }
     if prior.meeting.is_some() {
         return SimOutcome { horizon, ..*prior };
     }
@@ -729,17 +731,64 @@ pub fn merge_timelines_extend(
 /// scratch serves any number of consecutive merges (sweeps keep one per
 /// pair group, so a pair's whole δ-grid shares it); after the first few
 /// calls it never allocates again.
+///
+/// The scratch also **batches kernel telemetry**: per-merge counter
+/// increments accumulate in plain local fields and reach the metrics
+/// registry as one `counter_add` per metric when the scratch is dropped (or
+/// via [`MergeScratch::flush_metrics`]), so enabling metrics costs the hot
+/// merge loop a handful of register additions instead of a registry
+/// transaction per STIC.
 #[derive(Debug, Default)]
 pub struct MergeScratch {
     /// Per-node cursor into the earlier timeline's occupancy arrays,
     /// re-seeded from its CSR offsets at the start of every merge.
     cursors: Vec<u32>,
+    /// Locally accumulated kernel counters, flushed in batch.
+    pending: PendingMergeCounters,
+}
+
+/// Locally accumulated values of the `merge.*` counters (same metric names
+/// and semantics as before; only the flush granularity changed).
+#[derive(Debug, Default)]
+struct PendingMergeCounters {
+    delta_passes: u64,
+    deltas: u64,
+    segments: u64,
+    scratch_reuse: u64,
 }
 
 impl MergeScratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         MergeScratch::default()
+    }
+
+    /// Push the locally accumulated `merge.*` counters to the metrics
+    /// registry and reset them — one batched add per metric per pass
+    /// instead of several per merged STIC.  Called automatically on drop.
+    pub fn flush_metrics(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        if !anonrv_obs::enabled() {
+            return;
+        }
+        if pending.delta_passes > 0 {
+            anonrv_obs::counter_add("merge.delta_passes", pending.delta_passes);
+        }
+        if pending.deltas > 0 {
+            anonrv_obs::counter_add("merge.deltas", pending.deltas);
+        }
+        if pending.segments > 0 {
+            anonrv_obs::counter_add("merge.segments", pending.segments);
+        }
+        if pending.scratch_reuse > 0 {
+            anonrv_obs::counter_add("merge.scratch_reuse", pending.scratch_reuse);
+        }
+    }
+}
+
+impl Drop for MergeScratch {
+    fn drop(&mut self) {
+        self.flush_metrics();
     }
 }
 
@@ -789,12 +838,13 @@ pub fn merge_timelines_deltas_with(
         return out;
     }
 
+    // accumulate locally; the scratch flushes in batch (see `MergeScratch`)
     if anonrv_obs::enabled() {
-        anonrv_obs::counter_add("merge.delta_passes", 1);
-        anonrv_obs::counter_add("merge.deltas", deltas.len() as u64);
-        anonrv_obs::counter_add("merge.segments", (earlier.nodes.len() + later.nodes.len()) as u64);
+        scratch.pending.delta_passes += 1;
+        scratch.pending.deltas += deltas.len() as u64;
+        scratch.pending.segments += (earlier.nodes.len() + later.nodes.len()) as u64;
         if scratch.cursors.capacity() > 0 {
-            anonrv_obs::counter_add("merge.scratch_reuse", 1);
+            scratch.pending.scratch_reuse += 1;
         }
     }
 
@@ -894,6 +944,153 @@ pub fn merge_timelines_deltas_with(
         .map(|(slot, &delta)| {
             if slot >= active {
                 // the later agent never even appears within the horizon
+                return SimOutcome::no_show(horizon);
+            }
+            let (at, si, jb) = best[slot];
+            if at < INFINITY {
+                SimOutcome {
+                    meeting: Some(Meeting {
+                        global_round: at,
+                        later_round: at - delta,
+                        node: earlier.nodes[si] as usize,
+                    }),
+                    earlier_moves: earlier.moves_before(si),
+                    later_moves: later.moves_before(jb),
+                    earlier_terminated: earlier.tail_index() == Some(si),
+                    later_terminated: later.tail_index() == Some(jb),
+                    horizon,
+                }
+            } else {
+                let (earlier_moves, earlier_terminated) = earlier.totals_up_to(horizon);
+                let (later_moves, later_terminated) = later.totals_up_to(horizon - delta);
+                SimOutcome {
+                    meeting: None,
+                    earlier_moves,
+                    later_moves,
+                    earlier_terminated,
+                    later_terminated,
+                    horizon,
+                }
+            }
+        })
+        .collect()
+}
+
+/// [`merge_timelines_deltas`] against a **node-relabelled** later timeline,
+/// without materialising it: outcomes are bit-identical to merging
+/// `earlier` with a copy of `later` whose `nodes` array was rewritten
+/// through `map` (same `starts`, same segment structure).
+///
+/// This is the inner loop of **streaming all-pairs planning** on
+/// vertex-transitive graphs: there, the walk from node `φ(0)` is the
+/// `φ`-image of the walk from node `0` (the program observes only degrees,
+/// entry ports and its clock — all `φ`-invariant), so the later agent's
+/// timeline for class `c` is exactly `timeline(0)` with nodes mapped
+/// through the group element `c`.  One recorded timeline serves *all* `n`
+/// classes, and a million class merges share it immutably with **zero
+/// per-merge setup**: the kernel is deliberately scratch-free (a binary
+/// probe into the earlier occupancy index per later segment, exactly the
+/// retained reference kernel's strategy) because re-seeding per-node
+/// cursors would cost `O(n)` per class — fatal at `n = 2^20` classes.
+///
+/// Meeting nodes come from `earlier`'s segments and are therefore already
+/// true graph nodes; only the later side is viewed through `map`.  The
+/// kernel emits no per-call telemetry — streaming drivers report per-pass
+/// aggregates instead.
+pub fn merge_timelines_deltas_mapped(
+    earlier: &Timeline,
+    later: &Timeline,
+    map: impl Fn(usize) -> usize,
+    deltas: &[Round],
+    horizon: Round,
+) -> Vec<SimOutcome> {
+    if !deltas.windows(2).all(|w| w[0] <= w[1]) {
+        let mut order: Vec<usize> = (0..deltas.len()).collect();
+        order.sort_by_key(|&i| deltas[i]);
+        let sorted: Vec<Round> = order.iter().map(|&i| deltas[i]).collect();
+        let outcomes = merge_deltas_mapped_sorted(earlier, later, &map, &sorted, horizon);
+        let mut out = vec![outcomes[0]; deltas.len()];
+        for (k, &i) in order.iter().enumerate() {
+            out[i] = outcomes[k];
+        }
+        return out;
+    }
+    merge_deltas_mapped_sorted(earlier, later, &map, deltas, horizon)
+}
+
+/// The sorted-deltas body of [`merge_timelines_deltas_mapped`].
+fn merge_deltas_mapped_sorted<F: Fn(usize) -> usize>(
+    earlier: &Timeline,
+    later: &Timeline,
+    map: &F,
+    deltas: &[Round],
+    horizon: Round,
+) -> Vec<SimOutcome> {
+    let horizon1 = horizon.saturating_add(1);
+    let active = deltas.partition_point(|&d| d <= horizon);
+    let mut best: Vec<(Round, usize, usize)> = vec![(INFINITY, 0, 0); active];
+    if active > 0 {
+        let delta_min = deltas[0];
+        let delta_max = deltas[active - 1];
+        let stop_at = |best: &[(Round, usize, usize)]| -> Round {
+            deltas[..active]
+                .iter()
+                .zip(best)
+                .map(|(&d, &(lo, ..))| lo.min(horizon1).saturating_sub(d))
+                .max()
+                .expect("active is non-zero")
+        };
+        let mut stop = stop_at(&best);
+        for jb in 0..later.nodes.len() {
+            let b_start = later.starts[jb];
+            if b_start >= stop {
+                break;
+            }
+            // the only divergence from the unmapped kernels: the later
+            // agent parks on the *image* of its recorded node
+            let node = map(later.nodes[jb] as usize);
+            let s = earlier.occ_starts[node] as usize;
+            let e = earlier.occ_starts[node + 1] as usize;
+            if s == e {
+                continue; // the earlier agent never visits this node at all
+            }
+            let b_end = later.starts[jb + 1];
+            let delta_cap = horizon1 - b_start;
+            let k = s + earlier.occ_end[s..e].partition_point(|&end| end <= b_start + delta_min);
+            let entry_stop = b_end.saturating_add(delta_max.min(delta_cap - 1)).min(horizon1);
+            let mut updated = false;
+            for kk in k..e {
+                let e_start = earlier.occ_start[kk];
+                if e_start >= entry_stop {
+                    break;
+                }
+                let d_lo = (e_start + 1).saturating_sub(b_end).max(delta_min);
+                let d_hi = (earlier.occ_end[kk] - b_start).min(delta_cap);
+                for (slot, &delta) in deltas[..active].iter().enumerate() {
+                    if delta >= d_hi {
+                        break;
+                    }
+                    if delta < d_lo {
+                        continue;
+                    }
+                    let at = e_start.max(b_start + delta);
+                    if at < best[slot].0 {
+                        best[slot] = (at, earlier.occ_seg[kk] as usize, jb);
+                        updated = true;
+                    }
+                }
+            }
+            if updated {
+                stop = stop_at(&best);
+            }
+        }
+    }
+
+    deltas
+        .iter()
+        .enumerate()
+        .map(|(slot, &delta)| {
+            if slot >= active {
                 return SimOutcome::no_show(horizon);
             }
             let (at, si, jb) = best[slot];
@@ -1782,6 +1979,66 @@ mod tests {
                         merge_timelines(&original, &other, &stic, 40),
                         "rebuilt timeline diverged on {stic}"
                     );
+                }
+            }
+        }
+    }
+
+    /// The streaming kernel: merging `t0` against itself viewed through a
+    /// group element is bit-identical to (a) merging against a materialised
+    /// relabeling of `t0`, (b) merging against a *cold recording* from the
+    /// image start node (vertex-transitivity), and (c) the plain per-STIC
+    /// merge — for every class, every delay, met and unmet alike.
+    #[test]
+    fn mapped_delta_merge_is_bit_identical_to_materialised_relabeling() {
+        let g = oriented_torus(3, 4).unwrap();
+        let group = anonrv_graph::group::SymmetryGroup::of(&g);
+        assert!(group.is_implicit());
+        let horizon: Round = 48;
+        let deltas: &[Round] = &[0, 1, 2, 5, 9, 50];
+        for lifetime in [None, Some(9)] {
+            let program = ScriptedStepper { lifetime };
+            let t0 = Timeline::record(&g, &program, 0, horizon);
+            let mut scratch = MergeScratch::new();
+            for c in 0..g.num_nodes() {
+                let streamed =
+                    merge_timelines_deltas_mapped(&t0, &t0, |v| group.apply(c, v), deltas, horizon);
+                // (a) materialised relabeling of the same timeline
+                let segs: Vec<TimelineSeg> = t0
+                    .segments()
+                    .map(|mut s| {
+                        s.node = group.apply(c, s.node);
+                        s
+                    })
+                    .collect();
+                let mapped = Timeline::from_segments(g.num_nodes(), horizon, segs).unwrap();
+                assert_eq!(
+                    streamed,
+                    merge_timelines_deltas_with(&mut scratch, &t0, &mapped, deltas, horizon)
+                );
+                // (b) the walk actually recorded from node c
+                let tc = Timeline::record(&g, &program, c, horizon);
+                assert_eq!(
+                    streamed,
+                    merge_timelines_deltas_with(&mut scratch, &t0, &tc, deltas, horizon)
+                );
+                // (c) STIC by STIC against the single-delay kernel
+                for (slot, &delta) in deltas.iter().enumerate() {
+                    let stic = Stic::new(0, c, delta);
+                    assert_eq!(streamed[slot], merge_timelines(&t0, &tc, &stic, horizon), "{stic}");
+                }
+                // the unsorted-deltas reorder path agrees too
+                let shuffled: &[Round] = &[5, 0, 50, 2];
+                let reordered = merge_timelines_deltas_mapped(
+                    &t0,
+                    &t0,
+                    |v| group.apply(c, v),
+                    shuffled,
+                    horizon,
+                );
+                for (k, &d) in shuffled.iter().enumerate() {
+                    let slot = deltas.iter().position(|&x| x == d).unwrap();
+                    assert_eq!(reordered[k], streamed[slot]);
                 }
             }
         }

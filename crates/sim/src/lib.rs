@@ -71,9 +71,9 @@ pub mod trace;
 pub mod workload;
 
 pub use batch::{
-    merge_timelines, merge_timelines_deltas, merge_timelines_deltas_with, merge_timelines_extend,
-    simulate_batch, MergeScratch, SweepEngine, Timeline, TimelineParts, TimelineSeg,
-    TrajectoryCache, UNROLL_CAP,
+    merge_timelines, merge_timelines_deltas, merge_timelines_deltas_mapped,
+    merge_timelines_deltas_with, merge_timelines_extend, simulate_batch, MergeScratch, SweepEngine,
+    Timeline, TimelineParts, TimelineSeg, TrajectoryCache, UNROLL_CAP,
 };
 #[cfg(feature = "ref-oracle")]
 pub use batch::{merge_timelines_deltas_reference, merge_timelines_reference};

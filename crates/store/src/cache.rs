@@ -69,9 +69,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use anonrv_graph::{NodeId, PortGraph};
+use anonrv_graph::{NodeId, PortGraph, SymmetryHint};
 use anonrv_obs as obs;
-use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan};
+use anonrv_plan::{Automorphisms, PairOrbits, SweepPlan, SymmetryGroup};
 use anonrv_sim::{
     Meeting, Round, SimOutcome, SweepEngine, SymbolicTail, SymbolicTimeline, Timeline,
     TimelineParts,
@@ -386,11 +386,48 @@ impl Store {
         self.root.join(format!("orbits-{:032x}.anrv", g.canonical_hash()))
     }
 
+    fn group_path(&self, g: &PortGraph) -> PathBuf {
+        self.root.join(format!("group-{:032x}.anrv", g.canonical_hash()))
+    }
+
     /// Load the pair-orbit partition of `g`, or `None` on any miss
-    /// (absent / corrupt / stale / foreign file).  A loaded group is fully
-    /// re-verified against `g` by
-    /// [`Automorphisms::from_permutations`] before it is trusted.
+    /// (absent / corrupt / stale / foreign file).  An implicit
+    /// `group-` descriptor frame is preferred (O(1) bytes, streamable
+    /// partition); an explicit `orbits-` permutation frame is the fallback.
+    /// Either way the loaded group is fully re-verified against `g` before
+    /// it is trusted: descriptors through the generator checks of
+    /// [`SymmetryGroup::from_hint`], permutations through
+    /// [`Automorphisms::from_permutations`].
     pub fn load_orbits(&self, g: &PortGraph) -> Option<PairOrbits> {
+        self.load_implicit_orbits(g).or_else(|| self.load_explicit_orbits(g))
+    }
+
+    /// The implicit branch of [`Store::load_orbits`]: a closed-form group
+    /// descriptor, a few dozen bytes regardless of `n`.
+    fn load_implicit_orbits(&self, g: &PortGraph) -> Option<PairOrbits> {
+        let path = self.group_path(g);
+        let bytes = self.read_artifact(&path)?;
+        let mut d = self.gate_frame(&path, Kind::ImplicitOrbits, &bytes)?;
+        if d.u128()? != g.canonical_hash() {
+            return None;
+        }
+        if d.usize()? != g.num_nodes() {
+            return None;
+        }
+        let hint = decode_symmetry_hint(&mut d)?;
+        if !d.exhausted() {
+            return None;
+        }
+        // re-verify the descriptor against the graph, generator by
+        // generator — a forged or misfiled descriptor degrades to a miss
+        let group = SymmetryGroup::from_hint(g, hint)?;
+        Some(PairOrbits::from_group(group))
+    }
+
+    /// The explicit branch of [`Store::load_orbits`]: verified permutation
+    /// tables (the only representation for graphs without a closed-form
+    /// group, and the format every pre-v5 cache holds).
+    fn load_explicit_orbits(&self, g: &PortGraph) -> Option<PairOrbits> {
         let path = self.orbits_path(g);
         let bytes = self.read_artifact(&path)?;
         let mut d = self.gate_frame(&path, Kind::Orbits, &bytes)?;
@@ -417,15 +454,29 @@ impl Store {
         Some(PairOrbits::from_automorphisms(autos))
     }
 
-    /// Persist the pair-orbit partition of `g` (its automorphism
-    /// permutations — the partition is a deterministic function of the
-    /// group, rebuilt on load).  Returns the artifact path.
+    /// Persist the pair-orbit partition of `g`.  An implicit partition
+    /// writes its closed-form descriptor into a `group-` frame (O(1) bytes
+    /// — this is what lets a million-node torus persist its group at all);
+    /// an explicit partition writes its automorphism permutations into an
+    /// `orbits-` frame.  The partition itself is a deterministic function
+    /// of the group, rebuilt on load.  Returns the artifact path.
     pub fn save_orbits(&self, g: &PortGraph, orbits: &PairOrbits) -> io::Result<PathBuf> {
+        let Some(autos) = orbits.automorphisms() else {
+            let hint =
+                orbits.group().descriptor().expect("an implicit group always has a descriptor");
+            let mut e = Enc::new();
+            e.u128(g.canonical_hash());
+            e.usize(g.num_nodes());
+            encode_symmetry_hint(&mut e, hint);
+            let path = self.group_path(g);
+            self.write_atomic(&path, &e.into_frame(Kind::ImplicitOrbits))?;
+            return Ok(path);
+        };
         let mut e = Enc::new();
         e.u128(g.canonical_hash());
         e.usize(g.num_nodes());
         e.usize(orbits.group_order());
-        for p in orbits.automorphisms().permutations() {
+        for p in autos.permutations() {
             for &img in p {
                 e.u64(img as u64);
             }
@@ -872,7 +923,7 @@ impl Store {
                 continue;
             };
             match kind {
-                Kind::Orbits => stats.orbits.add(bytes),
+                Kind::Orbits | Kind::ImplicitOrbits => stats.orbits.add(bytes),
                 Kind::Timelines => {
                     stats.timelines.add(bytes);
                     if let Some((count, horizons)) = peek_timeline_horizons(&mut d) {
@@ -952,9 +1003,10 @@ impl Store {
             // names.  Anything else — an operator's notes, another tool's
             // staging files — is foreign and left alone, exactly like
             // unrecognised `.anrv`-less files below.
-            let own_prefix = ["orbits-", "timelines-", "outcomes-", "shard-", "symbolic-"]
-                .iter()
-                .any(|p| name.starts_with(p));
+            let own_prefix =
+                ["orbits-", "group-", "timelines-", "outcomes-", "shard-", "symbolic-"]
+                    .iter()
+                    .any(|p| name.starts_with(p));
             if own_prefix && (name.ends_with(".lock") || name.contains(".tmp")) {
                 let old_enough = entry
                     .metadata()
@@ -986,7 +1038,8 @@ impl Store {
                     Some((identity, horizon)) => shards.push((path, bytes, identity, horizon)),
                     None => report.remove(&path, bytes, GcClass::Corrupt),
                 },
-                Kind::Orbits | Kind::Timelines | Kind::SymbolicTimelines => {}
+                Kind::Orbits | Kind::ImplicitOrbits | Kind::Timelines | Kind::SymbolicTimelines => {
+                }
             }
         }
         // a shard partial is superseded once a merged table of the same
@@ -1248,6 +1301,25 @@ fn verify_payload(kind: Kind, d: &mut Dec<'_>) -> Result<(), String> {
                 }
             }
         }
+        Kind::ImplicitOrbits => {
+            d.u128().ok_or_else(truncated)?;
+            let n = d.usize().ok_or_else(truncated)?;
+            // identity-free shape checks: the family's parameters must
+            // describe exactly n nodes (graph verification happens on load)
+            match decode_symmetry_hint(d).ok_or_else(|| "group-descriptor-malformed".to_string())? {
+                SymmetryHint::Cyclic => {}
+                SymmetryHint::Torus { rows, cols } => {
+                    if rows.checked_mul(cols) != Some(n) {
+                        return Err("group-torus-shape-mismatch".into());
+                    }
+                }
+                SymmetryHint::Hypercube { dim } => {
+                    if dim >= usize::BITS || 1usize << dim != n {
+                        return Err("group-hypercube-shape-mismatch".into());
+                    }
+                }
+            }
+        }
         Kind::Timelines => {
             d.u128().ok_or_else(truncated)?;
             let n = d.usize().ok_or_else(truncated)?;
@@ -1355,6 +1427,39 @@ fn verify_payload(kind: Kind, d: &mut Dec<'_>) -> Result<(), String> {
     Ok(())
 }
 
+/// Implicit-group family tags inside `group-` descriptor payloads.
+const GROUP_TAG_CYCLIC: u8 = 1;
+const GROUP_TAG_TORUS: u8 = 2;
+const GROUP_TAG_HYPERCUBE: u8 = 3;
+
+/// Encode a closed-form group descriptor: one family tag byte plus the
+/// family's shape parameters.  `n` itself is framed by the caller.
+fn encode_symmetry_hint(e: &mut Enc, hint: SymmetryHint) {
+    match hint {
+        SymmetryHint::Cyclic => e.u8(GROUP_TAG_CYCLIC),
+        SymmetryHint::Torus { rows, cols } => {
+            e.u8(GROUP_TAG_TORUS);
+            e.usize(rows);
+            e.usize(cols);
+        }
+        SymmetryHint::Hypercube { dim } => {
+            e.u8(GROUP_TAG_HYPERCUBE);
+            e.u64(u64::from(dim));
+        }
+    }
+}
+
+/// Decode a closed-form group descriptor; `None` on an unknown tag or a
+/// truncated payload.
+fn decode_symmetry_hint(d: &mut Dec<'_>) -> Option<SymmetryHint> {
+    match d.u8()? {
+        GROUP_TAG_CYCLIC => Some(SymmetryHint::Cyclic),
+        GROUP_TAG_TORUS => Some(SymmetryHint::Torus { rows: d.usize()?, cols: d.usize()? }),
+        GROUP_TAG_HYPERCUBE => Some(SymmetryHint::Hypercube { dim: u32::try_from(d.u64()?).ok()? }),
+        _ => None,
+    }
+}
+
 /// The artifact kind a store filename claims to be.
 fn kind_of_filename(name: &str) -> Option<Kind> {
     if !name.ends_with(".anrv") {
@@ -1362,6 +1467,8 @@ fn kind_of_filename(name: &str) -> Option<Kind> {
     }
     if name.starts_with("orbits-") {
         Some(Kind::Orbits)
+    } else if name.starts_with("group-") {
+        Some(Kind::ImplicitOrbits)
     } else if name.starts_with("timelines-") {
         Some(Kind::Timelines)
     } else if name.starts_with("outcomes-") {
@@ -1720,6 +1827,59 @@ pub fn table_fingerprint(table: &[SimOutcome]) -> u64 {
     fnv64(e.payload())
 }
 
+/// Streaming [`table_fingerprint`]: feed outcome chunks as they are
+/// produced and never hold the table.  Seeded with the total entry count up
+/// front (the count is the encoding's length prefix, and a streamed sweep
+/// knows it before the first chunk: `classes × |δ|`), then fed each entry's
+/// canonical encoding in slot order — [`TableFingerprinter::finish`] equals
+/// `table_fingerprint(&concatenated_chunks)` exactly, which is what lets a
+/// million-node streamed sweep print the same fingerprint a materialised
+/// run would.
+#[derive(Debug, Clone)]
+pub struct TableFingerprinter {
+    hash: u64,
+    declared: usize,
+    fed: usize,
+}
+
+impl TableFingerprinter {
+    /// Start a fingerprint over exactly `len` upcoming entries.
+    pub fn new(len: usize) -> Self {
+        let mut f = TableFingerprinter { hash: 0xcbf29ce484222325, declared: len, fed: 0 };
+        f.feed(&(len as u64).to_le_bytes());
+        f
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// Absorb the next chunk of outcomes, in slot order.
+    pub fn extend(&mut self, outcomes: &[SimOutcome]) {
+        let mut e = Enc::new();
+        for o in outcomes {
+            encode_outcome(&mut e, o);
+        }
+        self.feed(e.payload());
+        self.fed += outcomes.len();
+    }
+
+    /// The fingerprint.  Panics if the fed entry count disagrees with the
+    /// declared one — a miscounted stream would otherwise fingerprint a
+    /// table nobody computed.
+    pub fn finish(self) -> u64 {
+        assert_eq!(
+            self.fed, self.declared,
+            "fingerprinted {} outcomes but {} were declared",
+            self.fed, self.declared
+        );
+        self.hash
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1800,6 +1960,82 @@ mod tests {
         let path = dir.0.join(format!("orbits-{:032x}.anrv", g.canonical_hash()));
         fs::write(&path, e.into_frame(Kind::Orbits)).unwrap();
         assert!(store.load_orbits(&g).is_none());
+    }
+
+    #[test]
+    fn implicit_orbits_persist_as_a_constant_size_descriptor() {
+        let dir = TempDir::new("implicit-orbits");
+        let store = store_in(&dir);
+        let g = oriented_torus(4, 5).unwrap();
+        let orbits = PairOrbits::compute(&g);
+        assert!(orbits.is_implicit());
+        let path = store.save_orbits(&g, &orbits).unwrap();
+        // the descriptor frame, not a permutation table: a fixed few dozen
+        // bytes where 20 permutations × 20 nodes × 8 bytes would be 3.2 KB
+        assert!(path.file_name().unwrap().to_string_lossy().starts_with("group-"));
+        assert!(fs::read(&path).unwrap().len() < 128, "descriptor should be O(1) bytes");
+        let warm = store.load_orbits(&g).expect("descriptor loads");
+        assert!(warm.is_implicit());
+        assert_eq!(warm, orbits);
+    }
+
+    #[test]
+    fn forged_group_descriptors_are_rejected_by_generator_verification() {
+        let dir = TempDir::new("group-forgery");
+        let store = store_in(&dir);
+        let g = oriented_torus(3, 3).unwrap();
+        // well-framed, matching hash and n — but the claimed family is
+        // cyclic, whose generator (+1 rotation) is not an automorphism of
+        // the torus port labelling, so load-time verification must refuse
+        let mut e = Enc::new();
+        e.u128(g.canonical_hash());
+        e.usize(g.num_nodes());
+        e.u8(GROUP_TAG_CYCLIC);
+        let path = dir.0.join(format!("group-{:032x}.anrv", g.canonical_hash()));
+        fs::write(&path, e.into_frame(Kind::ImplicitOrbits)).unwrap();
+        assert!(store.load_implicit_orbits(&g).is_none());
+        // the full load path falls back to recompute, not to wrong data
+        let (recovered, prov) = store.orbits(&g);
+        assert_eq!(prov, Provenance::Cold);
+        assert_eq!(recovered, PairOrbits::compute(&g));
+    }
+
+    #[test]
+    fn legacy_explicit_orbit_frames_still_serve_stamped_graphs() {
+        let dir = TempDir::new("legacy-orbits");
+        let store = store_in(&dir);
+        let g = oriented_ring(9).unwrap();
+        // a pre-v5 cache holds only the explicit permutation frame
+        let explicit = PairOrbits::compute_explicit(&g);
+        let path = store.save_orbits(&g, &explicit).unwrap();
+        assert!(path.file_name().unwrap().to_string_lossy().starts_with("orbits-"));
+        let warm = store.load_orbits(&g).expect("explicit frame loads");
+        assert!(!warm.is_implicit());
+        assert_eq!(warm, explicit);
+        // once an implicit descriptor lands next to it, the descriptor wins
+        let implicit = PairOrbits::compute(&g);
+        store.save_orbits(&g, &implicit).unwrap();
+        assert!(store.load_orbits(&g).expect("descriptor loads").is_implicit());
+    }
+
+    #[test]
+    fn streaming_fingerprinter_matches_the_one_shot_table_fingerprint() {
+        let g = oriented_torus(3, 4).unwrap();
+        let program = Walker { seed: 0x5EED };
+        let planned = PlannedSweep::new(&g, &program, EngineConfig::batch(64));
+        let plan =
+            anonrv_plan::SweepPlan::from_orbits(planned.orbits().clone(), vec![0, 1, 2, 5], 64);
+        let table = planned.run(&plan).table().to_vec();
+        let expect = table_fingerprint(&table);
+        for chunk in [1usize, 3, 7, table.len()] {
+            let mut f = TableFingerprinter::new(table.len());
+            for block in table.chunks(chunk) {
+                f.extend(block);
+            }
+            assert_eq!(f.finish(), expect, "chunk size {chunk} diverged");
+        }
+        // the empty table fingerprints consistently too
+        assert_eq!(TableFingerprinter::new(0).finish(), table_fingerprint(&[]));
     }
 
     #[test]

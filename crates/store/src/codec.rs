@@ -54,10 +54,19 @@ pub(crate) const MAGIC: [u8; 8] = *b"ANRVSTOR";
 /// (prefix and cycle columns).  No existing payload layout changed, so
 /// readers accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]: v3
 /// explicit frames keep loading verbatim.
-pub(crate) const FORMAT_VERSION: u32 = 4;
+/// Version 5: implicit symmetry groups — a new [`Kind::ImplicitOrbits`]
+/// frame stores a *closed-form group descriptor* (family tag plus shape
+/// parameters, a few dozen bytes) instead of `k·n` permutation words, so a
+/// million-node torus persists its full automorphism group in O(1) space.
+/// Loaders re-verify the descriptor against the graph on load (the
+/// generators are re-checked port by port), exactly as explicit
+/// permutation frames are re-verified.  Again no existing payload layout
+/// changed: v3/v4 `orbits-` frames keep loading verbatim and remain the
+/// fallback representation for graphs without a closed-form group.
+pub(crate) const FORMAT_VERSION: u32 = 5;
 
-/// Oldest format version readers still accept.  Versions 3 and 4 share
-/// every payload layout (v4 only *adds* the symbolic artifact kind), so a
+/// Oldest format version readers still accept.  Versions 3 through 5 share
+/// every payload layout (v4 and v5 only *add* artifact kinds), so a
 /// v3 frame is served as-is rather than treated as stale.
 pub(crate) const MIN_FORMAT_VERSION: u32 = 3;
 
@@ -85,6 +94,10 @@ pub(crate) enum Kind {
     /// horizon-free: one detection serves *every* horizon, so these
     /// supersede explicit timeline recordings under the longest-wins rule.
     SymbolicTimelines = 5,
+    /// An implicit symmetry-group descriptor (closed-form family + shape
+    /// parameters) — the O(1)-space alternative to [`Kind::Orbits`] for
+    /// graphs whose full automorphism group has a closed form.
+    ImplicitOrbits = 6,
 }
 
 /// 64-bit FNV-1a over a byte slice (the frame checksum and the filename

@@ -161,10 +161,11 @@ pub mod shard;
 
 pub use cache::{
     table_fingerprint, CacheStats, FsckEntry, FsckReport, FsckVerdict, GcReport, KindStats,
-    Provenance, Store, WarmedTimelines,
+    Provenance, Store, TableFingerprinter, WarmedTimelines,
 };
 pub use session::{
-    OutcomeProvenance, SessionStats, SuperviseConfig, SuperviseReport, SweepSession,
+    OutcomeProvenance, SessionStats, StreamedSweepSummary, SuperviseConfig, SuperviseReport,
+    SweepSession,
 };
 pub use shard::{merge_shard_outcomes, ShardOutcomes, ShardSpec};
 

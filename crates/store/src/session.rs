@@ -51,7 +51,7 @@ use anonrv_obs as obs;
 use anonrv_plan::{PairOrbits, PlannedOutcomes, PlannedSweep, SweepPlan};
 use anonrv_sim::{AgentProgram, EngineConfig, Round, SimOutcome, Stic, SweepEngine, UNROLL_CAP};
 
-use crate::cache::{Provenance, Store};
+use crate::cache::{Provenance, Store, TableFingerprinter};
 use crate::fault;
 use crate::shard::{ShardOutcomes, ShardSpec};
 
@@ -134,6 +134,26 @@ pub struct SessionStats {
     pub outcome: Option<OutcomeProvenance>,
     /// `(index, shards)` when this session executed a shard slice.
     pub shard: Option<(usize, usize)>,
+}
+
+/// What a [`SweepSession::run_streamed`] sweep produced — the whole
+/// deliverable of a run whose outcome table was never materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamedSweepSummary {
+    /// Pair classes executed.
+    pub classes: usize,
+    /// `(class, δ)` representative entries streamed.
+    pub entries: usize,
+    /// Entries whose representative met within the horizon.
+    pub met_entries: usize,
+    /// Member STICs those entries answer.
+    pub answered: usize,
+    /// Member STICs that meet.
+    pub met_total: usize,
+    /// [`crate::table_fingerprint`] of the table a materialised run would
+    /// have produced — the bit-identity witness the differential suite and
+    /// CI compare.
+    pub fingerprint: u64,
 }
 
 /// One sweep workload of a `(graph, program)` pair, orchestrated end to
@@ -467,6 +487,55 @@ impl<'a> SweepSession<'a> {
         };
         self.note_outcome(provenance, plan.num_representative_queries(), plan.num_member_queries());
         Ok((outcomes, provenance))
+    }
+
+    /// Execute a whole plan in **streaming** mode: the outcome table is
+    /// never materialised — and therefore never probed from or persisted to
+    /// the store — outcomes flow through a running
+    /// [`TableFingerprinter`] and aggregate counters instead.  This is the
+    /// entry point for sweeps whose table cannot exist in memory: a
+    /// 1024×1024 torus has 2²⁰ pair classes, so even the class-compressed
+    /// table is gigabytes at any realistic δ-grid, while the streamed
+    /// summary stays O(1) and peak memory is `O(|timeline(0)| +
+    /// chunk_classes · |δ|)`.
+    ///
+    /// Requires an implicit orbit partition
+    /// ([`anonrv_plan::PairOrbits::is_implicit`]); see
+    /// [`PlannedSweep::run_streamed`] for the mapped-merge mechanics and
+    /// the remaining guards.  The summary's fingerprint equals
+    /// [`crate::table_fingerprint`] of the table [`SweepSession::run_plan`]
+    /// would have produced, which is how small instances pin this path
+    /// bit-for-bit against the materialised one.  Timelines recorded along
+    /// the way (exactly one: node 0's) persist back best-effort, so a
+    /// repeated streamed sweep skips its single program execution.
+    pub fn run_streamed(
+        &mut self,
+        plan: &SweepPlan,
+        chunk_classes: usize,
+    ) -> Result<StreamedSweepSummary, String> {
+        self.ensure_warm();
+        let execute_span = obs::span("session.execute");
+        let total = plan.orbits().num_pair_classes() * plan.deltas().len();
+        let mut fingerprint = TableFingerprinter::new(total);
+        let stats =
+            self.planned.run_streamed(plan, chunk_classes, |_, chunk| fingerprint.extend(chunk))?;
+        drop(execute_span);
+        self.executed += stats.entries;
+        self.answered += stats.answered;
+        if obs::enabled() {
+            obs::counter_add("session.outcome.streamed", 1);
+            obs::counter_add("session.executed", stats.entries as u64);
+            obs::counter_add("session.answered", stats.answered as u64);
+        }
+        self.persist_timelines_soft();
+        Ok(StreamedSweepSummary {
+            classes: stats.classes,
+            entries: stats.entries,
+            met_entries: stats.met_entries,
+            answered: stats.answered,
+            met_total: stats.met_total,
+            fingerprint: fingerprint.finish(),
+        })
     }
 
     /// Execute one shard slice of `plan` — the classes `spec` selects —
@@ -960,6 +1029,40 @@ mod tests {
         drop(guard);
         assert!(err.contains("still missing after 3 attempt(s)"), "{err}");
         assert!(err.contains("injected fault at shard.execute"), "{err}");
+    }
+
+    #[test]
+    fn streamed_sessions_fingerprint_the_exact_materialised_table() {
+        let dir = TempDir::new("session-streamed");
+        let store = Store::open(&dir.0).unwrap();
+        let g = oriented_torus(3, 4).unwrap();
+        let program = walker();
+        let deltas: Vec<Round> = vec![0, 1, 2, 5];
+
+        // materialised reference table and its fingerprint
+        let mut reference = SweepSession::in_memory(&g, &program, EngineConfig::batch(64));
+        let plan = SweepPlan::from_orbits(reference.orbits().clone(), deltas, 64);
+        let table = reference.run_plan(&plan).unwrap().0.table().to_vec();
+        let expect = crate::table_fingerprint(&table);
+
+        let mut session =
+            SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let summary = session.run_streamed(&plan, 5).unwrap();
+        assert_eq!(summary.fingerprint, expect, "streamed fingerprint diverged");
+        assert_eq!(summary.classes, plan.orbits().num_pair_classes());
+        assert_eq!(summary.entries, table.len());
+        assert_eq!(summary.met_entries, table.iter().filter(|o| o.meeting.is_some()).count());
+        assert_eq!(summary.answered, plan.num_member_queries());
+        let stats = session.stats();
+        assert_eq!(stats.executed, summary.entries);
+        assert_eq!(stats.answered, summary.answered);
+        assert_eq!(stats.outcome, None, "a streamed run has no table provenance");
+        // node 0's recording persisted: a second streamed session replays
+        // without a single program execution
+        let mut warm = SweepSession::new(Some(&store), &g, &program, KEY, EngineConfig::batch(64));
+        let again = warm.run_streamed(&plan, 3).unwrap();
+        assert_eq!(again, summary);
+        assert_eq!(warm.stats().timeline_misses, 0, "warm streamed run must not record");
     }
 
     #[test]

@@ -2,7 +2,10 @@
 # Record the pair-orbit sweep-planner perf numbers as BENCH_planned.json
 # (repo root): the symm-sweep workload (all (u, v) pairs x delta in {0..4}
 # on oriented_torus(16, 16)) through the PlannedSweep (256 orbit
-# representatives) versus the PR 2 batch path (65536 pair merges).
+# representatives) versus the PR 2 batch path (65536 pair merges), plus the
+# million-node row — the implicit orbit planner streaming the all-pairs
+# workload over oriented_torus(1024, 1024) (2^40 ordered pairs per delay)
+# through closed-form group arithmetic with bounded memory.
 #
 # Usage: scripts/record_planned_bench.sh [output.json]
 set -euo pipefail

@@ -202,9 +202,10 @@ proptest! {
     }
 }
 
-/// Version-compat pin: v4 readers accept v3 frames verbatim (the payload
-/// layout is unchanged — v4 only *adds* the symbolic kind), while versions
-/// outside `3..=4` stay plain misses that degrade to recompute.
+/// Version-compat pin: v5 readers accept v3 frames verbatim (the payload
+/// layout is unchanged — v4 added the symbolic kind, v5 the implicit-group
+/// descriptor kind; both only *add*), while versions outside `3..=5` stay
+/// plain misses that degrade to recompute.
 #[test]
 fn version_3_explicit_frames_still_load_and_out_of_range_versions_miss() {
     let dir = TempDir::new("v3compat");
@@ -233,7 +234,7 @@ fn version_3_explicit_frames_still_load_and_out_of_range_versions_miss() {
 
     // versions outside the accepted range are plain misses — too old and
     // too new alike degrade to recompute, never to a misparse
-    for stale in [2u32, 5u32] {
+    for stale in [2u32, 6u32] {
         for artifact in &artifacts {
             reseal_with_version(artifact, stale);
         }
